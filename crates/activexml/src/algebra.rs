@@ -1,0 +1,438 @@
+//! The ActiveXML algebra over XML streams (Section 3.3 of the paper).
+//!
+//! Algebraic expressions describe where data lives and where computation
+//! happens.  The alphabet: document names `d@p`, services `s@p` of some
+//! arity, node identifiers `♯x@p`, labels `l⟨…⟩` and the three particular
+//! services `eval`, `send` and `receive` that model distributed evaluation.
+//! Services may be *generic* (`s@any`), to be replaced by concrete ones at
+//! deployment time.
+//!
+//! Execution state is part of the syntax: `s@p` is an unevaluated call,
+//! `◦s@p` an executing one and `•s@p` a finished one.
+
+use std::fmt;
+
+use p2pmon_xmlkit::Element;
+
+/// A peer reference: a concrete peer identifier or the generic `any`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PeerRef {
+    /// `s@any` — the service can be offered by any peer with the capability.
+    Any,
+    /// A concrete peer identifier such as `meteo.com`.
+    Peer(String),
+}
+
+impl PeerRef {
+    /// Creates a concrete peer reference.
+    pub fn peer(name: impl Into<String>) -> Self {
+        PeerRef::Peer(name.into())
+    }
+
+    /// Returns the concrete peer name, if any.
+    pub fn as_peer(&self) -> Option<&str> {
+        match self {
+            PeerRef::Peer(p) => Some(p),
+            PeerRef::Any => None,
+        }
+    }
+
+    /// True when the reference is still generic.
+    pub fn is_any(&self) -> bool {
+        matches!(self, PeerRef::Any)
+    }
+}
+
+impl fmt::Display for PeerRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerRef::Any => f.write_str("any"),
+            PeerRef::Peer(p) => f.write_str(p),
+        }
+    }
+}
+
+/// The execution state of a service occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServiceState {
+    /// `s@p` — not yet started.
+    #[default]
+    Pending,
+    /// `◦s@p` — executing.
+    Running,
+    /// `•s@p` — finished.
+    Finished,
+}
+
+impl ServiceState {
+    fn prefix(&self) -> &'static str {
+        match self {
+            ServiceState::Pending => "",
+            ServiceState::Running => "◦",
+            ServiceState::Finished => "•",
+        }
+    }
+}
+
+/// A node identifier `♯x@p`: the place in a document at peer `peer` where a
+/// stream of results is expected.  Node identifiers are how the rewrite
+/// rules connect a `receive` at the consumer with a `send` at the producer;
+/// operationally they correspond to channels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    /// Local node name (`X`, `Y`, `M` in the paper's example).
+    pub node: String,
+    /// Peer hosting the node.
+    pub peer: String,
+}
+
+impl NodeRef {
+    /// Creates a node reference.
+    pub fn new(node: impl Into<String>, peer: impl Into<String>) -> Self {
+        NodeRef {
+            node: node.into(),
+            peer: peer.into(),
+        }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "♯{}@{}", self.node, self.peer)
+    }
+}
+
+/// Errors raised while manipulating algebraic expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgebraError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AlgebraError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        AlgebraError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "algebra error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// An algebraic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `l⟨e1, …, ek⟩` — an element labelled `label` with sub-expressions.
+    Label {
+        /// The element label.
+        label: String,
+        /// Sub-expressions.
+        children: Vec<Expr>,
+    },
+    /// Literal XML data already materialised.
+    Data(Element),
+    /// `d@p` — a document at a peer.
+    Document {
+        /// Document name.
+        name: String,
+        /// Hosting peer.
+        peer: PeerRef,
+    },
+    /// `s@p(e1, …, ek)` — a service call at a peer.
+    Service {
+        /// Service name (`σF`, `⋈P`, `∪`, `ΠT`, `publisher`, an alerter name, …).
+        name: String,
+        /// Hosting peer, possibly generic.
+        peer: PeerRef,
+        /// Execution state.
+        state: ServiceState,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `eval@p(e)` — peer `p` evaluates `e`.
+    Eval {
+        /// Evaluating peer.
+        peer: PeerRef,
+        /// Expression to evaluate.
+        expr: Box<Expr>,
+    },
+    /// `send@p(n@p', e)` — peer `p` sends the results of `e` to node `n@p'`.
+    Send {
+        /// Sending peer.
+        peer: PeerRef,
+        /// Destination node.
+        target: NodeRef,
+        /// Expression producing the data to send.
+        expr: Box<Expr>,
+    },
+    /// `♯x@p : ◦receive()` — peer `p` accepts data into node `x`.
+    Receive {
+        /// The node receiving the data.
+        node: NodeRef,
+    },
+    /// A free variable (used while compiling P2PML before binding).
+    Var(String),
+}
+
+impl Expr {
+    /// Convenience constructor for a pending service call.
+    pub fn service(name: impl Into<String>, peer: PeerRef, args: Vec<Expr>) -> Expr {
+        Expr::Service {
+            name: name.into(),
+            peer,
+            state: ServiceState::Pending,
+            args,
+        }
+    }
+
+    /// Convenience constructor for a generic (`@any`) service call.
+    pub fn generic(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::service(name, PeerRef::Any, args)
+    }
+
+    /// Convenience constructor for `eval@p(e)`.
+    pub fn eval(peer: impl Into<String>, expr: Expr) -> Expr {
+        Expr::Eval {
+            peer: PeerRef::peer(peer),
+            expr: Box::new(expr),
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Immediate sub-expressions.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Label { children, .. } => children.iter().collect(),
+            Expr::Service { args, .. } => args.iter().collect(),
+            Expr::Eval { expr, .. } | Expr::Send { expr, .. } => vec![expr.as_ref()],
+            Expr::Data(_) | Expr::Document { .. } | Expr::Receive { .. } | Expr::Var(_) => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// All concrete peers mentioned anywhere in the expression.
+    pub fn peers(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_peers(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_peers(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Document { peer, .. } => {
+                if let Some(p) = peer.as_peer() {
+                    out.push(p.to_string());
+                }
+            }
+            Expr::Service { peer, args, .. } => {
+                if let Some(p) = peer.as_peer() {
+                    out.push(p.to_string());
+                }
+                for a in args {
+                    a.collect_peers(out);
+                }
+            }
+            Expr::Eval { peer, expr } => {
+                if let Some(p) = peer.as_peer() {
+                    out.push(p.to_string());
+                }
+                expr.collect_peers(out);
+            }
+            Expr::Send { peer, target, expr } => {
+                if let Some(p) = peer.as_peer() {
+                    out.push(p.to_string());
+                }
+                out.push(target.peer.clone());
+                expr.collect_peers(out);
+            }
+            Expr::Receive { node } => out.push(node.peer.clone()),
+            Expr::Label { children, .. } => {
+                for c in children {
+                    c.collect_peers(out);
+                }
+            }
+            Expr::Data(_) | Expr::Var(_) => {}
+        }
+    }
+
+    /// True when every service in the expression is concrete (no `@any`).
+    pub fn is_concrete(&self) -> bool {
+        match self {
+            Expr::Service { peer, args, .. } => {
+                !peer.is_any() && args.iter().all(Expr::is_concrete)
+            }
+            Expr::Document { peer, .. } => !peer.is_any(),
+            Expr::Eval { peer, expr } => !peer.is_any() && expr.is_concrete(),
+            Expr::Send { peer, expr, .. } => !peer.is_any() && expr.is_concrete(),
+            Expr::Label { children, .. } => children.iter().all(Expr::is_concrete),
+            Expr::Data(_) | Expr::Receive { .. } | Expr::Var(_) => true,
+        }
+    }
+
+    /// Replaces every generic (`@any`) service and document with the given
+    /// concrete peer.  This is the simplest placement strategy; the optimizer
+    /// in `p2pmon-core` makes finer-grained decisions before calling this for
+    /// anything still generic.
+    pub fn concretize(&mut self, default_peer: &str) {
+        match self {
+            Expr::Service { peer, args, .. } => {
+                if peer.is_any() {
+                    *peer = PeerRef::peer(default_peer);
+                }
+                for a in args {
+                    a.concretize(default_peer);
+                }
+            }
+            Expr::Document { peer, .. } => {
+                if peer.is_any() {
+                    *peer = PeerRef::peer(default_peer);
+                }
+            }
+            Expr::Eval { peer, expr } => {
+                if peer.is_any() {
+                    *peer = PeerRef::peer(default_peer);
+                }
+                expr.concretize(default_peer);
+            }
+            Expr::Send { peer, expr, .. } => {
+                if peer.is_any() {
+                    *peer = PeerRef::peer(default_peer);
+                }
+                expr.concretize(default_peer);
+            }
+            Expr::Label { children, .. } => {
+                for c in children {
+                    c.concretize(default_peer);
+                }
+            }
+            Expr::Data(_) | Expr::Receive { .. } | Expr::Var(_) => {}
+        }
+    }
+
+    /// Marks the outermost service of the expression as running (`◦`).
+    pub fn mark_running(&mut self) {
+        if let Expr::Service { state, .. } = self {
+            *state = ServiceState::Running;
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression in the paper's notation, e.g.
+    /// `eval@p(publisher@p(ΠT@meteo.com(...)))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Label { label, children } => {
+                write!(f, "{label}⟨")?;
+                write_list(f, children)?;
+                f.write_str("⟩")
+            }
+            Expr::Data(e) => write!(f, "«{}»", e.name),
+            Expr::Document { name, peer } => write!(f, "{name}@{peer}"),
+            Expr::Service {
+                name,
+                peer,
+                state,
+                args,
+            } => {
+                write!(f, "{}{}@{}(", state.prefix(), name, peer)?;
+                write_list(f, args)?;
+                f.write_str(")")
+            }
+            Expr::Eval { peer, expr } => write!(f, "eval@{peer}({expr})"),
+            Expr::Send { peer, target, expr } => {
+                write!(f, "send@{peer}({target}, {expr})")
+            }
+            Expr::Receive { node } => write!(f, "{node} : ◦receive()"),
+            Expr::Var(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+fn write_list(f: &mut fmt::Formatter<'_>, exprs: &[Expr]) -> fmt::Result {
+    for (i, e) in exprs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{e}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Section 3.3 example plan (before placement):
+    /// `eval@p(publisher(ΠT(⋈P(∪(σF(out@a.com), σF(out@b.com)), σF'(in@meteo.com)))))`.
+    pub(crate) fn meteo_plan() -> Expr {
+        let out_a = Expr::service("outCOM", PeerRef::peer("a.com"), vec![]);
+        let out_b = Expr::service("outCOM", PeerRef::peer("b.com"), vec![]);
+        let in_m = Expr::service("inCOM", PeerRef::peer("meteo.com"), vec![]);
+        let sigma_a = Expr::generic("sigma_F", vec![out_a]);
+        let sigma_b = Expr::generic("sigma_F", vec![out_b]);
+        let union = Expr::generic("union", vec![sigma_a, sigma_b]);
+        let sigma_in = Expr::generic("sigma_F2", vec![in_m]);
+        let join = Expr::generic("join_P", vec![union, sigma_in]);
+        let pi = Expr::generic("pi_T", vec![join]);
+        let publisher = Expr::generic("publisher", vec![pi]);
+        Expr::eval("p", publisher)
+    }
+
+    #[test]
+    fn size_and_peers() {
+        let plan = meteo_plan();
+        assert_eq!(plan.size(), 11);
+        assert_eq!(plan.peers(), vec!["a.com", "b.com", "meteo.com", "p"]);
+    }
+
+    #[test]
+    fn generic_services_are_not_concrete_until_concretized() {
+        let mut plan = meteo_plan();
+        assert!(!plan.is_concrete());
+        plan.concretize("meteo.com");
+        assert!(plan.is_concrete());
+        assert!(plan.peers().contains(&"meteo.com".to_string()));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let plan = meteo_plan();
+        let s = plan.to_string();
+        assert!(s.starts_with("eval@p(publisher@any("), "{s}");
+        assert!(s.contains("outCOM@a.com()"), "{s}");
+    }
+
+    #[test]
+    fn running_state_prefix() {
+        let mut svc = Expr::service("join_P", PeerRef::peer("meteo.com"), vec![]);
+        svc.mark_running();
+        assert!(svc.to_string().starts_with("◦join_P@meteo.com"));
+    }
+
+    #[test]
+    fn node_ref_display() {
+        assert_eq!(NodeRef::new("X", "b.com").to_string(), "♯X@b.com");
+    }
+
+    #[test]
+    fn receive_display() {
+        let r = Expr::Receive {
+            node: NodeRef::new("M", "p"),
+        };
+        assert_eq!(r.to_string(), "♯M@p : ◦receive()");
+    }
+}

@@ -1,0 +1,263 @@
+//! A versioned ActiveXML document repository.
+//!
+//! The paper's ActiveXML alerter "detects updates to the ActiveXML peer's
+//! repository".  This module is that repository: a named collection of
+//! documents with insert/replace/delete operations, a version counter and an
+//! update log that the alerter drains into its output stream.
+
+use std::collections::BTreeMap;
+
+use p2pmon_xmlkit::{diff_elements, DiffOp, Element};
+
+/// The kind of update applied to a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// A new document was inserted.
+    Insert,
+    /// An existing document was replaced with new content.
+    Replace,
+    /// A document was deleted.
+    Delete,
+}
+
+impl UpdateKind {
+    /// Stable string tag used in alert XML.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UpdateKind::Insert => "insert",
+            UpdateKind::Replace => "replace",
+            UpdateKind::Delete => "delete",
+        }
+    }
+}
+
+/// An update event recorded by the repository.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateEvent {
+    /// Monotonically increasing sequence number, repository-wide.
+    pub sequence: u64,
+    /// The peer owning the repository.
+    pub peer: String,
+    /// Name of the affected document.
+    pub document: String,
+    /// What happened.
+    pub kind: UpdateKind,
+    /// Version of the document after the update (1 for first insert).
+    pub version: u64,
+    /// Structural delta against the previous version (empty for inserts and
+    /// deletes).
+    pub delta: Vec<DiffOp>,
+}
+
+impl UpdateEvent {
+    /// Renders the event as the alert XML the ActiveXML alerter emits.
+    pub fn to_alert(&self) -> Element {
+        let mut alert = Element::new("axmlUpdate");
+        alert.set_attr("peer", self.peer.clone());
+        alert.set_attr("document", self.document.clone());
+        alert.set_attr("kind", self.kind.as_str());
+        alert.set_attr("version", self.version.to_string());
+        alert.set_attr("sequence", self.sequence.to_string());
+        if !self.delta.is_empty() {
+            let mut delta = Element::new("delta");
+            for op in &self.delta {
+                let mut change = Element::new("change");
+                change.set_attr("kind", op.kind());
+                delta.push_element(change);
+            }
+            alert.push_element(delta);
+        }
+        alert
+    }
+}
+
+/// A stored document with its version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxmlDocument {
+    /// Document name (unique within the repository).
+    pub name: String,
+    /// Current content.
+    pub content: Element,
+    /// Version, starting at 1.
+    pub version: u64,
+}
+
+/// A named collection of ActiveXML documents hosted by one peer.
+#[derive(Debug, Clone)]
+pub struct Repository {
+    peer: String,
+    documents: BTreeMap<String, AxmlDocument>,
+    events: Vec<UpdateEvent>,
+    next_sequence: u64,
+}
+
+impl Repository {
+    /// Creates an empty repository for the given peer.
+    pub fn new(peer: impl Into<String>) -> Self {
+        Repository {
+            peer: peer.into(),
+            documents: BTreeMap::new(),
+            events: Vec::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// The owning peer's identifier.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Number of documents currently stored.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True when the repository holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Looks up a document.
+    pub fn get(&self, name: &str) -> Option<&AxmlDocument> {
+        self.documents.get(name)
+    }
+
+    /// All document names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.documents.keys().map(String::as_str).collect()
+    }
+
+    /// Inserts a new document or replaces the existing one, recording the
+    /// corresponding update event (with a structural delta on replace).
+    pub fn insert(&mut self, name: impl Into<String>, content: Element) -> &UpdateEvent {
+        let name = name.into();
+        let (kind, version, delta) = match self.documents.get(&name) {
+            Some(existing) => (
+                UpdateKind::Replace,
+                existing.version + 1,
+                diff_elements(&existing.content, &content),
+            ),
+            None => (UpdateKind::Insert, 1, Vec::new()),
+        };
+        self.documents.insert(
+            name.clone(),
+            AxmlDocument {
+                name: name.clone(),
+                content,
+                version,
+            },
+        );
+        self.record(name, kind, version, delta)
+    }
+
+    /// Deletes a document; returns `false` when it did not exist.
+    pub fn delete(&mut self, name: &str) -> bool {
+        match self.documents.remove(name) {
+            Some(doc) => {
+                self.record(name.to_string(), UpdateKind::Delete, doc.version, Vec::new());
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn record(
+        &mut self,
+        document: String,
+        kind: UpdateKind,
+        version: u64,
+        delta: Vec<DiffOp>,
+    ) -> &UpdateEvent {
+        let event = UpdateEvent {
+            sequence: self.next_sequence,
+            peer: self.peer.clone(),
+            document,
+            kind,
+            version,
+            delta,
+        };
+        self.next_sequence += 1;
+        self.events.push(event);
+        self.events.last().expect("just pushed")
+    }
+
+    /// All events recorded so far (the alerter typically drains them instead).
+    pub fn events(&self) -> &[UpdateEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all pending events; this is what the ActiveXML
+    /// alerter calls on each tick.
+    pub fn drain_events(&mut self) -> Vec<UpdateEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    #[test]
+    fn insert_replace_delete_lifecycle() {
+        let mut repo = Repository::new("edos-server");
+        repo.insert("packages", parse("<packages><pkg name=\"a\"/></packages>").unwrap());
+        repo.insert(
+            "packages",
+            parse("<packages><pkg name=\"a\"/><pkg name=\"b\"/></packages>").unwrap(),
+        );
+        assert!(repo.delete("packages"));
+        assert!(!repo.delete("packages"));
+
+        let events = repo.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, UpdateKind::Insert);
+        assert_eq!(events[0].version, 1);
+        assert_eq!(events[1].kind, UpdateKind::Replace);
+        assert_eq!(events[1].version, 2);
+        assert!(!events[1].delta.is_empty(), "replace carries a delta");
+        assert_eq!(events[2].kind, UpdateKind::Delete);
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn sequences_are_monotonic_across_documents() {
+        let mut repo = Repository::new("p");
+        repo.insert("a", Element::new("a"));
+        repo.insert("b", Element::new("b"));
+        repo.insert("a", Element::new("a2"));
+        let seqs: Vec<u64> = repo.events().iter().map(|e| e.sequence).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let mut repo = Repository::new("p");
+        repo.insert("a", Element::new("a"));
+        assert_eq!(repo.drain_events().len(), 1);
+        assert!(repo.events().is_empty());
+    }
+
+    #[test]
+    fn alert_xml_carries_metadata() {
+        let mut repo = Repository::new("p7");
+        repo.insert("doc", parse("<d><x>1</x></d>").unwrap());
+        repo.insert("doc", parse("<d><x>2</x></d>").unwrap());
+        let alert = repo.events()[1].to_alert();
+        assert_eq!(alert.name, "axmlUpdate");
+        assert_eq!(alert.attr("peer"), Some("p7"));
+        assert_eq!(alert.attr("kind"), Some("replace"));
+        assert_eq!(alert.attr("version"), Some("2"));
+        assert!(alert.child("delta").is_some());
+    }
+
+    #[test]
+    fn get_and_names() {
+        let mut repo = Repository::new("p");
+        repo.insert("z", Element::new("z"));
+        repo.insert("a", Element::new("a"));
+        assert_eq!(repo.names(), vec!["a", "z"]);
+        assert_eq!(repo.get("z").unwrap().version, 1);
+        assert!(repo.get("missing").is_none());
+    }
+}

@@ -1,0 +1,396 @@
+//! Rewrite rules of the ActiveXML algebra (Section 3.3–3.4).
+//!
+//! The two central rules:
+//!
+//! 1. **Local service invocation** — `eval@p(s@p(…, tᵢ, …))` becomes
+//!    `◦s@p(…, eval@p(tᵢ), …)`: the evaluation request dissolves into the
+//!    service itself, which now runs locally, and the arguments are evaluated
+//!    in place.
+//!
+//! 2. **External service invocation** — when peer `p` evaluates a service
+//!    located at another peer `p'`, the call is split: `p` installs a
+//!    `receive()` at a fresh node `♯x@p`, and `p'` is asked to evaluate the
+//!    service and `send` its (stream of) results to that node.  Operationally
+//!    the node corresponds to a channel published by `p'` with `p` as first
+//!    subscriber — the very mechanism Section 3.4 uses to connect the four
+//!    peers of the meteo example.
+//!
+//! [`rewrite_distributed`] applies the rules exhaustively, turning a placed,
+//! concrete plan into a set of concurrent per-peer expressions; the
+//! [`extract_peer_tasks`] helper groups them by peer so that the Subscription
+//! Manager can ship each fragment to its executor.
+
+use std::fmt;
+
+use crate::algebra::{AlgebraError, Expr, NodeRef, PeerRef, ServiceState};
+
+/// A fragment of the rewritten plan to be executed at one peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerTask {
+    /// The peer responsible for this fragment.
+    pub peer: String,
+    /// The expression the peer executes.
+    pub expr: Expr,
+}
+
+impl fmt::Display for PeerTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "% at {}\n{}", self.peer, self.expr)
+    }
+}
+
+/// Statistics about a rewrite, used by the optimizer to compare plans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Number of `send`/`receive` pairs introduced — i.e. channels that will
+    /// carry data between peers at run time.
+    pub channels: usize,
+    /// Number of local-invocation rule applications.
+    pub local_invocations: usize,
+}
+
+/// Applies the rewrite rules to a *concrete* plan rooted at `eval@p(…)`.
+///
+/// Returns the list of concurrent per-peer expressions (the "&"-separated
+/// actions of the paper) together with rewrite statistics.  Fails when the
+/// plan still contains generic (`@any`) services, because placement must
+/// happen before distribution.
+pub fn rewrite_distributed(plan: &Expr) -> Result<(Vec<PeerTask>, RewriteStats), AlgebraError> {
+    if !plan.is_concrete() {
+        return Err(AlgebraError::new(
+            "plan contains generic @any services; run placement first",
+        ));
+    }
+    let root_peer = match plan {
+        Expr::Eval { peer, .. } => peer
+            .as_peer()
+            .ok_or_else(|| AlgebraError::new("root eval must name a concrete peer"))?
+            .to_string(),
+        _ => {
+            return Err(AlgebraError::new(
+                "distributed rewriting expects a plan rooted at eval@p(…)",
+            ))
+        }
+    };
+
+    let mut ctx = RewriteContext {
+        tasks: Vec::new(),
+        stats: RewriteStats::default(),
+        next_node: 0,
+    };
+    let inner = match plan {
+        Expr::Eval { expr, .. } => expr.as_ref().clone(),
+        _ => unreachable!("checked above"),
+    };
+    let rewritten = ctx.localize(inner, &root_peer)?;
+    ctx.tasks.insert(
+        0,
+        PeerTask {
+            peer: root_peer,
+            expr: rewritten,
+        },
+    );
+    Ok((ctx.tasks, ctx.stats))
+}
+
+/// Groups per-peer tasks by peer, preserving order of first appearance.
+/// Several fragments may land on the same peer (e.g. a filter and a join).
+pub fn extract_peer_tasks(tasks: &[PeerTask]) -> Vec<(String, Vec<&Expr>)> {
+    let mut grouped: Vec<(String, Vec<&Expr>)> = Vec::new();
+    for task in tasks {
+        match grouped.iter_mut().find(|(p, _)| *p == task.peer) {
+            Some((_, exprs)) => exprs.push(&task.expr),
+            None => grouped.push((task.peer.clone(), vec![&task.expr])),
+        }
+    }
+    grouped
+}
+
+struct RewriteContext {
+    tasks: Vec<PeerTask>,
+    stats: RewriteStats,
+    next_node: usize,
+}
+
+impl RewriteContext {
+    fn fresh_node(&mut self, peer: &str) -> NodeRef {
+        // Node names follow the paper's X, Y, Z, … then X1, X2, …
+        const NAMES: [&str; 6] = ["X", "Y", "Z", "M", "N", "O"];
+        let name = if self.next_node < NAMES.len() {
+            NAMES[self.next_node].to_string()
+        } else {
+            format!("X{}", self.next_node - NAMES.len() + 1)
+        };
+        self.next_node += 1;
+        NodeRef::new(name, peer)
+    }
+
+    /// Rewrites `expr` so that everything remaining in the returned
+    /// expression executes at `host`.  Sub-expressions located at other peers
+    /// are split off as separate tasks connected through send/receive.
+    fn localize(&mut self, expr: Expr, host: &str) -> Result<Expr, AlgebraError> {
+        match expr {
+            Expr::Service {
+                name,
+                peer,
+                state: _,
+                args,
+            } => {
+                let service_peer = peer
+                    .as_peer()
+                    .ok_or_else(|| AlgebraError::new(format!("service {name} is still generic")))?
+                    .to_string();
+                if service_peer == host {
+                    // Local invocation rule: run here, localize arguments.
+                    self.stats.local_invocations += 1;
+                    let mut new_args = Vec::with_capacity(args.len());
+                    for a in args {
+                        new_args.push(self.localize(a, host)?);
+                    }
+                    Ok(Expr::Service {
+                        name,
+                        peer: PeerRef::peer(service_peer),
+                        state: ServiceState::Running,
+                        args: new_args,
+                    })
+                } else {
+                    // External invocation rule: receive here, delegate there.
+                    let node = self.fresh_node(host);
+                    self.stats.channels += 1;
+                    // The remote side evaluates the service (localized to the
+                    // remote peer) and sends results to our node.
+                    let remote_expr = self.localize(
+                        Expr::Service {
+                            name,
+                            peer: PeerRef::peer(service_peer.clone()),
+                            state: ServiceState::Pending,
+                            args,
+                        },
+                        &service_peer,
+                    )?;
+                    self.tasks.push(PeerTask {
+                        peer: service_peer.clone(),
+                        expr: Expr::Send {
+                            peer: PeerRef::peer(service_peer),
+                            target: node.clone(),
+                            expr: Box::new(remote_expr),
+                        },
+                    });
+                    Ok(Expr::Receive { node })
+                }
+            }
+            Expr::Eval { peer, expr } => {
+                // A nested eval collapses into localization at its peer.
+                let eval_peer = peer
+                    .as_peer()
+                    .ok_or_else(|| AlgebraError::new("eval at generic peer"))?
+                    .to_string();
+                if eval_peer == host {
+                    self.localize(*expr, host)
+                } else {
+                    let node = self.fresh_node(host);
+                    self.stats.channels += 1;
+                    let remote = self.localize(*expr, &eval_peer)?;
+                    self.tasks.push(PeerTask {
+                        peer: eval_peer.clone(),
+                        expr: Expr::Send {
+                            peer: PeerRef::peer(eval_peer),
+                            target: node.clone(),
+                            expr: Box::new(remote),
+                        },
+                    });
+                    Ok(Expr::Receive { node })
+                }
+            }
+            Expr::Label { label, children } => {
+                let mut new_children = Vec::with_capacity(children.len());
+                for c in children {
+                    new_children.push(self.localize(c, host)?);
+                }
+                Ok(Expr::Label {
+                    label,
+                    children: new_children,
+                })
+            }
+            Expr::Document { name, peer } => {
+                let doc_peer = peer
+                    .as_peer()
+                    .ok_or_else(|| AlgebraError::new("document at generic peer"))?;
+                if doc_peer == host {
+                    Ok(Expr::Document {
+                        name,
+                        peer: PeerRef::peer(doc_peer.to_string()),
+                    })
+                } else {
+                    // Remote document access becomes a read service delegated
+                    // to the hosting peer.
+                    let doc_peer = doc_peer.to_string();
+                    self.localize(
+                        Expr::Service {
+                            name: format!("read:{name}"),
+                            peer: PeerRef::peer(doc_peer),
+                            state: ServiceState::Pending,
+                            args: vec![],
+                        },
+                        host,
+                    )
+                }
+            }
+            leaf @ (Expr::Data(_) | Expr::Receive { .. } | Expr::Var(_)) => Ok(leaf),
+            Expr::Send { .. } => Err(AlgebraError::new(
+                "send may not appear in a plan before rewriting",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Expr;
+
+    /// The placed plan of Section 3.4:
+    /// `eval@p(publisher@p(ΠT@meteo(⋈P@meteo(∪@b(σF@a(out@a), σF@b(out@b)), σF'@meteo(in@meteo)))))`.
+    fn placed_meteo_plan() -> Expr {
+        let out_a = Expr::service("outCOM", PeerRef::peer("a.com"), vec![]);
+        let out_b = Expr::service("outCOM", PeerRef::peer("b.com"), vec![]);
+        let in_m = Expr::service("inCOM", PeerRef::peer("meteo.com"), vec![]);
+        let sigma_a = Expr::service("sigma_F", PeerRef::peer("a.com"), vec![out_a]);
+        let sigma_b = Expr::service("sigma_F", PeerRef::peer("b.com"), vec![out_b]);
+        let union = Expr::service("union", PeerRef::peer("b.com"), vec![sigma_a, sigma_b]);
+        let sigma_in = Expr::service("sigma_F2", PeerRef::peer("meteo.com"), vec![in_m]);
+        let join = Expr::service("join_P", PeerRef::peer("meteo.com"), vec![union, sigma_in]);
+        let pi = Expr::service("pi_T", PeerRef::peer("meteo.com"), vec![join]);
+        let publisher = Expr::service("publisher", PeerRef::peer("p"), vec![pi]);
+        Expr::eval("p", publisher)
+    }
+
+    #[test]
+    fn meteo_plan_rewrites_to_four_peer_tasks_and_three_channels() {
+        let plan = placed_meteo_plan();
+        let (tasks, stats) = rewrite_distributed(&plan).unwrap();
+        // One fragment per peer: p, meteo.com, b.com, a.com.
+        let peers: Vec<&str> = tasks.iter().map(|t| t.peer.as_str()).collect();
+        assert_eq!(peers.len(), 4, "{peers:?}");
+        assert!(peers.contains(&"p"));
+        assert!(peers.contains(&"meteo.com"));
+        assert!(peers.contains(&"b.com"));
+        assert!(peers.contains(&"a.com"));
+        // Three channels: a.com→b.com (X), b.com→meteo.com (Y), meteo.com→p (M
+        // in the paper; names differ but the count is what matters).
+        assert_eq!(stats.channels, 3);
+        assert!(stats.local_invocations >= 6);
+    }
+
+    #[test]
+    fn consumer_side_contains_receive_and_producer_side_contains_send() {
+        let plan = placed_meteo_plan();
+        let (tasks, _) = rewrite_distributed(&plan).unwrap();
+        let root = &tasks[0];
+        assert_eq!(root.peer, "p");
+        let root_str = root.expr.to_string();
+        assert!(root_str.contains("◦receive()"), "{root_str}");
+        let a_task = tasks.iter().find(|t| t.peer == "a.com").unwrap();
+        let a_str = a_task.expr.to_string();
+        assert!(a_str.starts_with("send@a.com("), "{a_str}");
+        assert!(a_str.contains("◦sigma_F@a.com(◦outCOM@a.com())"), "{a_str}");
+    }
+
+    #[test]
+    fn fully_local_plan_creates_no_channels() {
+        let local = Expr::eval(
+            "p",
+            Expr::service(
+                "sigma",
+                PeerRef::peer("p"),
+                vec![Expr::service("alerter", PeerRef::peer("p"), vec![])],
+            ),
+        );
+        let (tasks, stats) = rewrite_distributed(&local).unwrap();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(stats.channels, 0);
+        assert_eq!(stats.local_invocations, 2);
+    }
+
+    #[test]
+    fn generic_plan_is_rejected() {
+        let plan = Expr::eval("p", Expr::generic("sigma", vec![]));
+        let err = rewrite_distributed(&plan).unwrap_err();
+        assert!(err.message.contains("generic"));
+    }
+
+    #[test]
+    fn non_eval_root_is_rejected() {
+        let plan = Expr::generic("sigma", vec![]);
+        assert!(rewrite_distributed(&plan).is_err());
+    }
+
+    #[test]
+    fn remote_document_access_is_delegated() {
+        let plan = Expr::eval(
+            "p",
+            Expr::service(
+                "sigma",
+                PeerRef::peer("p"),
+                vec![Expr::Document {
+                    name: "catalog".into(),
+                    peer: PeerRef::peer("q"),
+                }],
+            ),
+        );
+        let (tasks, stats) = rewrite_distributed(&plan).unwrap();
+        assert_eq!(stats.channels, 1);
+        let q_task = tasks.iter().find(|t| t.peer == "q").unwrap();
+        assert!(q_task.expr.to_string().contains("read:catalog"));
+    }
+
+    #[test]
+    fn extract_groups_multiple_fragments_per_peer() {
+        // Two remote filters on the same peer produce two fragments there.
+        let plan = Expr::eval(
+            "p",
+            Expr::service(
+                "union",
+                PeerRef::peer("p"),
+                vec![
+                    Expr::service(
+                        "sigma1",
+                        PeerRef::peer("q"),
+                        vec![Expr::service("alerter", PeerRef::peer("q"), vec![])],
+                    ),
+                    Expr::service(
+                        "sigma2",
+                        PeerRef::peer("q"),
+                        vec![Expr::service("alerter", PeerRef::peer("q"), vec![])],
+                    ),
+                ],
+            ),
+        );
+        let (tasks, _) = rewrite_distributed(&plan).unwrap();
+        let grouped = extract_peer_tasks(&tasks);
+        let q = grouped.iter().find(|(p, _)| p == "q").unwrap();
+        assert_eq!(q.1.len(), 2);
+    }
+
+    #[test]
+    fn channel_count_grows_with_remote_sources() {
+        for n in 1..6usize {
+            let sources: Vec<Expr> = (0..n)
+                .map(|i| {
+                    Expr::service(
+                        "sigma",
+                        PeerRef::peer(format!("client{i}.com")),
+                        vec![Expr::service(
+                            "outCOM",
+                            PeerRef::peer(format!("client{i}.com")),
+                            vec![],
+                        )],
+                    )
+                })
+                .collect();
+            let plan = Expr::eval("hub", Expr::service("union", PeerRef::peer("hub"), sources));
+            let (_, stats) = rewrite_distributed(&plan).unwrap();
+            assert_eq!(stats.channels, n);
+        }
+    }
+}

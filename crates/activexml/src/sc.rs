@@ -1,0 +1,310 @@
+//! Service-call (`sc`) elements.
+//!
+//! An ActiveXML document is an XML document in which some elements denote
+//! calls to Web services.  Evaluating the call enriches the document with the
+//! result (typically replacing or appending at the call site).  In the
+//! monitoring setting, an alerter may ship a stream item containing an `sc`
+//! element instead of a large payload; the Filter only triggers the call if
+//! the cheap, attribute-level conditions already passed (Section 4).
+
+use p2pmon_xmlkit::{Element, Node};
+
+/// How the result of a call is merged back into the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeMode {
+    /// The result replaces the `sc` element (the paper's default).
+    #[default]
+    Replace,
+    /// The result is appended as a sibling after the `sc` element, keeping
+    /// the call available for later refresh.
+    Append,
+}
+
+impl MergeMode {
+    /// Parses the `mode` attribute of an `sc` element.
+    pub fn from_attr(value: Option<&str>) -> MergeMode {
+        match value {
+            Some("append") => MergeMode::Append,
+            _ => MergeMode::Replace,
+        }
+    }
+
+    /// The attribute value used when serializing.
+    pub fn as_attr(&self) -> &'static str {
+        match self {
+            MergeMode::Replace => "replace",
+            MergeMode::Append => "append",
+        }
+    }
+}
+
+/// A parsed `sc` element: a call to `service` hosted at `address`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceCall {
+    /// Name of the remote service ("storage", "getPackageList", …).
+    pub service: String,
+    /// Peer (or URL) hosting the service.
+    pub address: String,
+    /// Call parameters, passed through verbatim.
+    pub parameters: Vec<Element>,
+    /// How the result is merged back.
+    pub merge: MergeMode,
+}
+
+impl ServiceCall {
+    /// Creates a new call description.
+    pub fn new(service: impl Into<String>, address: impl Into<String>) -> Self {
+        ServiceCall {
+            service: service.into(),
+            address: address.into(),
+            parameters: Vec::new(),
+            merge: MergeMode::Replace,
+        }
+    }
+
+    /// Adds a parameter element.
+    pub fn with_parameter(mut self, parameter: Element) -> Self {
+        self.parameters.push(parameter);
+        self
+    }
+
+    /// Sets the merge mode.
+    pub fn with_merge(mut self, merge: MergeMode) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// True if `element` is an `sc` element.
+    pub fn is_sc(element: &Element) -> bool {
+        element.name == "sc" && element.attr("service").is_some()
+    }
+
+    /// Parses an `sc` element, if it is one.
+    pub fn from_element(element: &Element) -> Option<ServiceCall> {
+        if !Self::is_sc(element) {
+            return None;
+        }
+        let service = element.attr("service")?.to_string();
+        let address = element.attr("address").unwrap_or("any").to_string();
+        let parameters = element
+            .child("parameters")
+            .map(|p| p.child_elements().cloned().collect())
+            .unwrap_or_default();
+        Some(ServiceCall {
+            service,
+            address,
+            parameters,
+            merge: MergeMode::from_attr(element.attr("mode")),
+        })
+    }
+
+    /// Serializes the call back to an `sc` element.
+    pub fn to_element(&self) -> Element {
+        let mut sc = Element::new("sc");
+        sc.set_attr("service", self.service.clone());
+        sc.set_attr("address", self.address.clone());
+        if self.merge != MergeMode::Replace {
+            sc.set_attr("mode", self.merge.as_attr());
+        }
+        if !self.parameters.is_empty() {
+            let mut params = Element::new("parameters");
+            for p in &self.parameters {
+                params.push_element(p.clone());
+            }
+            sc.push_element(params);
+        }
+        sc
+    }
+
+    /// Finds every service call embedded anywhere in a document.
+    pub fn find_in(document: &Element) -> Vec<ServiceCall> {
+        let mut out = Vec::new();
+        document.walk(&mut |e| {
+            if let Some(call) = ServiceCall::from_element(e) {
+                out.push(call);
+            }
+        });
+        out
+    }
+
+    /// True if the document contains at least one unevaluated service call.
+    /// Documents with calls are *intensional*: part of their content is only
+    /// available on demand.
+    pub fn document_is_intensional(document: &Element) -> bool {
+        let mut found = false;
+        document.walk(&mut |e| {
+            if ServiceCall::is_sc(e) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Materializes every `sc` element in `document` using `resolver`, which maps
+/// a [`ServiceCall`] to the elements it evaluates to (an error string when
+/// the call fails).  Returns the number of calls performed.
+///
+/// With [`MergeMode::Replace`] the `sc` subtree is replaced by the results;
+/// with [`MergeMode::Append`] results are inserted after it.
+pub fn materialize(
+    document: &mut Element,
+    resolver: &mut dyn FnMut(&ServiceCall) -> Result<Vec<Element>, String>,
+) -> Result<usize, String> {
+    let mut calls_made = 0usize;
+    materialize_children(document, resolver, &mut calls_made)?;
+    Ok(calls_made)
+}
+
+fn materialize_children(
+    element: &mut Element,
+    resolver: &mut dyn FnMut(&ServiceCall) -> Result<Vec<Element>, String>,
+    calls_made: &mut usize,
+) -> Result<(), String> {
+    let mut idx = 0;
+    while idx < element.children.len() {
+        let replacement = match &element.children[idx] {
+            Node::Element(child) if ServiceCall::is_sc(child) => {
+                let call = ServiceCall::from_element(child)
+                    .ok_or_else(|| "malformed sc element".to_string())?;
+                let results = resolver(&call)?;
+                *calls_made += 1;
+                Some((call.merge, results))
+            }
+            _ => None,
+        };
+        match replacement {
+            Some((MergeMode::Replace, results)) => {
+                element.children.remove(idx);
+                for (offset, r) in results.into_iter().enumerate() {
+                    element.children.insert(idx + offset, Node::Element(r));
+                }
+            }
+            Some((MergeMode::Append, results)) => {
+                let mut insert_at = idx + 1;
+                for r in results {
+                    element.children.insert(insert_at, Node::Element(r));
+                    insert_at += 1;
+                }
+                idx = insert_at;
+            }
+            None => {
+                if let Node::Element(child) = &mut element.children[idx] {
+                    materialize_children(child, resolver, calls_made)?;
+                }
+                idx += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    fn doc_with_call() -> Element {
+        parse(
+            r#"<root attr1="x" attr2="y">
+                 <sc service="storage" address="site">
+                   <parameters><key>42</key></parameters>
+                 </sc>
+               </root>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_sc_element() {
+        let doc = doc_with_call();
+        let calls = ServiceCall::find_in(&doc);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].service, "storage");
+        assert_eq!(calls[0].address, "site");
+        assert_eq!(calls[0].parameters.len(), 1);
+        assert_eq!(calls[0].merge, MergeMode::Replace);
+        assert!(ServiceCall::document_is_intensional(&doc));
+    }
+
+    #[test]
+    fn sc_round_trip() {
+        let call = ServiceCall::new("getTemp", "meteo.com")
+            .with_parameter(Element::text_element("city", "Orsay"))
+            .with_merge(MergeMode::Append);
+        let el = call.to_element();
+        assert_eq!(ServiceCall::from_element(&el), Some(call));
+    }
+
+    #[test]
+    fn materialize_replaces_call_with_result() {
+        let mut doc = doc_with_call();
+        let n = materialize(&mut doc, &mut |call| {
+            assert_eq!(call.service, "storage");
+            Ok(vec![parse("<c><d>payload</d></c>").unwrap()])
+        })
+        .unwrap();
+        assert_eq!(n, 1);
+        assert!(!ServiceCall::document_is_intensional(&doc));
+        assert!(doc.find_descendant("d").is_some());
+        // The paper's example: //c/d becomes true only after materialization.
+        let p = p2pmon_xmlkit::XPath::parse("//c/d").unwrap();
+        assert!(p.matches(&doc));
+    }
+
+    #[test]
+    fn materialize_append_keeps_call() {
+        let mut doc = parse(
+            r#"<root><sc service="s" address="a" mode="append"/></root>"#,
+        )
+        .unwrap();
+        materialize(&mut doc, &mut |_| Ok(vec![Element::new("result")])).unwrap();
+        assert!(ServiceCall::document_is_intensional(&doc));
+        assert!(doc.child("result").is_some());
+    }
+
+    #[test]
+    fn materialize_propagates_failures() {
+        let mut doc = doc_with_call();
+        let err = materialize(&mut doc, &mut |_| Err("service unreachable".into()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nested_calls_are_found_and_materialized() {
+        let mut doc = parse(
+            r#"<root><wrap><sc service="inner" address="p"/></wrap><sc service="outer" address="q"/></root>"#,
+        )
+        .unwrap();
+        assert_eq!(ServiceCall::find_in(&doc).len(), 2);
+        let n = materialize(&mut doc, &mut |c| {
+            Ok(vec![Element::text_element("from", c.service.clone())])
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(doc.find_descendant("from").unwrap().text(), "inner");
+    }
+
+    #[test]
+    fn non_sc_elements_untouched() {
+        let mut doc = parse("<root><sc/><child/></root>").unwrap();
+        // `sc` without a service attribute is not a service call.
+        let n = materialize(&mut doc, &mut |_| Ok(vec![])).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(doc.child_elements().count(), 2);
+    }
+
+    #[test]
+    fn multiple_results_inserted_in_order() {
+        let mut doc = parse(r#"<root><sc service="list" address="p"/></root>"#).unwrap();
+        materialize(&mut doc, &mut |_| {
+            Ok(vec![
+                Element::text_element("i", "1"),
+                Element::text_element("i", "2"),
+            ])
+        })
+        .unwrap();
+        let items: Vec<String> = doc.children_named("i").map(|e| e.text()).collect();
+        assert_eq!(items, vec!["1", "2"]);
+    }
+}

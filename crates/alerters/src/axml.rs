@@ -1,0 +1,131 @@
+//! The ActiveXML-repository alerter.
+//!
+//! "An ActiveXML alerter detects updates to the ActiveXML peer's repository."
+//! The repository itself lives in `p2pmon-activexml`; this alerter drains its
+//! update log and turns every event into an alert tree.
+
+use p2pmon_activexml::Repository;
+use p2pmon_xmlkit::Element;
+
+use crate::Alerter;
+
+/// The ActiveXML alerter attached to one repository.
+#[derive(Debug)]
+pub struct AxmlAlerter {
+    peer: String,
+    repository: Repository,
+    buffer: Vec<Element>,
+    /// Update events turned into alerts so far.
+    pub events_seen: u64,
+}
+
+impl AxmlAlerter {
+    /// Creates an alerter owning a fresh repository for `peer`.
+    pub fn new(peer: impl Into<String>) -> Self {
+        let peer = peer.into();
+        AxmlAlerter {
+            repository: Repository::new(peer.clone()),
+            peer,
+            buffer: Vec::new(),
+            events_seen: 0,
+        }
+    }
+
+    /// Wraps an existing repository.
+    pub fn with_repository(repository: Repository) -> Self {
+        AxmlAlerter {
+            peer: repository.peer().to_string(),
+            repository,
+            buffer: Vec::new(),
+            events_seen: 0,
+        }
+    }
+
+    /// The monitored repository (updates applied here produce alerts on the
+    /// next [`AxmlAlerter::poll`]).
+    pub fn repository_mut(&mut self) -> &mut Repository {
+        &mut self.repository
+    }
+
+    /// Read access to the repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Converts pending repository update events into buffered alerts;
+    /// returns how many were produced.
+    pub fn poll(&mut self) -> usize {
+        let events = self.repository.drain_events();
+        let produced = events.len();
+        self.events_seen += produced as u64;
+        self.buffer.extend(events.iter().map(|e| e.to_alert()));
+        produced
+    }
+}
+
+impl Alerter for AxmlAlerter {
+    fn kind(&self) -> &str {
+        "axmlUpdate"
+    }
+
+    fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    fn drain(&mut self) -> Vec<Element> {
+        // Pick up anything that happened since the last poll, too.
+        self.poll();
+        std::mem::take(&mut self.buffer)
+    }
+
+    fn pending(&self) -> usize {
+        self.buffer.len() + self.repository.events().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    #[test]
+    fn repository_updates_become_alerts() {
+        let mut a = AxmlAlerter::new("edos-master");
+        a.repository_mut()
+            .insert("packages", parse("<packages><pkg name=\"bash\"/></packages>").unwrap());
+        a.repository_mut().insert(
+            "packages",
+            parse("<packages><pkg name=\"bash\"/><pkg name=\"vim\"/></packages>").unwrap(),
+        );
+        a.repository_mut().delete("packages");
+        assert_eq!(a.pending(), 3);
+        let alerts = a.drain();
+        assert_eq!(alerts.len(), 3);
+        assert_eq!(alerts[0].attr("kind"), Some("insert"));
+        assert_eq!(alerts[1].attr("kind"), Some("replace"));
+        assert_eq!(alerts[2].attr("kind"), Some("delete"));
+        assert!(alerts.iter().all(|al| al.name == "axmlUpdate"));
+        assert!(alerts.iter().all(|al| al.attr("peer") == Some("edos-master")));
+        assert_eq!(a.events_seen, 3);
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn poll_then_drain_does_not_duplicate() {
+        let mut a = AxmlAlerter::new("p");
+        a.repository_mut().insert("d", Element::new("d"));
+        assert_eq!(a.poll(), 1);
+        assert_eq!(a.poll(), 0);
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(a.drain().len(), 0);
+    }
+
+    #[test]
+    fn wrapping_an_existing_repository() {
+        let mut repo = Repository::new("peer9");
+        repo.insert("doc", Element::new("doc"));
+        let mut a = AxmlAlerter::with_repository(repo);
+        assert_eq!(a.peer(), "peer9");
+        assert_eq!(a.drain().len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Experiment E8: the DHT-backed Stream Definition Database.
+//!
+//! The paper's claim: "One can efficiently discover streams of interest even
+//! when millions of streams have been declared by tens of thousands of
+//! peers" because the database lives in a KadoP-style index over a DHT.  The
+//! groups below measure discovery-query latency as the number of published
+//! streams and the number of DHT nodes grow; the expected shape is near-flat
+//! cost in the number of streams and O(log n) routing hops in the number of
+//! peers (hop counts are printed on stderr).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2pmon_bench::quick_criterion;
+use p2pmon_dht::{ChordNetwork, StreamDefinition, StreamDefinitionDatabase};
+
+fn populated_db(nodes: usize, streams: usize) -> StreamDefinitionDatabase {
+    let mut db = StreamDefinitionDatabase::new(ChordNetwork::with_nodes(nodes, 13));
+    for i in 0..streams {
+        let peer = format!("peer{}.example", i % (streams / 4).max(1));
+        db.publish(StreamDefinition::source(peer.clone(), format!("s{i}"), "inCOM"));
+        if i % 3 == 0 {
+            db.publish(StreamDefinition::derived(
+                peer.clone(),
+                format!("f{i}"),
+                "Filter",
+                format!("cond{}", i % 17),
+                vec![(peer, format!("s{i}"))],
+            ));
+        }
+    }
+    db
+}
+
+fn e8_discovery_vs_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_discovery_vs_streams");
+    for &streams in &[1_000usize, 10_000, 50_000] {
+        let mut db = populated_db(256, streams);
+        group.bench_with_input(BenchmarkId::new("find_alerter_stream", streams), &streams, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 97) % streams;
+                let peer = format!("peer{}.example", i % (streams / 4).max(1));
+                db.find_alerter_streams(black_box(&peer), "inCOM").len()
+            })
+        });
+        eprintln!(
+            "e8: {} streams on 256 nodes -> {:.2} avg hops per index operation",
+            streams,
+            db.index_stats().avg_hops()
+        );
+    }
+    group.finish();
+}
+
+fn e8_discovery_vs_peers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_discovery_vs_peers");
+    for &nodes in &[16usize, 128, 1_024, 4_096] {
+        let mut db = populated_db(nodes, 5_000);
+        group.bench_with_input(BenchmarkId::new("find_derived_stream", nodes), &nodes, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 31) % 5_000;
+                let peer = format!("peer{}.example", i % 1_250);
+                db.find_derived_streams(
+                    "Filter",
+                    &format!("cond{}", i % 17),
+                    &[(peer.clone(), format!("s{i}"))],
+                )
+                .len()
+            })
+        });
+        eprintln!(
+            "e8: {} DHT nodes -> {:.2} avg hops per index operation (log2 n = {:.1})",
+            nodes,
+            db.index_stats().avg_hops(),
+            (nodes as f64).log2()
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = e8_discovery_vs_streams, e8_discovery_vs_peers
+}
+criterion_main!(benches);

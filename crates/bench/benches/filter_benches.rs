@@ -1,0 +1,213 @@
+//! Experiments E2–E5: the Filter (Section 4).
+//!
+//! * **E2** — throughput of the two-stage FilterEngine vs. the naive
+//!   evaluate-everything baseline, as the number of subscriptions grows.
+//! * **E3** — the AES hash-tree vs. a linear scan over the subscriptions'
+//!   simple conditions.
+//! * **E4** — the shared YFilter NFA vs. matching every path query naively,
+//!   and the per-document pruning of YFilterσ.
+//! * **E5** — ActiveXML laziness: service calls avoided because the simple
+//!   conditions already rejected the document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2pmon_bench::quick_criterion;
+use p2pmon_filter::{FilterEngine, NaiveFilter, YFilter};
+use p2pmon_workloads::SubscriptionWorkload;
+use p2pmon_xmlkit::{parse, PathPattern};
+
+fn e2_filter_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_filter_throughput");
+    for &subs in &[100usize, 1_000, 10_000] {
+        let mut workload = SubscriptionWorkload::new(42);
+        let subscriptions = workload.subscriptions(subs);
+        let documents = workload.documents(64, 4, 3);
+        let mut engine = FilterEngine::from_subscriptions(subscriptions.clone());
+        let mut naive = NaiveFilter::from_subscriptions(subscriptions);
+
+        group.bench_with_input(BenchmarkId::new("two_stage", subs), &subs, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += engine.process(black_box(doc)).matched.len();
+                }
+                matched
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", subs), &subs, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += naive.matching(black_box(doc)).len();
+                }
+                matched
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e3_aes_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_aes_scaling");
+    for &subs in &[1_000usize, 10_000, 50_000] {
+        let mut workload = SubscriptionWorkload::new(7);
+        workload.complex_fraction = 0.0; // simple subscriptions only
+        let subscriptions = workload.subscriptions(subs);
+        let documents = workload.documents(64, 5, 0);
+        let mut engine = FilterEngine::from_subscriptions(subscriptions.clone());
+        eprintln!(
+            "e3: {} subscriptions -> {} AES hash-tree nodes",
+            subs,
+            engine.aes_node_count()
+        );
+        let mut naive = NaiveFilter::from_subscriptions(subscriptions);
+
+        group.bench_with_input(BenchmarkId::new("aes_hash_tree", subs), &subs, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += engine.process(black_box(doc)).matched.len();
+                }
+                matched
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", subs), &subs, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += naive.matching(black_box(doc)).len();
+                }
+                matched
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e4_yfilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_yfilter");
+    for &queries in &[1_000usize, 10_000] {
+        // Path queries sharing prefixes: //log/e{i mod 50}/t{i mod 7}.
+        let patterns: Vec<PathPattern> = (0..queries)
+            .map(|i| {
+                PathPattern::parse(&format!("//log/e{}/t{}", i % 50, i % 7)).expect("valid pattern")
+            })
+            .collect();
+        let mut yfilter = YFilter::from_patterns(patterns.clone());
+        eprintln!(
+            "e4: {} path queries -> {} NFA states (prefix sharing)",
+            queries,
+            yfilter.state_count()
+        );
+        let documents: Vec<_> = (0..32)
+            .map(|i| {
+                parse(&format!(
+                    "<root><log><e{}><t{}>x</t{}></e{}></log></root>",
+                    i % 50,
+                    i % 7,
+                    i % 7,
+                    i % 50
+                ))
+                .expect("valid doc")
+            })
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("shared_nfa", queries), &queries, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += yfilter.matching_queries(black_box(doc)).len();
+                }
+                matched
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_per_query", queries), &queries, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += patterns.iter().filter(|p| p.matches(black_box(doc))).count();
+                }
+                matched
+            })
+        });
+        // Pruned matching: only 10 subscriptions are active per document.
+        let allowed: Vec<usize> = (0..10).collect();
+        group.bench_with_input(BenchmarkId::new("pruned_active10", queries), &queries, |b, _| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for doc in &documents {
+                    matched += yfilter
+                        .matching_queries_filtered(black_box(doc), Some(&allowed))
+                        .len();
+                }
+                matched
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e5_lazy_service_calls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lazy_service_calls");
+    // The paper's example: attr conditions + //c/d over a document whose
+    // payload sits behind a storage service call.
+    let mut workload = SubscriptionWorkload::new(3);
+    workload.complex_fraction = 1.0;
+    let mut subscriptions = workload.subscriptions(500);
+    for s in &mut subscriptions {
+        s.complex = vec![PathPattern::parse("//c/d").unwrap()];
+    }
+    let documents: Vec<_> = (0..64)
+        .map(|i| {
+            parse(&format!(
+                r#"<alert extra{}="v{}" a1="v1"><sc service="storage" address="site"><parameters/></sc></alert>"#,
+                i % 20,
+                i % 10
+            ))
+            .expect("valid doc")
+        })
+        .collect();
+    let payload = parse("<c><d>big payload fetched on demand</d></c>").unwrap();
+
+    let mut lazy_engine = FilterEngine::from_subscriptions(subscriptions.clone());
+    group.bench_function("lazy_sc_materialization", |b| {
+        b.iter(|| {
+            let mut calls = 0usize;
+            for doc in &documents {
+                let (_, made) = lazy_engine
+                    .process_intensional(black_box(doc), &mut |_| Ok(vec![payload.clone()]));
+                calls += made;
+            }
+            calls
+        })
+    });
+
+    let mut eager_engine = FilterEngine::from_subscriptions(subscriptions);
+    group.bench_function("eager_materialize_everything", |b| {
+        b.iter(|| {
+            let mut calls = 0usize;
+            for doc in &documents {
+                let mut materialised = doc.clone();
+                calls += p2pmon_activexml::sc::materialize(&mut materialised, &mut |_| {
+                    Ok(vec![payload.clone()])
+                })
+                .unwrap_or(0);
+                eager_engine.process(black_box(&materialised));
+            }
+            calls
+        })
+    });
+    eprintln!(
+        "e5: lazy engine avoided {} service calls and made {}",
+        lazy_engine.stats.service_calls_avoided, lazy_engine.stats.service_calls_made
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = e2_filter_throughput, e3_aes_scaling, e4_yfilter, e5_lazy_service_calls
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Experiments E1, E6 and E7: the whole monitor over the simulated network.
+//!
+//! * **E1** — the Figure 1 / Figure 4 meteo QoS task end to end: alerts are
+//!   produced at `a.com`, `b.com` and `meteo.com`, filtered at the sources,
+//!   joined on `callId` at the server and published to the manager.
+//! * **E6** — the same task with selections pushed to the sources vs. a
+//!   centralised plan; the shape to reproduce is "pushdown moves fewer bytes
+//!   and fewer messages" (byte counts are printed on stderr).
+//! * **E7** — a second, overlapping subscription deployed with and without
+//!   stream reuse; reuse deploys fewer tasks and processes fewer operator
+//!   invocations per event.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use p2pmon_bench::quick_criterion;
+use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy};
+use p2pmon_p2pml::METEO_SUBSCRIPTION;
+use p2pmon_workloads::SoapWorkload;
+
+fn meteo_monitor(placement: PlacementStrategy, enable_reuse: bool) -> Monitor {
+    let mut monitor = Monitor::new(MonitorConfig {
+        placement,
+        enable_reuse,
+        ..MonitorConfig::default()
+    });
+    for peer in ["p", "observer.org", "a.com", "b.com", "meteo.com"] {
+        monitor.add_peer(peer);
+    }
+    monitor
+}
+
+fn e1_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_endtoend_meteo");
+    let calls = SoapWorkload::meteo(42).calls(200);
+    group.bench_function("deploy_and_process_200_calls", |b| {
+        b.iter(|| {
+            let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+            let handle = monitor.submit("p", METEO_SUBSCRIPTION).expect("deploys");
+            for call in &calls {
+                monitor.inject_soap_call(black_box(call));
+            }
+            monitor.run_until_idle();
+            monitor.results(&handle).len()
+        })
+    });
+    group.bench_function("compile_and_deploy_only", |b| {
+        b.iter(|| {
+            let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+            monitor.submit("p", black_box(METEO_SUBSCRIPTION)).expect("deploys")
+        })
+    });
+    group.finish();
+}
+
+fn e6_pushdown_vs_centralized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pushdown_vs_centralized");
+    let calls = SoapWorkload::meteo(7).calls(300);
+    for (label, placement) in [
+        ("pushdown", PlacementStrategy::PushToSources),
+        ("centralized", PlacementStrategy::Centralized),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut monitor = meteo_monitor(placement, false);
+                let handle = monitor.submit("p", METEO_SUBSCRIPTION).expect("deploys");
+                for call in &calls {
+                    monitor.inject_soap_call(black_box(call));
+                }
+                monitor.run_until_idle();
+                monitor.results(&handle).len()
+            })
+        });
+        // Report the traffic shape once per strategy.
+        let mut monitor = meteo_monitor(placement, false);
+        let handle = monitor.submit("p", METEO_SUBSCRIPTION).expect("deploys");
+        for call in &calls {
+            monitor.inject_soap_call(call);
+        }
+        monitor.run_until_idle();
+        eprintln!(
+            "e6 [{label}]: {} incidents, {} messages, {} bytes across the network",
+            monitor.results(&handle).len(),
+            monitor.network_stats().total_messages,
+            monitor.network_stats().total_bytes
+        );
+    }
+    group.finish();
+}
+
+fn e7_stream_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_stream_reuse");
+    let calls = SoapWorkload::meteo(11).calls(300);
+    for (label, enable_reuse) in [("with_reuse", true), ("without_reuse", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, enable_reuse);
+                let first = monitor.submit("p", METEO_SUBSCRIPTION).expect("deploys");
+                let second = monitor
+                    .submit("observer.org", METEO_SUBSCRIPTION)
+                    .expect("deploys");
+                for call in &calls {
+                    monitor.inject_soap_call(black_box(call));
+                }
+                monitor.run_until_idle();
+                monitor.results(&first).len() + monitor.results(&second).len()
+            })
+        });
+        let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, enable_reuse);
+        let _ = monitor.submit("p", METEO_SUBSCRIPTION);
+        let second = monitor.submit("observer.org", METEO_SUBSCRIPTION).expect("deploys");
+        for call in &calls {
+            monitor.inject_soap_call(call);
+        }
+        monitor.run_until_idle();
+        let report = monitor.report(&second).expect("report");
+        eprintln!(
+            "e7 [{label}]: second subscription deployed {} tasks ({} reused streams); \
+             total {} operator invocations, {} bytes on the wire",
+            report.tasks,
+            report.reuse.reused_nodes,
+            monitor.operator_invocations,
+            monitor.network_stats().total_bytes
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = e1_end_to_end, e6_pushdown_vs_centralized, e7_stream_reuse
+}
+criterion_main!(benches);

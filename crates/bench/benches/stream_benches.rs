@@ -1,0 +1,114 @@
+//! Experiments E9 and E10: stateful operators and workload-level throughput.
+//!
+//! * **E9** — the Join operator's throughput and retained state with and
+//!   without the garbage-collection window the paper lists as future work
+//!   (state sizes are printed on stderr).
+//! * **E10** — alerter + filter throughput on the two motivating workloads:
+//!   the Edos distribution network (package-query statistics) and the RSS
+//!   community portal (feed surveillance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2pmon_alerters::{Alerter, CallDirection, RssAlerter, WsAlerter};
+use p2pmon_bench::quick_criterion;
+use p2pmon_streams::ops::{Join, JoinSpec, Window};
+use p2pmon_streams::{Operator, StreamItem};
+use p2pmon_workloads::{EdosWorkload, RssWorkload, SoapWorkload};
+
+fn e9_join_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_join_gc");
+    // Two correlated streams: out-calls and in-calls with the same callId.
+    let calls = SoapWorkload::telecom(8, 5).calls(2_000);
+    let left: Vec<StreamItem> = calls
+        .iter()
+        .enumerate()
+        .map(|(i, call)| {
+            StreamItem::new(
+                i as u64,
+                call.call_timestamp,
+                WsAlerter::alert_for(call, CallDirection::Outgoing),
+            )
+        })
+        .collect();
+    let right: Vec<StreamItem> = calls
+        .iter()
+        .enumerate()
+        .map(|(i, call)| {
+            StreamItem::new(
+                i as u64,
+                call.response_timestamp,
+                WsAlerter::alert_for(call, CallDirection::Incoming),
+            )
+        })
+        .collect();
+
+    for (label, window) in [
+        ("unbounded_history", Window::unbounded()),
+        ("gc_window_256_items", Window::items(256)),
+        ("gc_window_500ms", Window::age_ms(500)),
+    ] {
+        group.bench_function(BenchmarkId::new("join", label), |b| {
+            b.iter(|| {
+                let mut join = Join::new(JoinSpec::on_attr("out", "in", "callId"), window);
+                let mut pairs = 0usize;
+                for (l, r) in left.iter().zip(&right) {
+                    pairs += join.on_item(0, black_box(l)).items.len();
+                    pairs += join.on_item(1, black_box(r)).items.len();
+                }
+                pairs
+            })
+        });
+        let mut join = Join::new(JoinSpec::on_attr("out", "in", "callId"), window);
+        for (l, r) in left.iter().zip(&right) {
+            join.on_item(0, l);
+            join.on_item(1, r);
+        }
+        eprintln!(
+            "e9 [{label}]: {} pairs emitted, {} items evicted, {} bytes of retained state",
+            join.emitted,
+            join.evicted,
+            join.state_size()
+        );
+    }
+    group.finish();
+}
+
+fn e10_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_workloads");
+
+    // Edos: the master's in-call alerter observing mirror queries.
+    let queries = EdosWorkload::new(20, 10_000, 3).queries(2_000);
+    group.bench_function("edos_alerter_2000_queries", |b| {
+        b.iter(|| {
+            let mut alerter = WsAlerter::new("master.edos.org", CallDirection::Incoming);
+            for q in &queries {
+                alerter.observe(black_box(q));
+            }
+            alerter.drain().len()
+        })
+    });
+
+    // RSS surveillance: 50 crawl rounds of an evolving feed.
+    group.bench_function("rss_alerter_50_snapshots", |b| {
+        b.iter(|| {
+            let mut feed = RssWorkload::new("http://portal/feed", 10, 9);
+            let mut alerter = RssAlerter::new("portal");
+            let mut alerts = 0usize;
+            for _ in 0..50 {
+                let snapshot = feed.step();
+                alerts += alerter.observe_snapshot("http://portal/feed", black_box(&snapshot));
+            }
+            alerts
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = e9_join_gc, e10_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The paper's evaluation is qualitative (see EXPERIMENTS.md): every claim is
+//! reproduced by one Criterion group in `benches/`, and the groups print the
+//! non-timing quantities (bytes transferred, calls avoided, hops, state
+//! sizes) on stderr so that `cargo bench | tee bench_output.txt` captures the
+//! whole picture.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// A Criterion instance tuned for the simulation-heavy groups: few samples,
+/// short measurement windows, no plots.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .without_plots()
+}

@@ -1,0 +1,554 @@
+//! Operator placement: turning a logical plan into a set of per-peer tasks.
+//!
+//! "An important issue for scaling with many subscriptions and peers is the
+//! placement of operators such as filters close to the data they work on
+//! when possible, to save on data transfers."  The default strategy
+//! ([`PlacementStrategy::PushToSources`]) therefore keeps selections on the
+//! monitored peers, places a union on one of its input peers, a join on the
+//! peer of one of its inputs (preferring a peer that already hosts an
+//! alerter of the join, as in the Section 3.4 example where the join runs at
+//! `meteo.com`), and the final restructure/publisher on the subscription
+//! manager.  [`PlacementStrategy::Centralized`] ships every alert to the
+//! manager and computes there — the baseline of experiment E6.
+
+use p2pmon_p2pml::plan::{LogicalNode, LogicalPlan};
+use p2pmon_p2pml::{ByClause, ValueExpr};
+use p2pmon_streams::{AttrCondition, ChannelId, Condition, Template};
+use p2pmon_xmlkit::PathPattern;
+
+/// How operators are assigned to peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Push selections and unions to the monitored peers; joins next to one
+    /// of their inputs; restructure and publisher at the manager (the
+    /// paper's optimized plan).
+    #[default]
+    PushToSources,
+    /// Every operator runs at the subscription-manager peer; raw alerts cross
+    /// the network unfiltered (the baseline of E6).
+    Centralized,
+}
+
+/// What a deployed task does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Binds an alerter's output stream: every alert produced by
+    /// `function` at `monitored_peer` enters the task, bound to `var`.
+    Source {
+        /// Alerter function ("inCOM", "outCOM", "rssFeed", …).
+        function: String,
+        /// The monitored peer.
+        monitored_peer: String,
+        /// The variable the alerts bind to.
+        var: String,
+    },
+    /// A membership-driven source: alerts of `function` from any monitored
+    /// peer currently in the membership set (fed by the driver input on
+    /// port 1) are bound to `var`.
+    DynamicSource {
+        /// Alerter function.
+        function: String,
+        /// The variable the alerts bind to.
+        var: String,
+    },
+    /// Subscribes to an already-published channel (stream reuse or an
+    /// explicit channel source).
+    ChannelSource {
+        /// The channel to subscribe to.
+        channel: ChannelId,
+        /// The variable received items bind to.
+        var: String,
+    },
+    /// The single-subscription Filter (σ).
+    Select {
+        /// The variable the conditions apply to.
+        var: String,
+        /// Simple conditions on root attributes.
+        simple: Vec<AttrCondition>,
+        /// Tree-pattern conditions.
+        patterns: Vec<PathPattern>,
+        /// Derived values computed before evaluating the general conditions.
+        derived: Vec<(String, ValueExpr)>,
+        /// General conditions.
+        conditions: Vec<Condition>,
+    },
+    /// Union (∪) over `arity` inputs.
+    Union {
+        /// Number of input ports.
+        arity: usize,
+    },
+    /// Join (⋈) on attribute equality.
+    Join {
+        /// (variable, attribute) of the left key.
+        left_key: (String, String),
+        /// (variable, attribute) of the right key.
+        right_key: (String, String),
+        /// Residual conditions on the joined tuple.
+        residual: Vec<Condition>,
+    },
+    /// Duplicate removal.
+    Dedup,
+    /// Restructure (Π): the RETURN template.
+    Restructure {
+        /// The template.
+        template: Template,
+        /// Derived values the template may reference.
+        derived: Vec<(String, ValueExpr)>,
+    },
+}
+
+impl TaskKind {
+    /// The operator name used in stream definitions and plan displays.
+    pub fn operator_name(&self) -> &'static str {
+        match self {
+            TaskKind::Source { .. } => "Alerter",
+            TaskKind::DynamicSource { .. } => "DynamicAlerter",
+            TaskKind::ChannelSource { .. } => "Channel",
+            TaskKind::Select { .. } => "Filter",
+            TaskKind::Union { .. } => "Union",
+            TaskKind::Join { .. } => "Join",
+            TaskKind::Dedup => "DuplicateRemoval",
+            TaskKind::Restructure { .. } => "Restructure",
+        }
+    }
+}
+
+/// One placed task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedTask {
+    /// Task identifier, unique within the plan.
+    pub id: usize,
+    /// The peer executing the task.
+    pub peer: String,
+    /// What the task does.
+    pub kind: TaskKind,
+    /// Where its output goes: `(task id, input port)` of the consumer, or
+    /// `None` for the plan root (the publisher consumes it).
+    pub downstream: Option<(usize, usize)>,
+}
+
+/// A fully placed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedPlan {
+    /// All tasks, indexed by their id.
+    pub tasks: Vec<PlacedTask>,
+    /// The root task (whose output feeds the publisher).
+    pub root: usize,
+    /// The manager peer (hosting the publisher).
+    pub manager: String,
+    /// The BY clause of the subscription.
+    pub by: ByClause,
+}
+
+impl PlacedPlan {
+    /// Number of tasks placed on the given peer.
+    pub fn tasks_on(&self, peer: &str) -> usize {
+        self.tasks.iter().filter(|t| t.peer == peer).count()
+    }
+
+    /// All peers hosting at least one task.
+    pub fn peers(&self) -> Vec<String> {
+        let mut peers: Vec<String> = self.tasks.iter().map(|t| t.peer.clone()).collect();
+        peers.push(self.manager.clone());
+        peers.sort();
+        peers.dedup();
+        peers
+    }
+
+    /// Number of plan edges that cross from one peer to another — each such
+    /// edge becomes a channel at deployment time.
+    pub fn cross_peer_edges(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| match t.downstream {
+                Some((consumer, _)) => self.tasks[consumer].peer != t.peer,
+                None => t.peer != self.manager,
+            })
+            .count()
+    }
+}
+
+/// The algebraic optimization step of the Subscription Manager: selections
+/// are pushed *below* unions so that each monitored peer filters its own
+/// alerts before anything crosses the network — exactly the shape of the
+/// Section 3.3 plan `∪(σF(out@a.com), σF(out@b.com))`.  Pushing below the
+/// union also makes each per-source filter an independently publishable
+/// (and therefore reusable) stream.
+pub fn push_selections_below_unions(node: LogicalNode) -> LogicalNode {
+    match node {
+        LogicalNode::Select {
+            var,
+            input,
+            simple,
+            patterns,
+            derived,
+            conditions,
+        } => {
+            let input = push_selections_below_unions(*input);
+            if let LogicalNode::Union { var: union_var, inputs } = input {
+                LogicalNode::Union {
+                    var: union_var,
+                    inputs: inputs
+                        .into_iter()
+                        .map(|child| LogicalNode::Select {
+                            var: var.clone(),
+                            input: Box::new(push_selections_below_unions(child)),
+                            simple: simple.clone(),
+                            patterns: patterns.clone(),
+                            derived: derived.clone(),
+                            conditions: conditions.clone(),
+                        })
+                        .collect(),
+                }
+            } else {
+                LogicalNode::Select {
+                    var,
+                    input: Box::new(input),
+                    simple,
+                    patterns,
+                    derived,
+                    conditions,
+                }
+            }
+        }
+        LogicalNode::Union { var, inputs } => LogicalNode::Union {
+            var,
+            inputs: inputs.into_iter().map(push_selections_below_unions).collect(),
+        },
+        LogicalNode::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => LogicalNode::Join {
+            left: Box::new(push_selections_below_unions(*left)),
+            right: Box::new(push_selections_below_unions(*right)),
+            left_key,
+            right_key,
+            residual,
+        },
+        LogicalNode::Dedup { input } => LogicalNode::Dedup {
+            input: Box::new(push_selections_below_unions(*input)),
+        },
+        LogicalNode::Restructure {
+            input,
+            template,
+            derived,
+        } => LogicalNode::Restructure {
+            input: Box::new(push_selections_below_unions(*input)),
+            template,
+            derived,
+        },
+        LogicalNode::DynamicAlerter { function, var, driver } => LogicalNode::DynamicAlerter {
+            function,
+            var,
+            driver: Box::new(push_selections_below_unions(*driver)),
+        },
+        leaf @ (LogicalNode::Alerter { .. } | LogicalNode::ChannelIn { .. }) => leaf,
+    }
+}
+
+/// Places a logical plan.  `manager` is the subscription-manager peer.
+pub fn place(plan: &LogicalPlan, manager: &str, strategy: PlacementStrategy) -> PlacedPlan {
+    let mut builder = Builder {
+        tasks: Vec::new(),
+        manager: manager.to_string(),
+        strategy,
+    };
+    let root = builder.place_node(&plan.root);
+    PlacedPlan {
+        tasks: builder.tasks,
+        root,
+        manager: manager.to_string(),
+        by: plan.by.clone(),
+    }
+}
+
+struct Builder {
+    tasks: Vec<PlacedTask>,
+    manager: String,
+    strategy: PlacementStrategy,
+}
+
+impl Builder {
+    fn push(&mut self, peer: String, kind: TaskKind) -> usize {
+        let id = self.tasks.len();
+        self.tasks.push(PlacedTask {
+            id,
+            peer,
+            kind,
+            downstream: None,
+        });
+        id
+    }
+
+    fn connect(&mut self, producer: usize, consumer: usize, port: usize) {
+        self.tasks[producer].downstream = Some((consumer, port));
+    }
+
+    /// The peer an inner operator should run on, given the peers of its
+    /// inputs.
+    fn inner_peer(&self, input_peers: &[String]) -> String {
+        match self.strategy {
+            PlacementStrategy::Centralized => self.manager.clone(),
+            PlacementStrategy::PushToSources => {
+                // Load balancing heuristic: among the input peers, pick the one
+                // currently hosting the fewest tasks.
+                input_peers
+                    .iter()
+                    .min_by_key(|p| {
+                        self.tasks
+                            .iter()
+                            .filter(|t| &&t.peer == p)
+                            .count()
+                    })
+                    .cloned()
+                    .unwrap_or_else(|| self.manager.clone())
+            }
+        }
+    }
+
+    /// Source-side peer: where an alerter-bound task runs.  Alerters always
+    /// run on the monitored peer's premises; under the centralized strategy
+    /// the *consumer* of their raw alerts is the manager, which is what makes
+    /// the raw stream cross the network.
+    fn place_node(&mut self, node: &LogicalNode) -> usize {
+        match node {
+            LogicalNode::Alerter { function, peer, var } => self.push(
+                peer.clone(),
+                TaskKind::Source {
+                    function: function.clone(),
+                    monitored_peer: peer.clone(),
+                    var: var.clone(),
+                },
+            ),
+            LogicalNode::DynamicAlerter { function, var, driver } => {
+                let driver_task = self.place_node(driver);
+                let driver_peer = self.tasks[driver_task].peer.clone();
+                let peer = match self.strategy {
+                    PlacementStrategy::Centralized => self.manager.clone(),
+                    PlacementStrategy::PushToSources => driver_peer,
+                };
+                let dynamic = self.push(
+                    peer,
+                    TaskKind::DynamicSource {
+                        function: function.clone(),
+                        var: var.clone(),
+                    },
+                );
+                // Membership events arrive on port 1.
+                self.connect(driver_task, dynamic, 1);
+                dynamic
+            }
+            LogicalNode::ChannelIn { peer, stream, var } => {
+                // The subscribing task runs wherever its consumer runs; until
+                // the consumer is known, host it on the manager — the channel
+                // data has to reach that peer anyway.
+                self.push(
+                    self.manager.clone(),
+                    TaskKind::ChannelSource {
+                        channel: ChannelId::new(peer.clone(), stream.clone()),
+                        var: var.clone(),
+                    },
+                )
+            }
+            LogicalNode::Union { var: _, inputs } => {
+                let input_tasks: Vec<usize> = inputs.iter().map(|i| self.place_node(i)).collect();
+                let input_peers: Vec<String> = input_tasks
+                    .iter()
+                    .map(|&t| self.tasks[t].peer.clone())
+                    .collect();
+                let peer = self.inner_peer(&input_peers);
+                let union = self.push(
+                    peer,
+                    TaskKind::Union {
+                        arity: input_tasks.len(),
+                    },
+                );
+                for (port, task) in input_tasks.into_iter().enumerate() {
+                    self.connect(task, union, port);
+                }
+                union
+            }
+            LogicalNode::Select {
+                var,
+                input,
+                simple,
+                patterns,
+                derived,
+                conditions,
+            } => {
+                let input_task = self.place_node(input);
+                let peer = match self.strategy {
+                    PlacementStrategy::Centralized => self.manager.clone(),
+                    // Pushed next to its input.
+                    PlacementStrategy::PushToSources => self.tasks[input_task].peer.clone(),
+                };
+                let select = self.push(
+                    peer,
+                    TaskKind::Select {
+                        var: var.clone(),
+                        simple: simple.clone(),
+                        patterns: patterns.clone(),
+                        derived: derived.clone(),
+                        conditions: conditions.clone(),
+                    },
+                );
+                self.connect(input_task, select, 0);
+                select
+            }
+            LogicalNode::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+            } => {
+                let left_task = self.place_node(left);
+                let right_task = self.place_node(right);
+                let peers = vec![
+                    self.tasks[left_task].peer.clone(),
+                    self.tasks[right_task].peer.clone(),
+                ];
+                let peer = self.inner_peer(&peers);
+                let join = self.push(
+                    peer,
+                    TaskKind::Join {
+                        left_key: left_key.clone(),
+                        right_key: right_key.clone(),
+                        residual: residual.clone(),
+                    },
+                );
+                self.connect(left_task, join, 0);
+                self.connect(right_task, join, 1);
+                join
+            }
+            LogicalNode::Dedup { input } => {
+                let input_task = self.place_node(input);
+                let peer = match self.strategy {
+                    PlacementStrategy::Centralized => self.manager.clone(),
+                    PlacementStrategy::PushToSources => self.tasks[input_task].peer.clone(),
+                };
+                let dedup = self.push(peer, TaskKind::Dedup);
+                self.connect(input_task, dedup, 0);
+                dedup
+            }
+            LogicalNode::Restructure {
+                input,
+                template,
+                derived,
+            } => {
+                let input_task = self.place_node(input);
+                let peer = match self.strategy {
+                    PlacementStrategy::Centralized => self.manager.clone(),
+                    // The paper's example restructures at the join peer, i.e.
+                    // where the input lives, and ships only the (small)
+                    // incidents to the manager.
+                    PlacementStrategy::PushToSources => self.tasks[input_task].peer.clone(),
+                };
+                let restructure = self.push(
+                    peer,
+                    TaskKind::Restructure {
+                        template: template.clone(),
+                        derived: derived.clone(),
+                    },
+                );
+                self.connect(input_task, restructure, 0);
+                restructure
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_p2pml::{compile_subscription, METEO_SUBSCRIPTION};
+
+    fn meteo_placed(strategy: PlacementStrategy) -> PlacedPlan {
+        let plan = compile_subscription(METEO_SUBSCRIPTION).unwrap();
+        place(&plan, "p", strategy)
+    }
+
+    #[test]
+    fn pushdown_keeps_sources_and_filters_on_monitored_peers() {
+        let placed = meteo_placed(PlacementStrategy::PushToSources);
+        // Alerter tasks on a.com, b.com, meteo.com.
+        for peer in ["a.com", "b.com", "meteo.com"] {
+            assert!(
+                placed
+                    .tasks
+                    .iter()
+                    .any(|t| t.peer == peer && matches!(t.kind, TaskKind::Source { .. })),
+                "missing alerter task on {peer}"
+            );
+        }
+        // The select over $c1 runs on one of the client peers, not the manager.
+        let select = placed
+            .tasks
+            .iter()
+            .find(|t| matches!(&t.kind, TaskKind::Select { var, .. } if var == "c1"))
+            .expect("c1 select exists");
+        assert_ne!(select.peer, "p");
+        // The join runs on one of the involved peers.
+        let join = placed
+            .tasks
+            .iter()
+            .find(|t| matches!(t.kind, TaskKind::Join { .. }))
+            .unwrap();
+        assert_ne!(join.peer, "p");
+        assert!(placed.peers().contains(&"p".to_string()));
+    }
+
+    #[test]
+    fn centralized_puts_every_processor_on_the_manager() {
+        let placed = meteo_placed(PlacementStrategy::Centralized);
+        for task in &placed.tasks {
+            match &task.kind {
+                TaskKind::Source { monitored_peer, .. } => assert_eq!(&task.peer, monitored_peer),
+                _ => assert_eq!(task.peer, "p", "{:?} should be at the manager", task.kind),
+            }
+        }
+        // Every alerter edge crosses the network.
+        assert!(placed.cross_peer_edges() >= 3);
+    }
+
+    #[test]
+    fn pushdown_has_fewer_cross_peer_edges_than_centralized() {
+        let pushed = meteo_placed(PlacementStrategy::PushToSources);
+        let central = meteo_placed(PlacementStrategy::Centralized);
+        assert!(
+            pushed.cross_peer_edges() <= central.cross_peer_edges(),
+            "pushdown {} vs centralized {}",
+            pushed.cross_peer_edges(),
+            central.cross_peer_edges()
+        );
+    }
+
+    #[test]
+    fn downstream_wiring_is_consistent() {
+        let placed = meteo_placed(PlacementStrategy::PushToSources);
+        let root = placed.root;
+        assert!(placed.tasks[root].downstream.is_none());
+        // Exactly one task feeds each consumer port.
+        for task in &placed.tasks {
+            if let Some((consumer, port)) = task.downstream {
+                assert!(consumer < placed.tasks.len());
+                let dupes = placed
+                    .tasks
+                    .iter()
+                    .filter(|t| t.downstream == Some((consumer, port)))
+                    .count();
+                assert_eq!(dupes, 1, "port {port} of task {consumer} fed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn task_counts_per_peer() {
+        let placed = meteo_placed(PlacementStrategy::PushToSources);
+        let total: usize = placed.peers().iter().map(|p| placed.tasks_on(p)).sum();
+        assert_eq!(total, placed.tasks.len());
+    }
+}

@@ -1,0 +1,292 @@
+//! Stream-reuse integration: rewriting a logical plan against the Stream
+//! Definition Database before deployment.
+//!
+//! The Subscription Manager, "when a new monitoring subscription arrives,
+//! […] searches for existing streams that could help support (portions of)
+//! the new task".  This module converts a compiled [`LogicalNode`] tree into
+//! the [`PlanNode`] shape the Reuse algorithm of `p2pmon-dht` understands,
+//! runs the cover, and rewrites the plan so that every covered subtree is
+//! replaced by a subscription to the covering channel (original or replica).
+
+use p2pmon_dht::{CoverOutcome, PlanNode, ReuseEngine, StreamDefinitionDatabase};
+use p2pmon_p2pml::plan::LogicalNode;
+use p2pmon_p2pml::ValueExpr;
+use p2pmon_streams::{AttrCondition, Condition};
+
+/// The result of applying reuse to a plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReuseReport {
+    /// Number of plan nodes served by existing streams.
+    pub reused_nodes: usize,
+    /// Number of plan nodes that will produce new streams.
+    pub new_nodes: usize,
+    /// The channels the rewritten plan subscribes to.
+    pub subscribed_channels: Vec<(String, String)>,
+}
+
+/// Canonical digest of a Select's parameters, so that two subscriptions with
+/// the same filter are recognised as identical by the reuse machinery.
+pub fn select_parameters(
+    simple: &[AttrCondition],
+    patterns: &[p2pmon_xmlkit::PathPattern],
+    derived: &[(String, ValueExpr)],
+    conditions: &[Condition],
+) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut simple_keys: Vec<String> = simple.iter().map(AttrCondition::key).collect();
+    simple_keys.sort();
+    parts.extend(simple_keys);
+    let mut pattern_keys: Vec<String> = patterns.iter().map(|p| p.source().to_string()).collect();
+    pattern_keys.sort();
+    parts.extend(pattern_keys);
+    let mut derived_keys: Vec<String> = derived.iter().map(|(v, _)| format!("let:{v}")).collect();
+    derived_keys.sort();
+    parts.extend(derived_keys);
+    let mut condition_keys: Vec<String> = conditions.iter().map(|c| c.to_string()).collect();
+    condition_keys.sort();
+    parts.extend(condition_keys);
+    parts.join("&")
+}
+
+/// Canonical digest of a Join's parameters.
+pub fn join_parameters(
+    left_key: &(String, String),
+    right_key: &(String, String),
+    residual: &[Condition],
+) -> String {
+    let mut parts = vec![format!(
+        "{}.{}={}.{}",
+        left_key.0, left_key.1, right_key.0, right_key.1
+    )];
+    let mut residual_keys: Vec<String> = residual.iter().map(|c| c.to_string()).collect();
+    residual_keys.sort();
+    parts.extend(residual_keys);
+    parts.join("&")
+}
+
+/// Converts a logical plan node into the reuse algorithm's [`PlanNode`]
+/// shape.  Children appear in the same order as the logical node's inputs so
+/// that cover paths line up.
+pub fn logical_to_plan_node(node: &LogicalNode) -> PlanNode {
+    match node {
+        LogicalNode::Alerter { function, peer, .. } => PlanNode::alerter(function.clone(), peer.clone()),
+        LogicalNode::DynamicAlerter { function, driver, .. } => PlanNode::operator(
+            "DynamicAlerter",
+            function.clone(),
+            vec![logical_to_plan_node(driver)],
+        ),
+        // Channel sources refer to streams that already exist, but their
+        // identity is resolved at deployment time; for covering purposes they
+        // are opaque leaves that never match.
+        LogicalNode::ChannelIn { peer, stream, .. } => {
+            PlanNode::alerter(format!("__channel__{stream}"), peer.clone())
+        }
+        LogicalNode::Union { inputs, .. } => PlanNode::operator(
+            "Union",
+            "",
+            inputs.iter().map(logical_to_plan_node).collect(),
+        ),
+        LogicalNode::Select {
+            input,
+            simple,
+            patterns,
+            derived,
+            conditions,
+            ..
+        } => PlanNode::operator(
+            "Filter",
+            select_parameters(simple, patterns, derived, conditions),
+            vec![logical_to_plan_node(input)],
+        ),
+        LogicalNode::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => PlanNode::operator(
+            "Join",
+            join_parameters(left_key, right_key, residual),
+            vec![logical_to_plan_node(left), logical_to_plan_node(right)],
+        ),
+        LogicalNode::Dedup { input } => {
+            PlanNode::operator("DuplicateRemoval", "", vec![logical_to_plan_node(input)])
+        }
+        LogicalNode::Restructure { input, template, .. } => PlanNode::operator(
+            "Restructure",
+            template.source().to_string(),
+            vec![logical_to_plan_node(input)],
+        ),
+    }
+}
+
+/// Runs the Reuse algorithm over a plan and rewrites covered subtrees into
+/// channel subscriptions.  `proximity` scores candidate provider peers
+/// (lower = closer), driving replica selection.
+pub fn apply_reuse(
+    plan: &LogicalNode,
+    db: &mut StreamDefinitionDatabase,
+    proximity: &dyn Fn(&str) -> u64,
+) -> (LogicalNode, ReuseReport) {
+    let reuse_plan = logical_to_plan_node(plan);
+    let outcome = ReuseEngine::new(db).cover(&reuse_plan, proximity);
+    let mut report = ReuseReport {
+        reused_nodes: outcome.reused,
+        new_nodes: outcome.new_streams,
+        subscribed_channels: Vec::new(),
+    };
+    let rewritten = rewrite(plan, "0", &outcome, &mut report);
+    (rewritten, report)
+}
+
+fn rewrite(
+    node: &LogicalNode,
+    path: &str,
+    outcome: &CoverOutcome,
+    report: &mut ReuseReport,
+) -> LogicalNode {
+    if let Some(p2pmon_dht::reuse::NodeCover::Existing { provider, .. }) = outcome.cover(path) {
+        // The whole subtree is served by an existing stream: subscribe to it.
+        let var = node
+            .output_vars()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "item".to_string());
+        report
+            .subscribed_channels
+            .push((provider.0.clone(), provider.1.clone()));
+        return LogicalNode::ChannelIn {
+            peer: provider.0.clone(),
+            stream: provider.1.clone(),
+            var,
+        };
+    }
+    // Not covered: keep the operator, recurse into its children with the same
+    // path numbering the cover used.
+    match node {
+        LogicalNode::Alerter { .. } | LogicalNode::ChannelIn { .. } => node.clone(),
+        LogicalNode::DynamicAlerter { function, var, driver } => LogicalNode::DynamicAlerter {
+            function: function.clone(),
+            var: var.clone(),
+            driver: Box::new(rewrite(driver, &format!("{path}.0"), outcome, report)),
+        },
+        LogicalNode::Union { var, inputs } => LogicalNode::Union {
+            var: var.clone(),
+            inputs: inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| rewrite(input, &format!("{path}.{i}"), outcome, report))
+                .collect(),
+        },
+        LogicalNode::Select {
+            var,
+            input,
+            simple,
+            patterns,
+            derived,
+            conditions,
+        } => LogicalNode::Select {
+            var: var.clone(),
+            input: Box::new(rewrite(input, &format!("{path}.0"), outcome, report)),
+            simple: simple.clone(),
+            patterns: patterns.clone(),
+            derived: derived.clone(),
+            conditions: conditions.clone(),
+        },
+        LogicalNode::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => LogicalNode::Join {
+            left: Box::new(rewrite(left, &format!("{path}.0"), outcome, report)),
+            right: Box::new(rewrite(right, &format!("{path}.1"), outcome, report)),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+            residual: residual.clone(),
+        },
+        LogicalNode::Dedup { input } => LogicalNode::Dedup {
+            input: Box::new(rewrite(input, &format!("{path}.0"), outcome, report)),
+        },
+        LogicalNode::Restructure {
+            input,
+            template,
+            derived,
+        } => LogicalNode::Restructure {
+            input: Box::new(rewrite(input, &format!("{path}.0"), outcome, report)),
+            template: template.clone(),
+            derived: derived.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_dht::{ChordNetwork, StreamDefinition};
+    use p2pmon_p2pml::compile_subscription;
+
+    fn subscription_plan() -> LogicalNode {
+        compile_subscription(
+            r#"for $c in inCOM(<p>meteo.com</p>)
+               where $c.callMethod = "GetTemperature"
+               return <hit id="{$c.callId}"/>
+               by publish as channel "hits";"#,
+        )
+        .unwrap()
+        .root
+    }
+
+    #[test]
+    fn without_published_streams_everything_is_new() {
+        let mut db = StreamDefinitionDatabase::new(ChordNetwork::with_nodes(16, 3));
+        let plan = subscription_plan();
+        let (rewritten, report) = apply_reuse(&plan, &mut db, &|_| 10);
+        assert_eq!(report.reused_nodes, 0);
+        assert!(report.subscribed_channels.is_empty());
+        assert_eq!(rewritten, plan, "nothing to rewrite");
+    }
+
+    #[test]
+    fn published_alerter_and_filter_are_reused() {
+        let mut db = StreamDefinitionDatabase::new(ChordNetwork::with_nodes(16, 3));
+        // Someone already runs the inCOM alerter at meteo.com …
+        db.publish(StreamDefinition::source("meteo.com", "src-inCOM", "inCOM"));
+        let plan = subscription_plan();
+        // … and the very same filter, published from a previous deployment.
+        let LogicalNode::Restructure { input, .. } = &plan else { panic!() };
+        let LogicalNode::Select { simple, patterns, derived, conditions, .. } = input.as_ref() else {
+            panic!()
+        };
+        let params = select_parameters(simple, patterns, derived, conditions);
+        db.publish(StreamDefinition::derived(
+            "meteo.com",
+            "filtered-7",
+            "Filter",
+            params,
+            vec![("meteo.com".into(), "src-inCOM".into())],
+        ));
+
+        let (rewritten, report) = apply_reuse(&plan, &mut db, &|_| 10);
+        assert!(report.reused_nodes >= 2);
+        assert_eq!(
+            report.subscribed_channels,
+            vec![("meteo.com".to_string(), "filtered-7".to_string())]
+        );
+        // The filter subtree collapsed into a channel subscription.
+        let LogicalNode::Restructure { input, .. } = &rewritten else { panic!() };
+        assert!(matches!(input.as_ref(), LogicalNode::ChannelIn { stream, .. } if stream == "filtered-7"));
+    }
+
+    #[test]
+    fn digests_are_order_insensitive() {
+        use p2pmon_xmlkit::path::CompareOp;
+        let a = AttrCondition::new("x", CompareOp::Eq, "1");
+        let b = AttrCondition::new("y", CompareOp::Gt, "2");
+        assert_eq!(
+            select_parameters(&[a.clone(), b.clone()], &[], &[], &[]),
+            select_parameters(&[b, a], &[], &[], &[])
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The per-task runtime operators.
+//!
+//! Deployment instantiates one [`RuntimeOperator`] per placed task.  Most of
+//! them wrap the operators of `p2pmon-streams`; Select and Restructure are
+//! reimplemented here because the compiled plans carry general
+//! [`ValueExpr`] derivations (LET clauses) that the runtime evaluates over
+//! the tuple bindings before checking conditions or instantiating the
+//! template.
+
+use std::collections::BTreeSet;
+
+use p2pmon_p2pml::ValueExpr;
+use p2pmon_streams::ops::{Dedup, DedupKey, Join, JoinSpec, Union, Window};
+use p2pmon_streams::{AttrCondition, Bindings, Condition, Operator, StreamItem, Template};
+use p2pmon_xmlkit::{Element, PathPattern};
+
+use crate::placement::TaskKind;
+
+/// Output of delivering one item to a runtime operator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeOutput {
+    /// Items produced.
+    pub items: Vec<Element>,
+}
+
+impl RuntimeOutput {
+    fn none() -> Self {
+        RuntimeOutput::default()
+    }
+
+    fn many(items: Vec<Element>) -> Self {
+        RuntimeOutput { items }
+    }
+}
+
+/// A deployed operator instance.
+pub enum RuntimeOperator {
+    /// Pass-through for Source / ChannelSource tasks: incoming alerts are
+    /// forwarded downstream unchanged.
+    Passthrough,
+    /// Membership-driven source: forwards alerts whose peer (caller for
+    /// out-calls, callee for in-calls — both are checked) is currently in the
+    /// membership set; membership events (`p-join`/`p-leave`) arrive on
+    /// port 1.
+    DynamicSource {
+        /// The alerter function, used to decide which attribute identifies
+        /// the monitored peer.
+        function: String,
+        /// Currently registered peers.
+        members: BTreeSet<String>,
+    },
+    /// The single-subscription filter with LET derivations.
+    Select {
+        /// The variable items bind to.
+        var: String,
+        /// Simple conditions.
+        simple: Vec<AttrCondition>,
+        /// Tree patterns.
+        patterns: Vec<PathPattern>,
+        /// LET derivations.
+        derived: Vec<(String, ValueExpr)>,
+        /// General conditions.
+        conditions: Vec<Condition>,
+        /// Items examined / passed (statistics).
+        examined: u64,
+        /// Items that passed the filter.
+        passed: u64,
+    },
+    /// Union of several inputs.
+    Union(Union),
+    /// Join on attribute equality.
+    Join(Join),
+    /// Duplicate removal over whole output trees.
+    Dedup(Dedup),
+    /// Template instantiation with LET derivations.
+    Restructure {
+        /// The RETURN template.
+        template: Template,
+        /// LET derivations evaluated before instantiation.
+        derived: Vec<(String, ValueExpr)>,
+        /// Fallback variable for bare (non-tuple) inputs.
+        default_var: String,
+    },
+}
+
+impl RuntimeOperator {
+    /// Builds the runtime operator for a task kind.
+    pub fn for_kind(kind: &TaskKind, join_window: Window) -> RuntimeOperator {
+        match kind {
+            TaskKind::Source { .. } | TaskKind::ChannelSource { .. } => RuntimeOperator::Passthrough,
+            TaskKind::DynamicSource { function, .. } => RuntimeOperator::DynamicSource {
+                function: function.clone(),
+                members: BTreeSet::new(),
+            },
+            TaskKind::Select {
+                var,
+                simple,
+                patterns,
+                derived,
+                conditions,
+            } => RuntimeOperator::Select {
+                var: var.clone(),
+                simple: simple.clone(),
+                patterns: patterns.clone(),
+                derived: derived.clone(),
+                conditions: conditions.clone(),
+                examined: 0,
+                passed: 0,
+            },
+            TaskKind::Union { arity } => RuntimeOperator::Union(Union::new(*arity)),
+            TaskKind::Join {
+                left_key,
+                right_key,
+                residual,
+            } => {
+                let spec = JoinSpec {
+                    left_var: left_key.0.clone(),
+                    right_var: right_key.0.clone(),
+                    left_key: p2pmon_streams::ops::join::KeyExtractor::Attr(left_key.1.clone()),
+                    right_key: p2pmon_streams::ops::join::KeyExtractor::Attr(right_key.1.clone()),
+                    residual: residual.clone(),
+                };
+                RuntimeOperator::Join(Join::new(spec, join_window))
+            }
+            TaskKind::Dedup => RuntimeOperator::Dedup(Dedup::new(DedupKey::WholeTree)),
+            TaskKind::Restructure { template, derived } => {
+                let default_var = template
+                    .variables()
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "item".to_string());
+                RuntimeOperator::Restructure {
+                    template: template.clone(),
+                    derived: derived.clone(),
+                    default_var,
+                }
+            }
+        }
+    }
+
+    /// Memory held by stateful operators (joins, dedups), in bytes.
+    pub fn state_size(&self) -> usize {
+        match self {
+            RuntimeOperator::Join(j) => j.state_size(),
+            RuntimeOperator::Dedup(d) => d.state_size(),
+            _ => 0,
+        }
+    }
+
+    /// Delivers one item on a port.
+    pub fn on_item(&mut self, port: usize, item: &StreamItem) -> RuntimeOutput {
+        match self {
+            RuntimeOperator::Passthrough => RuntimeOutput::many(vec![item.data.clone()]),
+            RuntimeOperator::DynamicSource { function, members } => {
+                if port == 1 {
+                    // Membership event.
+                    match item.data.name.as_str() {
+                        "p-join" => {
+                            members.insert(item.data.text());
+                        }
+                        "p-leave" => {
+                            members.remove(&item.data.text());
+                        }
+                        _ => {}
+                    }
+                    return RuntimeOutput::none();
+                }
+                // An alert: forward only when the monitored peer is a member.
+                let attr = if function == "outCOM" { "caller" } else { "callee" };
+                let peer = item
+                    .data
+                    .attr(attr)
+                    .or_else(|| item.data.attr("peer"))
+                    .map(|p| p2pmon_p2pml::plan::normalize_peer(p))
+                    .unwrap_or_default();
+                if members.contains(&peer) {
+                    RuntimeOutput::many(vec![item.data.clone()])
+                } else {
+                    RuntimeOutput::none()
+                }
+            }
+            RuntimeOperator::Select {
+                var,
+                simple,
+                patterns,
+                derived,
+                conditions,
+                examined,
+                passed,
+            } => {
+                *examined += 1;
+                let mut bindings = Bindings::from_element(&item.data, var);
+                let tree = bindings.tree(var).cloned().unwrap_or_else(|| item.data.clone());
+                if !simple.iter().all(|c| c.eval(&tree)) {
+                    return RuntimeOutput::none();
+                }
+                if !patterns.iter().all(|p| p.matches(&tree)) {
+                    return RuntimeOutput::none();
+                }
+                for (name, expr) in derived.iter() {
+                    if let Some(value) = expr.eval(&bindings) {
+                        bindings.bind_value(name.clone(), value);
+                    }
+                }
+                if !conditions.iter().all(|c| c.eval(&bindings)) {
+                    return RuntimeOutput::none();
+                }
+                *passed += 1;
+                RuntimeOutput::many(vec![item.data.clone()])
+            }
+            RuntimeOperator::Union(op) => RuntimeOutput::many(op.on_item(port, item).items),
+            RuntimeOperator::Join(op) => RuntimeOutput::many(op.on_item(port, item).items),
+            RuntimeOperator::Dedup(op) => RuntimeOutput::many(op.on_item(port, item).items),
+            RuntimeOperator::Restructure {
+                template,
+                derived,
+                default_var,
+            } => {
+                let mut bindings = Bindings::from_element(&item.data, default_var);
+                for (name, expr) in derived.iter() {
+                    if let Some(value) = expr.eval(&bindings) {
+                        bindings.bind_value(name.clone(), value);
+                    }
+                }
+                RuntimeOutput::many(vec![template.instantiate(&bindings)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_streams::Operand;
+    use p2pmon_xmlkit::path::CompareOp;
+    use p2pmon_xmlkit::{parse, Value};
+
+    fn item(xml: &str) -> StreamItem {
+        StreamItem::new(0, 0, parse(xml).unwrap())
+    }
+
+    #[test]
+    fn select_with_let_derivation() {
+        let kind = TaskKind::Select {
+            var: "e".into(),
+            simple: vec![AttrCondition::new("callMethod", CompareOp::Eq, "GetTemperature")],
+            patterns: vec![],
+            derived: vec![(
+                "duration".into(),
+                ValueExpr::Binary {
+                    left: Box::new(ValueExpr::Operand(Operand::VarAttr {
+                        var: "e".into(),
+                        attr: "responseTimestamp".into(),
+                    })),
+                    op: p2pmon_p2pml::ast::ArithOp::Sub,
+                    right: Box::new(ValueExpr::Operand(Operand::VarAttr {
+                        var: "e".into(),
+                        attr: "callTimestamp".into(),
+                    })),
+                },
+            )],
+            conditions: vec![Condition::new(
+                Operand::Var("duration".into()),
+                CompareOp::Gt,
+                Operand::Const(Value::Integer(10)),
+            )],
+        };
+        let mut op = RuntimeOperator::for_kind(&kind, Window::unbounded());
+        let slow = item(
+            r#"<alert callMethod="GetTemperature" callTimestamp="100" responseTimestamp="120"/>"#,
+        );
+        let fast = item(
+            r#"<alert callMethod="GetTemperature" callTimestamp="100" responseTimestamp="105"/>"#,
+        );
+        assert_eq!(op.on_item(0, &slow).items.len(), 1);
+        assert_eq!(op.on_item(0, &fast).items.len(), 0);
+    }
+
+    #[test]
+    fn dynamic_source_follows_membership() {
+        let kind = TaskKind::DynamicSource {
+            function: "inCOM".into(),
+            var: "c".into(),
+        };
+        let mut op = RuntimeOperator::for_kind(&kind, Window::unbounded());
+        let alert = item(r#"<alert callee="http://a.com" callId="1"/>"#);
+        assert!(op.on_item(0, &alert).items.is_empty(), "not yet a member");
+        op.on_item(1, &item("<p-join>a.com</p-join>"));
+        assert_eq!(op.on_item(0, &alert).items.len(), 1);
+        op.on_item(1, &item("<p-leave>a.com</p-leave>"));
+        assert!(op.on_item(0, &alert).items.is_empty(), "left the system");
+    }
+
+    #[test]
+    fn restructure_with_derived_values() {
+        let kind = TaskKind::Restructure {
+            template: Template::parse(r#"<out d="{$lat}">{$e.peer}</out>"#).unwrap(),
+            derived: vec![(
+                "lat".into(),
+                ValueExpr::Operand(Operand::VarAttr {
+                    var: "e".into(),
+                    attr: "latency".into(),
+                }),
+            )],
+        };
+        let mut op = RuntimeOperator::for_kind(&kind, Window::unbounded());
+        let out = op.on_item(0, &item(r#"<q peer="x" latency="7"/>"#));
+        assert_eq!(out.items[0].attr("d"), Some("7"));
+        assert_eq!(out.items[0].text(), "x");
+    }
+
+    #[test]
+    fn passthrough_and_stateful_wrappers() {
+        let mut pass = RuntimeOperator::for_kind(
+            &TaskKind::Source {
+                function: "inCOM".into(),
+                monitored_peer: "a".into(),
+                var: "x".into(),
+            },
+            Window::unbounded(),
+        );
+        assert_eq!(pass.on_item(0, &item("<a/>")).items.len(), 1);
+        assert_eq!(pass.state_size(), 0);
+
+        let mut join = RuntimeOperator::for_kind(
+            &TaskKind::Join {
+                left_key: ("l".into(), "id".into()),
+                right_key: ("r".into(), "id".into()),
+                residual: vec![],
+            },
+            Window::items(10),
+        );
+        join.on_item(0, &item(r#"<a id="1"/>"#));
+        assert!(join.state_size() > 0);
+        assert_eq!(join.on_item(1, &item(r#"<b id="1"/>"#)).items.len(), 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! A Chord-style DHT simulation.
+//!
+//! The ring is the 64-bit key space.  Each node owns the keys between its
+//! predecessor (exclusive) and itself (inclusive) and keeps a finger table of
+//! up to 64 entries (`finger[i]` = the successor of `n + 2^i`).  Lookups are
+//! *iterative*: starting from an arbitrary node, each step jumps to the
+//! closest preceding finger, and the number of steps is counted — that hop
+//! count, logarithmic in the number of nodes, is the quantity experiment E8
+//! reports.
+//!
+//! This is a *simulation*: all node state lives in one process and "messages"
+//! are counted rather than sent, which is exactly what is needed to reproduce
+//! the scaling shape of the paper's KadoP-based stream discovery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A position on the ring (also used for keys).
+pub type NodeId = u64;
+
+/// Hashes an arbitrary string onto the ring.
+///
+/// FNV-1a followed by a splitmix64 finalizer: FNV alone clusters short,
+/// sequential identifiers ("k1", "k2", …) into narrow bands of the ring,
+/// which would skew key ownership and routing in the simulation; the final
+/// mix spreads them uniformly.
+pub fn hash_key(key: &str) -> NodeId {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    hash = hash.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = hash;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The outcome of a lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The node responsible for the key.
+    pub node: NodeId,
+    /// Number of routing hops taken (0 when the start node is responsible).
+    pub hops: usize,
+}
+
+/// Storage held by one node: term key → posting payloads.
+#[derive(Debug, Clone, Default)]
+struct NodeStorage {
+    entries: HashMap<u64, Vec<String>>,
+}
+
+/// The simulated Chord ring.
+#[derive(Debug)]
+pub struct ChordNetwork {
+    /// Ring positions of all live nodes (sorted by the BTreeMap).
+    nodes: BTreeMap<NodeId, NodeStorage>,
+    /// Finger tables: node → fingers (successors of n + 2^i).
+    fingers: HashMap<NodeId, Vec<NodeId>>,
+    rng: StdRng,
+    /// Total lookup operations performed.
+    pub lookups: u64,
+    /// Total routing hops across all lookups.
+    pub total_hops: u64,
+    /// Keys moved during joins/leaves (maintenance traffic).
+    pub keys_transferred: u64,
+}
+
+impl ChordNetwork {
+    /// Creates a ring with `n` nodes at random (seeded) positions.
+    pub fn with_nodes(n: usize, seed: u64) -> Self {
+        let mut net = ChordNetwork {
+            nodes: BTreeMap::new(),
+            fingers: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            lookups: 0,
+            total_hops: 0,
+            keys_transferred: 0,
+        };
+        for _ in 0..n.max(1) {
+            let id = net.rng.gen::<u64>();
+            net.nodes.insert(id, NodeStorage::default());
+        }
+        net.rebuild_fingers();
+        net
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node identifiers, sorted.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Average hops per lookup so far.
+    pub fn avg_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.lookups as f64
+        }
+    }
+
+    /// The node responsible for a key: the first node clockwise from the key
+    /// (its successor).
+    pub fn successor(&self, key: NodeId) -> NodeId {
+        match self.nodes.range(key..).next() {
+            Some((&id, _)) => id,
+            None => *self.nodes.keys().next().expect("ring is never empty"),
+        }
+    }
+
+    fn rebuild_fingers(&mut self) {
+        self.fingers.clear();
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for &n in &ids {
+            let mut table = Vec::with_capacity(64);
+            for i in 0..64 {
+                let target = n.wrapping_add(1u64 << i);
+                table.push(self.successor(target));
+            }
+            self.fingers.insert(n, table);
+        }
+    }
+
+    /// Distance from `a` to `b` going clockwise around the ring.
+    fn clockwise_distance(a: NodeId, b: NodeId) -> u64 {
+        b.wrapping_sub(a)
+    }
+
+    /// The next node clockwise after `node` (its ring successor).
+    fn ring_successor(&self, node: NodeId) -> NodeId {
+        match self.nodes.range(node.wrapping_add(1)..).next() {
+            Some((&id, _)) => id,
+            None => *self.nodes.keys().next().expect("ring is never empty"),
+        }
+    }
+
+    /// Iterative lookup from a given start node, counting hops.
+    ///
+    /// Standard Chord routing: while the key is not owned by the current
+    /// node's ring successor, jump to the closest finger that precedes the
+    /// key; the final hop goes to the responsible node itself.
+    pub fn lookup_from(&mut self, start: NodeId, key: NodeId) -> LookupResult {
+        self.lookups += 1;
+        let responsible = self.successor(key);
+        let mut current = start;
+        let mut hops = 0usize;
+        while current != responsible {
+            // If the current node's ring successor owns the key, one final
+            // hop reaches it.
+            if self.ring_successor(current) == responsible {
+                hops += 1;
+                break;
+            }
+            // Closest preceding finger: the finger landing strictly between
+            // `current` and `key` (clockwise) that is furthest along.
+            let distance_to_key = Self::clockwise_distance(current, key);
+            let mut best: Option<(u64, NodeId)> = None;
+            if let Some(table) = self.fingers.get(&current) {
+                for &f in table {
+                    if f == current {
+                        continue;
+                    }
+                    let forward = Self::clockwise_distance(current, f);
+                    if forward > 0 && forward < distance_to_key {
+                        match best {
+                            Some((best_forward, _)) if forward <= best_forward => {}
+                            _ => best = Some((forward, f)),
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((_, next)) => {
+                    current = next;
+                    hops += 1;
+                }
+                None => {
+                    // No finger precedes the key: fall through via the ring
+                    // successor (handles tiny rings and sparse fingers).
+                    current = self.ring_successor(current);
+                    hops += 1;
+                }
+            }
+            if hops > 2 * 64 {
+                // Safety net against pathological rings in the simulation.
+                current = responsible;
+            }
+        }
+        self.total_hops += hops as u64;
+        LookupResult {
+            node: responsible,
+            hops,
+        }
+    }
+
+    /// Lookup starting from a deterministic pseudo-random node (models "any
+    /// peer asks the question").
+    pub fn lookup(&mut self, key: NodeId) -> LookupResult {
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let start = ids[self.rng.gen_range(0..ids.len())];
+        self.lookup_from(start, key)
+    }
+
+    /// Stores a value under a string key at the responsible node.  Returns
+    /// the lookup result used for routing.
+    pub fn put(&mut self, key: &str, value: String) -> LookupResult {
+        let k = hash_key(key);
+        let result = self.lookup(k);
+        self.nodes
+            .get_mut(&result.node)
+            .expect("responsible node exists")
+            .entries
+            .entry(k)
+            .or_default()
+            .push(value);
+        result
+    }
+
+    /// Retrieves all values stored under a string key.  Returns the values
+    /// and the lookup result.
+    pub fn get(&mut self, key: &str) -> (Vec<String>, LookupResult) {
+        let k = hash_key(key);
+        let result = self.lookup(k);
+        let values = self
+            .nodes
+            .get(&result.node)
+            .and_then(|s| s.entries.get(&k))
+            .cloned()
+            .unwrap_or_default();
+        (values, result)
+    }
+
+    /// Removes values matching a predicate under a key; returns how many were
+    /// removed.
+    pub fn remove_where(&mut self, key: &str, predicate: impl Fn(&str) -> bool) -> usize {
+        let k = hash_key(key);
+        let result = self.lookup(k);
+        let storage = self.nodes.get_mut(&result.node).expect("node exists");
+        match storage.entries.get_mut(&k) {
+            Some(values) => {
+                let before = values.len();
+                values.retain(|v| !predicate(v));
+                before - values.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// A new node joins the ring: keys it now owns are handed over.
+    pub fn join(&mut self, id: NodeId) {
+        if self.nodes.contains_key(&id) {
+            return;
+        }
+        self.nodes.insert(id, NodeStorage::default());
+        self.rebuild_fingers();
+        // The new node takes over keys in (predecessor, id] from its
+        // successor.
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let pos = ids.iter().position(|&n| n == id).expect("just inserted");
+        let successor = ids[(pos + 1) % ids.len()];
+        if successor == id {
+            return;
+        }
+        let to_move: Vec<u64> = self
+            .nodes
+            .get(&successor)
+            .map(|s| {
+                s.entries
+                    .keys()
+                    .copied()
+                    .filter(|&k| self.successor(k) == id)
+                    .collect()
+            })
+            .unwrap_or_default();
+        for k in to_move {
+            if let Some(values) = self.nodes.get_mut(&successor).and_then(|s| s.entries.remove(&k)) {
+                self.keys_transferred += values.len() as u64;
+                self.nodes
+                    .get_mut(&id)
+                    .expect("new node")
+                    .entries
+                    .insert(k, values);
+            }
+        }
+    }
+
+    /// A node leaves the ring gracefully: its keys move to its successor.
+    /// Returns `false` when the node does not exist or is the last node.
+    pub fn leave(&mut self, id: NodeId) -> bool {
+        if !self.nodes.contains_key(&id) || self.nodes.len() == 1 {
+            return false;
+        }
+        let storage = self.nodes.remove(&id).expect("checked");
+        self.rebuild_fingers();
+        let heir = self.successor(id);
+        let heir_storage = self.nodes.get_mut(&heir).expect("ring not empty");
+        for (k, mut values) in storage.entries {
+            self.keys_transferred += values.len() as u64;
+            heir_storage.entries.entry(k).or_default().append(&mut values);
+        }
+        true
+    }
+
+    /// Total number of stored values across the ring.
+    pub fn stored_values(&self) -> usize {
+        self.nodes
+            .values()
+            .flat_map(|s| s.entries.values())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash_key("PeerId=p1"), hash_key("PeerId=p1"));
+        assert_ne!(hash_key("PeerId=p1"), hash_key("PeerId=p2"));
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut net = ChordNetwork::with_nodes(32, 1);
+        net.put("term:a", "stream1".into());
+        net.put("term:a", "stream2".into());
+        net.put("term:b", "stream3".into());
+        let (values, _) = net.get("term:a");
+        assert_eq!(values, vec!["stream1", "stream2"]);
+        let (values, _) = net.get("term:missing");
+        assert!(values.is_empty());
+        assert_eq!(net.stored_values(), 3);
+    }
+
+    #[test]
+    fn lookup_hops_grow_logarithmically() {
+        let mut small = ChordNetwork::with_nodes(8, 2);
+        let mut large = ChordNetwork::with_nodes(512, 2);
+        for i in 0..200 {
+            let key = hash_key(&format!("k{i}"));
+            small.lookup(key);
+            large.lookup(key);
+        }
+        let (small_hops, large_hops) = (small.avg_hops(), large.avg_hops());
+        assert!(small_hops < large_hops, "{small_hops} vs {large_hops}");
+        assert!(
+            large_hops < 3.0 * (512f64).log2(),
+            "hops should stay O(log n), got {large_hops}"
+        );
+    }
+
+    #[test]
+    fn responsibility_is_consistent() {
+        let mut net = ChordNetwork::with_nodes(64, 3);
+        for i in 0..100 {
+            let key = hash_key(&format!("key{i}"));
+            let a = net.lookup(key).node;
+            let b = net.lookup_from(net.node_ids()[0], key).node;
+            assert_eq!(a, b, "different start nodes must agree on the owner");
+        }
+    }
+
+    #[test]
+    fn join_takes_over_keys_and_get_still_works() {
+        let mut net = ChordNetwork::with_nodes(16, 4);
+        for i in 0..200 {
+            net.put(&format!("k{i}"), format!("v{i}"));
+        }
+        // A batch of new nodes joins.
+        for j in 0..16 {
+            net.join(hash_key(&format!("newnode{j}")));
+        }
+        assert_eq!(net.node_count(), 32);
+        assert!(net.keys_transferred > 0, "joins should move some keys");
+        for i in 0..200 {
+            let (values, _) = net.get(&format!("k{i}"));
+            assert_eq!(values, vec![format!("v{i}")], "k{i} lost after joins");
+        }
+    }
+
+    #[test]
+    fn leave_hands_keys_to_successor() {
+        let mut net = ChordNetwork::with_nodes(8, 5);
+        for i in 0..50 {
+            net.put(&format!("k{i}"), format!("v{i}"));
+        }
+        let victim = net.node_ids()[3];
+        assert!(net.leave(victim));
+        assert!(!net.leave(victim), "cannot leave twice");
+        assert_eq!(net.node_count(), 7);
+        for i in 0..50 {
+            let (values, _) = net.get(&format!("k{i}"));
+            assert_eq!(values, vec![format!("v{i}")], "k{i} lost after leave");
+        }
+    }
+
+    #[test]
+    fn last_node_cannot_leave() {
+        let mut net = ChordNetwork::with_nodes(1, 6);
+        let only = net.node_ids()[0];
+        assert!(!net.leave(only));
+    }
+
+    #[test]
+    fn remove_where_deletes_matching_values() {
+        let mut net = ChordNetwork::with_nodes(8, 7);
+        net.put("k", "keep".into());
+        net.put("k", "drop-me".into());
+        assert_eq!(net.remove_where("k", |v| v.starts_with("drop")), 1);
+        let (values, _) = net.get("k");
+        assert_eq!(values, vec!["keep"]);
+    }
+}

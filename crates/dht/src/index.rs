@@ -1,0 +1,173 @@
+//! The KadoP-like distributed inverted index.
+//!
+//! KadoP indexes XML resources in a DHT: each *term* (an element name, an
+//! attribute/value pair, a tag path) maps to a posting list stored at the DHT
+//! node responsible for the term's hash.  The Stream Definition Database
+//! builds its discovery queries out of such term lookups, so the cost of a
+//! query is a handful of DHT lookups — independent of how many peers or
+//! streams exist, except through the O(log n) routing hops (experiment E8).
+
+use crate::chord::{ChordNetwork, LookupResult};
+
+/// One posting: the identifier of an indexed resource.
+pub type Posting = String;
+
+/// Counters describing the index's DHT usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Posting insertions performed.
+    pub insert_operations: u64,
+    /// Term queries performed.
+    pub query_operations: u64,
+    /// Total routing hops across all operations.
+    pub total_hops: u64,
+    /// DHT messages (each hop is one request/response pair, counted once).
+    pub messages: u64,
+}
+
+impl IndexStats {
+    /// Average hops per operation.
+    pub fn avg_hops(&self) -> f64 {
+        let ops = self.insert_operations + self.query_operations;
+        if ops == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / ops as f64
+        }
+    }
+}
+
+/// An inverted index whose posting lists are stored in the DHT.
+#[derive(Debug)]
+pub struct DistributedIndex {
+    dht: ChordNetwork,
+    stats: IndexStats,
+}
+
+impl DistributedIndex {
+    /// Creates an index over the given DHT.
+    pub fn new(dht: ChordNetwork) -> Self {
+        DistributedIndex {
+            dht,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Access to the underlying DHT.
+    pub fn dht_mut(&mut self) -> &mut ChordNetwork {
+        &mut self.dht
+    }
+
+    /// Index usage statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    fn record(&mut self, result: &LookupResult) {
+        self.stats.total_hops += result.hops as u64;
+        // One message per hop plus the final request to the responsible node.
+        self.stats.messages += result.hops as u64 + 1;
+    }
+
+    /// Adds `posting` to the posting list of `term`.
+    pub fn insert(&mut self, term: &str, posting: &str) {
+        let result = self.dht.put(term, posting.to_string());
+        self.stats.insert_operations += 1;
+        self.record(&result);
+    }
+
+    /// Returns the posting list of `term` (order of insertion, deduplicated).
+    pub fn query(&mut self, term: &str) -> Vec<Posting> {
+        let (mut values, result) = self.dht.get(term);
+        self.stats.query_operations += 1;
+        self.record(&result);
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.clone()));
+        values
+    }
+
+    /// Removes a posting from a term's list; returns `true` when it existed.
+    pub fn remove(&mut self, term: &str, posting: &str) -> bool {
+        let removed = self.dht.remove_where(term, |v| v == posting);
+        removed > 0
+    }
+
+    /// Intersects the posting lists of several terms (conjunctive query).
+    pub fn query_all(&mut self, terms: &[&str]) -> Vec<Posting> {
+        let mut result: Option<Vec<Posting>> = None;
+        for term in terms {
+            let postings = self.query(term);
+            result = Some(match result {
+                None => postings,
+                Some(acc) => acc.into_iter().filter(|p| postings.contains(p)).collect(),
+            });
+            if matches!(&result, Some(r) if r.is_empty()) {
+                break;
+            }
+        }
+        result.unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> DistributedIndex {
+        DistributedIndex::new(ChordNetwork::with_nodes(64, 21))
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut idx = index();
+        idx.insert("operator=Filter", "p1|s3");
+        idx.insert("operator=Filter", "p2|s9");
+        idx.insert("operator=Join", "p1|s7");
+        assert_eq!(idx.query("operator=Filter"), vec!["p1|s3", "p2|s9"]);
+        assert_eq!(idx.query("operator=Join"), vec!["p1|s7"]);
+        assert!(idx.query("operator=Union").is_empty());
+    }
+
+    #[test]
+    fn duplicate_postings_are_deduplicated_on_read() {
+        let mut idx = index();
+        idx.insert("t", "x");
+        idx.insert("t", "x");
+        assert_eq!(idx.query("t"), vec!["x"]);
+    }
+
+    #[test]
+    fn conjunctive_query_intersects() {
+        let mut idx = index();
+        idx.insert("a", "s1");
+        idx.insert("a", "s2");
+        idx.insert("b", "s2");
+        idx.insert("b", "s3");
+        assert_eq!(idx.query_all(&["a", "b"]), vec!["s2"]);
+        assert!(idx.query_all(&["a", "missing"]).is_empty());
+        assert!(idx.query_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn remove_posting() {
+        let mut idx = index();
+        idx.insert("t", "gone");
+        idx.insert("t", "stays");
+        assert!(idx.remove("t", "gone"));
+        assert!(!idx.remove("t", "gone"));
+        assert_eq!(idx.query("t"), vec!["stays"]);
+    }
+
+    #[test]
+    fn stats_count_operations_and_messages() {
+        let mut idx = index();
+        idx.insert("t", "a");
+        idx.query("t");
+        idx.query("u");
+        let s = idx.stats();
+        assert_eq!(s.insert_operations, 1);
+        assert_eq!(s.query_operations, 2);
+        assert!(s.messages >= 3, "at least one message per operation");
+        assert!(s.avg_hops() >= 0.0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Stream descriptions and the Stream Definition Database.
+//!
+//! Section 5: the information about a stream is XML data of the form
+//!
+//! ```xml
+//! <Stream PeerId="..." StreamId="..." isAChannel="...">
+//!   <Operator>...</Operator><Operands>...</Operands>
+//!   <Stats>...</Stats>
+//! </Stream>
+//! ```
+//!
+//! The pair `(StreamId, PeerId)` identifies the stream; `Operands` lists the
+//! `(OPeerId, OStreamId)` pairs of its inputs (empty for alerter-produced
+//! sources); `Operator` says which operator produced it; `isAChannel` tells
+//! whether the stream is published.  Replicas are declared separately with
+//! `<InChannel>` elements, and — crucially for reuse — derived streams are
+//! always described *with respect to the original streams, not the replicas*.
+
+use std::collections::HashMap;
+
+use p2pmon_streams::{ChannelId, StreamStats};
+use p2pmon_xmlkit::{Element, ElementBuilder};
+
+use crate::chord::ChordNetwork;
+use crate::index::{DistributedIndex, IndexStats};
+
+/// The description of one stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDefinition {
+    /// Peer producing (or having published) the stream.
+    pub peer_id: String,
+    /// Stream identifier, unique at that peer.
+    pub stream_id: String,
+    /// The operator that produces the stream ("inCOM", "outCOM", "Filter",
+    /// "Join", "Union", "Restructure", …).
+    pub operator: String,
+    /// A canonical digest of the operator's parameters (filter conditions,
+    /// join predicate, template…), so that only *identical* operations are
+    /// considered equal for reuse.  Empty when the operator has no
+    /// parameters.
+    pub parameters: String,
+    /// The operand streams, as (OPeerId, OStreamId) pairs.  Empty for
+    /// alerter-produced monitoring sources.
+    pub operands: Vec<(String, String)>,
+    /// Whether the stream is published as a channel.
+    pub is_channel: bool,
+    /// Published statistics.
+    pub stats: StreamStats,
+}
+
+impl StreamDefinition {
+    /// A source stream produced by an alerter at `peer`.
+    pub fn source(peer: impl Into<String>, stream: impl Into<String>, alerter: impl Into<String>) -> Self {
+        StreamDefinition {
+            peer_id: peer.into(),
+            stream_id: stream.into(),
+            operator: alerter.into(),
+            parameters: String::new(),
+            operands: Vec::new(),
+            is_channel: true,
+            stats: StreamStats::new(),
+        }
+    }
+
+    /// A derived stream produced by `operator` over the given operands.
+    pub fn derived(
+        peer: impl Into<String>,
+        stream: impl Into<String>,
+        operator: impl Into<String>,
+        parameters: impl Into<String>,
+        operands: Vec<(String, String)>,
+    ) -> Self {
+        StreamDefinition {
+            peer_id: peer.into(),
+            stream_id: stream.into(),
+            operator: operator.into(),
+            parameters: parameters.into(),
+            operands,
+            is_channel: true,
+            stats: StreamStats::new(),
+        }
+    }
+
+    /// The channel identifier of this stream.
+    pub fn channel_id(&self) -> ChannelId {
+        ChannelId::new(self.peer_id.clone(), self.stream_id.clone())
+    }
+
+    /// Serializes to the paper's `<Stream>` XML form.
+    pub fn to_element(&self) -> Element {
+        let mut operator = Element::new("Operator");
+        let mut op_el = Element::new(self.operator.clone());
+        if !self.parameters.is_empty() {
+            op_el.set_attr("params", self.parameters.clone());
+        }
+        operator.push_element(op_el);
+
+        let mut operands = Element::new("Operands");
+        for (peer, stream) in &self.operands {
+            operands.push_element(
+                ElementBuilder::new("Operand")
+                    .attr("OPeerId", peer.clone())
+                    .attr("OStreamId", stream.clone())
+                    .build(),
+            );
+        }
+
+        ElementBuilder::new("Stream")
+            .attr("PeerId", self.peer_id.clone())
+            .attr("StreamId", self.stream_id.clone())
+            .attr("isAChannel", self.is_channel.to_string())
+            .child_element(operator)
+            .child_element(operands)
+            .child_element(self.stats.to_element())
+            .build()
+    }
+
+    /// Parses the `<Stream>` XML form.
+    pub fn from_element(element: &Element) -> Option<StreamDefinition> {
+        if element.name != "Stream" {
+            return None;
+        }
+        let operator_el = element.child("Operator")?.child_elements().next()?;
+        let operands = element
+            .child("Operands")
+            .map(|ops| {
+                ops.children_named("Operand")
+                    .filter_map(|o| {
+                        Some((o.attr("OPeerId")?.to_string(), o.attr("OStreamId")?.to_string()))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(StreamDefinition {
+            peer_id: element.attr("PeerId")?.to_string(),
+            stream_id: element.attr("StreamId")?.to_string(),
+            operator: operator_el.name.clone(),
+            parameters: operator_el.attr("params").unwrap_or("").to_string(),
+            operands,
+            is_channel: element.attr("isAChannel") == Some("true"),
+            stats: element
+                .child("Stats")
+                .map(StreamStats::from_element)
+                .unwrap_or_default(),
+        })
+    }
+}
+
+/// A replica declaration: `replica_peer` also provides the channel
+/// `(peer_id, stream_id)` under its local id `replica_stream`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaDeclaration {
+    /// Original publishing peer.
+    pub peer_id: String,
+    /// Original stream id.
+    pub stream_id: String,
+    /// The replicating peer.
+    pub replica_peer: String,
+    /// The replica's local stream id.
+    pub replica_stream: String,
+}
+
+impl ReplicaDeclaration {
+    /// Serializes to the `<InChannel>` form of Section 5.
+    pub fn to_element(&self) -> Element {
+        ElementBuilder::new("InChannel")
+            .attr("PeerId", self.peer_id.clone())
+            .attr("StreamId", self.stream_id.clone())
+            .attr("ReplicaPeerId", self.replica_peer.clone())
+            .attr("ReplicaStreamId", self.replica_stream.clone())
+            .build()
+    }
+
+    /// Parses an `<InChannel>` element.
+    pub fn from_element(element: &Element) -> Option<ReplicaDeclaration> {
+        if element.name != "InChannel" {
+            return None;
+        }
+        Some(ReplicaDeclaration {
+            peer_id: element.attr("PeerId")?.to_string(),
+            stream_id: element.attr("StreamId")?.to_string(),
+            replica_peer: element.attr("ReplicaPeerId")?.to_string(),
+            replica_stream: element.attr("ReplicaStreamId")?.to_string(),
+        })
+    }
+}
+
+/// The Stream Definition Database: publish / query stream descriptions and
+/// replica declarations through the distributed index.
+#[derive(Debug)]
+pub struct StreamDefinitionDatabase {
+    index: DistributedIndex,
+    /// Full descriptors kept by (peer, stream) — in KadoP the repository part
+    /// is also distributed; here the payload side is small so it rides along
+    /// with the index postings.
+    descriptors: HashMap<(String, String), StreamDefinition>,
+    replicas: Vec<ReplicaDeclaration>,
+}
+
+impl StreamDefinitionDatabase {
+    /// Creates a database over the given DHT.
+    pub fn new(dht: ChordNetwork) -> Self {
+        StreamDefinitionDatabase {
+            index: DistributedIndex::new(dht),
+            descriptors: HashMap::new(),
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Index/DHT statistics (lookup hops, messages), for E8.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// Mutable access to the underlying DHT (e.g. to make nodes join/leave in
+    /// churn experiments).
+    pub fn dht_mut(&mut self) -> &mut ChordNetwork {
+        self.index.dht_mut()
+    }
+
+    /// Number of published stream definitions.
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// True when no definition has been published.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Publishes a stream definition: stores the descriptor and posts its
+    /// index terms into the DHT.
+    pub fn publish(&mut self, definition: StreamDefinition) {
+        let key = (definition.peer_id.clone(), definition.stream_id.clone());
+        let terms = Self::index_terms(&definition);
+        let id = format!("{}|{}", definition.peer_id, definition.stream_id);
+        for term in terms {
+            self.index.insert(&term, &id);
+        }
+        self.descriptors.insert(key, definition);
+    }
+
+    /// Publishes a replica declaration.
+    pub fn publish_replica(&mut self, replica: ReplicaDeclaration) {
+        self.replicas.push(replica);
+    }
+
+    /// The replicas known for a given original channel.
+    pub fn replicas_of(&self, peer: &str, stream: &str) -> Vec<&ReplicaDeclaration> {
+        self.replicas
+            .iter()
+            .filter(|r| r.peer_id == peer && r.stream_id == stream)
+            .collect()
+    }
+
+    /// Looks up a full descriptor.
+    pub fn get(&self, peer: &str, stream: &str) -> Option<&StreamDefinition> {
+        self.descriptors.get(&(peer.to_string(), stream.to_string()))
+    }
+
+    /// Index terms of a descriptor: the operator, the producing peer, each
+    /// operand, and the (operator, operand) combinations used by the reuse
+    /// queries.
+    fn index_terms(definition: &StreamDefinition) -> Vec<String> {
+        let mut terms = vec![
+            format!("operator={}", definition.operator),
+            format!("peer={}", definition.peer_id),
+            format!("peer+operator={}|{}", definition.peer_id, definition.operator),
+        ];
+        for (op_peer, op_stream) in &definition.operands {
+            terms.push(format!("operand={op_peer}|{op_stream}"));
+            terms.push(format!(
+                "operator+operand={}|{op_peer}|{op_stream}",
+                definition.operator
+            ));
+        }
+        terms
+    }
+
+    fn resolve(&self, ids: Vec<String>) -> Vec<&StreamDefinition> {
+        ids.iter()
+            .filter_map(|id| {
+                let (peer, stream) = id.split_once('|')?;
+                self.descriptors.get(&(peer.to_string(), stream.to_string()))
+            })
+            .collect()
+    }
+
+    /// Finds alerter-produced streams of a given kind at a peer — the query
+    /// `/Stream[@PeerId = $p1][Operator/inCom]` of the paper.
+    pub fn find_alerter_streams(&mut self, peer: &str, alerter: &str) -> Vec<&StreamDefinition> {
+        let ids = self
+            .index
+            .query(&format!("peer+operator={peer}|{alerter}"));
+        let ids: Vec<String> = ids
+            .into_iter()
+            .filter(|id| {
+                id.split_once('|')
+                    .and_then(|(p, s)| self.descriptors.get(&(p.to_string(), s.to_string())))
+                    .map(|d| d.operands.is_empty())
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.resolve(ids)
+    }
+
+    /// Finds streams produced by `operator` over exactly the given operands —
+    /// the `/Stream[Operator/Filter][Operands/Operand[@OPeerId=…]…]` queries.
+    /// `parameters` must also match, so that only the *same* filter/join is
+    /// reused.
+    pub fn find_derived_streams(
+        &mut self,
+        operator: &str,
+        parameters: &str,
+        operands: &[(String, String)],
+    ) -> Vec<&StreamDefinition> {
+        // Query the index once per operand and intersect.
+        let mut candidate_ids: Option<Vec<String>> = None;
+        if operands.is_empty() {
+            candidate_ids = Some(self.index.query(&format!("operator={operator}")));
+        }
+        for (peer, stream) in operands {
+            let ids = self
+                .index
+                .query(&format!("operator+operand={operator}|{peer}|{stream}"));
+            candidate_ids = Some(match candidate_ids {
+                None => ids,
+                Some(existing) => existing.into_iter().filter(|i| ids.contains(i)).collect(),
+            });
+        }
+        let ids = candidate_ids.unwrap_or_default();
+        // Verify the exact operand set and parameters on the descriptor.
+        let ids: Vec<String> = ids
+            .into_iter()
+            .filter(|id| {
+                id.split_once('|')
+                    .and_then(|(p, s)| self.descriptors.get(&(p.to_string(), s.to_string())))
+                    .map(|d| {
+                        d.operator == operator
+                            && d.parameters == parameters
+                            && d.operands.len() == operands.len()
+                            && operands.iter().all(|o| d.operands.contains(o))
+                    })
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.resolve(ids)
+    }
+
+    /// Selects the provider for a discovered stream: the original publisher or
+    /// one of its replicas, whichever is "closest" according to `proximity`
+    /// (lower is closer) — the replica-selection step of Section 5.
+    pub fn select_provider(
+        &self,
+        peer: &str,
+        stream: &str,
+        proximity: impl Fn(&str) -> u64,
+    ) -> (String, String) {
+        let mut best = (peer.to_string(), stream.to_string());
+        let mut best_score = proximity(peer);
+        for replica in self.replicas_of(peer, stream) {
+            let score = proximity(&replica.replica_peer);
+            if score < best_score {
+                best_score = score;
+                best = (replica.replica_peer.clone(), replica.replica_stream.clone());
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    fn db() -> StreamDefinitionDatabase {
+        StreamDefinitionDatabase::new(ChordNetwork::with_nodes(32, 11))
+    }
+
+    #[test]
+    fn stream_definition_xml_round_trip() {
+        let mut def = StreamDefinition::derived(
+            "p2",
+            "s5",
+            "Filter",
+            "callee=meteo.com",
+            vec![("p1".into(), "s1".into())],
+        );
+        def.stats.record(0, 128);
+        let el = def.to_element();
+        assert_eq!(el.attr("PeerId"), Some("p2"));
+        let parsed = StreamDefinition::from_element(&el).unwrap();
+        assert_eq!(parsed.peer_id, def.peer_id);
+        assert_eq!(parsed.operator, "Filter");
+        assert_eq!(parsed.parameters, "callee=meteo.com");
+        assert_eq!(parsed.operands, def.operands);
+        assert!(parsed.is_channel);
+        assert_eq!(parsed.stats.items, 1);
+    }
+
+    #[test]
+    fn replica_declaration_round_trip() {
+        let r = ReplicaDeclaration {
+            peer_id: "p".into(),
+            stream_id: "s".into(),
+            replica_peer: "p2".into(),
+            replica_stream: "s2".into(),
+        };
+        let el = r.to_element();
+        assert_eq!(ReplicaDeclaration::from_element(&el), Some(r));
+        assert!(ReplicaDeclaration::from_element(&parse("<Other/>").unwrap()).is_none());
+    }
+
+    #[test]
+    fn alerter_stream_discovery() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("p1", "s1", "inCOM"));
+        db.publish(StreamDefinition::source("p1", "s2", "outCOM"));
+        db.publish(StreamDefinition::source("p2", "s1", "inCOM"));
+        let found = db.find_alerter_streams("p1", "inCOM");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].stream_id, "s1");
+        assert!(db.find_alerter_streams("p3", "inCOM").is_empty());
+    }
+
+    #[test]
+    fn derived_stream_discovery_requires_same_operator_params_and_operands() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("p1", "s1", "inCOM"));
+        db.publish(StreamDefinition::derived(
+            "p1",
+            "s3",
+            "Filter",
+            "F",
+            vec![("p1".into(), "s1".into())],
+        ));
+        db.publish(StreamDefinition::derived(
+            "p1",
+            "s4",
+            "Filter",
+            "OTHER",
+            vec![("p1".into(), "s1".into())],
+        ));
+        let found = db.find_derived_streams("Filter", "F", &[("p1".into(), "s1".into())]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].stream_id, "s3");
+        // Different operand: nothing.
+        assert!(db
+            .find_derived_streams("Filter", "F", &[("p9".into(), "s9".into())])
+            .is_empty());
+    }
+
+    #[test]
+    fn join_streams_are_discoverable_by_both_operands() {
+        // The paper's point against StreamGlobe: joined streams are shared too.
+        let mut db = db();
+        db.publish(StreamDefinition::derived(
+            "p1",
+            "sj",
+            "Join",
+            "callId",
+            vec![("p1".into(), "s3".into()), ("p2".into(), "s2".into())],
+        ));
+        let found = db.find_derived_streams(
+            "Join",
+            "callId",
+            &[("p1".into(), "s3".into()), ("p2".into(), "s2".into())],
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].stream_id, "sj");
+    }
+
+    #[test]
+    fn replica_selection_prefers_closer_provider() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("origin.com", "s1", "inCOM"));
+        db.publish_replica(ReplicaDeclaration {
+            peer_id: "origin.com".into(),
+            stream_id: "s1".into(),
+            replica_peer: "nearby.com".into(),
+            replica_stream: "r1".into(),
+        });
+        let proximity = |peer: &str| if peer == "nearby.com" { 5 } else { 100 };
+        assert_eq!(
+            db.select_provider("origin.com", "s1", proximity),
+            ("nearby.com".to_string(), "r1".to_string())
+        );
+        // When the original is closest, keep it.
+        let proximity = |peer: &str| if peer == "origin.com" { 1 } else { 50 };
+        assert_eq!(
+            db.select_provider("origin.com", "s1", proximity),
+            ("origin.com".to_string(), "s1".to_string())
+        );
+    }
+
+    #[test]
+    fn index_stats_accumulate() {
+        let mut db = db();
+        for i in 0..20 {
+            db.publish(StreamDefinition::source(format!("p{i}"), "s", "inCOM"));
+        }
+        db.find_alerter_streams("p3", "inCOM");
+        let stats = db.index_stats();
+        assert!(stats.insert_operations > 0);
+        assert!(stats.query_operations > 0);
+    }
+}

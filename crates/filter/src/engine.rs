@@ -1,0 +1,517 @@
+//! The combined Filter engine: preFilter → AESFilter → YFilterσ.
+//!
+//! Figure 5 of the paper: plain arrows are the per-document data flow through
+//! the three modules; dotted arrows are the *offline adjustment* performed
+//! when the subscription database changes — here, [`FilterEngine::add`] and
+//! [`FilterEngine::remove`] rebuild the hash-tree and the automaton.
+
+use std::collections::HashMap;
+
+use p2pmon_activexml::sc::{materialize, ServiceCall};
+use p2pmon_xmlkit::Element;
+
+use crate::aes::AesFilter;
+use crate::prefilter::PreFilter;
+use crate::subscription::{FilterSubscription, SubscriptionId};
+use crate::yfilter::{QueryIdx, YFilter};
+
+/// When at most this many complex subscriptions are active for a document,
+/// the engine evaluates their patterns directly instead of running the shared
+/// automaton — the "virtually pruned" YFilterσ of the paper degenerates to a
+/// handful of direct checks, which is cheaper than touching the big NFA.
+const DIRECT_EVALUATION_THRESHOLD: usize = 4;
+
+/// Aggregate statistics maintained by the engine (experiments E2–E5 read
+/// these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Documents processed.
+    pub documents: u64,
+    /// Documents for which at least one subscription matched.
+    pub documents_matched: u64,
+    /// Complex subscriptions whose tree patterns were evaluated (either via
+    /// the automaton or directly).
+    pub complex_evaluations: u64,
+    /// Documents that reached the complex stage at all.
+    pub complex_stage_entered: u64,
+    /// Service calls (`sc` elements) materialised.
+    pub service_calls_made: u64,
+    /// Service calls avoided because no active subscription needed the
+    /// payload.
+    pub service_calls_avoided: u64,
+}
+
+/// The outcome of filtering one document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FilterOutcome {
+    /// Subscriptions that matched, sorted by id.
+    pub matched: Vec<SubscriptionId>,
+    /// Complex subscriptions that were *active* after the AES stage (their
+    /// simple prefix was satisfied), whether or not they finally matched.
+    pub active_complex: Vec<SubscriptionId>,
+}
+
+/// The two-stage, many-subscription Filter.
+#[derive(Debug, Clone, Default)]
+pub struct FilterEngine {
+    subscriptions: HashMap<SubscriptionId, FilterSubscription>,
+    prefilter: PreFilter,
+    aes: AesFilter,
+    yfilter: YFilter,
+    /// Maps a YFilter query index to (subscription, index of the pattern
+    /// within that subscription's complex part).
+    query_owner: Vec<(SubscriptionId, usize)>,
+    /// Per-subscription count of complex patterns (to know when all matched).
+    complex_counts: HashMap<SubscriptionId, usize>,
+    /// Subscriptions with no simple conditions: always active.
+    always_active: Vec<SubscriptionId>,
+    /// Engine statistics.
+    pub stats: FilterStats,
+}
+
+impl FilterEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        FilterEngine::default()
+    }
+
+    /// Builds an engine from a set of subscriptions.
+    pub fn from_subscriptions(
+        subscriptions: impl IntoIterator<Item = FilterSubscription>,
+    ) -> Self {
+        let mut engine = FilterEngine::new();
+        engine.add_all(subscriptions);
+        engine
+    }
+
+    /// Number of registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// True when no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.subscriptions.is_empty()
+    }
+
+    /// Access to a registered subscription (e.g. to apply its template).
+    pub fn subscription(&self, id: SubscriptionId) -> Option<&FilterSubscription> {
+        self.subscriptions.get(&id)
+    }
+
+    /// Registers a subscription (offline adjustment).
+    pub fn add(&mut self, subscription: FilterSubscription) {
+        self.subscriptions.insert(subscription.id, subscription);
+        self.rebuild();
+    }
+
+    /// Registers many subscriptions, rebuilding the structures once.
+    pub fn add_all(&mut self, subscriptions: impl IntoIterator<Item = FilterSubscription>) {
+        for s in subscriptions {
+            self.subscriptions.insert(s.id, s);
+        }
+        self.rebuild();
+    }
+
+    /// Removes a subscription; returns `true` when it existed.
+    pub fn remove(&mut self, id: SubscriptionId) -> bool {
+        let existed = self.subscriptions.remove(&id).is_some();
+        if existed {
+            self.rebuild();
+        }
+        existed
+    }
+
+    /// Size of the AES hash-tree (number of nodes), exposed for E3.
+    pub fn aes_node_count(&self) -> usize {
+        self.aes.node_count()
+    }
+
+    /// Number of YFilter NFA states, exposed for E4.
+    pub fn yfilter_state_count(&self) -> usize {
+        self.yfilter.state_count()
+    }
+
+    /// Rebuilds the pre-filter alphabet, the AES hash-tree and the YFilter
+    /// automaton from the current subscription database.
+    fn rebuild(&mut self) {
+        self.prefilter = PreFilter::new();
+        self.aes = AesFilter::new();
+        self.yfilter = YFilter::new();
+        self.query_owner.clear();
+        self.complex_counts.clear();
+        self.always_active.clear();
+
+        // Deterministic iteration order keeps benches reproducible.
+        let mut ids: Vec<SubscriptionId> = self.subscriptions.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let sub = &self.subscriptions[&id];
+            let mut condition_ids: Vec<usize> = sub
+                .simple
+                .iter()
+                .map(|c| self.prefilter.register(c))
+                .collect();
+            condition_ids.sort_unstable();
+            condition_ids.dedup();
+            if condition_ids.is_empty() {
+                self.always_active.push(id);
+                // Simple subscriptions with no conditions at all match
+                // everything; they are handled in `process`.
+            } else {
+                self.aes.insert(&condition_ids, id, sub.is_simple());
+            }
+            if !sub.complex.is_empty() {
+                self.complex_counts.insert(id, sub.complex.len());
+                for (pattern_idx, pattern) in sub.complex.iter().enumerate() {
+                    let q = self.yfilter.add(pattern.clone());
+                    debug_assert_eq!(q, self.query_owner.len());
+                    self.query_owner.push((id, pattern_idx));
+                }
+            }
+        }
+    }
+
+    /// Filters one (fully materialised) document.
+    pub fn process(&mut self, document: &Element) -> FilterOutcome {
+        self.stats.documents += 1;
+
+        // Stage 1: simple conditions on the root attributes.
+        let satisfied = self.prefilter.satisfied(document);
+
+        // Stage 2: AES hash-tree.
+        let aes_match = self.aes.matches(&satisfied);
+        let mut matched: Vec<SubscriptionId> = aes_match.matched_simple.clone();
+        let mut active: Vec<SubscriptionId> = aes_match.active_complex.clone();
+
+        // Subscriptions with no simple conditions are always active (or
+        // always matched when they have no complex part either).
+        for &id in &self.always_active {
+            let sub = &self.subscriptions[&id];
+            if sub.is_simple() {
+                matched.push(id);
+            } else {
+                active.push(id);
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+
+        // Stage 3: YFilterσ over the active complex subscriptions only.
+        if !active.is_empty() {
+            self.stats.complex_stage_entered += 1;
+            self.stats.complex_evaluations += active.len() as u64;
+            let confirmed = self.evaluate_complex(document, &active);
+            matched.extend(confirmed);
+        }
+
+        matched.sort_unstable();
+        matched.dedup();
+        if !matched.is_empty() {
+            self.stats.documents_matched += 1;
+        }
+        FilterOutcome {
+            matched,
+            active_complex: active,
+        }
+    }
+
+    /// Evaluates the tree-pattern parts of the active subscriptions, either
+    /// directly (few active) or through the pruned automaton (many active).
+    fn evaluate_complex(
+        &mut self,
+        document: &Element,
+        active: &[SubscriptionId],
+    ) -> Vec<SubscriptionId> {
+        if active.len() <= DIRECT_EVALUATION_THRESHOLD {
+            let mut confirmed = Vec::new();
+            for &id in active {
+                let sub = &self.subscriptions[&id];
+                if sub.complex.iter().all(|p| p.matches(document)) {
+                    confirmed.push(id);
+                }
+            }
+            return confirmed;
+        }
+        // Restrict the automaton's accepts to the queries owned by active
+        // subscriptions.
+        let allowed: Vec<QueryIdx> = self
+            .query_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, (owner, _))| active.contains(owner))
+            .map(|(q, _)| q)
+            .collect();
+        let matched_queries = self
+            .yfilter
+            .matching_queries_filtered(document, Some(&allowed));
+        // A subscription is confirmed when *all* of its patterns matched.
+        let mut per_subscription: HashMap<SubscriptionId, usize> = HashMap::new();
+        for q in matched_queries {
+            let (owner, _) = self.query_owner[q];
+            *per_subscription.entry(owner).or_insert(0) += 1;
+        }
+        per_subscription
+            .into_iter()
+            .filter(|(id, n)| self.complex_counts.get(id) == Some(n))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Filters a document that may contain unevaluated service calls
+    /// (`sc` elements).  `resolver` performs the remote call on demand.
+    ///
+    /// The optimisation of Section 4: the simple conditions are checked on
+    /// the root attributes *before* any service call; if no complex
+    /// subscription remains active, the (possibly expensive) call is avoided
+    /// entirely.  Returns the outcome together with the number of calls made.
+    pub fn process_intensional(
+        &mut self,
+        document: &Element,
+        resolver: &mut dyn FnMut(&ServiceCall) -> Result<Vec<Element>, String>,
+    ) -> (FilterOutcome, usize) {
+        let has_calls = ServiceCall::document_is_intensional(document);
+        if !has_calls {
+            return (self.process(document), 0);
+        }
+
+        // Run the cheap stages on the document as-is.
+        let satisfied = self.prefilter.satisfied(document);
+        let aes_match = self.aes.matches(&satisfied);
+        let mut matched = aes_match.matched_simple.clone();
+        let mut active = aes_match.active_complex.clone();
+        for &id in &self.always_active {
+            let sub = &self.subscriptions[&id];
+            if sub.is_simple() {
+                matched.push(id);
+            } else {
+                active.push(id);
+            }
+        }
+        active.sort_unstable();
+        active.dedup();
+        self.stats.documents += 1;
+
+        if active.is_empty() {
+            // No complex subscription cares: the service call is avoided.
+            let pending = ServiceCall::find_in(document).len();
+            self.stats.service_calls_avoided += pending as u64;
+            matched.sort_unstable();
+            matched.dedup();
+            if !matched.is_empty() {
+                self.stats.documents_matched += 1;
+            }
+            return (
+                FilterOutcome {
+                    matched,
+                    active_complex: active,
+                },
+                0,
+            );
+        }
+
+        // Some complex subscription is active: materialise and evaluate.
+        let mut materialised = document.clone();
+        let calls = materialize(&mut materialised, resolver).unwrap_or(0);
+        self.stats.service_calls_made += calls as u64;
+        self.stats.complex_stage_entered += 1;
+        self.stats.complex_evaluations += active.len() as u64;
+        let confirmed = self.evaluate_complex(&materialised, &active);
+        matched.extend(confirmed);
+        matched.sort_unstable();
+        matched.dedup();
+        if !matched.is_empty() {
+            self.stats.documents_matched += 1;
+        }
+        (
+            FilterOutcome {
+                matched,
+                active_complex: active,
+            },
+            calls,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_streams::AttrCondition;
+    use p2pmon_xmlkit::path::CompareOp;
+    use p2pmon_xmlkit::{parse, PathPattern};
+
+    fn sub_simple(id: u64, attr: &str, value: &str) -> FilterSubscription {
+        FilterSubscription::new(id).with_simple(vec![AttrCondition::new(attr, CompareOp::Eq, value)])
+    }
+
+    fn sub_complex(id: u64, attr: &str, value: &str, pattern: &str) -> FilterSubscription {
+        FilterSubscription::new(id)
+            .with_simple(vec![AttrCondition::new(attr, CompareOp::Eq, value)])
+            .with_complex(vec![PathPattern::parse(pattern).unwrap()])
+    }
+
+    #[test]
+    fn simple_and_complex_subscriptions_match_correctly() {
+        let mut engine = FilterEngine::new();
+        engine.add(sub_simple(1, "kind", "rss"));
+        engine.add(sub_complex(2, "kind", "rss", "//item/title"));
+        engine.add(sub_complex(3, "kind", "rss", "//item/enclosure"));
+        engine.add(sub_simple(4, "kind", "soap"));
+
+        let doc = parse(r#"<alert kind="rss"><item><title>x</title></item></alert>"#).unwrap();
+        let outcome = engine.process(&doc);
+        assert_eq!(
+            outcome.matched,
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        assert_eq!(
+            outcome.active_complex,
+            vec![SubscriptionId(2), SubscriptionId(3)]
+        );
+    }
+
+    #[test]
+    fn no_simple_condition_subscriptions_are_always_considered() {
+        let mut engine = FilterEngine::new();
+        engine.add(FilterSubscription::new(1)); // matches everything
+        engine.add(
+            FilterSubscription::new(2).with_complex(vec![PathPattern::parse("//x").unwrap()]),
+        );
+        let doc = parse("<r><x/></r>").unwrap();
+        assert_eq!(
+            engine.process(&doc).matched,
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        let doc2 = parse("<r><y/></r>").unwrap();
+        assert_eq!(engine.process(&doc2).matched, vec![SubscriptionId(1)]);
+    }
+
+    #[test]
+    fn remove_subscription_takes_effect() {
+        let mut engine = FilterEngine::new();
+        engine.add(sub_simple(1, "a", "1"));
+        engine.add(sub_simple(2, "a", "1"));
+        let doc = parse(r#"<r a="1"/>"#).unwrap();
+        assert_eq!(engine.process(&doc).matched.len(), 2);
+        assert!(engine.remove(SubscriptionId(1)));
+        assert!(!engine.remove(SubscriptionId(1)));
+        assert_eq!(engine.process(&doc).matched, vec![SubscriptionId(2)]);
+    }
+
+    #[test]
+    fn subscription_with_multiple_patterns_needs_all_of_them() {
+        let mut engine = FilterEngine::new();
+        engine.add(
+            FilterSubscription::new(9)
+                .with_simple(vec![AttrCondition::new("k", CompareOp::Eq, "v")])
+                .with_complex(vec![
+                    PathPattern::parse("//a").unwrap(),
+                    PathPattern::parse("//b").unwrap(),
+                ]),
+        );
+        // Pad with enough other complex subscriptions to push the engine into
+        // the shared-automaton path.
+        for i in 10..20 {
+            engine.add(sub_complex(i, "k", "v", "//zzz"));
+        }
+        let both = parse(r#"<r k="v"><a/><b/></r>"#).unwrap();
+        let only_a = parse(r#"<r k="v"><a/></r>"#).unwrap();
+        assert!(engine.process(&both).matched.contains(&SubscriptionId(9)));
+        assert!(!engine.process(&only_a).matched.contains(&SubscriptionId(9)));
+    }
+
+    #[test]
+    fn agrees_with_naive_filter_on_a_mixed_workload() {
+        use crate::naive::NaiveFilter;
+        let subs: Vec<FilterSubscription> = vec![
+            sub_simple(1, "m", "GetTemperature"),
+            sub_simple(2, "callee", "meteo.com"),
+            sub_complex(3, "m", "GetTemperature", "//soap/body"),
+            sub_complex(4, "m", "GetHumidity", "//soap/body"),
+            FilterSubscription::new(5)
+                .with_simple(vec![
+                    AttrCondition::new("m", CompareOp::Eq, "GetTemperature"),
+                    AttrCondition::new("callee", CompareOp::Eq, "meteo.com"),
+                ])
+                .with_complex(vec![PathPattern::parse("//city[text()=\"Orsay\"]").unwrap()]),
+            FilterSubscription::new(6).with_simple(vec![AttrCondition::new(
+                "dur",
+                CompareOp::Gt,
+                "10",
+            )]),
+        ];
+        let mut engine = FilterEngine::from_subscriptions(subs.clone());
+        let mut naive = NaiveFilter::from_subscriptions(subs);
+        let docs = [
+            r#"<alert m="GetTemperature" callee="meteo.com" dur="15"><soap><body><city>Orsay</city></body></soap></alert>"#,
+            r#"<alert m="GetTemperature" callee="other.com" dur="5"><soap><body><city>Paris</city></body></soap></alert>"#,
+            r#"<alert m="GetHumidity" callee="meteo.com"/>"#,
+            r#"<alert/>"#,
+        ];
+        for d in docs {
+            let doc = parse(d).unwrap();
+            let mut a = engine.process(&doc).matched;
+            let mut b = naive.matching(&doc);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "disagreement on {d}");
+        }
+    }
+
+    #[test]
+    fn intensional_documents_avoid_service_calls_when_simple_conditions_fail() {
+        let mut engine = FilterEngine::new();
+        // The paper's example: attr1="x" and attr2="z" and //c/d.
+        engine.add(
+            FilterSubscription::new(1)
+                .with_simple(vec![
+                    AttrCondition::new("attr1", CompareOp::Eq, "x"),
+                    AttrCondition::new("attr2", CompareOp::Eq, "z"),
+                ])
+                .with_complex(vec![PathPattern::parse("//c/d").unwrap()]),
+        );
+        let doc = parse(
+            r#"<root attr1="x" attr2="y"><sc service="storage" address="site"><parameters/></sc></root>"#,
+        )
+        .unwrap();
+        let mut calls = 0usize;
+        let (outcome, made) = engine.process_intensional(&doc, &mut |_| {
+            calls += 1;
+            Ok(vec![parse("<c><d/></c>").unwrap()])
+        });
+        assert!(outcome.matched.is_empty());
+        assert_eq!(made, 0, "attr2 failed, the storage call must be avoided");
+        assert_eq!(calls, 0);
+        assert_eq!(engine.stats.service_calls_avoided, 1);
+    }
+
+    #[test]
+    fn intensional_documents_materialise_when_needed() {
+        let mut engine = FilterEngine::new();
+        engine.add(
+            FilterSubscription::new(1)
+                .with_simple(vec![AttrCondition::new("attr1", CompareOp::Eq, "x")])
+                .with_complex(vec![PathPattern::parse("//c/d").unwrap()]),
+        );
+        let doc = parse(
+            r#"<root attr1="x"><sc service="storage" address="site"><parameters/></sc></root>"#,
+        )
+        .unwrap();
+        let (outcome, made) = engine.process_intensional(&doc, &mut |_| {
+            Ok(vec![parse("<c><d/></c>").unwrap()])
+        });
+        assert_eq!(outcome.matched, vec![SubscriptionId(1)]);
+        assert_eq!(made, 1);
+        assert_eq!(engine.stats.service_calls_made, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut engine = FilterEngine::new();
+        engine.add(sub_simple(1, "a", "1"));
+        engine.process(&parse(r#"<r a="1"/>"#).unwrap());
+        engine.process(&parse(r#"<r a="2"/>"#).unwrap());
+        assert_eq!(engine.stats.documents, 2);
+        assert_eq!(engine.stats.documents_matched, 1);
+    }
+}

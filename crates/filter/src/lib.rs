@@ -1,0 +1,76 @@
+//! # p2pmon-filter
+//!
+//! The Filter stream processor of Section 4 — "whose performance is critical
+//! for the usability of the system".  Given a very large set of
+//! subscriptions `{Qᵢ}` and a high-rate stream of XML documents, it must
+//! find, for every document `t`, the subscriptions that match it.
+//!
+//! Each subscription is a conjunction `Qᵢ = ∧ⱼ Cᵢⱼ (∧ Q'ᵢ)` of *simple
+//! conditions* `Cᵢⱼ` on the root attributes and an optional *complex* part
+//! `Q'ᵢ` (a linear tree-pattern query).  The filter exploits that split by
+//! running three modules in sequence:
+//!
+//! 1. [`PreFilter`] — reads only the root tag and evaluates every registered
+//!    simple condition, organised in a hash table keyed by attribute name.
+//!    It outputs the ordered list of satisfied conditions.
+//! 2. [`AesFilter`] — the Atomic Event Set hash-tree (Nguyen et al., SIGMOD
+//!    2001): feeding the satisfied-condition sequence through the tree yields
+//!    (i) the *simple* subscriptions that are fully matched and (ii) the
+//!    *complex* subscriptions whose simple prefix is satisfied and whose
+//!    tree-pattern part still has to be checked ("active" subscriptions).
+//! 3. [`YFilter`] — an NFA over the tree-pattern parts (Diao et al., ICDE
+//!    2002) that shares common path prefixes between queries.  For each
+//!    document it is "virtually pruned" to the active subscriptions:
+//!    [`FilterEngine`] either restricts the NFA's accept set or, when very
+//!    few subscriptions are active, evaluates them directly.
+//!
+//! The combined pipeline is [`FilterEngine`].  [`NaiveFilter`] is the
+//! baseline that evaluates every subscription from scratch on every
+//! document; the benches of experiments E2–E4 compare the two, and the
+//! property tests assert they always agree.
+//!
+//! ActiveXML-awareness: documents may carry unevaluated service-call (`sc`)
+//! elements instead of a large payload.  [`FilterEngine::process_intensional`]
+//! materialises those calls *only when* some active subscription still needs
+//! the payload — the optimisation of the "Web service calls" paragraph of
+//! Section 4 (experiment E5).
+
+pub mod aes;
+pub mod engine;
+pub mod naive;
+pub mod prefilter;
+pub mod subscription;
+pub mod yfilter;
+
+pub use aes::AesFilter;
+pub use engine::{FilterEngine, FilterOutcome, FilterStats};
+pub use naive::NaiveFilter;
+pub use prefilter::PreFilter;
+pub use subscription::{FilterSubscription, SubscriptionId};
+pub use yfilter::YFilter;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+    use p2pmon_xmlkit::path::CompareOp;
+    use p2pmon_xmlkit::{parse, PathPattern};
+    use p2pmon_streams::AttrCondition;
+
+    #[test]
+    fn end_to_end_filtering_of_the_paper_example() {
+        // Q4 = C1, C3, Q'4 ; Q5 = C1 — from the Section 4 walk-through.
+        let mut engine = FilterEngine::new();
+        let c1 = AttrCondition::new("attr1", CompareOp::Eq, "x");
+        let c3 = AttrCondition::new("attr3", CompareOp::Eq, "z");
+        engine.add(FilterSubscription::new(4).with_simple(vec![c1.clone(), c3.clone()]).with_complex(
+            vec![PathPattern::parse("//c/d").unwrap()],
+        ));
+        engine.add(FilterSubscription::new(5).with_simple(vec![c1.clone()]));
+
+        let doc = parse(r#"<root attr1="x" attr3="z"><c><d>1</d></c></root>"#).unwrap();
+        let outcome = engine.process(&doc);
+        let mut ids: Vec<u64> = outcome.matched.iter().map(|s| s.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![4, 5]);
+    }
+}

@@ -1,0 +1,390 @@
+//! YFilterσ: a shared NFA over linear path queries.
+//!
+//! YFilter (Diao, Fischer, Franklin, To — ICDE 2002) indexes a large set of
+//! path queries in a single non-deterministic automaton that shares the
+//! common *prefixes* of the queries: `/a/b/c` and `/a/b/d` share the states
+//! for `/a/b`.  Matching a document costs one traversal of the document with
+//! a set of active states, independent of how many queries share each prefix.
+//!
+//! The variant used by P2P Monitor, YFilterσ, is additionally *pruned per
+//! document*: only the subscriptions whose simple conditions passed the AES
+//! stage are of interest, so accepts for other queries are suppressed (and
+//! when the active set is tiny, the engine skips the automaton entirely and
+//! evaluates the few patterns directly — see `FilterEngine`).
+//!
+//! Differences from the original YFilter, documented for reviewers:
+//!
+//! * value predicates on a step are part of the transition (two queries share
+//!   a prefix only when both the name tests *and* the predicates coincide);
+//!   this keeps matching exact at a small cost in sharing;
+//! * `//` is implemented with explicit self-loop states reached by an
+//!   ε-closure, the standard NFA encoding.
+
+use std::collections::HashMap;
+
+use p2pmon_xmlkit::path::{Axis, NameTest};
+use p2pmon_xmlkit::pattern::{PathPattern, ValuePredicate};
+use p2pmon_xmlkit::Element;
+
+/// Index of a registered query.
+pub type QueryIdx = usize;
+
+/// A transition of the NFA.
+#[derive(Debug, Clone)]
+struct Transition {
+    predicate: Option<ValuePredicate>,
+    target: usize,
+}
+
+/// One NFA state.
+#[derive(Debug, Clone, Default)]
+struct State {
+    /// Transitions indexed by concrete element name.
+    by_name: HashMap<String, Vec<Transition>>,
+    /// Wildcard (`*`) transitions.
+    wildcard: Vec<Transition>,
+    /// ε-successor implementing the descendant axis: a state with
+    /// `self_loop = true` from which the next step's transition departs.
+    descendant: Option<usize>,
+    /// True for `//`-states: the state stays active for every descendant.
+    self_loop: bool,
+    /// Queries accepted when this state is reached.
+    accepts: Vec<QueryIdx>,
+}
+
+/// The shared path-query automaton.
+#[derive(Debug, Clone)]
+pub struct YFilter {
+    states: Vec<State>,
+    queries: Vec<PathPattern>,
+    /// Number of state-set expansions performed, a work measure for E4.
+    pub expansions: u64,
+}
+
+impl Default for YFilter {
+    fn default() -> Self {
+        YFilter::new()
+    }
+}
+
+impl YFilter {
+    /// Creates an empty automaton (state 0 is the start state).
+    pub fn new() -> Self {
+        YFilter {
+            states: vec![State::default()],
+            queries: Vec::new(),
+            expansions: 0,
+        }
+    }
+
+    /// Builds an automaton over a set of patterns.
+    pub fn from_patterns(patterns: impl IntoIterator<Item = PathPattern>) -> Self {
+        let mut yf = YFilter::new();
+        for p in patterns {
+            yf.add(p);
+        }
+        yf
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of NFA states — the sharing measure: with heavily overlapping
+    /// queries this grows much more slowly than the total number of steps.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[PathPattern] {
+        &self.queries
+    }
+
+    /// Registers a pattern and returns its query index.
+    pub fn add(&mut self, pattern: PathPattern) -> QueryIdx {
+        let idx = self.queries.len();
+        let mut current = 0usize;
+        for step in &pattern.steps {
+            // Descendant axis: go through (or create) the self-loop state.
+            if step.axis == Axis::Descendant {
+                current = match self.states[current].descendant {
+                    Some(d) => d,
+                    None => {
+                        let d = self.new_state(true);
+                        self.states[current].descendant = Some(d);
+                        d
+                    }
+                };
+            }
+            current = self.transition_target(current, &step.name, &step.predicate);
+        }
+        self.states[current].accepts.push(idx);
+        self.queries.push(pattern);
+        idx
+    }
+
+    fn new_state(&mut self, self_loop: bool) -> usize {
+        self.states.push(State {
+            self_loop,
+            ..State::default()
+        });
+        self.states.len() - 1
+    }
+
+    /// Finds or creates the transition for (name test, predicate) out of
+    /// `from`, returning the target state.
+    fn transition_target(
+        &mut self,
+        from: usize,
+        name: &NameTest,
+        predicate: &Option<ValuePredicate>,
+    ) -> usize {
+        // Look for an existing, shareable transition.
+        let existing = match name {
+            NameTest::Name(n) => self.states[from]
+                .by_name
+                .get(n)
+                .and_then(|ts| ts.iter().find(|t| &t.predicate == predicate))
+                .map(|t| t.target),
+            NameTest::Wildcard => self.states[from]
+                .wildcard
+                .iter()
+                .find(|t| &t.predicate == predicate)
+                .map(|t| t.target),
+        };
+        if let Some(target) = existing {
+            return target;
+        }
+        let target = self.new_state(false);
+        let transition = Transition {
+            predicate: predicate.clone(),
+            target,
+        };
+        match name {
+            NameTest::Name(n) => self.states[from]
+                .by_name
+                .entry(n.clone())
+                .or_default()
+                .push(transition),
+            NameTest::Wildcard => self.states[from].wildcard.push(transition),
+        }
+        target
+    }
+
+    /// ε-closure: a state plus its descendant self-loop state.
+    fn close_into(&self, state: usize, set: &mut Vec<usize>) {
+        if !set.contains(&state) {
+            set.push(state);
+        }
+        if let Some(d) = self.states[state].descendant {
+            if !set.contains(&d) {
+                set.push(d);
+            }
+        }
+    }
+
+    /// Matches a document against every registered query; returns the sorted,
+    /// deduplicated indices of matching queries.
+    pub fn matching_queries(&mut self, document: &Element) -> Vec<QueryIdx> {
+        self.matching_queries_filtered(document, None)
+    }
+
+    /// Matches a document, reporting only queries present in `allowed` (the
+    /// per-document pruning of YFilterσ).  `None` means "all".
+    pub fn matching_queries_filtered(
+        &mut self,
+        document: &Element,
+        allowed: Option<&[QueryIdx]>,
+    ) -> Vec<QueryIdx> {
+        let mut initial = Vec::new();
+        self.close_into(0, &mut initial);
+        let mut matches = Vec::new();
+        self.visit(document, &initial, allowed, &mut matches);
+        matches.sort_unstable();
+        matches.dedup();
+        matches
+    }
+
+    fn visit(
+        &mut self,
+        element: &Element,
+        active: &[usize],
+        allowed: Option<&[QueryIdx]>,
+        matches: &mut Vec<QueryIdx>,
+    ) {
+        // Compute the successor state set for this element.
+        self.expansions += 1;
+        let mut next: Vec<usize> = Vec::new();
+        for &s in active {
+            let state = &self.states[s];
+            if state.self_loop {
+                // `//` state stays active below this element.
+                if !next.contains(&s) {
+                    next.push(s);
+                }
+            }
+            let follow = |transitions: &[Transition], next: &mut Vec<usize>| {
+                for t in transitions {
+                    let pred_ok = t
+                        .predicate
+                        .as_ref()
+                        .map(|p| p.eval(element))
+                        .unwrap_or(true);
+                    if pred_ok && !next.contains(&t.target) {
+                        next.push(t.target);
+                    }
+                }
+            };
+            if let Some(ts) = state.by_name.get(&element.name) {
+                follow(ts, &mut next);
+            }
+            follow(&state.wildcard, &mut next);
+        }
+        // ε-closure of the successor set and accept collection.
+        let mut closed = Vec::with_capacity(next.len() * 2);
+        for s in next {
+            self.close_into(s, &mut closed);
+        }
+        for &s in &closed {
+            for &q in &self.states[s].accepts {
+                let keep = match allowed {
+                    Some(list) => list.contains(&q),
+                    None => true,
+                };
+                if keep {
+                    matches.push(q);
+                }
+            }
+        }
+        if closed.is_empty() {
+            return;
+        }
+        for child in element.child_elements() {
+            self.visit(child, &closed, allowed, matches);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    fn build(queries: &[&str]) -> YFilter {
+        YFilter::from_patterns(queries.iter().map(|q| PathPattern::parse(q).unwrap()))
+    }
+
+    #[test]
+    fn absolute_and_descendant_queries() {
+        let mut yf = build(&["/rss/channel/item", "//item/title", "/rss/missing"]);
+        let doc = parse(
+            "<rss><channel><item><title>x</title></item></channel></rss>",
+        )
+        .unwrap();
+        assert_eq!(yf.matching_queries(&doc), vec![0, 1]);
+    }
+
+    #[test]
+    fn wildcard_queries() {
+        let mut yf = build(&["/a/*/c", "/a/b/*"]);
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        assert_eq!(yf.matching_queries(&doc), vec![0, 1]);
+        let doc2 = parse("<a><b><d/></b></a>").unwrap();
+        assert_eq!(yf.matching_queries(&doc2), vec![1]);
+    }
+
+    #[test]
+    fn predicates_on_steps() {
+        let mut yf = build(&[
+            r#"//alert[@method="GetTemperature"]"#,
+            r#"//alert[@method="GetHumidity"]"#,
+            "//alert",
+        ]);
+        let doc = parse(r#"<root><alert method="GetTemperature"/></root>"#).unwrap();
+        assert_eq!(yf.matching_queries(&doc), vec![0, 2]);
+    }
+
+    #[test]
+    fn double_descendant_and_deep_nesting() {
+        let mut yf = build(&["//b//d", "//d//b"]);
+        let doc = parse("<a><b><c><d/></c></b></a>").unwrap();
+        assert_eq!(yf.matching_queries(&doc), vec![0]);
+    }
+
+    #[test]
+    fn root_element_is_matchable_by_first_step() {
+        let mut yf = build(&["/alert/body", "//alert"]);
+        let doc = parse("<alert><body/></alert>").unwrap();
+        assert_eq!(yf.matching_queries(&doc), vec![0, 1]);
+    }
+
+    #[test]
+    fn prefix_sharing_reduces_state_count() {
+        // 100 queries /a/b/c0 .. /a/b/c99 share the /a/b prefix: expect about
+        // 2 shared states + 100 leaf states rather than 300 states.
+        let queries: Vec<String> = (0..100).map(|i| format!("/a/b/c{i}")).collect();
+        let yf = YFilter::from_patterns(
+            queries.iter().map(|q| PathPattern::parse(q).unwrap()),
+        );
+        assert_eq!(yf.query_count(), 100);
+        assert!(
+            yf.state_count() <= 103,
+            "expected prefix sharing, got {} states",
+            yf.state_count()
+        );
+    }
+
+    #[test]
+    fn filtered_matching_prunes_accepts() {
+        let mut yf = build(&["//a", "//b", "//c"]);
+        let doc = parse("<r><a/><b/><c/></r>").unwrap();
+        assert_eq!(yf.matching_queries(&doc), vec![0, 1, 2]);
+        assert_eq!(yf.matching_queries_filtered(&doc, Some(&[1])), vec![1]);
+        assert!(yf
+            .matching_queries_filtered(&doc, Some(&[]))
+            .is_empty());
+    }
+
+    #[test]
+    fn agrees_with_naive_pattern_matching() {
+        let queries = [
+            "/log/entry/error",
+            "//error",
+            "//entry[@level=\"warn\"]",
+            "/log//message",
+            "//entry/*",
+            "/log/entry[@level=\"info\"]/message",
+        ];
+        let docs = [
+            r#"<log><entry level="info"><message>ok</message></entry></log>"#,
+            r#"<log><entry level="warn"><error>bad</error></entry></log>"#,
+            r#"<log><other/></log>"#,
+            r#"<audit><error/></audit>"#,
+        ];
+        let patterns: Vec<PathPattern> =
+            queries.iter().map(|q| PathPattern::parse(q).unwrap()).collect();
+        let mut yf = YFilter::from_patterns(patterns.clone());
+        for doc_src in docs {
+            let doc = parse(doc_src).unwrap();
+            let nfa: Vec<usize> = yf.matching_queries(&doc);
+            let naive: Vec<usize> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.matches(&doc))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(nfa, naive, "mismatch on {doc_src}");
+        }
+    }
+
+    #[test]
+    fn text_predicate() {
+        let mut yf = build(&["//price[text() > 100]"]);
+        let expensive = parse("<order><price>250</price></order>").unwrap();
+        let cheap = parse("<order><price>50</price></order>").unwrap();
+        assert_eq!(yf.matching_queries(&expensive), vec![0]);
+        assert!(yf.matching_queries(&cheap).is_empty());
+    }
+}

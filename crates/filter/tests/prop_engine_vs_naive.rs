@@ -1,0 +1,155 @@
+//! Property tests: the staged FilterEngine must agree with the naive
+//! reference filter on arbitrary subscription sets and documents, and the
+//! YFilter automaton must agree with naive per-pattern matching.
+
+use proptest::prelude::*;
+
+use p2pmon_filter::{FilterEngine, FilterSubscription, NaiveFilter, YFilter};
+use p2pmon_streams::AttrCondition;
+use p2pmon_xmlkit::path::CompareOp;
+use p2pmon_xmlkit::{Element, PathPattern};
+
+const ATTRS: &[&str] = &["callMethod", "callee", "dur", "kind", "peer"];
+const VALUES: &[&str] = &["GetTemperature", "meteo.com", "5", "20", "rss", "p1"];
+const TAGS: &[&str] = &["soap", "body", "city", "item", "title", "error", "entry"];
+
+fn attr_condition_strategy() -> impl Strategy<Value = AttrCondition> {
+    (
+        proptest::sample::select(ATTRS.to_vec()),
+        proptest::sample::select(vec![
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Gt,
+        ]),
+        proptest::sample::select(VALUES.to_vec()),
+    )
+        .prop_map(|(a, op, v)| AttrCondition::new(a, op, v))
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PathPattern> {
+    (
+        proptest::sample::select(TAGS.to_vec()),
+        proptest::sample::select(TAGS.to_vec()),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(a, b, descendant)| {
+            let src = if descendant {
+                format!("//{a}/{b}")
+            } else {
+                format!("//{a}//{b}")
+            };
+            PathPattern::parse(&src).expect("valid pattern")
+        })
+}
+
+fn subscription_strategy(id: u64) -> impl Strategy<Value = FilterSubscription> {
+    (
+        proptest::collection::vec(attr_condition_strategy(), 0..3),
+        proptest::collection::vec(pattern_strategy(), 0..2),
+    )
+        .prop_map(move |(simple, complex)| {
+            FilterSubscription::new(id)
+                .with_simple(simple)
+                .with_complex(complex)
+        })
+}
+
+fn subscriptions_strategy() -> impl Strategy<Value = Vec<FilterSubscription>> {
+    proptest::collection::vec(proptest::num::u8::ANY, 1..20).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| subscription_strategy(i as u64))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Documents whose root attributes and children are drawn from the same small
+/// vocabularies, so that matches actually occur.
+fn document_strategy() -> impl Strategy<Value = Element> {
+    (
+        proptest::collection::vec(
+            (
+                proptest::sample::select(ATTRS.to_vec()),
+                proptest::sample::select(VALUES.to_vec()),
+            ),
+            0..4,
+        ),
+        proptest::collection::vec(
+            (
+                proptest::sample::select(TAGS.to_vec()),
+                proptest::sample::select(TAGS.to_vec()),
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|(attrs, children)| {
+            let mut root = Element::new("alert");
+            for (k, v) in attrs {
+                root.set_attr(k, v);
+            }
+            for (outer, inner) in children {
+                let mut c = Element::new(outer);
+                c.push_element(Element::text_element(inner, "x"));
+                root.push_element(c);
+            }
+            root
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engine_agrees_with_naive(
+        subs in subscriptions_strategy(),
+        docs in proptest::collection::vec(document_strategy(), 1..8),
+    ) {
+        let mut engine = FilterEngine::from_subscriptions(subs.clone());
+        let mut naive = NaiveFilter::from_subscriptions(subs);
+        for doc in &docs {
+            let mut staged = engine.process(doc).matched;
+            let mut reference = naive.matching(doc);
+            staged.sort();
+            reference.sort();
+            prop_assert_eq!(staged, reference, "document: {}", doc.to_xml());
+        }
+    }
+
+    #[test]
+    fn yfilter_agrees_with_naive_pattern_matching(
+        patterns in proptest::collection::vec(pattern_strategy(), 1..30),
+        docs in proptest::collection::vec(document_strategy(), 1..6),
+    ) {
+        let mut yf = YFilter::from_patterns(patterns.clone());
+        for doc in &docs {
+            let nfa: Vec<usize> = yf.matching_queries(doc);
+            let naive: Vec<usize> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.matches(doc))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(nfa, naive, "document: {}", doc.to_xml());
+        }
+    }
+
+    #[test]
+    fn active_complex_is_a_superset_of_complex_matches(
+        subs in subscriptions_strategy(),
+        doc in document_strategy(),
+    ) {
+        let mut engine = FilterEngine::from_subscriptions(subs.clone());
+        let outcome = engine.process(&doc);
+        for sub in &subs {
+            if !sub.complex.is_empty() && outcome.matched.contains(&sub.id) {
+                prop_assert!(
+                    outcome.active_complex.contains(&sub.id),
+                    "complex subscription {} matched without being active",
+                    sub.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Message envelopes.
+
+use p2pmon_streams::ChannelId;
+use p2pmon_xmlkit::Element;
+
+use crate::PeerId;
+
+/// One message in flight (or delivered): an XML tree travelling from `from`
+/// to `to`, possibly on behalf of a published channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Monotonically increasing message identifier (assigned by the network).
+    pub id: u64,
+    /// Sending peer.
+    pub from: PeerId,
+    /// Receiving peer.
+    pub to: PeerId,
+    /// The channel this message belongs to, when it is a channel publication
+    /// (`None` for control traffic such as DHT lookups or plan deployment).
+    pub channel: Option<ChannelId>,
+    /// The XML payload.
+    pub payload: Element,
+    /// Payload size in bytes (computed once at send time).
+    pub bytes: usize,
+    /// Logical time at which the message was sent.
+    pub sent_at: u64,
+    /// Logical time at which the message is (or was) delivered.
+    pub deliver_at: u64,
+}
+
+impl Message {
+    /// Network latency experienced by this message.
+    pub fn latency(&self) -> u64 {
+        self.deliver_at.saturating_sub(self.sent_at)
+    }
+
+    /// True when this is channel traffic (data plane) rather than control
+    /// traffic.
+    pub fn is_channel_traffic(&self) -> bool {
+        self.channel.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_kind() {
+        let m = Message {
+            id: 1,
+            from: "a".into(),
+            to: "b".into(),
+            channel: Some(ChannelId::new("a", "X")),
+            payload: Element::new("x"),
+            bytes: 10,
+            sent_at: 100,
+            deliver_at: 130,
+        };
+        assert_eq!(m.latency(), 30);
+        assert!(m.is_channel_traffic());
+    }
+}

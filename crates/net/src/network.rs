@@ -1,0 +1,413 @@
+//! The discrete-event network simulator.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p2pmon_streams::ChannelId;
+use p2pmon_xmlkit::Element;
+
+use crate::latency::{LatencyModel, LatencySampler};
+use crate::message::Message;
+use crate::stats::NetworkStats;
+use crate::PeerId;
+
+/// Configuration of a simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Latency model for all links.
+    pub latency: LatencyModel,
+    /// Probability in `[0, 1]` that any message is silently dropped
+    /// (failure injection; 0 by default).
+    pub drop_probability: f64,
+    /// Seed for the drop-decision generator.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::default(),
+            drop_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The simulated network: peers, in-flight messages and a logical clock.
+#[derive(Debug)]
+pub struct Network {
+    peers: BTreeSet<PeerId>,
+    down: BTreeSet<PeerId>,
+    inboxes: BTreeMap<PeerId, VecDeque<Message>>,
+    /// In-flight messages keyed by delivery time, then message id (total
+    /// order ⇒ deterministic delivery order).
+    in_flight: BTreeMap<(u64, u64), Message>,
+    clock: u64,
+    next_message_id: u64,
+    latency: LatencySampler,
+    drop_probability: f64,
+    rng: StdRng,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            peers: BTreeSet::new(),
+            down: BTreeSet::new(),
+            inboxes: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+            clock: 0,
+            next_message_id: 0,
+            latency: LatencySampler::new(config.latency),
+            drop_probability: config.drop_probability.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Registers a peer.  Registering an existing peer is a no-op.
+    pub fn add_peer(&mut self, peer: impl Into<PeerId>) {
+        let peer = peer.into();
+        self.inboxes.entry(peer.clone()).or_default();
+        self.peers.insert(peer);
+    }
+
+    /// All registered peers, sorted.
+    pub fn peers(&self) -> Vec<&str> {
+        self.peers.iter().map(String::as_str).collect()
+    }
+
+    /// True when the peer is registered.
+    pub fn has_peer(&self, peer: &str) -> bool {
+        self.peers.contains(peer)
+    }
+
+    /// Marks a peer as failed: messages to it are dropped until it recovers.
+    pub fn fail_peer(&mut self, peer: &str) {
+        if self.peers.contains(peer) {
+            self.down.insert(peer.to_string());
+        }
+    }
+
+    /// Recovers a failed peer.
+    pub fn recover_peer(&mut self, peer: &str) {
+        self.down.remove(peer);
+    }
+
+    /// True when the peer is currently failed.
+    pub fn is_down(&self, peer: &str) -> bool {
+        self.down.contains(peer)
+    }
+
+    /// The logical clock (ms).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the logical clock without delivering anything (alerters use
+    /// this to space out the events they generate).
+    pub fn advance_clock(&mut self, delta_ms: u64) {
+        self.clock += delta_ms;
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Expected latency of a link — the proximity measure used by replica
+    /// selection.
+    pub fn expected_latency(&self, from: &str, to: &str) -> u64 {
+        self.latency.expected(from, to)
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Sends an XML payload from `from` to `to`.  Returns the message id, or
+    /// `None` when the message was dropped (failure injection, unknown or
+    /// failed destination).
+    pub fn send(
+        &mut self,
+        from: &str,
+        to: &str,
+        channel: Option<ChannelId>,
+        payload: Element,
+    ) -> Option<u64> {
+        if !self.peers.contains(from) || !self.peers.contains(to) {
+            self.stats.record_drop();
+            return None;
+        }
+        if self.down.contains(from) || self.down.contains(to) {
+            self.stats.record_drop();
+            return None;
+        }
+        if self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability {
+            self.stats.record_drop();
+            return None;
+        }
+        let bytes = payload.byte_size();
+        let latency = if from == to {
+            0
+        } else {
+            self.latency.sample(from, to)
+        };
+        let id = self.next_message_id;
+        self.next_message_id += 1;
+        let message = Message {
+            id,
+            from: from.to_string(),
+            to: to.to_string(),
+            channel,
+            payload,
+            bytes,
+            sent_at: self.clock,
+            deliver_at: self.clock + latency,
+        };
+        self.in_flight.insert((message.deliver_at, id), message);
+        Some(id)
+    }
+
+    /// Multicasts a payload to several peers (one message per subscriber, as
+    /// a channel publication does).  Returns the number of messages actually
+    /// sent.
+    pub fn multicast(
+        &mut self,
+        from: &str,
+        to: &[PeerId],
+        channel: Option<ChannelId>,
+        payload: &Element,
+    ) -> usize {
+        let mut sent = 0;
+        for peer in to {
+            if self
+                .send(from, peer, channel.clone(), payload.clone())
+                .is_some()
+            {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// Delivers the next in-flight message (advancing the clock to its
+    /// delivery time).  Returns the recipient, or `None` when nothing is in
+    /// flight.
+    pub fn step(&mut self) -> Option<PeerId> {
+        let (&key, _) = self.in_flight.iter().next()?;
+        let message = self.in_flight.remove(&key).expect("key just observed");
+        self.clock = self.clock.max(message.deliver_at);
+        if self.down.contains(&message.to) {
+            self.stats.record_drop();
+            return Some(message.to);
+        }
+        self.stats.record_delivery(
+            &message.from,
+            &message.to,
+            message.bytes,
+            message.is_channel_traffic(),
+        );
+        let to = message.to.clone();
+        self.inboxes.entry(to.clone()).or_default().push_back(message);
+        Some(to)
+    }
+
+    /// Delivers every message currently in flight (and any that those
+    /// deliveries do not generate — the caller's runtime loop is responsible
+    /// for reacting and sending more).  Returns the number delivered.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut delivered = 0;
+        while !self.in_flight.is_empty() {
+            self.step();
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Delivers messages whose delivery time is ≤ `deadline`, advancing the
+    /// clock to `deadline` at most.
+    pub fn run_until(&mut self, deadline: u64) -> usize {
+        let mut delivered = 0;
+        loop {
+            match self.in_flight.iter().next() {
+                Some((&(t, _), _)) if t <= deadline => {
+                    self.step();
+                    delivered += 1;
+                }
+                _ => break,
+            }
+        }
+        self.clock = self.clock.max(deadline);
+        delivered
+    }
+
+    /// Drains and returns the inbox of a peer.
+    pub fn take_inbox(&mut self, peer: &str) -> Vec<Message> {
+        self.inboxes
+            .get_mut(peer)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of undelivered-to-application messages waiting in a peer's
+    /// inbox.
+    pub fn inbox_len(&self, peer: &str) -> usize {
+        self.inboxes.get(peer).map(VecDeque::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        let mut n = Network::new(NetworkConfig::default());
+        for p in ["a.com", "b.com", "meteo.com", "p"] {
+            n.add_peer(p);
+        }
+        n
+    }
+
+    #[test]
+    fn messages_are_delivered_in_time_order() {
+        let mut n = Network::new(NetworkConfig {
+            latency: LatencyModel::PerLink {
+                links: [
+                    (("a.com".to_string(), "p".to_string()), 100),
+                    (("b.com".to_string(), "p".to_string()), 10),
+                ]
+                .into_iter()
+                .collect(),
+                default: 50,
+            },
+            ..NetworkConfig::default()
+        });
+        n.add_peer("a.com");
+        n.add_peer("b.com");
+        n.add_peer("p");
+        n.send("a.com", "p", None, Element::new("slow"));
+        n.send("b.com", "p", None, Element::new("fast"));
+        n.run_until_idle();
+        let inbox = n.take_inbox("p");
+        assert_eq!(inbox[0].payload.name, "fast");
+        assert_eq!(inbox[1].payload.name, "slow");
+        assert_eq!(n.now(), 100);
+    }
+
+    #[test]
+    fn local_delivery_is_instant() {
+        let mut n = net();
+        n.send("p", "p", None, Element::new("loop"));
+        n.step();
+        assert_eq!(n.now(), 0);
+        assert_eq!(n.inbox_len("p"), 1);
+    }
+
+    #[test]
+    fn unknown_peer_messages_are_dropped() {
+        let mut n = net();
+        assert!(n.send("a.com", "nowhere.com", None, Element::new("x")).is_none());
+        assert_eq!(n.stats().dropped_messages, 1);
+    }
+
+    #[test]
+    fn failed_peer_drops_traffic_until_recovery() {
+        let mut n = net();
+        n.fail_peer("meteo.com");
+        assert!(n.is_down("meteo.com"));
+        assert!(n.send("a.com", "meteo.com", None, Element::new("x")).is_none());
+        n.recover_peer("meteo.com");
+        assert!(n.send("a.com", "meteo.com", None, Element::new("x")).is_some());
+        n.run_until_idle();
+        assert_eq!(n.inbox_len("meteo.com"), 1);
+    }
+
+    #[test]
+    fn messages_in_flight_to_a_peer_that_fails_are_dropped_at_delivery() {
+        let mut n = net();
+        n.send("a.com", "meteo.com", None, Element::new("x"));
+        n.fail_peer("meteo.com");
+        n.run_until_idle();
+        assert_eq!(n.inbox_len("meteo.com"), 0);
+        assert_eq!(n.stats().dropped_messages, 1);
+    }
+
+    #[test]
+    fn multicast_counts_and_channel_accounting() {
+        let mut n = net();
+        let ch = ChannelId::new("a.com", "X");
+        let sent = n.multicast(
+            "a.com",
+            &["b.com".to_string(), "meteo.com".to_string()],
+            Some(ch),
+            &Element::new("item"),
+        );
+        assert_eq!(sent, 2);
+        n.run_until_idle();
+        assert_eq!(n.stats().channel_messages, 2);
+        assert_eq!(n.stats().control_messages, 0);
+    }
+
+    #[test]
+    fn drop_probability_drops_roughly_that_fraction() {
+        let mut n = Network::new(NetworkConfig {
+            drop_probability: 0.5,
+            seed: 7,
+            ..NetworkConfig::default()
+        });
+        n.add_peer("a");
+        n.add_peer("b");
+        for _ in 0..200 {
+            n.send("a", "b", None, Element::new("x"));
+        }
+        let dropped = n.stats().dropped_messages;
+        assert!(dropped > 60 && dropped < 140, "dropped {dropped} of 200");
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut n = net(); // constant 10ms latency
+        n.send("a.com", "p", None, Element::new("one"));
+        n.advance_clock(100);
+        n.send("a.com", "p", None, Element::new("two"));
+        let delivered = n.run_until(50);
+        assert_eq!(delivered, 1);
+        assert_eq!(n.in_flight_count(), 1);
+        // The clock had already been advanced to 100 by advance_clock, so the
+        // deadline cannot move it backwards.
+        assert_eq!(n.now(), 100);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut n = Network::new(NetworkConfig {
+                latency: LatencyModel::Uniform {
+                    min: 1,
+                    max: 30,
+                    seed: 9,
+                },
+                drop_probability: 0.1,
+                seed: 9,
+            });
+            n.add_peer("a");
+            n.add_peer("b");
+            for i in 0..50 {
+                n.send("a", "b", None, Element::text_element("m", i.to_string()));
+            }
+            n.run_until_idle();
+            (
+                n.stats().total_messages,
+                n.stats().dropped_messages,
+                n.now(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

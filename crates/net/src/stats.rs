@@ -1,0 +1,110 @@
+//! Network traffic accounting.
+//!
+//! Experiments E6 (selection pushdown saves communications) and E7 (stream
+//! reuse saves traffic) are stated by the paper as qualitative claims; the
+//! benches measure them with these counters.
+
+use std::collections::BTreeMap;
+
+use crate::PeerId;
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages delivered on the link.
+    pub messages: u64,
+    /// Payload bytes delivered on the link.
+    pub bytes: u64,
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// All messages delivered.
+    pub total_messages: u64,
+    /// All payload bytes delivered.
+    pub total_bytes: u64,
+    /// Messages dropped by failure injection.
+    pub dropped_messages: u64,
+    /// Channel (data-plane) messages delivered.
+    pub channel_messages: u64,
+    /// Control-plane messages delivered (DHT lookups, deployment, …).
+    pub control_messages: u64,
+    /// Per-link counters, keyed by (from, to).
+    pub per_link: BTreeMap<(PeerId, PeerId), LinkStats>,
+}
+
+impl NetworkStats {
+    /// Records the delivery of one message.
+    pub fn record_delivery(&mut self, from: &str, to: &str, bytes: usize, is_channel: bool) {
+        self.total_messages += 1;
+        self.total_bytes += bytes as u64;
+        if is_channel {
+            self.channel_messages += 1;
+        } else {
+            self.control_messages += 1;
+        }
+        let link = self
+            .per_link
+            .entry((from.to_string(), to.to_string()))
+            .or_default();
+        link.messages += 1;
+        link.bytes += bytes as u64;
+    }
+
+    /// Records a dropped message.
+    pub fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Counters for one directed link.
+    pub fn link(&self, from: &str, to: &str) -> LinkStats {
+        self.per_link
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total bytes that crossed links *into* the given peer.
+    pub fn bytes_into(&self, peer: &str) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((_, to), _)| to == peer)
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+
+    /// Total bytes that crossed links *out of* the given peer.
+    pub fn bytes_out_of(&self, peer: &str) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((from, _), _)| from == peer)
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_accounting() {
+        let mut s = NetworkStats::default();
+        s.record_delivery("a", "b", 100, true);
+        s.record_delivery("a", "b", 50, false);
+        s.record_delivery("b", "c", 10, true);
+        s.record_drop();
+        assert_eq!(s.total_messages, 3);
+        assert_eq!(s.total_bytes, 160);
+        assert_eq!(s.channel_messages, 2);
+        assert_eq!(s.control_messages, 1);
+        assert_eq!(s.dropped_messages, 1);
+        assert_eq!(s.link("a", "b").messages, 2);
+        assert_eq!(s.link("a", "b").bytes, 150);
+        assert_eq!(s.link("c", "a"), LinkStats::default());
+        assert_eq!(s.bytes_into("b"), 150);
+        assert_eq!(s.bytes_out_of("b"), 10);
+        assert_eq!(s.bytes_into("a"), 0);
+    }
+}

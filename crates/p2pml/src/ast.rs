@@ -1,0 +1,235 @@
+//! The abstract syntax of P2PML subscriptions.
+
+use p2pmon_streams::{Condition, Operand, Template};
+use p2pmon_xmlkit::Value;
+
+/// A parsed subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// FOR clause: the information sources, one binding per variable.
+    pub for_clause: Vec<ForBinding>,
+    /// LET clause: derived values.
+    pub let_clause: Vec<LetBinding>,
+    /// WHERE clause: a conjunction of conditions.
+    pub where_clause: Vec<Condition>,
+    /// Whether the RETURN clause asked for duplicate-free results.
+    pub distinct: bool,
+    /// RETURN clause: the output template.
+    pub return_template: Template,
+    /// BY clause: how the user is notified.
+    pub by: ByClause,
+}
+
+impl Subscription {
+    /// The variables bound by the FOR clause, in order.
+    pub fn for_variables(&self) -> Vec<&str> {
+        self.for_clause.iter().map(|b| b.var.as_str()).collect()
+    }
+
+    /// The variables bound by the LET clause, in order.
+    pub fn let_variables(&self) -> Vec<&str> {
+        self.let_clause.iter().map(|b| b.var.as_str()).collect()
+    }
+}
+
+/// One FOR binding: `$var in <source>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    /// Variable name, without the `$`.
+    pub var: String,
+    /// The source expression.
+    pub source: SourceExpr,
+}
+
+/// A source of stream items in a FOR clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceExpr {
+    /// An alerter function over a static collection of monitored peers, e.g.
+    /// `outCOM(<p>http://a.com</p> <p>http://b.com</p>)`.
+    Alerter {
+        /// The alerter function name (`inCOM`, `outCOM`, `rssFeed`, …).
+        function: String,
+        /// The monitored peers (the text of the `<p>` arguments).
+        peers: Vec<String>,
+    },
+    /// An alerter function whose collection of monitored peers is *dynamic*,
+    /// driven by another stream variable: `inCOM($j)`.
+    DynamicAlerter {
+        /// The alerter function name.
+        function: String,
+        /// The variable carrying membership events (`<p-join>`/`<p-leave>`).
+        driver: String,
+    },
+    /// A nested subscription: `for $x in ( for $y in … ) …`.
+    Nested(Box<Subscription>),
+    /// A subscription to an already-published channel: `channel("#X@peer")`.
+    Channel {
+        /// The publishing peer.
+        peer: String,
+        /// The stream/channel identifier.
+        stream: String,
+    },
+}
+
+impl SourceExpr {
+    /// A short description used in plan displays.
+    pub fn describe(&self) -> String {
+        match self {
+            SourceExpr::Alerter { function, peers } => {
+                format!("{function}({})", peers.join(", "))
+            }
+            SourceExpr::DynamicAlerter { function, driver } => format!("{function}(${driver})"),
+            SourceExpr::Nested(_) => "(nested subscription)".to_string(),
+            SourceExpr::Channel { peer, stream } => format!("#{stream}@{peer}"),
+        }
+    }
+}
+
+/// One LET binding: `$var := <expr>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetBinding {
+    /// Variable name, without the `$`.
+    pub var: String,
+    /// The defining expression.
+    pub expr: ValueExpr,
+}
+
+/// A value expression in a LET clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueExpr {
+    /// A single operand (`$c1.callTimestamp`, a constant, an XPath value…).
+    Operand(Operand),
+    /// A binary arithmetic expression.
+    Binary {
+        /// Left operand expression.
+        left: Box<ValueExpr>,
+        /// The operator.
+        op: ArithOp,
+        /// Right operand expression.
+        right: Box<ValueExpr>,
+    },
+}
+
+impl ValueExpr {
+    /// The FOR variables this expression depends on.
+    pub fn variables(&self) -> Vec<String> {
+        match self {
+            ValueExpr::Operand(op) => op.variables().into_iter().map(str::to_string).collect(),
+            ValueExpr::Binary { left, right, .. } => {
+                let mut vars = left.variables();
+                vars.extend(right.variables());
+                vars.sort();
+                vars.dedup();
+                vars
+            }
+        }
+    }
+
+    /// Evaluates the expression over bindings.
+    pub fn eval(&self, bindings: &p2pmon_streams::Bindings) -> Option<Value> {
+        match self {
+            ValueExpr::Operand(op) => op.eval(bindings),
+            ValueExpr::Binary { left, op, right } => {
+                let l = left.eval(bindings)?;
+                let r = right.eval(bindings)?;
+                match op {
+                    ArithOp::Add => l.add(&r),
+                    ArithOp::Sub => l.sub(&r),
+                    ArithOp::Mul => l.mul(&r),
+                    ArithOp::Div => l.div(&r),
+                }
+            }
+        }
+    }
+}
+
+/// Arithmetic operators allowed in LET expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+}
+
+/// The BY clause: how detected events reach the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByClause {
+    /// `publish as channel "name"` — the pub/sub case; other peers and other
+    /// subscriptions can refer to the channel.
+    Channel(String),
+    /// `email "address"` — a digest is mailed (simulated sink).
+    Email(String),
+    /// `file "path"` — results are appended to an XML / XHTML document.
+    File(String),
+    /// `rss "path"` — results are published as an RSS feed.
+    Rss(String),
+}
+
+impl ByClause {
+    /// The channel name when the clause publishes a channel.
+    pub fn channel_name(&self) -> Option<&str> {
+        match self {
+            ByClause::Channel(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_streams::Bindings;
+    use p2pmon_xmlkit::parse;
+
+    #[test]
+    fn value_expr_evaluation() {
+        let mut b = Bindings::new();
+        b.bind_tree(
+            "c1",
+            parse(r#"<alert callTimestamp="100" responseTimestamp="130"/>"#).unwrap(),
+        );
+        let expr = ValueExpr::Binary {
+            left: Box::new(ValueExpr::Operand(Operand::VarAttr {
+                var: "c1".into(),
+                attr: "responseTimestamp".into(),
+            })),
+            op: ArithOp::Sub,
+            right: Box::new(ValueExpr::Operand(Operand::VarAttr {
+                var: "c1".into(),
+                attr: "callTimestamp".into(),
+            })),
+        };
+        assert_eq!(expr.eval(&b), Some(Value::Integer(30)));
+        assert_eq!(expr.variables(), vec!["c1".to_string()]);
+    }
+
+    #[test]
+    fn by_clause_channel_name() {
+        assert_eq!(ByClause::Channel("x".into()).channel_name(), Some("x"));
+        assert_eq!(ByClause::Email("a@b".into()).channel_name(), None);
+    }
+
+    #[test]
+    fn source_descriptions() {
+        let s = SourceExpr::Alerter {
+            function: "outCOM".into(),
+            peers: vec!["a.com".into(), "b.com".into()],
+        };
+        assert_eq!(s.describe(), "outCOM(a.com, b.com)");
+        let d = SourceExpr::DynamicAlerter {
+            function: "inCOM".into(),
+            driver: "j".into(),
+        };
+        assert_eq!(d.describe(), "inCOM($j)");
+        let c = SourceExpr::Channel {
+            peer: "p".into(),
+            stream: "X".into(),
+        };
+        assert_eq!(c.describe(), "#X@p");
+    }
+}

@@ -1,0 +1,85 @@
+//! Stream items and events.
+
+use p2pmon_xmlkit::Element;
+
+/// One element of a stream: an XML tree plus bookkeeping.
+///
+/// The `timestamp` is a logical clock in milliseconds maintained by the
+/// network simulator (the paper's alerters attach wall-clock timestamps to
+/// SOAP calls; in the reproduction all clocks are simulated so that runs are
+/// deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamItem {
+    /// Sequence number within the producing stream, starting at 0.
+    pub seq: u64,
+    /// Logical time (milliseconds) at which the item was produced.
+    pub timestamp: u64,
+    /// The XML tree carried by the item.
+    pub data: Element,
+}
+
+impl StreamItem {
+    /// Creates an item.
+    pub fn new(seq: u64, timestamp: u64, data: Element) -> Self {
+        StreamItem { seq, timestamp, data }
+    }
+
+    /// Root-attribute accessor, the "simple" information of Section 2.
+    pub fn root_attr(&self, name: &str) -> Option<&str> {
+        self.data.attr(name)
+    }
+
+    /// Serialized size used for transfer-cost accounting.
+    pub fn byte_size(&self) -> usize {
+        self.data.byte_size() + 16
+    }
+}
+
+/// A stream event: an item or the end-of-stream marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A data item.
+    Item(StreamItem),
+    /// The `eos` symbol: no more items will follow.  Non-continuous services
+    /// return one tree followed by `Eos`.
+    Eos,
+}
+
+impl StreamEvent {
+    /// Returns the carried item, if any.
+    pub fn item(&self) -> Option<&StreamItem> {
+        match self {
+            StreamEvent::Item(i) => Some(i),
+            StreamEvent::Eos => None,
+        }
+    }
+
+    /// True for the end-of-stream marker.
+    pub fn is_eos(&self) -> bool {
+        matches!(self, StreamEvent::Eos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    #[test]
+    fn item_accessors() {
+        let item = StreamItem::new(3, 99, parse(r#"<alert callId="42"><x/></alert>"#).unwrap());
+        assert_eq!(item.root_attr("callId"), Some("42"));
+        assert_eq!(item.root_attr("none"), None);
+        assert!(item.byte_size() > 16);
+    }
+
+    #[test]
+    fn event_helpers() {
+        let item = StreamItem::new(0, 0, Element::new("a"));
+        let ev = StreamEvent::Item(item.clone());
+        assert_eq!(ev.item(), Some(&item));
+        assert!(!ev.is_eos());
+        assert!(StreamEvent::Eos.is_eos());
+        assert!(StreamEvent::Eos.item().is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! The operator abstraction shared by every stream processor.
+//!
+//! Operators are *push-based*: the runtime (in `p2pmon-core`) delivers each
+//! incoming [`StreamItem`] to an input port, and the operator returns the
+//! output trees it produces in response.  Stateless operators (Filter,
+//! Restructure, Union) never hold items; stateful ones (Join,
+//! Duplicate-removal, Group) maintain bounded histories and expose their
+//! memory footprint through [`Operator::state_size`], which feeds the paper's
+//! "garbage collection for stateful processors" future-work experiment (E9).
+
+use crate::item::StreamItem;
+use p2pmon_xmlkit::Element;
+
+/// The result of delivering one item (or an end-of-stream) to an operator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorOutput {
+    /// Output trees produced in response (possibly empty).
+    pub items: Vec<Element>,
+    /// True when the operator's own output stream is now finished.
+    pub eos: bool,
+}
+
+impl OperatorOutput {
+    /// No output, stream continues.
+    pub fn none() -> Self {
+        OperatorOutput::default()
+    }
+
+    /// A single output tree.
+    pub fn one(item: Element) -> Self {
+        OperatorOutput {
+            items: vec![item],
+            eos: false,
+        }
+    }
+
+    /// Several output trees.
+    pub fn many(items: Vec<Element>) -> Self {
+        OperatorOutput { items, eos: false }
+    }
+
+    /// End of the output stream (optionally with final items).
+    pub fn finished(items: Vec<Element>) -> Self {
+        OperatorOutput { items, eos: true }
+    }
+}
+
+/// A stream processor with `arity` input ports and one output stream.
+pub trait Operator: Send {
+    /// A short operator name ("select", "join", …) used in plan displays and
+    /// stream definitions.
+    fn name(&self) -> &str;
+
+    /// Number of input ports.
+    fn arity(&self) -> usize;
+
+    /// Whether the operator keeps state across items.
+    fn is_stateful(&self) -> bool {
+        false
+    }
+
+    /// Delivers one item on the given port.
+    fn on_item(&mut self, port: usize, item: &StreamItem) -> OperatorOutput;
+
+    /// Signals end-of-stream on the given port.  The default implementation
+    /// ends the output stream immediately, which is correct for unary
+    /// operators; multi-input operators override it to wait for all ports.
+    fn on_eos(&mut self, port: usize) -> OperatorOutput {
+        let _ = port;
+        OperatorOutput::finished(Vec::new())
+    }
+
+    /// Approximate number of bytes of state currently held (0 for stateless
+    /// operators).
+    fn state_size(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Operator for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn on_item(&mut self, _port: usize, item: &StreamItem) -> OperatorOutput {
+            OperatorOutput::one(item.data.clone())
+        }
+    }
+
+    #[test]
+    fn default_eos_behaviour() {
+        let mut echo = Echo;
+        assert!(!echo.is_stateful());
+        assert_eq!(echo.state_size(), 0);
+        let out = echo.on_eos(0);
+        assert!(out.eos);
+        assert!(out.items.is_empty());
+    }
+
+    #[test]
+    fn output_constructors() {
+        assert!(OperatorOutput::none().items.is_empty());
+        assert_eq!(OperatorOutput::one(Element::new("x")).items.len(), 1);
+        assert!(OperatorOutput::finished(vec![]).eos);
+    }
+}

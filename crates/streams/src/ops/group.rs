@@ -1,0 +1,318 @@
+//! The Group operator: grouped aggregation over tumbling windows.
+//!
+//! The paper lists Group among the stateful processors but does not detail
+//! it; the Edos motivation ("gather statistics about the peers — number,
+//! efficiency, reliability — and the usage of the system — query rate")
+//! dictates its shape: group incoming alerts by a key, aggregate a measure,
+//! and emit a summary tree per group when the window closes.
+
+use std::collections::BTreeMap;
+
+use p2pmon_xmlkit::{Element, ElementBuilder, Value, XPath};
+
+use crate::item::StreamItem;
+use crate::operator::{Operator, OperatorOutput};
+
+/// How the grouping key is read from an item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupKey {
+    /// A root attribute.
+    Attr(String),
+    /// The first value selected by an XPath.
+    Path(XPath),
+    /// A single global group.
+    All,
+}
+
+impl GroupKey {
+    fn key_of(&self, element: &Element) -> Option<String> {
+        match self {
+            GroupKey::Attr(a) => element.attr(a).map(str::to_string),
+            GroupKey::Path(p) => p.first_value(element).map(|v| v.as_string()),
+            GroupKey::All => Some("*".to_string()),
+        }
+    }
+}
+
+/// The aggregate computed per group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// Number of items in the group.
+    Count,
+    /// Sum of a numeric root attribute.
+    Sum(String),
+    /// Average of a numeric root attribute.
+    Avg(String),
+    /// Minimum of a numeric root attribute.
+    Min(String),
+    /// Maximum of a numeric root attribute.
+    Max(String),
+}
+
+impl Aggregate {
+    fn attr(&self) -> Option<&str> {
+        match self {
+            Aggregate::Count => None,
+            Aggregate::Sum(a) | Aggregate::Avg(a) | Aggregate::Min(a) | Aggregate::Max(a) => {
+                Some(a)
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Aggregate::Count => "count",
+            Aggregate::Sum(_) => "sum",
+            Aggregate::Avg(_) => "avg",
+            Aggregate::Min(_) => "min",
+            Aggregate::Max(_) => "max",
+        }
+    }
+}
+
+/// Per-group running state.
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl GroupState {
+    fn add(&mut self, value: Option<f64>) {
+        self.count += 1;
+        if let Some(v) = value {
+            self.sum += v;
+            self.min = Some(self.min.map_or(v, |m| m.min(v)));
+            self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        }
+    }
+}
+
+/// The grouping specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// The grouping key.
+    pub key: GroupKey,
+    /// The aggregate to compute.
+    pub aggregate: Aggregate,
+    /// Number of input items per tumbling window; when the window closes, one
+    /// summary per group is emitted and the state resets.
+    pub window_items: usize,
+}
+
+/// The Group operator.
+#[derive(Debug, Clone)]
+pub struct Group {
+    spec: GroupSpec,
+    groups: BTreeMap<String, GroupState>,
+    items_in_window: usize,
+    /// Windows emitted so far.
+    pub windows_emitted: u64,
+}
+
+impl Group {
+    /// Creates a Group operator; `window_items` is clamped to at least 1.
+    pub fn new(mut spec: GroupSpec) -> Self {
+        spec.window_items = spec.window_items.max(1);
+        Group {
+            spec,
+            groups: BTreeMap::new(),
+            items_in_window: 0,
+            windows_emitted: 0,
+        }
+    }
+
+    /// The grouping specification.
+    pub fn spec(&self) -> &GroupSpec {
+        &self.spec
+    }
+
+    fn summarize(&mut self, timestamp: u64) -> Vec<Element> {
+        let mut out = Vec::with_capacity(self.groups.len());
+        for (key, state) in &self.groups {
+            let value = match &self.spec.aggregate {
+                Aggregate::Count => Value::Integer(state.count as i64),
+                Aggregate::Sum(_) => Value::Float(state.sum),
+                Aggregate::Avg(_) => {
+                    if state.count == 0 {
+                        Value::Float(0.0)
+                    } else {
+                        Value::Float(state.sum / state.count as f64)
+                    }
+                }
+                Aggregate::Min(_) => Value::Float(state.min.unwrap_or(0.0)),
+                Aggregate::Max(_) => Value::Float(state.max.unwrap_or(0.0)),
+            };
+            out.push(
+                ElementBuilder::new("group")
+                    .attr("key", key.clone())
+                    .attr("aggregate", self.spec.aggregate.label())
+                    .attr("value", value.as_string())
+                    .attr("count", state.count)
+                    .attr("windowEnd", timestamp)
+                    .build(),
+            );
+        }
+        self.groups.clear();
+        self.items_in_window = 0;
+        self.windows_emitted += 1;
+        out
+    }
+}
+
+impl Operator for Group {
+    fn name(&self) -> &str {
+        "group"
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn is_stateful(&self) -> bool {
+        true
+    }
+
+    fn on_item(&mut self, _port: usize, item: &StreamItem) -> OperatorOutput {
+        let key = match self.spec.key.key_of(&item.data) {
+            Some(k) => k,
+            None => return OperatorOutput::none(),
+        };
+        let measure = self
+            .spec
+            .aggregate
+            .attr()
+            .and_then(|a| item.data.attr_value(a))
+            .and_then(|v| v.as_number());
+        self.groups.entry(key).or_default().add(measure);
+        self.items_in_window += 1;
+        if self.items_in_window >= self.spec.window_items {
+            OperatorOutput::many(self.summarize(item.timestamp))
+        } else {
+            OperatorOutput::none()
+        }
+    }
+
+    fn on_eos(&mut self, _port: usize) -> OperatorOutput {
+        // Flush the partial window on end-of-stream.
+        let items = if self.groups.is_empty() {
+            Vec::new()
+        } else {
+            self.summarize(0)
+        };
+        OperatorOutput::finished(items)
+    }
+
+    fn state_size(&self) -> usize {
+        self.groups
+            .keys()
+            .map(|k| k.len() + std::mem::size_of::<GroupState>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::parse;
+
+    fn query(peer: &str, latency: u64, ts: u64) -> StreamItem {
+        StreamItem::new(
+            0,
+            ts,
+            parse(&format!(r#"<query peer="{peer}" latency="{latency}"/>"#)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn count_per_peer_over_a_window() {
+        let mut g = Group::new(GroupSpec {
+            key: GroupKey::Attr("peer".into()),
+            aggregate: Aggregate::Count,
+            window_items: 4,
+        });
+        assert!(g.on_item(0, &query("a", 1, 0)).items.is_empty());
+        assert!(g.on_item(0, &query("a", 1, 1)).items.is_empty());
+        assert!(g.on_item(0, &query("b", 1, 2)).items.is_empty());
+        let out = g.on_item(0, &query("a", 1, 3));
+        assert_eq!(out.items.len(), 2);
+        let a = out.items.iter().find(|e| e.attr("key") == Some("a")).unwrap();
+        assert_eq!(a.attr("value"), Some("3"));
+        let b = out.items.iter().find(|e| e.attr("key") == Some("b")).unwrap();
+        assert_eq!(b.attr("value"), Some("1"));
+        assert_eq!(g.windows_emitted, 1);
+    }
+
+    #[test]
+    fn avg_latency() {
+        let mut g = Group::new(GroupSpec {
+            key: GroupKey::All,
+            aggregate: Aggregate::Avg("latency".into()),
+            window_items: 3,
+        });
+        g.on_item(0, &query("a", 10, 0));
+        g.on_item(0, &query("b", 20, 1));
+        let out = g.on_item(0, &query("c", 30, 2));
+        assert_eq!(out.items.len(), 1);
+        assert_eq!(out.items[0].attr("value"), Some("20.0"));
+    }
+
+    #[test]
+    fn min_and_max() {
+        for (agg, expected) in [
+            (Aggregate::Min("latency".into()), "5.0"),
+            (Aggregate::Max("latency".into()), "25.0"),
+        ] {
+            let mut g = Group::new(GroupSpec {
+                key: GroupKey::All,
+                aggregate: agg,
+                window_items: 2,
+            });
+            g.on_item(0, &query("a", 25, 0));
+            let out = g.on_item(0, &query("a", 5, 1));
+            assert_eq!(out.items[0].attr("value"), Some(expected));
+        }
+    }
+
+    #[test]
+    fn window_resets_after_emission() {
+        let mut g = Group::new(GroupSpec {
+            key: GroupKey::Attr("peer".into()),
+            aggregate: Aggregate::Count,
+            window_items: 2,
+        });
+        g.on_item(0, &query("a", 1, 0));
+        let first = g.on_item(0, &query("a", 1, 1));
+        assert_eq!(first.items[0].attr("value"), Some("2"));
+        g.on_item(0, &query("a", 1, 2));
+        let second = g.on_item(0, &query("a", 1, 3));
+        assert_eq!(second.items[0].attr("value"), Some("2"), "state must reset");
+    }
+
+    #[test]
+    fn eos_flushes_partial_window() {
+        let mut g = Group::new(GroupSpec {
+            key: GroupKey::Attr("peer".into()),
+            aggregate: Aggregate::Sum("latency".into()),
+            window_items: 100,
+        });
+        g.on_item(0, &query("a", 7, 0));
+        let out = g.on_eos(0);
+        assert!(out.eos);
+        assert_eq!(out.items.len(), 1);
+        assert_eq!(out.items[0].attr("value"), Some("7.0"));
+    }
+
+    #[test]
+    fn keyless_items_are_ignored() {
+        let mut g = Group::new(GroupSpec {
+            key: GroupKey::Attr("peer".into()),
+            aggregate: Aggregate::Count,
+            window_items: 1,
+        });
+        let out = g.on_item(0, &StreamItem::new(0, 0, parse("<query/>").unwrap()));
+        assert!(out.items.is_empty());
+    }
+}

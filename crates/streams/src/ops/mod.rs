@@ -1,0 +1,16 @@
+//! The stream processors of Section 3: Filter/Select (σ), Restructure (Π),
+//! Union (∪), Join (⋈), Duplicate-removal and Group.
+
+pub mod dedup;
+pub mod group;
+pub mod join;
+pub mod restructure;
+pub mod select;
+pub mod union;
+
+pub use dedup::{Dedup, DedupKey};
+pub use group::{Aggregate, Group, GroupSpec};
+pub use join::{Join, JoinSpec, Window};
+pub use restructure::Restructure;
+pub use select::Select;
+pub use union::Union;

@@ -1,0 +1,111 @@
+//! The Restructure (Π) operator.
+//!
+//! "Restructure takes as input one stream.  A template defines the
+//! restructuring that has to be done at runtime based on the input."  The
+//! input may be a bare alert (bound to the template's single variable) or a
+//! `<tuple>` produced by a Join; the template is instantiated once per item.
+
+use crate::binding::Bindings;
+use crate::item::StreamItem;
+use crate::operator::{Operator, OperatorOutput};
+use crate::template::Template;
+
+/// The Restructure (Π) operator.
+#[derive(Debug, Clone)]
+pub struct Restructure {
+    template: Template,
+    default_var: String,
+    produced: u64,
+}
+
+impl Restructure {
+    /// Creates a restructure operator with the given template.  When the
+    /// input is a bare item (not a tuple), it is bound to the template's
+    /// first referenced variable.
+    pub fn new(template: Template) -> Self {
+        let default_var = template
+            .variables()
+            .first()
+            .cloned()
+            .unwrap_or_else(|| "item".to_string());
+        Restructure {
+            template,
+            default_var,
+            produced: 0,
+        }
+    }
+
+    /// The template in use.
+    pub fn template(&self) -> &Template {
+        &self.template
+    }
+
+    /// Number of output items produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl Operator for Restructure {
+    fn name(&self) -> &str {
+        "restructure"
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn on_item(&mut self, _port: usize, item: &StreamItem) -> OperatorOutput {
+        let bindings = Bindings::from_element(&item.data, &self.default_var);
+        self.produced += 1;
+        OperatorOutput::one(self.template.instantiate(&bindings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::Bindings;
+    use p2pmon_xmlkit::parse;
+
+    #[test]
+    fn bare_item_bound_to_first_template_variable() {
+        let mut op = Restructure::new(
+            Template::parse(r#"<out id="{$c1.callId}"/>"#).unwrap(),
+        );
+        let item = StreamItem::new(0, 0, parse(r#"<alert callId="5"/>"#).unwrap());
+        let out = op.on_item(0, &item);
+        assert_eq!(out.items[0].attr("id"), Some("5"));
+        assert_eq!(op.produced(), 1);
+    }
+
+    #[test]
+    fn tuple_input_uses_all_bindings() {
+        let mut op = Restructure::new(
+            Template::parse(
+                r#"<incident><client>{$c1.caller}</client><tstamp>{$c2.callTimestamp}</tstamp></incident>"#,
+            )
+            .unwrap(),
+        );
+        let mut b = Bindings::new();
+        b.bind_tree("c1", parse(r#"<alert caller="a.com"/>"#).unwrap());
+        b.bind_tree("c2", parse(r#"<alert callTimestamp="99"/>"#).unwrap());
+        let item = StreamItem::new(0, 0, b.to_tuple_element());
+        let out = op.on_item(0, &item);
+        assert_eq!(out.items[0].child("client").unwrap().text(), "a.com");
+        assert_eq!(out.items[0].child("tstamp").unwrap().text(), "99");
+    }
+
+    #[test]
+    fn projection_template_keeps_only_requested_parts() {
+        let mut op = Restructure::new(Template::parse("<just>{$x.keep}</just>").unwrap());
+        let item = StreamItem::new(
+            0,
+            0,
+            parse(r#"<big keep="yes" drop="no"><huge>payload</huge></big>"#).unwrap(),
+        );
+        let out = op.on_item(0, &item);
+        assert_eq!(out.items[0].text(), "yes");
+        assert!(out.items[0].child("huge").is_none());
+    }
+}

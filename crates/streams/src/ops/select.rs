@@ -1,0 +1,299 @@
+//! The Select / Filter (σ) operator for a *single* compiled subscription
+//! fragment.
+//!
+//! This is the per-plan-edge filter that the optimizer pushes next to the
+//! alerters ("the selections were pushed as much as possible to the proximity
+//! of the sources to save on communications").  It checks, in order of cost:
+//!
+//! 1. the *simple conditions* on the root attributes,
+//! 2. the tree-pattern conditions,
+//! 3. any remaining general conditions (including LET-derived values).
+//!
+//! The many-subscriptions engine with the AES hash-tree and the YFilter
+//! automaton lives in the `p2pmon-filter` crate; semantically it computes the
+//! same thing as a bank of `Select`s, which is exactly what its property
+//! tests assert.
+
+use p2pmon_xmlkit::{PathPattern, Value};
+
+use crate::binding::Bindings;
+use crate::condition::{AttrCondition, Condition};
+use crate::item::StreamItem;
+use crate::operator::{Operator, OperatorOutput};
+
+/// A LET-style derived value computed before the general conditions run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedValue {
+    /// The variable to bind.
+    pub var: String,
+    /// Attribute of the input from which the minuend is read.
+    pub expression: DerivedExpr,
+}
+
+/// Expressions supported for derived values at the Select level: the
+/// difference of two root attributes (enough for the paper's `$duration`
+/// example) or a copy of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DerivedExpr {
+    /// `attrA - attrB` on the same bound tree.
+    AttrDifference {
+        /// Variable holding the tree.
+        var: String,
+        /// Minuend attribute.
+        minuend: String,
+        /// Subtrahend attribute.
+        subtrahend: String,
+    },
+    /// A straight copy of `$var.attr`.
+    Attr {
+        /// Variable holding the tree.
+        var: String,
+        /// Attribute to copy.
+        attr: String,
+    },
+}
+
+impl DerivedValue {
+    /// Evaluates the derived value against the bindings.
+    pub fn eval(&self, bindings: &Bindings) -> Option<Value> {
+        match &self.expression {
+            DerivedExpr::AttrDifference {
+                var,
+                minuend,
+                subtrahend,
+            } => {
+                let tree = bindings.tree(var)?;
+                let a = tree.attr_value(minuend)?;
+                let b = tree.attr_value(subtrahend)?;
+                a.sub(&b)
+            }
+            DerivedExpr::Attr { var, attr } => bindings.tree(var)?.attr_value(attr),
+        }
+    }
+}
+
+/// The single-subscription Filter (σ).
+#[derive(Debug, Clone)]
+pub struct Select {
+    var: String,
+    simple: Vec<AttrCondition>,
+    patterns: Vec<PathPattern>,
+    derived: Vec<DerivedValue>,
+    conditions: Vec<Condition>,
+    /// Number of items examined (for statistics / EXPERIMENTS).
+    pub examined: u64,
+    /// Number of items that passed.
+    pub passed: u64,
+}
+
+impl Select {
+    /// Creates a filter binding each input item to `var`, with the given
+    /// simple conditions and tree patterns.
+    pub fn new(
+        var: impl Into<String>,
+        simple: Vec<AttrCondition>,
+        patterns: Vec<PathPattern>,
+    ) -> Self {
+        Select {
+            var: var.into(),
+            simple,
+            patterns,
+            derived: Vec::new(),
+            conditions: Vec::new(),
+            examined: 0,
+            passed: 0,
+        }
+    }
+
+    /// Adds LET-style derived values.
+    pub fn with_derived(mut self, derived: Vec<DerivedValue>) -> Self {
+        self.derived = derived;
+        self
+    }
+
+    /// Adds general conditions evaluated after the simple ones.
+    pub fn with_conditions(mut self, conditions: Vec<Condition>) -> Self {
+        self.conditions = conditions;
+        self
+    }
+
+    /// The variable this filter binds its input to.
+    pub fn variable(&self) -> &str {
+        &self.var
+    }
+
+    /// The simple conditions (exposed for plan display and reuse matching).
+    pub fn simple_conditions(&self) -> &[AttrCondition] {
+        &self.simple
+    }
+
+    /// Selectivity observed so far (passed / examined).
+    pub fn observed_selectivity(&self) -> f64 {
+        if self.examined == 0 {
+            0.0
+        } else {
+            self.passed as f64 / self.examined as f64
+        }
+    }
+
+    /// Core evaluation shared with tests: does this item pass?
+    pub fn matches(&self, item: &StreamItem) -> bool {
+        // Stage 1: simple conditions on the root attributes only.
+        for cond in &self.simple {
+            if !cond.eval(&item.data) {
+                return false;
+            }
+        }
+        // Stage 2: tree patterns (need the document content).
+        for pattern in &self.patterns {
+            if !pattern.matches(&item.data) {
+                return false;
+            }
+        }
+        // Stage 3: general conditions over bindings (incl. derived values).
+        if self.conditions.is_empty() {
+            return true;
+        }
+        let mut bindings = Bindings::from_element(&item.data, &self.var);
+        for d in &self.derived {
+            if let Some(v) = d.eval(&bindings) {
+                bindings.bind_value(d.var.clone(), v);
+            }
+        }
+        self.conditions.iter().all(|c| c.eval(&bindings))
+    }
+}
+
+impl Operator for Select {
+    fn name(&self) -> &str {
+        "select"
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn on_item(&mut self, _port: usize, item: &StreamItem) -> OperatorOutput {
+        self.examined += 1;
+        if self.matches(item) {
+            self.passed += 1;
+            OperatorOutput::one(item.data.clone())
+        } else {
+            OperatorOutput::none()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::path::CompareOp;
+    use p2pmon_xmlkit::parse;
+
+    fn alert(method: &str, callee: &str, call_ts: u64, resp_ts: u64) -> StreamItem {
+        StreamItem::new(
+            0,
+            call_ts,
+            parse(&format!(
+                r#"<alert callMethod="{method}" callee="{callee}" callTimestamp="{call_ts}" responseTimestamp="{resp_ts}"><soap><op>{method}</op></soap></alert>"#
+            ))
+            .unwrap(),
+        )
+    }
+
+    /// The filter assigned to peer a.com in Section 3.4:
+    /// duration > 10 and callMethod = "GetTemperature" and callee = meteo.com.
+    fn paper_filter() -> Select {
+        Select::new(
+            "e",
+            vec![
+                AttrCondition::new("callMethod", CompareOp::Eq, "GetTemperature"),
+                AttrCondition::new("callee", CompareOp::Eq, "http://meteo.com"),
+            ],
+            vec![],
+        )
+        .with_derived(vec![DerivedValue {
+            var: "duration".into(),
+            expression: DerivedExpr::AttrDifference {
+                var: "e".into(),
+                minuend: "responseTimestamp".into(),
+                subtrahend: "callTimestamp".into(),
+            },
+        }])
+        .with_conditions(vec![Condition::new(
+            crate::condition::Operand::Var("duration".into()),
+            CompareOp::Gt,
+            crate::condition::Operand::Const(Value::Integer(10)),
+        )])
+    }
+
+    #[test]
+    fn slow_matching_call_passes() {
+        let mut f = paper_filter();
+        let out = f.on_item(0, &alert("GetTemperature", "http://meteo.com", 100, 115));
+        assert_eq!(out.items.len(), 1);
+    }
+
+    #[test]
+    fn fast_call_is_dropped() {
+        let mut f = paper_filter();
+        let out = f.on_item(0, &alert("GetTemperature", "http://meteo.com", 100, 105));
+        assert!(out.items.is_empty());
+    }
+
+    #[test]
+    fn wrong_method_or_callee_is_dropped() {
+        let mut f = paper_filter();
+        assert!(f
+            .on_item(0, &alert("GetHumidity", "http://meteo.com", 100, 130))
+            .items
+            .is_empty());
+        assert!(f
+            .on_item(0, &alert("GetTemperature", "http://other.com", 100, 130))
+            .items
+            .is_empty());
+    }
+
+    #[test]
+    fn pattern_condition() {
+        let mut f = Select::new(
+            "x",
+            vec![],
+            vec![PathPattern::parse("//soap/op[text()=\"GetTemperature\"]").unwrap()],
+        );
+        assert_eq!(
+            f.on_item(0, &alert("GetTemperature", "m", 0, 1)).items.len(),
+            1
+        );
+        assert!(f.on_item(0, &alert("Other", "m", 0, 1)).items.is_empty());
+    }
+
+    #[test]
+    fn selectivity_accounting() {
+        let mut f = paper_filter();
+        f.on_item(0, &alert("GetTemperature", "http://meteo.com", 0, 20));
+        f.on_item(0, &alert("GetTemperature", "http://meteo.com", 0, 5));
+        f.on_item(0, &alert("Other", "x", 0, 50));
+        assert_eq!(f.examined, 3);
+        assert_eq!(f.passed, 1);
+        assert!((f.observed_selectivity() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_filter_passes_everything() {
+        let mut f = Select::new("x", vec![], vec![]);
+        assert_eq!(f.on_item(0, &alert("A", "b", 0, 0)).items.len(), 1);
+        assert_eq!(f.observed_selectivity(), 1.0);
+    }
+
+    #[test]
+    fn missing_attributes_for_derivation_fail_the_condition() {
+        let mut f = paper_filter();
+        let item = StreamItem::new(
+            0,
+            0,
+            parse(r#"<alert callMethod="GetTemperature" callee="http://meteo.com"/>"#).unwrap(),
+        );
+        assert!(f.on_item(0, &item).items.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! The Union (∪) operator: merges several input streams into one.
+//!
+//! Items are forwarded in arrival order; the output ends when *all* inputs
+//! have signalled end-of-stream.
+
+use crate::item::StreamItem;
+use crate::operator::{Operator, OperatorOutput};
+
+/// The Union (∪) operator over `arity` input streams.
+#[derive(Debug, Clone)]
+pub struct Union {
+    arity: usize,
+    eos: Vec<bool>,
+    forwarded: u64,
+}
+
+impl Union {
+    /// Creates a union over `arity` inputs (at least 1).
+    pub fn new(arity: usize) -> Self {
+        Union {
+            arity: arity.max(1),
+            eos: vec![false; arity.max(1)],
+            forwarded: 0,
+        }
+    }
+
+    /// Number of items forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// True when every input port has terminated.
+    pub fn all_inputs_finished(&self) -> bool {
+        self.eos.iter().all(|e| *e)
+    }
+}
+
+impl Operator for Union {
+    fn name(&self) -> &str {
+        "union"
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn on_item(&mut self, port: usize, item: &StreamItem) -> OperatorOutput {
+        debug_assert!(port < self.arity, "union port {port} out of range");
+        self.forwarded += 1;
+        OperatorOutput::one(item.data.clone())
+    }
+
+    fn on_eos(&mut self, port: usize) -> OperatorOutput {
+        if port < self.arity {
+            self.eos[port] = true;
+        }
+        if self.all_inputs_finished() {
+            OperatorOutput::finished(Vec::new())
+        } else {
+            OperatorOutput::none()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_xmlkit::Element;
+
+    #[test]
+    fn forwards_items_from_every_port() {
+        let mut u = Union::new(3);
+        for port in 0..3 {
+            let out = u.on_item(port, &StreamItem::new(0, 0, Element::new("x")));
+            assert_eq!(out.items.len(), 1);
+        }
+        assert_eq!(u.forwarded(), 3);
+    }
+
+    #[test]
+    fn eos_only_after_all_ports_finish() {
+        let mut u = Union::new(2);
+        assert!(!u.on_eos(0).eos);
+        assert!(!u.all_inputs_finished());
+        assert!(u.on_eos(1).eos);
+        assert!(u.all_inputs_finished());
+    }
+
+    #[test]
+    fn zero_arity_is_clamped_to_one() {
+        let mut u = Union::new(0);
+        assert_eq!(u.arity(), 1);
+        assert!(u.on_eos(0).eos);
+    }
+}

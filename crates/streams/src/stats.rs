@@ -1,0 +1,170 @@
+//! Per-stream statistics.
+//!
+//! The Stream Definition Database of Section 5 stores, along with each stream
+//! description, "statistical information maintained for the stream such as
+//! the average volume of data in the stream for some period of time".  The
+//! optimizer uses these statistics to decide where to place operators and
+//! which replica of a stream to subscribe to.
+
+use p2pmon_xmlkit::{Element, ElementBuilder};
+
+/// Running statistics for one stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Total items observed.
+    pub items: u64,
+    /// Total bytes observed.
+    pub bytes: u64,
+    /// Timestamp of the first item (logical ms).
+    pub first_timestamp: Option<u64>,
+    /// Timestamp of the most recent item (logical ms).
+    pub last_timestamp: Option<u64>,
+}
+
+impl StreamStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        StreamStats::default()
+    }
+
+    /// Records one item.
+    pub fn record(&mut self, timestamp: u64, bytes: usize) {
+        self.items += 1;
+        self.bytes += bytes as u64;
+        if self.first_timestamp.is_none() {
+            self.first_timestamp = Some(timestamp);
+        }
+        self.last_timestamp = Some(timestamp);
+    }
+
+    /// Observed duration in milliseconds (0 when fewer than two items).
+    pub fn duration_ms(&self) -> u64 {
+        match (self.first_timestamp, self.last_timestamp) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Average item rate in items per second over the observed window.
+    pub fn items_per_second(&self) -> f64 {
+        let d = self.duration_ms();
+        if d == 0 {
+            0.0
+        } else {
+            self.items as f64 * 1000.0 / d as f64
+        }
+    }
+
+    /// Average data volume in bytes per second.
+    pub fn bytes_per_second(&self) -> f64 {
+        let d = self.duration_ms();
+        if d == 0 {
+            0.0
+        } else {
+            self.bytes as f64 * 1000.0 / d as f64
+        }
+    }
+
+    /// Average item size in bytes.
+    pub fn avg_item_bytes(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.items as f64
+        }
+    }
+
+    /// Merges another statistics record into this one (used when a stream is
+    /// re-published by a replica peer).
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.items += other.items;
+        self.bytes += other.bytes;
+        self.first_timestamp = match (self.first_timestamp, other.first_timestamp) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_timestamp = match (self.last_timestamp, other.last_timestamp) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Renders the `<Stats>` element embedded in stream descriptions.
+    pub fn to_element(&self) -> Element {
+        ElementBuilder::new("Stats")
+            .attr("items", self.items)
+            .attr("bytes", self.bytes)
+            .attr("avgItemBytes", format!("{:.1}", self.avg_item_bytes()))
+            .attr("itemsPerSecond", format!("{:.3}", self.items_per_second()))
+            .build()
+    }
+
+    /// Parses a `<Stats>` element back (volumes only; timestamps are not
+    /// published).
+    pub fn from_element(element: &Element) -> StreamStats {
+        StreamStats {
+            items: element
+                .attr("items")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            bytes: element
+                .attr("bytes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            first_timestamp: None,
+            last_timestamp: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = StreamStats::new();
+        s.record(1000, 100);
+        s.record(2000, 300);
+        s.record(3000, 200);
+        assert_eq!(s.items, 3);
+        assert_eq!(s.bytes, 600);
+        assert_eq!(s.duration_ms(), 2000);
+        assert!((s.items_per_second() - 1.5).abs() < 1e-9);
+        assert!((s.bytes_per_second() - 300.0).abs() < 1e-9);
+        assert!((s.avg_item_bytes() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = StreamStats::new();
+        assert_eq!(s.items_per_second(), 0.0);
+        assert_eq!(s.avg_item_bytes(), 0.0);
+        assert_eq!(s.duration_ms(), 0);
+    }
+
+    #[test]
+    fn merge_combines_windows() {
+        let mut a = StreamStats::new();
+        a.record(1000, 10);
+        let mut b = StreamStats::new();
+        b.record(500, 20);
+        b.record(3000, 30);
+        a.merge(&b);
+        assert_eq!(a.items, 3);
+        assert_eq!(a.bytes, 60);
+        assert_eq!(a.first_timestamp, Some(500));
+        assert_eq!(a.last_timestamp, Some(3000));
+    }
+
+    #[test]
+    fn xml_round_trip_of_volumes() {
+        let mut s = StreamStats::new();
+        s.record(0, 128);
+        s.record(1000, 128);
+        let el = s.to_element();
+        let back = StreamStats::from_element(&el);
+        assert_eq!(back.items, 2);
+        assert_eq!(back.bytes, 256);
+    }
+}

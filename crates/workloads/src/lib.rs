@@ -1,0 +1,445 @@
+//! # p2pmon-workloads
+//!
+//! Synthetic workload generators for the paper's motivating scenarios.  The
+//! paper evaluates P2PM on live systems (a community Web-service deployment,
+//! RSS feeds, the Edos/Mandriva content-distribution network); none of that
+//! traffic is available, so each generator produces a statistically shaped,
+//! seeded and therefore reproducible stand-in that exercises the same code
+//! paths (see DESIGN.md §2 for the substitution rationale).
+//!
+//! * [`SoapWorkload`] — Web-service RPC traffic between client peers and
+//!   server peers, with a configurable fraction of slow answers and faults
+//!   (the Figure 1 / telecom-BPEL scenario).
+//! * [`RssWorkload`] — an evolving RSS feed: a stream of snapshots where each
+//!   step adds, removes and modifies entries.
+//! * [`EdosWorkload`] — an Edos-like distribution network: package downloads
+//!   and metadata queries issued by mirror peers, used for the statistics
+//!   gathering scenario (query rate, per-peer reliability, popularity).
+//! * [`SubscriptionWorkload`] — random Filter subscriptions (simple + complex
+//!   conditions over a bounded vocabulary), used by the Filter benchmarks
+//!   (E2–E4), together with matching random alert documents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p2pmon_alerters::SoapCall;
+use p2pmon_filter::FilterSubscription;
+use p2pmon_streams::AttrCondition;
+use p2pmon_xmlkit::path::CompareOp;
+use p2pmon_xmlkit::{Element, ElementBuilder, PathPattern};
+
+/// Web-service RPC traffic generator.
+#[derive(Debug, Clone)]
+pub struct SoapWorkload {
+    /// Client peers issuing calls.
+    pub clients: Vec<String>,
+    /// Server peers answering them.
+    pub servers: Vec<String>,
+    /// Methods drawn uniformly.
+    pub methods: Vec<String>,
+    /// Fraction of calls slower than `slow_threshold_ms`.
+    pub slow_fraction: f64,
+    /// Latency above which a call counts as slow.
+    pub slow_threshold_ms: u64,
+    /// Fraction of calls that fault.
+    pub fault_fraction: f64,
+    /// Mean inter-arrival time between calls (ms).
+    pub inter_arrival_ms: u64,
+    rng: StdRng,
+    next_id: u64,
+    clock: u64,
+}
+
+impl SoapWorkload {
+    /// The Figure-1 scenario: two clients calling the meteo.com service.
+    pub fn meteo(seed: u64) -> Self {
+        SoapWorkload {
+            clients: vec!["http://a.com".into(), "http://b.com".into()],
+            servers: vec!["http://meteo.com".into()],
+            methods: vec!["GetTemperature".into(), "GetHumidity".into()],
+            slow_fraction: 0.2,
+            slow_threshold_ms: 10,
+            fault_fraction: 0.02,
+            inter_arrival_ms: 50,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// A telecom-flavoured workload: many clients, several workflow methods.
+    pub fn telecom(clients: usize, seed: u64) -> Self {
+        SoapWorkload {
+            clients: (0..clients.max(1)).map(|i| format!("client{i}.net")).collect(),
+            servers: vec!["billing.net".into(), "provisioning.net".into()],
+            methods: vec![
+                "OpenOrder".into(),
+                "ActivateLine".into(),
+                "CloseOrder".into(),
+                "Bill".into(),
+            ],
+            slow_fraction: 0.1,
+            slow_threshold_ms: 25,
+            fault_fraction: 0.05,
+            inter_arrival_ms: 20,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// Generates the next call.
+    pub fn next_call(&mut self) -> SoapCall {
+        let caller = self.clients[self.rng.gen_range(0..self.clients.len())].clone();
+        let callee = self.servers[self.rng.gen_range(0..self.servers.len())].clone();
+        let method = self.methods[self.rng.gen_range(0..self.methods.len())].clone();
+        self.clock += self.rng.gen_range(1..=self.inter_arrival_ms.max(1) * 2);
+        let slow = self.rng.gen::<f64>() < self.slow_fraction;
+        let latency = if slow {
+            self.slow_threshold_ms + self.rng.gen_range(1..=40)
+        } else {
+            self.rng.gen_range(1..=self.slow_threshold_ms.max(2) - 1)
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut call = SoapCall::new(id, caller, callee, method, self.clock, self.clock + latency)
+            .with_body(Element::text_element("city", "Orsay"));
+        if self.rng.gen::<f64>() < self.fault_fraction {
+            call = call.with_fault("Server.Timeout");
+        }
+        call
+    }
+
+    /// Generates a batch of calls.
+    pub fn calls(&mut self, n: usize) -> Vec<SoapCall> {
+        (0..n).map(|_| self.next_call()).collect()
+    }
+}
+
+/// An evolving RSS feed.
+#[derive(Debug, Clone)]
+pub struct RssWorkload {
+    /// Feed URL.
+    pub url: String,
+    entries: Vec<(u64, String)>,
+    next_guid: u64,
+    rng: StdRng,
+    /// Entries added per step.
+    pub adds_per_step: usize,
+    /// Probability an existing entry is modified per step.
+    pub modify_probability: f64,
+    /// Maximum feed length (older entries fall off, as real feeds do).
+    pub max_entries: usize,
+}
+
+impl RssWorkload {
+    /// A community-portal feed starting with `initial` entries.
+    pub fn new(url: impl Into<String>, initial: usize, seed: u64) -> Self {
+        let mut w = RssWorkload {
+            url: url.into(),
+            entries: Vec::new(),
+            next_guid: 0,
+            rng: StdRng::seed_from_u64(seed),
+            adds_per_step: 1,
+            modify_probability: 0.2,
+            max_entries: 20,
+        };
+        for _ in 0..initial {
+            w.add_entry();
+        }
+        w
+    }
+
+    fn add_entry(&mut self) {
+        let guid = self.next_guid;
+        self.next_guid += 1;
+        self.entries.push((guid, format!("story {guid}")));
+        while self.entries.len() > self.max_entries {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Advances the feed one step (add / modify / truncate) and returns the
+    /// new snapshot.
+    pub fn step(&mut self) -> Element {
+        for _ in 0..self.adds_per_step {
+            self.add_entry();
+        }
+        if !self.entries.is_empty() && self.rng.gen::<f64>() < self.modify_probability {
+            let idx = self.rng.gen_range(0..self.entries.len());
+            self.entries[idx].1.push_str(" (updated)");
+        }
+        self.snapshot()
+    }
+
+    /// The current snapshot as an `<rss>` document.
+    pub fn snapshot(&self) -> Element {
+        let mut channel = Element::new("channel");
+        channel.push_element(Element::text_element("title", "community portal"));
+        for (guid, title) in &self.entries {
+            channel.push_element(
+                ElementBuilder::new("item")
+                    .text_child("guid", guid)
+                    .text_child("title", title.clone())
+                    .build(),
+            );
+        }
+        let mut rss = Element::new("rss");
+        rss.set_attr("version", "2.0");
+        rss.push_element(channel);
+        rss
+    }
+}
+
+/// An Edos-like content-distribution workload: mirrors querying and
+/// downloading packages of a Linux distribution.
+#[derive(Debug, Clone)]
+pub struct EdosWorkload {
+    /// Mirror peers.
+    pub mirrors: Vec<String>,
+    /// Package names (Zipf-ish popularity via squared sampling).
+    pub packages: Vec<String>,
+    /// Per-mirror failure probability (unreliable mirrors).
+    pub failure_fraction: f64,
+    rng: StdRng,
+    next_id: u64,
+    clock: u64,
+}
+
+impl EdosWorkload {
+    /// A distribution with `packages` packages served by `mirrors` mirrors.
+    pub fn new(mirrors: usize, packages: usize, seed: u64) -> Self {
+        EdosWorkload {
+            mirrors: (0..mirrors.max(1)).map(|i| format!("mirror{i}.edos.org")).collect(),
+            packages: (0..packages.max(1)).map(|i| format!("pkg-{i}")).collect(),
+            failure_fraction: 0.05,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// The next package query, as a SOAP call to the master server
+    /// (`master.edos.org`): method `GetPackage`, with the package name in the
+    /// body and the download size as an attribute-friendly latency proxy.
+    pub fn next_query(&mut self) -> SoapCall {
+        let mirror = self.mirrors[self.rng.gen_range(0..self.mirrors.len())].clone();
+        // Skewed popularity: squaring biases towards low indices.
+        let r: f64 = self.rng.gen();
+        let idx = ((r * r) * self.packages.len() as f64) as usize;
+        let package = self.packages[idx.min(self.packages.len() - 1)].clone();
+        self.clock += self.rng.gen_range(1..=30);
+        let latency = self.rng.gen_range(2..=60);
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut call = SoapCall::new(
+            id,
+            mirror,
+            "master.edos.org",
+            "GetPackage",
+            self.clock,
+            self.clock + latency,
+        )
+        .with_body(Element::text_element("package", package));
+        if self.rng.gen::<f64>() < self.failure_fraction {
+            call = call.with_fault("Mirror.Unreachable");
+        }
+        call
+    }
+
+    /// A batch of queries.
+    pub fn queries(&mut self, n: usize) -> Vec<SoapCall> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+
+    /// The distribution metadata document (a scaled-down stand-in for the
+    /// >100 MB of XML metadata the paper mentions).
+    pub fn metadata(&self, packages: usize) -> Element {
+        let mut doc = Element::new("packages");
+        for name in self.packages.iter().take(packages) {
+            doc.push_element(
+                ElementBuilder::new("pkg")
+                    .attr("name", name.clone())
+                    .attr("version", "2008.1")
+                    .build(),
+            );
+        }
+        doc
+    }
+}
+
+/// Random Filter subscriptions and matching alert documents (experiments
+/// E2–E4).
+#[derive(Debug, Clone)]
+pub struct SubscriptionWorkload {
+    rng: StdRng,
+    /// Attribute vocabulary size.
+    pub attributes: usize,
+    /// Values per attribute.
+    pub values: usize,
+    /// Element-name vocabulary for complex (path) conditions.
+    pub tags: usize,
+    /// Fraction of subscriptions with a complex part.
+    pub complex_fraction: f64,
+    /// Simple conditions per subscription.
+    pub conditions_per_subscription: usize,
+}
+
+impl SubscriptionWorkload {
+    /// A workload with the default vocabulary.
+    pub fn new(seed: u64) -> Self {
+        SubscriptionWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            attributes: 20,
+            values: 10,
+            tags: 15,
+            complex_fraction: 0.3,
+            conditions_per_subscription: 3,
+        }
+    }
+
+    /// Generates `n` subscriptions with ids `0..n`.
+    pub fn subscriptions(&mut self, n: usize) -> Vec<FilterSubscription> {
+        (0..n as u64).map(|id| self.subscription(id)).collect()
+    }
+
+    /// Generates one subscription.
+    pub fn subscription(&mut self, id: u64) -> FilterSubscription {
+        let conditions = (0..self.conditions_per_subscription)
+            .map(|_| {
+                let attr = format!("a{}", self.rng.gen_range(0..self.attributes));
+                let value = format!("v{}", self.rng.gen_range(0..self.values));
+                let op = match self.rng.gen_range(0..4) {
+                    0 => CompareOp::Eq,
+                    1 => CompareOp::Ne,
+                    2 => CompareOp::Gt,
+                    _ => CompareOp::Le,
+                };
+                AttrCondition::new(attr, op, value)
+            })
+            .collect();
+        let mut subscription = FilterSubscription::new(id).with_simple(conditions);
+        if self.rng.gen::<f64>() < self.complex_fraction {
+            let a = self.rng.gen_range(0..self.tags);
+            let b = self.rng.gen_range(0..self.tags);
+            let axis = if self.rng.gen::<bool>() { "/" } else { "//" };
+            let pattern = PathPattern::parse(&format!("//t{a}{axis}t{b}")).expect("valid pattern");
+            subscription = subscription.with_complex(vec![pattern]);
+        }
+        subscription
+    }
+
+    /// Generates one alert document over the same vocabulary.
+    pub fn document(&mut self, attrs: usize, depth: usize) -> Element {
+        let mut root = Element::new("alert");
+        for _ in 0..attrs {
+            let attr = format!("a{}", self.rng.gen_range(0..self.attributes));
+            let value = format!("v{}", self.rng.gen_range(0..self.values));
+            root.set_attr(attr, value);
+        }
+        let mut current = &mut root;
+        for _ in 0..depth {
+            let tag = format!("t{}", self.rng.gen_range(0..self.tags));
+            current.push_element(Element::new(tag));
+            let last = current.children.len() - 1;
+            current = match &mut current.children[last] {
+                p2pmon_xmlkit::Node::Element(e) => e,
+                _ => unreachable!(),
+            };
+        }
+        root
+    }
+
+    /// Generates a batch of documents.
+    pub fn documents(&mut self, n: usize, attrs: usize, depth: usize) -> Vec<Element> {
+        (0..n).map(|_| self.document(attrs, depth)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soap_workload_is_seeded_and_shaped() {
+        let mut a = SoapWorkload::meteo(1);
+        let mut b = SoapWorkload::meteo(1);
+        let calls_a = a.calls(200);
+        let calls_b = b.calls(200);
+        assert_eq!(calls_a, calls_b, "same seed, same traffic");
+        let slow = calls_a
+            .iter()
+            .filter(|c| c.duration() > a.slow_threshold_ms)
+            .count();
+        assert!(slow > 10 && slow < 100, "slow fraction ≈ 20%, got {slow}/200");
+        assert!(calls_a.iter().all(|c| a.clients.contains(&c.caller)));
+        assert!(calls_a.windows(2).all(|w| w[0].call_id < w[1].call_id));
+    }
+
+    #[test]
+    fn telecom_workload_uses_many_clients() {
+        let mut w = SoapWorkload::telecom(25, 3);
+        let calls = w.calls(100);
+        let distinct: std::collections::HashSet<&str> =
+            calls.iter().map(|c| c.caller.as_str()).collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn rss_workload_adds_and_modifies_entries() {
+        let mut w = RssWorkload::new("http://portal/feed", 3, 9);
+        let s0 = w.snapshot();
+        assert_eq!(count_items(&s0), 3);
+        let s1 = w.step();
+        assert_eq!(count_items(&s1), 4);
+        for _ in 0..40 {
+            w.step();
+        }
+        assert!(count_items(&w.snapshot()) <= w.max_entries);
+    }
+
+    fn count_items(feed: &Element) -> usize {
+        feed.child("channel").unwrap().children_named("item").count()
+    }
+
+    #[test]
+    fn edos_workload_skews_package_popularity() {
+        let mut w = EdosWorkload::new(10, 100, 4);
+        let queries = w.queries(500);
+        let first_decile = queries
+            .iter()
+            .filter(|q| {
+                q.body
+                    .as_ref()
+                    .map(|b| {
+                        let name = b.text();
+                        name.strip_prefix("pkg-")
+                            .and_then(|n| n.parse::<usize>().ok())
+                            .map(|n| n < 10)
+                            .unwrap_or(false)
+                    })
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            first_decile > 100,
+            "popular packages should dominate, got {first_decile}/500"
+        );
+        assert_eq!(w.metadata(5).children_named("pkg").count(), 5);
+    }
+
+    #[test]
+    fn subscription_workload_produces_valid_subscriptions_and_documents() {
+        let mut w = SubscriptionWorkload::new(11);
+        let subs = w.subscriptions(200);
+        assert_eq!(subs.len(), 200);
+        let complex = subs.iter().filter(|s| !s.is_simple()).count();
+        assert!(complex > 20 && complex < 120, "complex fraction ≈ 30%, got {complex}");
+        let docs = w.documents(50, 4, 3);
+        assert_eq!(docs.len(), 50);
+        // Some subscription matches some document (the vocabularies overlap).
+        let mut engine = p2pmon_filter::FilterEngine::from_subscriptions(subs);
+        let matches: usize = docs.iter().map(|d| engine.process(d).matched.len()).sum();
+        assert!(matches > 0);
+    }
+}

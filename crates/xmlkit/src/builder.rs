@@ -1,0 +1,120 @@
+//! Fluent construction of XML trees.
+//!
+//! Alerters and RETURN-clause templates build many small trees; the builder
+//! keeps that code readable without a parser round trip.
+
+use crate::node::Element;
+
+/// A fluent builder for [`Element`] trees.
+///
+/// ```
+/// use p2pmon_xmlkit::ElementBuilder;
+///
+/// let incident = ElementBuilder::new("incident")
+///     .attr("type", "slowAnswer")
+///     .child(ElementBuilder::new("client").text("http://a.com"))
+///     .child(ElementBuilder::new("tstamp").text("1182345"))
+///     .build();
+/// assert_eq!(incident.attr("type"), Some("slowAnswer"));
+/// assert_eq!(incident.child("client").unwrap().text(), "http://a.com");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    element: Element,
+}
+
+impl ElementBuilder {
+    /// Starts a builder for an element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ElementBuilder {
+            element: Element::new(name),
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl ToString) -> Self {
+        self.element.set_attr(name, value.to_string());
+        self
+    }
+
+    /// Adds a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.element.push_text(text);
+        self
+    }
+
+    /// Adds a child element built by another builder.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.element.push_element(child.build());
+        self
+    }
+
+    /// Adds an already-built child element.
+    pub fn child_element(mut self, child: Element) -> Self {
+        self.element.push_element(child);
+        self
+    }
+
+    /// Adds a `<name>text</name>` child in one call.
+    pub fn text_child(mut self, name: impl Into<String>, text: impl ToString) -> Self {
+        self.element
+            .push_element(Element::text_element(name, text.to_string()));
+        self
+    }
+
+    /// Adds children from an iterator of builders.
+    pub fn children(mut self, children: impl IntoIterator<Item = ElementBuilder>) -> Self {
+        for c in children {
+            self.element.push_element(c.build());
+        }
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Element {
+        self.element
+    }
+}
+
+impl From<ElementBuilder> for Element {
+    fn from(b: ElementBuilder) -> Element {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let e = ElementBuilder::new("Stream")
+            .attr("PeerId", "p1")
+            .attr("StreamId", "s1")
+            .child(
+                ElementBuilder::new("Operator").child(ElementBuilder::new("inCom")),
+            )
+            .child(ElementBuilder::new("Operands"))
+            .build();
+        assert_eq!(e.attr("PeerId"), Some("p1"));
+        assert!(e.child("Operator").unwrap().child("inCom").is_some());
+    }
+
+    #[test]
+    fn text_child_shortcut() {
+        let e = ElementBuilder::new("entry")
+            .text_child("title", "release 2008.1")
+            .text_child("size", 1024)
+            .build();
+        assert_eq!(e.child_text("title").unwrap(), "release 2008.1");
+        assert_eq!(e.child_text("size").unwrap(), "1024");
+    }
+
+    #[test]
+    fn children_from_iterator() {
+        let e = ElementBuilder::new("list")
+            .children((0..3).map(|i| ElementBuilder::new("item").attr("i", i)))
+            .build();
+        assert_eq!(e.children_named("item").count(), 3);
+    }
+}

@@ -1,0 +1,337 @@
+//! Structural diff between two XML snapshots.
+//!
+//! The Web-page and RSS-feed alerters of the paper work by comparing
+//! successive snapshots of a document and reporting the delta.  For RSS, the
+//! alerts carry extra semantics: *add*, *remove* and *modify* entry.  This
+//! module provides a generic child-level diff that both alerters build on.
+//!
+//! The diff is computed per level: children of the two roots are matched by a
+//! key (for keyed diffs, e.g. RSS items matched by `<guid>`/`<link>`) or by
+//! (name, position) for plain structural diffs, and compared recursively.
+
+use crate::node::Element;
+
+/// A single difference between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp {
+    /// An element present only in the new snapshot.  The path is the slash
+    /// separated location of its parent.
+    Added {
+        /// Location of the parent element ("/rss/channel").
+        parent_path: String,
+        /// The added element.
+        element: Element,
+    },
+    /// An element present only in the old snapshot.
+    Removed {
+        /// Location of the parent element.
+        parent_path: String,
+        /// The removed element.
+        element: Element,
+    },
+    /// An element present in both but with different content.
+    Modified {
+        /// Location of the element itself.
+        path: String,
+        /// The old version.
+        before: Element,
+        /// The new version.
+        after: Element,
+    },
+    /// The text content of an element changed (reported for leaf elements).
+    TextChanged {
+        /// Location of the element.
+        path: String,
+        /// Old text.
+        before: String,
+        /// New text.
+        after: String,
+    },
+}
+
+impl DiffOp {
+    /// Short kind tag ("add" / "remove" / "modify" / "text"), used when the
+    /// alerter builds its alert XML.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DiffOp::Added { .. } => "add",
+            DiffOp::Removed { .. } => "remove",
+            DiffOp::Modified { .. } => "modify",
+            DiffOp::TextChanged { .. } => "text",
+        }
+    }
+}
+
+/// Options controlling the diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffOptions {
+    /// When matching children with this element name, use the text of this
+    /// child element as the identity key (e.g. `("item", "guid")` for RSS).
+    pub key_fields: Vec<(String, String)>,
+    /// Maximum depth to which elements are compared structurally; deeper
+    /// differences are reported as a single `Modified` of the subtree root.
+    /// `0` means unlimited.
+    pub max_depth: usize,
+}
+
+/// Computes the diff between two snapshots of a document.
+pub fn diff_elements(old: &Element, new: &Element) -> Vec<DiffOp> {
+    diff_elements_with(old, new, &DiffOptions::default())
+}
+
+/// Computes the diff with explicit [`DiffOptions`].
+pub fn diff_elements_with(old: &Element, new: &Element, opts: &DiffOptions) -> Vec<DiffOp> {
+    let mut ops = Vec::new();
+    if old.name != new.name {
+        ops.push(DiffOp::Removed {
+            parent_path: "/".to_string(),
+            element: old.clone(),
+        });
+        ops.push(DiffOp::Added {
+            parent_path: "/".to_string(),
+            element: new.clone(),
+        });
+        return ops;
+    }
+    diff_recursive(old, new, &format!("/{}", old.name), 1, opts, &mut ops);
+    ops
+}
+
+fn identity_key(element: &Element, opts: &DiffOptions) -> Option<String> {
+    for (name, key_child) in &opts.key_fields {
+        if &element.name == name {
+            if let Some(text) = element.child_text(key_child) {
+                return Some(format!("{}#{}", name, text));
+            }
+        }
+    }
+    None
+}
+
+fn shallow_equal(a: &Element, b: &Element) -> bool {
+    a == b
+}
+
+fn diff_recursive(
+    old: &Element,
+    new: &Element,
+    path: &str,
+    depth: usize,
+    opts: &DiffOptions,
+    ops: &mut Vec<DiffOp>,
+) {
+    if shallow_equal(old, new) {
+        return;
+    }
+    // Attribute or leaf-text change on this element itself.
+    if old.attributes != new.attributes {
+        ops.push(DiffOp::Modified {
+            path: path.to_string(),
+            before: old.clone(),
+            after: new.clone(),
+        });
+        return;
+    }
+    let old_has_child_elements = old.child_elements().next().is_some();
+    let new_has_child_elements = new.child_elements().next().is_some();
+    if !old_has_child_elements && !new_has_child_elements {
+        let (bt, at) = (old.text(), new.text());
+        if bt != at {
+            ops.push(DiffOp::TextChanged {
+                path: path.to_string(),
+                before: bt,
+                after: at,
+            });
+        }
+        return;
+    }
+    if opts.max_depth != 0 && depth >= opts.max_depth {
+        ops.push(DiffOp::Modified {
+            path: path.to_string(),
+            before: old.clone(),
+            after: new.clone(),
+        });
+        return;
+    }
+
+    // Match children: first by identity key, then by (name, occurrence index).
+    let old_children: Vec<&Element> = old.child_elements().collect();
+    let new_children: Vec<&Element> = new.child_elements().collect();
+
+    let mut new_matched = vec![false; new_children.len()];
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut removed: Vec<usize> = Vec::new();
+
+    for (oi, oc) in old_children.iter().enumerate() {
+        let okey = identity_key(oc, opts);
+        let mut matched = None;
+        if let Some(okey) = &okey {
+            for (ni, nc) in new_children.iter().enumerate() {
+                if new_matched[ni] {
+                    continue;
+                }
+                if identity_key(nc, opts).as_deref() == Some(okey) {
+                    matched = Some(ni);
+                    break;
+                }
+            }
+        } else {
+            // Positional matching among same-named, un-keyed children.
+            let occurrence = old_children[..oi]
+                .iter()
+                .filter(|c| c.name == oc.name && identity_key(c, opts).is_none())
+                .count();
+            let mut seen = 0usize;
+            for (ni, nc) in new_children.iter().enumerate() {
+                if nc.name != oc.name || identity_key(nc, opts).is_some() {
+                    continue;
+                }
+                if seen == occurrence {
+                    if !new_matched[ni] {
+                        matched = Some(ni);
+                    }
+                    break;
+                }
+                seen += 1;
+            }
+        }
+        match matched {
+            Some(ni) => {
+                new_matched[ni] = true;
+                pairs.push((oi, ni));
+            }
+            None => removed.push(oi),
+        }
+    }
+
+    for oi in removed {
+        ops.push(DiffOp::Removed {
+            parent_path: path.to_string(),
+            element: old_children[oi].clone(),
+        });
+    }
+    for (ni, nc) in new_children.iter().enumerate() {
+        if !new_matched[ni] {
+            ops.push(DiffOp::Added {
+                parent_path: path.to_string(),
+                element: (*nc).clone(),
+            });
+        }
+    }
+    for (oi, ni) in pairs {
+        let child_path = format!("{}/{}", path, old_children[oi].name);
+        diff_recursive(old_children[oi], new_children[ni], &child_path, depth + 1, opts, ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn identical_documents_produce_no_ops() {
+        let a = parse("<r><x>1</x></r>").unwrap();
+        assert!(diff_elements(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_children() {
+        let old = parse("<r><a>1</a></r>").unwrap();
+        let new = parse("<r><a>1</a><b>2</b></r>").unwrap();
+        let ops = diff_elements(&old, &new);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(&ops[0], DiffOp::Added { element, .. } if element.name == "b"));
+
+        let ops = diff_elements(&new, &old);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(&ops[0], DiffOp::Removed { element, .. } if element.name == "b"));
+    }
+
+    #[test]
+    fn leaf_text_change_reported_as_text() {
+        let old = parse("<r><t>cold</t></r>").unwrap();
+        let new = parse("<r><t>warm</t></r>").unwrap();
+        let ops = diff_elements(&old, &new);
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            DiffOp::TextChanged { path, before, after } => {
+                assert_eq!(path, "/r/t");
+                assert_eq!(before, "cold");
+                assert_eq!(after, "warm");
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_change_reported_as_modified() {
+        let old = parse(r#"<r><x v="1"/></r>"#).unwrap();
+        let new = parse(r#"<r><x v="2"/></r>"#).unwrap();
+        let ops = diff_elements(&old, &new);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind(), "modify");
+    }
+
+    #[test]
+    fn keyed_matching_for_rss_items() {
+        let old = parse(
+            "<channel><item><guid>1</guid><title>a</title></item>\
+             <item><guid>2</guid><title>b</title></item></channel>",
+        )
+        .unwrap();
+        let new = parse(
+            "<channel><item><guid>2</guid><title>b2</title></item>\
+             <item><guid>3</guid><title>c</title></item></channel>",
+        )
+        .unwrap();
+        let opts = DiffOptions {
+            key_fields: vec![("item".to_string(), "guid".to_string())],
+            max_depth: 0,
+        };
+        let ops = diff_elements_with(&old, &new, &opts);
+        let kinds: Vec<&str> = ops.iter().map(DiffOp::kind).collect();
+        assert!(kinds.contains(&"remove"), "item 1 removed: {kinds:?}");
+        assert!(kinds.contains(&"add"), "item 3 added: {kinds:?}");
+        assert!(
+            kinds.contains(&"text") || kinds.contains(&"modify"),
+            "item 2 modified: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn different_roots_are_replace() {
+        let old = parse("<a/>").unwrap();
+        let new = parse("<b/>").unwrap();
+        let ops = diff_elements(&old, &new);
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn max_depth_collapses_deep_changes() {
+        let old = parse("<r><a><b><c>1</c></b></a></r>").unwrap();
+        let new = parse("<r><a><b><c>2</c></b></a></r>").unwrap();
+        let opts = DiffOptions {
+            key_fields: vec![],
+            max_depth: 2,
+        };
+        let ops = diff_elements_with(&old, &new, &opts);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind(), "modify");
+    }
+
+    #[test]
+    fn positional_matching_of_repeated_unkeyed_children() {
+        let old = parse("<r><p>one</p><p>two</p></r>").unwrap();
+        let new = parse("<r><p>one</p><p>deux</p></r>").unwrap();
+        let ops = diff_elements(&old, &new);
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            DiffOp::TextChanged { before, after, .. } => {
+                assert_eq!(before, "two");
+                assert_eq!(after, "deux");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! XML escaping and unescaping of text and attribute content.
+
+/// Escapes the five predefined XML entities in text content.
+pub fn escape_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (also escapes quotes).
+pub fn escape_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescapes the predefined entities plus decimal/hex character references.
+///
+/// Unknown entities are preserved verbatim (including the `&`), which keeps
+/// the parser robust against the slightly sloppy XHTML the Web-page alerter
+/// may crawl.
+pub fn unescape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(end) = input[i..].find(';').map(|p| i + p) {
+                let entity = &input[i + 1..end];
+                let replacement = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                        u32::from_str_radix(&entity[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                    }
+                    _ if entity.starts_with('#') => {
+                        entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+                    }
+                    _ => None,
+                };
+                match replacement {
+                    Some(c) if end - i <= 12 => {
+                        out.push(c);
+                        i = end + 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            out.push('&');
+            i += 1;
+        } else {
+            let c = input[i..].chars().next().expect("valid utf8 boundary");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_and_unescape_text_round_trip() {
+        let raw = "a < b && c > d";
+        assert_eq!(unescape(&escape_text(raw)), raw);
+    }
+
+    #[test]
+    fn escape_attr_handles_quotes() {
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+        assert_eq!(unescape("say &quot;hi&quot;"), "say \"hi\"");
+    }
+
+    #[test]
+    fn numeric_character_references() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+        assert_eq!(unescape("snow&#x2744;"), "snow\u{2744}");
+    }
+
+    #[test]
+    fn unknown_entities_preserved() {
+        assert_eq!(unescape("&nbsp;x"), "&nbsp;x");
+        assert_eq!(unescape("lonely & ampersand"), "lonely & ampersand");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let raw = "tempéra­ture – 21°C";
+        assert_eq!(unescape(&escape_text(raw)), raw);
+    }
+}

@@ -1,0 +1,433 @@
+//! A small, strict-enough XML parser.
+//!
+//! The parser handles what the monitored systems emit: elements, attributes,
+//! text, CDATA sections, comments, processing instructions and an optional
+//! XML declaration / DOCTYPE (both skipped).  Namespaces are kept as plain
+//! prefixed names ("soap:Envelope"), which is how the paper's alerters treat
+//! SOAP envelopes anyway.
+//!
+//! Errors carry the byte offset and a human-readable description so the
+//! Subscription Manager can report malformed alerter output precisely.
+
+use std::fmt;
+
+use crate::escape::unescape;
+use crate::node::{Element, Node};
+
+/// A parse failure with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete XML document and returns its root element.
+///
+/// Leading/trailing whitespace, an XML declaration, a DOCTYPE and comments
+/// around the root are accepted; trailing non-whitespace content is an error.
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(ParseError::new(p.pos, "unexpected content after root element"));
+    }
+    Ok(root)
+}
+
+/// Parses a fragment that may contain several sibling elements (and text,
+/// which is ignored at the top level).  Used by the RETURN-clause template
+/// engine and by the RSS alerter when feeds are concatenated.
+pub fn parse_fragment(input: &str) -> Result<Vec<Element>, ParseError> {
+    let mut p = Parser::new(input);
+    let mut out = Vec::new();
+    loop {
+        p.skip_misc();
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == Some('<') {
+            out.push(p.parse_element()?);
+        } else {
+            // Skip stray top-level text.
+            while let Some(c) = p.peek() {
+                if c == '<' {
+                    break;
+                }
+                p.bump();
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos, format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, marker: &str) -> Result<(), ParseError> {
+        match self.rest().find(marker) {
+            Some(idx) => {
+                self.pos += idx + marker.len();
+                Ok(())
+            }
+            None => Err(ParseError::new(
+                self.pos,
+                format!("unterminated construct, expected `{marker}`"),
+            )),
+        }
+    }
+
+    /// Skips the XML declaration, DOCTYPE, comments, PIs and whitespace.
+    fn skip_prolog(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                if self.skip_until(">").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Skips whitespace, comments and PIs (used after the root element).
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(ParseError::new(start, "expected a name"));
+        }
+        let name = &self.input[start..self.pos];
+        if name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit() || c == '-' || c == '.')
+            .unwrap_or(true)
+        {
+            return Err(ParseError::new(start, format!("invalid name `{name}`")));
+        }
+        Ok(name.to_string())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(ParseError::new(self.pos, "expected quoted attribute value")),
+        };
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = &self.input[start..self.pos];
+                self.bump();
+                return Ok(unescape(raw));
+            }
+            if c == '<' {
+                return Err(ParseError::new(self.pos, "`<` not allowed in attribute value"));
+            }
+            self.bump();
+        }
+        Err(ParseError::new(start, "unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    return Ok(element);
+                }
+                Some(_) => {
+                    let attr_start = self.pos;
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(ParseError::new(
+                            attr_start,
+                            format!("duplicate attribute `{attr_name}`"),
+                        ));
+                    }
+                    element.attributes.push((attr_name, value));
+                }
+                None => return Err(ParseError::new(self.pos, "unterminated start tag")),
+            }
+        }
+
+        // Children.
+        let mut pending_text = String::new();
+        loop {
+            if self.starts_with("</") {
+                flush_text(&mut element, &mut pending_text);
+                self.pos += 2;
+                let close_start = self.pos;
+                let close_name = self.parse_name()?;
+                if close_name != element.name {
+                    return Err(ParseError::new(
+                        close_start,
+                        format!(
+                            "mismatched closing tag: expected `</{}>`, found `</{}>`",
+                            element.name, close_name
+                        ),
+                    ));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                flush_text(&mut element, &mut pending_text);
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                match self.rest().find("]]>") {
+                    Some(idx) => {
+                        pending_text.push_str(&self.input[start..start + idx]);
+                        self.pos = start + idx + 3;
+                    }
+                    None => return Err(ParseError::new(start, "unterminated CDATA section")),
+                }
+            } else if self.starts_with("<?") {
+                flush_text(&mut element, &mut pending_text);
+                self.skip_until("?>")?;
+            } else if self.starts_with("<") {
+                flush_text(&mut element, &mut pending_text);
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+            } else if self.at_end() {
+                return Err(ParseError::new(
+                    self.pos,
+                    format!("unexpected end of input inside `<{}>`", element.name),
+                ));
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '<' {
+                        break;
+                    }
+                    self.bump();
+                }
+                pending_text.push_str(&unescape(&self.input[start..self.pos]));
+            }
+        }
+    }
+}
+
+fn flush_text(element: &mut Element, pending: &mut String) {
+    if !pending.is_empty() {
+        // Whitespace-only runs between elements are insignificant for the
+        // monitoring streams and would break structural equality after
+        // pretty-printing, so they are dropped.
+        if pending.trim().is_empty() {
+            pending.clear();
+            return;
+        }
+        element.children.push(Node::Text(std::mem::take(pending)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_element() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes_and_children() {
+        let e = parse(r#"<alert callId="7" caller='b'><x>1</x><y/></alert>"#).unwrap();
+        assert_eq!(e.attr("callId"), Some("7"));
+        assert_eq!(e.attr("caller"), Some("b"));
+        assert_eq!(e.child_elements().count(), 2);
+        assert_eq!(e.child("x").unwrap().text(), "1");
+    }
+
+    #[test]
+    fn parses_prolog_doctype_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!DOCTYPE html>\n<!-- hi -->\n<root>ok</root>\n<!-- bye -->";
+        let e = parse(doc).unwrap();
+        assert_eq!(e.name, "root");
+        assert_eq!(e.text(), "ok");
+    }
+
+    #[test]
+    fn parses_cdata_and_entities() {
+        let e = parse("<m><![CDATA[a < b]]> &amp; c</m>").unwrap();
+        assert_eq!(e.text(), "a < b & c");
+    }
+
+    #[test]
+    fn namespaced_names_are_plain_strings() {
+        let e = parse(r#"<soap:Envelope xmlns:soap="http://x"><soap:Body/></soap:Envelope>"#)
+            .unwrap();
+        assert_eq!(e.name, "soap:Envelope");
+        assert!(e.child("soap:Body").is_some());
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_document() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=\"x").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let e = parse("<a>\n  <b>1</b>\n  <c>2</c>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn significant_text_is_kept() {
+        let e = parse("<a>hello <b>world</b></a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+        assert_eq!(e.text(), "hello world");
+    }
+
+    #[test]
+    fn fragment_parsing_returns_all_roots() {
+        let frags = parse_fragment("<a/> <b x=\"1\"/> <c>t</c>").unwrap();
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[1].attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("<a><b></wrong></a>").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.to_string().contains("byte"));
+    }
+}

@@ -1,0 +1,129 @@
+//! XML serialization.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Element, Node};
+
+/// Serializes an element to a string.  With `pretty`, children are indented
+/// by two spaces per level and elements whose children are all elements get
+/// their own lines; text-bearing elements stay on one line so that round
+/// trips do not introduce significant whitespace.
+pub fn write_element(element: &Element, pretty: bool) -> String {
+    let mut out = String::new();
+    if pretty {
+        write_pretty(element, 0, &mut out);
+    } else {
+        write_compact(element, &mut out);
+    }
+    out
+}
+
+fn write_open_tag(element: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&element.name);
+    for (k, v) in &element.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+}
+
+fn write_compact(element: &Element, out: &mut String) {
+    write_open_tag(element, out);
+    if element.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &element.children {
+        match child {
+            Node::Element(e) => write_compact(e, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push('>');
+}
+
+fn has_element_children_only(element: &Element) -> bool {
+    !element.children.is_empty()
+        && element
+            .children
+            .iter()
+            .all(|c| matches!(c, Node::Element(_)))
+}
+
+fn write_pretty(element: &Element, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&pad);
+    write_open_tag(element, out);
+    if element.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    if has_element_children_only(element) {
+        out.push_str(">\n");
+        for child in element.child_elements() {
+            write_pretty(child, indent + 1, out);
+        }
+        out.push_str(&pad);
+    } else {
+        out.push('>');
+        for child in &element.children {
+            match child {
+                Node::Element(e) => write_compact(e, out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(&element.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<a x="1&amp;2"><b>t &lt; u</b><c/></a>"#;
+        let e = parse(src).unwrap();
+        let written = write_element(&e, false);
+        assert_eq!(parse(&written).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let e = parse("<a></a>").unwrap();
+        assert_eq!(write_element(&e, false), "<a/>");
+    }
+
+    #[test]
+    fn pretty_output_indents_nested_elements() {
+        let e = parse("<a><b><c/></b></a>").unwrap();
+        let pretty = write_element(&e, true);
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("\n    <c/>"));
+        assert_eq!(parse(&pretty).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_keeps_text_elements_inline() {
+        let e = parse("<a><b>hello</b></a>").unwrap();
+        let pretty = write_element(&e, true);
+        assert!(pretty.contains("<b>hello</b>"));
+        assert_eq!(parse(&pretty).unwrap(), e);
+    }
+
+    #[test]
+    fn attribute_escaping() {
+        let mut e = crate::Element::new("a");
+        e.set_attr("q", "say \"<hi>\" & bye");
+        let s = write_element(&e, false);
+        assert_eq!(parse(&s).unwrap().attr("q"), Some("say \"<hi>\" & bye"));
+    }
+}

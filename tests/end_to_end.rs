@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: P2PML text in, incidents out, over the
+//! simulated network — the paths the examples exercise, asserted tightly.
+
+use p2pmon::core::{Monitor, MonitorConfig, PlacementStrategy};
+use p2pmon::p2pml::METEO_SUBSCRIPTION;
+use p2pmon::workloads::{RssWorkload, SoapWorkload};
+use p2pmon_alerters::SoapCall;
+
+fn meteo_monitor(placement: PlacementStrategy, enable_reuse: bool) -> Monitor {
+    let mut monitor = Monitor::new(MonitorConfig {
+        placement,
+        enable_reuse,
+        ..MonitorConfig::default()
+    });
+    for peer in ["p", "a.com", "b.com", "meteo.com", "observer.org"] {
+        monitor.add_peer(peer);
+    }
+    monitor
+}
+
+#[test]
+fn figure_1_pipeline_counts_exactly_the_slow_monitored_calls() {
+    let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+
+    let mut workload = SoapWorkload::meteo(5);
+    let calls = workload.calls(400);
+    let expected: usize = calls
+        .iter()
+        .filter(|c| {
+            c.duration() > 10
+                && c.method == "GetTemperature"
+                && c.callee == "http://meteo.com"
+                && (c.caller == "http://a.com" || c.caller == "http://b.com")
+        })
+        .count();
+    for call in &calls {
+        monitor.inject_soap_call(call);
+    }
+    monitor.run_until_idle();
+
+    let incidents = monitor.results(&handle);
+    assert_eq!(incidents.len(), expected);
+    assert!(expected > 0, "workload must contain slow calls");
+    for incident in &incidents {
+        assert_eq!(incident.name, "incident");
+        assert_eq!(incident.attr("type"), Some("slowAnswer"));
+        let client = incident.child("client").unwrap().text();
+        assert!(client == "http://a.com" || client == "http://b.com");
+    }
+}
+
+#[test]
+fn pushdown_and_centralized_plans_agree_on_results() {
+    let mut workload = SoapWorkload::meteo(77);
+    let calls = workload.calls(300);
+    let mut counts = Vec::new();
+    let mut bytes = Vec::new();
+    for placement in [PlacementStrategy::PushToSources, PlacementStrategy::Centralized] {
+        let mut monitor = meteo_monitor(placement, false);
+        let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+        for call in &calls {
+            monitor.inject_soap_call(call);
+        }
+        monitor.run_until_idle();
+        counts.push(monitor.results(&handle).len());
+        bytes.push(monitor.network_stats().total_bytes);
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert!(counts[0] > 0);
+    assert!(
+        bytes[0] < bytes[1],
+        "selection pushdown must transfer fewer bytes ({} vs {})",
+        bytes[0],
+        bytes[1]
+    );
+}
+
+#[test]
+fn stream_reuse_shrinks_the_second_deployment_and_keeps_results_identical() {
+    let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+    let first = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    let second = monitor.submit("observer.org", METEO_SUBSCRIPTION).unwrap();
+
+    let first_report = monitor.report(&first).unwrap();
+    let second_report = monitor.report(&second).unwrap();
+    assert_eq!(first_report.reuse.reused_nodes, 0);
+    assert!(second_report.reuse.reused_nodes >= 2);
+    assert!(second_report.tasks < first_report.tasks);
+
+    let mut workload = SoapWorkload::meteo(9);
+    for call in workload.calls(200) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let a = monitor.results(&first);
+    let b = monitor.results(&second);
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn rss_monitoring_detects_every_added_entry_exactly_once() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.add_peer("portal");
+    monitor.add_peer("watcher");
+    let handle = monitor
+        .submit(
+            "watcher",
+            r#"for $e in rssFeed(<p>portal</p>)
+               where $e.kind = "add"
+               return distinct <new entry="{$e.entry}"/>
+               by file "new.xml";"#,
+        )
+        .unwrap();
+
+    let mut feed = RssWorkload::new("http://portal/feed", 2, 3);
+    monitor.inject_rss_snapshot("portal", "http://portal/feed", &feed.snapshot());
+    monitor.run_until_idle();
+    for _ in 0..10 {
+        let snapshot = feed.step();
+        monitor.inject_rss_snapshot("portal", "http://portal/feed", &snapshot);
+        monitor.run_until_idle();
+    }
+    // 2 initial + 10 added (one per step), each reported exactly once even if
+    // later snapshots still contain it.
+    let results = monitor.results(&handle);
+    assert_eq!(results.len(), 12);
+    let mut entries: Vec<String> = results
+        .iter()
+        .map(|r| r.attr("entry").unwrap().to_string())
+        .collect();
+    entries.sort();
+    entries.dedup();
+    assert_eq!(entries.len(), 12, "no duplicates thanks to `distinct`");
+}
+
+#[test]
+fn faulty_network_still_converges_and_loses_only_dropped_messages() {
+    let mut monitor = Monitor::new(MonitorConfig {
+        network: p2pmon::net::NetworkConfig {
+            drop_probability: 0.2,
+            seed: 11,
+            ..Default::default()
+        },
+        ..MonitorConfig::default()
+    });
+    for peer in ["p", "a.com", "b.com", "meteo.com"] {
+        monitor.add_peer(peer);
+    }
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    for i in 0..100u64 {
+        monitor.inject_soap_call(&SoapCall::new(
+            i,
+            "http://a.com",
+            "http://meteo.com",
+            "GetTemperature",
+            1_000 + i,
+            1_020 + i,
+        ));
+    }
+    monitor.run_until_idle();
+    let results = monitor.results(&handle).len();
+    assert!(results > 0, "some incidents survive the lossy network");
+    assert!(results <= 100);
+    assert!(monitor.network_stats().dropped_messages > 0);
+}
+
+#[test]
+fn email_and_rss_sinks_render_valid_documents() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.add_peer("portal");
+    monitor.add_peer("watcher");
+    let email = monitor
+        .submit(
+            "watcher",
+            r#"for $e in rssFeed(<p>portal</p>) where $e.kind = "add"
+               return <n entry="{$e.entry}"/> by email "ops@example.org";"#,
+        )
+        .unwrap();
+    let rss = monitor
+        .submit(
+            "watcher",
+            r#"for $e in rssFeed(<p>portal</p>) where $e.kind = "add"
+               return <n entry="{$e.entry}"/> by rss "alerts.rss";"#,
+        )
+        .unwrap();
+    let mut feed = RssWorkload::new("u", 3, 4);
+    monitor.inject_rss_snapshot("portal", "u", &feed.snapshot());
+    monitor.run_until_idle();
+    monitor.inject_rss_snapshot("portal", "u", &feed.step());
+    monitor.run_until_idle();
+
+    let email_doc = monitor.sink(&email).unwrap().render();
+    assert!(email_doc.contains("To: ops@example.org"));
+    let rss_doc = monitor.sink(&rss).unwrap().render();
+    let parsed = p2pmon::xmlkit::parse(&rss_doc).expect("rendered RSS is well-formed");
+    assert_eq!(parsed.name, "rss");
+}

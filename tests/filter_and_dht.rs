@@ -1,0 +1,99 @@
+//! Integration tests for the Filter engine under workload-scale subscription
+//! sets, and for the DHT-backed Stream Definition Database under churn.
+
+use p2pmon::dht::{ChordNetwork, StreamDefinition, StreamDefinitionDatabase};
+use p2pmon::filter::{FilterEngine, NaiveFilter};
+use p2pmon::workloads::SubscriptionWorkload;
+use proptest::prelude::*;
+
+#[test]
+fn filter_engine_agrees_with_naive_on_a_large_generated_workload() {
+    let mut workload = SubscriptionWorkload::new(42);
+    let subscriptions = workload.subscriptions(2_000);
+    let documents = workload.documents(200, 4, 3);
+
+    let mut engine = FilterEngine::from_subscriptions(subscriptions.clone());
+    let mut naive = NaiveFilter::from_subscriptions(subscriptions);
+    let mut total_matches = 0usize;
+    for doc in &documents {
+        let mut staged = engine.process(doc).matched;
+        let mut reference = naive.matching(doc);
+        staged.sort();
+        reference.sort();
+        assert_eq!(staged, reference, "disagreement on {}", doc.to_xml());
+        total_matches += staged.len();
+    }
+    assert!(total_matches > 0, "the workload must produce some matches");
+    // The two-stage organisation only runs the complex stage for a fraction
+    // of the documents.
+    assert!(engine.stats.complex_stage_entered <= engine.stats.documents);
+}
+
+#[test]
+fn filter_subscription_removal_keeps_engine_consistent() {
+    let mut workload = SubscriptionWorkload::new(7);
+    let subscriptions = workload.subscriptions(200);
+    let documents = workload.documents(50, 4, 3);
+    let mut engine = FilterEngine::from_subscriptions(subscriptions.clone());
+    // Remove every other subscription.
+    for sub in subscriptions.iter().step_by(2) {
+        assert!(engine.remove(sub.id));
+    }
+    let mut naive =
+        NaiveFilter::from_subscriptions(subscriptions.iter().skip(1).step_by(2).cloned());
+    for doc in &documents {
+        let mut staged = engine.process(doc).matched;
+        let mut reference = naive.matching(doc);
+        staged.sort();
+        reference.sort();
+        assert_eq!(staged, reference);
+    }
+}
+
+#[test]
+fn stream_definitions_survive_dht_churn() {
+    let mut db = StreamDefinitionDatabase::new(ChordNetwork::with_nodes(64, 17));
+    for i in 0..200 {
+        db.publish(StreamDefinition::source(
+            format!("peer{i}.example"),
+            "s1",
+            "inCOM",
+        ));
+    }
+    // Churn: a quarter of the nodes leave, new ones join.
+    let ids = db.dht_mut().node_ids();
+    for id in ids.iter().take(16) {
+        db.dht_mut().leave(*id);
+    }
+    for j in 0..16u64 {
+        db.dht_mut().join(p2pmon::dht::chord::hash_key(&format!("fresh{j}")));
+    }
+    // Every published alerter stream is still discoverable.
+    for i in 0..200 {
+        let found = db.find_alerter_streams(&format!("peer{i}.example"), "inCOM");
+        assert_eq!(found.len(), 1, "stream of peer{i} lost after churn");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever mix of subscriptions the workload generates, the engine and
+    /// the naive filter agree (a coarser, cross-crate version of the unit
+    /// property tests inside `p2pmon-filter`).
+    #[test]
+    fn prop_filter_engine_matches_naive(seed in 0u64..500, docs in 1usize..20) {
+        let mut workload = SubscriptionWorkload::new(seed);
+        let subscriptions = workload.subscriptions(150);
+        let documents = workload.documents(docs, 3, 2);
+        let mut engine = FilterEngine::from_subscriptions(subscriptions.clone());
+        let mut naive = NaiveFilter::from_subscriptions(subscriptions);
+        for doc in &documents {
+            let mut a = engine.process(doc).matched;
+            let mut b = naive.matching(doc);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -44,7 +44,8 @@ mod lib_tests {
     fn public_api_round_trip() {
         // A document with an embedded service call, registered in a repository,
         // produces an update event and the sc element is recognisable.
-        let xml = r#"<root attr1="x"><sc service="storage" address="site"><parameters/></sc></root>"#;
+        let xml =
+            r#"<root attr1="x"><sc service="storage" address="site"><parameters/></sc></root>"#;
         let doc = p2pmon_xmlkit::parse(xml).unwrap();
         let calls = ServiceCall::find_in(&doc);
         assert_eq!(calls.len(), 1);

@@ -154,7 +154,12 @@ impl Repository {
     pub fn delete(&mut self, name: &str) -> bool {
         match self.documents.remove(name) {
             Some(doc) => {
-                self.record(name.to_string(), UpdateKind::Delete, doc.version, Vec::new());
+                self.record(
+                    name.to_string(),
+                    UpdateKind::Delete,
+                    doc.version,
+                    Vec::new(),
+                );
                 true
             }
             None => false,
@@ -201,7 +206,10 @@ mod tests {
     #[test]
     fn insert_replace_delete_lifecycle() {
         let mut repo = Repository::new("edos-server");
-        repo.insert("packages", parse("<packages><pkg name=\"a\"/></packages>").unwrap());
+        repo.insert(
+            "packages",
+            parse("<packages><pkg name=\"a\"/></packages>").unwrap(),
+        );
         repo.insert(
             "packages",
             parse("<packages><pkg name=\"a\"/><pkg name=\"b\"/></packages>").unwrap(),

@@ -254,10 +254,7 @@ mod tests {
 
     #[test]
     fn materialize_append_keeps_call() {
-        let mut doc = parse(
-            r#"<root><sc service="s" address="a" mode="append"/></root>"#,
-        )
-        .unwrap();
+        let mut doc = parse(r#"<root><sc service="s" address="a" mode="append"/></root>"#).unwrap();
         materialize(&mut doc, &mut |_| Ok(vec![Element::new("result")])).unwrap();
         assert!(ServiceCall::document_is_intensional(&doc));
         assert!(doc.child("result").is_some());

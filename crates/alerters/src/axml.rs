@@ -91,8 +91,10 @@ mod tests {
     #[test]
     fn repository_updates_become_alerts() {
         let mut a = AxmlAlerter::new("edos-master");
-        a.repository_mut()
-            .insert("packages", parse("<packages><pkg name=\"bash\"/></packages>").unwrap());
+        a.repository_mut().insert(
+            "packages",
+            parse("<packages><pkg name=\"bash\"/></packages>").unwrap(),
+        );
         a.repository_mut().insert(
             "packages",
             parse("<packages><pkg name=\"bash\"/><pkg name=\"vim\"/></packages>").unwrap(),
@@ -105,7 +107,9 @@ mod tests {
         assert_eq!(alerts[1].attr("kind"), Some("replace"));
         assert_eq!(alerts[2].attr("kind"), Some("delete"));
         assert!(alerts.iter().all(|al| al.name == "axmlUpdate"));
-        assert!(alerts.iter().all(|al| al.attr("peer") == Some("edos-master")));
+        assert!(alerts
+            .iter()
+            .all(|al| al.attr("peer") == Some("edos-master")));
         assert_eq!(a.events_seen, 3);
         assert_eq!(a.pending(), 0);
     }

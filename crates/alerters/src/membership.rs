@@ -146,9 +146,6 @@ mod tests {
         ] {
             assert_eq!(MembershipEvent::from_element(&ev.to_element()), Some(ev));
         }
-        assert_eq!(
-            MembershipEvent::from_element(&Element::new("other")),
-            None
-        );
+        assert_eq!(MembershipEvent::from_element(&Element::new("other")), None);
     }
 }

@@ -229,8 +229,9 @@ mod tests {
     #[test]
     fn items_without_any_key_are_ignored() {
         let mut a = RssAlerter::new("portal");
-        let f = parse("<rss><channel><item><description>no key</description></item></channel></rss>")
-            .unwrap();
+        let f =
+            parse("<rss><channel><item><description>no key</description></item></channel></rss>")
+                .unwrap();
         assert_eq!(a.observe_snapshot("f", &f), 0);
     }
 

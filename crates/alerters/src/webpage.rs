@@ -86,11 +86,17 @@ impl WebPageAlerter {
             let mut change = Element::new("change");
             change.set_attr("kind", op.kind());
             match op {
-                DiffOp::Added { parent_path, element } => {
+                DiffOp::Added {
+                    parent_path,
+                    element,
+                } => {
                     change.set_attr("path", parent_path.clone());
                     change.push_element(element.clone());
                 }
-                DiffOp::Removed { parent_path, element } => {
+                DiffOp::Removed {
+                    parent_path,
+                    element,
+                } => {
                     change.set_attr("path", parent_path.clone());
                     change.push_element(element.clone());
                 }
@@ -98,7 +104,11 @@ impl WebPageAlerter {
                     change.set_attr("path", path.clone());
                     change.push_element(after.clone());
                 }
-                DiffOp::TextChanged { path, before, after } => {
+                DiffOp::TextChanged {
+                    path,
+                    before,
+                    after,
+                } => {
                     change.set_attr("path", path.clone());
                     change.set_attr("before", before.clone());
                     change.set_attr("after", after.clone());
@@ -139,7 +149,10 @@ mod tests {
         let v1 = parse("<html><body><h1>P2P Monitor</h1><p>v1</p></body></html>").unwrap();
         let v2 = parse("<html><body><h1>P2P Monitor</h1><p>v2</p></body></html>").unwrap();
         assert!(a.observe_snapshot("http://site", &v1));
-        assert!(!a.observe_snapshot("http://site", &v1), "no change, no alert");
+        assert!(
+            !a.observe_snapshot("http://site", &v1),
+            "no change, no alert"
+        );
         assert!(a.observe_snapshot("http://site", &v2));
         let alerts = a.drain();
         assert_eq!(alerts.len(), 2);
@@ -176,7 +189,10 @@ mod tests {
         let mut a = WebPageAlerter::new("crawler", true);
         a.observe_snapshot("u", &parse("<div><item>1</item></div>").unwrap());
         a.drain();
-        a.observe_snapshot("u", &parse("<div><item>1</item><item>2</item></div>").unwrap());
+        a.observe_snapshot(
+            "u",
+            &parse("<div><item>1</item><item>2</item></div>").unwrap(),
+        );
         let alerts = a.drain();
         let delta = alerts[0].child("delta").unwrap();
         assert_eq!(delta.child("change").unwrap().attr("kind"), Some("add"));

@@ -18,7 +18,11 @@ fn populated_db(nodes: usize, streams: usize) -> StreamDefinitionDatabase {
     let mut db = StreamDefinitionDatabase::new(ChordNetwork::with_nodes(nodes, 13));
     for i in 0..streams {
         let peer = format!("peer{}.example", i % (streams / 4).max(1));
-        db.publish(StreamDefinition::source(peer.clone(), format!("s{i}"), "inCOM"));
+        db.publish(StreamDefinition::source(
+            peer.clone(),
+            format!("s{i}"),
+            "inCOM",
+        ));
         if i % 3 == 0 {
             db.publish(StreamDefinition::derived(
                 peer.clone(),
@@ -36,14 +40,18 @@ fn e8_discovery_vs_streams(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_discovery_vs_streams");
     for &streams in &[1_000usize, 10_000, 50_000] {
         let mut db = populated_db(256, streams);
-        group.bench_with_input(BenchmarkId::new("find_alerter_stream", streams), &streams, |b, _| {
-            let mut i = 0usize;
-            b.iter(|| {
-                i = (i + 97) % streams;
-                let peer = format!("peer{}.example", i % (streams / 4).max(1));
-                db.find_alerter_streams(black_box(&peer), "inCOM").len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("find_alerter_stream", streams),
+            &streams,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 97) % streams;
+                    let peer = format!("peer{}.example", i % (streams / 4).max(1));
+                    db.find_alerter_streams(black_box(&peer), "inCOM").len()
+                })
+            },
+        );
         eprintln!(
             "e8: {} streams on 256 nodes -> {:.2} avg hops per index operation",
             streams,
@@ -57,19 +65,23 @@ fn e8_discovery_vs_peers(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_discovery_vs_peers");
     for &nodes in &[16usize, 128, 1_024, 4_096] {
         let mut db = populated_db(nodes, 5_000);
-        group.bench_with_input(BenchmarkId::new("find_derived_stream", nodes), &nodes, |b, _| {
-            let mut i = 0usize;
-            b.iter(|| {
-                i = (i + 31) % 5_000;
-                let peer = format!("peer{}.example", i % 1_250);
-                db.find_derived_streams(
-                    "Filter",
-                    &format!("cond{}", i % 17),
-                    &[(peer.clone(), format!("s{i}"))],
-                )
-                .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("find_derived_stream", nodes),
+            &nodes,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 31) % 5_000;
+                    let peer = format!("peer{}.example", i % 1_250);
+                    db.find_derived_streams(
+                        "Filter",
+                        &format!("cond{}", i % 17),
+                        &[(peer.clone(), format!("s{i}"))],
+                    )
+                    .len()
+                })
+            },
+        );
         eprintln!(
             "e8: {} DHT nodes -> {:.2} avg hops per index operation (log2 n = {:.1})",
             nodes,

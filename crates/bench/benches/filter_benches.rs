@@ -122,28 +122,39 @@ fn e4_yfilter(c: &mut Criterion) {
                 matched
             })
         });
-        group.bench_with_input(BenchmarkId::new("naive_per_query", queries), &queries, |b, _| {
-            b.iter(|| {
-                let mut matched = 0usize;
-                for doc in &documents {
-                    matched += patterns.iter().filter(|p| p.matches(black_box(doc))).count();
-                }
-                matched
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive_per_query", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    let mut matched = 0usize;
+                    for doc in &documents {
+                        matched += patterns
+                            .iter()
+                            .filter(|p| p.matches(black_box(doc)))
+                            .count();
+                    }
+                    matched
+                })
+            },
+        );
         // Pruned matching: only 10 subscriptions are active per document.
         let allowed: Vec<usize> = (0..10).collect();
-        group.bench_with_input(BenchmarkId::new("pruned_active10", queries), &queries, |b, _| {
-            b.iter(|| {
-                let mut matched = 0usize;
-                for doc in &documents {
-                    matched += yfilter
-                        .matching_queries_filtered(black_box(doc), Some(&allowed))
-                        .len();
-                }
-                matched
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pruned_active10", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    let mut matched = 0usize;
+                    for doc in &documents {
+                        matched += yfilter
+                            .matching_queries_filtered(black_box(doc), Some(&allowed))
+                            .len();
+                    }
+                    matched
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -47,7 +47,9 @@ fn e1_end_to_end(c: &mut Criterion) {
     group.bench_function("compile_and_deploy_only", |b| {
         b.iter(|| {
             let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
-            monitor.submit("p", black_box(METEO_SUBSCRIPTION)).expect("deploys")
+            monitor
+                .submit("p", black_box(METEO_SUBSCRIPTION))
+                .expect("deploys")
         })
     });
     group.finish();
@@ -108,7 +110,9 @@ fn e7_stream_reuse(c: &mut Criterion) {
         });
         let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, enable_reuse);
         let _ = monitor.submit("p", METEO_SUBSCRIPTION);
-        let second = monitor.submit("observer.org", METEO_SUBSCRIPTION).expect("deploys");
+        let second = monitor
+            .submit("observer.org", METEO_SUBSCRIPTION)
+            .expect("deploys");
         for call in &calls {
             monitor.inject_soap_call(call);
         }

@@ -33,7 +33,9 @@ pub mod runtime;
 pub mod sink;
 
 pub use monitor::{Monitor, MonitorConfig, SubscriptionHandle, SubscriptionReport};
-pub use placement::{place, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementStrategy, TaskKind};
+pub use placement::{
+    place, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementStrategy, TaskKind,
+};
 pub use reuse::{apply_reuse, logical_to_plan_node, ReuseReport};
 pub use runtime::{RuntimeOperator, RuntimeOutput};
 pub use sink::{Sink, SinkKind};
@@ -55,10 +57,20 @@ mod lib_tests {
 
         // A slow GetTemperature call from a.com and a fast one from b.com.
         monitor.inject_soap_call(&SoapCall::new(
-            1, "http://a.com", "http://meteo.com", "GetTemperature", 1_000, 1_015,
+            1,
+            "http://a.com",
+            "http://meteo.com",
+            "GetTemperature",
+            1_000,
+            1_015,
         ));
         monitor.inject_soap_call(&SoapCall::new(
-            2, "http://b.com", "http://meteo.com", "GetTemperature", 1_000, 1_002,
+            2,
+            "http://b.com",
+            "http://meteo.com",
+            "GetTemperature",
+            1_000,
+            1_002,
         ));
         monitor.run_until_idle();
 
@@ -66,9 +78,6 @@ mod lib_tests {
         assert_eq!(incidents.len(), 1, "only the slow call is an incident");
         assert_eq!(incidents[0].name, "incident");
         assert_eq!(incidents[0].attr("type"), Some("slowAnswer"));
-        assert_eq!(
-            incidents[0].child("client").unwrap().text(),
-            "http://a.com"
-        );
+        assert_eq!(incidents[0].child("client").unwrap().text(), "http://a.com");
     }
 }

@@ -29,7 +29,9 @@ use p2pmon_streams::ops::Window;
 use p2pmon_streams::{ChannelId, StreamItem};
 use p2pmon_xmlkit::Element;
 
-use crate::placement::{place, push_selections_below_unions, PlacedPlan, PlacementStrategy, TaskKind};
+use crate::placement::{
+    place, push_selections_below_unions, PlacedPlan, PlacementStrategy, TaskKind,
+};
 use crate::reuse::{apply_reuse, join_parameters, select_parameters, ReuseReport};
 use crate::runtime::RuntimeOperator;
 use crate::sink::{Sink, SinkKind};
@@ -187,7 +189,7 @@ impl Monitor {
 
     /// Network traffic statistics.
     pub fn network_stats(&self) -> &NetworkStats {
-        &self.network.stats()
+        self.network.stats()
     }
 
     /// The Stream Definition Database (e.g. to inspect published streams or
@@ -265,7 +267,10 @@ impl Monitor {
 
         // Build operators, routes and consumer registrations.
         for task in &placed.tasks {
-            operators.push(RuntimeOperator::for_kind(&task.kind, self.config.join_window));
+            operators.push(RuntimeOperator::for_kind(
+                &task.kind,
+                self.config.join_window,
+            ));
             match &task.kind {
                 TaskKind::Source {
                     function,
@@ -295,7 +300,10 @@ impl Monitor {
             let route = match task.downstream {
                 Some((consumer, port)) => {
                     if placed.tasks[consumer].peer == task.peer {
-                        Route::Local { task: consumer, port }
+                        Route::Local {
+                            task: consumer,
+                            port,
+                        }
                     } else {
                         let channel =
                             ChannelId::new(task.peer.clone(), format!("s{sub_idx}-t{}", task.id));
@@ -644,11 +652,16 @@ impl Monitor {
                     self.pending.push_back((sub, task, 0, item));
                 }
                 for (consumer_sub, consumer_task, _port) in &source_subscribers {
-                    let consumer_peer = self.subscriptions[*consumer_sub].placed.tasks[*consumer_task]
+                    let consumer_peer = self.subscriptions[*consumer_sub].placed.tasks
+                        [*consumer_task]
                         .peer
                         .clone();
-                    self.network
-                        .send(&peer, &consumer_peer, Some(source_channel.clone()), alert.clone());
+                    self.network.send(
+                        &peer,
+                        &consumer_peer,
+                        Some(source_channel.clone()),
+                        alert.clone(),
+                    );
                 }
                 // Membership alerters also feed dynamic sources' port 1 is
                 // wired through the plan itself, so only non-membership
@@ -696,7 +709,13 @@ impl Monitor {
         }
     }
 
-    fn emit_on_channel(&mut self, _sub: usize, task_id: usize, channel: ChannelId, output: Element) {
+    fn emit_on_channel(
+        &mut self,
+        _sub: usize,
+        task_id: usize,
+        channel: ChannelId,
+        output: Element,
+    ) {
         let producer_peer = channel.peer.clone();
         let consumers = self
             .channel_consumers
@@ -707,8 +726,12 @@ impl Monitor {
             let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
                 .peer
                 .clone();
-            self.network
-                .send(&producer_peer, &consumer_peer, Some(channel.clone()), output.clone());
+            self.network.send(
+                &producer_peer,
+                &consumer_peer,
+                Some(channel.clone()),
+                output.clone(),
+            );
         }
         let _ = task_id;
     }
@@ -722,7 +745,8 @@ impl Monitor {
         };
         let manager_peer = self.subscriptions[sub_idx].manager.clone();
         if root_peer != manager_peer {
-            self.network.send(&root_peer, &manager_peer, None, output.clone());
+            self.network
+                .send(&root_peer, &manager_peer, None, output.clone());
         }
         self.subscriptions[sub_idx].sink.deliver(output.clone());
         if let Some(channel) = self.subscriptions[sub_idx].published_channel.clone() {
@@ -742,8 +766,12 @@ impl Monitor {
                 let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
                     .peer
                     .clone();
-                self.network
-                    .send(&manager, &consumer_peer, Some(channel.clone()), output.clone());
+                self.network.send(
+                    &manager,
+                    &consumer_peer,
+                    Some(channel.clone()),
+                    output.clone(),
+                );
             }
         }
     }
@@ -828,13 +856,15 @@ impl Monitor {
 
     /// A deployment / execution report for a subscription.
     pub fn report(&self, handle: &SubscriptionHandle) -> Option<SubscriptionReport> {
-        self.subscriptions.get(handle.0).map(|s| SubscriptionReport {
-            manager: s.manager.clone(),
-            tasks: s.placed.tasks.len(),
-            cross_peer_edges: s.placed.cross_peer_edges(),
-            reuse: s.reuse.clone(),
-            results_delivered: s.sink.len(),
-        })
+        self.subscriptions
+            .get(handle.0)
+            .map(|s| SubscriptionReport {
+                manager: s.manager.clone(),
+                tasks: s.placed.tasks.len(),
+                cross_peer_edges: s.placed.cross_peer_edges(),
+                reuse: s.reuse.clone(),
+                results_delivered: s.sink.len(),
+            })
     }
 }
 
@@ -857,11 +887,25 @@ mod tests {
     }
 
     fn slow_call(id: u64, caller: &str) -> SoapCall {
-        SoapCall::new(id, caller, "http://meteo.com", "GetTemperature", 1_000, 1_020)
+        SoapCall::new(
+            id,
+            caller,
+            "http://meteo.com",
+            "GetTemperature",
+            1_000,
+            1_020,
+        )
     }
 
     fn fast_call(id: u64, caller: &str) -> SoapCall {
-        SoapCall::new(id, caller, "http://meteo.com", "GetTemperature", 1_000, 1_003)
+        SoapCall::new(
+            id,
+            caller,
+            "http://meteo.com",
+            "GetTemperature",
+            1_000,
+            1_003,
+        )
     }
 
     #[test]
@@ -884,7 +928,10 @@ mod tests {
     fn centralized_and_pushdown_agree_on_results_but_not_on_traffic() {
         let mut results = Vec::new();
         let mut bytes = Vec::new();
-        for placement in [PlacementStrategy::PushToSources, PlacementStrategy::Centralized] {
+        for placement in [
+            PlacementStrategy::PushToSources,
+            PlacementStrategy::Centralized,
+        ] {
             let mut monitor = meteo_monitor(placement, false);
             let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
             for i in 0..20u64 {

@@ -185,7 +185,11 @@ pub fn push_selections_below_unions(node: LogicalNode) -> LogicalNode {
             conditions,
         } => {
             let input = push_selections_below_unions(*input);
-            if let LogicalNode::Union { var: union_var, inputs } = input {
+            if let LogicalNode::Union {
+                var: union_var,
+                inputs,
+            } = input
+            {
                 LogicalNode::Union {
                     var: union_var,
                     inputs: inputs
@@ -213,7 +217,10 @@ pub fn push_selections_below_unions(node: LogicalNode) -> LogicalNode {
         }
         LogicalNode::Union { var, inputs } => LogicalNode::Union {
             var,
-            inputs: inputs.into_iter().map(push_selections_below_unions).collect(),
+            inputs: inputs
+                .into_iter()
+                .map(push_selections_below_unions)
+                .collect(),
         },
         LogicalNode::Join {
             left,
@@ -240,7 +247,11 @@ pub fn push_selections_below_unions(node: LogicalNode) -> LogicalNode {
             template,
             derived,
         },
-        LogicalNode::DynamicAlerter { function, var, driver } => LogicalNode::DynamicAlerter {
+        LogicalNode::DynamicAlerter {
+            function,
+            var,
+            driver,
+        } => LogicalNode::DynamicAlerter {
             function,
             var,
             driver: Box::new(push_selections_below_unions(*driver)),
@@ -297,12 +308,7 @@ impl Builder {
                 // currently hosting the fewest tasks.
                 input_peers
                     .iter()
-                    .min_by_key(|p| {
-                        self.tasks
-                            .iter()
-                            .filter(|t| &&t.peer == p)
-                            .count()
-                    })
+                    .min_by_key(|p| self.tasks.iter().filter(|t| &&t.peer == p).count())
                     .cloned()
                     .unwrap_or_else(|| self.manager.clone())
             }
@@ -315,7 +321,11 @@ impl Builder {
     /// the raw stream cross the network.
     fn place_node(&mut self, node: &LogicalNode) -> usize {
         match node {
-            LogicalNode::Alerter { function, peer, var } => self.push(
+            LogicalNode::Alerter {
+                function,
+                peer,
+                var,
+            } => self.push(
                 peer.clone(),
                 TaskKind::Source {
                     function: function.clone(),
@@ -323,7 +333,11 @@ impl Builder {
                     var: var.clone(),
                 },
             ),
-            LogicalNode::DynamicAlerter { function, var, driver } => {
+            LogicalNode::DynamicAlerter {
+                function,
+                var,
+                driver,
+            } => {
                 let driver_task = self.place_node(driver);
                 let driver_peer = self.tasks[driver_task].peer.clone();
                 let peer = match self.strategy {

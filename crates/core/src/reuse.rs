@@ -69,8 +69,12 @@ pub fn join_parameters(
 /// that cover paths line up.
 pub fn logical_to_plan_node(node: &LogicalNode) -> PlanNode {
     match node {
-        LogicalNode::Alerter { function, peer, .. } => PlanNode::alerter(function.clone(), peer.clone()),
-        LogicalNode::DynamicAlerter { function, driver, .. } => PlanNode::operator(
+        LogicalNode::Alerter { function, peer, .. } => {
+            PlanNode::alerter(function.clone(), peer.clone())
+        }
+        LogicalNode::DynamicAlerter {
+            function, driver, ..
+        } => PlanNode::operator(
             "DynamicAlerter",
             function.clone(),
             vec![logical_to_plan_node(driver)],
@@ -112,7 +116,9 @@ pub fn logical_to_plan_node(node: &LogicalNode) -> PlanNode {
         LogicalNode::Dedup { input } => {
             PlanNode::operator("DuplicateRemoval", "", vec![logical_to_plan_node(input)])
         }
-        LogicalNode::Restructure { input, template, .. } => PlanNode::operator(
+        LogicalNode::Restructure {
+            input, template, ..
+        } => PlanNode::operator(
             "Restructure",
             template.source().to_string(),
             vec![logical_to_plan_node(input)],
@@ -165,7 +171,11 @@ fn rewrite(
     // path numbering the cover used.
     match node {
         LogicalNode::Alerter { .. } | LogicalNode::ChannelIn { .. } => node.clone(),
-        LogicalNode::DynamicAlerter { function, var, driver } => LogicalNode::DynamicAlerter {
+        LogicalNode::DynamicAlerter {
+            function,
+            var,
+            driver,
+        } => LogicalNode::DynamicAlerter {
             function: function.clone(),
             var: var.clone(),
             driver: Box::new(rewrite(driver, &format!("{path}.0"), outcome, report)),
@@ -255,8 +265,17 @@ mod tests {
         db.publish(StreamDefinition::source("meteo.com", "src-inCOM", "inCOM"));
         let plan = subscription_plan();
         // … and the very same filter, published from a previous deployment.
-        let LogicalNode::Restructure { input, .. } = &plan else { panic!() };
-        let LogicalNode::Select { simple, patterns, derived, conditions, .. } = input.as_ref() else {
+        let LogicalNode::Restructure { input, .. } = &plan else {
+            panic!()
+        };
+        let LogicalNode::Select {
+            simple,
+            patterns,
+            derived,
+            conditions,
+            ..
+        } = input.as_ref()
+        else {
             panic!()
         };
         let params = select_parameters(simple, patterns, derived, conditions);
@@ -275,8 +294,12 @@ mod tests {
             vec![("meteo.com".to_string(), "filtered-7".to_string())]
         );
         // The filter subtree collapsed into a channel subscription.
-        let LogicalNode::Restructure { input, .. } = &rewritten else { panic!() };
-        assert!(matches!(input.as_ref(), LogicalNode::ChannelIn { stream, .. } if stream == "filtered-7"));
+        let LogicalNode::Restructure { input, .. } = &rewritten else {
+            panic!()
+        };
+        assert!(
+            matches!(input.as_ref(), LogicalNode::ChannelIn { stream, .. } if stream == "filtered-7")
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub enum RuntimeOperator {
     /// Union of several inputs.
     Union(Union),
     /// Join on attribute equality.
-    Join(Join),
+    Join(Box<Join>),
     /// Duplicate removal over whole output trees.
     Dedup(Dedup),
     /// Template instantiation with LET derivations.
@@ -87,7 +87,9 @@ impl RuntimeOperator {
     /// Builds the runtime operator for a task kind.
     pub fn for_kind(kind: &TaskKind, join_window: Window) -> RuntimeOperator {
         match kind {
-            TaskKind::Source { .. } | TaskKind::ChannelSource { .. } => RuntimeOperator::Passthrough,
+            TaskKind::Source { .. } | TaskKind::ChannelSource { .. } => {
+                RuntimeOperator::Passthrough
+            }
             TaskKind::DynamicSource { function, .. } => RuntimeOperator::DynamicSource {
                 function: function.clone(),
                 members: BTreeSet::new(),
@@ -120,7 +122,7 @@ impl RuntimeOperator {
                     right_key: p2pmon_streams::ops::join::KeyExtractor::Attr(right_key.1.clone()),
                     residual: residual.clone(),
                 };
-                RuntimeOperator::Join(Join::new(spec, join_window))
+                RuntimeOperator::Join(Box::new(Join::new(spec, join_window)))
             }
             TaskKind::Dedup => RuntimeOperator::Dedup(Dedup::new(DedupKey::WholeTree)),
             TaskKind::Restructure { template, derived } => {
@@ -166,12 +168,16 @@ impl RuntimeOperator {
                     return RuntimeOutput::none();
                 }
                 // An alert: forward only when the monitored peer is a member.
-                let attr = if function == "outCOM" { "caller" } else { "callee" };
+                let attr = if function == "outCOM" {
+                    "caller"
+                } else {
+                    "callee"
+                };
                 let peer = item
                     .data
                     .attr(attr)
                     .or_else(|| item.data.attr("peer"))
-                    .map(|p| p2pmon_p2pml::plan::normalize_peer(p))
+                    .map(p2pmon_p2pml::plan::normalize_peer)
                     .unwrap_or_default();
                 if members.contains(&peer) {
                     RuntimeOutput::many(vec![item.data.clone()])
@@ -190,7 +196,10 @@ impl RuntimeOperator {
             } => {
                 *examined += 1;
                 let mut bindings = Bindings::from_element(&item.data, var);
-                let tree = bindings.tree(var).cloned().unwrap_or_else(|| item.data.clone());
+                let tree = bindings
+                    .tree(var)
+                    .cloned()
+                    .unwrap_or_else(|| item.data.clone());
                 if !simple.iter().all(|c| c.eval(&tree)) {
                     return RuntimeOutput::none();
                 }
@@ -243,7 +252,11 @@ mod tests {
     fn select_with_let_derivation() {
         let kind = TaskKind::Select {
             var: "e".into(),
-            simple: vec![AttrCondition::new("callMethod", CompareOp::Eq, "GetTemperature")],
+            simple: vec![AttrCondition::new(
+                "callMethod",
+                CompareOp::Eq,
+                "GetTemperature",
+            )],
             patterns: vec![],
             derived: vec![(
                 "duration".into(),

@@ -283,7 +283,11 @@ impl ChordNetwork {
             })
             .unwrap_or_default();
         for k in to_move {
-            if let Some(values) = self.nodes.get_mut(&successor).and_then(|s| s.entries.remove(&k)) {
+            if let Some(values) = self
+                .nodes
+                .get_mut(&successor)
+                .and_then(|s| s.entries.remove(&k))
+            {
                 self.keys_transferred += values.len() as u64;
                 self.nodes
                     .get_mut(&id)
@@ -306,7 +310,11 @@ impl ChordNetwork {
         let heir_storage = self.nodes.get_mut(&heir).expect("ring not empty");
         for (k, mut values) in storage.entries {
             self.keys_transferred += values.len() as u64;
-            heir_storage.entries.entry(k).or_default().append(&mut values);
+            heir_storage
+                .entries
+                .entry(k)
+                .or_default()
+                .append(&mut values);
         }
         true
     }

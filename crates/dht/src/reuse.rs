@@ -165,9 +165,7 @@ impl<'a> ReuseEngine<'a> {
         match found {
             Some(original) => {
                 // 3. Replica selection for the matched node.
-                let provider = self
-                    .db
-                    .select_provider(&original.0, &original.1, proximity);
+                let provider = self.db.select_provider(&original.0, &original.1, proximity);
                 outcome.covers.insert(
                     path.to_string(),
                     NodeCover::Existing {

@@ -50,7 +50,11 @@ pub struct StreamDefinition {
 
 impl StreamDefinition {
     /// A source stream produced by an alerter at `peer`.
-    pub fn source(peer: impl Into<String>, stream: impl Into<String>, alerter: impl Into<String>) -> Self {
+    pub fn source(
+        peer: impl Into<String>,
+        stream: impl Into<String>,
+        alerter: impl Into<String>,
+    ) -> Self {
         StreamDefinition {
             peer_id: peer.into(),
             stream_id: stream.into(),
@@ -126,7 +130,10 @@ impl StreamDefinition {
             .map(|ops| {
                 ops.children_named("Operand")
                     .filter_map(|o| {
-                        Some((o.attr("OPeerId")?.to_string(), o.attr("OStreamId")?.to_string()))
+                        Some((
+                            o.attr("OPeerId")?.to_string(),
+                            o.attr("OStreamId")?.to_string(),
+                        ))
                     })
                     .collect()
             })
@@ -255,7 +262,8 @@ impl StreamDefinitionDatabase {
 
     /// Looks up a full descriptor.
     pub fn get(&self, peer: &str, stream: &str) -> Option<&StreamDefinition> {
-        self.descriptors.get(&(peer.to_string(), stream.to_string()))
+        self.descriptors
+            .get(&(peer.to_string(), stream.to_string()))
     }
 
     /// Index terms of a descriptor: the operator, the producing peer, each
@@ -265,7 +273,10 @@ impl StreamDefinitionDatabase {
         let mut terms = vec![
             format!("operator={}", definition.operator),
             format!("peer={}", definition.peer_id),
-            format!("peer+operator={}|{}", definition.peer_id, definition.operator),
+            format!(
+                "peer+operator={}|{}",
+                definition.peer_id, definition.operator
+            ),
         ];
         for (op_peer, op_stream) in &definition.operands {
             terms.push(format!("operand={op_peer}|{op_stream}"));
@@ -281,7 +292,8 @@ impl StreamDefinitionDatabase {
         ids.iter()
             .filter_map(|id| {
                 let (peer, stream) = id.split_once('|')?;
-                self.descriptors.get(&(peer.to_string(), stream.to_string()))
+                self.descriptors
+                    .get(&(peer.to_string(), stream.to_string()))
             })
             .collect()
     }
@@ -289,9 +301,7 @@ impl StreamDefinitionDatabase {
     /// Finds alerter-produced streams of a given kind at a peer — the query
     /// `/Stream[@PeerId = $p1][Operator/inCom]` of the paper.
     pub fn find_alerter_streams(&mut self, peer: &str, alerter: &str) -> Vec<&StreamDefinition> {
-        let ids = self
-            .index
-            .query(&format!("peer+operator={peer}|{alerter}"));
+        let ids = self.index.query(&format!("peer+operator={peer}|{alerter}"));
         let ids: Vec<String> = ids
             .into_iter()
             .filter(|id| {

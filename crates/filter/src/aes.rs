@@ -130,7 +130,9 @@ impl AesFilter {
         visited: &mut u64,
     ) {
         *visited += 1;
-        result.matched_simple.extend_from_slice(&node.matched_simple);
+        result
+            .matched_simple
+            .extend_from_slice(&node.matched_simple);
         result
             .active_complex
             .extend_from_slice(&node.activated_complex);

@@ -76,9 +76,7 @@ impl FilterEngine {
     }
 
     /// Builds an engine from a set of subscriptions.
-    pub fn from_subscriptions(
-        subscriptions: impl IntoIterator<Item = FilterSubscription>,
-    ) -> Self {
+    pub fn from_subscriptions(subscriptions: impl IntoIterator<Item = FilterSubscription>) -> Self {
         let mut engine = FilterEngine::new();
         engine.add_all(subscriptions);
         engine
@@ -341,7 +339,11 @@ mod tests {
     use p2pmon_xmlkit::{parse, PathPattern};
 
     fn sub_simple(id: u64, attr: &str, value: &str) -> FilterSubscription {
-        FilterSubscription::new(id).with_simple(vec![AttrCondition::new(attr, CompareOp::Eq, value)])
+        FilterSubscription::new(id).with_simple(vec![AttrCondition::new(
+            attr,
+            CompareOp::Eq,
+            value,
+        )])
     }
 
     fn sub_complex(id: u64, attr: &str, value: &str, pattern: &str) -> FilterSubscription {
@@ -360,10 +362,7 @@ mod tests {
 
         let doc = parse(r#"<alert kind="rss"><item><title>x</title></item></alert>"#).unwrap();
         let outcome = engine.process(&doc);
-        assert_eq!(
-            outcome.matched,
-            vec![SubscriptionId(1), SubscriptionId(2)]
-        );
+        assert_eq!(outcome.matched, vec![SubscriptionId(1), SubscriptionId(2)]);
         assert_eq!(
             outcome.active_complex,
             vec![SubscriptionId(2), SubscriptionId(3)]
@@ -374,9 +373,8 @@ mod tests {
     fn no_simple_condition_subscriptions_are_always_considered() {
         let mut engine = FilterEngine::new();
         engine.add(FilterSubscription::new(1)); // matches everything
-        engine.add(
-            FilterSubscription::new(2).with_complex(vec![PathPattern::parse("//x").unwrap()]),
-        );
+        engine
+            .add(FilterSubscription::new(2).with_complex(vec![PathPattern::parse("//x").unwrap()]));
         let doc = parse("<r><x/></r>").unwrap();
         assert_eq!(
             engine.process(&doc).matched,
@@ -497,9 +495,8 @@ mod tests {
             r#"<root attr1="x"><sc service="storage" address="site"><parameters/></sc></root>"#,
         )
         .unwrap();
-        let (outcome, made) = engine.process_intensional(&doc, &mut |_| {
-            Ok(vec![parse("<c><d/></c>").unwrap()])
-        });
+        let (outcome, made) =
+            engine.process_intensional(&doc, &mut |_| Ok(vec![parse("<c><d/></c>").unwrap()]));
         assert_eq!(outcome.matched, vec![SubscriptionId(1)]);
         assert_eq!(made, 1);
         assert_eq!(engine.stats.service_calls_made, 1);

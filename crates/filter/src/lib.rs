@@ -52,9 +52,9 @@ pub use yfilter::YFilter;
 #[cfg(test)]
 mod lib_tests {
     use super::*;
+    use p2pmon_streams::AttrCondition;
     use p2pmon_xmlkit::path::CompareOp;
     use p2pmon_xmlkit::{parse, PathPattern};
-    use p2pmon_streams::AttrCondition;
 
     #[test]
     fn end_to_end_filtering_of_the_paper_example() {
@@ -62,9 +62,11 @@ mod lib_tests {
         let mut engine = FilterEngine::new();
         let c1 = AttrCondition::new("attr1", CompareOp::Eq, "x");
         let c3 = AttrCondition::new("attr3", CompareOp::Eq, "z");
-        engine.add(FilterSubscription::new(4).with_simple(vec![c1.clone(), c3.clone()]).with_complex(
-            vec![PathPattern::parse("//c/d").unwrap()],
-        ));
+        engine.add(
+            FilterSubscription::new(4)
+                .with_simple(vec![c1.clone(), c3.clone()])
+                .with_complex(vec![PathPattern::parse("//c/d").unwrap()]),
+        );
         engine.add(FilterSubscription::new(5).with_simple(vec![c1.clone()]));
 
         let doc = parse(r#"<root attr1="x" attr3="z"><c><d>1</d></c></root>"#).unwrap();

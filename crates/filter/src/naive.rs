@@ -68,18 +68,20 @@ mod tests {
     fn scans_every_subscription() {
         let mut nf = NaiveFilter::new();
         nf.add(
-            FilterSubscription::new(1)
-                .with_simple(vec![AttrCondition::new("k", CompareOp::Eq, "a")]),
+            FilterSubscription::new(1).with_simple(vec![AttrCondition::new(
+                "k",
+                CompareOp::Eq,
+                "a",
+            )]),
         );
+        nf.add(FilterSubscription::new(2).with_complex(vec![PathPattern::parse("//x").unwrap()]));
         nf.add(
-            FilterSubscription::new(2)
-                .with_complex(vec![PathPattern::parse("//x").unwrap()]),
+            FilterSubscription::new(3).with_simple(vec![AttrCondition::new(
+                "k",
+                CompareOp::Eq,
+                "b",
+            )]),
         );
-        nf.add(FilterSubscription::new(3).with_simple(vec![AttrCondition::new(
-            "k",
-            CompareOp::Eq,
-            "b",
-        )]));
         let doc = parse(r#"<r k="a"><x/></r>"#).unwrap();
         let ids: Vec<u64> = nf.matching(&doc).iter().map(|s| s.0).collect();
         assert_eq!(ids, vec![1, 2]);

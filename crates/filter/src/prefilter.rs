@@ -116,8 +116,8 @@ impl PreFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2pmon_xmlkit::path::CompareOp;
     use p2pmon_xmlkit::parse;
+    use p2pmon_xmlkit::path::CompareOp;
 
     fn cond(attr: &str, op: CompareOp, v: &str) -> AttrCondition {
         AttrCondition::new(attr, op, v)

@@ -80,8 +80,8 @@ impl FilterSubscription {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2pmon_xmlkit::path::CompareOp;
     use p2pmon_xmlkit::parse;
+    use p2pmon_xmlkit::path::CompareOp;
 
     #[test]
     fn reference_matching() {

@@ -279,10 +279,7 @@ mod tests {
     #[test]
     fn absolute_and_descendant_queries() {
         let mut yf = build(&["/rss/channel/item", "//item/title", "/rss/missing"]);
-        let doc = parse(
-            "<rss><channel><item><title>x</title></item></channel></rss>",
-        )
-        .unwrap();
+        let doc = parse("<rss><channel><item><title>x</title></item></channel></rss>").unwrap();
         assert_eq!(yf.matching_queries(&doc), vec![0, 1]);
     }
 
@@ -325,9 +322,7 @@ mod tests {
         // 100 queries /a/b/c0 .. /a/b/c99 share the /a/b prefix: expect about
         // 2 shared states + 100 leaf states rather than 300 states.
         let queries: Vec<String> = (0..100).map(|i| format!("/a/b/c{i}")).collect();
-        let yf = YFilter::from_patterns(
-            queries.iter().map(|q| PathPattern::parse(q).unwrap()),
-        );
+        let yf = YFilter::from_patterns(queries.iter().map(|q| PathPattern::parse(q).unwrap()));
         assert_eq!(yf.query_count(), 100);
         assert!(
             yf.state_count() <= 103,
@@ -342,9 +337,7 @@ mod tests {
         let doc = parse("<r><a/><b/><c/></r>").unwrap();
         assert_eq!(yf.matching_queries(&doc), vec![0, 1, 2]);
         assert_eq!(yf.matching_queries_filtered(&doc, Some(&[1])), vec![1]);
-        assert!(yf
-            .matching_queries_filtered(&doc, Some(&[]))
-            .is_empty());
+        assert!(yf.matching_queries_filtered(&doc, Some(&[])).is_empty());
     }
 
     #[test]
@@ -363,8 +356,10 @@ mod tests {
             r#"<log><other/></log>"#,
             r#"<audit><error/></audit>"#,
         ];
-        let patterns: Vec<PathPattern> =
-            queries.iter().map(|q| PathPattern::parse(q).unwrap()).collect();
+        let patterns: Vec<PathPattern> = queries
+            .iter()
+            .map(|q| PathPattern::parse(q).unwrap())
+            .collect();
         let mut yf = YFilter::from_patterns(patterns.clone());
         for doc_src in docs {
             let doc = parse(doc_src).unwrap();

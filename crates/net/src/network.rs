@@ -214,7 +214,10 @@ impl Network {
             message.is_channel_traffic(),
         );
         let to = message.to.clone();
-        self.inboxes.entry(to.clone()).or_default().push_back(message);
+        self.inboxes
+            .entry(to.clone())
+            .or_default()
+            .push_back(message);
         Some(to)
     }
 
@@ -312,7 +315,9 @@ mod tests {
     #[test]
     fn unknown_peer_messages_are_dropped() {
         let mut n = net();
-        assert!(n.send("a.com", "nowhere.com", None, Element::new("x")).is_none());
+        assert!(n
+            .send("a.com", "nowhere.com", None, Element::new("x"))
+            .is_none());
         assert_eq!(n.stats().dropped_messages, 1);
     }
 
@@ -321,9 +326,13 @@ mod tests {
         let mut n = net();
         n.fail_peer("meteo.com");
         assert!(n.is_down("meteo.com"));
-        assert!(n.send("a.com", "meteo.com", None, Element::new("x")).is_none());
+        assert!(n
+            .send("a.com", "meteo.com", None, Element::new("x"))
+            .is_none());
         n.recover_peer("meteo.com");
-        assert!(n.send("a.com", "meteo.com", None, Element::new("x")).is_some());
+        assert!(n
+            .send("a.com", "meteo.com", None, Element::new("x"))
+            .is_some());
         n.run_until_idle();
         assert_eq!(n.inbox_len("meteo.com"), 1);
     }

@@ -12,9 +12,7 @@ use p2pmon_streams::{Condition, Operand, Template};
 use p2pmon_xmlkit::path::CompareOp;
 use p2pmon_xmlkit::{parse_fragment, Value, XPath};
 
-use crate::ast::{
-    ArithOp, ByClause, ForBinding, LetBinding, SourceExpr, Subscription, ValueExpr,
-};
+use crate::ast::{ArithOp, ByClause, ForBinding, LetBinding, SourceExpr, Subscription, ValueExpr};
 
 /// A parse error with its position in the subscription text.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +34,11 @@ impl ParseErrorP2pml {
 
 impl fmt::Display for ParseErrorP2pml {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "P2PML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "P2PML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -335,7 +337,10 @@ fn parse_source(scanner: &mut Scanner<'_>) -> Result<SourceExpr, ParseErrorP2pml
     if function.eq_ignore_ascii_case("channel") {
         // channel("#X@peer")
         if !scanner.eat("(") {
-            return Err(ParseErrorP2pml::new(scanner.pos, "expected `(` after channel"));
+            return Err(ParseErrorP2pml::new(
+                scanner.pos,
+                "expected `(` after channel",
+            ));
         }
         let spec = scanner.parse_string_literal()?;
         scanner.skip_ws();
@@ -371,7 +376,10 @@ fn parse_source(scanner: &mut Scanner<'_>) -> Result<SourceExpr, ParseErrorP2pml
         let fragments = parse_fragment(&args).map_err(|e| {
             ParseErrorP2pml::new(scanner.pos, format!("invalid alerter arguments: {e}"))
         })?;
-        fragments.iter().map(|f| f.text().trim().to_string()).collect()
+        fragments
+            .iter()
+            .map(|f| f.text().trim().to_string())
+            .collect()
     };
     if peers.is_empty() {
         return Err(ParseErrorP2pml::new(
@@ -386,7 +394,10 @@ fn parse_let_binding(scanner: &mut Scanner<'_>) -> Result<LetBinding, ParseError
     let var = scanner.parse_variable()?;
     scanner.skip_ws();
     if !scanner.eat(":=") {
-        return Err(ParseErrorP2pml::new(scanner.pos, "expected `:=` in LET clause"));
+        return Err(ParseErrorP2pml::new(
+            scanner.pos,
+            "expected `:=` in LET clause",
+        ));
     }
     let expr = parse_value_expr(scanner)?;
     Ok(LetBinding { var, expr })
@@ -469,7 +480,10 @@ fn parse_operand(scanner: &mut Scanner<'_>) -> Result<Operand, ParseErrorP2pml> 
                 Some('/') => {
                     let path_text = capture_path(scanner);
                     let path = XPath::parse(&path_text).map_err(|e| {
-                        ParseErrorP2pml::new(scanner.pos, format!("invalid XPath in condition: {e}"))
+                        ParseErrorP2pml::new(
+                            scanner.pos,
+                            format!("invalid XPath in condition: {e}"),
+                        )
                     })?;
                     Ok(Operand::VarPath { var, path })
                 }
@@ -509,7 +523,9 @@ fn capture_path(scanner: &mut Scanner<'_>) -> String {
                 '"' | '\'' => in_quote = Some(c),
                 '[' => depth += 1,
                 ']' => depth = depth.saturating_sub(1),
-                c if depth == 0 && (c.is_whitespace() || matches!(c, '=' | '!' | '<' | '>' | ',' | ')')) => {
+                c if depth == 0
+                    && (c.is_whitespace() || matches!(c, '=' | '!' | '<' | '>' | ',' | ')')) =>
+                {
                     break;
                 }
                 _ => {}
@@ -522,10 +538,7 @@ fn capture_path(scanner: &mut Scanner<'_>) -> String {
 
 /// Captures the RETURN body: everything up to the top-level `by` keyword (or
 /// the closing parenthesis of a nested subscription, or end of input).
-fn capture_return_body(
-    scanner: &mut Scanner<'_>,
-    nested: bool,
-) -> Result<String, ParseErrorP2pml> {
+fn capture_return_body(scanner: &mut Scanner<'_>, nested: bool) -> Result<String, ParseErrorP2pml> {
     let start = scanner.pos;
     let mut angle_depth = 0usize;
     let mut brace_depth = 0usize;
@@ -637,7 +650,10 @@ mod tests {
         match &sub.for_clause[0].source {
             SourceExpr::Alerter { function, peers } => {
                 assert_eq!(function, "outCOM");
-                assert_eq!(peers, &vec!["http://a.com".to_string(), "http://b.com".to_string()]);
+                assert_eq!(
+                    peers,
+                    &vec!["http://a.com".to_string(), "http://b.com".to_string()]
+                );
             }
             other => panic!("unexpected source {other:?}"),
         }
@@ -750,18 +766,18 @@ mod tests {
     fn rejects_malformed_subscriptions() {
         assert!(parse_subscription("for $x in").is_err());
         assert!(parse_subscription("for $x in foo() return <a/> by email \"x\";").is_err());
-        assert!(parse_subscription(
-            "for $x in inCOM(<p>a</p>) return <a/>"
-        )
-        .is_err(), "missing BY at top level");
-        assert!(parse_subscription(
-            "for $x in inCOM(<p>a</p>) where return <a/> by email \"x\";"
-        )
-        .is_err());
-        assert!(parse_subscription(
-            "for $x in inCOM(<p>a</p>) return <unclosed by email \"x\";"
-        )
-        .is_err());
+        assert!(
+            parse_subscription("for $x in inCOM(<p>a</p>) return <a/>").is_err(),
+            "missing BY at top level"
+        );
+        assert!(
+            parse_subscription("for $x in inCOM(<p>a</p>) where return <a/> by email \"x\";")
+                .is_err()
+        );
+        assert!(
+            parse_subscription("for $x in inCOM(<p>a</p>) return <unclosed by email \"x\";")
+                .is_err()
+        );
         assert!(parse_subscription("").is_err());
     }
 

@@ -195,10 +195,18 @@ impl LogicalNode {
 impl fmt::Display for LogicalNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LogicalNode::Alerter { function, peer, var } => {
+            LogicalNode::Alerter {
+                function,
+                peer,
+                var,
+            } => {
                 write!(f, "{function}@{peer}→${var}")
             }
-            LogicalNode::DynamicAlerter { function, var, driver } => {
+            LogicalNode::DynamicAlerter {
+                function,
+                var,
+                driver,
+            } => {
                 write!(f, "{function}[{driver}]→${var}")
             }
             LogicalNode::ChannelIn { peer, stream, var } => {
@@ -274,7 +282,9 @@ impl fmt::Display for LogicalPlan {
 /// Compiles a parsed subscription into a logical plan.
 pub fn compile(subscription: &Subscription) -> Result<LogicalPlan, PlanError> {
     if subscription.for_clause.is_empty() {
-        return Err(PlanError::new("a subscription needs at least one FOR binding"));
+        return Err(PlanError::new(
+            "a subscription needs at least one FOR binding",
+        ));
     }
     let for_vars: Vec<String> = subscription
         .for_clause
@@ -318,10 +328,7 @@ pub fn compile(subscription: &Subscription) -> Result<LogicalPlan, PlanError> {
         let vars = resolve_vars(condition);
         match vars.len() {
             0 | 1 => {
-                let var = vars
-                    .first()
-                    .cloned()
-                    .unwrap_or_else(|| for_vars[0].clone());
+                let var = vars.first().cloned().unwrap_or_else(|| for_vars[0].clone());
                 per_var.entry(var).or_default().push(condition.clone());
             }
             _ => join_conditions.push(condition.clone()),
@@ -389,8 +396,10 @@ pub fn compile(subscription: &Subscription) -> Result<LogicalPlan, PlanError> {
                 return true;
             }
             if key.is_none() {
-                if let (Operand::VarAttr { var: lv, attr: la }, Operand::VarAttr { var: rv, attr: ra }) =
-                    (&c.left, &c.right)
+                if let (
+                    Operand::VarAttr { var: lv, attr: la },
+                    Operand::VarAttr { var: rv, attr: ra },
+                ) = (&c.left, &c.right)
                 {
                     if c.op == p2pmon_xmlkit::path::CompareOp::Eq {
                         // Orient the key so the left side is an already-joined
@@ -446,10 +455,7 @@ pub fn compile(subscription: &Subscription) -> Result<LogicalPlan, PlanError> {
                 .get(&l.var)
                 .map(|deps| deps.len() != 1)
                 .unwrap_or(true)
-                || subscription
-                    .return_template
-                    .variables()
-                    .contains(&l.var)
+                || subscription.return_template.variables().contains(&l.var)
         })
         .map(|l| (l.var.clone(), l.expr.clone()))
         .collect();
@@ -592,11 +598,18 @@ mod tests {
         // restructure(join(select(union(outCOM@a, outCOM@b)), select(inCOM@meteo)))
         assert_eq!(
             plan.peers(),
-            vec!["a.com".to_string(), "b.com".to_string(), "meteo.com".to_string()]
+            vec![
+                "a.com".to_string(),
+                "b.com".to_string(),
+                "meteo.com".to_string()
+            ]
         );
         let s = plan.root.to_string();
         assert!(s.starts_with("restructure(join["), "{s}");
-        assert!(s.contains("union(outCOM@a.com→$c1, outCOM@b.com→$c1)"), "{s}");
+        assert!(
+            s.contains("union(outCOM@a.com→$c1, outCOM@b.com→$c1)"),
+            "{s}"
+        );
         assert!(s.contains("inCOM@meteo.com→$c2"), "{s}");
 
         // Selections are pushed below the join.
@@ -672,7 +685,11 @@ mod tests {
             panic!("expected a select")
         };
         assert_eq!(simple.len(), 1, "callId > 5 is a simple condition");
-        assert_eq!(patterns.len(), 1, "the XPath existence test becomes a pattern");
+        assert_eq!(
+            patterns.len(),
+            1,
+            "the XPath existence test becomes a pattern"
+        );
     }
 
     #[test]

@@ -169,8 +169,14 @@ mod tests {
     #[test]
     fn tuple_round_trip() {
         let mut b = Bindings::new();
-        b.bind_tree("c1", parse(r#"<alert callId="7" caller="a.com"/>"#).unwrap());
-        b.bind_tree("c2", parse(r#"<alert callId="7" callee="meteo.com"/>"#).unwrap());
+        b.bind_tree(
+            "c1",
+            parse(r#"<alert callId="7" caller="a.com"/>"#).unwrap(),
+        );
+        b.bind_tree(
+            "c2",
+            parse(r#"<alert callId="7" callee="meteo.com"/>"#).unwrap(),
+        );
         b.bind_value("duration", Value::Integer(15));
         let tuple = b.to_tuple_element();
         let decoded = Bindings::from_element(&tuple, "ignored");

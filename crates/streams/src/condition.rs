@@ -60,7 +60,13 @@ impl AttrCondition {
 
 impl fmt::Display for AttrCondition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, ".{} {} \"{}\"", self.attr, self.op.as_str(), self.constant)
+        write!(
+            f,
+            ".{} {} \"{}\"",
+            self.attr,
+            self.op.as_str(),
+            self.constant
+        )
     }
 }
 
@@ -171,7 +177,8 @@ impl Condition {
     pub fn is_simple(&self) -> bool {
         matches!(
             (&self.left, &self.right),
-            (Operand::VarAttr { .. }, Operand::Const(_)) | (Operand::Const(_), Operand::VarAttr { .. })
+            (Operand::VarAttr { .. }, Operand::Const(_))
+                | (Operand::Const(_), Operand::VarAttr { .. })
         )
     }
 

@@ -21,7 +21,11 @@ pub struct StreamItem {
 impl StreamItem {
     /// Creates an item.
     pub fn new(seq: u64, timestamp: u64, data: Element) -> Self {
-        StreamItem { seq, timestamp, data }
+        StreamItem {
+            seq,
+            timestamp,
+            data,
+        }
     }
 
     /// Root-attribute accessor, the "simple" information of Section 2.

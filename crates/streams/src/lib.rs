@@ -60,12 +60,18 @@ mod lib_tests {
 
         let mut select = Select::new(
             "c1",
-            vec![AttrCondition::new("callMethod", CompareOp::Eq, "GetTemperature")],
+            vec![AttrCondition::new(
+                "callMethod",
+                CompareOp::Eq,
+                "GetTemperature",
+            )],
             vec![],
         );
         let mut restructure = Restructure::new(
-            Template::parse(r#"<incident type="slowAnswer"><client>{$c1.caller}</client></incident>"#)
-                .unwrap(),
+            Template::parse(
+                r#"<incident type="slowAnswer"><client>{$c1.caller}</client></incident>"#,
+            )
+            .unwrap(),
         );
 
         let item = StreamItem::new(

@@ -238,9 +238,17 @@ mod tests {
         assert!(g.on_item(0, &query("b", 1, 2)).items.is_empty());
         let out = g.on_item(0, &query("a", 1, 3));
         assert_eq!(out.items.len(), 2);
-        let a = out.items.iter().find(|e| e.attr("key") == Some("a")).unwrap();
+        let a = out
+            .items
+            .iter()
+            .find(|e| e.attr("key") == Some("a"))
+            .unwrap();
         assert_eq!(a.attr("value"), Some("3"));
-        let b = out.items.iter().find(|e| e.attr("key") == Some("b")).unwrap();
+        let b = out
+            .items
+            .iter()
+            .find(|e| e.attr("key") == Some("b"))
+            .unwrap();
         assert_eq!(b.attr("value"), Some("1"));
         assert_eq!(g.windows_emitted, 1);
     }

@@ -328,7 +328,11 @@ impl Operator for Join {
         // (no future match can involve this item).
         let other_port = 1 - port;
         if !self.eos[other_port] {
-            let own = if port == 0 { &mut self.left } else { &mut self.right };
+            let own = if port == 0 {
+                &mut self.left
+            } else {
+                &mut self.right
+            };
             own.insert(key, item.seq, item.timestamp, item.data.clone());
         }
         self.gc(item.timestamp);
@@ -364,7 +368,10 @@ mod tests {
         StreamItem::new(
             call_id,
             ts,
-            parse(&format!(r#"<alert side="{port_tag}" callId="{call_id}" ts="{ts}"/>"#)).unwrap(),
+            parse(&format!(
+                r#"<alert side="{port_tag}" callId="{call_id}" ts="{ts}"/>"#
+            ))
+            .unwrap(),
         )
     }
 
@@ -488,7 +495,10 @@ mod tests {
             residual: vec![],
         };
         let mut j = Join::new(spec, Window::unbounded());
-        j.on_item(0, &StreamItem::new(0, 0, parse("<m><id>9</id></m>").unwrap()));
+        j.on_item(
+            0,
+            &StreamItem::new(0, 0, parse("<m><id>9</id></m>").unwrap()),
+        );
         let out = j.on_item(1, &StreamItem::new(0, 1, parse(r#"<n id="9"/>"#).unwrap()));
         assert_eq!(out.items.len(), 1);
     }

@@ -70,9 +70,7 @@ mod tests {
 
     #[test]
     fn bare_item_bound_to_first_template_variable() {
-        let mut op = Restructure::new(
-            Template::parse(r#"<out id="{$c1.callId}"/>"#).unwrap(),
-        );
+        let mut op = Restructure::new(Template::parse(r#"<out id="{$c1.callId}"/>"#).unwrap());
         let item = StreamItem::new(0, 0, parse(r#"<alert callId="5"/>"#).unwrap());
         let out = op.on_item(0, &item);
         assert_eq!(out.items[0].attr("id"), Some("5"));

@@ -187,8 +187,8 @@ impl Operator for Select {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2pmon_xmlkit::path::CompareOp;
     use p2pmon_xmlkit::parse;
+    use p2pmon_xmlkit::path::CompareOp;
 
     fn alert(method: &str, callee: &str, call_ts: u64, resp_ts: u64) -> StreamItem {
         StreamItem::new(
@@ -262,7 +262,9 @@ mod tests {
             vec![PathPattern::parse("//soap/op[text()=\"GetTemperature\"]").unwrap()],
         );
         assert_eq!(
-            f.on_item(0, &alert("GetTemperature", "m", 0, 1)).items.len(),
+            f.on_item(0, &alert("GetTemperature", "m", 0, 1))
+                .items
+                .len(),
             1
         );
         assert!(f.on_item(0, &alert("Other", "m", 0, 1)).items.is_empty());

@@ -304,7 +304,10 @@ mod tests {
             parse(r#"<alert callId="42" caller="http://a.com"><soap><city>Orsay</city></soap></alert>"#)
                 .unwrap(),
         );
-        b.bind_tree("c2", parse(r#"<alert callId="42" callTimestamp="101"/>"#).unwrap());
+        b.bind_tree(
+            "c2",
+            parse(r#"<alert callId="42" callTimestamp="101"/>"#).unwrap(),
+        );
         b.bind_value("duration", Value::Integer(15));
         b
     }
@@ -353,10 +356,7 @@ mod tests {
 
     #[test]
     fn variables_are_reported() {
-        let t = Template::parse(
-            r#"<r a="{$x.id}"><b>{$y}</b><c>{$x/path/p}</c></r>"#,
-        )
-        .unwrap();
+        let t = Template::parse(r#"<r a="{$x.id}"><b>{$y}</b><c>{$x/path/p}</c></r>"#).unwrap();
         assert_eq!(t.variables(), vec!["x".to_string(), "y".to_string()]);
     }
 

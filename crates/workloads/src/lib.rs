@@ -70,7 +70,9 @@ impl SoapWorkload {
     /// A telecom-flavoured workload: many clients, several workflow methods.
     pub fn telecom(clients: usize, seed: u64) -> Self {
         SoapWorkload {
-            clients: (0..clients.max(1)).map(|i| format!("client{i}.net")).collect(),
+            clients: (0..clients.max(1))
+                .map(|i| format!("client{i}.net"))
+                .collect(),
             servers: vec!["billing.net".into(), "provisioning.net".into()],
             methods: vec![
                 "OpenOrder".into(),
@@ -96,7 +98,7 @@ impl SoapWorkload {
         self.clock += self.rng.gen_range(1..=self.inter_arrival_ms.max(1) * 2);
         let slow = self.rng.gen::<f64>() < self.slow_fraction;
         let latency = if slow {
-            self.slow_threshold_ms + self.rng.gen_range(1..=40)
+            self.slow_threshold_ms + self.rng.gen_range(1..=40u64)
         } else {
             self.rng.gen_range(1..=self.slow_threshold_ms.max(2) - 1)
         };
@@ -210,7 +212,9 @@ impl EdosWorkload {
     /// A distribution with `packages` packages served by `mirrors` mirrors.
     pub fn new(mirrors: usize, packages: usize, seed: u64) -> Self {
         EdosWorkload {
-            mirrors: (0..mirrors.max(1)).map(|i| format!("mirror{i}.edos.org")).collect(),
+            mirrors: (0..mirrors.max(1))
+                .map(|i| format!("mirror{i}.edos.org"))
+                .collect(),
             packages: (0..packages.max(1)).map(|i| format!("pkg-{i}")).collect(),
             failure_fraction: 0.05,
             rng: StdRng::seed_from_u64(seed),
@@ -228,8 +232,8 @@ impl EdosWorkload {
         let r: f64 = self.rng.gen();
         let idx = ((r * r) * self.packages.len() as f64) as usize;
         let package = self.packages[idx.min(self.packages.len() - 1)].clone();
-        self.clock += self.rng.gen_range(1..=30);
-        let latency = self.rng.gen_range(2..=60);
+        self.clock += self.rng.gen_range(1..=30u64);
+        let latency = self.rng.gen_range(2..=60u64);
         let id = self.next_id;
         self.next_id += 1;
         let mut call = SoapCall::new(
@@ -371,7 +375,10 @@ mod tests {
             .iter()
             .filter(|c| c.duration() > a.slow_threshold_ms)
             .count();
-        assert!(slow > 10 && slow < 100, "slow fraction ≈ 20%, got {slow}/200");
+        assert!(
+            slow > 10 && slow < 100,
+            "slow fraction ≈ 20%, got {slow}/200"
+        );
         assert!(calls_a.iter().all(|c| a.clients.contains(&c.caller)));
         assert!(calls_a.windows(2).all(|w| w[0].call_id < w[1].call_id));
     }
@@ -399,7 +406,10 @@ mod tests {
     }
 
     fn count_items(feed: &Element) -> usize {
-        feed.child("channel").unwrap().children_named("item").count()
+        feed.child("channel")
+            .unwrap()
+            .children_named("item")
+            .count()
     }
 
     #[test]
@@ -434,7 +444,10 @@ mod tests {
         let subs = w.subscriptions(200);
         assert_eq!(subs.len(), 200);
         let complex = subs.iter().filter(|s| !s.is_simple()).count();
-        assert!(complex > 20 && complex < 120, "complex fraction ≈ 30%, got {complex}");
+        assert!(
+            complex > 20 && complex < 120,
+            "complex fraction ≈ 30%, got {complex}"
+        );
         let docs = w.documents(50, 4, 3);
         assert_eq!(docs.len(), 50);
         // Some subscription matches some document (the vocabularies overlap).

@@ -91,9 +91,7 @@ mod tests {
         let e = ElementBuilder::new("Stream")
             .attr("PeerId", "p1")
             .attr("StreamId", "s1")
-            .child(
-                ElementBuilder::new("Operator").child(ElementBuilder::new("inCom")),
-            )
+            .child(ElementBuilder::new("Operator").child(ElementBuilder::new("inCom")))
             .child(ElementBuilder::new("Operands"))
             .build();
         assert_eq!(e.attr("PeerId"), Some("p1"));

@@ -220,7 +220,14 @@ fn diff_recursive(
     }
     for (oi, ni) in pairs {
         let child_path = format!("{}/{}", path, old_children[oi].name);
-        diff_recursive(old_children[oi], new_children[ni], &child_path, depth + 1, opts, ops);
+        diff_recursive(
+            old_children[oi],
+            new_children[ni],
+            &child_path,
+            depth + 1,
+            opts,
+            ops,
+        );
     }
 }
 
@@ -255,7 +262,11 @@ mod tests {
         let ops = diff_elements(&old, &new);
         assert_eq!(ops.len(), 1);
         match &ops[0] {
-            DiffOp::TextChanged { path, before, after } => {
+            DiffOp::TextChanged {
+                path,
+                before,
+                after,
+            } => {
                 assert_eq!(path, "/r/t");
                 assert_eq!(before, "cold");
                 assert_eq!(after, "warm");

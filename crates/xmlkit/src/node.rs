@@ -194,11 +194,7 @@ impl Element {
 
     /// Maximum depth of the subtree (a leaf element has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .child_elements()
-            .map(Element::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.child_elements().map(Element::depth).max().unwrap_or(0)
     }
 
     /// Walks the subtree in document order, calling `f` on every element.

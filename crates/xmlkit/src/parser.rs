@@ -34,7 +34,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -50,7 +54,10 @@ pub fn parse(input: &str) -> Result<Element, ParseError> {
     let root = p.parse_element()?;
     p.skip_misc();
     if !p.at_end() {
-        return Err(ParseError::new(p.pos, "unexpected content after root element"));
+        return Err(ParseError::new(
+            p.pos,
+            "unexpected content after root element",
+        ));
     }
     Ok(root)
 }
@@ -223,7 +230,10 @@ impl<'a> Parser<'a> {
                 return Ok(unescape(raw));
             }
             if c == '<' {
-                return Err(ParseError::new(self.pos, "`<` not allowed in attribute value"));
+                return Err(ParseError::new(
+                    self.pos,
+                    "`<` not allowed in attribute value",
+                ));
             }
             self.bump();
         }
@@ -361,7 +371,8 @@ mod tests {
 
     #[test]
     fn parses_prolog_doctype_comments() {
-        let doc = "<?xml version=\"1.0\"?>\n<!DOCTYPE html>\n<!-- hi -->\n<root>ok</root>\n<!-- bye -->";
+        let doc =
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE html>\n<!-- hi -->\n<root>ok</root>\n<!-- bye -->";
         let e = parse(doc).unwrap();
         assert_eq!(e.name, "root");
         assert_eq!(e.text(), "ok");
@@ -375,8 +386,8 @@ mod tests {
 
     #[test]
     fn namespaced_names_are_plain_strings() {
-        let e = parse(r#"<soap:Envelope xmlns:soap="http://x"><soap:Body/></soap:Envelope>"#)
-            .unwrap();
+        let e =
+            parse(r#"<soap:Envelope xmlns:soap="http://x"><soap:Body/></soap:Envelope>"#).unwrap();
         assert_eq!(e.name, "soap:Envelope");
         assert!(e.child("soap:Body").is_some());
     }

@@ -212,9 +212,7 @@ impl XPath {
     /// automaton.
     pub fn is_simple_chain(&self) -> bool {
         self.steps.iter().all(|s| {
-            s.axis == Axis::Child
-                && matches!(s.name, NameTest::Name(_))
-                && s.predicates.is_empty()
+            s.axis == Axis::Child && matches!(s.name, NameTest::Name(_)) && s.predicates.is_empty()
         })
     }
 
@@ -275,9 +273,10 @@ impl XPath {
     pub fn select_values(&self, root: &Element) -> Vec<Value> {
         let elements = self.select(root);
         match &self.output {
-            Output::Elements | Output::Text => {
-                elements.iter().map(|e| Value::from_literal(&e.text())).collect()
-            }
+            Output::Elements | Output::Text => elements
+                .iter()
+                .map(|e| Value::from_literal(&e.text()))
+                .collect(),
             Output::Attribute(name) => elements
                 .iter()
                 .filter_map(|e| e.attr(name))
@@ -330,9 +329,15 @@ fn apply_predicate<'a>(candidates: Vec<&'a Element>, pred: &Predicate) -> Vec<&'
         }
         Predicate::Exists(operand) => candidates
             .into_iter()
-            .filter(|e| operand_values(e, operand).iter().any(Value::truthy) || operand_exists(e, operand))
+            .filter(|e| {
+                operand_values(e, operand).iter().any(Value::truthy) || operand_exists(e, operand)
+            })
             .collect(),
-        Predicate::Compare { operand, op, literal } => {
+        Predicate::Compare {
+            operand,
+            op,
+            literal,
+        } => {
             let lit = Value::from_literal(literal);
             candidates
                 .into_iter()
@@ -538,7 +543,11 @@ impl<'a> PathParser<'a> {
             Some(op) => {
                 self.skip_ws();
                 let literal = self.parse_literal()?;
-                Ok(Predicate::Compare { operand, op, literal })
+                Ok(Predicate::Compare {
+                    operand,
+                    op,
+                    literal,
+                })
             }
         }
     }
@@ -656,10 +665,8 @@ mod tests {
     #[test]
     fn nested_predicate_with_attribute_comparison() {
         let doc = stream_doc();
-        let p = XPath::parse(
-            r#"/Stream[Operands/Operand[@OPeerId="p0"][@OStreamId="s0"]]"#,
-        )
-        .unwrap();
+        let p =
+            XPath::parse(r#"/Stream[Operands/Operand[@OPeerId="p0"][@OStreamId="s0"]]"#).unwrap();
         assert!(p.matches(&doc));
         let p = XPath::parse(r#"/Stream[Operands/Operand[@OPeerId="wrong"]]"#).unwrap();
         assert!(!p.matches(&doc));
@@ -723,7 +730,7 @@ mod tests {
         // Relative: first step's candidates are children of the context when
         // not absolute... the context itself is not `alert`'s child, so use
         // descendant-style matching via `//`.
-        assert!(!p.matches(&doc.child("x").unwrap()));
+        assert!(!p.matches(doc.child("x").unwrap()));
         let p2 = XPath::parse(r#"//alert[@callMethod = "GetTemperature"]"#).unwrap();
         assert!(p2.matches(&doc));
     }

@@ -13,7 +13,9 @@
 use std::fmt;
 
 use crate::node::Element;
-use crate::path::{Axis, CompareOp, NameTest, Output, PathError, Predicate, PredicateOperand, XPath};
+use crate::path::{
+    Axis, CompareOp, NameTest, Output, PathError, Predicate, PredicateOperand, XPath,
+};
 use crate::value::Value;
 
 /// One step of a linear pattern.
@@ -93,7 +95,11 @@ impl PathPattern {
             }
             let predicate = match step.predicates.first() {
                 None => None,
-                Some(Predicate::Compare { operand, op, literal }) => {
+                Some(Predicate::Compare {
+                    operand,
+                    op,
+                    literal,
+                }) => {
                     let on_attribute = match operand {
                         PredicateOperand::Attribute(a) => Some(a.clone()),
                         PredicateOperand::Text => None,
@@ -174,7 +180,8 @@ impl PathPattern {
                     false
                 } else {
                     for child in element.child_elements() {
-                        if self.step_matches_element(step, child) && self.match_rest(child, step_idx)
+                        if self.step_matches_element(step, child)
+                            && self.match_rest(child, step_idx)
                         {
                             return true;
                         }
@@ -272,8 +279,12 @@ mod tests {
     #[test]
     fn text_predicate_with_numeric_comparison() {
         let doc = parse("<m><price>15</price></m>").unwrap();
-        assert!(PathPattern::parse("//price[text() > 10]").unwrap().matches(&doc));
-        assert!(!PathPattern::parse("//price[text() > 20]").unwrap().matches(&doc));
+        assert!(PathPattern::parse("//price[text() > 10]")
+            .unwrap()
+            .matches(&doc));
+        assert!(!PathPattern::parse("//price[text() > 20]")
+            .unwrap()
+            .matches(&doc));
     }
 
     #[test]

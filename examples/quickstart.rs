@@ -39,7 +39,10 @@ fn main() {
 
     // 4. Read the incidents published on the "alertQoS" channel.
     let incidents = monitor.results(&handle);
-    println!("detected {} slowAnswer incidents, for example:", incidents.len());
+    println!(
+        "detected {} slowAnswer incidents, for example:",
+        incidents.len()
+    );
     for incident in incidents.iter().take(5) {
         println!("  {}", incident.to_xml());
     }

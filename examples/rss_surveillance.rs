@@ -51,5 +51,8 @@ fn main() {
     for line in rendered.lines().take(15) {
         println!("  {line}");
     }
-    assert!(results.len() >= 15, "every crawl round adds at least one story");
+    assert!(
+        results.len() >= 15,
+        "every crawl round adds at least one story"
+    );
 }

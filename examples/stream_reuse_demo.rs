@@ -20,7 +20,9 @@ fn main() {
     }
 
     // First subscriber: builds everything from scratch.
-    let first = monitor.submit("p", METEO_SUBSCRIPTION).expect("first deploys");
+    let first = monitor
+        .submit("p", METEO_SUBSCRIPTION)
+        .expect("first deploys");
     let first_report = monitor.report(&first).expect("report");
     println!(
         "first subscription @p:          {} tasks, {} reused streams, {} new streams",

@@ -56,7 +56,10 @@ fn main() {
     monitor.run_until_idle();
 
     let incidents = monitor.results(&handle);
-    println!("{} billing incidents correlated across peers", incidents.len());
+    println!(
+        "{} billing incidents correlated across peers",
+        incidents.len()
+    );
     for incident in incidents.iter().take(5) {
         println!("  {}", incident.to_xml());
     }
@@ -75,5 +78,8 @@ fn main() {
         report.cross_peer_edges,
         monitor.state_bytes(&handle)
     );
-    assert!(!incidents.is_empty(), "the workload contains billing faults");
+    assert!(
+        !incidents.is_empty(),
+        "the workload contains billing faults"
+    );
 }

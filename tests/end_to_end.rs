@@ -56,7 +56,10 @@ fn pushdown_and_centralized_plans_agree_on_results() {
     let calls = workload.calls(300);
     let mut counts = Vec::new();
     let mut bytes = Vec::new();
-    for placement in [PlacementStrategy::PushToSources, PlacementStrategy::Centralized] {
+    for placement in [
+        PlacementStrategy::PushToSources,
+        PlacementStrategy::Centralized,
+    ] {
         let mut monitor = meteo_monitor(placement, false);
         let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
         for call in &calls {

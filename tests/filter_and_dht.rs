@@ -66,7 +66,8 @@ fn stream_definitions_survive_dht_churn() {
         db.dht_mut().leave(*id);
     }
     for j in 0..16u64 {
-        db.dht_mut().join(p2pmon::dht::chord::hash_key(&format!("fresh{j}")));
+        db.dht_mut()
+            .join(p2pmon::dht::chord::hash_key(&format!("fresh{j}")));
     }
     // Every published alerter stream is still discoverable.
     for i in 0..200 {

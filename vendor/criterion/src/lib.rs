@@ -1,0 +1,306 @@
+//! Offline stand-in for the subset of the `criterion` API that the
+//! `p2pmon-bench` harness uses.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! small timing harness with criterion's call surface: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros. Each
+//! benchmark is calibrated with one timed probe run, then executed for
+//! `sample_size` samples sized to fit the measurement window; mean/min/max
+//! per-iteration times are printed in criterion's familiar one-line shape.
+//! There are no plots, no statistics beyond the summary, and no baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level harness configuration; mirrors `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            c: self,
+            name,
+            sample_size_override: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into();
+        run_benchmark(self, &full.to_string(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks; mirrors `criterion::BenchmarkGroup`.
+/// Configuration overrides set on the group stay scoped to it, as in real
+/// criterion — they never write through to the parent `Criterion`.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    sample_size_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size_override = Some(n.max(1));
+        self
+    }
+
+    fn effective_config(&self) -> Criterion {
+        let mut config = self.c.clone();
+        if let Some(n) = self.sample_size_override {
+            config.sample_size = n;
+        }
+        config
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&self.effective_config(), &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&self.effective_config(), &full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    iter_called: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iter_called = true;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    // Calibration probe: one iteration, which also serves as warm-up.
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+        iter_called: false,
+    };
+    let warm_up_start = Instant::now();
+    f(&mut probe);
+    assert!(
+        probe.iter_called,
+        "benchmark {id:?}: the closure must call Bencher::iter"
+    );
+    let mut per_iter = probe.elapsed.max(Duration::from_nanos(1));
+    while warm_up_start.elapsed() < c.warm_up_time {
+        f(&mut probe);
+        per_iter = (per_iter + probe.elapsed.max(Duration::from_nanos(1))) / 2;
+    }
+
+    // Size each sample so all samples together roughly fill the window.
+    let budget = c.measurement_time.as_nanos() / c.sample_size.max(1) as u128;
+    let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+        iter_called: false,
+    };
+    for _ in 0..c.sample_size {
+        // Reset so a closure that skips `iter` on some invocation cannot
+        // re-report the previous sample's time as its own.
+        bencher.elapsed = Duration::ZERO;
+        bencher.iter_called = false;
+        f(&mut bencher);
+        if !bencher.iter_called {
+            continue;
+        }
+        samples.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    if samples.is_empty() {
+        println!("{id:<60} (no samples: closure never called Bencher::iter)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`, both the simple and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and under `cargo test` a `--test`
+            // filter) to harness-less targets; the shim accepts and ignores
+            // all CLI arguments.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("two_stage", 100).to_string(),
+            "two_stage/100"
+        );
+        assert_eq!(BenchmarkId::from("join").to_string(), "join");
+    }
+
+    #[test]
+    fn a_benchmark_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline stand-in for the subset of the `proptest` API that p2pmon's
+//! property tests use.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! small shim: `Strategy` with `prop_map` / `prop_flat_map` / `prop_recursive`,
+//! tuple and `Vec` composition, `sample::select`, `collection::vec`,
+//! `bool::ANY`, `num::*::ANY`, a `string_regex` that understands
+//! character-class patterns (`[a-z&]{m,n}` sequences), and the `proptest!` /
+//! `prop_assert*` macros. Cases are generated from a fixed master seed
+//! (override with `PROPTEST_SEED`) so failures reproduce; there is no
+//! shrinking — the failing case's seed and index are printed instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng, TestRunner};
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// `proptest::sample` — uniform selection from a fixed vocabulary.
+pub mod sample {
+    use crate::strategy::BoxedStrategy;
+
+    /// Uniformly select one element of `options` per generated case.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "sample::select requires options");
+        BoxedStrategy::from_fn(move |rng| options[rng.next_index(options.len())].clone())
+    }
+}
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        fn pick_len(&self, rng: &mut crate::TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut crate::TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick_len(&self, rng: &mut crate::TestRng) -> usize {
+            assert!(self.start < self.end, "collection::vec: empty range");
+            self.start + rng.next_index(self.end - self.start)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut crate::TestRng) -> usize {
+            self.start() + rng.next_index(self.end() - self.start() + 1)
+        }
+    }
+
+    /// Generate a `Vec` whose length is drawn from `size` and whose elements
+    /// are drawn independently from `element`.
+    pub fn vec<S, R>(element: S, size: R) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+        R: SizeRange + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let len = size.pick_len(rng);
+            (0..len).map(|_| element.new_value(rng)).collect()
+        })
+    }
+}
+
+/// `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `proptest::num` — `ANY` strategies for the primitive numeric types.
+pub mod num {
+    macro_rules! num_any {
+        ($($m:ident => $t:ty),*) => {$(
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+
+                /// Uniform over the whole type domain.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    num_any!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+             i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize);
+}
+
+/// `proptest::string` — regex-driven string generation for character-class
+/// patterns.
+pub mod string {
+    use crate::strategy::BoxedStrategy;
+
+    /// Error for patterns outside the supported subset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported string_regex pattern: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    struct Piece {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Vec<char>, Error> {
+        let mut out: Vec<char> = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error("unterminated character class".into()))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    out.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    });
+                }
+                '-' if !out.is_empty() && chars.peek().map(|c| *c != ']').unwrap_or(false) => {
+                    let lo = out.pop().expect("non-empty");
+                    let hi = chars.next().expect("peeked");
+                    if (lo as u32) > (hi as u32) {
+                        return Err(Error(format!("inverted range {lo}-{hi}")));
+                    }
+                    for cp in lo as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(cp) {
+                            out.push(ch);
+                        }
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        if out.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(out)
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+    ) -> Result<(usize, usize), Error> {
+        if chars.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        chars.next();
+        let mut spec = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => spec.push(c),
+                None => return Err(Error("unterminated repetition".into())),
+            }
+        }
+        let parts: Vec<&str> = spec.split(',').collect();
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| Error(format!("bad repetition bound {s:?}")))
+        };
+        match parts.as_slice() {
+            [n] => {
+                let n = parse(n)?;
+                Ok((n, n))
+            }
+            [m, n] => Ok((parse(m)?, parse(n)?)),
+            _ => Err(Error(format!("bad repetition {spec:?}"))),
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Result<Vec<Piece>, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let alphabet = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    vec![esc]
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                    return Err(Error(format!(
+                        "regex operator {c:?} not supported by the offline shim"
+                    )))
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = parse_repeat(&mut chars)?;
+            if min > max {
+                return Err(Error(format!("inverted repetition {min},{max}")));
+            }
+            pieces.push(Piece { alphabet, min, max });
+        }
+        Ok(pieces)
+    }
+
+    /// Generate strings matching a character-class pattern such as
+    /// `[ -~àéü]{0,24}` (sequences of classes/literals with optional `{m,n}`).
+    pub fn string_regex(pattern: &str) -> Result<BoxedStrategy<String>, Error> {
+        let pieces = parse_pattern(pattern)?;
+        Ok(BoxedStrategy::from_fn(move |rng| {
+            let mut out = String::new();
+            for piece in &pieces {
+                let len = piece.min + rng.next_index(piece.max - piece.min + 1);
+                for _ in 0..len {
+                    out.push(piece.alphabet[rng.next_index(piece.alphabet.len())]);
+                }
+            }
+            out
+        }))
+    }
+}
+
+/// The `proptest! { ... }` macro: expands each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that runs `ProptestConfig::cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // Re-emit the user's attributes (`#[test]`, doc comments,
+            // `#[ignore]`, ...) exactly as real proptest does; the `#[test]`
+            // the suites write inside `proptest!` is what marks the test.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(config);
+                runner.run(|rng| -> ::std::result::Result<(), ()> {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name($($arg in $strat),+) $body )*
+        }
+    };
+}
+
+/// `prop_assert!` — like `assert!`, reported with the failing case's seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*); };
+}
+
+/// `prop_assert_eq!` — like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*); };
+}
+
+/// `prop_assert_ne!` — like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*); };
+}
+
+/// `prop_assume!` — reject the case without failing (the shim simply returns
+/// early from the case body).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,168 @@
+//! The `Strategy` trait and its combinators.
+//!
+//! Unlike real proptest there is no value tree and no shrinking: a strategy
+//! is just a deterministic sampler from a [`TestRng`]. Combinator results are
+//! all expressed as [`BoxedStrategy`] so strategies stay cheaply clonable.
+
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| f(self.new_value(rng)))
+    }
+
+    /// Generate a value, build a second strategy from it, and draw from that.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy + 'static,
+        S2::Value: 'static,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let second = f(self.new_value(rng));
+            second.new_value(rng)
+        })
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps an inner strategy into the branch case. `depth` bounds the
+    /// nesting; the size hints are accepted for API compatibility but the
+    /// shim bounds size through `depth` alone.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.new_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sample: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sample: Arc::clone(&self.sample),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a sampling closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            sample: Arc::new(f),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A `Vec` of strategies generates a `Vec` of values, element-wise.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.new_value(rng)).collect()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128).wrapping_sub(start as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);

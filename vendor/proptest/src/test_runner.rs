@@ -1,0 +1,103 @@
+//! Case generation and execution.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of `proptest::test_runner::Config` that the suites use.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies while generating one case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform index in `0..n` (`n` must be non-zero).
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_index requires a non-empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runs each property over `config.cases` deterministic cases. The master
+/// seed is fixed (override with the `PROPTEST_SEED` env var); on failure the
+/// case index and seed are printed so the run can be reproduced. The shim
+/// does not shrink.
+pub struct TestRunner {
+    config: ProptestConfig,
+    master_seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        let master_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_0001);
+        TestRunner {
+            config,
+            master_seed,
+        }
+    }
+
+    /// Execute `case` once per generated input. `Ok` and early `Ok` returns
+    /// (from `prop_assume!`) count as passes; assertion panics propagate
+    /// after printing the reproduction seed.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), ()>,
+    {
+        for i in 0..self.config.cases {
+            let seed = self
+                .master_seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(i) + 1));
+            let mut rng = TestRng::from_seed(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(())) => {
+                    panic!(
+                        "proptest shim: case {i}/{} returned Err; rerun with PROPTEST_SEED={}",
+                        self.config.cases, self.master_seed
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest shim: case {i}/{} failed; rerun with PROPTEST_SEED={}",
+                        self.config.cases, self.master_seed
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

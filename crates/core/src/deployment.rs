@@ -1,0 +1,298 @@
+//! Subscription deployment: compile → reuse → place → deploy → publish.
+//!
+//! The Subscription Manager's pipeline (Section 3 of the paper) lives here:
+//! a P2PML subscription is compiled into a logical plan, selections are
+//! pushed below unions, the Stream Definition Database is searched for
+//! reusable streams, the rewritten plan is placed on peers and finally
+//! deployed — instantiating one [`RuntimeOperator`] per task, wiring routes
+//! and consumer registrations, registering every `Select` task's simple
+//! conditions and tree patterns with its host peer's shared filter engine
+//! (the *offline adjustment* of Figure 5), and publishing the definitions of
+//! the newly created streams.
+
+use std::collections::BTreeMap;
+
+use p2pmon_dht::StreamDefinition;
+use p2pmon_filter::FilterSubscription;
+use p2pmon_p2pml::plan::{normalize_peer, LogicalPlan};
+use p2pmon_p2pml::{compile_subscription, ByClause, CompileError};
+use p2pmon_streams::ChannelId;
+
+use crate::dispatch::Route;
+use crate::monitor::{DeployedSubscription, Monitor, SubscriptionHandle};
+use crate::placement::{place, push_selections_below_unions, PlacedPlan, TaskKind};
+use crate::reuse::{apply_reuse, join_parameters, select_parameters, ReuseReport};
+use crate::runtime::RuntimeOperator;
+use crate::sink::{Sink, SinkKind};
+
+impl Monitor {
+    /// Submits a P2PML subscription to the given manager peer: compile, apply
+    /// stream reuse, place, deploy and publish the new stream definitions.
+    pub fn submit(
+        &mut self,
+        manager: &str,
+        subscription_text: &str,
+    ) -> Result<SubscriptionHandle, CompileError> {
+        let plan = compile_subscription(subscription_text)?;
+        Ok(self.deploy_plan(manager, plan))
+    }
+
+    /// Deploys an already-compiled logical plan (used by benches that bypass
+    /// the parser).
+    pub fn deploy_plan(&mut self, manager: &str, plan: LogicalPlan) -> SubscriptionHandle {
+        let manager = normalize_peer(manager);
+        self.add_peer(manager.clone());
+
+        // Algebraic optimization: push selections below unions so that every
+        // monitored peer filters its own alerts (Section 3.3's plan shape).
+        let plan = LogicalPlan {
+            root: push_selections_below_unions(plan.root),
+            by: plan.by,
+            distinct: plan.distinct,
+        };
+
+        // Stream reuse against the definition database.  Replica selection
+        // scores candidate providers by their expected latency from the
+        // manager (the "close networkwise" criterion of Section 5).
+        let (root, reuse) = if self.config.enable_reuse {
+            let latencies: BTreeMap<String, u64> = self
+                .peers
+                .iter()
+                .map(|p| (p.clone(), self.network.expected_latency(&manager, p)))
+                .collect();
+            let proximity = move |peer: &str| latencies.get(peer).copied().unwrap_or(u64::MAX / 2);
+            apply_reuse(&plan.root, &mut self.stream_db, &proximity)
+        } else {
+            (plan.root.clone(), ReuseReport::default())
+        };
+        let rewritten = LogicalPlan {
+            root,
+            by: plan.by.clone(),
+            distinct: plan.distinct,
+        };
+
+        // Placement.
+        let placed = place(&rewritten, &manager, self.config.placement);
+        for task in &placed.tasks {
+            self.add_peer(task.peer.clone());
+            if let TaskKind::Source { monitored_peer, .. } = &task.kind {
+                self.add_peer(monitored_peer.clone());
+            }
+        }
+
+        let sub_idx = self.subscriptions.len();
+        let mut operators = Vec::with_capacity(placed.tasks.len());
+        let mut routes = Vec::with_capacity(placed.tasks.len());
+
+        // Build operators, routes and consumer registrations; hand every task
+        // to its host peer.
+        for task in &placed.tasks {
+            operators.push(RuntimeOperator::for_kind(
+                &task.kind,
+                self.config.join_window,
+            ));
+            self.host_mut(&task.peer).task_deployed();
+            match &task.kind {
+                TaskKind::Source {
+                    function,
+                    monitored_peer,
+                    ..
+                } => {
+                    self.ensure_alerter(function, monitored_peer);
+                    self.routing
+                        .source_consumers
+                        .entry((function.clone(), monitored_peer.clone()))
+                        .or_default()
+                        .push((sub_idx, task.id));
+                }
+                TaskKind::DynamicSource { function, .. } => {
+                    self.routing
+                        .dynamic_consumers
+                        .entry(function.clone())
+                        .or_default()
+                        .push((sub_idx, task.id));
+                }
+                TaskKind::ChannelSource { channel, .. } => {
+                    self.routing
+                        .channel_consumers
+                        .entry(channel.clone())
+                        .or_default()
+                        .push((sub_idx, task.id, 0));
+                }
+                _ => {}
+            }
+            let route = match task.downstream {
+                Some((consumer, port)) => {
+                    if placed.tasks[consumer].peer == task.peer {
+                        Route::Local {
+                            task: consumer,
+                            port,
+                        }
+                    } else {
+                        let channel =
+                            ChannelId::new(task.peer.clone(), format!("s{sub_idx}-t{}", task.id));
+                        self.routing
+                            .channel_consumers
+                            .entry(channel.clone())
+                            .or_default()
+                            .push((sub_idx, consumer, port));
+                        Route::Channel { channel }
+                    }
+                }
+                None => Route::Publisher,
+            };
+            routes.push(route);
+        }
+
+        // Offline adjustment of the per-peer shared filter engines: register
+        // every Select task's simple conditions and tree patterns, so that an
+        // incoming alert is filtered once per peer rather than once per
+        // subscription.
+        for task in &placed.tasks {
+            if let TaskKind::Select {
+                simple, patterns, ..
+            } = &task.kind
+            {
+                let id = self.next_filter_id;
+                self.next_filter_id += 1;
+                let filter = FilterSubscription::new(id)
+                    .with_simple(simple.clone())
+                    .with_complex(patterns.clone());
+                self.host_mut(&task.peer)
+                    .register_select(sub_idx, task.id, filter);
+            }
+        }
+
+        // Publish stream definitions for the streams this deployment creates.
+        self.publish_definitions(sub_idx, &placed, &routes);
+
+        // The published result channel, when the BY clause asks for one.
+        let published_channel = match &placed.by {
+            ByClause::Channel(name) => {
+                let channel = ChannelId::new(manager.clone(), name.clone());
+                self.routing
+                    .published_channels
+                    .entry(channel.clone())
+                    .or_default();
+                Some(channel)
+            }
+            _ => None,
+        };
+
+        self.subscriptions.push(DeployedSubscription {
+            manager,
+            sink: Sink::new(SinkKind::from(&placed.by)),
+            placed,
+            operators,
+            routes,
+            reuse,
+            published_channel,
+        });
+        SubscriptionHandle(sub_idx)
+    }
+
+    /// Installs the alerter for `function` on `peer` (idempotent).
+    pub(crate) fn ensure_alerter(&mut self, function: &str, peer: &str) {
+        self.add_peer(peer.to_string());
+        let peer = normalize_peer(peer);
+        self.host_mut(&peer).alerters.ensure(function, &peer);
+    }
+
+    /// Publishes the stream definitions created by a deployment: one source
+    /// definition per alerter binding, and one derived definition per
+    /// operator whose output is published on a channel and whose operand
+    /// identities are themselves published.
+    fn publish_definitions(&mut self, sub_idx: usize, placed: &PlacedPlan, routes: &[Route]) {
+        // identities[task] = the (peer, stream) this task's output stream is
+        // known as system-wide, when it is discoverable.
+        let mut identities: Vec<Option<(String, String)>> = vec![None; placed.tasks.len()];
+        // children[task] = producers feeding it, ordered by port.
+        let mut children: Vec<Vec<(usize, usize)>> = vec![Vec::new(); placed.tasks.len()];
+        for task in &placed.tasks {
+            if let Some((consumer, port)) = task.downstream {
+                children[consumer].push((port, task.id));
+            }
+        }
+        for list in &mut children {
+            list.sort_unstable();
+        }
+
+        for task in &placed.tasks {
+            match &task.kind {
+                TaskKind::Source {
+                    function,
+                    monitored_peer,
+                    ..
+                } => {
+                    let stream = format!("src-{function}");
+                    if self.stream_db.get(monitored_peer, &stream).is_none() {
+                        self.stream_db.publish(StreamDefinition::source(
+                            monitored_peer.clone(),
+                            stream.clone(),
+                            function.clone(),
+                        ));
+                    }
+                    identities[task.id] = Some((monitored_peer.clone(), stream));
+                }
+                TaskKind::ChannelSource { channel, .. } => {
+                    identities[task.id] = Some((channel.peer.clone(), channel.stream.clone()));
+                }
+                TaskKind::DynamicSource { .. } => {}
+                _ => {
+                    let operand_ids: Option<Vec<(String, String)>> = children[task.id]
+                        .iter()
+                        .map(|(_, child)| identities[*child].clone())
+                        .collect();
+                    let publishes_channel = match &routes[task.id] {
+                        Route::Channel { .. } => true,
+                        Route::Publisher => matches!(placed.by, ByClause::Channel(_)),
+                        Route::Local { .. } => false,
+                    };
+                    if !publishes_channel {
+                        continue;
+                    }
+                    let stream_name = match (&routes[task.id], &placed.by) {
+                        (Route::Publisher, ByClause::Channel(name)) => name.clone(),
+                        _ => format!("s{sub_idx}-t{}", task.id),
+                    };
+                    if let Some(operands) = operand_ids {
+                        let (operator, parameters) = match &task.kind {
+                            TaskKind::Select {
+                                simple,
+                                patterns,
+                                derived,
+                                conditions,
+                                ..
+                            } => (
+                                "Filter".to_string(),
+                                select_parameters(simple, patterns, derived, conditions),
+                            ),
+                            TaskKind::Join {
+                                left_key,
+                                right_key,
+                                residual,
+                            } => (
+                                "Join".to_string(),
+                                join_parameters(left_key, right_key, residual),
+                            ),
+                            TaskKind::Union { .. } => ("Union".to_string(), String::new()),
+                            TaskKind::Dedup => ("DuplicateRemoval".to_string(), String::new()),
+                            TaskKind::Restructure { template, .. } => {
+                                ("Restructure".to_string(), template.source().to_string())
+                            }
+                            _ => unreachable!("sources handled above"),
+                        };
+                        self.stream_db.publish(StreamDefinition::derived(
+                            task.peer.clone(),
+                            stream_name.clone(),
+                            operator,
+                            parameters,
+                            operands,
+                        ));
+                        identities[task.id] = Some((task.peer.clone(), stream_name));
+                    }
+                }
+            }
+        }
+    }
+}

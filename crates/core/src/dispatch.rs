@@ -1,0 +1,488 @@
+//! Alert, item and channel routing between [`PeerHost`]s.
+//!
+//! This module carries the monitor's data plane: the routing tables built at
+//! deployment time, the engine-gated fan-out of alerts into hosted tasks, the
+//! per-peer work loops and the channel/network delivery glue.
+//!
+//! The hot path is [`Monitor::dispatch_document`]: when one alert document is
+//! about to fan out to many hosted subscriptions on a peer, it runs **once**
+//! through that peer's shared [`FilterEngine`] (preFilter → AESFilter →
+//! YFilterσ) and only the matched subscriptions' operators execute.  The
+//! `Select` operator keeps its LET-derivation / general-condition tail as the
+//! residual check.  Setting [`crate::MonitorConfig::naive_dispatch`] disables
+//! the engine and fans every alert out to every consumer, re-evaluating each
+//! `Select` linearly — the pre-decomposition behaviour, kept as an
+//! equivalence oracle for tests and benches.
+//!
+//! [`FilterEngine`]: p2pmon_filter::FilterEngine
+
+use std::collections::HashMap;
+
+use p2pmon_filter::FilterOutcome;
+use p2pmon_streams::binding::TUPLE_TAG;
+use p2pmon_streams::ChannelId;
+use p2pmon_xmlkit::Element;
+
+use crate::monitor::Monitor;
+use crate::peer::Work;
+use crate::placement::TaskKind;
+
+/// A delivery target `(subscription, task, port)` together with its resolved
+/// engine gate, if any: `(effective select task, engine registration)`.
+type ResolvedTarget = (
+    usize,
+    usize,
+    usize,
+    Option<(usize, p2pmon_filter::SubscriptionId)>,
+);
+
+/// How a task's output is routed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Route {
+    /// Same-peer edge: enqueue directly for the consumer task.
+    Local { task: usize, port: usize },
+    /// Cross-peer edge or published output: multicast on this channel to
+    /// every registered consumer.
+    Channel { channel: ChannelId },
+    /// The plan root: deliver to the subscription's sink (and, when the BY
+    /// clause publishes a channel, also to that channel's subscribers).
+    Publisher,
+}
+
+/// The deployment-time routing tables shared by every peer.
+#[derive(Default)]
+pub(crate) struct RoutingTable {
+    /// (function, monitored peer) → consumer source tasks.
+    pub source_consumers: HashMap<(String, String), Vec<(usize, usize)>>,
+    /// function → dynamic-source tasks (membership-filtered feeds).
+    pub dynamic_consumers: HashMap<String, Vec<(usize, usize)>>,
+    /// channel → consumer (subscription, task, port).
+    pub channel_consumers: HashMap<ChannelId, Vec<(usize, usize, usize)>>,
+    /// Items published on externally visible channels (BY channel clauses).
+    pub published_channels: HashMap<ChannelId, Vec<Element>>,
+}
+
+/// Counters for the engine-gated dispatch path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Documents run through a peer's shared filter engine.
+    pub engine_documents: u64,
+    /// Gated deliveries that passed the engine (residual check still runs).
+    pub gate_passes: u64,
+    /// Gated deliveries skipped because the engine rejected them — work the
+    /// naive path would have spent on a full `Select` evaluation.
+    pub gate_rejections: u64,
+    /// Deliveries that bypassed the engine (non-Select consumers, tuple
+    /// items, or `naive_dispatch` mode).
+    pub plain_deliveries: u64,
+    /// Work items discarded because their host peer was down.
+    pub dropped_by_failure: u64,
+}
+
+impl Monitor {
+    /// Wraps a payload as a stream item with a fresh sequence number.
+    pub(crate) fn make_item(&mut self, data: Element) -> p2pmon_streams::StreamItem {
+        let item = p2pmon_streams::StreamItem::new(self.next_seq, self.network.now(), data);
+        self.next_seq += 1;
+        item
+    }
+
+    /// Enqueues an item for a task on whichever peer hosts it.
+    pub(crate) fn enqueue(
+        &mut self,
+        sub: usize,
+        task: usize,
+        port: usize,
+        item: p2pmon_streams::StreamItem,
+        prefiltered: bool,
+    ) {
+        let peer = &self.subscriptions[sub].placed.tasks[task].peer;
+        self.hosts
+            .get_mut(peer)
+            .expect("every placed task's host is created at deployment")
+            .enqueue(Work {
+                sub,
+                task,
+                port,
+                item,
+                prefiltered,
+            });
+    }
+
+    /// Resolves the engine gate for one delivery target, if any: either the
+    /// target itself is a hosted `Select`, or it is a pass-through source
+    /// whose local downstream is one (in which case the pass-through hop is
+    /// collapsed and the select becomes the effective target).
+    fn resolve_gate(
+        &self,
+        peer: &str,
+        sub: usize,
+        task: usize,
+        port: usize,
+        doc: &Element,
+    ) -> Option<(usize, p2pmon_filter::SubscriptionId)> {
+        if self.config.naive_dispatch || port != 0 || doc.name == TUPLE_TAG {
+            return None;
+        }
+        let host = self.hosts.get(peer)?;
+        let placed = &self.subscriptions[sub].placed;
+        match &placed.tasks[task].kind {
+            TaskKind::Select { .. } => host.gate(sub, task).map(|id| (task, id)),
+            // Pass-through sources: gate on (and collapse into) the Select
+            // they feed on the same peer.
+            TaskKind::Source { .. } | TaskKind::ChannelSource { .. } => {
+                match &self.subscriptions[sub].routes[task] {
+                    Route::Local {
+                        task: next,
+                        port: 0,
+                    } if matches!(placed.tasks[*next].kind, TaskKind::Select { .. }) => {
+                        host.gate(sub, *next).map(|id| (*next, id))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Fans one document out to delivery targets on `peer`, running the
+    /// peer's shared filter engine at most once (per distinct document, via
+    /// `memo`) and skipping subscriptions the engine rejects.
+    pub(crate) fn dispatch_document_memo(
+        &mut self,
+        peer: &str,
+        doc: &Element,
+        targets: &[(usize, usize, usize)],
+        memo: &mut HashMap<String, FilterOutcome>,
+    ) {
+        let resolved: Vec<ResolvedTarget> = targets
+            .iter()
+            .map(|&(sub, task, port)| {
+                (
+                    sub,
+                    task,
+                    port,
+                    self.resolve_gate(peer, sub, task, port, doc),
+                )
+            })
+            .collect();
+        let outcome = if resolved.iter().any(|(_, _, _, gate)| gate.is_some()) {
+            let key = doc.to_xml();
+            if !memo.contains_key(&key) {
+                let host = self.hosts.get_mut(peer).expect("gated peer is hosted");
+                self.dispatch_stats.engine_documents += 1;
+                memo.insert(key.clone(), host.engine.process(doc));
+            }
+            memo.get(&key).cloned()
+        } else {
+            None
+        };
+        for (sub, task, port, gate) in resolved {
+            match gate {
+                None => {
+                    self.dispatch_stats.plain_deliveries += 1;
+                    let item = self.make_item(doc.clone());
+                    self.enqueue(sub, task, port, item, false);
+                }
+                Some((select_task, id)) => {
+                    let passed = outcome
+                        .as_ref()
+                        .is_some_and(|o| o.matched.binary_search(&id).is_ok());
+                    if passed {
+                        self.dispatch_stats.gate_passes += 1;
+                        let item = self.make_item(doc.clone());
+                        self.enqueue(sub, select_task, 0, item, true);
+                    } else {
+                        self.dispatch_stats.gate_rejections += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-shot [`Monitor::dispatch_document_memo`] for a single document.
+    pub(crate) fn dispatch_document(
+        &mut self,
+        peer: &str,
+        doc: &Element,
+        targets: &[(usize, usize, usize)],
+    ) {
+        let mut memo = HashMap::new();
+        self.dispatch_document_memo(peer, doc, targets, &mut memo);
+    }
+
+    /// Feeds an alert to dynamic-source tasks (membership-filtered feeds);
+    /// they filter per item, so the engine does not gate them.
+    pub(crate) fn feed_dynamic(
+        &mut self,
+        origin: &str,
+        consumers: &[(usize, usize)],
+        alert: Element,
+    ) {
+        for &(sub, task) in consumers {
+            let task_peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
+            if task_peer != origin {
+                // Account the transfer of the raw alert to the dynamic source.
+                self.network.send(origin, &task_peer, None, alert.clone());
+            }
+            let item = self.make_item(alert.clone());
+            self.enqueue(sub, task, 0, item, false);
+        }
+    }
+
+    /// Drains every live peer's alerters into the deployed source tasks,
+    /// engine-gating the fan-out.
+    pub(crate) fn drain_alerters(&mut self) {
+        let mut feeds: Vec<(String, String, Vec<Element>)> = Vec::new();
+        let peers: Vec<String> = self.hosts.keys().cloned().collect();
+        for peer in peers {
+            if self.network.is_down(&peer) {
+                continue;
+            }
+            let host = self.hosts.get_mut(&peer).expect("host just listed");
+            for (function, alerts) in host.alerters.drain_all() {
+                feeds.push((function.to_string(), peer.clone(), alerts));
+            }
+        }
+
+        for (function, peer, alerts) in feeds {
+            let consumers = self
+                .routing
+                .source_consumers
+                .get(&(function.clone(), peer.clone()))
+                .cloned()
+                .unwrap_or_default();
+            let targets: Vec<(usize, usize, usize)> = consumers
+                .iter()
+                .map(|&(sub, task)| (sub, task, 0))
+                .collect();
+            let dynamic = self
+                .routing
+                .dynamic_consumers
+                .get(&function)
+                .cloned()
+                .unwrap_or_default();
+            // Subscribers of the alerter's *published source stream* (other
+            // subscriptions that reuse `src-<function>@peer`) receive every
+            // alert over the network.
+            let source_channel = ChannelId::new(peer.clone(), format!("src-{function}"));
+            let source_subscribers = self
+                .routing
+                .channel_consumers
+                .get(&source_channel)
+                .cloned()
+                .unwrap_or_default();
+            for alert in alerts {
+                self.dispatch_document(&peer, &alert, &targets);
+                for (consumer_sub, consumer_task, _port) in &source_subscribers {
+                    let consumer_peer = self.subscriptions[*consumer_sub].placed.tasks
+                        [*consumer_task]
+                        .peer
+                        .clone();
+                    self.network.send(
+                        &peer,
+                        &consumer_peer,
+                        Some(source_channel.clone()),
+                        alert.clone(),
+                    );
+                }
+                // Membership alerters feed dynamic sources through the plan
+                // itself (port 1), so only non-membership functions are
+                // fanned out here.
+                if function != "areRegistered" {
+                    self.feed_dynamic(&peer.clone(), &dynamic, alert);
+                }
+            }
+        }
+    }
+
+    /// Processes every peer's work queue until all of them are empty.  Work
+    /// queued on a downed peer is discarded (the peer's processors are gone
+    /// with it).
+    pub(crate) fn process_pending(&mut self) {
+        loop {
+            let mut did_work = false;
+            let peers: Vec<String> = self.hosts.keys().cloned().collect();
+            for peer in peers {
+                if self.network.is_down(&peer) {
+                    let host = self.hosts.get_mut(&peer).expect("host just listed");
+                    let dropped = host.queue.len() as u64;
+                    if dropped > 0 {
+                        host.queue.clear();
+                        self.dispatch_stats.dropped_by_failure += dropped;
+                    }
+                    continue;
+                }
+                while let Some(work) = self
+                    .hosts
+                    .get_mut(&peer)
+                    .expect("host just listed")
+                    .queue
+                    .pop_front()
+                {
+                    did_work = true;
+                    self.execute(work);
+                }
+            }
+            if !did_work {
+                break;
+            }
+        }
+    }
+
+    /// Runs one work item through its operator and routes the outputs.
+    fn execute(&mut self, work: Work) {
+        self.operator_invocations += 1;
+        let Work {
+            sub,
+            task,
+            port,
+            item,
+            prefiltered,
+        } = work;
+        let outputs = {
+            let operator = &mut self.subscriptions[sub].operators[task];
+            if prefiltered {
+                operator.on_item_prefiltered(port, &item).items
+            } else {
+                operator.on_item(port, &item).items
+            }
+        };
+        if outputs.is_empty() {
+            return;
+        }
+        let route = self.subscriptions[sub].routes[task].clone();
+        for output in outputs {
+            match &route {
+                Route::Local { task, port } => {
+                    let item = self.make_item(output);
+                    self.enqueue(sub, *task, *port, item, false);
+                }
+                Route::Channel { channel } => {
+                    self.emit_on_channel(channel.clone(), output);
+                }
+                Route::Publisher => {
+                    self.deliver_result(sub, output);
+                }
+            }
+        }
+    }
+
+    /// Multicasts a task output on its channel (one message per subscriber).
+    fn emit_on_channel(&mut self, channel: ChannelId, output: Element) {
+        let producer_peer = channel.peer.clone();
+        let consumers = self
+            .routing
+            .channel_consumers
+            .get(&channel)
+            .cloned()
+            .unwrap_or_default();
+        for (consumer_sub, consumer_task, _port) in consumers {
+            let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
+                .peer
+                .clone();
+            self.network.send(
+                &producer_peer,
+                &consumer_peer,
+                Some(channel.clone()),
+                output.clone(),
+            );
+        }
+    }
+
+    /// Delivers a plan-root output to the subscription's sink and, when the
+    /// BY clause publishes a channel, to that channel's subscribers.
+    fn deliver_result(&mut self, sub_idx: usize, output: Element) {
+        // Ship the result from the peer that produced it to the manager's
+        // publisher (counted as network traffic when they differ).
+        let root_peer = {
+            let sub = &self.subscriptions[sub_idx];
+            sub.placed.tasks[sub.placed.root].peer.clone()
+        };
+        let manager_peer = self.subscriptions[sub_idx].manager.clone();
+        if root_peer != manager_peer {
+            self.network
+                .send(&root_peer, &manager_peer, None, output.clone());
+        }
+        self.subscriptions[sub_idx].sink.deliver(output.clone());
+        if let Some(channel) = self.subscriptions[sub_idx].published_channel.clone() {
+            self.routing
+                .published_channels
+                .entry(channel.clone())
+                .or_default()
+                .push(output.clone());
+            // Other subscriptions (or external peers) subscribed to the
+            // published channel receive the item over the network.
+            let consumers = self
+                .routing
+                .channel_consumers
+                .get(&channel)
+                .cloned()
+                .unwrap_or_default();
+            let manager = self.subscriptions[sub_idx].manager.clone();
+            for (consumer_sub, consumer_task, _port) in consumers {
+                let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
+                    .peer
+                    .clone();
+                self.network.send(
+                    &manager,
+                    &consumer_peer,
+                    Some(channel.clone()),
+                    output.clone(),
+                );
+            }
+        }
+    }
+
+    /// Delivers in-flight network messages and feeds channel traffic into the
+    /// consuming tasks (engine-gated, with one engine pass per distinct
+    /// document per peer).  Returns the number of delivered messages.
+    pub(crate) fn deliver_network(&mut self) -> usize {
+        let delivered = self.network.run_until_idle();
+        if delivered == 0 {
+            return 0;
+        }
+        let peers: Vec<String> = self.peers.iter().cloned().collect();
+        for peer in peers {
+            // One engine pass per distinct document per peer per round, even
+            // when the same alert arrives as many per-subscriber messages.
+            let mut memo: HashMap<String, FilterOutcome> = HashMap::new();
+            for message in self.network.take_inbox(&peer) {
+                let Some(channel) = message.channel.clone() else {
+                    continue;
+                };
+                let targets: Vec<(usize, usize, usize)> = self
+                    .routing
+                    .channel_consumers
+                    .get(&channel)
+                    .cloned()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|&(sub, task, _)| {
+                        self.subscriptions[sub].placed.tasks[task].peer == peer
+                    })
+                    .collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                self.dispatch_document_memo(&peer, &message.payload, &targets, &mut memo);
+            }
+        }
+        delivered
+    }
+
+    /// One simulation round: drain alerters, process local work, deliver
+    /// network traffic.  Returns `true` when any work was done.
+    pub fn tick(&mut self) -> bool {
+        self.drain_alerters();
+        let had_local = self.hosts.values().any(|h| !h.queue.is_empty());
+        self.process_pending();
+        let delivered = self.deliver_network();
+        had_local || delivered > 0
+    }
+
+    /// Runs rounds until the system is quiescent.
+    pub fn run_until_idle(&mut self) {
+        while self.tick() {}
+    }
+}

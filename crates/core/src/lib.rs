@@ -26,13 +26,18 @@
 //! drives the discrete-event simulation that the examples, the integration
 //! tests and the benchmark harness all use.
 
+pub mod deployment;
+pub mod dispatch;
 pub mod monitor;
+pub mod peer;
 pub mod placement;
 pub mod reuse;
 pub mod runtime;
 pub mod sink;
 
+pub use dispatch::DispatchStats;
 pub use monitor::{Monitor, MonitorConfig, SubscriptionHandle, SubscriptionReport};
+pub use peer::PeerHost;
 pub use placement::{
     place, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementStrategy, TaskKind,
 };

@@ -1,40 +1,35 @@
-//! The Monitor: the whole P2PM system in one simulation harness.
+//! The Monitor: a thin façade over the per-peer runtime.
 //!
 //! A [`Monitor`] owns the simulated network, the DHT-backed Stream Definition
-//! Database, every alerter and every deployed operator.  Examples, the
-//! integration tests and the benchmark harness all drive it the same way:
-//!
-//! 1. [`Monitor::add_peer`] registers the participating peers,
-//! 2. [`Monitor::submit`] hands a P2PML subscription to a manager peer —
-//!    compile → reuse → place → deploy → publish stream definitions,
-//! 3. events of the monitored systems are injected
-//!    ([`Monitor::inject_soap_call`], [`Monitor::inject_rss_snapshot`], …),
-//! 4. [`Monitor::run_until_idle`] propagates alerts through the deployed
-//!    operator graphs and across the network,
-//! 5. results are read back from the subscription's sink
-//!    ([`Monitor::results`]) and traffic/processing statistics from
-//!    [`Monitor::network_stats`] and [`Monitor::report`].
+//! Database and one [`PeerHost`] per participating peer; each host carries
+//! its own alerters, its hosted operator tasks, its work queue and the shared
+//! two-stage filtering processor of Figure 5.  Drive it by registering peers
+//! ([`Monitor::add_peer`]), submitting P2PML subscriptions
+//! ([`Monitor::submit`] — compile → reuse → place → deploy, see
+//! [`crate::deployment`]), injecting monitored-system events
+//! ([`Monitor::inject_soap_call`], …), running rounds
+//! ([`Monitor::run_until_idle`], see [`crate::dispatch`]) and reading back
+//! results ([`Monitor::results`]) and statistics ([`Monitor::network_stats`],
+//! [`Monitor::report`], [`Monitor::peer_filter_stats`],
+//! [`Monitor::dispatch_stats`]).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
-use p2pmon_alerters::{
-    Alerter, AxmlAlerter, CallDirection, MembershipAlerter, RssAlerter, SoapCall, WebPageAlerter,
-    WsAlerter,
-};
-use p2pmon_dht::{ChordNetwork, StreamDefinition, StreamDefinitionDatabase};
+use p2pmon_alerters::{SoapCall, WsAlerter};
+use p2pmon_dht::{ChordNetwork, StreamDefinitionDatabase};
+use p2pmon_filter::FilterStats;
 use p2pmon_net::{Network, NetworkConfig, NetworkStats};
-use p2pmon_p2pml::plan::{normalize_peer, LogicalPlan};
-use p2pmon_p2pml::{compile_subscription, ByClause, CompileError};
+use p2pmon_p2pml::plan::normalize_peer;
 use p2pmon_streams::ops::Window;
-use p2pmon_streams::{ChannelId, StreamItem};
+use p2pmon_streams::ChannelId;
 use p2pmon_xmlkit::Element;
 
-use crate::placement::{
-    place, push_selections_below_unions, PlacedPlan, PlacementStrategy, TaskKind,
-};
-use crate::reuse::{apply_reuse, join_parameters, select_parameters, ReuseReport};
+use crate::dispatch::{DispatchStats, Route, RoutingTable};
+use crate::peer::PeerHost;
+use crate::placement::{PlacedPlan, PlacementStrategy, TaskKind};
+use crate::reuse::ReuseReport;
 use crate::runtime::RuntimeOperator;
-use crate::sink::{Sink, SinkKind};
+use crate::sink::Sink;
 
 /// Configuration of a Monitor instance.
 #[derive(Debug, Clone)]
@@ -51,6 +46,11 @@ pub struct MonitorConfig {
     pub dht_nodes: usize,
     /// Seed for the DHT layout.
     pub seed: u64,
+    /// Bypass the per-peer shared filter engine and fan every alert out to
+    /// every consumer (each `Select` then re-evaluates its own conditions
+    /// linearly).  The pre-decomposition behaviour, kept as an equivalence
+    /// oracle for tests and benches.
+    pub naive_dispatch: bool,
 }
 
 impl Default for MonitorConfig {
@@ -62,6 +62,7 @@ impl Default for MonitorConfig {
             enable_reuse: true,
             dht_nodes: 32,
             seed: 7,
+            naive_dispatch: false,
         }
     }
 }
@@ -83,59 +84,39 @@ pub struct SubscriptionReport {
     pub reuse: ReuseReport,
     /// Results delivered to the sink so far.
     pub results_delivered: usize,
+    /// Per-peer shared-engine statistics for every peer hosting at least one
+    /// of this subscription's `Select` tasks.  The engine is shared by all
+    /// subscriptions on the peer, so these are peer-level counters.
+    pub filter_stats: Vec<(String, FilterStats)>,
 }
 
-/// How a task's output is routed.
-#[derive(Debug, Clone, PartialEq)]
-enum Route {
-    /// Same-peer edge: enqueue directly for the consumer task.
-    Local { task: usize, port: usize },
-    /// Cross-peer edge or published output: multicast on this channel to
-    /// every registered consumer.
-    Channel { channel: ChannelId },
-    /// The plan root: deliver to the subscription's sink (and, when the BY
-    /// clause publishes a channel, also to that channel's subscribers).
-    Publisher,
-}
-
-struct DeployedSubscription {
-    manager: String,
-    placed: PlacedPlan,
-    operators: Vec<RuntimeOperator>,
-    routes: Vec<Route>,
-    sink: Sink,
-    reuse: ReuseReport,
+pub(crate) struct DeployedSubscription {
+    pub manager: String,
+    pub placed: PlacedPlan,
+    pub operators: Vec<RuntimeOperator>,
+    pub routes: Vec<Route>,
+    pub sink: Sink,
+    pub reuse: ReuseReport,
     /// The channel this subscription publishes (for BY channel clauses).
-    published_channel: Option<ChannelId>,
+    pub published_channel: Option<ChannelId>,
 }
 
 /// The P2P Monitor.
 pub struct Monitor {
-    config: MonitorConfig,
-    network: Network,
-    peers: BTreeSet<String>,
-    stream_db: StreamDefinitionDatabase,
-    subscriptions: Vec<DeployedSubscription>,
-
-    // Alerters, keyed by peer (and direction for WS).
-    ws_alerters: BTreeMap<(String, bool), WsAlerter>,
-    rss_alerters: BTreeMap<String, RssAlerter>,
-    page_alerters: BTreeMap<String, WebPageAlerter>,
-    axml_alerters: BTreeMap<String, AxmlAlerter>,
-    membership_alerters: BTreeMap<String, MembershipAlerter>,
-
-    /// (function, monitored peer) → consumer source tasks.
-    source_consumers: HashMap<(String, String), Vec<(usize, usize)>>,
-    /// function → dynamic-source tasks (membership-filtered feeds).
-    dynamic_consumers: HashMap<String, Vec<(usize, usize)>>,
-    /// channel → consumer (subscription, task, port).
-    channel_consumers: HashMap<ChannelId, Vec<(usize, usize, usize)>>,
-    /// Items published on externally visible channels (BY channel clauses).
-    published_channels: HashMap<ChannelId, Vec<Element>>,
-
-    /// Work queue: (subscription, task, port, item).
-    pending: VecDeque<(usize, usize, usize, StreamItem)>,
-    next_seq: u64,
+    pub(crate) config: MonitorConfig,
+    pub(crate) network: Network,
+    pub(crate) peers: BTreeSet<String>,
+    pub(crate) stream_db: StreamDefinitionDatabase,
+    pub(crate) subscriptions: Vec<DeployedSubscription>,
+    /// The per-peer runtimes, keyed by (normalized) peer name.
+    pub(crate) hosts: BTreeMap<String, PeerHost>,
+    /// Deployment-time routing tables.
+    pub(crate) routing: RoutingTable,
+    /// Engine-gated dispatch counters.
+    pub(crate) dispatch_stats: DispatchStats,
+    pub(crate) next_seq: u64,
+    /// Ids handed to per-peer engine registrations, globally unique.
+    pub(crate) next_filter_id: u64,
     /// Total operator invocations (a processing-cost measure for E6/E7).
     pub operator_invocations: u64,
 }
@@ -149,17 +130,11 @@ impl Monitor {
             peers: BTreeSet::new(),
             stream_db: StreamDefinitionDatabase::new(dht),
             subscriptions: Vec::new(),
-            ws_alerters: BTreeMap::new(),
-            rss_alerters: BTreeMap::new(),
-            page_alerters: BTreeMap::new(),
-            axml_alerters: BTreeMap::new(),
-            membership_alerters: BTreeMap::new(),
-            source_consumers: HashMap::new(),
-            dynamic_consumers: HashMap::new(),
-            channel_consumers: HashMap::new(),
-            published_channels: HashMap::new(),
-            pending: VecDeque::new(),
+            hosts: BTreeMap::new(),
+            routing: RoutingTable::default(),
+            dispatch_stats: DispatchStats::default(),
             next_seq: 0,
+            next_filter_id: 0,
             operator_invocations: 0,
             config,
         }
@@ -169,12 +144,30 @@ impl Monitor {
     pub fn add_peer(&mut self, peer: impl Into<String>) {
         let peer = normalize_peer(&peer.into());
         self.network.add_peer(peer.clone());
+        self.hosts
+            .entry(peer.clone())
+            .or_insert_with(|| PeerHost::new(peer.clone()));
         self.peers.insert(peer);
     }
 
     /// All registered peers.
     pub fn peers(&self) -> Vec<&str> {
         self.peers.iter().map(String::as_str).collect()
+    }
+
+    /// The per-peer runtime of a registered peer.
+    pub fn peer_host(&self, peer: &str) -> Option<&PeerHost> {
+        self.hosts.get(&normalize_peer(peer))
+    }
+
+    /// Mutable host accessor used by deployment and dispatch (creates the
+    /// host on demand so routing never dangles).
+    pub(crate) fn host_mut(&mut self, peer: &str) -> &mut PeerHost {
+        self.network.add_peer(peer.to_string());
+        self.peers.insert(peer.to_string());
+        self.hosts
+            .entry(peer.to_string())
+            .or_insert_with(|| PeerHost::new(peer.to_string()))
     }
 
     /// The current logical time (ms).
@@ -204,279 +197,23 @@ impl Monitor {
     }
 
     // ------------------------------------------------------------------
-    // Subscription submission
+    // Failure injection
     // ------------------------------------------------------------------
 
-    /// Submits a P2PML subscription to the given manager peer: compile, apply
-    /// stream reuse, place, deploy and publish the new stream definitions.
-    pub fn submit(
-        &mut self,
-        manager: &str,
-        subscription_text: &str,
-    ) -> Result<SubscriptionHandle, CompileError> {
-        let plan = compile_subscription(subscription_text)?;
-        Ok(self.deploy_plan(manager, plan))
+    /// Marks a peer as failed: its alerters stop, its queued work is
+    /// discarded and messages to/from it are dropped until it recovers.
+    pub fn fail_peer(&mut self, peer: &str) {
+        self.network.fail_peer(&normalize_peer(peer));
     }
 
-    /// Deploys an already-compiled logical plan (used by benches that bypass
-    /// the parser).
-    pub fn deploy_plan(&mut self, manager: &str, plan: LogicalPlan) -> SubscriptionHandle {
-        let manager = normalize_peer(manager);
-        self.add_peer(manager.clone());
-
-        // Algebraic optimization: push selections below unions so that every
-        // monitored peer filters its own alerts (Section 3.3's plan shape).
-        let plan = LogicalPlan {
-            root: push_selections_below_unions(plan.root),
-            by: plan.by,
-            distinct: plan.distinct,
-        };
-
-        // Stream reuse against the definition database.  Replica selection
-        // scores candidate providers by their expected latency from the
-        // manager (the "close networkwise" criterion of Section 5).
-        let (root, reuse) = if self.config.enable_reuse {
-            let latencies: BTreeMap<String, u64> = self
-                .peers
-                .iter()
-                .map(|p| (p.clone(), self.network.expected_latency(&manager, p)))
-                .collect();
-            let proximity = move |peer: &str| latencies.get(peer).copied().unwrap_or(u64::MAX / 2);
-            apply_reuse(&plan.root, &mut self.stream_db, &proximity)
-        } else {
-            (plan.root.clone(), ReuseReport::default())
-        };
-        let rewritten = LogicalPlan {
-            root,
-            by: plan.by.clone(),
-            distinct: plan.distinct,
-        };
-
-        // Placement.
-        let placed = place(&rewritten, &manager, self.config.placement);
-        for task in &placed.tasks {
-            self.add_peer(task.peer.clone());
-            if let TaskKind::Source { monitored_peer, .. } = &task.kind {
-                self.add_peer(monitored_peer.clone());
-            }
-        }
-
-        let sub_idx = self.subscriptions.len();
-        let mut operators = Vec::with_capacity(placed.tasks.len());
-        let mut routes = Vec::with_capacity(placed.tasks.len());
-
-        // Build operators, routes and consumer registrations.
-        for task in &placed.tasks {
-            operators.push(RuntimeOperator::for_kind(
-                &task.kind,
-                self.config.join_window,
-            ));
-            match &task.kind {
-                TaskKind::Source {
-                    function,
-                    monitored_peer,
-                    ..
-                } => {
-                    self.ensure_alerter(function, monitored_peer);
-                    self.source_consumers
-                        .entry((function.clone(), monitored_peer.clone()))
-                        .or_default()
-                        .push((sub_idx, task.id));
-                }
-                TaskKind::DynamicSource { function, .. } => {
-                    self.dynamic_consumers
-                        .entry(function.clone())
-                        .or_default()
-                        .push((sub_idx, task.id));
-                }
-                TaskKind::ChannelSource { channel, .. } => {
-                    self.channel_consumers
-                        .entry(channel.clone())
-                        .or_default()
-                        .push((sub_idx, task.id, 0));
-                }
-                _ => {}
-            }
-            let route = match task.downstream {
-                Some((consumer, port)) => {
-                    if placed.tasks[consumer].peer == task.peer {
-                        Route::Local {
-                            task: consumer,
-                            port,
-                        }
-                    } else {
-                        let channel =
-                            ChannelId::new(task.peer.clone(), format!("s{sub_idx}-t{}", task.id));
-                        self.channel_consumers
-                            .entry(channel.clone())
-                            .or_default()
-                            .push((sub_idx, consumer, port));
-                        Route::Channel { channel }
-                    }
-                }
-                None => Route::Publisher,
-            };
-            routes.push(route);
-        }
-
-        // Publish stream definitions for the streams this deployment creates.
-        self.publish_definitions(sub_idx, &placed, &routes);
-
-        // The published result channel, when the BY clause asks for one.
-        let published_channel = match &placed.by {
-            ByClause::Channel(name) => {
-                let channel = ChannelId::new(manager.clone(), name.clone());
-                self.published_channels.entry(channel.clone()).or_default();
-                Some(channel)
-            }
-            _ => None,
-        };
-
-        self.subscriptions.push(DeployedSubscription {
-            manager,
-            sink: Sink::new(SinkKind::from(&placed.by)),
-            placed,
-            operators,
-            routes,
-            reuse,
-            published_channel,
-        });
-        SubscriptionHandle(sub_idx)
+    /// Recovers a failed peer.
+    pub fn recover_peer(&mut self, peer: &str) {
+        self.network.recover_peer(&normalize_peer(peer));
     }
 
-    fn ensure_alerter(&mut self, function: &str, peer: &str) {
-        self.add_peer(peer.to_string());
-        match function {
-            "inCOM" => {
-                self.ws_alerters
-                    .entry((peer.to_string(), true))
-                    .or_insert_with(|| WsAlerter::new(peer, CallDirection::Incoming));
-            }
-            "outCOM" => {
-                self.ws_alerters
-                    .entry((peer.to_string(), false))
-                    .or_insert_with(|| WsAlerter::new(peer, CallDirection::Outgoing));
-            }
-            "rssFeed" => {
-                self.rss_alerters
-                    .entry(peer.to_string())
-                    .or_insert_with(|| RssAlerter::new(peer));
-            }
-            "webPage" => {
-                self.page_alerters
-                    .entry(peer.to_string())
-                    .or_insert_with(|| WebPageAlerter::new(peer, true));
-            }
-            "axmlUpdate" => {
-                self.axml_alerters
-                    .entry(peer.to_string())
-                    .or_insert_with(|| AxmlAlerter::new(peer));
-            }
-            "areRegistered" => {
-                self.membership_alerters
-                    .entry(peer.to_string())
-                    .or_insert_with(|| MembershipAlerter::new(peer));
-            }
-            _ => {}
-        }
-    }
-
-    /// Publishes the stream definitions created by a deployment: one source
-    /// definition per alerter binding, and one derived definition per
-    /// operator whose output is published on a channel and whose operand
-    /// identities are themselves published.
-    fn publish_definitions(&mut self, sub_idx: usize, placed: &PlacedPlan, routes: &[Route]) {
-        // identities[task] = the (peer, stream) this task's output stream is
-        // known as system-wide, when it is discoverable.
-        let mut identities: Vec<Option<(String, String)>> = vec![None; placed.tasks.len()];
-        // children[task] = producers feeding it, ordered by port.
-        let mut children: Vec<Vec<(usize, usize)>> = vec![Vec::new(); placed.tasks.len()];
-        for task in &placed.tasks {
-            if let Some((consumer, port)) = task.downstream {
-                children[consumer].push((port, task.id));
-            }
-        }
-        for list in &mut children {
-            list.sort_unstable();
-        }
-
-        for task in &placed.tasks {
-            match &task.kind {
-                TaskKind::Source {
-                    function,
-                    monitored_peer,
-                    ..
-                } => {
-                    let stream = format!("src-{function}");
-                    if self.stream_db.get(monitored_peer, &stream).is_none() {
-                        self.stream_db.publish(StreamDefinition::source(
-                            monitored_peer.clone(),
-                            stream.clone(),
-                            function.clone(),
-                        ));
-                    }
-                    identities[task.id] = Some((monitored_peer.clone(), stream));
-                }
-                TaskKind::ChannelSource { channel, .. } => {
-                    identities[task.id] = Some((channel.peer.clone(), channel.stream.clone()));
-                }
-                TaskKind::DynamicSource { .. } => {}
-                _ => {
-                    let operand_ids: Option<Vec<(String, String)>> = children[task.id]
-                        .iter()
-                        .map(|(_, child)| identities[*child].clone())
-                        .collect();
-                    let publishes_channel = match &routes[task.id] {
-                        Route::Channel { .. } => true,
-                        Route::Publisher => matches!(placed.by, ByClause::Channel(_)),
-                        Route::Local { .. } => false,
-                    };
-                    if !publishes_channel {
-                        continue;
-                    }
-                    let stream_name = match (&routes[task.id], &placed.by) {
-                        (Route::Publisher, ByClause::Channel(name)) => name.clone(),
-                        _ => format!("s{sub_idx}-t{}", task.id),
-                    };
-                    if let Some(operands) = operand_ids {
-                        let (operator, parameters) = match &task.kind {
-                            TaskKind::Select {
-                                simple,
-                                patterns,
-                                derived,
-                                conditions,
-                                ..
-                            } => (
-                                "Filter".to_string(),
-                                select_parameters(simple, patterns, derived, conditions),
-                            ),
-                            TaskKind::Join {
-                                left_key,
-                                right_key,
-                                residual,
-                            } => (
-                                "Join".to_string(),
-                                join_parameters(left_key, right_key, residual),
-                            ),
-                            TaskKind::Union { .. } => ("Union".to_string(), String::new()),
-                            TaskKind::Dedup => ("DuplicateRemoval".to_string(), String::new()),
-                            TaskKind::Restructure { template, .. } => {
-                                ("Restructure".to_string(), template.source().to_string())
-                            }
-                            _ => unreachable!("sources handled above"),
-                        };
-                        self.stream_db.publish(StreamDefinition::derived(
-                            task.peer.clone(),
-                            stream_name.clone(),
-                            operator,
-                            parameters,
-                            operands,
-                        ));
-                        identities[task.id] = Some((task.peer.clone(), stream_name));
-                    }
-                }
-            }
-        }
+    /// True when the peer is currently failed.
+    pub fn is_peer_down(&self, peer: &str) -> bool {
+        self.network.is_down(&normalize_peer(peer))
     }
 
     // ------------------------------------------------------------------
@@ -489,62 +226,60 @@ impl Monitor {
     pub fn inject_soap_call(&mut self, call: &SoapCall) {
         let caller = normalize_peer(&call.caller);
         let callee = normalize_peer(&call.callee);
-        if let Some(alerter) = self.ws_alerters.get_mut(&(caller, false)) {
+        if let Some(alerter) = self
+            .hosts
+            .get_mut(&caller)
+            .and_then(|h| h.alerters.ws_out.as_mut())
+        {
             alerter.observe(call);
         }
-        if let Some(alerter) = self.ws_alerters.get_mut(&(callee, true)) {
+        if let Some(alerter) = self
+            .hosts
+            .get_mut(&callee)
+            .and_then(|h| h.alerters.ws_in.as_mut())
+        {
             alerter.observe(call);
         }
         // Dynamic sources see every call of their function, and filter by
         // membership themselves.
         let dynamic_in: Vec<(usize, usize)> = self
+            .routing
             .dynamic_consumers
             .get("inCOM")
             .cloned()
             .unwrap_or_default();
         let dynamic_out: Vec<(usize, usize)> = self
+            .routing
             .dynamic_consumers
             .get("outCOM")
             .cloned()
             .unwrap_or_default();
         if !dynamic_in.is_empty() {
-            let alert = WsAlerter::alert_for(call, CallDirection::Incoming);
-            self.feed_dynamic(&normalize_peer(&call.callee), &dynamic_in, alert);
+            let alert = WsAlerter::alert_for(call, p2pmon_alerters::CallDirection::Incoming);
+            self.feed_dynamic(&callee, &dynamic_in, alert);
         }
         if !dynamic_out.is_empty() {
-            let alert = WsAlerter::alert_for(call, CallDirection::Outgoing);
-            self.feed_dynamic(&normalize_peer(&call.caller), &dynamic_out, alert);
-        }
-    }
-
-    fn feed_dynamic(&mut self, origin: &str, consumers: &[(usize, usize)], alert: Element) {
-        for &(sub, task) in consumers {
-            let task_peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
-            if task_peer != origin {
-                // Account the transfer of the raw alert to the dynamic source.
-                self.network.send(origin, &task_peer, None, alert.clone());
-            }
-            let item = self.make_item(alert.clone());
-            self.pending.push_back((sub, task, 0, item));
+            let alert = WsAlerter::alert_for(call, p2pmon_alerters::CallDirection::Outgoing);
+            self.feed_dynamic(&caller, &dynamic_out, alert);
         }
     }
 
     /// Injects a new snapshot of an RSS feed observed at `peer`.
     pub fn inject_rss_snapshot(&mut self, peer: &str, url: &str, feed: &Element) -> usize {
-        let peer = normalize_peer(peer);
-        self.ensure_alerter("rssFeed", &peer);
-        self.rss_alerters
-            .get_mut(&peer)
+        self.ensure_alerter("rssFeed", peer);
+        self.hosts
+            .get_mut(&normalize_peer(peer))
+            .and_then(|h| h.alerters.rss.as_mut())
             .expect("just ensured")
             .observe_snapshot(url, feed)
     }
 
     /// Injects a new snapshot of a Web page observed at `peer`.
     pub fn inject_page_snapshot(&mut self, peer: &str, url: &str, page: &Element) -> bool {
-        let peer = normalize_peer(peer);
-        self.ensure_alerter("webPage", &peer);
-        self.page_alerters
-            .get_mut(&peer)
+        self.ensure_alerter("webPage", peer);
+        self.hosts
+            .get_mut(&normalize_peer(peer))
+            .and_then(|h| h.alerters.page.as_mut())
             .expect("just ensured")
             .observe_snapshot(url, page)
     }
@@ -552,10 +287,10 @@ impl Monitor {
     /// The ActiveXML repository monitored at `peer` (updates applied to it
     /// produce alerts).
     pub fn axml_repository_mut(&mut self, peer: &str) -> &mut p2pmon_activexml::Repository {
-        let peer = normalize_peer(peer);
-        self.ensure_alerter("axmlUpdate", &peer);
-        self.axml_alerters
-            .get_mut(&peer)
+        self.ensure_alerter("axmlUpdate", peer);
+        self.hosts
+            .get_mut(&normalize_peer(peer))
+            .and_then(|h| h.alerters.axml.as_mut())
             .expect("just ensured")
             .repository_mut()
     }
@@ -563,261 +298,22 @@ impl Monitor {
     /// Records a membership join in the monitored DHT whose `areRegistered`
     /// alerter runs at `alerter_peer`.
     pub fn inject_peer_join(&mut self, alerter_peer: &str, joining: &str) {
-        let alerter_peer = normalize_peer(alerter_peer);
-        self.ensure_alerter("areRegistered", &alerter_peer);
-        self.membership_alerters
-            .get_mut(&alerter_peer)
+        self.ensure_alerter("areRegistered", alerter_peer);
+        self.hosts
+            .get_mut(&normalize_peer(alerter_peer))
+            .and_then(|h| h.alerters.membership.as_mut())
             .expect("just ensured")
             .observe_join(normalize_peer(joining));
     }
 
     /// Records a membership leave.
     pub fn inject_peer_leave(&mut self, alerter_peer: &str, leaving: &str) {
-        let alerter_peer = normalize_peer(alerter_peer);
-        self.ensure_alerter("areRegistered", &alerter_peer);
-        self.membership_alerters
-            .get_mut(&alerter_peer)
+        self.ensure_alerter("areRegistered", alerter_peer);
+        self.hosts
+            .get_mut(&normalize_peer(alerter_peer))
+            .and_then(|h| h.alerters.membership.as_mut())
             .expect("just ensured")
             .observe_leave(&normalize_peer(leaving));
-    }
-
-    // ------------------------------------------------------------------
-    // Execution
-    // ------------------------------------------------------------------
-
-    fn make_item(&mut self, data: Element) -> StreamItem {
-        let item = StreamItem::new(self.next_seq, self.network.now(), data);
-        self.next_seq += 1;
-        item
-    }
-
-    /// Drains every alerter's buffered alerts into the deployed source tasks.
-    fn drain_alerters(&mut self) {
-        let mut feeds: Vec<(String, String, Vec<Element>)> = Vec::new();
-        for ((peer, incoming), alerter) in &mut self.ws_alerters {
-            let function = if *incoming { "inCOM" } else { "outCOM" };
-            let alerts = alerter.drain();
-            if !alerts.is_empty() {
-                feeds.push((function.to_string(), peer.clone(), alerts));
-            }
-        }
-        for (peer, alerter) in &mut self.rss_alerters {
-            let alerts = alerter.drain();
-            if !alerts.is_empty() {
-                feeds.push(("rssFeed".to_string(), peer.clone(), alerts));
-            }
-        }
-        for (peer, alerter) in &mut self.page_alerters {
-            let alerts = alerter.drain();
-            if !alerts.is_empty() {
-                feeds.push(("webPage".to_string(), peer.clone(), alerts));
-            }
-        }
-        for (peer, alerter) in &mut self.axml_alerters {
-            let alerts = alerter.drain();
-            if !alerts.is_empty() {
-                feeds.push(("axmlUpdate".to_string(), peer.clone(), alerts));
-            }
-        }
-        for (peer, alerter) in &mut self.membership_alerters {
-            let alerts = alerter.drain();
-            if !alerts.is_empty() {
-                feeds.push(("areRegistered".to_string(), peer.clone(), alerts));
-            }
-        }
-
-        for (function, peer, alerts) in feeds {
-            let consumers = self
-                .source_consumers
-                .get(&(function.clone(), peer.clone()))
-                .cloned()
-                .unwrap_or_default();
-            let dynamic = self
-                .dynamic_consumers
-                .get(&function)
-                .cloned()
-                .unwrap_or_default();
-            // Subscribers of the alerter's *published source stream* (other
-            // subscriptions that reuse `src-<function>@peer`) receive every
-            // alert over the network.
-            let source_channel = ChannelId::new(peer.clone(), format!("src-{function}"));
-            let source_subscribers = self
-                .channel_consumers
-                .get(&source_channel)
-                .cloned()
-                .unwrap_or_default();
-            for alert in alerts {
-                for &(sub, task) in &consumers {
-                    let item = self.make_item(alert.clone());
-                    self.pending.push_back((sub, task, 0, item));
-                }
-                for (consumer_sub, consumer_task, _port) in &source_subscribers {
-                    let consumer_peer = self.subscriptions[*consumer_sub].placed.tasks
-                        [*consumer_task]
-                        .peer
-                        .clone();
-                    self.network.send(
-                        &peer,
-                        &consumer_peer,
-                        Some(source_channel.clone()),
-                        alert.clone(),
-                    );
-                }
-                // Membership alerters also feed dynamic sources' port 1 is
-                // wired through the plan itself, so only non-membership
-                // functions are fanned out here.
-                if function != "areRegistered" {
-                    for &(sub, task) in &dynamic {
-                        let task_peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
-                        if task_peer != peer {
-                            self.network.send(&peer, &task_peer, None, alert.clone());
-                        }
-                        let item = self.make_item(alert.clone());
-                        self.pending.push_back((sub, task, 0, item));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Processes the local work queue until empty.
-    fn process_pending(&mut self) {
-        while let Some((sub_idx, task_id, port, item)) = self.pending.pop_front() {
-            self.operator_invocations += 1;
-            let outputs = {
-                let sub = &mut self.subscriptions[sub_idx];
-                sub.operators[task_id].on_item(port, &item).items
-            };
-            if outputs.is_empty() {
-                continue;
-            }
-            let route = self.subscriptions[sub_idx].routes[task_id].clone();
-            for output in outputs {
-                match &route {
-                    Route::Local { task, port } => {
-                        let item = self.make_item(output);
-                        self.pending.push_back((sub_idx, *task, *port, item));
-                    }
-                    Route::Channel { channel } => {
-                        self.emit_on_channel(sub_idx, task_id, channel.clone(), output);
-                    }
-                    Route::Publisher => {
-                        self.deliver_result(sub_idx, output);
-                    }
-                }
-            }
-        }
-    }
-
-    fn emit_on_channel(
-        &mut self,
-        _sub: usize,
-        task_id: usize,
-        channel: ChannelId,
-        output: Element,
-    ) {
-        let producer_peer = channel.peer.clone();
-        let consumers = self
-            .channel_consumers
-            .get(&channel)
-            .cloned()
-            .unwrap_or_default();
-        for (consumer_sub, consumer_task, _port) in consumers {
-            let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
-                .peer
-                .clone();
-            self.network.send(
-                &producer_peer,
-                &consumer_peer,
-                Some(channel.clone()),
-                output.clone(),
-            );
-        }
-        let _ = task_id;
-    }
-
-    fn deliver_result(&mut self, sub_idx: usize, output: Element) {
-        // Ship the result from the peer that produced it to the manager's
-        // publisher (counted as network traffic when they differ).
-        let root_peer = {
-            let sub = &self.subscriptions[sub_idx];
-            sub.placed.tasks[sub.placed.root].peer.clone()
-        };
-        let manager_peer = self.subscriptions[sub_idx].manager.clone();
-        if root_peer != manager_peer {
-            self.network
-                .send(&root_peer, &manager_peer, None, output.clone());
-        }
-        self.subscriptions[sub_idx].sink.deliver(output.clone());
-        if let Some(channel) = self.subscriptions[sub_idx].published_channel.clone() {
-            self.published_channels
-                .entry(channel.clone())
-                .or_default()
-                .push(output.clone());
-            // Other subscriptions (or external peers) subscribed to the
-            // published channel receive the item over the network.
-            let consumers = self
-                .channel_consumers
-                .get(&channel)
-                .cloned()
-                .unwrap_or_default();
-            let manager = self.subscriptions[sub_idx].manager.clone();
-            for (consumer_sub, consumer_task, _port) in consumers {
-                let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
-                    .peer
-                    .clone();
-                self.network.send(
-                    &manager,
-                    &consumer_peer,
-                    Some(channel.clone()),
-                    output.clone(),
-                );
-            }
-        }
-    }
-
-    /// Delivers in-flight network messages and feeds channel traffic into the
-    /// consuming tasks.  Returns the number of delivered messages.
-    fn deliver_network(&mut self) -> usize {
-        let delivered = self.network.run_until_idle();
-        if delivered == 0 {
-            return 0;
-        }
-        let peers: Vec<String> = self.peers.iter().cloned().collect();
-        for peer in peers {
-            for message in self.network.take_inbox(&peer) {
-                let Some(channel) = message.channel.clone() else {
-                    continue;
-                };
-                let consumers = self
-                    .channel_consumers
-                    .get(&channel)
-                    .cloned()
-                    .unwrap_or_default();
-                for (sub, task, port) in consumers {
-                    if self.subscriptions[sub].placed.tasks[task].peer == peer {
-                        let item = self.make_item(message.payload.clone());
-                        self.pending.push_back((sub, task, port, item));
-                    }
-                }
-            }
-        }
-        delivered
-    }
-
-    /// One simulation round: drain alerters, process local work, deliver
-    /// network traffic.  Returns `true` when any work was done.
-    pub fn tick(&mut self) -> bool {
-        self.drain_alerters();
-        let had_local = !self.pending.is_empty();
-        self.process_pending();
-        let delivered = self.deliver_network();
-        had_local || delivered > 0
-    }
-
-    /// Runs rounds until the system is quiescent.
-    pub fn run_until_idle(&mut self) {
-        while self.tick() {}
     }
 
     // ------------------------------------------------------------------
@@ -839,7 +335,8 @@ impl Monitor {
 
     /// Items published so far on a named channel at the given manager peer.
     pub fn published_channel(&self, manager: &str, name: &str) -> Vec<Element> {
-        self.published_channels
+        self.routing
+            .published_channels
             .get(&ChannelId::new(normalize_peer(manager), name))
             .cloned()
             .unwrap_or_default()
@@ -854,222 +351,50 @@ impl Monitor {
             .unwrap_or(0)
     }
 
+    /// The shared filter engine statistics of one peer.
+    pub fn peer_filter_stats(&self, peer: &str) -> Option<FilterStats> {
+        self.hosts
+            .get(&normalize_peer(peer))
+            .map(PeerHost::filter_stats)
+    }
+
+    /// Aggregate filter-engine statistics across every peer.
+    pub fn filter_stats(&self) -> FilterStats {
+        let mut total = FilterStats::default();
+        for host in self.hosts.values() {
+            total.absorb(&host.filter_stats());
+        }
+        total
+    }
+
+    /// Counters for the engine-gated dispatch path.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.dispatch_stats
+    }
+
     /// A deployment / execution report for a subscription.
     pub fn report(&self, handle: &SubscriptionHandle) -> Option<SubscriptionReport> {
-        self.subscriptions
-            .get(handle.0)
-            .map(|s| SubscriptionReport {
+        self.subscriptions.get(handle.0).map(|s| {
+            let mut select_peers: Vec<String> = s
+                .placed
+                .tasks
+                .iter()
+                .filter(|t| matches!(t.kind, TaskKind::Select { .. }))
+                .map(|t| t.peer.clone())
+                .collect();
+            select_peers.sort();
+            select_peers.dedup();
+            SubscriptionReport {
                 manager: s.manager.clone(),
                 tasks: s.placed.tasks.len(),
                 cross_peer_edges: s.placed.cross_peer_edges(),
                 reuse: s.reuse.clone(),
                 results_delivered: s.sink.len(),
-            })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use p2pmon_p2pml::METEO_SUBSCRIPTION;
-    use p2pmon_xmlkit::parse;
-
-    fn meteo_monitor(placement: PlacementStrategy, enable_reuse: bool) -> Monitor {
-        let mut monitor = Monitor::new(MonitorConfig {
-            placement,
-            enable_reuse,
-            ..MonitorConfig::default()
-        });
-        for peer in ["p", "a.com", "b.com", "meteo.com"] {
-            monitor.add_peer(peer);
-        }
-        monitor
-    }
-
-    fn slow_call(id: u64, caller: &str) -> SoapCall {
-        SoapCall::new(
-            id,
-            caller,
-            "http://meteo.com",
-            "GetTemperature",
-            1_000,
-            1_020,
-        )
-    }
-
-    fn fast_call(id: u64, caller: &str) -> SoapCall {
-        SoapCall::new(
-            id,
-            caller,
-            "http://meteo.com",
-            "GetTemperature",
-            1_000,
-            1_003,
-        )
-    }
-
-    #[test]
-    fn meteo_subscription_detects_only_slow_answers() {
-        let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
-        let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
-        monitor.inject_soap_call(&slow_call(1, "http://a.com"));
-        monitor.inject_soap_call(&fast_call(2, "http://a.com"));
-        monitor.inject_soap_call(&slow_call(3, "http://b.com"));
-        monitor.inject_soap_call(&slow_call(4, "http://other.com")); // unmonitored caller
-        monitor.run_until_idle();
-        let results = monitor.results(&handle);
-        assert_eq!(results.len(), 2);
-        assert!(results.iter().all(|r| r.attr("type") == Some("slowAnswer")));
-        // The published channel carries the same items.
-        assert_eq!(monitor.published_channel("p", "alertQoS").len(), 2);
-    }
-
-    #[test]
-    fn centralized_and_pushdown_agree_on_results_but_not_on_traffic() {
-        let mut results = Vec::new();
-        let mut bytes = Vec::new();
-        for placement in [
-            PlacementStrategy::PushToSources,
-            PlacementStrategy::Centralized,
-        ] {
-            let mut monitor = meteo_monitor(placement, false);
-            let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
-            for i in 0..20u64 {
-                if i % 4 == 0 {
-                    monitor.inject_soap_call(&slow_call(i, "http://a.com"));
-                } else {
-                    monitor.inject_soap_call(&fast_call(i, "http://a.com"));
-                }
-                monitor.inject_soap_call(&fast_call(1000 + i, "http://b.com"));
+                filter_stats: select_peers
+                    .into_iter()
+                    .filter_map(|p| self.hosts.get(&p).map(|h| (p, h.filter_stats())))
+                    .collect(),
             }
-            monitor.run_until_idle();
-            results.push(monitor.results(&handle).len());
-            bytes.push(monitor.network_stats().total_bytes);
-        }
-        assert_eq!(results[0], results[1], "both plans find the same incidents");
-        assert!(results[0] > 0);
-        assert!(
-            bytes[0] < bytes[1],
-            "pushdown ({}) must move fewer bytes than centralized ({})",
-            bytes[0],
-            bytes[1]
-        );
-    }
-
-    #[test]
-    fn second_identical_subscription_reuses_published_streams() {
-        let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
-        let first = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
-        let second_manager = "observer.org";
-        monitor.add_peer(second_manager);
-        let second = monitor.submit(second_manager, METEO_SUBSCRIPTION).unwrap();
-
-        let report_first = monitor.report(&first).unwrap();
-        let report_second = monitor.report(&second).unwrap();
-        assert_eq!(report_first.reuse.reused_nodes, 0);
-        assert!(
-            report_second.reuse.reused_nodes > 0,
-            "the second subscription should reuse at least the alerter/filter streams"
-        );
-        assert!(report_second.tasks < report_first.tasks);
-
-        // Both subscriptions still deliver the same incidents.
-        monitor.inject_soap_call(&slow_call(1, "http://a.com"));
-        monitor.run_until_idle();
-        assert_eq!(monitor.results(&first).len(), 1);
-        assert_eq!(monitor.results(&second).len(), 1);
-    }
-
-    #[test]
-    fn rss_subscription_routes_add_alerts_to_email_sink() {
-        let mut monitor = Monitor::new(MonitorConfig::default());
-        monitor.add_peer("portal");
-        monitor.add_peer("admin");
-        let handle = monitor
-            .submit(
-                "admin",
-                r#"for $e in rssFeed(<p>portal</p>)
-                   where $e.kind = "add"
-                   return <new entry="{$e.entry}"/>
-                   by email "ops@example.org";"#,
-            )
-            .unwrap();
-        let v1 = parse("<rss><channel><item><guid>1</guid><title>a</title></item></channel></rss>")
-            .unwrap();
-        let v2 = parse(
-            "<rss><channel><item><guid>1</guid><title>a</title></item><item><guid>2</guid><title>b</title></item></channel></rss>",
-        )
-        .unwrap();
-        monitor.inject_rss_snapshot("portal", "http://portal/feed", &v1);
-        monitor.run_until_idle();
-        monitor.inject_rss_snapshot("portal", "http://portal/feed", &v2);
-        monitor.run_until_idle();
-        // First snapshot: 1 add; second: 1 add — both pass the kind filter.
-        assert_eq!(monitor.results(&handle).len(), 2);
-        let rendered = monitor.sink(&handle).unwrap().render();
-        assert!(rendered.contains("To: ops@example.org"));
-    }
-
-    #[test]
-    fn dynamic_membership_subscription_follows_joins_and_leaves() {
-        let mut monitor = Monitor::new(MonitorConfig::default());
-        for p in ["hub", "dht.example", "a.com", "b.com"] {
-            monitor.add_peer(p);
-        }
-        let handle = monitor
-            .submit(
-                "hub",
-                r#"for $j in areRegistered(<p>dht.example</p>), $c in inCOM($j)
-                   where $c.callMethod = "Query"
-                   return <q callee="{$c.callee}"/>
-                   by publish as channel "usage";"#,
-            )
-            .unwrap();
-        // a.com joins; b.com never joins.
-        monitor.inject_peer_join("dht.example", "a.com");
-        monitor.run_until_idle();
-        monitor.inject_soap_call(&SoapCall::new(1, "x.org", "a.com", "Query", 10, 12));
-        monitor.inject_soap_call(&SoapCall::new(2, "x.org", "b.com", "Query", 10, 12));
-        monitor.run_until_idle();
-        assert_eq!(monitor.results(&handle).len(), 1);
-        // After a.com leaves, its calls are no longer reported.
-        monitor.inject_peer_leave("dht.example", "a.com");
-        monitor.run_until_idle();
-        monitor.inject_soap_call(&SoapCall::new(3, "x.org", "a.com", "Query", 20, 22));
-        monitor.run_until_idle();
-        assert_eq!(monitor.results(&handle).len(), 1);
-    }
-
-    #[test]
-    fn join_state_is_bounded_by_the_window() {
-        let mut monitor = Monitor::new(MonitorConfig {
-            join_window: Window::items(8),
-            ..MonitorConfig::default()
-        });
-        for peer in ["p", "a.com", "b.com", "meteo.com"] {
-            monitor.add_peer(peer);
-        }
-        let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
-        for i in 0..200u64 {
-            monitor.inject_soap_call(&slow_call(i, "http://a.com"));
-        }
-        monitor.run_until_idle();
-        assert!(monitor.state_bytes(&handle) > 0);
-        assert!(
-            monitor.state_bytes(&handle) < 100_000,
-            "windowed join must not retain all 200 calls"
-        );
-    }
-
-    #[test]
-    fn report_counts_tasks_and_edges() {
-        let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
-        let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
-        let report = monitor.report(&handle).unwrap();
-        assert_eq!(report.manager, "p");
-        assert!(report.tasks >= 7);
-        assert!(report.cross_peer_edges >= 2);
-        assert_eq!(report.results_delivered, 0);
-        assert_eq!(monitor.subscription_count(), 1);
+        })
     }
 }

@@ -1,0 +1,250 @@
+//! The per-peer runtime: one [`PeerHost`] per participating peer.
+//!
+//! The paper's Figure 2 peer hosts alerters, stream processors and a *shared*
+//! two-stage filtering processor (preFilter → AESFilter → YFilterσ, Figure 5)
+//! through which every alert entering the peer flows once, no matter how many
+//! hosted subscriptions want it.  `PeerHost` reproduces that decomposition:
+//!
+//! * the peer's **alerters** (one per alerter function, [`AlerterSet`]),
+//! * the peer's **shared [`FilterEngine`]**, holding the simple conditions
+//!   and tree patterns of every `Select` task deployed on this peer,
+//! * the peer's **work queue** of pending [`Work`] items for its hosted
+//!   tasks.
+//!
+//! The [`crate::Monitor`] façade owns the set of hosts plus the network and
+//! the DHT; routing between hosts lives in [`crate::dispatch`].
+
+use std::collections::{HashMap, VecDeque};
+
+use p2pmon_alerters::{
+    Alerter, AxmlAlerter, CallDirection, MembershipAlerter, RssAlerter, WebPageAlerter, WsAlerter,
+};
+use p2pmon_filter::{FilterEngine, FilterStats, FilterSubscription, SubscriptionId};
+use p2pmon_streams::StreamItem;
+use p2pmon_xmlkit::Element;
+
+/// One unit of pending work: an item addressed to a hosted task.
+#[derive(Debug, Clone)]
+pub(crate) struct Work {
+    /// Subscription index.
+    pub sub: usize,
+    /// Task id within the subscription's placed plan.
+    pub task: usize,
+    /// Input port of the task.
+    pub port: usize,
+    /// The item to deliver.
+    pub item: StreamItem,
+    /// True when the peer's shared engine already verified the simple
+    /// conditions and tree patterns of the (Select) task this work is
+    /// addressed to — the operator then only runs its residual check
+    /// (LET derivations + general conditions).
+    pub prefiltered: bool,
+}
+
+/// The alerters installed on one peer, at most one per function (plus one per
+/// direction for Web-service calls).
+#[derive(Default)]
+pub(crate) struct AlerterSet {
+    pub ws_in: Option<WsAlerter>,
+    pub ws_out: Option<WsAlerter>,
+    pub rss: Option<RssAlerter>,
+    pub page: Option<WebPageAlerter>,
+    pub axml: Option<AxmlAlerter>,
+    pub membership: Option<MembershipAlerter>,
+}
+
+impl AlerterSet {
+    /// Installs the alerter for `function` (idempotent).
+    pub fn ensure(&mut self, function: &str, peer: &str) {
+        match function {
+            "inCOM" => {
+                self.ws_in
+                    .get_or_insert_with(|| WsAlerter::new(peer, CallDirection::Incoming));
+            }
+            "outCOM" => {
+                self.ws_out
+                    .get_or_insert_with(|| WsAlerter::new(peer, CallDirection::Outgoing));
+            }
+            "rssFeed" => {
+                self.rss.get_or_insert_with(|| RssAlerter::new(peer));
+            }
+            "webPage" => {
+                self.page
+                    .get_or_insert_with(|| WebPageAlerter::new(peer, true));
+            }
+            "axmlUpdate" => {
+                self.axml.get_or_insert_with(|| AxmlAlerter::new(peer));
+            }
+            "areRegistered" => {
+                self.membership
+                    .get_or_insert_with(|| MembershipAlerter::new(peer));
+            }
+            _ => {}
+        }
+    }
+
+    /// Drains every installed alerter, returning `(function, alerts)` pairs
+    /// in a fixed function order.
+    pub fn drain_all(&mut self) -> Vec<(&'static str, Vec<Element>)> {
+        let mut out = Vec::new();
+        let mut take = |function: &'static str, alerts: Vec<Element>| {
+            if !alerts.is_empty() {
+                out.push((function, alerts));
+            }
+        };
+        if let Some(a) = &mut self.ws_in {
+            take("inCOM", a.drain());
+        }
+        if let Some(a) = &mut self.ws_out {
+            take("outCOM", a.drain());
+        }
+        if let Some(a) = &mut self.rss {
+            take("rssFeed", a.drain());
+        }
+        if let Some(a) = &mut self.page {
+            take("webPage", a.drain());
+        }
+        if let Some(a) = &mut self.axml {
+            take("axmlUpdate", a.drain());
+        }
+        if let Some(a) = &mut self.membership {
+            take("areRegistered", a.drain());
+        }
+        out
+    }
+}
+
+/// A monitoring peer: its alerters, its shared filtering processor and its
+/// work queue.
+pub struct PeerHost {
+    /// The peer's name (normalized).
+    name: String,
+    /// The shared two-stage filtering processor for every `Select` task
+    /// hosted on this peer.
+    pub(crate) engine: FilterEngine,
+    /// `(subscription, task)` of a hosted Select → its engine registration.
+    gates: HashMap<(usize, usize), SubscriptionId>,
+    /// Pending work for tasks hosted on this peer.
+    pub(crate) queue: VecDeque<Work>,
+    /// The alerters installed on this peer.
+    pub(crate) alerters: AlerterSet,
+    /// Number of tasks deployed on this peer (across subscriptions).
+    hosted_tasks: usize,
+}
+
+impl PeerHost {
+    /// Creates an empty host for `name`.
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        PeerHost {
+            name: name.into(),
+            engine: FilterEngine::new(),
+            gates: HashMap::new(),
+            queue: VecDeque::new(),
+            alerters: AlerterSet::default(),
+            hosted_tasks: 0,
+        }
+    }
+
+    /// The peer's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks deployed on this peer.
+    pub fn hosted_tasks(&self) -> usize {
+        self.hosted_tasks
+    }
+
+    /// Number of `Select` tasks registered with the shared engine.
+    pub fn registered_selects(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The shared engine's statistics.
+    pub fn filter_stats(&self) -> FilterStats {
+        self.engine.stats
+    }
+
+    /// Records that a task was deployed here.
+    pub(crate) fn task_deployed(&mut self) {
+        self.hosted_tasks += 1;
+    }
+
+    /// Registers a hosted Select task's simple conditions and tree patterns
+    /// with the shared engine (the *offline adjustment* of Figure 5,
+    /// performed at deployment time).
+    pub(crate) fn register_select(&mut self, sub: usize, task: usize, filter: FilterSubscription) {
+        self.gates.insert((sub, task), filter.id);
+        self.engine.add(filter);
+    }
+
+    /// Unregisters a Select task (teardown path).
+    #[allow(dead_code)] // subscription teardown is a ROADMAP follow-on
+    pub(crate) fn unregister_select(&mut self, sub: usize, task: usize) -> bool {
+        match self.gates.remove(&(sub, task)) {
+            Some(id) => self.engine.remove(id),
+            None => false,
+        }
+    }
+
+    /// The engine registration gating a hosted Select task, if any.
+    pub(crate) fn gate(&self, sub: usize, task: usize) -> Option<SubscriptionId> {
+        self.gates.get(&(sub, task)).copied()
+    }
+
+    /// Enqueues work for a hosted task.
+    pub(crate) fn enqueue(&mut self, work: Work) {
+        self.queue.push_back(work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pmon_streams::AttrCondition;
+    use p2pmon_xmlkit::parse;
+    use p2pmon_xmlkit::path::CompareOp;
+
+    #[test]
+    fn alerter_set_installs_once_and_drains_in_fixed_order() {
+        let mut set = AlerterSet::default();
+        set.ensure("outCOM", "a.com");
+        set.ensure("outCOM", "a.com");
+        set.ensure("rssFeed", "a.com");
+        assert!(set.ws_out.is_some());
+        assert!(set.ws_in.is_none());
+        let call = p2pmon_alerters::SoapCall::new(1, "a.com", "b.com", "Get", 10, 15);
+        set.ws_out.as_mut().unwrap().observe(&call);
+        let drained = set.drain_all();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, "outCOM");
+        assert_eq!(drained[0].1.len(), 1);
+        assert!(set.drain_all().is_empty(), "drained alerts do not reappear");
+    }
+
+    #[test]
+    fn select_registration_gates_through_the_shared_engine() {
+        let mut host = PeerHost::new("hub.net");
+        let filter = FilterSubscription::new(7).with_simple(vec![AttrCondition::new(
+            "callMethod",
+            CompareOp::Eq,
+            "Get",
+        )]);
+        host.register_select(3, 2, filter);
+        assert_eq!(host.gate(3, 2), Some(SubscriptionId(7)));
+        assert_eq!(host.gate(3, 1), None);
+        assert_eq!(host.registered_selects(), 1);
+        let hit = parse(r#"<alert callMethod="Get"/>"#).unwrap();
+        let miss = parse(r#"<alert callMethod="Put"/>"#).unwrap();
+        assert!(host
+            .engine
+            .process(&hit)
+            .matched
+            .contains(&SubscriptionId(7)));
+        assert!(host.engine.process(&miss).matched.is_empty());
+        assert_eq!(host.filter_stats().documents, 2);
+        assert!(host.unregister_select(3, 2));
+        assert!(!host.unregister_select(3, 2));
+        assert_eq!(host.registered_selects(), 0);
+    }
+}

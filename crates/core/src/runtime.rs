@@ -193,30 +193,9 @@ impl RuntimeOperator {
                 conditions,
                 examined,
                 passed,
-            } => {
-                *examined += 1;
-                let mut bindings = Bindings::from_element(&item.data, var);
-                let tree = bindings
-                    .tree(var)
-                    .cloned()
-                    .unwrap_or_else(|| item.data.clone());
-                if !simple.iter().all(|c| c.eval(&tree)) {
-                    return RuntimeOutput::none();
-                }
-                if !patterns.iter().all(|p| p.matches(&tree)) {
-                    return RuntimeOutput::none();
-                }
-                for (name, expr) in derived.iter() {
-                    if let Some(value) = expr.eval(&bindings) {
-                        bindings.bind_value(name.clone(), value);
-                    }
-                }
-                if !conditions.iter().all(|c| c.eval(&bindings)) {
-                    return RuntimeOutput::none();
-                }
-                *passed += 1;
-                RuntimeOutput::many(vec![item.data.clone()])
-            }
+            } => eval_select(
+                var, simple, patterns, derived, conditions, examined, passed, item, false,
+            ),
             RuntimeOperator::Union(op) => RuntimeOutput::many(op.on_item(port, item).items),
             RuntimeOperator::Join(op) => RuntimeOutput::many(op.on_item(port, item).items),
             RuntimeOperator::Dedup(op) => RuntimeOutput::many(op.on_item(port, item).items),
@@ -235,6 +214,68 @@ impl RuntimeOperator {
             }
         }
     }
+
+    /// Delivers an item whose simple conditions and tree patterns were
+    /// already verified by the host peer's shared filter engine: a `Select`
+    /// only runs its residual check (LET derivations + general conditions);
+    /// every other operator behaves exactly like [`RuntimeOperator::on_item`].
+    pub fn on_item_prefiltered(&mut self, port: usize, item: &StreamItem) -> RuntimeOutput {
+        match self {
+            RuntimeOperator::Select {
+                var,
+                simple,
+                patterns,
+                derived,
+                conditions,
+                examined,
+                passed,
+            } => eval_select(
+                var, simple, patterns, derived, conditions, examined, passed, item, true,
+            ),
+            _ => self.on_item(port, item),
+        }
+    }
+}
+
+/// The shared Select evaluation.  With `prefiltered` the simple-condition and
+/// tree-pattern stages are skipped — the peer's shared engine already ran
+/// them — leaving only the residual LET/general-condition tail.
+#[allow(clippy::too_many_arguments)]
+fn eval_select(
+    var: &str,
+    simple: &[AttrCondition],
+    patterns: &[PathPattern],
+    derived: &[(String, ValueExpr)],
+    conditions: &[Condition],
+    examined: &mut u64,
+    passed: &mut u64,
+    item: &StreamItem,
+    prefiltered: bool,
+) -> RuntimeOutput {
+    *examined += 1;
+    let mut bindings = Bindings::from_element(&item.data, var);
+    if !prefiltered {
+        let tree = bindings
+            .tree(var)
+            .cloned()
+            .unwrap_or_else(|| item.data.clone());
+        if !simple.iter().all(|c| c.eval(&tree)) {
+            return RuntimeOutput::none();
+        }
+        if !patterns.iter().all(|p| p.matches(&tree)) {
+            return RuntimeOutput::none();
+        }
+    }
+    for (name, expr) in derived.iter() {
+        if let Some(value) = expr.eval(&bindings) {
+            bindings.bind_value(name.clone(), value);
+        }
+    }
+    if !conditions.iter().all(|c| c.eval(&bindings)) {
+        return RuntimeOutput::none();
+    }
+    *passed += 1;
+    RuntimeOutput::many(vec![item.data.clone()])
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! Property test: for random alert/subscription mixes, engine-gated dispatch
+//! delivers exactly the same sink results as the pre-refactor linear path
+//! (kept behind the `naive_dispatch` config flag as the equivalence oracle).
+
+use proptest::prelude::*;
+
+use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy, SubscriptionHandle};
+use p2pmon_workloads::SubscriptionStorm;
+
+fn run_storm(
+    naive_dispatch: bool,
+    placement: PlacementStrategy,
+    enable_reuse: bool,
+    storm: &SubscriptionStorm,
+    n_subs: usize,
+    n_calls: usize,
+    traffic_seed: u64,
+) -> (Monitor, Vec<SubscriptionHandle>) {
+    let mut monitor = Monitor::new(MonitorConfig {
+        placement,
+        enable_reuse,
+        naive_dispatch,
+        ..MonitorConfig::default()
+    });
+    for peer in ["manager.org", "hub.net", "backend.net"] {
+        monitor.add_peer(peer);
+    }
+    let handles: Vec<SubscriptionHandle> = storm
+        .subscriptions(n_subs)
+        .iter()
+        .map(|text| monitor.submit("manager.org", text).expect("storm deploys"))
+        .collect();
+    let mut traffic = storm.clone_with_seed(traffic_seed);
+    for call in traffic.calls(n_calls) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    (monitor, handles)
+}
+
+trait CloneWithSeed {
+    fn clone_with_seed(&self, seed: u64) -> SubscriptionStorm;
+}
+
+impl CloneWithSeed for SubscriptionStorm {
+    fn clone_with_seed(&self, seed: u64) -> SubscriptionStorm {
+        let mut storm = SubscriptionStorm::new(seed);
+        storm.methods.clone_from(&self.methods);
+        storm.pattern_every = self.pattern_every;
+        storm.residual_every = self.residual_every;
+        storm.slow_fraction = self.slow_fraction;
+        storm.detail_fraction = self.detail_fraction;
+        storm
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_dispatch_equals_naive_dispatch(
+        seed in 0u64..10_000,
+        n_subs in 1usize..24,
+        n_calls in 1usize..32,
+        methods in 1usize..6,
+        pattern_every in 0usize..4,
+        residual_every in 0usize..5,
+        centralized in proptest::bool::ANY,
+        enable_reuse in proptest::bool::ANY,
+    ) {
+        let mut storm = SubscriptionStorm::new(seed);
+        storm.methods = (0..methods).map(|i| format!("Method{i}")).collect();
+        storm.pattern_every = pattern_every;
+        storm.residual_every = residual_every;
+        let placement = if centralized {
+            PlacementStrategy::Centralized
+        } else {
+            PlacementStrategy::PushToSources
+        };
+
+        let (engine_monitor, engine_handles) =
+            run_storm(false, placement, enable_reuse, &storm, n_subs, n_calls, seed ^ 0xbeef);
+        let (naive_monitor, naive_handles) =
+            run_storm(true, placement, enable_reuse, &storm, n_subs, n_calls, seed ^ 0xbeef);
+
+        for (e, n) in engine_handles.iter().zip(&naive_handles) {
+            prop_assert_eq!(
+                engine_monitor.results(e),
+                naive_monitor.results(n),
+                "sink divergence (seed {}, {} subs, {} calls, {:?}, reuse {})",
+                seed, n_subs, n_calls, placement, enable_reuse
+            );
+        }
+        // Gating can only remove work, never add it.
+        prop_assert!(
+            engine_monitor.operator_invocations <= naive_monitor.operator_invocations
+        );
+    }
+}

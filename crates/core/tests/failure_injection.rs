@@ -1,0 +1,140 @@
+//! Failure injection through the full Monitor path: message loss
+//! (`drop_probability > 0`) and downed peers must degrade results without
+//! panicking or deadlocking `run_until_idle`.
+
+use p2pmon_alerters::SoapCall;
+use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy};
+use p2pmon_net::NetworkConfig;
+use p2pmon_p2pml::METEO_SUBSCRIPTION;
+use p2pmon_workloads::{SoapWorkload, SubscriptionStorm};
+
+fn meteo_monitor(drop_probability: f64) -> Monitor {
+    let mut monitor = Monitor::new(MonitorConfig {
+        placement: PlacementStrategy::PushToSources,
+        enable_reuse: false,
+        network: NetworkConfig {
+            drop_probability,
+            seed: 13,
+            ..NetworkConfig::default()
+        },
+        ..MonitorConfig::default()
+    });
+    for peer in ["p", "a.com", "b.com", "meteo.com"] {
+        monitor.add_peer(peer);
+    }
+    monitor
+}
+
+fn meteo_calls(n: usize) -> Vec<SoapCall> {
+    SoapWorkload::meteo(21).calls(n)
+}
+
+#[test]
+fn message_loss_degrades_results_without_hanging() {
+    let mut clean = meteo_monitor(0.0);
+    let clean_handle = clean.submit("p", METEO_SUBSCRIPTION).unwrap();
+    let mut lossy = meteo_monitor(0.4);
+    let lossy_handle = lossy.submit("p", METEO_SUBSCRIPTION).unwrap();
+
+    for call in meteo_calls(200) {
+        clean.inject_soap_call(&call);
+        lossy.inject_soap_call(&call);
+    }
+    clean.run_until_idle();
+    lossy.run_until_idle();
+
+    let clean_results = clean.results(&clean_handle).len();
+    let lossy_results = lossy.results(&lossy_handle).len();
+    assert!(clean_results > 0, "the workload contains slow calls");
+    assert!(
+        lossy_results <= clean_results,
+        "lossy ({lossy_results}) cannot beat clean ({clean_results})"
+    );
+    assert!(lossy.network_stats().dropped_messages > 0);
+}
+
+#[test]
+fn downed_peer_degrades_results_and_recovers() {
+    let mut monitor = meteo_monitor(0.0);
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    let calls = meteo_calls(120);
+
+    for call in &calls[..40] {
+        monitor.inject_soap_call(call);
+    }
+    monitor.run_until_idle();
+    let before_failure = monitor.results(&handle).len();
+    assert!(before_failure > 0);
+
+    // meteo.com hosts the join: with it down, no further incidents form and
+    // in-flight traffic to it is dropped — but the rounds still terminate.
+    monitor.fail_peer("meteo.com");
+    assert!(monitor.is_peer_down("meteo.com"));
+    for call in &calls[40..80] {
+        monitor.inject_soap_call(call);
+    }
+    monitor.run_until_idle();
+    let during_failure = monitor.results(&handle).len();
+    assert_eq!(
+        during_failure, before_failure,
+        "a downed join peer cannot produce new incidents"
+    );
+    assert!(monitor.network_stats().dropped_messages > 0);
+
+    // After recovery the monitor keeps working on fresh traffic.
+    monitor.recover_peer("meteo.com");
+    for call in &calls[80..] {
+        monitor.inject_soap_call(call);
+    }
+    monitor.run_until_idle();
+    assert!(
+        monitor.results(&handle).len() >= during_failure,
+        "recovery must not lose already-delivered results"
+    );
+}
+
+#[test]
+fn storm_survives_loss_and_a_downed_monitored_peer() {
+    let mut monitor = Monitor::new(MonitorConfig {
+        enable_reuse: false,
+        network: NetworkConfig {
+            drop_probability: 0.25,
+            seed: 5,
+            ..NetworkConfig::default()
+        },
+        ..MonitorConfig::default()
+    });
+    for peer in ["manager.org", "hub.net", "backend.net"] {
+        monitor.add_peer(peer);
+    }
+    let storm = SubscriptionStorm::new(2);
+    let handles: Vec<_> = storm
+        .subscriptions(24)
+        .iter()
+        .map(|text| monitor.submit("manager.org", text).unwrap())
+        .collect();
+
+    let mut traffic = SubscriptionStorm::new(17);
+    for call in traffic.calls(30) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let mid: usize = handles.iter().map(|h| monitor.results(h).len()).sum();
+    assert!(mid > 0, "storm traffic matches some subscriptions");
+
+    // The monitored peer itself goes down: its alerters stop draining, so no
+    // new alerts enter the system, and the rounds still terminate.
+    monitor.fail_peer("hub.net");
+    for call in traffic.calls(30) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let down: usize = handles.iter().map(|h| monitor.results(h).len()).sum();
+    assert_eq!(down, mid, "a downed monitored peer produces no alerts");
+
+    // On recovery, the alerts buffered while down drain and results resume.
+    monitor.recover_peer("hub.net");
+    monitor.run_until_idle();
+    let recovered: usize = handles.iter().map(|h| monitor.results(h).len()).sum();
+    assert!(recovered >= down);
+}

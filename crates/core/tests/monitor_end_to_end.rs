@@ -1,0 +1,228 @@
+//! End-to-end Monitor behaviour (formerly `monitor.rs` unit tests, kept as
+//! integration tests of the façade's public API after the PeerHost
+//! decomposition).
+
+use p2pmon_alerters::SoapCall;
+use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy};
+use p2pmon_p2pml::METEO_SUBSCRIPTION;
+use p2pmon_streams::ops::Window;
+use p2pmon_xmlkit::parse;
+
+fn meteo_monitor(placement: PlacementStrategy, enable_reuse: bool) -> Monitor {
+    let mut monitor = Monitor::new(MonitorConfig {
+        placement,
+        enable_reuse,
+        ..MonitorConfig::default()
+    });
+    for peer in ["p", "a.com", "b.com", "meteo.com"] {
+        monitor.add_peer(peer);
+    }
+    monitor
+}
+
+fn slow_call(id: u64, caller: &str) -> SoapCall {
+    SoapCall::new(
+        id,
+        caller,
+        "http://meteo.com",
+        "GetTemperature",
+        1_000,
+        1_020,
+    )
+}
+
+fn fast_call(id: u64, caller: &str) -> SoapCall {
+    SoapCall::new(
+        id,
+        caller,
+        "http://meteo.com",
+        "GetTemperature",
+        1_000,
+        1_003,
+    )
+}
+
+#[test]
+fn meteo_subscription_detects_only_slow_answers() {
+    let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    monitor.inject_soap_call(&slow_call(1, "http://a.com"));
+    monitor.inject_soap_call(&fast_call(2, "http://a.com"));
+    monitor.inject_soap_call(&slow_call(3, "http://b.com"));
+    monitor.inject_soap_call(&slow_call(4, "http://other.com")); // unmonitored caller
+    monitor.run_until_idle();
+    let results = monitor.results(&handle);
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|r| r.attr("type") == Some("slowAnswer")));
+    // The published channel carries the same items.
+    assert_eq!(monitor.published_channel("p", "alertQoS").len(), 2);
+}
+
+#[test]
+fn centralized_and_pushdown_agree_on_results_but_not_on_traffic() {
+    let mut results = Vec::new();
+    let mut bytes = Vec::new();
+    for placement in [
+        PlacementStrategy::PushToSources,
+        PlacementStrategy::Centralized,
+    ] {
+        let mut monitor = meteo_monitor(placement, false);
+        let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+        for i in 0..20u64 {
+            if i % 4 == 0 {
+                monitor.inject_soap_call(&slow_call(i, "http://a.com"));
+            } else {
+                monitor.inject_soap_call(&fast_call(i, "http://a.com"));
+            }
+            monitor.inject_soap_call(&fast_call(1000 + i, "http://b.com"));
+        }
+        monitor.run_until_idle();
+        results.push(monitor.results(&handle).len());
+        bytes.push(monitor.network_stats().total_bytes);
+    }
+    assert_eq!(results[0], results[1], "both plans find the same incidents");
+    assert!(results[0] > 0);
+    assert!(
+        bytes[0] < bytes[1],
+        "pushdown ({}) must move fewer bytes than centralized ({})",
+        bytes[0],
+        bytes[1]
+    );
+}
+
+#[test]
+fn second_identical_subscription_reuses_published_streams() {
+    let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+    let first = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    let second_manager = "observer.org";
+    monitor.add_peer(second_manager);
+    let second = monitor.submit(second_manager, METEO_SUBSCRIPTION).unwrap();
+
+    let report_first = monitor.report(&first).unwrap();
+    let report_second = monitor.report(&second).unwrap();
+    assert_eq!(report_first.reuse.reused_nodes, 0);
+    assert!(
+        report_second.reuse.reused_nodes > 0,
+        "the second subscription should reuse at least the alerter/filter streams"
+    );
+    assert!(report_second.tasks < report_first.tasks);
+
+    // Both subscriptions still deliver the same incidents.
+    monitor.inject_soap_call(&slow_call(1, "http://a.com"));
+    monitor.run_until_idle();
+    assert_eq!(monitor.results(&first).len(), 1);
+    assert_eq!(monitor.results(&second).len(), 1);
+}
+
+#[test]
+fn rss_subscription_routes_add_alerts_to_email_sink() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.add_peer("portal");
+    monitor.add_peer("admin");
+    let handle = monitor
+        .submit(
+            "admin",
+            r#"for $e in rssFeed(<p>portal</p>)
+               where $e.kind = "add"
+               return <new entry="{$e.entry}"/>
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    let v1 =
+        parse("<rss><channel><item><guid>1</guid><title>a</title></item></channel></rss>").unwrap();
+    let v2 = parse(
+        "<rss><channel><item><guid>1</guid><title>a</title></item><item><guid>2</guid><title>b</title></item></channel></rss>",
+    )
+    .unwrap();
+    monitor.inject_rss_snapshot("portal", "http://portal/feed", &v1);
+    monitor.run_until_idle();
+    monitor.inject_rss_snapshot("portal", "http://portal/feed", &v2);
+    monitor.run_until_idle();
+    // First snapshot: 1 add; second: 1 add — both pass the kind filter.
+    assert_eq!(monitor.results(&handle).len(), 2);
+    let rendered = monitor.sink(&handle).unwrap().render();
+    assert!(rendered.contains("To: ops@example.org"));
+}
+
+#[test]
+fn dynamic_membership_subscription_follows_joins_and_leaves() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    for p in ["hub", "dht.example", "a.com", "b.com"] {
+        monitor.add_peer(p);
+    }
+    let handle = monitor
+        .submit(
+            "hub",
+            r#"for $j in areRegistered(<p>dht.example</p>), $c in inCOM($j)
+               where $c.callMethod = "Query"
+               return <q callee="{$c.callee}"/>
+               by publish as channel "usage";"#,
+        )
+        .unwrap();
+    // a.com joins; b.com never joins.
+    monitor.inject_peer_join("dht.example", "a.com");
+    monitor.run_until_idle();
+    monitor.inject_soap_call(&SoapCall::new(1, "x.org", "a.com", "Query", 10, 12));
+    monitor.inject_soap_call(&SoapCall::new(2, "x.org", "b.com", "Query", 10, 12));
+    monitor.run_until_idle();
+    assert_eq!(monitor.results(&handle).len(), 1);
+    // After a.com leaves, its calls are no longer reported.
+    monitor.inject_peer_leave("dht.example", "a.com");
+    monitor.run_until_idle();
+    monitor.inject_soap_call(&SoapCall::new(3, "x.org", "a.com", "Query", 20, 22));
+    monitor.run_until_idle();
+    assert_eq!(monitor.results(&handle).len(), 1);
+}
+
+#[test]
+fn join_state_is_bounded_by_the_window() {
+    let mut monitor = Monitor::new(MonitorConfig {
+        join_window: Window::items(8),
+        ..MonitorConfig::default()
+    });
+    for peer in ["p", "a.com", "b.com", "meteo.com"] {
+        monitor.add_peer(peer);
+    }
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    for i in 0..200u64 {
+        monitor.inject_soap_call(&slow_call(i, "http://a.com"));
+    }
+    monitor.run_until_idle();
+    assert!(monitor.state_bytes(&handle) > 0);
+    assert!(
+        monitor.state_bytes(&handle) < 100_000,
+        "windowed join must not retain all 200 calls"
+    );
+}
+
+#[test]
+fn report_counts_tasks_and_edges() {
+    let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    let report = monitor.report(&handle).unwrap();
+    assert_eq!(report.manager, "p");
+    assert!(report.tasks >= 7);
+    assert!(report.cross_peer_edges >= 2);
+    assert_eq!(report.results_delivered, 0);
+    assert_eq!(monitor.subscription_count(), 1);
+    assert!(
+        !report.filter_stats.is_empty(),
+        "select tasks register with their host peers' engines"
+    );
+}
+
+#[test]
+fn engine_dispatch_is_on_the_meteo_hot_path() {
+    let mut monitor = meteo_monitor(PlacementStrategy::PushToSources, true);
+    let handle = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+    monitor.inject_soap_call(&slow_call(1, "http://a.com"));
+    monitor.inject_soap_call(&fast_call(2, "http://b.com"));
+    monitor.run_until_idle();
+    assert_eq!(monitor.results(&handle).len(), 1);
+    let stats = monitor.dispatch_stats();
+    assert!(
+        stats.engine_documents > 0,
+        "alerts must flow through the shared engines: {stats:?}"
+    );
+    assert!(monitor.filter_stats().documents > 0);
+}

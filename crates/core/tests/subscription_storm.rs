@@ -1,0 +1,96 @@
+//! The many-subscription acceptance scenario: with 256 subscriptions hosted
+//! on one peer, the shared filter engine keeps per-alert cost sublinear in
+//! the subscription count, and engine-gated dispatch delivers exactly the
+//! sink results of the naive linear path.
+
+use p2pmon_core::{Monitor, MonitorConfig, SubscriptionHandle};
+use p2pmon_workloads::SubscriptionStorm;
+
+fn storm_monitor(naive_dispatch: bool, n: usize) -> (Monitor, Vec<SubscriptionHandle>) {
+    let mut monitor = Monitor::new(MonitorConfig {
+        enable_reuse: false,
+        naive_dispatch,
+        ..MonitorConfig::default()
+    });
+    for peer in ["manager.org", "hub.net", "backend.net"] {
+        monitor.add_peer(peer);
+    }
+    let storm = SubscriptionStorm::new(1);
+    let handles = storm
+        .subscriptions(n)
+        .iter()
+        .map(|text| monitor.submit("manager.org", text).expect("storm deploys"))
+        .collect();
+    (monitor, handles)
+}
+
+#[test]
+fn per_alert_complex_evaluations_stay_sublinear_at_256_subscriptions() {
+    const SUBS: usize = 256;
+    const CALLS: usize = 40;
+    let (mut monitor, _) = storm_monitor(false, SUBS);
+    let host = monitor.peer_host("hub.net").expect("hub is registered");
+    assert_eq!(
+        host.registered_selects(),
+        SUBS,
+        "every subscription's Select lands on the monitored peer"
+    );
+    for call in SubscriptionStorm::new(9).calls(CALLS) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+
+    let stats = monitor.peer_filter_stats("hub.net").expect("engine stats");
+    assert_eq!(
+        stats.documents, CALLS as u64,
+        "each alert runs through the shared engine exactly once"
+    );
+    assert!(
+        stats.complex_evaluations < (SUBS as u64) * stats.documents,
+        "per-alert complex evaluations ({} over {} documents) must be \
+         strictly less than the subscription count {SUBS}",
+        stats.complex_evaluations,
+        stats.documents
+    );
+    // Much stronger in practice: only the subscriptions whose shared simple
+    // prefix matched stay active — a small fraction of the 256.
+    assert!(
+        stats.complex_evaluations / stats.documents <= (SUBS as u64) / 4,
+        "the AES stage prunes most complex subscriptions per alert, got {} / doc",
+        stats.complex_evaluations / stats.documents
+    );
+    let dispatch = monitor.dispatch_stats();
+    assert!(
+        dispatch.gate_rejections > 0,
+        "rejected subscriptions must be skipped before their operators run"
+    );
+}
+
+#[test]
+fn engine_dispatch_matches_naive_dispatch_and_does_less_work() {
+    const SUBS: usize = 64;
+    const CALLS: usize = 30;
+    let (mut engine_monitor, engine_handles) = storm_monitor(false, SUBS);
+    let (mut naive_monitor, naive_handles) = storm_monitor(true, SUBS);
+    for call in SubscriptionStorm::new(4).calls(CALLS) {
+        engine_monitor.inject_soap_call(&call);
+        naive_monitor.inject_soap_call(&call);
+    }
+    engine_monitor.run_until_idle();
+    naive_monitor.run_until_idle();
+
+    for (e, n) in engine_handles.iter().zip(&naive_handles) {
+        assert_eq!(
+            engine_monitor.results(e),
+            naive_monitor.results(n),
+            "engine and naive dispatch must deliver identical sink results"
+        );
+    }
+    assert!(
+        engine_monitor.operator_invocations < naive_monitor.operator_invocations,
+        "gated dispatch ({}) must invoke fewer operators than linear fan-out ({})",
+        engine_monitor.operator_invocations,
+        naive_monitor.operator_invocations
+    );
+    assert_eq!(naive_monitor.dispatch_stats().engine_documents, 0);
+}

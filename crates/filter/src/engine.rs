@@ -41,6 +41,19 @@ pub struct FilterStats {
     pub service_calls_avoided: u64,
 }
 
+impl FilterStats {
+    /// Accumulates another stats block into this one (used to aggregate the
+    /// per-peer engines of a distributed deployment).
+    pub fn absorb(&mut self, other: &FilterStats) {
+        self.documents += other.documents;
+        self.documents_matched += other.documents_matched;
+        self.complex_evaluations += other.complex_evaluations;
+        self.complex_stage_entered += other.complex_stage_entered;
+        self.service_calls_made += other.service_calls_made;
+        self.service_calls_avoided += other.service_calls_avoided;
+    }
+}
+
 /// The outcome of filtering one document.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FilterOutcome {
@@ -98,9 +111,22 @@ impl FilterEngine {
     }
 
     /// Registers a subscription (offline adjustment).
+    ///
+    /// The adjustment is *incremental*: the new conditions are appended to
+    /// the preFilter alphabet, the subscription is inserted into the AES
+    /// hash-tree and its patterns are added to the shared automaton — nothing
+    /// already indexed is rebuilt.  This is what makes deployment of the
+    /// N-th subscription O(|subscription|) instead of O(N), so a peer can
+    /// absorb hundreds of hosted subscriptions cheaply.  Re-adding an id
+    /// replaces the old subscription (that path falls back to a rebuild).
     pub fn add(&mut self, subscription: FilterSubscription) {
-        self.subscriptions.insert(subscription.id, subscription);
-        self.rebuild();
+        let id = subscription.id;
+        if self.subscriptions.insert(id, subscription).is_some() {
+            // Replacement: the old conditions/patterns must disappear.
+            self.rebuild();
+            return;
+        }
+        self.index(id);
     }
 
     /// Registers many subscriptions, rebuilding the structures once.
@@ -144,28 +170,34 @@ impl FilterEngine {
         let mut ids: Vec<SubscriptionId> = self.subscriptions.keys().copied().collect();
         ids.sort();
         for id in ids {
-            let sub = &self.subscriptions[&id];
-            let mut condition_ids: Vec<usize> = sub
-                .simple
-                .iter()
-                .map(|c| self.prefilter.register(c))
-                .collect();
-            condition_ids.sort_unstable();
-            condition_ids.dedup();
-            if condition_ids.is_empty() {
-                self.always_active.push(id);
-                // Simple subscriptions with no conditions at all match
-                // everything; they are handled in `process`.
-            } else {
-                self.aes.insert(&condition_ids, id, sub.is_simple());
-            }
-            if !sub.complex.is_empty() {
-                self.complex_counts.insert(id, sub.complex.len());
-                for (pattern_idx, pattern) in sub.complex.iter().enumerate() {
-                    let q = self.yfilter.add(pattern.clone());
-                    debug_assert_eq!(q, self.query_owner.len());
-                    self.query_owner.push((id, pattern_idx));
-                }
+            self.index(id);
+        }
+    }
+
+    /// Indexes one registered subscription into the three stages (the shared
+    /// step of [`FilterEngine::add`] and [`FilterEngine::rebuild`]).
+    fn index(&mut self, id: SubscriptionId) {
+        let sub = &self.subscriptions[&id];
+        let simple = sub.simple.clone();
+        let complex = sub.complex.clone();
+        let is_simple = sub.is_simple();
+        let mut condition_ids: Vec<usize> =
+            simple.iter().map(|c| self.prefilter.register(c)).collect();
+        condition_ids.sort_unstable();
+        condition_ids.dedup();
+        if condition_ids.is_empty() {
+            self.always_active.push(id);
+            // Simple subscriptions with no conditions at all match
+            // everything; they are handled in `process`.
+        } else {
+            self.aes.insert(&condition_ids, id, is_simple);
+        }
+        if !complex.is_empty() {
+            self.complex_counts.insert(id, complex.len());
+            for (pattern_idx, pattern) in complex.into_iter().enumerate() {
+                let q = self.yfilter.add(pattern);
+                debug_assert_eq!(q, self.query_owner.len());
+                self.query_owner.push((id, pattern_idx));
             }
         }
     }
@@ -500,6 +532,63 @@ mod tests {
         assert_eq!(outcome.matched, vec![SubscriptionId(1)]);
         assert_eq!(made, 1);
         assert_eq!(engine.stats.service_calls_made, 1);
+    }
+
+    #[test]
+    fn incremental_add_agrees_with_bulk_construction() {
+        // Interleave adds with processing: the incrementally grown engine
+        // must agree with one built in bulk at every prefix.
+        let subs: Vec<FilterSubscription> = (0..24)
+            .map(|i| match i % 3 {
+                0 => sub_simple(i, "m", &format!("v{}", i % 5)),
+                1 => sub_complex(i, "m", &format!("v{}", i % 5), "//item/title"),
+                _ => FilterSubscription::new(i)
+                    .with_complex(vec![PathPattern::parse("//item/enclosure").unwrap()]),
+            })
+            .collect();
+        let docs = [
+            r#"<alert m="v0"><item><title>x</title></item></alert>"#,
+            r#"<alert m="v1"><item><enclosure/></item></alert>"#,
+            r#"<alert m="v4"/>"#,
+        ];
+        let mut incremental = FilterEngine::new();
+        for (n, sub) in subs.iter().enumerate() {
+            incremental.add(sub.clone());
+            let mut bulk = FilterEngine::from_subscriptions(subs[..=n].to_vec());
+            for d in &docs {
+                let doc = parse(d).unwrap();
+                assert_eq!(
+                    incremental.process(&doc).matched,
+                    bulk.process(&doc).matched,
+                    "prefix {n} disagrees on {d}"
+                );
+            }
+        }
+        // Re-adding an existing id replaces it.
+        incremental.add(sub_simple(0, "m", "other"));
+        assert_eq!(incremental.len(), 24);
+        let doc = parse(r#"<alert m="other"/>"#).unwrap();
+        assert!(incremental
+            .process(&doc)
+            .matched
+            .contains(&SubscriptionId(0)));
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters() {
+        let a = FilterStats {
+            documents: 3,
+            documents_matched: 2,
+            complex_evaluations: 5,
+            complex_stage_entered: 1,
+            service_calls_made: 1,
+            service_calls_avoided: 4,
+        };
+        let mut b = a;
+        b.absorb(&a);
+        assert_eq!(b.documents, 6);
+        assert_eq!(b.complex_evaluations, 10);
+        assert_eq!(b.service_calls_avoided, 8);
     }
 
     #[test]

@@ -17,6 +17,19 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
+/// Per-peer traffic rollup (both directions of every link touching the peer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Messages delivered to the peer.
+    pub messages_in: u64,
+    /// Messages sent by the peer.
+    pub messages_out: u64,
+    /// Payload bytes delivered to the peer.
+    pub bytes_in: u64,
+    /// Payload bytes sent by the peer.
+    pub bytes_out: u64,
+}
+
 /// Aggregate traffic statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
@@ -82,6 +95,22 @@ impl NetworkStats {
             .map(|(_, s)| s.bytes)
             .sum()
     }
+
+    /// Per-peer traffic rollup over every link, keyed by peer — the summary
+    /// the monitoring plane surfaces per [`crate::PeerId`] (e.g. to find the
+    /// busiest hosts of a deployment).
+    pub fn per_peer(&self) -> BTreeMap<PeerId, PeerTraffic> {
+        let mut out: BTreeMap<PeerId, PeerTraffic> = BTreeMap::new();
+        for ((from, to), link) in &self.per_link {
+            let sender = out.entry(from.clone()).or_default();
+            sender.messages_out += link.messages;
+            sender.bytes_out += link.bytes;
+            let receiver = out.entry(to.clone()).or_default();
+            receiver.messages_in += link.messages;
+            receiver.bytes_in += link.bytes;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +135,20 @@ mod tests {
         assert_eq!(s.bytes_into("b"), 150);
         assert_eq!(s.bytes_out_of("b"), 10);
         assert_eq!(s.bytes_into("a"), 0);
+    }
+
+    #[test]
+    fn per_peer_rollup_sums_both_directions() {
+        let mut s = NetworkStats::default();
+        s.record_delivery("a", "b", 100, true);
+        s.record_delivery("b", "a", 30, true);
+        s.record_delivery("b", "c", 10, false);
+        let rollup = s.per_peer();
+        assert_eq!(rollup["a"].bytes_out, 100);
+        assert_eq!(rollup["a"].bytes_in, 30);
+        assert_eq!(rollup["b"].messages_out, 2);
+        assert_eq!(rollup["b"].messages_in, 1);
+        assert_eq!(rollup["c"].messages_in, 1);
+        assert_eq!(rollup["c"].messages_out, 0);
     }
 }

@@ -18,6 +18,10 @@
 //! * [`SubscriptionWorkload`] — random Filter subscriptions (simple + complex
 //!   conditions over a bounded vocabulary), used by the Filter benchmarks
 //!   (E2–E4), together with matching random alert documents.
+//! * [`SubscriptionStorm`] — many *shared-prefix* P2PML subscriptions over a
+//!   single alerter function at one monitored peer, plus the matching SOAP
+//!   traffic; this is the workload that puts a peer's shared filter engine on
+//!   the hot path (hundreds of hosted subscriptions, one alert stream).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -360,6 +364,123 @@ impl SubscriptionWorkload {
     }
 }
 
+/// Many shared-prefix P2PML subscriptions over one alerter function.
+///
+/// Every subscription watches `outCOM` at the same monitored peer and shares
+/// the `$c.callee = service` condition prefix; they differ in the method they
+/// single out, and fractions of them add a tree-pattern condition
+/// (`$c//detail`) and a LET-derived latency residual (`$d > threshold`).
+/// Deployed on one Monitor, all the resulting `Select` tasks land on the
+/// monitored peer (pushdown) and register with its shared filter engine — the
+/// scenario where per-alert cost must stay sublinear in the subscription
+/// count.
+#[derive(Debug, Clone)]
+pub struct SubscriptionStorm {
+    /// The one monitored peer whose `outCOM` alerter feeds everything.
+    pub monitored_peer: String,
+    /// The callee every subscription's shared prefix pins.
+    pub service: String,
+    /// Method vocabulary; subscription `i` singles out `methods[i % len]`.
+    pub methods: Vec<String>,
+    /// Every `pattern_every`-th subscription adds the `$c//detail` tree
+    /// pattern (0 disables patterns).
+    pub pattern_every: usize,
+    /// Every `residual_every`-th subscription adds a LET-derived duration
+    /// residual (0 disables residuals).
+    pub residual_every: usize,
+    /// Latency threshold for the residual subscriptions (ms).
+    pub slow_threshold_ms: u64,
+    /// Fraction of generated calls slower than the threshold.
+    pub slow_fraction: f64,
+    /// Fraction of generated calls carrying a `<detail>` body element.
+    pub detail_fraction: f64,
+    rng: StdRng,
+    next_id: u64,
+    clock: u64,
+}
+
+impl SubscriptionStorm {
+    /// The default storm: one hub peer calling one backend service.
+    pub fn new(seed: u64) -> Self {
+        SubscriptionStorm {
+            monitored_peer: "hub.net".into(),
+            service: "http://backend.net".into(),
+            methods: (0..8).map(|i| format!("Method{i}")).collect(),
+            pattern_every: 2,
+            residual_every: 4,
+            slow_threshold_ms: 10,
+            slow_fraction: 0.3,
+            detail_fraction: 0.5,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// The P2PML text of subscription `i`.
+    pub fn subscription(&self, i: usize) -> String {
+        let method = &self.methods[i % self.methods.len().max(1)];
+        let with_pattern = self.pattern_every > 0 && i.is_multiple_of(self.pattern_every);
+        let with_residual = self.residual_every > 0 && i.is_multiple_of(self.residual_every);
+        let mut text = format!("for $c in outCOM(<p>{}</p>)\n", self.monitored_peer);
+        if with_residual {
+            text.push_str("let $d := $c.responseTimestamp - $c.callTimestamp\n");
+        }
+        text.push_str(&format!(
+            "where $c.callee = \"{}\" and $c.callMethod = \"{method}\"",
+            self.service
+        ));
+        if with_pattern {
+            text.push_str(" and $c//detail");
+        }
+        if with_residual {
+            text.push_str(&format!(" and $d > {}", self.slow_threshold_ms));
+        }
+        text.push_str(&format!(
+            "\nreturn <hit sub=\"s{i}\" method=\"{{$c.callMethod}}\"/>\nby email \"watch{i}@example.org\";"
+        ));
+        text
+    }
+
+    /// The texts of subscriptions `0..n`.
+    pub fn subscriptions(&self, n: usize) -> Vec<String> {
+        (0..n).map(|i| self.subscription(i)).collect()
+    }
+
+    /// The next SOAP call of the matching traffic: the hub calling the
+    /// backend with a random method, sometimes slow, sometimes carrying the
+    /// `<detail>` element the pattern subscriptions look for.
+    pub fn next_call(&mut self) -> SoapCall {
+        let method = self.methods[self.rng.gen_range(0..self.methods.len())].clone();
+        self.clock += self.rng.gen_range(1..=20u64);
+        let slow = self.rng.gen::<f64>() < self.slow_fraction;
+        let latency = if slow {
+            self.slow_threshold_ms + self.rng.gen_range(1..=30u64)
+        } else {
+            self.rng.gen_range(1..=self.slow_threshold_ms.max(2) - 1)
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut call = SoapCall::new(
+            id,
+            format!("http://{}", self.monitored_peer),
+            self.service.clone(),
+            method,
+            self.clock,
+            self.clock + latency,
+        );
+        if self.rng.gen::<f64>() < self.detail_fraction {
+            call = call.with_body(Element::text_element("detail", "payload"));
+        }
+        call
+    }
+
+    /// A batch of calls.
+    pub fn calls(&mut self, n: usize) -> Vec<SoapCall> {
+        (0..n).map(|_| self.next_call()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +557,39 @@ mod tests {
             "popular packages should dominate, got {first_decile}/500"
         );
         assert_eq!(w.metadata(5).children_named("pkg").count(), 5);
+    }
+
+    #[test]
+    fn subscription_storm_texts_compile_and_share_the_prefix() {
+        let storm = SubscriptionStorm::new(3);
+        for (i, text) in storm.subscriptions(16).iter().enumerate() {
+            let plan = p2pmon_p2pml::compile_subscription(text)
+                .unwrap_or_else(|e| panic!("subscription {i} must compile: {e:?}\n{text}"));
+            assert_eq!(plan.peers(), vec!["hub.net".to_string()]);
+            assert!(text.contains("$c.callee = \"http://backend.net\""));
+        }
+        // Pattern / residual fractions are honoured.
+        assert!(storm.subscription(0).contains("$c//detail"));
+        assert!(storm.subscription(0).contains("let $d"));
+        assert!(!storm.subscription(1).contains("$c//detail"));
+        assert!(!storm.subscription(1).contains("let $d"));
+    }
+
+    #[test]
+    fn subscription_storm_traffic_matches_the_vocabulary() {
+        let mut storm = SubscriptionStorm::new(5);
+        let calls = storm.calls(200);
+        assert!(calls.iter().all(|c| c.caller == "http://hub.net"));
+        assert!(calls.iter().all(|c| c.callee == "http://backend.net"));
+        let slow = calls
+            .iter()
+            .filter(|c| c.duration() > storm.slow_threshold_ms)
+            .count();
+        assert!(slow > 20 && slow < 120, "slow ≈ 30%, got {slow}/200");
+        let with_detail = calls.iter().filter(|c| c.body.is_some()).count();
+        assert!(with_detail > 50, "detail ≈ 50%, got {with_detail}/200");
+        let mut replay = SubscriptionStorm::new(5);
+        assert_eq!(replay.calls(200), calls, "same seed, same traffic");
     }
 
     #[test]

@@ -8,11 +8,17 @@
 //!   and the per-document pruning of YFilterσ.
 //! * **E5** — ActiveXML laziness: service calls avoided because the simple
 //!   conditions already rejected the document.
+//!
+//! Besides the Criterion groups, this bench writes the `BENCH_filter.json`
+//! trajectory to the workspace root (prefilter/AES/YFilter stage shapes for
+//! E2–E4) so that CI tracks the filter hot path per PR alongside
+//! `BENCH_dispatch.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use p2pmon_bench::quick_criterion;
+use p2pmon_bench::{full_run_requested, quick_criterion};
 use p2pmon_filter::{FilterEngine, NaiveFilter, YFilter};
 use p2pmon_workloads::SubscriptionWorkload;
 use p2pmon_xmlkit::{parse, PathPattern};
@@ -216,9 +222,103 @@ fn e5_lazy_service_calls(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best-of-N wall-clock nanoseconds per document for a closure run over a
+/// document set.
+fn best_ns_per_doc(repeats: usize, docs: usize, mut run: impl FnMut() -> usize) -> f64 {
+    (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run());
+            start.elapsed().as_nanos() as f64 / docs.max(1) as f64
+        })
+        .min_by(f64::total_cmp)
+        .expect("at least one repeat")
+}
+
+/// Emits the BENCH_filter.json trajectory at the workspace root: the E2
+/// engine-vs-naive shape per subscription count, with the E3 (AES hash-tree)
+/// and E4 (YFilter NFA) structural sizes per row, plus the E5 lazy
+/// service-call counters.
+fn emit_trajectory(_c: &mut Criterion) {
+    let repeats = if full_run_requested() { 5 } else { 3 };
+    let n_docs = if full_run_requested() { 128 } else { 64 };
+    let mut rows = Vec::new();
+    for &subs in &[100usize, 1_000, 10_000] {
+        let mut workload = SubscriptionWorkload::new(42);
+        let subscriptions = workload.subscriptions(subs);
+        let documents = workload.documents(n_docs, 4, 3);
+        let mut engine = FilterEngine::from_subscriptions(subscriptions.clone());
+        let mut naive = NaiveFilter::from_subscriptions(subscriptions);
+        let engine_ns = best_ns_per_doc(repeats, documents.len(), || {
+            documents
+                .iter()
+                .map(|d| engine.process(d).matched.len())
+                .sum()
+        });
+        let naive_ns = best_ns_per_doc(repeats, documents.len(), || {
+            documents.iter().map(|d| naive.matching(d).len()).sum()
+        });
+        let stats = engine.stats;
+        let complex_per_doc = stats.complex_evaluations as f64 / stats.documents.max(1) as f64;
+        eprintln!(
+            "filter [{subs} subs]: two-stage {engine_ns:.0} ns/doc vs naive {naive_ns:.0} ns/doc \
+             (speedup {:.2}x); {} AES nodes, {} NFA states, {complex_per_doc:.1} complex \
+             evaluations/doc",
+            naive_ns / engine_ns,
+            engine.aes_node_count(),
+            engine.yfilter_state_count()
+        );
+        rows.push(format!(
+            "    {{\"subscriptions\": {subs}, \"two_stage_ns_per_doc\": {engine_ns:.0}, \
+             \"naive_ns_per_doc\": {naive_ns:.0}, \"speedup\": {:.3}, \
+             \"aes_nodes\": {}, \"yfilter_states\": {}, \
+             \"complex_evaluations_per_doc\": {complex_per_doc:.2}}}",
+            naive_ns / engine_ns,
+            engine.aes_node_count(),
+            engine.yfilter_state_count()
+        ));
+    }
+
+    // E5: service calls avoided on intensional documents.
+    let mut workload = SubscriptionWorkload::new(3);
+    workload.complex_fraction = 1.0;
+    let mut subscriptions = workload.subscriptions(500);
+    for s in &mut subscriptions {
+        s.complex = vec![PathPattern::parse("//c/d").expect("valid pattern")];
+    }
+    let mut lazy = FilterEngine::from_subscriptions(subscriptions);
+    let payload = parse("<c><d>payload</d></c>").expect("valid doc");
+    for i in 0..n_docs {
+        let doc = parse(&format!(
+            r#"<alert extra{}="v{}" a1="v1"><sc service="storage" address="site"><parameters/></sc></alert>"#,
+            i % 20,
+            i % 10
+        ))
+        .expect("valid doc");
+        lazy.process_intensional(&doc, &mut |_| Ok(vec![payload.clone()]));
+    }
+
+    let json =
+        format!(
+        "{{\n  \"bench\": \"filter\",\n  \"mode\": \"{}\",\n  \"documents_per_run\": {n_docs},\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"lazy_service_calls\": {{\"made\": {}, \"avoided\": {}}}\n}}\n",
+        if full_run_requested() { "full" } else { "quick" },
+        rows.join(",\n"),
+        lazy.stats.service_calls_made,
+        lazy.stats.service_calls_avoided
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_filter.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = e2_filter_throughput, e3_aes_scaling, e4_yfilter, e5_lazy_service_calls
+    targets = e2_filter_throughput, e3_aes_scaling, e4_yfilter, e5_lazy_service_calls,
+        emit_trajectory
 }
 criterion_main!(benches);

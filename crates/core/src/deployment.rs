@@ -20,6 +20,9 @@ use p2pmon_streams::ChannelId;
 
 use crate::dispatch::Route;
 use crate::monitor::{DeployedSubscription, Monitor, SubscriptionHandle};
+
+/// `(peer, stream)` keys of published stream definitions.
+type DefKeys = Vec<(String, String)>;
 use crate::placement::{place, push_selections_below_unions, PlacedPlan, TaskKind};
 use crate::reuse::{apply_reuse, join_parameters, select_parameters, ReuseReport};
 use crate::runtime::RuntimeOperator;
@@ -81,17 +84,14 @@ impl Monitor {
         }
 
         let sub_idx = self.subscriptions.len();
-        let mut operators = Vec::with_capacity(placed.tasks.len());
         let mut routes = Vec::with_capacity(placed.tasks.len());
 
         // Build operators, routes and consumer registrations; hand every task
-        // to its host peer.
+        // (and its operator instance) to its host peer's shard.
         for task in &placed.tasks {
-            operators.push(RuntimeOperator::for_kind(
-                &task.kind,
-                self.config.join_window,
-            ));
-            self.host_mut(&task.peer).task_deployed();
+            let operator = RuntimeOperator::for_kind(&task.kind, self.config.join_window);
+            self.host_mut(&task.peer)
+                .install_task(sub_idx, task.id, operator);
             match &task.kind {
                 TaskKind::Source {
                     function,
@@ -163,8 +163,12 @@ impl Monitor {
             }
         }
 
-        // Publish stream definitions for the streams this deployment creates.
-        self.publish_definitions(sub_idx, &placed, &routes);
+        // Publish stream definitions for the streams this deployment creates,
+        // remembering what to retract (or dereference) on unsubscribe.
+        let (owned_defs, source_defs) = self.publish_definitions(sub_idx, &placed, &routes);
+        for key in &source_defs {
+            *self.source_def_refs.entry(key.clone()).or_insert(0) += 1;
+        }
 
         // The published result channel, when the BY clause asks for one.
         let published_channel = match &placed.by {
@@ -183,10 +187,12 @@ impl Monitor {
             manager,
             sink: Sink::new(SinkKind::from(&placed.by)),
             placed,
-            operators,
             routes,
             reuse,
             published_channel,
+            owned_defs,
+            source_defs,
+            retired: false,
         });
         SubscriptionHandle(sub_idx)
     }
@@ -201,8 +207,15 @@ impl Monitor {
     /// Publishes the stream definitions created by a deployment: one source
     /// definition per alerter binding, and one derived definition per
     /// operator whose output is published on a channel and whose operand
-    /// identities are themselves published.
-    fn publish_definitions(&mut self, sub_idx: usize, placed: &PlacedPlan, routes: &[Route]) {
+    /// identities are themselves published.  Returns the `(peer, stream)`
+    /// keys of the derived definitions this deployment owns and of the
+    /// shared source definitions it references, for teardown bookkeeping.
+    fn publish_definitions(
+        &mut self,
+        sub_idx: usize,
+        placed: &PlacedPlan,
+        routes: &[Route],
+    ) -> (DefKeys, DefKeys) {
         // identities[task] = the (peer, stream) this task's output stream is
         // known as system-wide, when it is discoverable.
         let mut identities: Vec<Option<(String, String)>> = vec![None; placed.tasks.len()];
@@ -217,6 +230,8 @@ impl Monitor {
             list.sort_unstable();
         }
 
+        let mut owned_defs: Vec<(String, String)> = Vec::new();
+        let mut source_defs: Vec<(String, String)> = Vec::new();
         for task in &placed.tasks {
             match &task.kind {
                 TaskKind::Source {
@@ -231,6 +246,10 @@ impl Monitor {
                             stream.clone(),
                             function.clone(),
                         ));
+                    }
+                    let key = (monitored_peer.clone(), stream.clone());
+                    if !source_defs.contains(&key) {
+                        source_defs.push(key);
                     }
                     identities[task.id] = Some((monitored_peer.clone(), stream));
                 }
@@ -289,10 +308,12 @@ impl Monitor {
                             parameters,
                             operands,
                         ));
+                        owned_defs.push((task.peer.clone(), stream_name.clone()));
                         identities[task.id] = Some((task.peer.clone(), stream_name));
                     }
                 }
             }
         }
+        (owned_defs, source_defs)
     }
 }

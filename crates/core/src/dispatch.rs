@@ -1,31 +1,50 @@
 //! Alert, item and channel routing between [`PeerHost`]s.
 //!
 //! This module carries the monitor's data plane: the routing tables built at
-//! deployment time, the engine-gated fan-out of alerts into hosted tasks, the
-//! per-peer work loops and the channel/network delivery glue.
+//! deployment time, the engine-gated batched fan-out of alerts into hosted
+//! tasks, the per-peer work loops and the channel/network delivery glue.
 //!
-//! The hot path is [`Monitor::dispatch_document`]: when one alert document is
-//! about to fan out to many hosted subscriptions on a peer, it runs **once**
-//! through that peer's shared [`FilterEngine`] (preFilter → AESFilter →
-//! YFilterσ) and only the matched subscriptions' operators execute.  The
-//! `Select` operator keeps its LET-derivation / general-condition tail as the
-//! residual check.  Setting [`crate::MonitorConfig::naive_dispatch`] disables
-//! the engine and fans every alert out to every consumer, re-evaluating each
-//! `Select` linearly — the pre-decomposition behaviour, kept as an
-//! equivalence oracle for tests and benches.
+//! Every dispatch round is a two-phase step:
+//!
+//! 1. **Parallel phase** — every peer with local work is handed to the
+//!    work-stealing scheduler ([`crate::scheduler`], sized by
+//!    [`crate::MonitorConfig::workers`]).  A worker owns the whole
+//!    [`PeerHost`] shard: it drains the peer's [`PendingAlert`] batch —
+//!    deduplicating identical documents and running **one** amortized pass
+//!    of the shared [`FilterEngine`] (preFilter → AESFilter → YFilterσ) per
+//!    unique document ([`p2pmon_filter::FilterEngine::match_batch`]) — and
+//!    then runs the work queue until empty.  Only matched subscriptions'
+//!    operators execute; the `Select` operator keeps its LET-derivation /
+//!    general-condition tail as the residual check.  Cross-peer outputs are
+//!    buffered as [`Effect`]s; nothing touches the monitor façade.
+//! 2. **Commit phase** — the buffered effects are applied in deterministic
+//!    peer order: channel multicasts and publisher deliveries hit the
+//!    network and the sinks exactly as the sequential path would, so results
+//!    are identical for any worker count (`workers = 1` *is* the sequential
+//!    path and serves as the equivalence oracle).
+//!
+//! Setting [`crate::MonitorConfig::naive_dispatch`] disables the engine and
+//! fans every alert out to every consumer, re-evaluating each `Select`
+//! linearly — the pre-decomposition behaviour, kept as a second oracle.
 //!
 //! [`FilterEngine`]: p2pmon_filter::FilterEngine
+//! [`PendingAlert`]: crate::peer::PendingAlert
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use p2pmon_filter::FilterOutcome;
 use p2pmon_streams::binding::TUPLE_TAG;
 use p2pmon_streams::ChannelId;
 use p2pmon_xmlkit::Element;
 
-use crate::monitor::Monitor;
-use crate::peer::Work;
+use crate::monitor::{DeployedSubscription, Monitor};
+use crate::peer::{PeerHost, PendingAlert, Work};
 use crate::placement::TaskKind;
+use crate::scheduler;
+
+/// A shared list of delivery targets `(subscription, task, port)` — one
+/// alert batch fans out to the same consumers, so the list is built once.
+type SharedTargets = Arc<Vec<(usize, usize, usize)>>;
 
 /// A delivery target `(subscription, task, port)` together with its resolved
 /// engine gate, if any: `(effective select task, engine registration)`.
@@ -67,6 +86,9 @@ pub(crate) struct RoutingTable {
 pub struct DispatchStats {
     /// Documents run through a peer's shared filter engine.
     pub engine_documents: u64,
+    /// Engine passes skipped because an identical document was already
+    /// filtered in the same per-peer batch (batched-dispatch dedup).
+    pub batch_dedup_hits: u64,
     /// Gated deliveries that passed the engine (residual check still runs).
     pub gate_passes: u64,
     /// Gated deliveries skipped because the engine rejected them — work the
@@ -75,63 +97,82 @@ pub struct DispatchStats {
     /// Deliveries that bypassed the engine (non-Select consumers, tuple
     /// items, or `naive_dispatch` mode).
     pub plain_deliveries: u64,
-    /// Work items discarded because their host peer was down.
+    /// Deliveries discarded because their host peer was down: queued work
+    /// items plus batched alert targets.  Batched targets are counted before
+    /// their engine pass runs, so gated targets the engine would have
+    /// rejected are included — the counter measures deliveries the peer
+    /// never got to attempt, not results lost.
     pub dropped_by_failure: u64,
 }
 
-impl Monitor {
-    /// Wraps a payload as a stream item with a fresh sequence number.
-    pub(crate) fn make_item(&mut self, data: Element) -> p2pmon_streams::StreamItem {
-        let item = p2pmon_streams::StreamItem::new(self.next_seq, self.network.now(), data);
-        self.next_seq += 1;
-        item
+impl DispatchStats {
+    /// Accumulates another stats block (merging per-worker counters).
+    pub(crate) fn absorb(&mut self, other: &DispatchStats) {
+        self.engine_documents += other.engine_documents;
+        self.batch_dedup_hits += other.batch_dedup_hits;
+        self.gate_passes += other.gate_passes;
+        self.gate_rejections += other.gate_rejections;
+        self.plain_deliveries += other.plain_deliveries;
+        self.dropped_by_failure += other.dropped_by_failure;
     }
+}
 
-    /// Enqueues an item for a task on whichever peer hosts it.
-    pub(crate) fn enqueue(
-        &mut self,
-        sub: usize,
-        task: usize,
-        port: usize,
-        item: p2pmon_streams::StreamItem,
-        prefiltered: bool,
-    ) {
-        let peer = &self.subscriptions[sub].placed.tasks[task].peer;
-        self.hosts
-            .get_mut(peer)
-            .expect("every placed task's host is created at deployment")
-            .enqueue(Work {
-                sub,
-                task,
-                port,
-                item,
-                prefiltered,
-            });
-    }
+/// The immutable, deployment-time view every scheduler worker shares during
+/// a parallel phase: subscription plans and routes.  All per-task mutable
+/// state (operators, engines, queues) lives in the per-peer shards, so
+/// workers never contend on the monitor façade.
+pub(crate) struct DispatchSnapshot<'a> {
+    /// The deployed subscriptions (placements and routes only).
+    pub subs: &'a [DeployedSubscription],
+    /// Bypass the shared engines (naive fan-out oracle).
+    pub naive_dispatch: bool,
+    /// The logical clock at phase start (constant during a phase).
+    pub now: u64,
+}
 
+/// A side effect a peer's local processing defers to the commit phase.
+pub(crate) enum Effect {
+    /// Multicast a task output on its channel.
+    Channel { channel: ChannelId, output: Element },
+    /// Deliver a plan-root output to the subscription's publisher.
+    Result { sub: usize, output: Element },
+}
+
+/// Everything one peer's phase produced: buffered cross-peer effects plus
+/// the counters to merge into the façade.
+#[derive(Default)]
+pub(crate) struct PeerEffects {
+    /// Deferred effects, in generation order.
+    pub effects: Vec<Effect>,
+    /// Dispatch counters accumulated by this worker.
+    pub stats: DispatchStats,
+    /// Operator invocations performed by this worker.
+    pub operator_invocations: u64,
+}
+
+impl DispatchSnapshot<'_> {
     /// Resolves the engine gate for one delivery target, if any: either the
     /// target itself is a hosted `Select`, or it is a pass-through source
     /// whose local downstream is one (in which case the pass-through hop is
     /// collapsed and the select becomes the effective target).
     fn resolve_gate(
         &self,
-        peer: &str,
+        host: &PeerHost,
         sub: usize,
         task: usize,
         port: usize,
         doc: &Element,
     ) -> Option<(usize, p2pmon_filter::SubscriptionId)> {
-        if self.config.naive_dispatch || port != 0 || doc.name == TUPLE_TAG {
+        if self.naive_dispatch || port != 0 || doc.name == TUPLE_TAG {
             return None;
         }
-        let host = self.hosts.get(peer)?;
-        let placed = &self.subscriptions[sub].placed;
+        let placed = &self.subs[sub].placed;
         match &placed.tasks[task].kind {
             TaskKind::Select { .. } => host.gate(sub, task).map(|id| (task, id)),
             // Pass-through sources: gate on (and collapse into) the Select
             // they feed on the same peer.
             TaskKind::Source { .. } | TaskKind::ChannelSource { .. } => {
-                match &self.subscriptions[sub].routes[task] {
+                match &self.subs[sub].routes[task] {
                     Route::Local {
                         task: next,
                         port: 0,
@@ -144,71 +185,167 @@ impl Monitor {
             _ => None,
         }
     }
+}
 
-    /// Fans one document out to delivery targets on `peer`, running the
-    /// peer's shared filter engine at most once (per distinct document, via
-    /// `memo`) and skipping subscriptions the engine rejects.
-    pub(crate) fn dispatch_document_memo(
-        &mut self,
-        peer: &str,
-        doc: &Element,
-        targets: &[(usize, usize, usize)],
-        memo: &mut HashMap<String, FilterOutcome>,
-    ) {
-        let resolved: Vec<ResolvedTarget> = targets
-            .iter()
-            .map(|&(sub, task, port)| {
-                (
-                    sub,
-                    task,
-                    port,
-                    self.resolve_gate(peer, sub, task, port, doc),
-                )
-            })
-            .collect();
-        let outcome = if resolved.iter().any(|(_, _, _, gate)| gate.is_some()) {
-            let key = doc.to_xml();
-            if !memo.contains_key(&key) {
-                let host = self.hosts.get_mut(peer).expect("gated peer is hosted");
-                self.dispatch_stats.engine_documents += 1;
-                memo.insert(key.clone(), host.engine.process(doc));
-            }
-            memo.get(&key).cloned()
-        } else {
-            None
-        };
-        for (sub, task, port, gate) in resolved {
+/// Runs one peer's whole local phase: the batched alert dispatch, then the
+/// work queue until it is empty.  Called by scheduler workers (and inline on
+/// the sequential path).
+pub(crate) fn run_peer(host: &mut PeerHost, snapshot: &DispatchSnapshot<'_>) -> PeerEffects {
+    let mut out = PeerEffects::default();
+    drain_alert_batch(host, snapshot, &mut out);
+    while let Some(work) = host.queue.pop_front() {
+        execute(host, snapshot, work, &mut out);
+    }
+    out
+}
+
+/// Drains the peer's pending alerts as one batch: resolves every delivery
+/// target's engine gate, runs one amortized engine pass per *unique* gated
+/// document, and enqueues work for the matched (or ungated) targets.
+fn drain_alert_batch(host: &mut PeerHost, snapshot: &DispatchSnapshot<'_>, out: &mut PeerEffects) {
+    if host.pending_alerts.is_empty() {
+        return;
+    }
+    let batch = std::mem::take(&mut host.pending_alerts);
+    let resolved: Vec<Vec<ResolvedTarget>> = batch
+        .iter()
+        .map(|alert| {
+            alert
+                .targets
+                .iter()
+                .map(|&(sub, task, port)| {
+                    (
+                        sub,
+                        task,
+                        port,
+                        snapshot.resolve_gate(host, sub, task, port, &alert.doc),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // One amortized engine pass per unique document that has at least one
+    // gated target in this batch.  `gated_pos[i]` maps a batch position to
+    // its position in the engine's input (and thus its outcome index).
+    let mut gated_pos: Vec<Option<usize>> = vec![None; batch.len()];
+    let mut docs: Vec<&Element> = Vec::new();
+    for (i, targets) in resolved.iter().enumerate() {
+        if targets.iter().any(|(_, _, _, gate)| gate.is_some()) {
+            gated_pos[i] = Some(docs.len());
+            docs.push(&batch[i].doc);
+        }
+    }
+    let batch_outcome = host.engine.match_batch(&docs);
+    out.stats.engine_documents += batch_outcome.passes() as u64;
+    out.stats.batch_dedup_hits += (docs.len() - batch_outcome.passes()) as u64;
+
+    for (i, (alert, targets)) in batch.iter().zip(&resolved).enumerate() {
+        let outcome = gated_pos[i].map(|pos| batch_outcome.outcome(pos));
+        for &(sub, task, port, gate) in targets {
             match gate {
                 None => {
-                    self.dispatch_stats.plain_deliveries += 1;
-                    let item = self.make_item(doc.clone());
-                    self.enqueue(sub, task, port, item, false);
+                    out.stats.plain_deliveries += 1;
+                    let item = host.make_item(snapshot.now, alert.doc.clone());
+                    host.enqueue(Work {
+                        sub,
+                        task,
+                        port,
+                        item,
+                        prefiltered: false,
+                    });
                 }
                 Some((select_task, id)) => {
-                    let passed = outcome
-                        .as_ref()
-                        .is_some_and(|o| o.matched.binary_search(&id).is_ok());
+                    let passed = outcome.is_some_and(|o| o.matched.binary_search(&id).is_ok());
                     if passed {
-                        self.dispatch_stats.gate_passes += 1;
-                        let item = self.make_item(doc.clone());
-                        self.enqueue(sub, select_task, 0, item, true);
+                        out.stats.gate_passes += 1;
+                        let item = host.make_item(snapshot.now, alert.doc.clone());
+                        host.enqueue(Work {
+                            sub,
+                            task: select_task,
+                            port: 0,
+                            item,
+                            prefiltered: true,
+                        });
                     } else {
-                        self.dispatch_stats.gate_rejections += 1;
+                        out.stats.gate_rejections += 1;
                     }
                 }
             }
         }
     }
+}
 
-    /// One-shot [`Monitor::dispatch_document_memo`] for a single document.
-    pub(crate) fn dispatch_document(
-        &mut self,
-        peer: &str,
-        doc: &Element,
-        targets: &[(usize, usize, usize)],
-    ) {
-        let mut memo = HashMap::new();
-        self.dispatch_document_memo(peer, doc, targets, &mut memo);
+/// Runs one work item through its operator and routes the outputs: same-peer
+/// edges re-enter the host's queue, everything else is buffered as an effect.
+fn execute(
+    host: &mut PeerHost,
+    snapshot: &DispatchSnapshot<'_>,
+    work: Work,
+    out: &mut PeerEffects,
+) {
+    out.operator_invocations += 1;
+    let Work {
+        sub,
+        task,
+        port,
+        item,
+        prefiltered,
+    } = work;
+    let outputs = {
+        let operator = host
+            .operators
+            .get_mut(&(sub, task))
+            .expect("every placed task's operator lives in its host's shard");
+        if prefiltered {
+            operator.on_item_prefiltered(port, &item).items
+        } else {
+            operator.on_item(port, &item).items
+        }
+    };
+    if outputs.is_empty() {
+        return;
+    }
+    let route = snapshot.subs[sub].routes[task].clone();
+    for output in outputs {
+        match &route {
+            Route::Local { task, port } => {
+                let item = host.make_item(snapshot.now, output);
+                host.enqueue(Work {
+                    sub,
+                    task: *task,
+                    port: *port,
+                    item,
+                    prefiltered: false,
+                });
+            }
+            Route::Channel { channel } => out.effects.push(Effect::Channel {
+                channel: channel.clone(),
+                output,
+            }),
+            Route::Publisher => out.effects.push(Effect::Result { sub, output }),
+        }
+    }
+}
+
+impl Monitor {
+    /// Enqueues a payload for a task on whichever peer hosts it (item
+    /// creation happens on that host).
+    pub(crate) fn enqueue_data(&mut self, sub: usize, task: usize, port: usize, data: Element) {
+        let now = self.network.now();
+        let peer = &self.subscriptions[sub].placed.tasks[task].peer;
+        let host = self
+            .hosts
+            .get_mut(peer)
+            .expect("every placed task's host is created at deployment");
+        let item = host.make_item(now, data);
+        host.enqueue(Work {
+            sub,
+            task,
+            port,
+            item,
+            prefiltered: false,
+        });
     }
 
     /// Feeds an alert to dynamic-source tasks (membership-filtered feeds);
@@ -225,13 +362,13 @@ impl Monitor {
                 // Account the transfer of the raw alert to the dynamic source.
                 self.network.send(origin, &task_peer, None, alert.clone());
             }
-            let item = self.make_item(alert.clone());
-            self.enqueue(sub, task, 0, item, false);
+            self.enqueue_data(sub, task, 0, alert.clone());
         }
     }
 
-    /// Drains every live peer's alerters into the deployed source tasks,
-    /// engine-gating the fan-out.
+    /// Drains every live peer's alerters into the consuming peers' alert
+    /// batches (processed — engine-gated and deduplicated — by the next
+    /// dispatch phase).
     pub(crate) fn drain_alerters(&mut self) {
         let mut feeds: Vec<(String, String, Vec<Element>)> = Vec::new();
         let peers: Vec<String> = self.hosts.keys().cloned().collect();
@@ -252,10 +389,14 @@ impl Monitor {
                 .get(&(function.clone(), peer.clone()))
                 .cloned()
                 .unwrap_or_default();
-            let targets: Vec<(usize, usize, usize)> = consumers
-                .iter()
-                .map(|&(sub, task)| (sub, task, 0))
-                .collect();
+            // Every alert of this feed fans out to the same consumers: build
+            // the target list once and share it across the batch.
+            let targets: Arc<Vec<(usize, usize, usize)>> = Arc::new(
+                consumers
+                    .iter()
+                    .map(|&(sub, task)| (sub, task, 0))
+                    .collect(),
+            );
             let dynamic = self
                 .routing
                 .dynamic_consumers
@@ -273,7 +414,16 @@ impl Monitor {
                 .cloned()
                 .unwrap_or_default();
             for alert in alerts {
-                self.dispatch_document(&peer, &alert, &targets);
+                if !targets.is_empty() {
+                    self.hosts
+                        .get_mut(&peer)
+                        .expect("alerting peer is hosted")
+                        .pending_alerts
+                        .push(PendingAlert {
+                            doc: alert.clone(),
+                            targets: Arc::clone(&targets),
+                        });
+                }
                 for (consumer_sub, consumer_task, _port) in &source_subscribers {
                     let consumer_peer = self.subscriptions[*consumer_sub].placed.tasks
                         [*consumer_task]
@@ -296,73 +446,65 @@ impl Monitor {
         }
     }
 
-    /// Processes every peer's work queue until all of them are empty.  Work
-    /// queued on a downed peer is discarded (the peer's processors are gone
-    /// with it).
+    /// Runs dispatch phases until every peer's batch and queue are empty.
+    /// Work queued on a downed peer is discarded (the peer's processors are
+    /// gone with it).
     pub(crate) fn process_pending(&mut self) {
         loop {
-            let mut did_work = false;
-            let peers: Vec<String> = self.hosts.keys().cloned().collect();
-            for peer in peers {
-                if self.network.is_down(&peer) {
-                    let host = self.hosts.get_mut(&peer).expect("host just listed");
-                    let dropped = host.queue.len() as u64;
-                    if dropped > 0 {
-                        host.queue.clear();
-                        self.dispatch_stats.dropped_by_failure += dropped;
-                    }
-                    continue;
-                }
-                while let Some(work) = self
-                    .hosts
-                    .get_mut(&peer)
-                    .expect("host just listed")
-                    .queue
-                    .pop_front()
-                {
-                    did_work = true;
-                    self.execute(work);
+            // Downed peers lose their batched alerts and queued work.
+            let downed: Vec<String> = self
+                .hosts
+                .keys()
+                .filter(|peer| self.network.is_down(peer))
+                .cloned()
+                .collect();
+            for peer in &downed {
+                let host = self.hosts.get_mut(peer).expect("host just listed");
+                let dropped = host.queue.len() as u64
+                    + host
+                        .pending_alerts
+                        .iter()
+                        .map(|alert| alert.targets.len() as u64)
+                        .sum::<u64>();
+                if dropped > 0 {
+                    host.queue.clear();
+                    host.pending_alerts.clear();
+                    self.dispatch_stats.dropped_by_failure += dropped;
                 }
             }
-            if !did_work {
-                break;
-            }
-        }
-    }
 
-    /// Runs one work item through its operator and routes the outputs.
-    fn execute(&mut self, work: Work) {
-        self.operator_invocations += 1;
-        let Work {
-            sub,
-            task,
-            port,
-            item,
-            prefiltered,
-        } = work;
-        let outputs = {
-            let operator = &mut self.subscriptions[sub].operators[task];
-            if prefiltered {
-                operator.on_item_prefiltered(port, &item).items
-            } else {
-                operator.on_item(port, &item).items
-            }
-        };
-        if outputs.is_empty() {
-            return;
-        }
-        let route = self.subscriptions[sub].routes[task].clone();
-        for output in outputs {
-            match &route {
-                Route::Local { task, port } => {
-                    let item = self.make_item(output);
-                    self.enqueue(sub, *task, *port, item, false);
+            // Parallel phase: hand every peer with local work to the
+            // scheduler; workers only touch their own host's shard plus the
+            // immutable snapshot.
+            let results = {
+                let snapshot = DispatchSnapshot {
+                    subs: &self.subscriptions,
+                    naive_dispatch: self.config.naive_dispatch,
+                    now: self.network.now(),
+                };
+                let jobs: Vec<&mut PeerHost> = self
+                    .hosts
+                    .values_mut()
+                    .filter(|host| host.has_local_work())
+                    .collect();
+                if jobs.is_empty() {
+                    break;
                 }
-                Route::Channel { channel } => {
-                    self.emit_on_channel(channel.clone(), output);
-                }
-                Route::Publisher => {
-                    self.deliver_result(sub, output);
+                scheduler::run_jobs(jobs, self.config.workers, &snapshot)
+            };
+
+            // Commit phase: apply the buffered effects in deterministic peer
+            // order, exactly as the sequential path would have.
+            for result in results {
+                self.dispatch_stats.absorb(&result.stats);
+                self.operator_invocations += result.operator_invocations;
+                for effect in result.effects {
+                    match effect {
+                        Effect::Channel { channel, output } => {
+                            self.emit_on_channel(channel, output);
+                        }
+                        Effect::Result { sub, output } => self.deliver_result(sub, output),
+                    }
                 }
             }
         }
@@ -393,6 +535,9 @@ impl Monitor {
     /// Delivers a plan-root output to the subscription's sink and, when the
     /// BY clause publishes a channel, to that channel's subscribers.
     fn deliver_result(&mut self, sub_idx: usize, output: Element) {
+        if self.subscriptions[sub_idx].retired {
+            return;
+        }
         // Ship the result from the peer that produced it to the manager's
         // publisher (counted as network traffic when they differ).
         let root_peer = {
@@ -434,9 +579,9 @@ impl Monitor {
         }
     }
 
-    /// Delivers in-flight network messages and feeds channel traffic into the
-    /// consuming tasks (engine-gated, with one engine pass per distinct
-    /// document per peer).  Returns the number of delivered messages.
+    /// Delivers in-flight network messages and batches channel traffic into
+    /// the consuming peers' alert inboxes (engine-gated and deduplicated by
+    /// the next dispatch phase).  Returns the number of delivered messages.
     pub(crate) fn deliver_network(&mut self) -> usize {
         let delivered = self.network.run_until_idle();
         if delivered == 0 {
@@ -444,28 +589,41 @@ impl Monitor {
         }
         let peers: Vec<String> = self.peers.iter().cloned().collect();
         for peer in peers {
-            // One engine pass per distinct document per peer per round, even
-            // when the same alert arrives as many per-subscriber messages.
-            let mut memo: HashMap<String, FilterOutcome> = HashMap::new();
+            // Per-channel targets are the same for every message of a round:
+            // compute once and share the list across the batch.
+            let mut channel_targets: HashMap<ChannelId, SharedTargets> = HashMap::new();
             for message in self.network.take_inbox(&peer) {
                 let Some(channel) = message.channel.clone() else {
                     continue;
                 };
-                let targets: Vec<(usize, usize, usize)> = self
-                    .routing
-                    .channel_consumers
-                    .get(&channel)
-                    .cloned()
-                    .unwrap_or_default()
-                    .into_iter()
-                    .filter(|&(sub, task, _)| {
-                        self.subscriptions[sub].placed.tasks[task].peer == peer
+                let targets = channel_targets
+                    .entry(channel.clone())
+                    .or_insert_with(|| {
+                        Arc::new(
+                            self.routing
+                                .channel_consumers
+                                .get(&channel)
+                                .cloned()
+                                .unwrap_or_default()
+                                .into_iter()
+                                .filter(|&(sub, task, _)| {
+                                    self.subscriptions[sub].placed.tasks[task].peer == peer
+                                })
+                                .collect(),
+                        )
                     })
-                    .collect();
+                    .clone();
                 if targets.is_empty() {
                     continue;
                 }
-                self.dispatch_document_memo(&peer, &message.payload, &targets, &mut memo);
+                self.hosts
+                    .get_mut(&peer)
+                    .expect("inbox peer is hosted")
+                    .pending_alerts
+                    .push(PendingAlert {
+                        doc: message.payload,
+                        targets,
+                    });
             }
         }
         delivered
@@ -475,7 +633,7 @@ impl Monitor {
     /// network traffic.  Returns `true` when any work was done.
     pub fn tick(&mut self) -> bool {
         self.drain_alerters();
-        let had_local = self.hosts.values().any(|h| !h.queue.is_empty());
+        let had_local = self.hosts.values().any(PeerHost::has_local_work);
         self.process_pending();
         let delivered = self.deliver_network();
         had_local || delivered > 0

@@ -13,7 +13,7 @@
 //! [`Monitor::report`], [`Monitor::peer_filter_stats`],
 //! [`Monitor::dispatch_stats`]).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use p2pmon_alerters::{SoapCall, WsAlerter};
 use p2pmon_dht::{ChordNetwork, StreamDefinitionDatabase};
@@ -28,7 +28,6 @@ use crate::dispatch::{DispatchStats, Route, RoutingTable};
 use crate::peer::PeerHost;
 use crate::placement::{PlacedPlan, PlacementStrategy, TaskKind};
 use crate::reuse::ReuseReport;
-use crate::runtime::RuntimeOperator;
 use crate::sink::Sink;
 
 /// Configuration of a Monitor instance.
@@ -51,6 +50,12 @@ pub struct MonitorConfig {
     /// linearly).  The pre-decomposition behaviour, kept as an equivalence
     /// oracle for tests and benches.
     pub naive_dispatch: bool,
+    /// Size of the work-stealing pool driving the per-peer dispatch phases.
+    /// Defaults to the host's available parallelism; `1` processes peers
+    /// sequentially, in order — the equivalence oracle — and is also what a
+    /// single-core host should use (threads cannot help there).  Results are
+    /// identical for any value; only wall-clock time changes.
+    pub workers: usize,
 }
 
 impl Default for MonitorConfig {
@@ -63,6 +68,9 @@ impl Default for MonitorConfig {
             dht_nodes: 32,
             seed: 7,
             naive_dispatch: false,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -93,12 +101,20 @@ pub struct SubscriptionReport {
 pub(crate) struct DeployedSubscription {
     pub manager: String,
     pub placed: PlacedPlan,
-    pub operators: Vec<RuntimeOperator>,
     pub routes: Vec<Route>,
     pub sink: Sink,
     pub reuse: ReuseReport,
     /// The channel this subscription publishes (for BY channel clauses).
     pub published_channel: Option<ChannelId>,
+    /// Derived stream definitions this deployment published; retracted from
+    /// the Stream Definition Database on unsubscribe.
+    pub owned_defs: Vec<(String, String)>,
+    /// Source stream definitions this deployment references.  Source
+    /// definitions are shared across subscriptions, so they are refcounted
+    /// and only retracted when the last referencing subscription goes.
+    pub source_defs: Vec<(String, String)>,
+    /// True once the subscription has been torn down ([`Monitor::unsubscribe`]).
+    pub retired: bool,
 }
 
 /// The P2P Monitor.
@@ -114,7 +130,9 @@ pub struct Monitor {
     pub(crate) routing: RoutingTable,
     /// Engine-gated dispatch counters.
     pub(crate) dispatch_stats: DispatchStats,
-    pub(crate) next_seq: u64,
+    /// Reference counts for shared source stream definitions
+    /// (`src-<function>@peer`), keyed by (peer, stream).
+    pub(crate) source_def_refs: HashMap<(String, String), usize>,
     /// Ids handed to per-peer engine registrations, globally unique.
     pub(crate) next_filter_id: u64,
     /// Total operator invocations (a processing-cost measure for E6/E7).
@@ -133,7 +151,7 @@ impl Monitor {
             hosts: BTreeMap::new(),
             routing: RoutingTable::default(),
             dispatch_stats: DispatchStats::default(),
-            next_seq: 0,
+            source_def_refs: HashMap::new(),
             next_filter_id: 0,
             operator_invocations: 0,
             config,
@@ -214,6 +232,102 @@ impl Monitor {
     /// True when the peer is currently failed.
     pub fn is_peer_down(&self, peer: &str) -> bool {
         self.network.is_down(&normalize_peer(peer))
+    }
+
+    // ------------------------------------------------------------------
+    // Subscription teardown
+    // ------------------------------------------------------------------
+
+    /// True when the subscription exists and has not been unsubscribed.
+    pub fn is_active(&self, handle: &SubscriptionHandle) -> bool {
+        self.subscriptions
+            .get(handle.0)
+            .is_some_and(|sub| !sub.retired)
+    }
+
+    /// Tears a subscription down end-to-end: its `Select` registrations
+    /// leave the host peers' shared engines ([`p2pmon_filter::FilterEngine::remove`]
+    /// via `PeerHost::unregister_select`), its operator instances and queued
+    /// work are discarded, its routes are retracted from every routing
+    /// table, and the stream definitions it published are withdrawn from the
+    /// Stream Definition Database — derived definitions unconditionally,
+    /// shared source definitions when the last referencing subscription
+    /// goes.  Results already delivered to the sink stay readable.  Returns
+    /// `false` when the handle is unknown or already unsubscribed.
+    pub fn unsubscribe(&mut self, handle: &SubscriptionHandle) -> bool {
+        let idx = handle.0;
+        match self.subscriptions.get(idx) {
+            Some(sub) if !sub.retired => {}
+            _ => return false,
+        }
+
+        // Per-peer teardown: engine registrations and operator instances.
+        let tasks: Vec<(usize, String, bool)> = self.subscriptions[idx]
+            .placed
+            .tasks
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    t.peer.clone(),
+                    matches!(t.kind, TaskKind::Select { .. }),
+                )
+            })
+            .collect();
+        for (task, peer, is_select) in tasks {
+            if let Some(host) = self.hosts.get_mut(&peer) {
+                if is_select {
+                    host.unregister_select(idx, task);
+                }
+                host.remove_task(idx, task);
+            }
+        }
+        // In-flight local work addressed to the subscription is discarded.
+        for host in self.hosts.values_mut() {
+            host.purge_subscription(idx);
+        }
+
+        // Route retraction: the subscription disappears from every consumer
+        // registration (including the channels it subscribed to for reuse).
+        self.routing
+            .source_consumers
+            .values_mut()
+            .for_each(|v| v.retain(|&(sub, _)| sub != idx));
+        self.routing.source_consumers.retain(|_, v| !v.is_empty());
+        self.routing
+            .dynamic_consumers
+            .values_mut()
+            .for_each(|v| v.retain(|&(sub, _)| sub != idx));
+        self.routing.dynamic_consumers.retain(|_, v| !v.is_empty());
+        self.routing
+            .channel_consumers
+            .values_mut()
+            .for_each(|v| v.retain(|&(sub, _, _)| sub != idx));
+        self.routing.channel_consumers.retain(|_, v| !v.is_empty());
+
+        // Stream definition retraction.  Source definitions are shared, so
+        // they only go when their reference count reaches zero.
+        let source_defs = std::mem::take(&mut self.subscriptions[idx].source_defs);
+        for key in source_defs {
+            if let Some(count) = self.source_def_refs.get_mut(&key) {
+                *count -= 1;
+                if *count == 0 {
+                    self.source_def_refs.remove(&key);
+                    self.stream_db.retract(&key.0, &key.1);
+                }
+            }
+        }
+        let owned_defs = std::mem::take(&mut self.subscriptions[idx].owned_defs);
+        for (peer, stream) in owned_defs {
+            self.stream_db.retract(&peer, &stream);
+        }
+        // The published result channel stops existing.
+        if let Some(channel) = self.subscriptions[idx].published_channel.take() {
+            self.routing.published_channels.remove(&channel);
+        }
+
+        self.subscriptions[idx].retired = true;
+        true
     }
 
     // ------------------------------------------------------------------
@@ -344,11 +458,15 @@ impl Monitor {
 
     /// Total bytes of operator state held by a subscription's stateful
     /// operators (joins, dedups) — the quantity bounded by the join window.
+    /// The operators live in the per-peer shards, so this sums over hosts.
     pub fn state_bytes(&self, handle: &SubscriptionHandle) -> usize {
-        self.subscriptions
-            .get(handle.0)
-            .map(|s| s.operators.iter().map(RuntimeOperator::state_size).sum())
-            .unwrap_or(0)
+        if self.subscriptions.get(handle.0).is_none() {
+            return 0;
+        }
+        self.hosts
+            .values()
+            .map(|host| host.state_bytes_of(handle.0))
+            .sum()
     }
 
     /// The shared filter engine statistics of one peer.

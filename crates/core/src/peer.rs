@@ -8,11 +8,16 @@
 //! * the peer's **alerters** (one per alerter function, [`AlerterSet`]),
 //! * the peer's **shared [`FilterEngine`]**, holding the simple conditions
 //!   and tree patterns of every `Select` task deployed on this peer,
-//! * the peer's **work queue** of pending [`Work`] items for its hosted
-//!   tasks.
+//! * the peer's **operator instances** (one [`RuntimeOperator`] per task
+//!   hosted here — the peer's *mutable shard*, touched by no other peer),
+//! * the peer's **alert batch** ([`PendingAlert`]s awaiting the next
+//!   amortized engine pass) and its **work queue** of pending [`Work`] items.
 //!
-//! The [`crate::Monitor`] façade owns the set of hosts plus the network and
-//! the DHT; routing between hosts lives in [`crate::dispatch`].
+//! Because a host owns every piece of mutable state its tasks need, whole
+//! hosts can be handed to scheduler workers ([`crate::scheduler`]) and
+//! processed in parallel without any contention on the [`crate::Monitor`]
+//! façade; the façade only keeps the immutable routing snapshot and commits
+//! the buffered cross-peer effects afterwards ([`crate::dispatch`]).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -22,6 +27,8 @@ use p2pmon_alerters::{
 use p2pmon_filter::{FilterEngine, FilterStats, FilterSubscription, SubscriptionId};
 use p2pmon_streams::StreamItem;
 use p2pmon_xmlkit::Element;
+
+use crate::runtime::RuntimeOperator;
 
 /// One unit of pending work: an item addressed to a hosted task.
 #[derive(Debug, Clone)]
@@ -39,6 +46,18 @@ pub(crate) struct Work {
     /// addressed to — the operator then only runs its residual check
     /// (LET derivations + general conditions).
     pub prefiltered: bool,
+}
+
+/// One alert awaiting the peer's next batched dispatch pass, together with
+/// its delivery targets `(subscription, task, port)` — all of them tasks
+/// hosted on this peer.  The target list is shared (`Arc`) because every
+/// alert of a drain fans out to the same consumers.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingAlert {
+    /// The alert document.
+    pub doc: Element,
+    /// Delivery targets on this peer.
+    pub targets: std::sync::Arc<Vec<(usize, usize, usize)>>,
 }
 
 /// The alerters installed on one peer, at most one per function (plus one per
@@ -124,12 +143,19 @@ pub struct PeerHost {
     pub(crate) engine: FilterEngine,
     /// `(subscription, task)` of a hosted Select → its engine registration.
     gates: HashMap<(usize, usize), SubscriptionId>,
+    /// The operator instance of every task hosted here, keyed by
+    /// `(subscription, task)` — the peer's mutable shard.
+    pub(crate) operators: HashMap<(usize, usize), RuntimeOperator>,
+    /// Alerts awaiting the next batched dispatch pass.
+    pub(crate) pending_alerts: Vec<PendingAlert>,
     /// Pending work for tasks hosted on this peer.
     pub(crate) queue: VecDeque<Work>,
     /// The alerters installed on this peer.
     pub(crate) alerters: AlerterSet,
-    /// Number of tasks deployed on this peer (across subscriptions).
-    hosted_tasks: usize,
+    /// Sequence numbers for items created on this peer.  Per-host counters
+    /// keep item creation contention-free under the parallel scheduler while
+    /// staying monotonic (and therefore deterministic) per peer.
+    next_seq: u64,
 }
 
 impl PeerHost {
@@ -139,9 +165,11 @@ impl PeerHost {
             name: name.into(),
             engine: FilterEngine::new(),
             gates: HashMap::new(),
+            operators: HashMap::new(),
+            pending_alerts: Vec::new(),
             queue: VecDeque::new(),
             alerters: AlerterSet::default(),
-            hosted_tasks: 0,
+            next_seq: 0,
         }
     }
 
@@ -152,7 +180,7 @@ impl PeerHost {
 
     /// Number of tasks deployed on this peer.
     pub fn hosted_tasks(&self) -> usize {
-        self.hosted_tasks
+        self.operators.len()
     }
 
     /// Number of `Select` tasks registered with the shared engine.
@@ -165,9 +193,24 @@ impl PeerHost {
         self.engine.stats
     }
 
-    /// Records that a task was deployed here.
-    pub(crate) fn task_deployed(&mut self) {
-        self.hosted_tasks += 1;
+    /// Installs the operator instance of a task deployed here.
+    pub(crate) fn install_task(&mut self, sub: usize, task: usize, operator: RuntimeOperator) {
+        self.operators.insert((sub, task), operator);
+    }
+
+    /// Removes a task's operator instance (teardown path); returns `true`
+    /// when it was hosted here.
+    pub(crate) fn remove_task(&mut self, sub: usize, task: usize) -> bool {
+        self.operators.remove(&(sub, task)).is_some()
+    }
+
+    /// Bytes of operator state held for one subscription's tasks.
+    pub(crate) fn state_bytes_of(&self, sub: usize) -> usize {
+        self.operators
+            .iter()
+            .filter(|((s, _), _)| *s == sub)
+            .map(|(_, operator)| operator.state_size())
+            .sum()
     }
 
     /// Registers a hosted Select task's simple conditions and tree patterns
@@ -179,7 +222,6 @@ impl PeerHost {
     }
 
     /// Unregisters a Select task (teardown path).
-    #[allow(dead_code)] // subscription teardown is a ROADMAP follow-on
     pub(crate) fn unregister_select(&mut self, sub: usize, task: usize) -> bool {
         match self.gates.remove(&(sub, task)) {
             Some(id) => self.engine.remove(id),
@@ -192,9 +234,35 @@ impl PeerHost {
         self.gates.get(&(sub, task)).copied()
     }
 
+    /// Wraps a payload as a stream item with this peer's next sequence
+    /// number.
+    pub(crate) fn make_item(&mut self, now: u64, data: Element) -> StreamItem {
+        let item = StreamItem::new(self.next_seq, now, data);
+        self.next_seq += 1;
+        item
+    }
+
     /// Enqueues work for a hosted task.
     pub(crate) fn enqueue(&mut self, work: Work) {
         self.queue.push_back(work);
+    }
+
+    /// True when the peer has batched alerts or queued work to process.
+    pub(crate) fn has_local_work(&self) -> bool {
+        !self.queue.is_empty() || !self.pending_alerts.is_empty()
+    }
+
+    /// Discards every batched alert target and queued work item addressed to
+    /// a subscription (unsubscribe path).
+    pub(crate) fn purge_subscription(&mut self, sub: usize) {
+        self.queue.retain(|work| work.sub != sub);
+        for alert in &mut self.pending_alerts {
+            if alert.targets.iter().any(|&(s, _, _)| s == sub) {
+                std::sync::Arc::make_mut(&mut alert.targets).retain(|&(s, _, _)| s != sub);
+            }
+        }
+        self.pending_alerts
+            .retain(|alert| !alert.targets.is_empty());
     }
 }
 

@@ -1,0 +1,95 @@
+//! The work-stealing peer scheduler.
+//!
+//! A dispatch phase hands every [`PeerHost`] with local work to
+//! [`run_jobs`]: with one worker the hosts are processed inline, in order —
+//! the sequential oracle path — and with `workers > 1` a pool of scoped
+//! threads drives them concurrently.  Each worker owns a deque of peer jobs
+//! dealt round-robin; a worker whose deque runs dry steals from the back of
+//! another worker's deque, so a handful of heavy peers cannot strand the
+//! rest of the pool behind them.
+//!
+//! Correctness does not depend on the schedule: a job only touches its own
+//! host's mutable shard (operators, engine, queue, alert batch) plus the
+//! immutable [`DispatchSnapshot`], and every cross-peer effect is buffered in
+//! the job's [`PeerEffects`].  [`run_jobs`] returns the effects in job order
+//! (the monitor's deterministic peer order), so the commit phase — and
+//! therefore every observable result — is identical for any worker count.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+use crate::dispatch::{run_peer, DispatchSnapshot, PeerEffects};
+use crate::peer::PeerHost;
+
+/// Processes every job (one per peer with local work) and returns their
+/// buffered effects in job order.
+pub(crate) fn run_jobs(
+    jobs: Vec<&mut PeerHost>,
+    workers: usize,
+    snapshot: &DispatchSnapshot<'_>,
+) -> Vec<PeerEffects> {
+    let n = jobs.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        // The sequential oracle: same per-peer processing, no threads.
+        return jobs
+            .into_iter()
+            .map(|host| run_peer(host, snapshot))
+            .collect();
+    }
+
+    // Each job sits in a slot until exactly one worker takes it.
+    let slots: Vec<Mutex<Option<&mut PeerHost>>> = jobs
+        .into_iter()
+        .map(|host| Mutex::new(Some(host)))
+        .collect();
+    let results: Vec<Mutex<Option<PeerEffects>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Round-robin deal: worker `w` starts with jobs w, w+workers, w+2·workers…
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    thread::scope(|scope| {
+        for own in 0..workers {
+            let slots = &slots;
+            let results = &results;
+            let queues = &queues;
+            scope.spawn(move || {
+                while let Some(job) = next_job(own, queues) {
+                    if let Some(host) = slots[job].lock().expect("job slot poisoned").take() {
+                        let effects = run_peer(host, snapshot);
+                        *results[job].lock().expect("result slot poisoned") = Some(effects);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every scheduled job ran")
+        })
+        .collect()
+}
+
+/// Pops the worker's own deque front, or steals from the back of another
+/// worker's deque.  `None` means the phase is drained: jobs are fixed up
+/// front and never re-enqueued, so an empty sweep is final.
+fn next_job(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Some(job) = queues[own].lock().expect("queue poisoned").pop_front() {
+        return Some(job);
+    }
+    for (victim, queue) in queues.iter().enumerate() {
+        if victim == own {
+            continue;
+        }
+        if let Some(job) = queue.lock().expect("queue poisoned").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}

@@ -1,14 +1,19 @@
-//! Property test: for random alert/subscription mixes, engine-gated dispatch
-//! delivers exactly the same sink results as the pre-refactor linear path
-//! (kept behind the `naive_dispatch` config flag as the equivalence oracle).
+//! Property tests: for random alert/subscription mixes, engine-gated
+//! batched dispatch delivers exactly the same sink results as the
+//! pre-refactor linear path (kept behind the `naive_dispatch` config flag as
+//! the equivalence oracle) — and it does so for *any* worker count of the
+//! parallel peer scheduler, with `workers = 1` (the in-order sequential
+//! path) as the second oracle.
 
 use proptest::prelude::*;
 
 use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy, SubscriptionHandle};
 use p2pmon_workloads::SubscriptionStorm;
 
-fn run_storm(
+#[allow(clippy::too_many_arguments)]
+fn run_storm_with_workers(
     naive_dispatch: bool,
+    workers: usize,
     placement: PlacementStrategy,
     enable_reuse: bool,
     storm: &SubscriptionStorm,
@@ -20,9 +25,10 @@ fn run_storm(
         placement,
         enable_reuse,
         naive_dispatch,
+        workers,
         ..MonitorConfig::default()
     });
-    for peer in ["manager.org", "hub.net", "backend.net"] {
+    for peer in ["manager.org", "backend.net"] {
         monitor.add_peer(peer);
     }
     let handles: Vec<SubscriptionHandle> = storm
@@ -38,6 +44,27 @@ fn run_storm(
     (monitor, handles)
 }
 
+fn run_storm(
+    naive_dispatch: bool,
+    placement: PlacementStrategy,
+    enable_reuse: bool,
+    storm: &SubscriptionStorm,
+    n_subs: usize,
+    n_calls: usize,
+    traffic_seed: u64,
+) -> (Monitor, Vec<SubscriptionHandle>) {
+    run_storm_with_workers(
+        naive_dispatch,
+        1,
+        placement,
+        enable_reuse,
+        storm,
+        n_subs,
+        n_calls,
+        traffic_seed,
+    )
+}
+
 trait CloneWithSeed {
     fn clone_with_seed(&self, seed: u64) -> SubscriptionStorm;
 }
@@ -45,6 +72,7 @@ trait CloneWithSeed {
 impl CloneWithSeed for SubscriptionStorm {
     fn clone_with_seed(&self, seed: u64) -> SubscriptionStorm {
         let mut storm = SubscriptionStorm::new(seed);
+        storm.monitored_peers.clone_from(&self.monitored_peers);
         storm.methods.clone_from(&self.methods);
         storm.pattern_every = self.pattern_every;
         storm.residual_every = self.residual_every;
@@ -94,6 +122,56 @@ proptest! {
         // Gating can only remove work, never add it.
         prop_assert!(
             engine_monitor.operator_invocations <= naive_monitor.operator_invocations
+        );
+    }
+
+    /// Batched-parallel dispatch ≡ the sequential engine path ≡ naive
+    /// fan-out: same sinks for any worker count, across single- and
+    /// multi-peer storms.
+    #[test]
+    fn parallel_dispatch_equals_sequential_and_naive_for_any_worker_count(
+        seed in 0u64..10_000,
+        n_subs in 1usize..24,
+        n_calls in 1usize..32,
+        n_peers in 1usize..5,
+        workers in 2usize..6,
+        pattern_every in 0usize..4,
+        residual_every in 0usize..5,
+    ) {
+        let mut storm = SubscriptionStorm::with_peers(seed, n_peers);
+        storm.pattern_every = pattern_every;
+        storm.residual_every = residual_every;
+        let placement = PlacementStrategy::PushToSources;
+
+        let (parallel_monitor, parallel_handles) = run_storm_with_workers(
+            false, workers, placement, false, &storm, n_subs, n_calls, seed ^ 0xfeed);
+        let (sequential_monitor, sequential_handles) = run_storm_with_workers(
+            false, 1, placement, false, &storm, n_subs, n_calls, seed ^ 0xfeed);
+        let (naive_monitor, naive_handles) = run_storm_with_workers(
+            true, workers, placement, false, &storm, n_subs, n_calls, seed ^ 0xfeed);
+
+        for ((p, s), n) in parallel_handles.iter().zip(&sequential_handles).zip(&naive_handles) {
+            prop_assert_eq!(
+                parallel_monitor.results(p),
+                sequential_monitor.results(s),
+                "parallel vs sequential sink divergence (seed {}, {} subs, {} calls, {} peers, {} workers)",
+                seed, n_subs, n_calls, n_peers, workers
+            );
+            prop_assert_eq!(
+                parallel_monitor.results(p),
+                naive_monitor.results(n),
+                "parallel vs naive sink divergence (seed {}, {} subs, {} calls, {} peers, {} workers)",
+                seed, n_subs, n_calls, n_peers, workers
+            );
+        }
+        // The schedule must not change the work done, only who does it.
+        prop_assert_eq!(
+            parallel_monitor.operator_invocations,
+            sequential_monitor.operator_invocations
+        );
+        prop_assert_eq!(
+            parallel_monitor.dispatch_stats(),
+            sequential_monitor.dispatch_stats()
         );
     }
 }

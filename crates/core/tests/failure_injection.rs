@@ -2,6 +2,8 @@
 //! (`drop_probability > 0`) and downed peers must degrade results without
 //! panicking or deadlocking `run_until_idle`.
 
+use std::collections::HashMap;
+
 use p2pmon_alerters::SoapCall;
 use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy};
 use p2pmon_net::NetworkConfig;
@@ -137,4 +139,84 @@ fn storm_survives_loss_and_a_downed_monitored_peer() {
     monitor.run_until_idle();
     let recovered: usize = handles.iter().map(|h| monitor.results(h).len()).sum();
     assert!(recovered >= down);
+}
+
+/// Downing a peer *mid-batch* — after channel traffic has landed in its
+/// alert inbox but before the next dispatch phase processes it — must not
+/// lose or double-deliver alerts anywhere else: subscriptions on live peers
+/// deliver exactly the clean run's results, the downed peer's sink receives
+/// a duplicate-free subset of its clean results, and the discarded batch is
+/// accounted in `dropped_by_failure`.
+#[test]
+fn peer_down_mid_batch_loses_no_alert_and_duplicates_nothing() {
+    // Subscription A publishes from hub.net sources and manager-side
+    // restructure; subscription B (submitted from observer.org) reuses A's
+    // filtered streams, so alerts reach B's tasks over channels — the
+    // traffic that sits in observer.org's alert batch between ticks.
+    let build = || {
+        let mut monitor = Monitor::new(MonitorConfig {
+            placement: PlacementStrategy::PushToSources,
+            enable_reuse: true,
+            workers: 3,
+            ..MonitorConfig::default()
+        });
+        for peer in ["p", "observer.org", "a.com", "b.com", "meteo.com"] {
+            monitor.add_peer(peer);
+        }
+        let a = monitor.submit("p", METEO_SUBSCRIPTION).unwrap();
+        let b = monitor.submit("observer.org", METEO_SUBSCRIPTION).unwrap();
+        (monitor, a, b)
+    };
+    let calls = meteo_calls(80);
+
+    let (mut clean, clean_a, clean_b) = build();
+    for call in &calls {
+        clean.inject_soap_call(call);
+    }
+    clean.run_until_idle();
+    assert!(!clean.results(&clean_b).is_empty(), "B sees incidents");
+
+    let (mut faulty, faulty_a, faulty_b) = build();
+    for call in &calls {
+        faulty.inject_soap_call(call);
+    }
+    // One round: alerts drain, filters run, channel traffic is delivered —
+    // observer.org now holds a pending alert batch for the next phase.
+    faulty.tick();
+    faulty.fail_peer("observer.org");
+    faulty.run_until_idle();
+
+    // Live peers: nothing lost, nothing duplicated.
+    assert_eq!(
+        faulty.results(&faulty_a),
+        clean.results(&clean_a),
+        "subscription on live peers must deliver exactly the clean results"
+    );
+    // Downed peer: a duplicate-free subset of the clean multiset.
+    let multiset = |results: Vec<p2pmon_xmlkit::Element>| -> HashMap<String, usize> {
+        let mut counts = HashMap::new();
+        for r in results {
+            *counts.entry(r.to_xml()).or_insert(0) += 1;
+        }
+        counts
+    };
+    let clean_counts = multiset(clean.results(&clean_b));
+    let faulty_counts = multiset(faulty.results(&faulty_b));
+    for (result, n) in &faulty_counts {
+        assert!(
+            clean_counts.get(result).is_some_and(|clean_n| n <= clean_n),
+            "result delivered more often than in the clean run: {result}"
+        );
+    }
+    assert!(
+        faulty.results(&faulty_b).len() < clean.results(&clean_b).len(),
+        "the downed peer must actually have missed deliveries"
+    );
+    // Every missing delivery is accounted: the batch pending on the downed
+    // peer was discarded, not silently lost.
+    assert!(
+        faulty.dispatch_stats().dropped_by_failure > 0,
+        "the interrupted batch must be counted as dropped: {:?}",
+        faulty.dispatch_stats()
+    );
 }

@@ -247,6 +247,23 @@ impl StreamDefinitionDatabase {
         self.descriptors.insert(key, definition);
     }
 
+    /// Retracts a published stream definition: removes the descriptor, its
+    /// index postings and any replica declarations for it (subscription
+    /// teardown).  Returns `true` when the definition existed.
+    pub fn retract(&mut self, peer: &str, stream: &str) -> bool {
+        let key = (peer.to_string(), stream.to_string());
+        let Some(definition) = self.descriptors.remove(&key) else {
+            return false;
+        };
+        let id = format!("{peer}|{stream}");
+        for term in Self::index_terms(&definition) {
+            self.index.remove(&term, &id);
+        }
+        self.replicas
+            .retain(|r| !(r.peer_id == peer && r.stream_id == stream));
+        true
+    }
+
     /// Publishes a replica declaration.
     pub fn publish_replica(&mut self, replica: ReplicaDeclaration) {
         self.replicas.push(replica);
@@ -407,6 +424,25 @@ mod tests {
         assert_eq!(parsed.operands, def.operands);
         assert!(parsed.is_channel);
         assert_eq!(parsed.stats.items, 1);
+    }
+
+    #[test]
+    fn retract_removes_descriptor_index_postings_and_replicas() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("p1", "s1", "inCOM"));
+        db.publish_replica(ReplicaDeclaration {
+            peer_id: "p1".into(),
+            stream_id: "s1".into(),
+            replica_peer: "p2".into(),
+            replica_stream: "r1".into(),
+        });
+        assert_eq!(db.find_alerter_streams("p1", "inCOM").len(), 1);
+        assert!(db.retract("p1", "s1"));
+        assert!(!db.retract("p1", "s1"), "second retraction is a no-op");
+        assert!(db.get("p1", "s1").is_none());
+        assert!(db.find_alerter_streams("p1", "inCOM").is_empty());
+        assert!(db.replicas_of("p1", "s1").is_empty());
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -64,6 +64,31 @@ pub struct FilterOutcome {
     pub active_complex: Vec<SubscriptionId>,
 }
 
+/// The outcome of filtering a batch of documents
+/// ([`FilterEngine::match_batch`]): one [`FilterOutcome`] per *unique*
+/// document, with an index mapping every input document to its (possibly
+/// shared) outcome — duplicates cost neither an engine pass nor a clone.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// One outcome per unique document, in first-seen order.  Its length is
+    /// the number of engine passes the batch actually executed.
+    pub outcomes: Vec<FilterOutcome>,
+    /// For each input document, the index of its outcome in `outcomes`.
+    pub index: Vec<usize>,
+}
+
+impl BatchOutcome {
+    /// The outcome of input document `i`.
+    pub fn outcome(&self, i: usize) -> &FilterOutcome {
+        &self.outcomes[self.index[i]]
+    }
+
+    /// Number of engine passes the batch executed (unique documents).
+    pub fn passes(&self) -> usize {
+        self.outcomes.len()
+    }
+}
+
 /// The two-stage, many-subscription Filter.
 #[derive(Debug, Clone, Default)]
 pub struct FilterEngine {
@@ -286,6 +311,31 @@ impl FilterEngine {
             .filter(|(id, n)| self.complex_counts.get(id) == Some(n))
             .map(|(id, _)| id)
             .collect()
+    }
+
+    /// Filters a batch of documents, running the three stages once per
+    /// *distinct* document: identical documents (by serialized form) share a
+    /// single pass, which is what amortizes per-tick batched alert dispatch —
+    /// a peer whose inbox holds the same alert for many subscriptions pays
+    /// for one engine evaluation.  Duplicates share their outcome by index
+    /// instead of cloning it; read per-input results through
+    /// [`BatchOutcome::outcome`].
+    pub fn match_batch(&mut self, docs: &[&Element]) -> BatchOutcome {
+        let mut outcomes: Vec<FilterOutcome> = Vec::new();
+        let mut index: Vec<usize> = Vec::with_capacity(docs.len());
+        let mut first_seen: HashMap<String, usize> = HashMap::new();
+        for doc in docs {
+            let key = doc.to_xml();
+            match first_seen.get(&key).copied() {
+                Some(i) => index.push(i),
+                None => {
+                    first_seen.insert(key, outcomes.len());
+                    index.push(outcomes.len());
+                    outcomes.push(self.process(doc));
+                }
+            }
+        }
+        BatchOutcome { outcomes, index }
     }
 
     /// Filters a document that may contain unevaluated service calls
@@ -572,6 +622,34 @@ mod tests {
             .process(&doc)
             .matched
             .contains(&SubscriptionId(0)));
+    }
+
+    #[test]
+    fn match_batch_deduplicates_identical_documents() {
+        let mut engine = FilterEngine::new();
+        engine.add(sub_simple(1, "kind", "rss"));
+        engine.add(sub_complex(2, "kind", "rss", "//item/title"));
+        let hit = parse(r#"<alert kind="rss"><item><title>x</title></item></alert>"#).unwrap();
+        let hit_again =
+            parse(r#"<alert kind="rss"><item><title>x</title></item></alert>"#).unwrap();
+        let miss = parse(r#"<alert kind="soap"/>"#).unwrap();
+        let batch = engine.match_batch(&[&hit, &miss, &hit_again, &hit]);
+        assert_eq!(batch.passes(), 2, "identical documents share one pass");
+        assert_eq!(engine.stats.documents, 2);
+        assert_eq!(
+            batch.outcome(0).matched,
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        assert!(batch.outcome(1).matched.is_empty());
+        assert_eq!(batch.index, vec![0, 1, 0, 0], "duplicates share by index");
+        assert_eq!(batch.outcome(2), batch.outcome(0));
+        // The batched outcomes agree with one-at-a-time processing.
+        let mut fresh = FilterEngine::new();
+        fresh.add(sub_simple(1, "kind", "rss"));
+        fresh.add(sub_complex(2, "kind", "rss", "//item/title"));
+        for (i, doc) in [&hit, &miss, &hit_again].iter().enumerate() {
+            assert_eq!(&fresh.process(doc), batch.outcome(i));
+        }
     }
 
     #[test]

@@ -366,18 +366,22 @@ impl SubscriptionWorkload {
 
 /// Many shared-prefix P2PML subscriptions over one alerter function.
 ///
-/// Every subscription watches `outCOM` at the same monitored peer and shares
-/// the `$c.callee = service` condition prefix; they differ in the method they
-/// single out, and fractions of them add a tree-pattern condition
+/// Every subscription watches `outCOM` at one of the monitored peers and
+/// shares the `$c.callee = service` condition prefix; they differ in the
+/// method they single out, and fractions of them add a tree-pattern condition
 /// (`$c//detail`) and a LET-derived latency residual (`$d > threshold`).
-/// Deployed on one Monitor, all the resulting `Select` tasks land on the
-/// monitored peer (pushdown) and register with its shared filter engine — the
-/// scenario where per-alert cost must stay sublinear in the subscription
-/// count.
+/// Deployed on one Monitor, all the resulting `Select` tasks land on their
+/// monitored peers (pushdown) and register with those peers' shared filter
+/// engines — the scenario where per-alert cost must stay sublinear in the
+/// subscription count.  With [`SubscriptionStorm::with_peers`] the
+/// subscriptions are spread round-robin over several monitored peers, giving
+/// the parallel peer scheduler independent per-peer filter workloads to
+/// scale across.
 #[derive(Debug, Clone)]
 pub struct SubscriptionStorm {
-    /// The one monitored peer whose `outCOM` alerter feeds everything.
-    pub monitored_peer: String,
+    /// The monitored peers whose `outCOM` alerters feed everything;
+    /// subscription `i` watches `monitored_peers[i % len]`.
+    pub monitored_peers: Vec<String>,
     /// The callee every subscription's shared prefix pins.
     pub service: String,
     /// Method vocabulary; subscription `i` singles out `methods[i % len]`.
@@ -403,7 +407,7 @@ impl SubscriptionStorm {
     /// The default storm: one hub peer calling one backend service.
     pub fn new(seed: u64) -> Self {
         SubscriptionStorm {
-            monitored_peer: "hub.net".into(),
+            monitored_peers: vec!["hub.net".into()],
             service: "http://backend.net".into(),
             methods: (0..8).map(|i| format!("Method{i}")).collect(),
             pattern_every: 2,
@@ -417,12 +421,22 @@ impl SubscriptionStorm {
         }
     }
 
+    /// A storm spread round-robin over `peers` monitored hub peers
+    /// (`hub0.net`, `hub1.net`, …), each hosting its own slice of the
+    /// subscriptions — the multi-peer workload for parallel-scaling runs.
+    pub fn with_peers(seed: u64, peers: usize) -> Self {
+        let mut storm = SubscriptionStorm::new(seed);
+        storm.monitored_peers = (0..peers.max(1)).map(|i| format!("hub{i}.net")).collect();
+        storm
+    }
+
     /// The P2PML text of subscription `i`.
     pub fn subscription(&self, i: usize) -> String {
         let method = &self.methods[i % self.methods.len().max(1)];
+        let peer = &self.monitored_peers[i % self.monitored_peers.len().max(1)];
         let with_pattern = self.pattern_every > 0 && i.is_multiple_of(self.pattern_every);
         let with_residual = self.residual_every > 0 && i.is_multiple_of(self.residual_every);
-        let mut text = format!("for $c in outCOM(<p>{}</p>)\n", self.monitored_peer);
+        let mut text = format!("for $c in outCOM(<p>{peer}</p>)\n");
         if with_residual {
             text.push_str("let $d := $c.responseTimestamp - $c.callTimestamp\n");
         }
@@ -447,11 +461,12 @@ impl SubscriptionStorm {
         (0..n).map(|i| self.subscription(i)).collect()
     }
 
-    /// The next SOAP call of the matching traffic: the hub calling the
-    /// backend with a random method, sometimes slow, sometimes carrying the
-    /// `<detail>` element the pattern subscriptions look for.
+    /// The next SOAP call of the matching traffic: one of the hubs calling
+    /// the backend with a random method, sometimes slow, sometimes carrying
+    /// the `<detail>` element the pattern subscriptions look for.
     pub fn next_call(&mut self) -> SoapCall {
         let method = self.methods[self.rng.gen_range(0..self.methods.len())].clone();
+        let peer = self.monitored_peers[self.rng.gen_range(0..self.monitored_peers.len())].clone();
         self.clock += self.rng.gen_range(1..=20u64);
         let slow = self.rng.gen::<f64>() < self.slow_fraction;
         let latency = if slow {
@@ -463,7 +478,7 @@ impl SubscriptionStorm {
         self.next_id += 1;
         let mut call = SoapCall::new(
             id,
-            format!("http://{}", self.monitored_peer),
+            format!("http://{peer}"),
             self.service.clone(),
             method,
             self.clock,

@@ -1,0 +1,200 @@
+//! Stream reuse (E7): reuse-on vs reuse-off over overlapping-subscription
+//! storms — deployment cost, per-item network traffic and reuse hit rate at
+//! 16/64/256 overlapping subscriptions drawn from a fixed pool of shapes.
+//!
+//! Section 5's claim: the Subscription Manager "searches for existing
+//! streams that could help support (portions of) the new task", so
+//! overlapping subscriptions share work and traffic.  With reuse on, the
+//! duplicates of each shape collapse into one live channel subscription on
+//! the producer's output and ride a per-peer multicast; with reuse off each
+//! duplicate redeploys the pipeline and ships its own copy of every result.
+//! Sink output is byte-identical either way (asserted here and proptested in
+//! `p2pmon-core`); the difference is pure cost.
+//!
+//! Besides the Criterion groups, this bench writes the `BENCH_reuse.json`
+//! trajectory to the workspace root so that CI can track hit rate and
+//! traffic savings per PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use p2pmon_bench::{full_run_requested, quick_criterion};
+use p2pmon_core::{Monitor, MonitorConfig, SubscriptionHandle};
+use p2pmon_workloads::OverlappingStorm;
+
+const SUBSCRIPTION_COUNTS: [usize; 3] = [16, 64, 256];
+const SHAPES: usize = 8;
+
+fn storm_monitor(enable_reuse: bool, n_subs: usize) -> (Monitor, Vec<SubscriptionHandle>) {
+    let mut monitor = Monitor::new(MonitorConfig {
+        enable_reuse,
+        workers: 1,
+        ..MonitorConfig::default()
+    });
+    for peer in ["manager.org", "backend.net"] {
+        monitor.add_peer(peer);
+    }
+    let storm = OverlappingStorm::new(1, SHAPES);
+    let handles = storm
+        .subscriptions(n_subs)
+        .iter()
+        .map(|text| monitor.submit("manager.org", text).expect("storm deploys"))
+        .collect();
+    (monitor, handles)
+}
+
+fn calls_per_run() -> usize {
+    if full_run_requested() {
+        500
+    } else {
+        120
+    }
+}
+
+/// Deployment cost: reuse-on pays the definition-database search but skips
+/// re-deploying covered subtrees; reuse-off re-instantiates every duplicate.
+fn reuse_deploy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_deploy");
+    for n_subs in [16usize, 64] {
+        for (label, enabled) in [("reuse-on", true), ("reuse-off", false)] {
+            group.bench_function(BenchmarkId::new(label, n_subs), |b| {
+                b.iter(|| storm_monitor(enabled, black_box(n_subs)).1.len())
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Steady-state dispatch over the shared streams.
+fn reuse_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_dispatch");
+    let calls = OverlappingStorm::new(9, SHAPES).calls(calls_per_run());
+    for (label, enabled) in [("reuse-on", true), ("reuse-off", false)] {
+        group.bench_function(BenchmarkId::new(label, 64), |b| {
+            let (mut monitor, _) = storm_monitor(enabled, 64);
+            b.iter(|| {
+                for call in &calls {
+                    monitor.inject_soap_call(black_box(call));
+                }
+                monitor.run_until_idle();
+                monitor.operator_invocations
+            })
+        });
+    }
+    group.finish();
+}
+
+struct Run {
+    deploy_ns: f64,
+    tasks: usize,
+    messages: u64,
+    bytes: u64,
+    results: usize,
+    monitor: Monitor,
+}
+
+/// One measured run: deploy `n_subs`, drive the storm traffic, read the
+/// counters.
+fn timed_run(enable_reuse: bool, n_subs: usize, calls_n: usize) -> Run {
+    let start = Instant::now();
+    let (mut monitor, handles) = storm_monitor(enable_reuse, n_subs);
+    let deploy_ns = start.elapsed().as_nanos() as f64 / n_subs as f64;
+    let tasks = handles
+        .iter()
+        .map(|h| monitor.report(h).expect("deployed").tasks)
+        .sum();
+    let mut traffic = OverlappingStorm::new(9, SHAPES);
+    for call in traffic.calls(calls_n) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let results = handles.iter().map(|h| monitor.results(h).len()).sum();
+    let stats = monitor.network_stats();
+    Run {
+        deploy_ns,
+        tasks,
+        messages: stats.total_messages,
+        bytes: stats.total_bytes,
+        results,
+        monitor,
+    }
+}
+
+/// Emits the BENCH_reuse.json trajectory at the workspace root.
+fn emit_trajectory(_c: &mut Criterion) {
+    let calls_n = calls_per_run();
+    let mut rows = Vec::new();
+    for n_subs in SUBSCRIPTION_COUNTS {
+        let on = timed_run(true, n_subs, calls_n);
+        let off = timed_run(false, n_subs, calls_n);
+        assert_eq!(
+            on.results, off.results,
+            "reuse must not change what the sinks receive"
+        );
+        let reuse = on.monitor.reuse_stats();
+        let per_item = |messages: u64, results: usize| messages as f64 / results.max(1) as f64;
+        eprintln!(
+            "reuse [{n_subs} subs, {SHAPES} shapes]: hit rate {:.2}, {} operators saved, \
+             messages {} vs {} ({} saved by multicast), {:.2} vs {:.2} msgs/result, \
+             deploy {:.0} vs {:.0} ns/sub",
+            reuse.hit_rate(),
+            reuse.operators_saved,
+            on.messages,
+            off.messages,
+            reuse.messages_saved,
+            per_item(on.messages, on.results),
+            per_item(off.messages, off.results),
+            on.deploy_ns,
+            off.deploy_ns,
+        );
+        rows.push(format!(
+            "    {{\"subscriptions\": {n_subs}, \"shapes\": {SHAPES}, \
+             \"hit_rate\": {:.4}, \"covered_nodes\": {}, \"operators_saved\": {}, \
+             \"reuse_on_messages\": {}, \"reuse_off_messages\": {}, \
+             \"messages_saved_by_multicast\": {}, \
+             \"reuse_on_bytes\": {}, \"reuse_off_bytes\": {}, \
+             \"reuse_on_msgs_per_result\": {:.3}, \"reuse_off_msgs_per_result\": {:.3}, \
+             \"reuse_on_tasks\": {}, \"reuse_off_tasks\": {}, \
+             \"reuse_on_deploy_ns_per_sub\": {:.0}, \"reuse_off_deploy_ns_per_sub\": {:.0}, \
+             \"results\": {}}}",
+            reuse.hit_rate(),
+            reuse.covered_nodes,
+            reuse.operators_saved,
+            on.messages,
+            off.messages,
+            reuse.messages_saved,
+            on.bytes,
+            off.bytes,
+            per_item(on.messages, on.results),
+            per_item(off.messages, off.results),
+            on.tasks,
+            off.tasks,
+            on.deploy_ns,
+            off.deploy_ns,
+            on.results,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"reuse\",\n  \"mode\": \"{}\",\n  \"calls_per_run\": {calls_n},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        if full_run_requested() {
+            "full"
+        } else {
+            "quick"
+        },
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reuse.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = reuse_deploy, reuse_dispatch, emit_trajectory
+}
+criterion_main!(benches);

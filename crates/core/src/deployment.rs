@@ -9,8 +9,27 @@
 //! conditions and tree patterns with its host peer's shared filter engine
 //! (the *offline adjustment* of Figure 5), and publishing the definitions of
 //! the newly created streams.
+//!
+//! **Canonical channel identity.**  Placement mints one [`ChannelId`] per
+//! task output ([`PlacedPlan::output_channels`]): `(producing peer, stream
+//! name)`.  That same identity is used for (1) the cross-peer routing tables,
+//! (2) the live multicast a reuse subscriber attaches to, and (3) the stream
+//! definition published in the DHT — so a definition always names the peer
+//! that actually emits, and a covered subtree can subscribe to the producing
+//! operator's existing output channel without any manager hop or
+//! re-deployment.
+//!
+//! **Shared-stream reference counting.**  Every published definition is
+//! refcounted: the owning subscription holds one reference on each derived
+//! definition it publishes, and every deployed task that *consumes* a shared
+//! stream (`Source` tasks for `src-<function>` definitions, `ChannelSource`
+//! tasks for the channel they attach to) holds one reference on that
+//! definition.  `Monitor::unsubscribe` releases the owner references and
+//! tears down only the tasks no still-referenced stream depends on; the
+//! producing subtree of a stream with live subscribers keeps running until
+//! the last subscriber lets go, at which point the teardown cascades.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeSet, HashMap};
 
 use p2pmon_dht::StreamDefinition;
 use p2pmon_filter::FilterSubscription;
@@ -20,6 +39,7 @@ use p2pmon_streams::ChannelId;
 
 use crate::dispatch::Route;
 use crate::monitor::{DeployedSubscription, Monitor, SubscriptionHandle};
+use crate::reuse::ReuseStats;
 
 /// `(peer, stream)` keys of published stream definitions.
 type DefKeys = Vec<(String, String)>;
@@ -27,6 +47,104 @@ use crate::placement::{place, push_selections_below_unions, PlacedPlan, TaskKind
 use crate::reuse::{apply_reuse, join_parameters, select_parameters, ReuseReport};
 use crate::runtime::RuntimeOperator;
 use crate::sink::{Sink, SinkKind};
+
+/// The `(peer, stream)` definition key a deployed task holds a reference on
+/// while it is installed: the shared `src-<function>` definition for a
+/// source binding, the subscribed channel for a channel subscription.
+pub(crate) fn task_ref_key(kind: &TaskKind) -> Option<(String, String)> {
+    match kind {
+        TaskKind::Source {
+            function,
+            monitored_peer,
+            ..
+        } => Some((monitored_peer.clone(), format!("src-{function}"))),
+        TaskKind::ChannelSource { channel, .. } => {
+            Some((channel.peer.clone(), channel.stream.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Resolves every explicit channel reference in a plan to its canonical
+/// identity.  A subscription addresses a published channel by the name and
+/// manager it was declared with (`channel("#alertQoS@p")`), but the
+/// canonical identity names the peer that actually emits the stream
+/// (wherever placement put the producer's root); without this step the
+/// subscriber would attach to a channel nobody multicasts on.  References
+/// minted by the reuse rewriting are already canonical (exact match — the
+/// runtime never creates replicas today, so the selected provider *is* the
+/// original; if replica re-publication lands (see ROADMAP), replica
+/// providers will need their own live channels), and unknown or ambiguous
+/// names pass through unchanged.
+fn canonicalize_channel_refs(
+    db: &p2pmon_dht::StreamDefinitionDatabase,
+    node: p2pmon_p2pml::plan::LogicalNode,
+) -> p2pmon_p2pml::plan::LogicalNode {
+    use p2pmon_p2pml::plan::LogicalNode;
+    match node {
+        LogicalNode::ChannelIn { peer, stream, var } => {
+            let (peer, stream) = db.canonical_identity(&normalize_peer(&peer), &stream);
+            LogicalNode::ChannelIn { peer, stream, var }
+        }
+        LogicalNode::DynamicAlerter {
+            function,
+            var,
+            driver,
+        } => LogicalNode::DynamicAlerter {
+            function,
+            var,
+            driver: Box::new(canonicalize_channel_refs(db, *driver)),
+        },
+        LogicalNode::Union { var, inputs } => LogicalNode::Union {
+            var,
+            inputs: inputs
+                .into_iter()
+                .map(|input| canonicalize_channel_refs(db, input))
+                .collect(),
+        },
+        LogicalNode::Select {
+            var,
+            input,
+            simple,
+            patterns,
+            derived,
+            conditions,
+        } => LogicalNode::Select {
+            var,
+            input: Box::new(canonicalize_channel_refs(db, *input)),
+            simple,
+            patterns,
+            derived,
+            conditions,
+        },
+        LogicalNode::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => LogicalNode::Join {
+            left: Box::new(canonicalize_channel_refs(db, *left)),
+            right: Box::new(canonicalize_channel_refs(db, *right)),
+            left_key,
+            right_key,
+            residual,
+        },
+        LogicalNode::Dedup { input } => LogicalNode::Dedup {
+            input: Box::new(canonicalize_channel_refs(db, *input)),
+        },
+        LogicalNode::Restructure {
+            input,
+            template,
+            derived,
+        } => LogicalNode::Restructure {
+            input: Box::new(canonicalize_channel_refs(db, *input)),
+            template,
+            derived,
+        },
+        leaf @ LogicalNode::Alerter { .. } => leaf,
+    }
+}
 
 impl Monitor {
     /// Submits a P2PML subscription to the given manager peer: compile, apply
@@ -58,23 +176,25 @@ impl Monitor {
         // scores candidate providers by their expected latency from the
         // manager (the "close networkwise" criterion of Section 5).
         let (root, reuse) = if self.config.enable_reuse {
-            let latencies: BTreeMap<String, u64> = self
+            let latencies: std::collections::BTreeMap<String, u64> = self
                 .peers
                 .iter()
                 .map(|p| (p.clone(), self.network.expected_latency(&manager, p)))
                 .collect();
             let proximity = move |peer: &str| latencies.get(peer).copied().unwrap_or(u64::MAX / 2);
-            apply_reuse(&plan.root, &mut self.stream_db, &proximity)
+            let (root, reuse) = apply_reuse(&plan.root, &mut self.stream_db, &proximity);
+            self.reuse_totals.absorb(&ReuseStats::of_report(&reuse));
+            (root, reuse)
         } else {
             (plan.root.clone(), ReuseReport::default())
         };
         let rewritten = LogicalPlan {
-            root,
+            root: canonicalize_channel_refs(&self.stream_db, root),
             by: plan.by.clone(),
             distinct: plan.distinct,
         };
 
-        // Placement.
+        // Placement, and the canonical channel identity of every task output.
         let placed = place(&rewritten, &manager, self.config.placement);
         for task in &placed.tasks {
             self.add_peer(task.peer.clone());
@@ -82,16 +202,21 @@ impl Monitor {
                 self.add_peer(monitored_peer.clone());
             }
         }
-
         let sub_idx = self.subscriptions.len();
+        let channels = placed.output_channels(sub_idx);
+
         let mut routes = Vec::with_capacity(placed.tasks.len());
 
         // Build operators, routes and consumer registrations; hand every task
-        // (and its operator instance) to its host peer's shard.
+        // (and its operator instance) to its host peer's shard.  Tasks that
+        // consume a shared stream take a reference on its definition.
         for task in &placed.tasks {
             let operator = RuntimeOperator::for_kind(&task.kind, self.config.join_window);
             self.host_mut(&task.peer)
                 .install_task(sub_idx, task.id, operator);
+            if let Some(key) = task_ref_key(&task.kind) {
+                self.def_refs.entry(key).or_default().refs += 1;
+            }
             match &task.kind {
                 TaskKind::Source {
                     function,
@@ -129,8 +254,7 @@ impl Monitor {
                             port,
                         }
                     } else {
-                        let channel =
-                            ChannelId::new(task.peer.clone(), format!("s{sub_idx}-t{}", task.id));
+                        let channel = channels[task.id].clone();
                         self.routing
                             .channel_consumers
                             .entry(channel.clone())
@@ -163,17 +287,29 @@ impl Monitor {
             }
         }
 
-        // Publish stream definitions for the streams this deployment creates,
-        // remembering what to retract (or dereference) on unsubscribe.
-        let (owned_defs, source_defs) = self.publish_definitions(sub_idx, &placed, &routes);
-        for key in &source_defs {
-            *self.source_def_refs.entry(key.clone()).or_insert(0) += 1;
+        // Publish stream definitions for the streams this deployment
+        // produces, under their canonical channel identities, and remember
+        // each definition's producing subtree for shared teardown.
+        let (owned_defs, def_tasks) = self.publish_definitions(&placed, &channels);
+        for key in &owned_defs {
+            let entry = self.def_refs.entry(key.clone()).or_default();
+            entry.refs += 1;
+            entry.owner.get_or_insert(sub_idx);
         }
 
-        // The published result channel, when the BY clause asks for one.
+        // The published result channel, when the BY clause asks for one: the
+        // canonical identity of the root task's output — emitted from the
+        // producing peer, not the manager.  Subscribers that attached under
+        // the *declared* `(manager, name)` identity before this producer
+        // existed (submit order is not a contract) are re-pointed to the
+        // canonical channel so they start receiving.
         let published_channel = match &placed.by {
             ByClause::Channel(name) => {
-                let channel = ChannelId::new(manager.clone(), name.clone());
+                let channel = channels[placed.root].clone();
+                let declared = ChannelId::new(manager.clone(), name.clone());
+                if declared != channel {
+                    self.repoint_channel_consumers(&declared, &channel);
+                }
                 self.routing
                     .published_channels
                     .entry(channel.clone())
@@ -188,13 +324,49 @@ impl Monitor {
             sink: Sink::new(SinkKind::from(&placed.by)),
             placed,
             routes,
+            channels,
             reuse,
             published_channel,
             owned_defs,
-            source_defs,
+            def_tasks,
             retired: false,
         });
         SubscriptionHandle(sub_idx)
+    }
+
+    /// Moves every channel subscriber registered under `declared` — a
+    /// channel reference deployed before its producer existed, so
+    /// [`StreamDefinitionDatabase::canonical_identity`] had nothing to
+    /// resolve against — onto the producer's `canonical` identity: the
+    /// consumer registrations, each subscribing task's stored [`ChannelId`],
+    /// and the definition reference each task holds.
+    ///
+    /// [`StreamDefinitionDatabase::canonical_identity`]: p2pmon_dht::StreamDefinitionDatabase::canonical_identity
+    fn repoint_channel_consumers(&mut self, declared: &ChannelId, canonical: &ChannelId) {
+        let Some(consumers) = self.routing.channel_consumers.remove(declared) else {
+            return;
+        };
+        let declared_key = (declared.peer.clone(), declared.stream.clone());
+        let canonical_key = (canonical.peer.clone(), canonical.stream.clone());
+        for &(sub, task, _) in &consumers {
+            if let TaskKind::ChannelSource { channel, .. } =
+                &mut self.subscriptions[sub].placed.tasks[task].kind
+            {
+                *channel = canonical.clone();
+            }
+            if let Some(entry) = self.def_refs.get_mut(&declared_key) {
+                entry.refs = entry.refs.saturating_sub(1);
+                if entry.refs == 0 {
+                    self.def_refs.remove(&declared_key);
+                }
+            }
+            self.def_refs.entry(canonical_key.clone()).or_default().refs += 1;
+        }
+        self.routing
+            .channel_consumers
+            .entry(canonical.clone())
+            .or_default()
+            .extend(consumers);
     }
 
     /// Installs the alerter for `function` on `peer` (idempotent).
@@ -206,16 +378,19 @@ impl Monitor {
 
     /// Publishes the stream definitions created by a deployment: one source
     /// definition per alerter binding, and one derived definition per
-    /// operator whose output is published on a channel and whose operand
-    /// identities are themselves published.  Returns the `(peer, stream)`
-    /// keys of the derived definitions this deployment owns and of the
-    /// shared source definitions it references, for teardown bookkeeping.
+    /// operator task whose operand identities are resolvable — *every*
+    /// produced stream is discoverable, so a later identical subscription can
+    /// be covered node by node up to its root and attach to the live output
+    /// channel.  Each derived definition carries its canonical channel
+    /// identity (the minted `channels[task]`).  Returns the `(peer, stream)`
+    /// keys of the derived definitions this deployment owns, plus each
+    /// definition's *producing subtree* (the upstream task closure that must
+    /// stay deployed while the stream has subscribers).
     fn publish_definitions(
         &mut self,
-        sub_idx: usize,
         placed: &PlacedPlan,
-        routes: &[Route],
-    ) -> (DefKeys, DefKeys) {
+        channels: &[ChannelId],
+    ) -> (DefKeys, HashMap<(String, String), Vec<usize>>) {
         // identities[task] = the (peer, stream) this task's output stream is
         // known as system-wide, when it is discoverable.
         let mut identities: Vec<Option<(String, String)>> = vec![None; placed.tasks.len()];
@@ -229,9 +404,20 @@ impl Monitor {
         for list in &mut children {
             list.sort_unstable();
         }
+        // The upstream closure of a task: itself plus everything feeding it.
+        let upstream = |task: usize| -> Vec<usize> {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![task];
+            while let Some(t) = stack.pop() {
+                if seen.insert(t) {
+                    stack.extend(children[t].iter().map(|&(_, child)| child));
+                }
+            }
+            seen.into_iter().collect()
+        };
 
-        let mut owned_defs: Vec<(String, String)> = Vec::new();
-        let mut source_defs: Vec<(String, String)> = Vec::new();
+        let mut owned_defs: DefKeys = Vec::new();
+        let mut def_tasks: HashMap<(String, String), Vec<usize>> = HashMap::new();
         for task in &placed.tasks {
             match &task.kind {
                 TaskKind::Source {
@@ -247,10 +433,6 @@ impl Monitor {
                             function.clone(),
                         ));
                     }
-                    let key = (monitored_peer.clone(), stream.clone());
-                    if !source_defs.contains(&key) {
-                        source_defs.push(key);
-                    }
                     identities[task.id] = Some((monitored_peer.clone(), stream));
                 }
                 TaskKind::ChannelSource { channel, .. } => {
@@ -262,58 +444,57 @@ impl Monitor {
                         .iter()
                         .map(|(_, child)| identities[*child].clone())
                         .collect();
-                    let publishes_channel = match &routes[task.id] {
-                        Route::Channel { .. } => true,
-                        Route::Publisher => matches!(placed.by, ByClause::Channel(_)),
-                        Route::Local { .. } => false,
-                    };
-                    if !publishes_channel {
+                    let Some(operands) = operand_ids else {
                         continue;
-                    }
-                    let stream_name = match (&routes[task.id], &placed.by) {
-                        (Route::Publisher, ByClause::Channel(name)) => name.clone(),
-                        _ => format!("s{sub_idx}-t{}", task.id),
                     };
-                    if let Some(operands) = operand_ids {
-                        let (operator, parameters) = match &task.kind {
-                            TaskKind::Select {
-                                simple,
-                                patterns,
-                                derived,
-                                conditions,
-                                ..
-                            } => (
-                                "Filter".to_string(),
-                                select_parameters(simple, patterns, derived, conditions),
-                            ),
-                            TaskKind::Join {
-                                left_key,
-                                right_key,
-                                residual,
-                            } => (
-                                "Join".to_string(),
-                                join_parameters(left_key, right_key, residual),
-                            ),
-                            TaskKind::Union { .. } => ("Union".to_string(), String::new()),
-                            TaskKind::Dedup => ("DuplicateRemoval".to_string(), String::new()),
-                            TaskKind::Restructure { template, .. } => {
-                                ("Restructure".to_string(), template.source().to_string())
-                            }
-                            _ => unreachable!("sources handled above"),
-                        };
+                    let (operator, parameters) = match &task.kind {
+                        TaskKind::Select {
+                            simple,
+                            patterns,
+                            derived,
+                            conditions,
+                            ..
+                        } => (
+                            "Filter".to_string(),
+                            select_parameters(simple, patterns, derived, conditions),
+                        ),
+                        TaskKind::Join {
+                            left_key,
+                            right_key,
+                            residual,
+                        } => (
+                            "Join".to_string(),
+                            join_parameters(left_key, right_key, residual),
+                        ),
+                        TaskKind::Union { .. } => ("Union".to_string(), String::new()),
+                        TaskKind::Dedup => ("DuplicateRemoval".to_string(), String::new()),
+                        TaskKind::Restructure { template, .. } => {
+                            ("Restructure".to_string(), template.source().to_string())
+                        }
+                        _ => unreachable!("sources handled above"),
+                    };
+                    let channel = &channels[task.id];
+                    let key = (channel.peer.clone(), channel.stream.clone());
+                    // Ownership follows publication: when another live
+                    // deployment already published this key (two `by channel
+                    // "X"` roots placed on the same peer), this one must not
+                    // take an owner reference it can never release — its
+                    // tasks stay its own and are torn down normally.
+                    if self.stream_db.get(&key.0, &key.1).is_none() {
                         self.stream_db.publish(StreamDefinition::derived(
-                            task.peer.clone(),
-                            stream_name.clone(),
+                            key.0.clone(),
+                            key.1.clone(),
                             operator,
                             parameters,
                             operands,
                         ));
-                        owned_defs.push((task.peer.clone(), stream_name.clone()));
-                        identities[task.id] = Some((task.peer.clone(), stream_name));
+                        def_tasks.insert(key.clone(), upstream(task.id));
+                        owned_defs.push(key.clone());
                     }
+                    identities[task.id] = Some(key);
                 }
             }
         }
-        (owned_defs, source_defs)
+        (owned_defs, def_tasks)
     }
 }

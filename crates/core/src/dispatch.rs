@@ -23,6 +23,15 @@
 //!    are identical for any worker count (`workers = 1` *is* the sequential
 //!    path and serves as the equivalence oracle).
 //!
+//! Channels are *shared physical streams*: every task output is also
+//! multicast on the task's canonical output channel whenever reuse
+//! subscribers are attached ([`DispatchSnapshot::tap`]), and a channel
+//! emission sends **one** message per distinct destination peer — all of a
+//! peer's subscribers ride it ([`Monitor::multicast_stream`]); subscribers
+//! hosted on the producing peer attach with no network hop at all.  Messages
+//! avoided this way are recorded as
+//! `p2pmon_net::NetworkStats::multicast_saved_messages` (E7).
+//!
 //! Setting [`crate::MonitorConfig::naive_dispatch`] disables the engine and
 //! fans every alert out to every consumer, re-evaluating each `Select`
 //! linearly — the pre-decomposition behaviour, kept as a second oracle.
@@ -30,7 +39,7 @@
 //! [`FilterEngine`]: p2pmon_filter::FilterEngine
 //! [`PendingAlert`]: crate::peer::PendingAlert
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use p2pmon_streams::binding::TUPLE_TAG;
@@ -40,7 +49,6 @@ use p2pmon_xmlkit::Element;
 use crate::monitor::{DeployedSubscription, Monitor};
 use crate::peer::{PeerHost, PendingAlert, Work};
 use crate::placement::TaskKind;
-use crate::scheduler;
 
 /// A shared list of delivery targets `(subscription, task, port)` — one
 /// alert batch fans out to the same consumers, so the list is built once.
@@ -55,7 +63,10 @@ type ResolvedTarget = (
     Option<(usize, p2pmon_filter::SubscriptionId)>,
 );
 
-/// How a task's output is routed.
+/// How a task's output is routed.  Independently of the route, every task
+/// output is also multicast on the task's canonical output channel whenever
+/// that channel has live subscribers (stream reuse attaching downstream of a
+/// running operator) — see [`DispatchSnapshot::tap`].
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Route {
     /// Same-peer edge: enqueue directly for the consumer task.
@@ -66,6 +77,10 @@ pub(crate) enum Route {
     /// The plan root: deliver to the subscription's sink (and, when the BY
     /// clause publishes a channel, also to that channel's subscribers).
     Publisher,
+    /// The task's plan-internal consumer was torn down, but the task itself
+    /// survives because its output stream still has subscribers: outputs go
+    /// only to the canonical channel.
+    Dropped,
 }
 
 /// The deployment-time routing tables shared by every peer.
@@ -124,10 +139,22 @@ impl DispatchStats {
 pub(crate) struct DispatchSnapshot<'a> {
     /// The deployed subscriptions (placements and routes only).
     pub subs: &'a [DeployedSubscription],
+    /// The channel-consumer registrations, read-only during a phase: lets a
+    /// worker see whether a task's canonical output channel has live
+    /// subscribers (reuse taps) without touching the routing tables.
+    pub taps: &'a HashMap<ChannelId, Vec<(usize, usize, usize)>>,
     /// Bypass the shared engines (naive fan-out oracle).
     pub naive_dispatch: bool,
     /// The logical clock at phase start (constant during a phase).
     pub now: u64,
+}
+
+/// A channel emission plan: the channel plus its subscribers grouped by
+/// destination peer (one shared target list per peer), computed once per
+/// batch by [`Monitor::multicast_plan`].
+pub(crate) struct MulticastPlan {
+    channel: ChannelId,
+    by_peer: Vec<(String, SharedTargets)>,
 }
 
 /// A side effect a peer's local processing defers to the commit phase.
@@ -151,6 +178,18 @@ pub(crate) struct PeerEffects {
 }
 
 impl DispatchSnapshot<'_> {
+    /// The canonical output channel of a task, when it currently has
+    /// subscribers beyond the plan-internal consumer (reuse attachments).
+    /// Not consulted for [`Route::Channel`] tasks — there the route's
+    /// multicast already reaches every registered consumer.
+    fn tap(&self, sub: usize, task: usize) -> Option<&ChannelId> {
+        let channel = &self.subs[sub].channels[task];
+        match self.taps.get(channel) {
+            Some(consumers) if !consumers.is_empty() => Some(channel),
+            _ => None,
+        }
+    }
+
     /// Resolves the engine gate for one delivery target, if any: either the
     /// target itself is a hosted `Select`, or it is a pass-through source
     /// whose local downstream is one (in which case the pass-through hop is
@@ -307,7 +346,22 @@ fn execute(
         return;
     }
     let route = snapshot.subs[sub].routes[task].clone();
+    // Live stream reuse: whatever the plan-internal route, subscribers of
+    // the task's canonical output channel receive every output — a covered
+    // subtree attaches here, to the producing operator, with no manager hop
+    // and no re-deployment.  (A Channel route already multicasts to every
+    // registered consumer, taps included.)
+    let tap = match &route {
+        Route::Channel { .. } => None,
+        _ => snapshot.tap(sub, task),
+    };
     for output in outputs {
+        if let Some(channel) = tap {
+            out.effects.push(Effect::Channel {
+                channel: channel.clone(),
+                output: output.clone(),
+            });
+        }
         match &route {
             Route::Local { task, port } => {
                 let item = host.make_item(snapshot.now, output);
@@ -324,6 +378,7 @@ fn execute(
                 output,
             }),
             Route::Publisher => out.effects.push(Effect::Result { sub, output }),
+            Route::Dropped => {}
         }
     }
 }
@@ -405,14 +460,10 @@ impl Monitor {
                 .unwrap_or_default();
             // Subscribers of the alerter's *published source stream* (other
             // subscriptions that reuse `src-<function>@peer`) receive every
-            // alert over the network.
+            // alert as one physical multicast from the alerting peer; the
+            // per-peer grouping is computed once for the whole feed.
             let source_channel = ChannelId::new(peer.clone(), format!("src-{function}"));
-            let source_subscribers = self
-                .routing
-                .channel_consumers
-                .get(&source_channel)
-                .cloned()
-                .unwrap_or_default();
+            let source_plan = self.multicast_plan(&source_channel);
             for alert in alerts {
                 if !targets.is_empty() {
                     self.hosts
@@ -424,17 +475,8 @@ impl Monitor {
                             targets: Arc::clone(&targets),
                         });
                 }
-                for (consumer_sub, consumer_task, _port) in &source_subscribers {
-                    let consumer_peer = self.subscriptions[*consumer_sub].placed.tasks
-                        [*consumer_task]
-                        .peer
-                        .clone();
-                    self.network.send(
-                        &peer,
-                        &consumer_peer,
-                        Some(source_channel.clone()),
-                        alert.clone(),
-                    );
+                if let Some(plan) = &source_plan {
+                    self.run_multicast(plan, &alert);
                 }
                 // Membership alerters feed dynamic sources through the plan
                 // itself (port 1), so only non-membership functions are
@@ -474,11 +516,12 @@ impl Monitor {
             }
 
             // Parallel phase: hand every peer with local work to the
-            // scheduler; workers only touch their own host's shard plus the
-            // immutable snapshot.
+            // persistent worker pool; workers only touch their own host's
+            // shard plus the immutable snapshot.
             let results = {
                 let snapshot = DispatchSnapshot {
                     subs: &self.subscriptions,
+                    taps: &self.routing.channel_consumers,
                     naive_dispatch: self.config.naive_dispatch,
                     now: self.network.now(),
                 };
@@ -490,7 +533,7 @@ impl Monitor {
                 if jobs.is_empty() {
                     break;
                 }
-                scheduler::run_jobs(jobs, self.config.workers, &snapshot)
+                self.scheduler.run(jobs, self.config.workers, &snapshot)
             };
 
             // Commit phase: apply the buffered effects in deterministic peer
@@ -501,7 +544,7 @@ impl Monitor {
                 for effect in result.effects {
                     match effect {
                         Effect::Channel { channel, output } => {
-                            self.emit_on_channel(channel, output);
+                            self.multicast_stream(&channel, &output);
                         }
                         Effect::Result { sub, output } => self.deliver_result(sub, output),
                     }
@@ -510,30 +553,77 @@ impl Monitor {
         }
     }
 
-    /// Multicasts a task output on its channel (one message per subscriber).
-    fn emit_on_channel(&mut self, channel: ChannelId, output: Element) {
-        let producer_peer = channel.peer.clone();
-        let consumers = self
-            .routing
-            .channel_consumers
-            .get(&channel)
-            .cloned()
-            .unwrap_or_default();
-        for (consumer_sub, consumer_task, _port) in consumers {
-            let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
-                .peer
-                .clone();
-            self.network.send(
-                &producer_peer,
-                &consumer_peer,
-                Some(channel.clone()),
-                output.clone(),
-            );
+    /// True channel multicast from the producing peer: the subscribers are
+    /// grouped by their host peer, and one physical message per distinct
+    /// destination serves every subscriber behind it (the next
+    /// [`Monitor::deliver_network`] fans it out to all of that peer's
+    /// registered consumers).  Subscribers hosted *on* the producing peer
+    /// attach locally — no network hop at all.  Messages avoided relative to
+    /// one-unicast-per-subscriber are recorded as
+    /// `NetworkStats::multicast_saved_messages` (the E7 traffic saving).
+    pub(crate) fn multicast_stream(&mut self, channel: &ChannelId, output: &Element) {
+        if let Some(plan) = self.multicast_plan(channel) {
+            self.run_multicast(&plan, output);
         }
     }
 
-    /// Delivers a plan-root output to the subscription's sink and, when the
-    /// BY clause publishes a channel, to that channel's subscribers.
+    /// The per-destination-peer grouping of a channel's subscribers, built
+    /// once and reused across a batch of emissions (every alert of a feed
+    /// fans out to the same consumers).  `None` when nobody subscribes.
+    pub(crate) fn multicast_plan(&self, channel: &ChannelId) -> Option<MulticastPlan> {
+        let consumers = self.routing.channel_consumers.get(channel)?;
+        if consumers.is_empty() {
+            return None;
+        }
+        let mut by_peer: BTreeMap<String, Vec<(usize, usize, usize)>> = BTreeMap::new();
+        for &(sub, task, port) in consumers {
+            let peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
+            by_peer.entry(peer).or_default().push((sub, task, port));
+        }
+        Some(MulticastPlan {
+            channel: channel.clone(),
+            by_peer: by_peer
+                .into_iter()
+                .map(|(peer, targets)| (peer, Arc::new(targets)))
+                .collect(),
+        })
+    }
+
+    /// Emits one item according to a multicast plan.
+    pub(crate) fn run_multicast(&mut self, plan: &MulticastPlan, output: &Element) {
+        let producer = &plan.channel.peer;
+        let mut saved = 0u64;
+        for (peer, targets) in &plan.by_peer {
+            if peer == producer {
+                // Local attachment: straight into the peer's alert batch.
+                if !self.network.is_down(peer) {
+                    saved += targets.len() as u64;
+                    self.hosts
+                        .get_mut(peer)
+                        .expect("consumer peer is hosted")
+                        .pending_alerts
+                        .push(PendingAlert {
+                            doc: output.clone(),
+                            targets: Arc::clone(targets),
+                        });
+                }
+            } else if self
+                .network
+                .send(producer, peer, Some(plan.channel.clone()), output.clone())
+                .is_some()
+            {
+                // Only messages that actually went out count as shared; a
+                // drop (downed peer, failure injection) saved nothing.
+                saved += targets.len() as u64 - 1;
+            }
+        }
+        self.network.record_multicast_saving(saved);
+    }
+
+    /// Delivers a plan-root output to the subscription's sink.  (Channel
+    /// subscribers — the BY-channel audience and any reuse attachments — are
+    /// served by the root task's canonical-channel multicast, straight from
+    /// the producing peer.)
     fn deliver_result(&mut self, sub_idx: usize, output: Element) {
         if self.subscriptions[sub_idx].retired {
             return;
@@ -553,29 +643,9 @@ impl Monitor {
         if let Some(channel) = self.subscriptions[sub_idx].published_channel.clone() {
             self.routing
                 .published_channels
-                .entry(channel.clone())
+                .entry(channel)
                 .or_default()
-                .push(output.clone());
-            // Other subscriptions (or external peers) subscribed to the
-            // published channel receive the item over the network.
-            let consumers = self
-                .routing
-                .channel_consumers
-                .get(&channel)
-                .cloned()
-                .unwrap_or_default();
-            let manager = self.subscriptions[sub_idx].manager.clone();
-            for (consumer_sub, consumer_task, _port) in consumers {
-                let consumer_peer = self.subscriptions[consumer_sub].placed.tasks[consumer_task]
-                    .peer
-                    .clone();
-                self.network.send(
-                    &manager,
-                    &consumer_peer,
-                    Some(channel.clone()),
-                    output.clone(),
-                );
-            }
+                .push(output);
         }
     }
 

@@ -24,10 +24,11 @@ use p2pmon_streams::ops::Window;
 use p2pmon_streams::ChannelId;
 use p2pmon_xmlkit::Element;
 
+use crate::deployment::task_ref_key;
 use crate::dispatch::{DispatchStats, Route, RoutingTable};
 use crate::peer::PeerHost;
 use crate::placement::{PlacedPlan, PlacementStrategy, TaskKind};
-use crate::reuse::ReuseReport;
+use crate::reuse::{ReuseReport, ReuseStats};
 use crate::sink::Sink;
 
 /// Configuration of a Monitor instance.
@@ -50,11 +51,13 @@ pub struct MonitorConfig {
     /// linearly).  The pre-decomposition behaviour, kept as an equivalence
     /// oracle for tests and benches.
     pub naive_dispatch: bool,
-    /// Size of the work-stealing pool driving the per-peer dispatch phases.
-    /// Defaults to the host's available parallelism; `1` processes peers
-    /// sequentially, in order — the equivalence oracle — and is also what a
-    /// single-core host should use (threads cannot help there).  Results are
-    /// identical for any value; only wall-clock time changes.
+    /// Size of the persistent work-stealing pool driving the per-peer
+    /// dispatch phases (spun up on the first parallel phase and parked on a
+    /// condvar between rounds).  Defaults to the host's available
+    /// parallelism; `1` processes peers sequentially, in order — the
+    /// equivalence oracle — and is also what a single-core host should use
+    /// (threads cannot help there).  Results are identical for any value;
+    /// only wall-clock time changes.
     pub workers: usize,
 }
 
@@ -90,6 +93,10 @@ pub struct SubscriptionReport {
     pub cross_peer_edges: usize,
     /// Outcome of the reuse search.
     pub reuse: ReuseReport,
+    /// The per-subscription slice of the reuse effectiveness measures (the
+    /// monitor-wide aggregate, including traffic saved, is
+    /// [`Monitor::reuse_stats`]).
+    pub reuse_stats: ReuseStats,
     /// Results delivered to the sink so far.
     pub results_delivered: usize,
     /// Per-peer shared-engine statistics for every peer hosting at least one
@@ -102,19 +109,38 @@ pub(crate) struct DeployedSubscription {
     pub manager: String,
     pub placed: PlacedPlan,
     pub routes: Vec<Route>,
+    /// The canonical output channel of every task, minted at deployment time
+    /// ([`PlacedPlan::output_channels`]) — one identity shared by routing,
+    /// live multicast and the published stream definitions.
+    pub channels: Vec<ChannelId>,
     pub sink: Sink,
     pub reuse: ReuseReport,
-    /// The channel this subscription publishes (for BY channel clauses).
+    /// The channel this subscription publishes (for BY channel clauses) —
+    /// the root task's canonical channel, emitted from the producing peer.
     pub published_channel: Option<ChannelId>,
-    /// Derived stream definitions this deployment published; retracted from
-    /// the Stream Definition Database on unsubscribe.
+    /// Derived stream definitions this deployment published.  The owner
+    /// holds one reference on each; they are retracted when the last
+    /// reference (owner or subscriber) is released.
     pub owned_defs: Vec<(String, String)>,
-    /// Source stream definitions this deployment references.  Source
-    /// definitions are shared across subscriptions, so they are refcounted
-    /// and only retracted when the last referencing subscription goes.
-    pub source_defs: Vec<(String, String)>,
+    /// For each owned definition, the ids of the tasks producing it (the
+    /// definition's upstream closure, including the publishing task).  While
+    /// a definition keeps references, its producing subtree survives
+    /// unsubscription.
+    pub def_tasks: HashMap<(String, String), Vec<usize>>,
     /// True once the subscription has been torn down ([`Monitor::unsubscribe`]).
     pub retired: bool,
+}
+
+/// Reference-count entry of one published stream definition.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DefEntry {
+    /// Live references: one from the owning subscription (derived
+    /// definitions), one per deployed task consuming the stream (`Source`
+    /// and `ChannelSource` tasks).
+    pub refs: usize,
+    /// The subscription owning the producing subtree, if any (source
+    /// definitions are alerter-bound and have no owner).
+    pub owner: Option<usize>,
 }
 
 /// The P2P Monitor.
@@ -130,13 +156,17 @@ pub struct Monitor {
     pub(crate) routing: RoutingTable,
     /// Engine-gated dispatch counters.
     pub(crate) dispatch_stats: DispatchStats,
-    /// Reference counts for shared source stream definitions
-    /// (`src-<function>@peer`), keyed by (peer, stream).
-    pub(crate) source_def_refs: HashMap<(String, String), usize>,
+    /// Reference counts (and owners) of every published stream definition,
+    /// keyed by its canonical `(peer, stream)` identity.
+    pub(crate) def_refs: HashMap<(String, String), DefEntry>,
+    /// Aggregate reuse effectiveness across deployments (E7).
+    pub(crate) reuse_totals: ReuseStats,
     /// Ids handed to per-peer engine registrations, globally unique.
     pub(crate) next_filter_id: u64,
     /// Total operator invocations (a processing-cost measure for E6/E7).
     pub operator_invocations: u64,
+    /// The persistent worker pool driving parallel dispatch phases.
+    pub(crate) scheduler: crate::scheduler::SchedulerPool,
 }
 
 impl Monitor {
@@ -151,9 +181,11 @@ impl Monitor {
             hosts: BTreeMap::new(),
             routing: RoutingTable::default(),
             dispatch_stats: DispatchStats::default(),
-            source_def_refs: HashMap::new(),
+            def_refs: HashMap::new(),
+            reuse_totals: ReuseStats::default(),
             next_filter_id: 0,
             operator_invocations: 0,
+            scheduler: crate::scheduler::SchedulerPool::new(),
             config,
         }
     }
@@ -245,89 +277,148 @@ impl Monitor {
             .is_some_and(|sub| !sub.retired)
     }
 
-    /// Tears a subscription down end-to-end: its `Select` registrations
-    /// leave the host peers' shared engines ([`p2pmon_filter::FilterEngine::remove`]
-    /// via `PeerHost::unregister_select`), its operator instances and queued
-    /// work are discarded, its routes are retracted from every routing
-    /// table, and the stream definitions it published are withdrawn from the
-    /// Stream Definition Database — derived definitions unconditionally,
-    /// shared source definitions when the last referencing subscription
-    /// goes.  Results already delivered to the sink stay readable.  Returns
-    /// `false` when the handle is unknown or already unsubscribed.
+    /// Tears a subscription down — but only as far as sharing allows.  The
+    /// subscription's own references go immediately: its sink freezes, its
+    /// owner references on the definitions it published are released, and
+    /// every task *not* feeding a still-referenced shared stream is removed
+    /// (engine registrations leave the host peers' shared engines via
+    /// `PeerHost::unregister_select`, operator instances and queued work are
+    /// discarded, routes are retracted).  Tasks producing a stream that other
+    /// subscriptions still subscribe to keep running; when the last
+    /// subscriber releases such a stream, its definition is retracted and
+    /// the teardown cascades through the producing subtree (and through any
+    /// upstream retired producers it was itself subscribed to).  Results
+    /// already delivered to the sink stay readable.  Returns `false` when
+    /// the handle is unknown or already unsubscribed.
     pub fn unsubscribe(&mut self, handle: &SubscriptionHandle) -> bool {
         let idx = handle.0;
         match self.subscriptions.get(idx) {
             Some(sub) if !sub.retired => {}
             _ => return false,
         }
+        self.subscriptions[idx].retired = true;
+        // Release the owner references on the definitions this deployment
+        // published (cascading into its own sweep when they reach zero), then
+        // sweep whatever the remaining references do not pin.
+        let owner_refs = self.subscriptions[idx].owned_defs.clone();
+        self.release_refs(owner_refs);
+        let released = self.sweep_retired(idx);
+        self.release_refs(released);
+        true
+    }
 
-        // Per-peer teardown: engine registrations and operator instances.
-        let tasks: Vec<(usize, String, bool)> = self.subscriptions[idx]
+    /// Releases definition references; every definition whose count reaches
+    /// zero is retracted from the Stream Definition Database, and — when its
+    /// owning subscription is already retired — the producing subtree is
+    /// swept, which may release further references (a chain of retired
+    /// producers tears down back to front).
+    pub(crate) fn release_refs(&mut self, initial: Vec<(String, String)>) {
+        let mut pending = initial;
+        while let Some(key) = pending.pop() {
+            let Some(entry) = self.def_refs.get_mut(&key) else {
+                continue;
+            };
+            entry.refs = entry.refs.saturating_sub(1);
+            if entry.refs > 0 {
+                continue;
+            }
+            let owner = entry.owner;
+            self.def_refs.remove(&key);
+            self.stream_db.retract(&key.0, &key.1);
+            if let Some(owner) = owner {
+                if self.subscriptions[owner].retired {
+                    pending.extend(self.sweep_retired(owner));
+                }
+            }
+        }
+    }
+
+    /// Removes every task of a retired subscription that no still-referenced
+    /// stream depends on, retracting its routes, engine registrations and
+    /// queued work.  Returns the definition references held by the removed
+    /// tasks (source bindings and channel subscriptions), for the caller to
+    /// release.  Idempotent: already-removed tasks are skipped.
+    fn sweep_retired(&mut self, idx: usize) -> Vec<(String, String)> {
+        // Tasks pinned by a definition that still has references.
+        let keep: BTreeSet<usize> = {
+            let sub = &self.subscriptions[idx];
+            sub.owned_defs
+                .iter()
+                .filter(|key| self.def_refs.get(*key).is_some_and(|e| e.refs > 0))
+                .flat_map(|key| sub.def_tasks.get(key).cloned().unwrap_or_default())
+                .collect()
+        };
+
+        type TaskTeardown = (usize, String, Option<(String, String)>);
+        let tasks: Vec<TaskTeardown> = self.subscriptions[idx]
             .placed
             .tasks
             .iter()
-            .map(|t| {
-                (
-                    t.id,
-                    t.peer.clone(),
-                    matches!(t.kind, TaskKind::Select { .. }),
-                )
-            })
+            .filter(|t| !keep.contains(&t.id))
+            .map(|t| (t.id, t.peer.clone(), task_ref_key(&t.kind)))
             .collect();
-        for (task, peer, is_select) in tasks {
+        let mut released = Vec::new();
+        for (task, peer, ref_key) in tasks {
             if let Some(host) = self.hosts.get_mut(&peer) {
-                if is_select {
-                    host.unregister_select(idx, task);
+                host.unregister_select(idx, task);
+                if host.remove_task(idx, task) {
+                    // The task was still deployed: its stream reference goes
+                    // with it.
+                    released.extend(ref_key);
                 }
-                host.remove_task(idx, task);
             }
         }
-        // In-flight local work addressed to the subscription is discarded.
+        // In-flight local work addressed to the removed tasks is discarded.
         for host in self.hosts.values_mut() {
-            host.purge_subscription(idx);
+            host.purge_subscription_tasks(idx, &keep);
         }
 
-        // Route retraction: the subscription disappears from every consumer
-        // registration (including the channels it subscribed to for reuse).
+        // Route retraction: the removed tasks disappear from every consumer
+        // registration (including the channels they subscribed to for
+        // reuse); surviving tasks whose local consumer was removed now feed
+        // nothing but their own output channel's subscribers.
+        let keep_entry = |task: usize| keep.contains(&task);
         self.routing
             .source_consumers
             .values_mut()
-            .for_each(|v| v.retain(|&(sub, _)| sub != idx));
+            .for_each(|v| v.retain(|&(sub, task)| sub != idx || keep_entry(task)));
         self.routing.source_consumers.retain(|_, v| !v.is_empty());
         self.routing
             .dynamic_consumers
             .values_mut()
-            .for_each(|v| v.retain(|&(sub, _)| sub != idx));
+            .for_each(|v| v.retain(|&(sub, task)| sub != idx || keep_entry(task)));
         self.routing.dynamic_consumers.retain(|_, v| !v.is_empty());
         self.routing
             .channel_consumers
             .values_mut()
-            .for_each(|v| v.retain(|&(sub, _, _)| sub != idx));
+            .for_each(|v| v.retain(|&(sub, task, _)| sub != idx || keep_entry(task)));
         self.routing.channel_consumers.retain(|_, v| !v.is_empty());
-
-        // Stream definition retraction.  Source definitions are shared, so
-        // they only go when their reference count reaches zero.
-        let source_defs = std::mem::take(&mut self.subscriptions[idx].source_defs);
-        for key in source_defs {
-            if let Some(count) = self.source_def_refs.get_mut(&key) {
-                *count -= 1;
-                if *count == 0 {
-                    self.source_def_refs.remove(&key);
-                    self.stream_db.retract(&key.0, &key.1);
+        for task in 0..self.subscriptions[idx].routes.len() {
+            if !keep.contains(&task) {
+                continue;
+            }
+            if let Route::Local { task: consumer, .. } = self.subscriptions[idx].routes[task] {
+                if !keep.contains(&consumer) {
+                    self.subscriptions[idx].routes[task] = Route::Dropped;
                 }
             }
         }
-        let owned_defs = std::mem::take(&mut self.subscriptions[idx].owned_defs);
-        for (peer, stream) in owned_defs {
-            self.stream_db.retract(&peer, &stream);
-        }
-        // The published result channel stops existing.
-        if let Some(channel) = self.subscriptions[idx].published_channel.take() {
-            self.routing.published_channels.remove(&channel);
-        }
 
-        self.subscriptions[idx].retired = true;
-        true
+        // The published result channel stops existing once its producing
+        // subtree is fully gone — unless another live subscription publishes
+        // under the same identity (colliding BY-channel names on one peer),
+        // in which case the survivor keeps the channel and its history.
+        if keep.is_empty() {
+            if let Some(channel) = self.subscriptions[idx].published_channel.take() {
+                let still_published = self.subscriptions.iter().enumerate().any(|(i, s)| {
+                    i != idx && !s.retired && s.published_channel.as_ref() == Some(&channel)
+                });
+                if !still_published {
+                    self.routing.published_channels.remove(&channel);
+                }
+            }
+        }
+        released
     }
 
     // ------------------------------------------------------------------
@@ -447,13 +538,26 @@ impl Monitor {
         self.subscriptions.get(handle.0).map(|s| &s.sink)
     }
 
-    /// Items published so far on a named channel at the given manager peer.
-    pub fn published_channel(&self, manager: &str, name: &str) -> Vec<Element> {
-        self.routing
+    /// Items published so far on a named channel.  The canonical channel
+    /// identity names the *emitting* peer (the root task's host), so the
+    /// exact `(peer, name)` key is tried first; for convenience, a lookup by
+    /// the managing peer falls back to a unique match on the channel name —
+    /// subscribers usually know the channel by the name their subscription
+    /// declared, wherever placement put the producer.
+    pub fn published_channel(&self, peer: &str, name: &str) -> Vec<Element> {
+        let exact = ChannelId::new(normalize_peer(peer), name);
+        if let Some(items) = self.routing.published_channels.get(&exact) {
+            return items.clone();
+        }
+        let mut by_name = self
+            .routing
             .published_channels
-            .get(&ChannelId::new(normalize_peer(manager), name))
-            .cloned()
-            .unwrap_or_default()
+            .iter()
+            .filter(|(channel, _)| channel.stream == name);
+        match (by_name.next(), by_name.next()) {
+            (Some((_, items)), None) => items.clone(),
+            _ => Vec::new(),
+        }
     }
 
     /// Total bytes of operator state held by a subscription's stateful
@@ -490,6 +594,23 @@ impl Monitor {
         self.dispatch_stats
     }
 
+    /// Number of live threads in the persistent dispatch worker pool (zero
+    /// until the first parallel phase spins it up; the pool then survives
+    /// across rounds instead of re-spawning per phase).
+    pub fn scheduler_threads(&self) -> usize {
+        self.scheduler.thread_count()
+    }
+
+    /// Aggregate stream-reuse effectiveness (E7): hit rate, covered plan
+    /// nodes, operators never deployed, and network messages avoided by
+    /// sharing physical streams (the `NetworkStats::multicast_saved_messages`
+    /// delta).
+    pub fn reuse_stats(&self) -> ReuseStats {
+        let mut totals = self.reuse_totals;
+        totals.messages_saved = self.network.stats().multicast_saved_messages;
+        totals
+    }
+
     /// A deployment / execution report for a subscription.
     pub fn report(&self, handle: &SubscriptionHandle) -> Option<SubscriptionReport> {
         self.subscriptions.get(handle.0).map(|s| {
@@ -506,6 +627,13 @@ impl Monitor {
                 manager: s.manager.clone(),
                 tasks: s.placed.tasks.len(),
                 cross_peer_edges: s.placed.cross_peer_edges(),
+                // The slice counts a reuse-search attempt, so it stays zero
+                // when the search is disabled (matching the aggregate).
+                reuse_stats: if self.config.enable_reuse {
+                    ReuseStats::of_report(&s.reuse)
+                } else {
+                    ReuseStats::default()
+                },
                 reuse: s.reuse.clone(),
                 results_delivered: s.sink.len(),
                 filter_stats: select_peers

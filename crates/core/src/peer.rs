@@ -188,6 +188,16 @@ impl PeerHost {
         self.gates.len()
     }
 
+    /// Alerts parked in the batch awaiting the next dispatch phase.
+    pub fn pending_alert_count(&self) -> usize {
+        self.pending_alerts.len()
+    }
+
+    /// Work items queued for tasks hosted on this peer.
+    pub fn queued_work(&self) -> usize {
+        self.queue.len()
+    }
+
     /// The shared engine's statistics.
     pub fn filter_stats(&self) -> FilterStats {
         self.engine.stats
@@ -253,12 +263,19 @@ impl PeerHost {
     }
 
     /// Discards every batched alert target and queued work item addressed to
-    /// a subscription (unsubscribe path).
-    pub(crate) fn purge_subscription(&mut self, sub: usize) {
-        self.queue.retain(|work| work.sub != sub);
+    /// a subscription's removed tasks (unsubscribe / shared-teardown path).
+    /// Tasks in `keep` — the producing subtrees of streams that still have
+    /// subscribers — keep their queued work.
+    pub(crate) fn purge_subscription_tasks(
+        &mut self,
+        sub: usize,
+        keep: &std::collections::BTreeSet<usize>,
+    ) {
+        let removed = |s: usize, t: usize| s == sub && !keep.contains(&t);
+        self.queue.retain(|work| !removed(work.sub, work.task));
         for alert in &mut self.pending_alerts {
-            if alert.targets.iter().any(|&(s, _, _)| s == sub) {
-                std::sync::Arc::make_mut(&mut alert.targets).retain(|&(s, _, _)| s != sub);
+            if alert.targets.iter().any(|&(s, t, _)| removed(s, t)) {
+                std::sync::Arc::make_mut(&mut alert.targets).retain(|&(s, t, _)| !removed(s, t));
             }
         }
         self.pending_alerts

@@ -11,7 +11,7 @@
 //! manager.  [`PlacementStrategy::Centralized`] ships every alert to the
 //! manager and computes there — the baseline of experiment E6.
 
-use p2pmon_p2pml::plan::{LogicalNode, LogicalPlan};
+use p2pmon_p2pml::plan::{normalize_peer, LogicalNode, LogicalPlan};
 use p2pmon_p2pml::{ByClause, ValueExpr};
 use p2pmon_streams::{AttrCondition, ChannelId, Condition, Template};
 use p2pmon_xmlkit::PathPattern;
@@ -155,6 +155,30 @@ impl PlacedPlan {
         peers
     }
 
+    /// Mints the *canonical channel identity* of every task's output stream:
+    /// `(producing peer, stream name)`, where the stream name is the BY
+    /// clause's channel name for a root published as a channel and the
+    /// subscription-scoped `s<sub>-t<task>` name otherwise.  This single
+    /// identity is used by the routing tables, the live multicast *and* the
+    /// published stream definitions, so a definition always names the peer
+    /// that actually emits (see `p2pmon_dht::streamdef`'s identity
+    /// invariant).  Every task gets an identity — pass-through tasks
+    /// (sources, channel subscriptions) use theirs only for private
+    /// plan-internal edges, while derived operators also publish theirs in
+    /// the Stream Definition Database.
+    pub fn output_channels(&self, sub_idx: usize) -> Vec<ChannelId> {
+        self.tasks
+            .iter()
+            .map(|task| {
+                let stream = match (&task.downstream, &self.by) {
+                    (None, ByClause::Channel(name)) => name.clone(),
+                    _ => format!("s{sub_idx}-t{}", task.id),
+                };
+                ChannelId::new(task.peer.clone(), stream)
+            })
+            .collect()
+    }
+
     /// Number of plan edges that cross from one peer to another — each such
     /// edge becomes a channel at deployment time.
     pub fn cross_peer_edges(&self) -> usize {
@@ -278,7 +302,10 @@ pub fn place(plan: &LogicalPlan, manager: &str, strategy: PlacementStrategy) -> 
     // movable (it computes nothing), and hosting it on its consumer's peer
     // makes the channel→consumer edge local — the reused stream travels
     // producer→consumer directly instead of bouncing through the manager,
-    // one network hop fewer per item.
+    // one network hop fewer per item.  A channel source that *is* the plan
+    // root has no consumer; it moves to the manager, where the publisher
+    // wants the results anyway — and where all of a shared stream's
+    // same-manager subscribers ride one multicast message.
     let moves: Vec<(usize, String)> = placed
         .tasks
         .iter()
@@ -286,6 +313,7 @@ pub fn place(plan: &LogicalPlan, manager: &str, strategy: PlacementStrategy) -> 
             (TaskKind::ChannelSource { .. }, Some((consumer, _))) => {
                 Some((task.id, placed.tasks[consumer].peer.clone()))
             }
+            (TaskKind::ChannelSource { .. }, None) => Some((task.id, manager.to_string())),
             _ => None,
         })
         .collect();
@@ -394,11 +422,14 @@ impl Builder {
                 dynamic
             }
             LogicalNode::ChannelIn { peer, stream, var } => {
-                // The subscribing task runs wherever its consumer runs; until
-                // the consumer is known, host it on the manager — the channel
-                // data has to reach that peer anyway.
+                // The subscribing task runs wherever its consumer runs (it is
+                // co-placed after the fact); until the consumer is known,
+                // host it on the *providing* peer — the stream is already
+                // there, so operators stacked on top of the subscription
+                // (e.g. a filter over a reused source) run next to the data
+                // and only their derived output crosses the network.
                 self.push(
-                    self.manager.clone(),
+                    normalize_peer(peer),
                     TaskKind::ChannelSource {
                         channel: ChannelId::new(peer.clone(), stream.clone()),
                         var: var.clone(),
@@ -596,5 +627,27 @@ mod tests {
         let placed = meteo_placed(PlacementStrategy::PushToSources);
         let total: usize = placed.peers().iter().map(|p| placed.tasks_on(p)).sum();
         assert_eq!(total, placed.tasks.len());
+    }
+
+    #[test]
+    fn output_channels_name_the_emitting_peer() {
+        let placed = meteo_placed(PlacementStrategy::PushToSources);
+        let channels = placed.output_channels(3);
+        assert_eq!(channels.len(), placed.tasks.len());
+        for (task, channel) in placed.tasks.iter().zip(&channels) {
+            assert_eq!(
+                channel.peer, task.peer,
+                "a task's canonical channel is emitted by its own peer"
+            );
+            if task.downstream.is_some() {
+                assert_eq!(channel.stream, format!("s3-t{}", task.id));
+            } else {
+                // METEO publishes `by channel "alertQoS"`: the root's channel
+                // carries the BY name, at the *root task's* peer — not the
+                // manager's.
+                assert_eq!(channel.stream, "alertQoS");
+                assert_ne!(task.peer, placed.manager);
+            }
+        }
     }
 }

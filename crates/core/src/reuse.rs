@@ -20,8 +20,71 @@ pub struct ReuseReport {
     pub reused_nodes: usize,
     /// Number of plan nodes that will produce new streams.
     pub new_nodes: usize,
-    /// The channels the rewritten plan subscribes to.
+    /// The channels the rewritten plan subscribes to — the selected
+    /// *providers* (original or replica), one per covered subtree.
     pub subscribed_channels: Vec<(String, String)>,
+    /// The canonical `(peer, stream)` identities of the *original* stream
+    /// definitions backing each subscription — what the definition database
+    /// keys on (and what teardown refcounts), independent of which replica
+    /// was picked as the provider.
+    pub reused_defs: Vec<(String, String)>,
+    /// Operator instances *not* deployed because an existing stream covers
+    /// them: plan nodes of covered subtrees minus the channel subscriptions
+    /// that replace them.
+    pub operators_saved: usize,
+}
+
+/// Aggregate stream-reuse effectiveness — the E7 measures.  Per-subscription
+/// slices flow up through [`crate::SubscriptionReport`]; the monitor-wide
+/// aggregate through `Monitor::reuse_stats`, which also fills
+/// `messages_saved` from the network's multicast accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Deployments that went through the reuse search.
+    pub subscriptions: u64,
+    /// Deployments where at least one plan node attached to an existing
+    /// stream.
+    pub hits: u64,
+    /// Plan nodes served by existing streams, across all deployments.
+    pub covered_nodes: u64,
+    /// Operator instances never deployed thanks to coverage.
+    pub operators_saved: u64,
+    /// Network messages avoided by sharing one physical stream between
+    /// subscribers (`NetworkStats::multicast_saved_messages` delta; filled on
+    /// the monitor-wide aggregate, zero on per-subscription slices).
+    pub messages_saved: u64,
+}
+
+impl ReuseStats {
+    /// The per-subscription slice of a deployment's reuse outcome.
+    pub fn of_report(report: &ReuseReport) -> Self {
+        ReuseStats {
+            subscriptions: 1,
+            hits: u64::from(report.reused_nodes > 0),
+            covered_nodes: report.reused_nodes as u64,
+            operators_saved: report.operators_saved as u64,
+            messages_saved: 0,
+        }
+    }
+
+    /// Fraction of deployments that attached to at least one existing
+    /// stream.
+    pub fn hit_rate(&self) -> f64 {
+        if self.subscriptions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.subscriptions as f64
+        }
+    }
+
+    /// Accumulates another stats block.
+    pub(crate) fn absorb(&mut self, other: &ReuseStats) {
+        self.subscriptions += other.subscriptions;
+        self.hits += other.hits;
+        self.covered_nodes += other.covered_nodes;
+        self.operators_saved += other.operators_saved;
+        self.messages_saved += other.messages_saved;
+    }
 }
 
 /// Canonical digest of a Select's parameters, so that two subscriptions with
@@ -135,13 +198,20 @@ pub fn apply_reuse(
     proximity: &dyn Fn(&str) -> u64,
 ) -> (LogicalNode, ReuseReport) {
     let reuse_plan = logical_to_plan_node(plan);
+    let plan_nodes = reuse_plan.size();
     let outcome = ReuseEngine::new(db).cover(&reuse_plan, proximity);
     let mut report = ReuseReport {
         reused_nodes: outcome.reused,
         new_nodes: outcome.new_streams,
         subscribed_channels: Vec::new(),
+        reused_defs: Vec::new(),
+        operators_saved: 0,
     };
     let rewritten = rewrite(plan, "0", &outcome, &mut report);
+    // Every covered subtree collapses to one ChannelIn leaf; the difference
+    // in node count is the operator work the deployment never instantiates.
+    let rewritten_nodes = logical_to_plan_node(&rewritten).size();
+    report.operators_saved = plan_nodes.saturating_sub(rewritten_nodes);
     (rewritten, report)
 }
 
@@ -151,7 +221,8 @@ fn rewrite(
     outcome: &CoverOutcome,
     report: &mut ReuseReport,
 ) -> LogicalNode {
-    if let Some(p2pmon_dht::reuse::NodeCover::Existing { provider, .. }) = outcome.cover(path) {
+    if let Some(p2pmon_dht::reuse::NodeCover::Existing { original, provider }) = outcome.cover(path)
+    {
         // The whole subtree is served by an existing stream: subscribe to it.
         let var = node
             .output_vars()
@@ -161,6 +232,9 @@ fn rewrite(
         report
             .subscribed_channels
             .push((provider.0.clone(), provider.1.clone()));
+        if !report.reused_defs.contains(original) {
+            report.reused_defs.push(original.clone());
+        }
         return LogicalNode::ChannelIn {
             peer: provider.0.clone(),
             stream: provider.1.clone(),
@@ -293,6 +367,16 @@ mod tests {
             report.subscribed_channels,
             vec![("meteo.com".to_string(), "filtered-7".to_string())]
         );
+        assert_eq!(
+            report.reused_defs, report.subscribed_channels,
+            "no replicas in play: the original identity is the provider"
+        );
+        // Filter + Alerter (2 nodes) collapse into one ChannelIn leaf.
+        assert_eq!(report.operators_saved, 1);
+        let stats = ReuseStats::of_report(&report);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.subscriptions, 1);
+        assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON);
         // The filter subtree collapsed into a channel subscription.
         let LogicalNode::Restructure { input, .. } = &rewritten else {
             panic!()

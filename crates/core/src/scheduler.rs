@@ -1,95 +1,293 @@
-//! The work-stealing peer scheduler.
+//! The persistent work-stealing peer scheduler.
 //!
 //! A dispatch phase hands every [`PeerHost`] with local work to
-//! [`run_jobs`]: with one worker the hosts are processed inline, in order —
-//! the sequential oracle path — and with `workers > 1` a pool of scoped
-//! threads drives them concurrently.  Each worker owns a deque of peer jobs
-//! dealt round-robin; a worker whose deque runs dry steals from the back of
-//! another worker's deque, so a handful of heavy peers cannot strand the
-//! rest of the pool behind them.
+//! [`SchedulerPool::run`]: with one worker the hosts are processed inline,
+//! in order — the sequential oracle path — and with `workers > 1` a
+//! *long-lived* pool of threads drives them concurrently.  The pool is spun
+//! up once (on the first parallel phase) and parked on a condvar between
+//! phases, so a dispatch round pays one notify instead of one `thread::spawn`
+//! per worker (~10µs each) — the difference matters for small-batch
+//! workloads that run many short phases.
+//!
+//! Each worker owns a deque of peer jobs dealt round-robin; a worker whose
+//! deque runs dry steals from the back of another worker's deque, so a
+//! handful of heavy peers cannot strand the rest of the pool behind them.
 //!
 //! Correctness does not depend on the schedule: a job only touches its own
 //! host's mutable shard (operators, engine, queue, alert batch) plus the
 //! immutable [`DispatchSnapshot`], and every cross-peer effect is buffered in
-//! the job's [`PeerEffects`].  [`run_jobs`] returns the effects in job order
-//! (the monitor's deterministic peer order), so the commit phase — and
-//! therefore every observable result — is identical for any worker count.
+//! the job's [`PeerEffects`].  [`SchedulerPool::run`] returns the effects in
+//! job order (the monitor's deterministic peer order), so the commit phase —
+//! and therefore every observable result — is identical for any worker
+//! count.
+//!
+//! # Why the one `unsafe` block exists
+//!
+//! The pool threads are `'static`, but a phase's job context borrows the
+//! monitor's hosts and snapshot.  The context is handed to the workers as a
+//! raw pointer and reborrowed for the duration of one phase only; the
+//! hand-off protocol (publish context → wake workers → wait until every
+//! worker has finished) guarantees the borrow never outlives the stack frame
+//! of [`SchedulerPool::run`], which is exactly what scoped threads would
+//! enforce — minus the per-phase spawns.
+#![allow(unsafe_code)]
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 
 use crate::dispatch::{run_peer, DispatchSnapshot, PeerEffects};
 use crate::peer::PeerHost;
 
-/// Processes every job (one per peer with local work) and returns their
-/// buffered effects in job order.
-pub(crate) fn run_jobs(
-    jobs: Vec<&mut PeerHost>,
-    workers: usize,
-    snapshot: &DispatchSnapshot<'_>,
-) -> Vec<PeerEffects> {
-    let n = jobs.len();
-    let workers = workers.clamp(1, n.max(1));
-    if workers <= 1 {
-        // The sequential oracle: same per-peer processing, no threads.
-        return jobs
-            .into_iter()
-            .map(|host| run_peer(host, snapshot))
-            .collect();
-    }
-
-    // Each job sits in a slot until exactly one worker takes it.
-    let slots: Vec<Mutex<Option<&mut PeerHost>>> = jobs
-        .into_iter()
-        .map(|host| Mutex::new(Some(host)))
-        .collect();
-    let results: Vec<Mutex<Option<PeerEffects>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    // Round-robin deal: worker `w` starts with jobs w, w+workers, w+2·workers…
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
-        .collect();
-
-    thread::scope(|scope| {
-        for own in 0..workers {
-            let slots = &slots;
-            let results = &results;
-            let queues = &queues;
-            scope.spawn(move || {
-                while let Some(job) = next_job(own, queues) {
-                    if let Some(host) = slots[job].lock().expect("job slot poisoned").take() {
-                        let effects = run_peer(host, snapshot);
-                        *results[job].lock().expect("result slot poisoned") = Some(effects);
-                    }
-                }
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every scheduled job ran")
-        })
-        .collect()
+/// One phase's shared job context, allocated on the stack of
+/// [`SchedulerPool::run`] and reborrowed by the pool workers while the phase
+/// is active.
+struct PhaseCtx<'env, 'snap> {
+    /// Each job sits in a slot until exactly one worker takes it.
+    slots: Vec<Mutex<Option<&'env mut PeerHost>>>,
+    /// Per-worker deques of job indices (round-robin dealt; stolen from the
+    /// back).
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// One result slot per job.
+    results: Vec<Mutex<Option<PeerEffects>>>,
+    /// The immutable deployment-time view.
+    snapshot: &'env DispatchSnapshot<'snap>,
 }
 
-/// Pops the worker's own deque front, or steals from the back of another
-/// worker's deque.  `None` means the phase is drained: jobs are fixed up
-/// front and never re-enqueued, so an empty sweep is final.
-fn next_job(own: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
-    if let Some(job) = queues[own].lock().expect("queue poisoned").pop_front() {
-        return Some(job);
-    }
-    for (victim, queue) in queues.iter().enumerate() {
-        if victim == own {
-            continue;
-        }
-        if let Some(job) = queue.lock().expect("queue poisoned").pop_back() {
-            return Some(job);
+impl PhaseCtx<'_, '_> {
+    /// Runs one worker's share of the phase: drain the own deque, then steal.
+    fn work(&self, own: usize) {
+        while let Some(job) = self.next_job(own) {
+            if let Some(host) = self.slots[job].lock().expect("job slot poisoned").take() {
+                let effects = run_peer(host, self.snapshot);
+                *self.results[job].lock().expect("result slot poisoned") = Some(effects);
+            }
         }
     }
-    None
+
+    /// Pops the worker's own deque front, or steals from the back of another
+    /// worker's deque.  `None` means the phase is drained: jobs are fixed up
+    /// front and never re-enqueued, so an empty sweep is final.
+    fn next_job(&self, own: usize) -> Option<usize> {
+        if let Some(queue) = self.queues.get(own) {
+            if let Some(job) = queue.lock().expect("queue poisoned").pop_front() {
+                return Some(job);
+            }
+        }
+        for (victim, queue) in self.queues.iter().enumerate() {
+            if victim == own {
+                continue;
+            }
+            if let Some(job) = queue.lock().expect("queue poisoned").pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// What the pool's control mutex guards.
+#[derive(Default)]
+struct PoolState {
+    /// Phase counter; workers run one phase per increment.
+    phase: u64,
+    /// The active phase's context, type-erased (`*const PhaseCtx`).  Only
+    /// meaningful while `active > 0` or immediately after a phase was
+    /// published.
+    ctx: usize,
+    /// Workers still running the current phase.
+    active: usize,
+    /// Set when a worker's phase body panicked.
+    panicked: bool,
+    /// Tells the workers to exit (pool drop).
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signaled when a new phase is published or shutdown is requested.
+    work_ready: Condvar,
+    /// Signaled when the last active worker finishes a phase.
+    phase_done: Condvar,
+}
+
+/// A lazily spawned, long-lived worker pool (plus the inline sequential
+/// path).  Owned by the `Monitor`; dropped with it.
+pub(crate) struct SchedulerPool {
+    shared: Option<std::sync::Arc<PoolShared>>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl SchedulerPool {
+    /// A pool with no threads yet; they are spawned on the first parallel
+    /// phase.
+    pub(crate) fn new() -> Self {
+        SchedulerPool {
+            shared: None,
+            threads: Vec::new(),
+        }
+    }
+
+    /// Number of live pool threads (diagnostics / tests).
+    pub(crate) fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Processes every job (one per peer with local work) and returns their
+    /// buffered effects in job order.
+    pub(crate) fn run(
+        &mut self,
+        jobs: Vec<&mut PeerHost>,
+        workers: usize,
+        snapshot: &DispatchSnapshot<'_>,
+    ) -> Vec<PeerEffects> {
+        let n = jobs.len();
+        let workers = workers.clamp(1, n.max(1));
+        if workers <= 1 {
+            // The sequential oracle: same per-peer processing, no threads.
+            return jobs
+                .into_iter()
+                .map(|host| run_peer(host, snapshot))
+                .collect();
+        }
+        self.ensure_threads(workers);
+        let pool_size = self.threads.len();
+
+        let ctx = PhaseCtx {
+            slots: jobs
+                .into_iter()
+                .map(|host| Mutex::new(Some(host)))
+                .collect(),
+            // Round-robin deal over the *scheduled* workers; pool threads
+            // beyond that find empty deques and only steal.
+            queues: (0..workers)
+                .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+                .collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            snapshot,
+        };
+        // The raw-pointer hand-off below bypasses the compiler's auto-trait
+        // checking, so re-state what scoped threads would have enforced:
+        // pool threads access the context concurrently, which is only sound
+        // while `PhaseCtx` (hosts, snapshot, effects) is `Sync`.  A non-Send
+        // field sneaking into `PeerHost` or `PeerEffects` becomes a compile
+        // error here instead of a data race.
+        fn assert_sync<'a>(ctx: &'a PhaseCtx<'_, '_>) -> &'a (dyn Sync + 'a) {
+            ctx
+        }
+        let _ = assert_sync(&ctx);
+
+        let shared = self.shared.as_ref().expect("threads ensured above");
+        let panicked = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            // SAFETY-relevant protocol, step 1: publish the borrowed context
+            // as an erased pointer and wake every worker.
+            state.ctx = (&raw const ctx) as usize;
+            state.phase += 1;
+            state.active = pool_size;
+            state.panicked = false;
+            shared.work_ready.notify_all();
+            // Step 2: block until every worker has finished the phase — no
+            // worker can touch `ctx` after `active` hits zero, so the borrow
+            // ends before this function's stack frame does.
+            while state.active > 0 {
+                state = shared.phase_done.wait(state).expect("pool state poisoned");
+            }
+            state.panicked
+        };
+        // Asserted only after the guard is released: panicking with the
+        // state mutex held would poison it and turn the unwind into a
+        // double panic (abort) in the pool's Drop.
+        assert!(!panicked, "a scheduler worker panicked");
+
+        ctx.results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every scheduled job ran")
+            })
+            .collect()
+    }
+
+    /// Spawns the pool threads on first use (or grows the pool when a larger
+    /// worker count is requested).
+    fn ensure_threads(&mut self, workers: usize) {
+        let shared = self
+            .shared
+            .get_or_insert_with(|| {
+                std::sync::Arc::new(PoolShared {
+                    state: Mutex::new(PoolState::default()),
+                    work_ready: Condvar::new(),
+                    phase_done: Condvar::new(),
+                })
+            })
+            .clone();
+        while self.threads.len() < workers {
+            let shared = shared.clone();
+            let own = self.threads.len();
+            // A thread joining a pool that already ran phases must not
+            // mistake the current phase counter for fresh work.
+            let start_phase = shared.state.lock().expect("pool state poisoned").phase;
+            self.threads.push(thread::spawn(move || {
+                let mut seen_phase = start_phase;
+                loop {
+                    let ctx_ptr = {
+                        let mut state = shared.state.lock().expect("pool state poisoned");
+                        loop {
+                            if state.shutdown {
+                                return;
+                            }
+                            if state.phase != seen_phase {
+                                seen_phase = state.phase;
+                                break state.ctx;
+                            }
+                            state = shared.work_ready.wait(state).expect("pool state poisoned");
+                        }
+                    };
+                    // SAFETY: `ctx_ptr` was published by `run` together with
+                    // this phase number, and `run` blocks until this worker
+                    // (and every other) decrements `active` below — so the
+                    // PhaseCtx outlives this reborrow, and all access to its
+                    // interior goes through its own mutexes.
+                    let ctx = unsafe { &*(ctx_ptr as *const PhaseCtx<'static, 'static>) };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| ctx.work(own)));
+                    // A panicked sibling may have poisoned a PhaseCtx mutex,
+                    // but the control mutex must keep working so `active`
+                    // always reaches zero and `run` never hangs.
+                    let mut state = shared
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if outcome.is_err() {
+                        state.panicked = true;
+                    }
+                    state.active -= 1;
+                    if state.active == 0 {
+                        shared.phase_done.notify_all();
+                    }
+                }
+            }));
+        }
+    }
+}
+
+impl Drop for SchedulerPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            // The pool may be dropped while unwinding from a worker panic;
+            // shutting down must not double-panic on a poisoned mutex.
+            let mut state = shared
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.shutdown = true;
+            drop(state);
+            shared.work_ready.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }

@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy, SubscriptionHandle};
-use p2pmon_workloads::SubscriptionStorm;
+use p2pmon_workloads::{OverlappingStorm, SubscriptionStorm};
 
 #[allow(clippy::too_many_arguments)]
 fn run_storm_with_workers(
@@ -173,5 +173,60 @@ proptest! {
             parallel_monitor.dispatch_stats(),
             sequential_monitor.dispatch_stats()
         );
+    }
+
+    /// Live stream reuse is an optimization, not a semantics change:
+    /// reuse-on delivers byte-identical sink output to reuse-off over
+    /// overlapping-subscription storms, for any worker count, without ever
+    /// sending more network messages or running more operators.
+    #[test]
+    fn reuse_on_equals_reuse_off_for_any_worker_count(
+        seed in 0u64..10_000,
+        shapes in 1usize..6,
+        n_subs in 1usize..28,
+        n_calls in 1usize..32,
+        n_peers in 1usize..4,
+        workers in 1usize..6,
+    ) {
+        let run = |enable_reuse: bool| -> (Monitor, Vec<SubscriptionHandle>) {
+            let mut monitor = Monitor::new(MonitorConfig {
+                enable_reuse,
+                workers,
+                ..MonitorConfig::default()
+            });
+            for peer in ["manager.org", "backend.net"] {
+                monitor.add_peer(peer);
+            }
+            let storm = OverlappingStorm::with_peers(seed, shapes, n_peers);
+            let handles: Vec<SubscriptionHandle> = storm
+                .subscriptions(n_subs)
+                .iter()
+                .map(|text| monitor.submit("manager.org", text).expect("storm deploys"))
+                .collect();
+            let mut traffic = OverlappingStorm::with_peers(seed ^ 0xc0de, shapes, n_peers);
+            for call in traffic.calls(n_calls) {
+                monitor.inject_soap_call(&call);
+            }
+            monitor.run_until_idle();
+            (monitor, handles)
+        };
+        let (reuse_on, on_handles) = run(true);
+        let (reuse_off, off_handles) = run(false);
+        for (a, b) in on_handles.iter().zip(&off_handles) {
+            prop_assert_eq!(
+                reuse_on.results(a),
+                reuse_off.results(b),
+                "reuse sink divergence (seed {}, {} shapes, {} subs, {} calls, {} peers, {} workers)",
+                seed, shapes, n_subs, n_calls, n_peers, workers
+            );
+        }
+        prop_assert!(
+            reuse_on.network_stats().total_messages
+                <= reuse_off.network_stats().total_messages,
+            "reuse must never add traffic ({} vs {})",
+            reuse_on.network_stats().total_messages,
+            reuse_off.network_stats().total_messages
+        );
+        prop_assert!(reuse_on.operator_invocations <= reuse_off.operator_invocations);
     }
 }

@@ -180,9 +180,27 @@ fn peer_down_mid_batch_loses_no_alert_and_duplicates_nothing() {
     for call in &calls {
         faulty.inject_soap_call(call);
     }
-    // One round: alerts drain, filters run, channel traffic is delivered —
-    // observer.org now holds a pending alert batch for the next phase.
-    faulty.tick();
+    // Run rounds until reused-channel traffic is parked in observer.org's
+    // alert batch (the covered plan attaches to the producer's *root*
+    // output, which takes a few rounds to flow), then down the peer before
+    // the next phase processes the batch.
+    let mut parked = false;
+    for _ in 0..16 {
+        faulty.tick();
+        if faulty
+            .peer_host("observer.org")
+            .expect("observer is registered")
+            .pending_alert_count()
+            > 0
+        {
+            parked = true;
+            break;
+        }
+    }
+    assert!(
+        parked,
+        "channel traffic must reach the reuse subscriber's batch"
+    );
     faulty.fail_peer("observer.org");
     faulty.run_until_idle();
 

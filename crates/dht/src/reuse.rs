@@ -64,6 +64,10 @@ impl PlanNode {
     }
 }
 
+/// One place where a rewritten plan attaches to an existing stream:
+/// `(plan path, original (peer, stream) identity, selected provider)`.
+pub type SubscriptionPoint<'a> = (&'a str, &'a (String, String), &'a (String, String));
+
 /// How one plan node was covered.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeCover {
@@ -101,6 +105,32 @@ impl CoverOutcome {
     /// True when the whole plan (its root) is served by an existing stream.
     pub fn root_is_reused(&self) -> bool {
         matches!(self.covers.get("0"), Some(NodeCover::Existing { .. }))
+    }
+
+    /// The *subscription points* of the cover: the top-most covered nodes —
+    /// covered nodes whose parent is not covered (or that are the root).
+    /// These are exactly the places where the rewritten plan attaches to an
+    /// existing stream; nodes covered deeper inside such a subtree ride along
+    /// without their own subscription.  Returns `(path, original, provider)`
+    /// triples: `original` is the stream's canonical `(PeerId, StreamId)`
+    /// identity (what the Stream Definition Database keys on), `provider` the
+    /// replica actually subscribed to.
+    pub fn subscription_points(&self) -> Vec<SubscriptionPoint<'_>> {
+        let mut points: Vec<SubscriptionPoint<'_>> = self
+            .covers
+            .iter()
+            .filter_map(|(path, cover)| match cover {
+                NodeCover::Existing { original, provider } => {
+                    let parent_covered = path.rsplit_once('.').is_some_and(|(parent, _)| {
+                        matches!(self.covers.get(parent), Some(NodeCover::Existing { .. }))
+                    });
+                    (!parent_covered).then_some((path.as_str(), original, provider))
+                }
+                NodeCover::New => None,
+            })
+            .collect();
+        points.sort_by_key(|(path, _, _)| *path);
+        points
     }
 }
 
@@ -310,5 +340,30 @@ mod tests {
     #[test]
     fn plan_node_size() {
         assert_eq!(section5_plan().size(), 4);
+    }
+
+    #[test]
+    fn subscription_points_are_the_topmost_covered_nodes() {
+        let mut db = database_with_meteo_streams();
+        let mut engine = ReuseEngine::new(&mut db);
+        let outcome = engine.cover(&section5_plan(), &|_| 10);
+        // Covered: the filter subtree ("0.0", absorbing its alerter "0.0.0")
+        // and the right alerter ("0.1"); the join root is new.
+        let points = outcome.subscription_points();
+        let paths: Vec<&str> = points.iter().map(|(p, _, _)| *p).collect();
+        assert_eq!(paths, vec!["0.0", "0.1"]);
+        assert_eq!(points[0].1, &("p1".to_string(), "s3".to_string()));
+        // A fully covered plan has exactly one subscription point: the root.
+        db.publish(StreamDefinition::derived(
+            "p1",
+            "sJ",
+            "Join",
+            "P",
+            vec![("p1".into(), "s3".into()), ("p2".into(), "s2".into())],
+        ));
+        let outcome = ReuseEngine::new(&mut db).cover(&section5_plan(), &|_| 10);
+        let points = outcome.subscription_points();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].0, "0");
     }
 }

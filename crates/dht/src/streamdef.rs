@@ -15,6 +15,15 @@
 //! whether the stream is published.  Replicas are declared separately with
 //! `<InChannel>` elements, and — crucially for reuse — derived streams are
 //! always described *with respect to the original streams, not the replicas*.
+//!
+//! **Identity invariant.**  `(PeerId, StreamId)` is the *canonical channel
+//! identity* ([`StreamDefinition::channel_id`]): `PeerId` must be the peer
+//! whose operator actually *emits* the stream, and the same pair must be used
+//! for routing, delivery and discovery.  A definition whose `PeerId` differs
+//! from the emitting peer describes a channel nobody multicasts on — a reuse
+//! subscriber attaching to it would starve — so publishers (the monitor's
+//! deployment layer) mint one `ChannelId` per produced stream and use it for
+//! both the definition and the live routing tables.
 
 use std::collections::HashMap;
 
@@ -283,6 +292,25 @@ impl StreamDefinitionDatabase {
             .get(&(peer.to_string(), stream.to_string()))
     }
 
+    /// Resolves a channel reference to its canonical identity.  Users
+    /// address a published channel by the name and manager their
+    /// subscription declared (`#alertQoS@p`), but the canonical identity
+    /// names the peer placement chose to *emit* the stream — so an exact
+    /// `(peer, stream)` match wins, a unique definition carrying the same
+    /// `StreamId` resolves the reference, and anything else (unknown or
+    /// ambiguous) is returned unchanged.
+    pub fn canonical_identity(&self, peer: &str, stream: &str) -> (String, String) {
+        let exact = (peer.to_string(), stream.to_string());
+        if self.descriptors.contains_key(&exact) {
+            return exact;
+        }
+        let mut by_name = self.descriptors.keys().filter(|(_, s)| s == stream);
+        match (by_name.next(), by_name.next()) {
+            (Some(key), None) => key.clone(),
+            _ => exact,
+        }
+    }
+
     /// Index terms of a descriptor: the operator, the producing peer, each
     /// operand, and the (operator, operand) combinations used by the reuse
     /// queries.
@@ -537,6 +565,44 @@ mod tests {
         assert_eq!(
             db.select_provider("origin.com", "s1", proximity),
             ("origin.com".to_string(), "s1".to_string())
+        );
+    }
+
+    #[test]
+    fn canonical_identity_resolves_unique_stream_names() {
+        let mut db = db();
+        db.publish(StreamDefinition::derived(
+            "meteo.com",
+            "alertQoS",
+            "Restructure",
+            "<incident/>",
+            vec![("p1".into(), "s1".into())],
+        ));
+        // Exact match wins; a unique name resolves; unknown stays put.
+        assert_eq!(
+            db.canonical_identity("meteo.com", "alertQoS"),
+            ("meteo.com".to_string(), "alertQoS".to_string())
+        );
+        assert_eq!(
+            db.canonical_identity("p", "alertQoS"),
+            ("meteo.com".to_string(), "alertQoS".to_string()),
+            "a manager-qualified reference resolves to the emitting peer"
+        );
+        assert_eq!(
+            db.canonical_identity("p", "nowhere"),
+            ("p".to_string(), "nowhere".to_string())
+        );
+        // An ambiguous name is left alone.
+        db.publish(StreamDefinition::derived(
+            "other.com",
+            "alertQoS",
+            "Restructure",
+            "<x/>",
+            vec![("p2".into(), "s2".into())],
+        ));
+        assert_eq!(
+            db.canonical_identity("p", "alertQoS"),
+            ("p".to_string(), "alertQoS".to_string())
         );
     }
 

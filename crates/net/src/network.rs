@@ -119,6 +119,14 @@ impl Network {
         &self.stats
     }
 
+    /// Records messages avoided by channel multicast (see
+    /// [`NetworkStats::multicast_saved_messages`]).
+    pub fn record_multicast_saving(&mut self, saved: u64) {
+        if saved > 0 {
+            self.stats.record_multicast_saving(saved);
+        }
+    }
+
     /// Expected latency of a link — the proximity measure used by replica
     /// selection.
     pub fn expected_latency(&self, from: &str, to: &str) -> u64 {

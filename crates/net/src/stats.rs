@@ -43,6 +43,13 @@ pub struct NetworkStats {
     pub channel_messages: u64,
     /// Control-plane messages delivered (DHT lookups, deployment, …).
     pub control_messages: u64,
+    /// Messages *avoided* by true channel multicast: when a published stream
+    /// has several subscribers behind the same destination peer (or on the
+    /// producing peer itself), one physical message serves all of them
+    /// instead of one unicast per subscriber.  The E7 "traffic saved by
+    /// stream reuse" counter — compare against `total_messages` or a
+    /// reuse-off baseline.
+    pub multicast_saved_messages: u64,
     /// Per-link counters, keyed by (from, to).
     pub per_link: BTreeMap<(PeerId, PeerId), LinkStats>,
 }
@@ -68,6 +75,13 @@ impl NetworkStats {
     /// Records a dropped message.
     pub fn record_drop(&mut self) {
         self.dropped_messages += 1;
+    }
+
+    /// Records messages avoided by sharing one physical stream between
+    /// several subscribers (per-destination-peer multicast dedup and local
+    /// attachment).
+    pub fn record_multicast_saving(&mut self, saved: u64) {
+        self.multicast_saved_messages += saved;
     }
 
     /// Counters for one directed link.
@@ -135,6 +149,16 @@ mod tests {
         assert_eq!(s.bytes_into("b"), 150);
         assert_eq!(s.bytes_out_of("b"), 10);
         assert_eq!(s.bytes_into("a"), 0);
+    }
+
+    #[test]
+    fn multicast_savings_accumulate() {
+        let mut s = NetworkStats::default();
+        s.record_multicast_saving(3);
+        s.record_multicast_saving(1);
+        assert_eq!(s.multicast_saved_messages, 4);
+        // Savings are not deliveries: the delivered counters stay untouched.
+        assert_eq!(s.total_messages, 0);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   single alerter function at one monitored peer, plus the matching SOAP
 //!   traffic; this is the workload that puts a peer's shared filter engine on
 //!   the hot path (hundreds of hosted subscriptions, one alert stream).
+//! * [`OverlappingStorm`] — many subscriptions drawn from a few distinct
+//!   *shapes* (duplicates differ only in their sink), plus matching traffic;
+//!   the stream-reuse workload (E7), where reuse-on deployments collapse
+//!   onto the shapes' shared live streams.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -496,6 +500,140 @@ impl SubscriptionStorm {
     }
 }
 
+/// Many *overlapping* P2PML subscriptions: `n` subscriptions drawn from a
+/// small pool of distinct **shapes**, where every subscription of one shape
+/// is byte-identical except for its sink address.
+///
+/// This is the E7 stream-reuse workload: the first subscription of each
+/// shape deploys the pipeline and publishes its stream definitions; with
+/// `enable_reuse` on, every later duplicate is covered node by node up to
+/// its root and collapses into a single live channel subscription on the
+/// producer's output — so deployment cost, operator count and per-item
+/// traffic stay bounded by the number of *shapes*, not the number of
+/// subscriptions.  With reuse off, every duplicate redeploys and re-ships
+/// its own copy, the baseline the savings are measured against.  Sink
+/// output must be byte-identical either way.
+#[derive(Debug, Clone)]
+pub struct OverlappingStorm {
+    /// The monitored hub peers; shape `k` watches `monitored_peers[k % len]`.
+    pub monitored_peers: Vec<String>,
+    /// Number of distinct subscription shapes; subscription `i` has shape
+    /// `i % shapes`.
+    pub shapes: usize,
+    /// The callee every subscription's filter pins.
+    pub service: String,
+    /// Method vocabulary; shape `k` singles out `methods[k % len]`.
+    pub methods: Vec<String>,
+    /// Every `pattern_every`-th shape adds the `$c//detail` tree pattern
+    /// (0 disables patterns).
+    pub pattern_every: usize,
+    /// Latency threshold for the residual shapes (ms).
+    pub slow_threshold_ms: u64,
+    /// Every `residual_every`-th shape adds a LET-derived duration residual
+    /// (0 disables residuals).
+    pub residual_every: usize,
+    /// Fraction of generated calls slower than the threshold.
+    pub slow_fraction: f64,
+    /// Fraction of generated calls carrying a `<detail>` body element.
+    pub detail_fraction: f64,
+    rng: StdRng,
+    next_id: u64,
+    clock: u64,
+}
+
+impl OverlappingStorm {
+    /// A storm of `shapes` distinct shapes over one hub peer.
+    pub fn new(seed: u64, shapes: usize) -> Self {
+        OverlappingStorm {
+            monitored_peers: vec!["hub.net".into()],
+            shapes: shapes.max(1),
+            service: "http://backend.net".into(),
+            methods: (0..4).map(|i| format!("Method{i}")).collect(),
+            pattern_every: 3,
+            residual_every: 4,
+            slow_threshold_ms: 10,
+            slow_fraction: 0.3,
+            detail_fraction: 0.5,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// A storm spread round-robin over `peers` monitored hubs, giving the
+    /// parallel scheduler independent per-peer shards to drive.
+    pub fn with_peers(seed: u64, shapes: usize, peers: usize) -> Self {
+        let mut storm = OverlappingStorm::new(seed, shapes);
+        storm.monitored_peers = (0..peers.max(1)).map(|i| format!("hub{i}.net")).collect();
+        storm
+    }
+
+    /// The P2PML text of subscription `i`.  Subscriptions with the same
+    /// shape (`i % shapes`) differ only in the sink address.
+    pub fn subscription(&self, i: usize) -> String {
+        let shape = i % self.shapes;
+        let peer = &self.monitored_peers[shape % self.monitored_peers.len()];
+        let method = &self.methods[shape % self.methods.len()];
+        let with_pattern = self.pattern_every > 0 && shape.is_multiple_of(self.pattern_every);
+        let with_residual = self.residual_every > 0 && shape.is_multiple_of(self.residual_every);
+        let mut text = format!("for $c in outCOM(<p>{peer}</p>)\n");
+        if with_residual {
+            text.push_str("let $d := $c.responseTimestamp - $c.callTimestamp\n");
+        }
+        text.push_str(&format!(
+            "where $c.callee = \"{}\" and $c.callMethod = \"{method}\"",
+            self.service
+        ));
+        if with_pattern {
+            text.push_str(" and $c//detail");
+        }
+        if with_residual {
+            text.push_str(&format!(" and $d > {}", self.slow_threshold_ms));
+        }
+        text.push_str(&format!(
+            "\nreturn <hit shape=\"g{shape}\" method=\"{{$c.callMethod}}\"/>\nby email \"watch{i}@example.org\";"
+        ));
+        text
+    }
+
+    /// The texts of subscriptions `0..n`.
+    pub fn subscriptions(&self, n: usize) -> Vec<String> {
+        (0..n).map(|i| self.subscription(i)).collect()
+    }
+
+    /// The next SOAP call of the matching traffic.
+    pub fn next_call(&mut self) -> SoapCall {
+        let method = self.methods[self.rng.gen_range(0..self.methods.len())].clone();
+        let peer = self.monitored_peers[self.rng.gen_range(0..self.monitored_peers.len())].clone();
+        self.clock += self.rng.gen_range(1..=20u64);
+        let slow = self.rng.gen::<f64>() < self.slow_fraction;
+        let latency = if slow {
+            self.slow_threshold_ms + self.rng.gen_range(1..=30u64)
+        } else {
+            self.rng.gen_range(1..=self.slow_threshold_ms.max(2) - 1)
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut call = SoapCall::new(
+            id,
+            format!("http://{peer}"),
+            self.service.clone(),
+            method,
+            self.clock,
+            self.clock + latency,
+        );
+        if self.rng.gen::<f64>() < self.detail_fraction {
+            call = call.with_body(Element::text_element("detail", "payload"));
+        }
+        call
+    }
+
+    /// A batch of calls.
+    pub fn calls(&mut self, n: usize) -> Vec<SoapCall> {
+        (0..n).map(|_| self.next_call()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +743,33 @@ mod tests {
         assert!(with_detail > 50, "detail ≈ 50%, got {with_detail}/200");
         let mut replay = SubscriptionStorm::new(5);
         assert_eq!(replay.calls(200), calls, "same seed, same traffic");
+    }
+
+    #[test]
+    fn overlapping_storm_duplicates_differ_only_in_their_sink() {
+        let storm = OverlappingStorm::new(7, 4);
+        for (i, text) in storm.subscriptions(16).iter().enumerate() {
+            p2pmon_p2pml::compile_subscription(text)
+                .unwrap_or_else(|e| panic!("subscription {i} must compile: {e:?}\n{text}"));
+        }
+        // Same shape ⇒ identical up to the sink address.
+        let a = storm.subscription(1);
+        let b = storm.subscription(5);
+        assert_ne!(a, b);
+        assert_eq!(
+            a.replace("watch1@example.org", ""),
+            b.replace("watch5@example.org", ""),
+            "shape duplicates must be byte-identical except for the sink"
+        );
+        // Different shapes differ in their filter or template.
+        assert_ne!(
+            storm.subscription(0).replace("watch0@example.org", ""),
+            storm.subscription(1).replace("watch1@example.org", "")
+        );
+        // Deterministic traffic.
+        let calls = OverlappingStorm::new(9, 4).calls(100);
+        assert_eq!(OverlappingStorm::new(9, 4).calls(100), calls);
+        assert!(calls.iter().all(|c| c.callee == "http://backend.net"));
     }
 
     #[test]

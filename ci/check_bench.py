@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""CI gates over the BENCH_*.json bench trajectories.
+
+This is the committed, locally runnable home of the gates that used to live
+as inline heredocs in .github/workflows/ci.yml.  Each gate is a subcommand
+reading the trajectory JSON a `cargo bench -p p2pmon-bench` run writes to
+the workspace root:
+
+    python3 ci/check_bench.py schema      # every trajectory parses and
+                                          # carries the fields the gates read
+    python3 ci/check_bench.py dispatch    # engine >= 3x naive at 256 subs;
+                                          # parallel scaling where cores allow
+    python3 ci/check_bench.py reuse       # reuse hit rate >= 50% and no
+                                          # added traffic at 256 subs
+    python3 ci/check_bench.py replica     # replicas serve >= 50% of remote
+                                          # consumers and never add
+                                          # origin-peer messages at 256 subs
+    python3 ci/check_bench.py all         # schema + every gate
+    python3 ci/check_bench.py --self-test # run the built-in fixtures
+
+`--root DIR` points at a workspace other than the script's parent.  Exit
+status is non-zero on the first failed gate.  The self-test feeds tiny
+fixture trajectories through every gate (passing and failing variants), so
+`cargo test` / CI can verify the harness itself without running a bench.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+class GateError(Exception):
+    """A gate failed: the message says which check and shows the row."""
+
+
+# The fields each gate reads, per trajectory.  `schema` fails when any listed
+# file is missing or any listed field disappears from a row, so a bench (or
+# field) rename cannot silently skip a gate.
+REQUIRED = {
+    "dispatch": {
+        "": ["host_parallelism", "results", "parallel"],
+        "results": ["subscriptions", "speedup"],
+        "parallel": ["subscriptions", "workers", "speedup_vs_sequential"],
+    },
+    "filter": {
+        "": ["results"],
+        "results": ["subscriptions", "two_stage_ns_per_doc", "naive_ns_per_doc", "speedup"],
+    },
+    "reuse": {
+        "": ["results", "replica"],
+        "results": [
+            "subscriptions",
+            "hit_rate",
+            "reuse_on_messages",
+            "reuse_off_messages",
+            "messages_saved_by_multicast",
+        ],
+        "replica": [
+            "subscriptions",
+            "remote_consumers",
+            "served_by_replica",
+            "replica_on_origin_messages",
+            "replica_off_origin_messages",
+        ],
+    },
+}
+
+GATED_SUBSCRIPTIONS = 256
+
+
+def row_at(data, axis, subscriptions, bench):
+    """The row of `axis` gated at `subscriptions` subscriptions."""
+    for row in data.get(axis, []):
+        if row.get("subscriptions") == subscriptions:
+            return row
+    raise GateError(
+        f"BENCH_{bench}.json has no '{axis}' row at {subscriptions} subscriptions "
+        f"— the gate would silently skip; regenerate the trajectory"
+    )
+
+
+def gate_dispatch(data):
+    """Engine-gated dispatch must stay >= 3x over naive at 256 subscriptions;
+    where the hardware has >= 4 cores, 4 workers must clearly beat the
+    sequential oracle (quick-mode runs are noisy, so the hard floor is 2x)."""
+    row = row_at(data, "results", GATED_SUBSCRIPTIONS, "dispatch")
+    print(f"engine vs naive at {GATED_SUBSCRIPTIONS} subscriptions: {row['speedup']:.2f}x")
+    if row["speedup"] < 3.0:
+        raise GateError(f"dispatch speedup regressed below 3x: {row}")
+    cores = data.get("host_parallelism", 1)
+    parallel = [r for r in data.get("parallel", []) if r["subscriptions"] == GATED_SUBSCRIPTIONS]
+    for r in parallel:
+        print(
+            f"{r['workers']} workers: {r['speedup_vs_sequential']:.2f}x vs sequential "
+            f"(host parallelism {cores})"
+        )
+    if cores >= 4:
+        four = next((r for r in parallel if r["workers"] == 4), None)
+        if four is None:
+            raise GateError("no 4-worker parallel row at 256 subscriptions")
+        if four["speedup_vs_sequential"] < 2.0:
+            raise GateError(f"parallel dispatch stopped scaling on a {cores}-core host: {four}")
+
+
+def gate_reuse(data):
+    """Stream reuse must keep covering the overlapping storm (hit rate >= 50%)
+    and must never send more messages than the reuse-off baseline."""
+    row = row_at(data, "results", GATED_SUBSCRIPTIONS, "reuse")
+    print(f"reuse hit rate over the {GATED_SUBSCRIPTIONS}-sub overlapping storm: {row['hit_rate']:.2f}")
+    print(
+        f"messages: reuse-on {row['reuse_on_messages']} vs reuse-off {row['reuse_off_messages']}"
+        f" ({row['messages_saved_by_multicast']} saved by multicast)"
+    )
+    if row["hit_rate"] < 0.5:
+        raise GateError(f"reuse hit rate regressed below 50%: {row}")
+    if row["reuse_on_messages"] > row["reuse_off_messages"]:
+        raise GateError(f"stream reuse sent MORE network messages than the reuse-off baseline: {row}")
+
+
+def gate_replica(data):
+    """Replica re-publication must serve at least half of the clustered
+    remote consumers from re-published copies, and must never make the
+    origin peer send more messages than the replica-off baseline."""
+    row = row_at(data, "replica", GATED_SUBSCRIPTIONS, "reuse")
+    remote = row["remote_consumers"]
+    served = row["served_by_replica"]
+    share = served / remote if remote else 0.0
+    print(
+        f"replicas over the {GATED_SUBSCRIPTIONS}-sub clustered storm: "
+        f"{served}/{remote} remote consumers served by a replica ({share:.0%})"
+    )
+    print(
+        f"origin-peer messages: replica-on {row['replica_on_origin_messages']} "
+        f"vs replica-off {row['replica_off_origin_messages']}"
+    )
+    if remote == 0:
+        raise GateError(f"the clustered storm produced no remote consumers: {row}")
+    if share < 0.5:
+        raise GateError(f"replicas serve fewer than 50% of remote consumers: {row}")
+    if row["replica_on_origin_messages"] > row["replica_off_origin_messages"]:
+        raise GateError(
+            f"replica-on sent MORE origin-peer messages than replica-off: {row}"
+        )
+
+
+def validate_trajectory(bench, data):
+    """The schema check for one parsed trajectory: every field a gate reads
+    must be present (top-level keys, and per-row fields of each axis)."""
+    spec = REQUIRED[bench]
+    problems = []
+    for key in spec[""]:
+        if key not in data:
+            problems.append(f"BENCH_{bench}.json: missing top-level field '{key}'")
+    for axis, fields in spec.items():
+        if not axis or axis not in data:
+            continue
+        if not data[axis]:
+            problems.append(f"BENCH_{bench}.json: axis '{axis}' is empty")
+        for i, row in enumerate(data[axis]):
+            for field in fields:
+                if field not in row:
+                    problems.append(
+                        f"BENCH_{bench}.json: '{axis}' row {i} lacks field '{field}'"
+                    )
+    return problems
+
+
+def check_schema(root):
+    """Every BENCH_*.json in the workspace root parses; every *gated*
+    trajectory exists and carries the fields its gates read."""
+    found = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as e:
+            raise GateError(f"{path.name} does not parse: {e}") from e
+        found[path.name] = data
+        print(f"{path.name}: parses ({', '.join(sorted(k for k in data if isinstance(data[k], list)))})")
+    problems = []
+    for bench in REQUIRED:
+        name = f"BENCH_{bench}.json"
+        if name not in found:
+            problems.append(
+                f"{name} is missing — a gated trajectory was renamed or its bench "
+                f"no longer writes it, so its gate would silently skip"
+            )
+            continue
+        problems.extend(validate_trajectory(bench, found[name]))
+    if problems:
+        raise GateError("\n".join(problems))
+    print(f"schema ok: {len(found)} trajectories, all gated fields present")
+
+
+def load(root, bench):
+    path = root / f"BENCH_{bench}.json"
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise GateError(f"{path} not found — run `cargo bench -p p2pmon-bench` first") from None
+    except json.JSONDecodeError as e:
+        raise GateError(f"{path} does not parse: {e}") from e
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: tiny passing trajectories plus one failing mutation per
+# gate, so the harness itself is testable without running a bench.
+# ---------------------------------------------------------------------------
+
+FIXTURE_DISPATCH = {
+    "bench": "dispatch",
+    "host_parallelism": 8,
+    "results": [{"subscriptions": 256, "speedup": 5.2}],
+    "parallel": [{"subscriptions": 256, "workers": 4, "speedup_vs_sequential": 2.4}],
+}
+
+FIXTURE_REUSE = {
+    "bench": "reuse",
+    "results": [
+        {
+            "subscriptions": 256,
+            "hit_rate": 0.99,
+            "reuse_on_messages": 300,
+            "reuse_off_messages": 4900,
+            "messages_saved_by_multicast": 5000,
+        }
+    ],
+    "replica": [
+        {
+            "subscriptions": 256,
+            "remote_consumers": 248,
+            "served_by_replica": 232,
+            "replica_on_origin_messages": 489,
+            "replica_off_origin_messages": 1467,
+        }
+    ],
+}
+
+FIXTURE_FILTER = {
+    "bench": "filter",
+    "results": [
+        {
+            "subscriptions": 10000,
+            "two_stage_ns_per_doc": 100,
+            "naive_ns_per_doc": 500,
+            "speedup": 5.0,
+        }
+    ],
+}
+
+
+def mutated(fixture, axis, field, value):
+    copy = json.loads(json.dumps(fixture))
+    copy[axis][0][field] = value
+    return copy
+
+
+def expect_pass(name, gate, data):
+    gate(data)
+    print(f"self-test: {name} passes on the good fixture")
+
+
+def expect_fail(name, gate, data):
+    try:
+        gate(data)
+    except GateError as e:
+        print(f"self-test: {name} correctly fails ({str(e).splitlines()[0][:72]}…)")
+        return
+    raise GateError(f"self-test: {name} did NOT fail on the bad fixture")
+
+
+def self_test():
+    expect_pass("dispatch", gate_dispatch, FIXTURE_DISPATCH)
+    expect_fail("dispatch speedup", gate_dispatch, mutated(FIXTURE_DISPATCH, "results", "speedup", 2.0))
+    expect_fail(
+        "dispatch parallel scaling",
+        gate_dispatch,
+        mutated(FIXTURE_DISPATCH, "parallel", "speedup_vs_sequential", 1.2),
+    )
+    expect_pass("reuse", gate_reuse, FIXTURE_REUSE)
+    expect_fail("reuse hit rate", gate_reuse, mutated(FIXTURE_REUSE, "results", "hit_rate", 0.3))
+    expect_fail(
+        "reuse traffic", gate_reuse, mutated(FIXTURE_REUSE, "results", "reuse_on_messages", 9000)
+    )
+    expect_pass("replica", gate_replica, FIXTURE_REUSE)
+    expect_fail(
+        "replica share", gate_replica, mutated(FIXTURE_REUSE, "replica", "served_by_replica", 10)
+    )
+    expect_fail(
+        "replica origin load",
+        gate_replica,
+        mutated(FIXTURE_REUSE, "replica", "replica_on_origin_messages", 2000),
+    )
+    # Schema validation: the good fixtures are complete; a dropped field (as a
+    # bench rename or refactor would cause) is reported.
+    for bench, fixture in [("dispatch", FIXTURE_DISPATCH), ("reuse", FIXTURE_REUSE), ("filter", FIXTURE_FILTER)]:
+        problems = validate_trajectory(bench, fixture)
+        if problems:
+            raise GateError(f"self-test: good {bench} fixture flagged: {problems}")
+    broken = json.loads(json.dumps(FIXTURE_REUSE))
+    del broken["replica"][0]["served_by_replica"]
+    del broken["results"]
+    problems = validate_trajectory("reuse", broken)
+    if len(problems) != 2:
+        raise GateError(f"self-test: schema check missed a dropped field: {problems}")
+    print("self-test: schema validation catches dropped axes and fields")
+    print("self-test: OK")
+
+
+GATES = {"dispatch": gate_dispatch, "reuse": gate_reuse, "replica": gate_replica}
+# Which trajectory file each gate reads.
+GATE_SOURCE = {"dispatch": "dispatch", "reuse": "reuse", "replica": "reuse"}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=["schema", "dispatch", "reuse", "replica", "all"],
+        help="the gate to run",
+    )
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)
+    parser.add_argument("--self-test", action="store_true", help="run the fixture self-test")
+    args = parser.parse_args(argv)
+    try:
+        if args.self_test:
+            self_test()
+            if args.command is None:
+                return 0
+        if args.command is None:
+            parser.error("a command (or --self-test) is required")
+        if args.command in ("schema", "all"):
+            check_schema(args.root)
+        if args.command != "schema":
+            gates = GATES if args.command == "all" else {args.command: GATES[args.command]}
+            for name, gate in gates.items():
+                gate(load(args.root, GATE_SOURCE[name]))
+    except GateError as e:
+        print(f"GATE FAILED: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,10 +21,15 @@ use std::time::Instant;
 
 use p2pmon_bench::{full_run_requested, quick_criterion};
 use p2pmon_core::{Monitor, MonitorConfig, SubscriptionHandle};
+use p2pmon_net::NetworkConfig;
 use p2pmon_workloads::OverlappingStorm;
 
 const SUBSCRIPTION_COUNTS: [usize; 3] = [16, 64, 256];
 const SHAPES: usize = 8;
+/// The clustered replica axis: consumers on CLUSTERS × PEERS_PER_CLUSTER
+/// distinct manager peers, close inside a cluster, far from the origin hub.
+const CLUSTERS: usize = 2;
+const PEERS_PER_CLUSTER: usize = 4;
 
 fn storm_monitor(enable_reuse: bool, n_subs: usize) -> (Monitor, Vec<SubscriptionHandle>) {
     let mut monitor = Monitor::new(MonitorConfig {
@@ -121,6 +126,59 @@ fn timed_run(enable_reuse: bool, n_subs: usize, calls_n: usize) -> Run {
     }
 }
 
+/// One clustered run for the replica axis: every subscription is submitted
+/// from its clustered consumer peer; with replicas on, later duplicates
+/// attach to the closest re-published copy instead of the origin hub.
+struct ReplicaRun {
+    origin_messages: u64,
+    total_messages: u64,
+    results: usize,
+    monitor: Monitor,
+}
+
+fn replica_run(enable_replicas: bool, n_subs: usize, calls_n: usize) -> ReplicaRun {
+    let storm = OverlappingStorm::clustered(1, SHAPES, CLUSTERS, PEERS_PER_CLUSTER);
+    let mut monitor = Monitor::new(MonitorConfig {
+        enable_replicas,
+        workers: 1,
+        network: NetworkConfig {
+            latency: storm.latency_model(),
+            ..NetworkConfig::default()
+        },
+        ..MonitorConfig::default()
+    });
+    monitor.add_peer("backend.net");
+    let handles: Vec<SubscriptionHandle> = storm
+        .subscriptions(n_subs)
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            monitor
+                .submit(storm.manager_of(i), text)
+                .expect("clustered storm deploys")
+        })
+        .collect();
+    let mut traffic = storm.clone();
+    for call in traffic.calls(calls_n) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let results = handles.iter().map(|h| monitor.results(h).len()).sum();
+    let stats = monitor.network_stats();
+    let origin_messages = stats
+        .per_peer()
+        .get("hub.net")
+        .map(|t| t.messages_out)
+        .unwrap_or(0);
+    let total_messages = stats.total_messages;
+    ReplicaRun {
+        origin_messages,
+        total_messages,
+        results,
+        monitor,
+    }
+}
+
 /// Emits the BENCH_reuse.json trajectory at the workspace root.
 fn emit_trajectory(_c: &mut Criterion) {
     let calls_n = calls_per_run();
@@ -175,15 +233,59 @@ fn emit_trajectory(_c: &mut Criterion) {
             on.results,
         ));
     }
+    // The replica axis: same shapes, but consumers spread over clustered
+    // manager peers — replica-on must serve most remote consumers from
+    // re-published copies and take load off the origin hub.
+    let mut replica_rows = Vec::new();
+    for n_subs in SUBSCRIPTION_COUNTS {
+        let on = replica_run(true, n_subs, calls_n);
+        let off = replica_run(false, n_subs, calls_n);
+        assert_eq!(
+            on.results, off.results,
+            "replicas must not change what the sinks receive"
+        );
+        let stats = on.monitor.replica_stats();
+        let remote = stats.consumers_via_replica + stats.consumers_via_origin;
+        eprintln!(
+            "replica [{n_subs} subs, {SHAPES} shapes, {CLUSTERS}x{PEERS_PER_CLUSTER} consumers]: \
+             {} replicas, {}/{} remote consumers via replica, origin messages {} vs {}, \
+             {} forwarded by replicas",
+            stats.replicas_created,
+            stats.consumers_via_replica,
+            remote,
+            on.origin_messages,
+            off.origin_messages,
+            stats.origin_messages_saved,
+        );
+        replica_rows.push(format!(
+            "    {{\"subscriptions\": {n_subs}, \"shapes\": {SHAPES}, \
+             \"clusters\": {CLUSTERS}, \"peers_per_cluster\": {PEERS_PER_CLUSTER}, \
+             \"replicas_created\": {}, \"remote_consumers\": {remote}, \
+             \"served_by_replica\": {}, \"served_by_origin\": {}, \
+             \"replica_on_origin_messages\": {}, \"replica_off_origin_messages\": {}, \
+             \"replica_on_total_messages\": {}, \"replica_off_total_messages\": {}, \
+             \"origin_messages_saved\": {}, \"results\": {}}}",
+            stats.replicas_created,
+            stats.consumers_via_replica,
+            stats.consumers_via_origin,
+            on.origin_messages,
+            off.origin_messages,
+            on.total_messages,
+            off.total_messages,
+            stats.origin_messages_saved,
+            on.results,
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"reuse\",\n  \"mode\": \"{}\",\n  \"calls_per_run\": {calls_n},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"results\": [\n{}\n  ],\n  \"replica\": [\n{}\n  ]\n}}\n",
         if full_run_requested() {
             "full"
         } else {
             "quick"
         },
-        rows.join(",\n")
+        rows.join(",\n"),
+        replica_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reuse.json");
     match std::fs::write(path, &json) {

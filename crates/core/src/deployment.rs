@@ -66,24 +66,31 @@ pub(crate) fn task_ref_key(kind: &TaskKind) -> Option<(String, String)> {
 }
 
 /// Resolves every explicit channel reference in a plan to its canonical
-/// identity.  A subscription addresses a published channel by the name and
-/// manager it was declared with (`channel("#alertQoS@p")`), but the
-/// canonical identity names the peer that actually emits the stream
-/// (wherever placement put the producer's root); without this step the
-/// subscriber would attach to a channel nobody multicasts on.  References
-/// minted by the reuse rewriting are already canonical (exact match — the
-/// runtime never creates replicas today, so the selected provider *is* the
-/// original; if replica re-publication lands (see ROADMAP), replica
-/// providers will need their own live channels), and unknown or ambiguous
-/// names pass through unchanged.
+/// identity, then — when replica re-publication is enabled — routes it to
+/// the closest live *provider* of that stream.  A subscription addresses a
+/// published channel by the name and manager it was declared with
+/// (`channel("#alertQoS@p")`), but the canonical identity names the peer
+/// that actually emits the stream (wherever placement put the producer's
+/// root); without this step the subscriber would attach to a channel nobody
+/// multicasts on.  References minted by the reuse rewriting are already
+/// canonical (an exact descriptor match, or a live replica's coordinates),
+/// and `select_provider` is a no-op on them: the reuse cover already picked
+/// the closest provider with the same proximity function, and a replica has
+/// no replicas of its own.  Unknown or ambiguous names pass through
+/// unchanged.
 fn canonicalize_channel_refs(
     db: &p2pmon_dht::StreamDefinitionDatabase,
+    proximity: Option<&dyn Fn(&str) -> u64>,
     node: p2pmon_p2pml::plan::LogicalNode,
 ) -> p2pmon_p2pml::plan::LogicalNode {
     use p2pmon_p2pml::plan::LogicalNode;
     match node {
         LogicalNode::ChannelIn { peer, stream, var } => {
             let (peer, stream) = db.canonical_identity(&normalize_peer(&peer), &stream);
+            let (peer, stream) = match proximity {
+                Some(proximity) => db.select_provider(&peer, &stream, |p| proximity(p)),
+                None => (peer, stream),
+            };
             LogicalNode::ChannelIn { peer, stream, var }
         }
         LogicalNode::DynamicAlerter {
@@ -93,13 +100,13 @@ fn canonicalize_channel_refs(
         } => LogicalNode::DynamicAlerter {
             function,
             var,
-            driver: Box::new(canonicalize_channel_refs(db, *driver)),
+            driver: Box::new(canonicalize_channel_refs(db, proximity, *driver)),
         },
         LogicalNode::Union { var, inputs } => LogicalNode::Union {
             var,
             inputs: inputs
                 .into_iter()
-                .map(|input| canonicalize_channel_refs(db, input))
+                .map(|input| canonicalize_channel_refs(db, proximity, input))
                 .collect(),
         },
         LogicalNode::Select {
@@ -111,7 +118,7 @@ fn canonicalize_channel_refs(
             conditions,
         } => LogicalNode::Select {
             var,
-            input: Box::new(canonicalize_channel_refs(db, *input)),
+            input: Box::new(canonicalize_channel_refs(db, proximity, *input)),
             simple,
             patterns,
             derived,
@@ -124,21 +131,21 @@ fn canonicalize_channel_refs(
             right_key,
             residual,
         } => LogicalNode::Join {
-            left: Box::new(canonicalize_channel_refs(db, *left)),
-            right: Box::new(canonicalize_channel_refs(db, *right)),
+            left: Box::new(canonicalize_channel_refs(db, proximity, *left)),
+            right: Box::new(canonicalize_channel_refs(db, proximity, *right)),
             left_key,
             right_key,
             residual,
         },
         LogicalNode::Dedup { input } => LogicalNode::Dedup {
-            input: Box::new(canonicalize_channel_refs(db, *input)),
+            input: Box::new(canonicalize_channel_refs(db, proximity, *input)),
         },
         LogicalNode::Restructure {
             input,
             template,
             derived,
         } => LogicalNode::Restructure {
-            input: Box::new(canonicalize_channel_refs(db, *input)),
+            input: Box::new(canonicalize_channel_refs(db, proximity, *input)),
             template,
             derived,
         },
@@ -172,24 +179,48 @@ impl Monitor {
             distinct: plan.distinct,
         };
 
-        // Stream reuse against the definition database.  Replica selection
-        // scores candidate providers by their expected latency from the
-        // manager (the "close networkwise" criterion of Section 5).
-        let (root, reuse) = if self.config.enable_reuse {
+        // Provider proximity, the "close networkwise" criterion of Section 5:
+        // the expected latency from the subscribing manager, with the manager
+        // itself as the closest possible provider (a replica on the
+        // consumer's own peer costs no network hop) and downed peers marked
+        // unavailable so replica selection never routes through a dead
+        // provider.  Only built when something reads it — with both reuse
+        // and replicas off (the naive baseline) no provider is ever
+        // selected.
+        let proximity = (self.config.enable_reuse || self.config.enable_replicas).then(|| {
             let latencies: std::collections::BTreeMap<String, u64> = self
                 .peers
                 .iter()
-                .map(|p| (p.clone(), self.network.expected_latency(&manager, p)))
+                .map(|p| {
+                    let score = if self.network.is_down(p) {
+                        u64::MAX
+                    } else if *p == manager {
+                        0
+                    } else {
+                        self.network.expected_latency(&manager, p)
+                    };
+                    (p.clone(), score)
+                })
                 .collect();
-            let proximity = move |peer: &str| latencies.get(peer).copied().unwrap_or(u64::MAX / 2);
-            let (root, reuse) = apply_reuse(&plan.root, &mut self.stream_db, &proximity);
+            move |peer: &str| latencies.get(peer).copied().unwrap_or(u64::MAX / 2)
+        });
+
+        // Stream reuse against the definition database.
+        let (root, reuse) = if self.config.enable_reuse {
+            let proximity = proximity.as_ref().expect("built whenever reuse is on");
+            let (root, reuse) = apply_reuse(&plan.root, &mut self.stream_db, proximity);
             self.reuse_totals.absorb(&ReuseStats::of_report(&reuse));
             (root, reuse)
         } else {
             (plan.root.clone(), ReuseReport::default())
         };
+        let select_providers = if self.config.enable_replicas {
+            proximity.as_ref().map(|p| p as &dyn Fn(&str) -> u64)
+        } else {
+            None
+        };
         let rewritten = LogicalPlan {
-            root: canonicalize_channel_refs(&self.stream_db, root),
+            root: canonicalize_channel_refs(&self.stream_db, select_providers, root),
             by: plan.by.clone(),
             distinct: plan.distinct,
         };
@@ -215,6 +246,10 @@ impl Monitor {
             self.host_mut(&task.peer)
                 .install_task(sub_idx, task.id, operator);
             if let Some(key) = task_ref_key(&task.kind) {
+                // A subscriber of a replica still depends on the *origin's*
+                // producing subtree — references always count against the
+                // origin's definition.
+                let key = self.resolve_def_key(key);
                 self.def_refs.entry(key).or_default().refs += 1;
             }
             match &task.kind {
@@ -243,6 +278,18 @@ impl Monitor {
                         .entry(channel.clone())
                         .or_default()
                         .push((sub_idx, task.id, 0));
+                    // Replica accounting for remote consumers of a live
+                    // stream: record whether this subscriber was served by a
+                    // replica or pulls from the origin, and re-publish the
+                    // stream from the consuming peer so *later* subscribers
+                    // can attach to the closest copy.
+                    self.note_replica_consumer(
+                        sub_idx,
+                        task.id,
+                        &task.peer,
+                        channel,
+                        &channels[task.id],
+                    );
                 }
                 _ => {}
             }
@@ -343,17 +390,10 @@ impl Monitor {
     ///
     /// [`StreamDefinitionDatabase::canonical_identity`]: p2pmon_dht::StreamDefinitionDatabase::canonical_identity
     fn repoint_channel_consumers(&mut self, declared: &ChannelId, canonical: &ChannelId) {
-        let Some(consumers) = self.routing.channel_consumers.remove(declared) else {
-            return;
-        };
         let declared_key = (declared.peer.clone(), declared.stream.clone());
         let canonical_key = (canonical.peer.clone(), canonical.stream.clone());
-        for &(sub, task, _) in &consumers {
-            if let TaskKind::ChannelSource { channel, .. } =
-                &mut self.subscriptions[sub].placed.tasks[task].kind
-            {
-                *channel = canonical.clone();
-            }
+        let moved = self.move_channel_consumers(declared, canonical, None);
+        for _ in &moved {
             if let Some(entry) = self.def_refs.get_mut(&declared_key) {
                 entry.refs = entry.refs.saturating_sub(1);
                 if entry.refs == 0 {
@@ -362,11 +402,6 @@ impl Monitor {
             }
             self.def_refs.entry(canonical_key.clone()).or_default().refs += 1;
         }
-        self.routing
-            .channel_consumers
-            .entry(canonical.clone())
-            .or_default()
-            .extend(consumers);
     }
 
     /// Installs the alerter for `function` on `peer` (idempotent).
@@ -436,7 +471,13 @@ impl Monitor {
                     identities[task.id] = Some((monitored_peer.clone(), stream));
                 }
                 TaskKind::ChannelSource { channel, .. } => {
-                    identities[task.id] = Some((channel.peer.clone(), channel.stream.clone()));
+                    // "Derived streams are always described with respect to
+                    // the original streams, not the replicas" (Section 5):
+                    // operators stacked on a replica subscription publish
+                    // operand lists naming the origin, so identical plans
+                    // keep matching in the reuse queries no matter which
+                    // provider each of them attached to.
+                    identities[task.id] = Some(self.channel_origin(channel));
                 }
                 TaskKind::DynamicSource { .. } => {}
                 _ => {

@@ -211,6 +211,14 @@ impl DispatchSnapshot<'_> {
             // Pass-through sources: gate on (and collapse into) the Select
             // they feed on the same peer.
             TaskKind::Source { .. } | TaskKind::ChannelSource { .. } => {
+                // …unless the pass-through's own output channel has live
+                // subscribers (a replica forward, or reuse attached below a
+                // plan-internal edge): those subscribers get *every* item of
+                // the stream, not just what survives the local consumer's
+                // filter, so the pass-through must actually run.
+                if self.tap(sub, task).is_some() {
+                    return None;
+                }
                 match &self.subs[sub].routes[task] {
                     Route::Local {
                         task: next,
@@ -593,6 +601,7 @@ impl Monitor {
     pub(crate) fn run_multicast(&mut self, plan: &MulticastPlan, output: &Element) {
         let producer = &plan.channel.peer;
         let mut saved = 0u64;
+        let mut sent = 0u64;
         for (peer, targets) in &plan.by_peer {
             if peer == producer {
                 // Local attachment: straight into the peer's alert batch.
@@ -615,9 +624,16 @@ impl Monitor {
                 // Only messages that actually went out count as shared; a
                 // drop (downed peer, failure injection) saved nothing.
                 saved += targets.len() as u64 - 1;
+                sent += 1;
             }
         }
         self.network.record_multicast_saving(saved);
+        // A multicast on a replica channel is the forwarded hop of replica
+        // re-publication: the consuming peer carries fan-out messages the
+        // origin would otherwise have sent itself.
+        if self.replica_channels.contains_key(&plan.channel) {
+            self.network.record_replica_forward(sent);
+        }
     }
 
     /// Delivers a plan-root output to the subscription's sink.  (Channel

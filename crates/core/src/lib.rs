@@ -42,7 +42,7 @@ pub use peer::PeerHost;
 pub use placement::{
     place, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementStrategy, TaskKind,
 };
-pub use reuse::{apply_reuse, logical_to_plan_node, ReuseReport, ReuseStats};
+pub use reuse::{apply_reuse, logical_to_plan_node, ReplicaStats, ReuseReport, ReuseStats};
 pub use runtime::{RuntimeOperator, RuntimeOutput};
 pub use sink::{Sink, SinkKind};
 

@@ -42,6 +42,13 @@ pub struct MonitorConfig {
     pub join_window: Window,
     /// Whether the Subscription Manager searches for reusable streams.
     pub enable_reuse: bool,
+    /// Whether a subscriber of a remote channel *re-publishes* it as a
+    /// replica (Section 5's `<InChannel>` declarations): later consumers then
+    /// attach to the closest live copy instead of the origin, and the
+    /// consuming peers carry the fan-out hops the origin would otherwise
+    /// send.  Off, every consumer pulls from the single origin peer — the
+    /// equivalence oracle (sink output is byte-identical either way).
+    pub enable_replicas: bool,
     /// Number of DHT nodes backing the Stream Definition Database.
     pub dht_nodes: usize,
     /// Seed for the DHT layout.
@@ -68,6 +75,7 @@ impl Default for MonitorConfig {
             placement: PlacementStrategy::PushToSources,
             join_window: Window::items(4096),
             enable_reuse: true,
+            enable_replicas: true,
             dht_nodes: 32,
             seed: 7,
             naive_dispatch: false,
@@ -143,6 +151,28 @@ pub(crate) struct DefEntry {
     pub owner: Option<usize>,
 }
 
+/// Bookkeeping of one live replica: the channel `(origin peer, origin
+/// stream)` is re-published by one peer, backed by the *forwarding* task —
+/// the `ChannelSource` whose canonical output channel is the replica's local
+/// stream; its output tap carries every item of the origin stream on to the
+/// replica's subscribers.  Keyed by `(origin identity, replica peer)` in
+/// [`Monitor::replica_refs`].
+#[derive(Debug, Clone)]
+pub(crate) struct ReplicaEntry {
+    /// The local subscriber tasks of the replicated channel hosted on the
+    /// replica peer (the forwarder plus any later same-peer consumers), as
+    /// `(subscription, task)`.  The declaration retracts when the last one
+    /// goes; membership makes releases exact — a removed task that never
+    /// took a replica reference (e.g. a subscriber deployed before the
+    /// producer published, later re-pointed) cannot shrink the count.
+    pub subscribers: BTreeSet<(usize, usize)>,
+    /// The forwarding task, as `(subscription, task)`.
+    pub forwarder: (usize, usize),
+    /// The replica's local stream id (= the forwarder's canonical output
+    /// channel stream).
+    pub replica_stream: String,
+}
+
 /// The P2P Monitor.
 pub struct Monitor {
     pub(crate) config: MonitorConfig,
@@ -159,8 +189,20 @@ pub struct Monitor {
     /// Reference counts (and owners) of every published stream definition,
     /// keyed by its canonical `(peer, stream)` identity.
     pub(crate) def_refs: HashMap<(String, String), DefEntry>,
+    /// Live replicas, keyed by `(origin (peer, stream), replica peer)`.
+    pub(crate) replica_refs: HashMap<((String, String), String), ReplicaEntry>,
+    /// Reverse index of live replica channels: the replica's local
+    /// [`ChannelId`] → the origin's canonical `(peer, stream)` identity.
+    /// Definition references and published operand lists always name the
+    /// origin ("derived streams are described with respect to the original
+    /// streams, not the replicas" — Section 5), so every key that might be a
+    /// replica channel resolves through this map first.
+    pub(crate) replica_channels: HashMap<ChannelId, (String, String)>,
     /// Aggregate reuse effectiveness across deployments (E7).
     pub(crate) reuse_totals: ReuseStats,
+    /// Aggregate replica re-publication counters (created/retracted and
+    /// consumer routing; `origin_messages_saved` is read off the network).
+    pub(crate) replica_totals: crate::reuse::ReplicaStats,
     /// Ids handed to per-peer engine registrations, globally unique.
     pub(crate) next_filter_id: u64,
     /// Total operator invocations (a processing-cost measure for E6/E7).
@@ -182,7 +224,10 @@ impl Monitor {
             routing: RoutingTable::default(),
             dispatch_stats: DispatchStats::default(),
             def_refs: HashMap::new(),
+            replica_refs: HashMap::new(),
+            replica_channels: HashMap::new(),
             reuse_totals: ReuseStats::default(),
+            replica_totals: crate::reuse::ReplicaStats::default(),
             next_filter_id: 0,
             operator_invocations: 0,
             scheduler: crate::scheduler::SchedulerPool::new(),
@@ -264,6 +309,209 @@ impl Monitor {
     /// True when the peer is currently failed.
     pub fn is_peer_down(&self, peer: &str) -> bool {
         self.network.is_down(&normalize_peer(peer))
+    }
+
+    // ------------------------------------------------------------------
+    // Replica re-publication (Section 5's <InChannel> declarations)
+    // ------------------------------------------------------------------
+
+    /// Resolves a `(peer, stream)` definition-reference key: a replica
+    /// channel's key maps to the origin identity the Stream Definition
+    /// Database actually keys on; anything else passes through.
+    pub(crate) fn resolve_def_key(&self, key: (String, String)) -> (String, String) {
+        self.channel_origin(&ChannelId::new(key.0, key.1))
+    }
+
+    /// The origin identity behind a subscribed channel (the channel itself
+    /// unless it is a live replica).
+    pub(crate) fn channel_origin(&self, channel: &ChannelId) -> (String, String) {
+        self.replica_channels
+            .get(channel)
+            .cloned()
+            .unwrap_or_else(|| (channel.peer.clone(), channel.stream.clone()))
+    }
+
+    /// Notes one deployed `ChannelSource` consumer for replica bookkeeping:
+    /// a subscriber of a published channel hosted away from the stream's
+    /// origin *re-publishes* the stream from its own peer.  The first such
+    /// subscriber on a peer becomes the **forwarder** — its canonical output
+    /// channel is declared as the replica's local stream, so its output tap
+    /// carries every item on to later subscribers that attach to the
+    /// replica.  Further same-peer subscribers share the declaration
+    /// (duplicate `<InChannel>` entries from one peer never accumulate).
+    pub(crate) fn note_replica_consumer(
+        &mut self,
+        sub: usize,
+        task: usize,
+        peer: &str,
+        subscribed: &ChannelId,
+        own_channel: &ChannelId,
+    ) {
+        if !self.config.enable_replicas {
+            return;
+        }
+        let origin = self.channel_origin(subscribed);
+        // Only a stream that actually exists can be re-published; a
+        // subscriber of a not-yet-deployed channel (submit order is not a
+        // contract) declares nothing.
+        if origin.0 == peer || self.stream_db.get(&origin.0, &origin.1).is_none() {
+            return;
+        }
+        // This is a remote consumer of a live stream: record how it was
+        // served (a re-published copy vs the origin itself).
+        if self.replica_channels.contains_key(subscribed) {
+            self.replica_totals.consumers_via_replica += 1;
+        } else {
+            self.replica_totals.consumers_via_origin += 1;
+        }
+        let key = (origin.clone(), peer.to_string());
+        if let Some(entry) = self.replica_refs.get_mut(&key) {
+            entry.subscribers.insert((sub, task));
+            return;
+        }
+        self.replica_refs.insert(
+            key,
+            ReplicaEntry {
+                subscribers: BTreeSet::from([(sub, task)]),
+                forwarder: (sub, task),
+                replica_stream: own_channel.stream.clone(),
+            },
+        );
+        self.replica_channels
+            .insert(own_channel.clone(), origin.clone());
+        self.stream_db
+            .publish_replica(p2pmon_dht::ReplicaDeclaration {
+                peer_id: origin.0,
+                stream_id: origin.1,
+                replica_peer: peer.to_string(),
+                replica_stream: own_channel.stream.clone(),
+            });
+        self.replica_totals.replicas_created += 1;
+    }
+
+    /// Releases one removed `ChannelSource` consumer's replica reference.
+    /// The last local subscriber retracts the peer's declaration and hands
+    /// any orphaned replica subscribers back to the origin; a removed
+    /// *forwarder* with surviving local subscribers hands the replica off to
+    /// one of them instead.
+    pub(crate) fn release_replica_consumer(
+        &mut self,
+        origin: &(String, String),
+        peer: &str,
+        removed: (usize, usize),
+    ) {
+        let key = (origin.clone(), peer.to_string());
+        let Some(entry) = self.replica_refs.get_mut(&key) else {
+            return;
+        };
+        // Only tasks that actually took a replica reference release one: a
+        // removed subscriber that pre-dates the replica (never noted) must
+        // not retract a declaration other tasks still back.
+        if !entry.subscribers.remove(&removed) {
+            return;
+        }
+        if entry.subscribers.is_empty() {
+            let entry = self.replica_refs.remove(&key).expect("entry just seen");
+            let old_channel = ChannelId::new(peer.to_string(), entry.replica_stream);
+            self.stream_db.retract_replica(&origin.0, &origin.1, peer);
+            self.replica_channels.remove(&old_channel);
+            // Subscribers that attached to the retracted replica fall back
+            // to the origin's live channel.
+            let origin_channel = ChannelId::new(origin.0.clone(), origin.1.clone());
+            self.move_channel_consumers(&old_channel, &origin_channel, None);
+            self.replica_totals.replicas_retracted += 1;
+        } else if entry.forwarder == removed {
+            self.hand_off_replica_forwarder(&key);
+        }
+    }
+
+    /// Hands a replica whose forwarding task was torn down over to another
+    /// still-installed subscriber on the same peer: the survivor's canonical
+    /// output channel becomes the replica's new local stream (the DHT
+    /// declaration is replaced in place), the old replica channel's
+    /// subscribers move over, and the new forwarder itself re-attaches to
+    /// the origin — someone must keep pulling the stream toward this peer.
+    /// When every remaining local subscriber is also being removed in the
+    /// same sweep, no candidate exists; the entry keeps its stale forwarder
+    /// until the following releases drain it to zero.
+    fn hand_off_replica_forwarder(&mut self, key: &((String, String), String)) {
+        let (origin, peer) = key;
+        // The entry's remaining subscribers are exactly the tasks that can
+        // take over; pick the first still installed on the host (a sweep may
+        // be about to remove the others too).
+        let candidate = self.replica_refs[key]
+            .subscribers
+            .iter()
+            .copied()
+            .find(|&(s, t)| {
+                self.hosts
+                    .get(peer)
+                    .is_some_and(|h| h.operators.contains_key(&(s, t)))
+            });
+        let Some((s, t)) = candidate else {
+            return;
+        };
+        let new_channel = self.subscriptions[s].channels[t].clone();
+        let entry = self.replica_refs.get_mut(key).expect("caller holds entry");
+        let old_channel = ChannelId::new(peer.clone(), entry.replica_stream.clone());
+        entry.forwarder = (s, t);
+        entry.replica_stream = new_channel.stream.clone();
+        self.stream_db
+            .publish_replica(p2pmon_dht::ReplicaDeclaration {
+                peer_id: origin.0.clone(),
+                stream_id: origin.1.clone(),
+                replica_peer: peer.clone(),
+                replica_stream: new_channel.stream.clone(),
+            });
+        self.replica_channels.remove(&old_channel);
+        self.replica_channels
+            .insert(new_channel.clone(), origin.clone());
+        let origin_channel = ChannelId::new(origin.0.clone(), origin.1.clone());
+        self.move_channel_consumers(&old_channel, &new_channel, Some(((s, t), origin_channel)));
+    }
+
+    /// Moves every channel-consumer registration from one channel to
+    /// another, updating each subscribing task's stored [`ChannelId`].
+    /// Definition references are *not* touched — replica moves always stay
+    /// within one origin identity.  `divert` re-attaches one specific task
+    /// (the new forwarder of a hand-off) to a different channel than the
+    /// rest.  Returns the moved registrations.
+    pub(crate) fn move_channel_consumers(
+        &mut self,
+        from: &ChannelId,
+        to: &ChannelId,
+        divert: Option<((usize, usize), ChannelId)>,
+    ) -> Vec<(usize, usize, usize)> {
+        let Some(consumers) = self.routing.channel_consumers.remove(from) else {
+            return Vec::new();
+        };
+        for &(sub, task, port) in &consumers {
+            let target = match &divert {
+                Some((diverted, channel)) if *diverted == (sub, task) => channel.clone(),
+                _ => to.clone(),
+            };
+            if let TaskKind::ChannelSource { channel, .. } =
+                &mut self.subscriptions[sub].placed.tasks[task].kind
+            {
+                *channel = target.clone();
+            }
+            self.routing
+                .channel_consumers
+                .entry(target)
+                .or_default()
+                .push((sub, task, port));
+        }
+        consumers
+    }
+
+    /// Replica re-publication effectiveness: declarations created and
+    /// retracted, remote consumers served by a replica vs the origin, and
+    /// the origin-peer messages replica forwarders carried instead
+    /// (`NetworkStats::replica_forwarded_messages`).
+    pub fn replica_stats(&self) -> crate::reuse::ReplicaStats {
+        let mut totals = self.replica_totals;
+        totals.origin_messages_saved = self.network.stats().replica_forwarded_messages;
+        totals
     }
 
     // ------------------------------------------------------------------
@@ -349,21 +597,40 @@ impl Monitor {
                 .collect()
         };
 
-        type TaskTeardown = (usize, String, Option<(String, String)>);
+        // Reference keys resolve replica channels to their origin identity
+        // *now*, while the replica maps are untouched by this sweep — the
+        // definition reference a replica subscriber holds is always on the
+        // origin's descriptor.
+        type TaskTeardown = (usize, String, Option<(String, String)>, bool);
         let tasks: Vec<TaskTeardown> = self.subscriptions[idx]
             .placed
             .tasks
             .iter()
             .filter(|t| !keep.contains(&t.id))
-            .map(|t| (t.id, t.peer.clone(), task_ref_key(&t.kind)))
+            .map(|t| {
+                let ref_key = task_ref_key(&t.kind).map(|key| self.resolve_def_key(key));
+                let is_channel_sub = matches!(t.kind, TaskKind::ChannelSource { .. });
+                (t.id, t.peer.clone(), ref_key, is_channel_sub)
+            })
             .collect();
         let mut released = Vec::new();
-        for (task, peer, ref_key) in tasks {
+        // Removed channel subscribers also release their replica reference:
+        // (origin, replica peer, removed task) triples, processed after the
+        // route retraction below so orphaned replica subscribers are moved
+        // against clean consumer registrations.
+        type ReplicaRelease = ((String, String), String, (usize, usize));
+        let mut replica_releases: Vec<ReplicaRelease> = Vec::new();
+        for (task, peer, ref_key, is_channel_sub) in tasks {
             if let Some(host) = self.hosts.get_mut(&peer) {
                 host.unregister_select(idx, task);
                 if host.remove_task(idx, task) {
                     // The task was still deployed: its stream reference goes
                     // with it.
+                    if is_channel_sub {
+                        if let Some(origin) = ref_key.clone() {
+                            replica_releases.push((origin, peer, (idx, task)));
+                        }
+                    }
                     released.extend(ref_key);
                 }
             }
@@ -393,6 +660,16 @@ impl Monitor {
             .values_mut()
             .for_each(|v| v.retain(|&(sub, task, _)| sub != idx || keep_entry(task)));
         self.routing.channel_consumers.retain(|_, v| !v.is_empty());
+
+        // Replica lifecycle: each removed channel subscriber lets go of its
+        // peer's replica of the origin stream — retracting the declaration
+        // (and re-attaching orphaned replica subscribers to the origin) when
+        // it was the last, or handing the forwarding role to a surviving
+        // local subscriber when it was the forwarder.
+        for (origin, peer, removed) in replica_releases {
+            self.release_replica_consumer(&origin, &peer, removed);
+        }
+
         for task in 0..self.subscriptions[idx].routes.len() {
             if !keep.contains(&task) {
                 continue;
@@ -608,6 +885,7 @@ impl Monitor {
     pub fn reuse_stats(&self) -> ReuseStats {
         let mut totals = self.reuse_totals;
         totals.messages_saved = self.network.stats().multicast_saved_messages;
+        totals.replicas = self.replica_stats();
         totals
     }
 

@@ -34,10 +34,57 @@ pub struct ReuseReport {
     pub operators_saved: usize,
 }
 
+/// Replica re-publication effectiveness — how much of a hot channel's
+/// fan-out the consumer peers carry instead of the origin (Section 5's
+/// `<InChannel>` declarations).  Filled on the monitor-wide aggregate
+/// ([`ReuseStats::replicas`] via `Monitor::reuse_stats`), zero on
+/// per-subscription slices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Replica declarations published (one per consuming peer per replicated
+    /// channel; duplicate subscribers on one peer share a declaration).
+    pub replicas_created: u64,
+    /// Replica declarations retracted again (last local subscriber gone).
+    pub replicas_retracted: u64,
+    /// Remote consumers (subscribing tasks whose peer differs from the
+    /// stream's origin peer) that attached to a replica provider.
+    pub consumers_via_replica: u64,
+    /// Remote consumers that attached to the origin directly (no closer
+    /// replica existed when they deployed).
+    pub consumers_via_origin: u64,
+    /// Messages replica peers sent on the origin's behalf
+    /// (`NetworkStats::replica_forwarded_messages`) — origin-peer load moved
+    /// onto consumers.
+    pub origin_messages_saved: u64,
+}
+
+impl ReplicaStats {
+    /// Fraction of remote consumers served by a replica rather than the
+    /// origin.
+    pub fn replica_share(&self) -> f64 {
+        let remote = self.consumers_via_replica + self.consumers_via_origin;
+        if remote == 0 {
+            0.0
+        } else {
+            self.consumers_via_replica as f64 / remote as f64
+        }
+    }
+
+    /// Accumulates another stats block.
+    pub(crate) fn absorb(&mut self, other: &ReplicaStats) {
+        self.replicas_created += other.replicas_created;
+        self.replicas_retracted += other.replicas_retracted;
+        self.consumers_via_replica += other.consumers_via_replica;
+        self.consumers_via_origin += other.consumers_via_origin;
+        self.origin_messages_saved += other.origin_messages_saved;
+    }
+}
+
 /// Aggregate stream-reuse effectiveness — the E7 measures.  Per-subscription
 /// slices flow up through [`crate::SubscriptionReport`]; the monitor-wide
 /// aggregate through `Monitor::reuse_stats`, which also fills
-/// `messages_saved` from the network's multicast accounting.
+/// `messages_saved` from the network's multicast accounting and `replicas`
+/// from the replica bookkeeping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReuseStats {
     /// Deployments that went through the reuse search.
@@ -53,6 +100,8 @@ pub struct ReuseStats {
     /// subscribers (`NetworkStats::multicast_saved_messages` delta; filled on
     /// the monitor-wide aggregate, zero on per-subscription slices).
     pub messages_saved: u64,
+    /// Replica re-publication measures (monitor-wide aggregate only).
+    pub replicas: ReplicaStats,
 }
 
 impl ReuseStats {
@@ -64,6 +113,7 @@ impl ReuseStats {
             covered_nodes: report.reused_nodes as u64,
             operators_saved: report.operators_saved as u64,
             messages_saved: 0,
+            replicas: ReplicaStats::default(),
         }
     }
 
@@ -84,6 +134,7 @@ impl ReuseStats {
         self.covered_nodes += other.covered_nodes;
         self.operators_saved += other.operators_saved;
         self.messages_saved += other.messages_saved;
+        self.replicas.absorb(&other.replicas);
     }
 }
 

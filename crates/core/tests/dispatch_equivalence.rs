@@ -229,4 +229,74 @@ proptest! {
         );
         prop_assert!(reuse_on.operator_invocations <= reuse_off.operator_invocations);
     }
+
+    /// Replica re-publication is an optimization, not a semantics change:
+    /// with consumers spread over clustered manager peers, replica-on
+    /// delivers byte-identical sink output to replica-off for any worker
+    /// count — and the origin hub never sends *more* messages than the
+    /// replica-free baseline.
+    #[test]
+    fn replicas_on_equals_replicas_off_for_any_worker_count(
+        seed in 0u64..10_000,
+        shapes in 1usize..5,
+        clusters in 1usize..4,
+        per_cluster in 1usize..4,
+        n_subs in 1usize..28,
+        n_calls in 1usize..24,
+        workers in 1usize..5,
+    ) {
+        let storm = OverlappingStorm::clustered(seed, shapes, clusters, per_cluster);
+        let run = |enable_replicas: bool| -> (Monitor, Vec<SubscriptionHandle>) {
+            let mut monitor = Monitor::new(MonitorConfig {
+                enable_replicas,
+                workers,
+                network: p2pmon_net::NetworkConfig {
+                    latency: storm.latency_model(),
+                    ..p2pmon_net::NetworkConfig::default()
+                },
+                ..MonitorConfig::default()
+            });
+            monitor.add_peer("backend.net");
+            let handles: Vec<SubscriptionHandle> = storm
+                .subscriptions(n_subs)
+                .iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    monitor
+                        .submit(storm.manager_of(i), text)
+                        .expect("clustered storm deploys")
+                })
+                .collect();
+            let mut traffic = storm.clone();
+            for call in traffic.calls(n_calls) {
+                monitor.inject_soap_call(&call);
+            }
+            monitor.run_until_idle();
+            (monitor, handles)
+        };
+        let (replica_on, on_handles) = run(true);
+        let (replica_off, off_handles) = run(false);
+        for (a, b) in on_handles.iter().zip(&off_handles) {
+            prop_assert_eq!(
+                replica_on.results(a),
+                replica_off.results(b),
+                "replica sink divergence (seed {}, {} shapes, {}x{} consumers, {} subs, {} calls, {} workers)",
+                seed, shapes, clusters, per_cluster, n_subs, n_calls, workers
+            );
+        }
+        let origin_out = |monitor: &Monitor| {
+            monitor
+                .network_stats()
+                .per_peer()
+                .get("hub.net")
+                .map(|t| t.messages_out)
+                .unwrap_or(0)
+        };
+        prop_assert!(
+            origin_out(&replica_on) <= origin_out(&replica_off),
+            "replicas must never add origin-peer load ({} vs {})",
+            origin_out(&replica_on),
+            origin_out(&replica_off)
+        );
+    }
 }

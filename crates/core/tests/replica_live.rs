@@ -1,0 +1,484 @@
+//! Replica re-publication (Section 5's `<InChannel>` declarations), live:
+//! a subscriber of a hot channel hosted away from the origin re-publishes
+//! the stream from its own peer, later consumers attach to the closest
+//! copy, and the consuming peers carry the fan-out hops the origin would
+//! otherwise send — with byte-identical sink output, replica-on vs
+//! replica-off.  Teardown retracts declarations, hands the forwarding role
+//! over when the forwarder leaves first, and provider selection skips
+//! downed replica peers.
+
+use p2pmon_core::{Monitor, MonitorConfig, SubscriptionHandle};
+use p2pmon_net::NetworkConfig;
+use p2pmon_workloads::OverlappingStorm;
+
+const ORIGIN: &str = "hub.net";
+
+/// A monitor over the clustered storm's latency topology.
+fn clustered_monitor(storm: &OverlappingStorm, enable_replicas: bool, workers: usize) -> Monitor {
+    let mut monitor = Monitor::new(MonitorConfig {
+        enable_replicas,
+        workers,
+        network: NetworkConfig {
+            latency: storm.latency_model(),
+            ..NetworkConfig::default()
+        },
+        ..MonitorConfig::default()
+    });
+    monitor.add_peer("backend.net");
+    monitor
+}
+
+/// Deploys `n_subs` clustered subscriptions and drives `n_calls` of traffic.
+fn run_clustered(
+    storm: &OverlappingStorm,
+    enable_replicas: bool,
+    n_subs: usize,
+    n_calls: usize,
+) -> (Monitor, Vec<SubscriptionHandle>) {
+    let mut monitor = clustered_monitor(storm, enable_replicas, 1);
+    let handles: Vec<SubscriptionHandle> = storm
+        .subscriptions(n_subs)
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            monitor
+                .submit(storm.manager_of(i), text)
+                .expect("clustered storm deploys")
+        })
+        .collect();
+    let mut traffic = storm.clone();
+    for call in traffic.calls(n_calls) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    (monitor, handles)
+}
+
+/// Messages the origin hub sent (the load replicas are meant to move off
+/// of it).
+fn origin_messages_out(monitor: &Monitor) -> u64 {
+    monitor
+        .network_stats()
+        .per_peer()
+        .get(ORIGIN)
+        .map(|t| t.messages_out)
+        .unwrap_or(0)
+}
+
+/// The acceptance criterion: over clustered consumers, replica-on delivers
+/// byte-identical sink output to replica-off while the origin peer sends
+/// measurably fewer messages — consumer peers forward the difference.
+#[test]
+fn clustered_storm_replicas_offload_the_origin_with_identical_sinks() {
+    const SHAPES: usize = 8;
+    const SUBS: usize = 64;
+    const CALLS: usize = 60;
+    let storm = OverlappingStorm::clustered(1, SHAPES, 2, 4);
+    let (on, on_handles) = run_clustered(&storm, true, SUBS, CALLS);
+    let (off, off_handles) = run_clustered(&storm, false, SUBS, CALLS);
+
+    let mut delivered = 0;
+    for (a, b) in on_handles.iter().zip(&off_handles) {
+        let results = on.results(a);
+        assert_eq!(results, off.results(b), "sink divergence");
+        delivered += results.len();
+    }
+    assert!(delivered > 0, "the storm must deliver incidents");
+
+    let stats = on.replica_stats();
+    assert!(stats.replicas_created > 0, "consumers must re-publish");
+    assert!(
+        stats.consumers_via_replica > 0,
+        "later consumers must attach to replicas: {stats:?}"
+    );
+    assert!(
+        stats.replica_share() >= 0.5,
+        "most remote consumers ride a replica: {stats:?}"
+    );
+    assert!(
+        stats.origin_messages_saved > 0,
+        "replica peers must forward on the origin's behalf"
+    );
+    // The replica counters also flow through the E7 aggregate.
+    assert_eq!(on.reuse_stats().replicas, stats);
+    assert_eq!(off.replica_stats().replicas_created, 0);
+
+    let on_origin = origin_messages_out(&on);
+    let off_origin = origin_messages_out(&off);
+    assert!(
+        on_origin < off_origin,
+        "the origin must send fewer messages with replicas ({on_origin} vs {off_origin})"
+    );
+    assert!(
+        on.network_stats().total_messages <= off.network_stats().total_messages,
+        "forwarded hops must not add net traffic ({} vs {})",
+        on.network_stats().total_messages,
+        off.network_stats().total_messages
+    );
+}
+
+/// Teardown: the last subscriber of a replicated stream retracts its peer's
+/// declaration, and a fresh consumer then falls back to the origin.
+#[test]
+fn last_subscriber_retracts_the_replica_and_selection_falls_back_to_origin() {
+    let storm = OverlappingStorm::clustered(3, 1, 1, 3);
+    let mut monitor = clustered_monitor(&storm, true, 1);
+    let producer = monitor
+        .submit("c0-peer0.org", &storm.subscription(0))
+        .expect("producer deploys");
+    let dup1 = monitor
+        .submit("c0-peer1.org", &storm.subscription(1))
+        .expect("first duplicate deploys");
+    let origin = monitor
+        .report(&dup1)
+        .expect("report")
+        .reuse
+        .reused_defs
+        .first()
+        .cloned()
+        .expect("the duplicate reuses the producer's stream");
+    assert_eq!(origin.0, ORIGIN, "the pipeline root runs at the hub");
+    // A second duplicate on another peer attaches to the replica (close)
+    // rather than the origin (far), and re-publishes from its own peer too.
+    let dup2 = monitor
+        .submit("c0-peer2.org", &storm.subscription(2))
+        .expect("second duplicate deploys");
+    let provider = monitor
+        .report(&dup2)
+        .expect("report")
+        .reuse
+        .subscribed_channels[0]
+        .clone();
+    assert_eq!(
+        provider.0, "c0-peer1.org",
+        "the close replica beats the far origin"
+    );
+    assert_eq!(
+        monitor
+            .stream_db_mut()
+            .replicas_of(&origin.0, &origin.1)
+            .len(),
+        2,
+        "both consuming peers re-publish"
+    );
+
+    assert!(monitor.unsubscribe(&dup2));
+    assert!(monitor.unsubscribe(&dup1));
+    assert!(
+        monitor
+            .stream_db_mut()
+            .replicas_of(&origin.0, &origin.1)
+            .is_empty(),
+        "replica declarations retract with their last subscriber"
+    );
+    let stats = monitor.replica_stats();
+    assert_eq!(stats.replicas_created, 2);
+    assert_eq!(stats.replicas_retracted, 2);
+
+    // With every replica gone, a fresh consumer is served by the origin.
+    let late = monitor
+        .submit("c0-peer1.org", &storm.subscription(3))
+        .expect("late duplicate deploys");
+    let provider = monitor
+        .report(&late)
+        .expect("report")
+        .reuse
+        .subscribed_channels[0]
+        .clone();
+    assert_eq!(provider, origin, "selection falls back to the origin");
+    let mut traffic = storm.clone();
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    assert!(
+        !monitor.results(&late).is_empty(),
+        "the origin serves the late consumer"
+    );
+    assert_eq!(monitor.results(&late), monitor.results(&producer));
+}
+
+/// A replica's subscribers are not stranded when the replica goes away:
+/// retracting the declaration re-attaches them to the origin.
+#[test]
+fn orphaned_replica_subscribers_fall_back_to_the_origin() {
+    let storm = OverlappingStorm::clustered(5, 1, 1, 3);
+    let mut monitor = clustered_monitor(&storm, true, 1);
+    let producer = monitor
+        .submit("c0-peer0.org", &storm.subscription(0))
+        .expect("producer deploys");
+    let replica_sub = monitor
+        .submit("c0-peer1.org", &storm.subscription(1))
+        .expect("replica subscriber deploys");
+    // This consumer rides c0-peer1's replica.
+    let orphan = monitor
+        .submit("c0-peer2.org", &storm.subscription(2))
+        .expect("orphan-to-be deploys");
+    assert_eq!(
+        monitor
+            .report(&orphan)
+            .expect("report")
+            .reuse
+            .subscribed_channels[0]
+            .0,
+        "c0-peer1.org"
+    );
+
+    let mut traffic = storm.clone();
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let before = monitor.results(&orphan).len();
+    assert!(before > 0, "the forwarded stream reaches the orphan");
+
+    // The replica's only local subscriber leaves: the declaration retracts
+    // and the orphan is re-attached to the origin.
+    assert!(monitor.unsubscribe(&replica_sub));
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    assert!(
+        monitor.results(&orphan).len() > before,
+        "the orphan keeps receiving, now from the origin"
+    );
+    assert_eq!(monitor.results(&orphan), monitor.results(&producer));
+}
+
+/// A removed *forwarder* with surviving same-peer subscribers hands the
+/// replica over instead of retracting it: the declaration is replaced in
+/// place, the survivor pulls from the origin, and downstream replica
+/// subscribers keep receiving.
+#[test]
+fn forwarder_hand_off_keeps_replica_subscribers_fed() {
+    let storm = OverlappingStorm::clustered(7, 1, 1, 3);
+    let mut monitor = clustered_monitor(&storm, true, 1);
+    let producer = monitor
+        .submit("c0-peer0.org", &storm.subscription(0))
+        .expect("producer deploys");
+    let forwarder = monitor
+        .submit("c0-peer1.org", &storm.subscription(1))
+        .expect("forwarder deploys");
+    // Same peer: shares c0-peer1's replica declaration (no duplicate entry).
+    let survivor = monitor
+        .submit("c0-peer1.org", &storm.subscription(2))
+        .expect("survivor deploys");
+    // Another peer, attached to c0-peer1's replica.
+    let downstream = monitor
+        .submit("c0-peer2.org", &storm.subscription(3))
+        .expect("downstream deploys");
+    let origin = monitor
+        .report(&forwarder)
+        .expect("report")
+        .reuse
+        .reused_defs[0]
+        .clone();
+    assert_eq!(
+        monitor
+            .stream_db_mut()
+            .replicas_of(&origin.0, &origin.1)
+            .iter()
+            .filter(|r| r.replica_peer == "c0-peer1.org")
+            .count(),
+        1,
+        "same-peer subscribers share one declaration"
+    );
+
+    let mut traffic = storm.clone();
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let fed = monitor.results(&downstream).len();
+    assert!(fed > 0);
+
+    // The forwarder leaves first: the survivor takes the forwarding role.
+    assert!(monitor.unsubscribe(&forwarder));
+    let replicas = monitor
+        .stream_db_mut()
+        .replicas_of(&origin.0, &origin.1)
+        .into_iter()
+        .filter(|r| r.replica_peer == "c0-peer1.org")
+        .cloned()
+        .collect::<Vec<_>>();
+    assert_eq!(replicas.len(), 1, "the declaration survives the hand-off");
+
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    assert!(
+        monitor.results(&survivor).len() > fed,
+        "the new forwarder keeps receiving"
+    );
+    assert!(
+        monitor.results(&downstream).len() > fed,
+        "downstream replica subscribers keep receiving through the hand-off"
+    );
+    assert_eq!(monitor.results(&downstream), monitor.results(&producer));
+
+    // Full teardown still balances: nothing is left behind.
+    for handle in [survivor, downstream, producer] {
+        assert!(monitor.unsubscribe(&handle));
+    }
+    assert!(monitor.stream_db_mut().is_empty());
+    assert!(monitor
+        .stream_db_mut()
+        .replicas_of(&origin.0, &origin.1)
+        .is_empty());
+}
+
+/// Failure injection: provider selection never routes a new consumer
+/// through a downed replica peer.
+#[test]
+fn downed_replica_peer_is_skipped_by_provider_selection() {
+    let storm = OverlappingStorm::clustered(9, 1, 1, 3);
+    let mut monitor = clustered_monitor(&storm, true, 1);
+    let producer = monitor
+        .submit("c0-peer0.org", &storm.subscription(0))
+        .expect("producer deploys");
+    let replica_sub = monitor
+        .submit("c0-peer1.org", &storm.subscription(1))
+        .expect("replica subscriber deploys");
+    let origin = monitor
+        .report(&replica_sub)
+        .expect("report")
+        .reuse
+        .reused_defs[0]
+        .clone();
+
+    monitor.fail_peer("c0-peer1.org");
+    // The replica at c0-peer1 would be closest, but its peer is down.
+    let late = monitor
+        .submit("c0-peer2.org", &storm.subscription(2))
+        .expect("late consumer deploys");
+    assert_eq!(
+        monitor
+            .report(&late)
+            .expect("report")
+            .reuse
+            .subscribed_channels[0],
+        origin,
+        "a downed replica peer is never selected as provider"
+    );
+    let mut traffic = storm.clone();
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    assert!(
+        !monitor.results(&late).is_empty(),
+        "the origin serves the consumer around the downed replica"
+    );
+    assert_eq!(monitor.results(&late), monitor.results(&producer));
+}
+
+/// Regression: removing a subscriber that never took a replica reference
+/// (it attached before the stream was published, so nothing could be
+/// re-published on its behalf) must not retract a replica that a *later*
+/// subscriber on the same peer legitimately backs.
+#[test]
+fn never_noted_subscriber_removal_does_not_retract_a_live_replica() {
+    // Reuse off keeps both joiners' alerter sources as real Source tasks, so
+    // the join — and with it the co-placed channel subscription — lands
+    // deterministically on hub2.net for both of them (with reuse on, the
+    // second joiner's alerter would be covered and the join could anchor
+    // elsewhere).  Replica creation only needs `enable_replicas`.
+    let mut monitor = Monitor::new(MonitorConfig {
+        enable_reuse: false,
+        ..MonitorConfig::default()
+    });
+    monitor.add_peer("backend.net");
+    // A join over the published channel and a local alerter: the channel
+    // subscription is co-placed with the join at hub2.net — remote from the
+    // channel's origin.
+    let joiner = r##"for $x in channel("#shared@mgr.org"),
+            $c in outCOM(<p>hub2.net</p>)
+        where $x.method = $c.callMethod
+        return <pair m="{$c.callMethod}"/>
+        by email "pair@example.org";"##;
+    // Deployed BEFORE the producer: no definition exists yet, so this
+    // subscriber is re-pointed later but never takes a replica reference.
+    let early = monitor.submit("mgr.org", joiner).expect("early deploys");
+    let producer = monitor
+        .submit(
+            "mgr.org",
+            r#"for $c in outCOM(<p>hub.net</p>)
+               where $c.callee = "http://backend.net"
+               return <hit method="{$c.callMethod}"/>
+               by publish as channel "shared";"#,
+        )
+        .expect("producer deploys");
+    // Deployed AFTER the producer: this one re-publishes (hub.net, shared)
+    // from hub2.net.
+    let noted = monitor.submit("mgr.org", joiner).expect("noted deploys");
+    assert_eq!(
+        monitor
+            .stream_db_mut()
+            .replicas_of(ORIGIN, "shared")
+            .iter()
+            .filter(|r| r.replica_peer == "hub2.net")
+            .count(),
+        1,
+        "the post-producer subscriber re-publishes the channel"
+    );
+
+    let inject = |monitor: &mut Monitor, base: u64| {
+        for i in 0..6u64 {
+            // Channel items out of hub.net, join partners out of hub2.net.
+            monitor.inject_soap_call(&p2pmon_alerters::SoapCall::new(
+                base + 2 * i,
+                "http://hub.net",
+                "http://backend.net",
+                "Ping",
+                1_000 + i,
+                1_004 + i,
+            ));
+            monitor.inject_soap_call(&p2pmon_alerters::SoapCall::new(
+                base + 2 * i + 1,
+                "http://hub2.net",
+                "http://backend.net",
+                "Ping",
+                1_000 + i,
+                1_004 + i,
+            ));
+        }
+        monitor.run_until_idle();
+    };
+    inject(&mut monitor, 0);
+    let fed = monitor.results(&noted).len();
+    assert!(
+        fed > 0,
+        "the join over the replicated channel produces pairs"
+    );
+
+    // The early (never-noted) subscriber leaves: the replica it never backed
+    // must survive.
+    assert!(monitor.unsubscribe(&early));
+    assert_eq!(
+        monitor
+            .stream_db_mut()
+            .replicas_of(ORIGIN, "shared")
+            .iter()
+            .filter(|r| r.replica_peer == "hub2.net")
+            .count(),
+        1,
+        "removing a never-noted subscriber must not retract the live replica"
+    );
+    assert_eq!(monitor.replica_stats().replicas_retracted, 0);
+    inject(&mut monitor, 100);
+    assert!(
+        monitor.results(&noted).len() > fed,
+        "the noted subscriber keeps receiving"
+    );
+
+    // The real backer leaves: now the declaration goes.
+    assert!(monitor.unsubscribe(&noted));
+    assert!(monitor
+        .stream_db_mut()
+        .replicas_of(ORIGIN, "shared")
+        .is_empty());
+    assert_eq!(monitor.replica_stats().replicas_retracted, 1);
+    let _ = producer;
+}

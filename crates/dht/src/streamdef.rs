@@ -273,9 +273,29 @@ impl StreamDefinitionDatabase {
         true
     }
 
-    /// Publishes a replica declaration.
+    /// Publishes a replica declaration.  One peer provides at most one
+    /// replica of a given channel: a re-declaration from the same
+    /// `replica_peer` for the same original *replaces* the previous entry
+    /// (e.g. when the forwarding task behind the replica changes), so
+    /// duplicate declarations can never accumulate.
     pub fn publish_replica(&mut self, replica: ReplicaDeclaration) {
+        self.replicas.retain(|r| {
+            !(r.peer_id == replica.peer_id
+                && r.stream_id == replica.stream_id
+                && r.replica_peer == replica.replica_peer)
+        });
         self.replicas.push(replica);
+    }
+
+    /// Retracts the replica of `(peer, stream)` declared by `replica_peer`
+    /// (replica teardown: the last local subscriber of the replicated channel
+    /// unsubscribed).  Returns `true` when a declaration existed.
+    pub fn retract_replica(&mut self, peer: &str, stream: &str, replica_peer: &str) -> bool {
+        let before = self.replicas.len();
+        self.replicas.retain(|r| {
+            !(r.peer_id == peer && r.stream_id == stream && r.replica_peer == replica_peer)
+        });
+        self.replicas.len() != before
     }
 
     /// The replicas known for a given original channel.
@@ -302,6 +322,17 @@ impl StreamDefinitionDatabase {
     pub fn canonical_identity(&self, peer: &str, stream: &str) -> (String, String) {
         let exact = (peer.to_string(), stream.to_string());
         if self.descriptors.contains_key(&exact) {
+            return exact;
+        }
+        // A live replica's coordinates are canonical too: the replica peer
+        // really multicasts the stream under its local id, so a reference the
+        // reuse rewriting pointed at a selected replica must not be rewritten
+        // away to the original.
+        if self
+            .replicas
+            .iter()
+            .any(|r| r.replica_peer == peer && r.replica_stream == stream)
+        {
             return exact;
         }
         let mut by_name = self.descriptors.keys().filter(|(_, s)| s == stream);
@@ -405,6 +436,12 @@ impl StreamDefinitionDatabase {
     /// Selects the provider for a discovered stream: the original publisher or
     /// one of its replicas, whichever is "closest" according to `proximity`
     /// (lower is closer) — the replica-selection step of Section 5.
+    ///
+    /// A proximity of [`u64::MAX`] marks a provider as *unavailable* (the
+    /// monitor maps downed peers to it): an unavailable replica is never
+    /// selected, and when the original itself is unavailable any reachable
+    /// replica wins.  Only when nothing is reachable does the original come
+    /// back as the (dead) default.
     pub fn select_provider(
         &self,
         peer: &str,
@@ -415,7 +452,7 @@ impl StreamDefinitionDatabase {
         let mut best_score = proximity(peer);
         for replica in self.replicas_of(peer, stream) {
             let score = proximity(&replica.replica_peer);
-            if score < best_score {
+            if score < best_score && score < u64::MAX {
                 best_score = score;
                 best = (replica.replica_peer.clone(), replica.replica_stream.clone());
             }
@@ -565,6 +602,107 @@ mod tests {
         assert_eq!(
             db.select_provider("origin.com", "s1", proximity),
             ("origin.com".to_string(), "s1".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_replica_declarations_from_one_peer_collapse() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("origin.com", "s1", "inCOM"));
+        for stream in ["r1", "r2"] {
+            db.publish_replica(ReplicaDeclaration {
+                peer_id: "origin.com".into(),
+                stream_id: "s1".into(),
+                replica_peer: "edge.com".into(),
+                replica_stream: stream.into(),
+            });
+        }
+        let replicas = db.replicas_of("origin.com", "s1");
+        assert_eq!(replicas.len(), 1, "one replica per declaring peer");
+        assert_eq!(
+            replicas[0].replica_stream, "r2",
+            "a re-declaration replaces the previous entry"
+        );
+    }
+
+    #[test]
+    fn retract_replica_removes_only_that_peers_declaration() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("origin.com", "s1", "inCOM"));
+        for peer in ["edge.com", "far.com"] {
+            db.publish_replica(ReplicaDeclaration {
+                peer_id: "origin.com".into(),
+                stream_id: "s1".into(),
+                replica_peer: peer.into(),
+                replica_stream: "r".into(),
+            });
+        }
+        assert!(db.retract_replica("origin.com", "s1", "edge.com"));
+        assert!(!db.retract_replica("origin.com", "s1", "edge.com"));
+        let left = db.replicas_of("origin.com", "s1");
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].replica_peer, "far.com");
+    }
+
+    #[test]
+    fn unavailable_replicas_are_never_selected() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("origin.com", "s1", "inCOM"));
+        db.publish_replica(ReplicaDeclaration {
+            peer_id: "origin.com".into(),
+            stream_id: "s1".into(),
+            replica_peer: "down.com".into(),
+            replica_stream: "r1".into(),
+        });
+        // The replica would be closest, but it is down (proximity = MAX):
+        // selection falls back to the origin.
+        let proximity = |peer: &str| if peer == "down.com" { u64::MAX } else { 80 };
+        assert_eq!(
+            db.select_provider("origin.com", "s1", proximity),
+            ("origin.com".to_string(), "s1".to_string())
+        );
+        // A downed *origin* yields to any reachable replica.
+        db.publish_replica(ReplicaDeclaration {
+            peer_id: "origin.com".into(),
+            stream_id: "s1".into(),
+            replica_peer: "alive.com".into(),
+            replica_stream: "r2".into(),
+        });
+        let proximity = |peer: &str| match peer {
+            "origin.com" | "down.com" => u64::MAX,
+            _ => 200,
+        };
+        assert_eq!(
+            db.select_provider("origin.com", "s1", proximity),
+            ("alive.com".to_string(), "r2".to_string())
+        );
+        // Nothing reachable: the (dead) original is the default.
+        assert_eq!(
+            db.select_provider("origin.com", "s1", |_| u64::MAX),
+            ("origin.com".to_string(), "s1".to_string())
+        );
+    }
+
+    #[test]
+    fn canonical_identity_keeps_live_replica_coordinates() {
+        let mut db = db();
+        db.publish(StreamDefinition::derived(
+            "origin.com",
+            "s0-t4",
+            "Restructure",
+            "<incident/>",
+            vec![("p1".into(), "s1".into())],
+        ));
+        db.publish_replica(ReplicaDeclaration {
+            peer_id: "origin.com".into(),
+            stream_id: "s0-t4".into(),
+            replica_peer: "edge.com".into(),
+            replica_stream: "s1-t0".into(),
+        });
+        assert_eq!(
+            db.canonical_identity("edge.com", "s1-t0"),
+            ("edge.com".to_string(), "s1-t0".to_string()),
+            "a replica's coordinates are already canonical"
         );
     }
 

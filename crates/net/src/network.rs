@@ -127,6 +127,14 @@ impl Network {
         }
     }
 
+    /// Records messages a replica peer forwarded on the origin's behalf (see
+    /// [`NetworkStats::replica_forwarded_messages`]).
+    pub fn record_replica_forward(&mut self, forwarded: u64) {
+        if forwarded > 0 {
+            self.stats.record_replica_forward(forwarded);
+        }
+    }
+
     /// Expected latency of a link — the proximity measure used by replica
     /// selection.
     pub fn expected_latency(&self, from: &str, to: &str) -> u64 {

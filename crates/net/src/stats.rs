@@ -50,6 +50,13 @@ pub struct NetworkStats {
     /// stream reuse" counter — compare against `total_messages` or a
     /// reuse-off baseline.
     pub multicast_saved_messages: u64,
+    /// Messages a *replica* peer sent on the original publisher's behalf:
+    /// a subscriber of a hot channel re-publishes it (Section 5's
+    /// `<InChannel>` declarations), later consumers attach to the replica,
+    /// and the replica forwards the multicast hop the origin would otherwise
+    /// have sent itself.  Every message counted here is origin-peer load
+    /// moved onto a consumer — the replica-re-publication saving.
+    pub replica_forwarded_messages: u64,
     /// Per-link counters, keyed by (from, to).
     pub per_link: BTreeMap<(PeerId, PeerId), LinkStats>,
 }
@@ -82,6 +89,12 @@ impl NetworkStats {
     /// attachment).
     pub fn record_multicast_saving(&mut self, saved: u64) {
         self.multicast_saved_messages += saved;
+    }
+
+    /// Records messages a replica peer forwarded on the origin's behalf (see
+    /// [`NetworkStats::replica_forwarded_messages`]).
+    pub fn record_replica_forward(&mut self, forwarded: u64) {
+        self.replica_forwarded_messages += forwarded;
     }
 
     /// Counters for one directed link.
@@ -159,6 +172,16 @@ mod tests {
         assert_eq!(s.multicast_saved_messages, 4);
         // Savings are not deliveries: the delivered counters stay untouched.
         assert_eq!(s.total_messages, 0);
+    }
+
+    #[test]
+    fn replica_forwards_accumulate_without_touching_deliveries() {
+        let mut s = NetworkStats::default();
+        s.record_replica_forward(2);
+        s.record_replica_forward(5);
+        assert_eq!(s.replica_forwarded_messages, 7);
+        assert_eq!(s.total_messages, 0);
+        assert_eq!(s.multicast_saved_messages, 0);
     }
 
     #[test]

@@ -517,6 +517,24 @@ impl SubscriptionStorm {
 pub struct OverlappingStorm {
     /// The monitored hub peers; shape `k` watches `monitored_peers[k % len]`.
     pub monitored_peers: Vec<String>,
+    /// The *consumer* (subscription-manager) peers, grouped cluster-major in
+    /// blocks of [`OverlappingStorm::peers_per_cluster`]; subscription `i`
+    /// is submitted at [`OverlappingStorm::manager_of`]`(i)`.  Empty for the
+    /// classic storm (every subscription at one caller-chosen manager);
+    /// populated by [`OverlappingStorm::clustered`], the replica-locality
+    /// workload: consumers inside one cluster are network-close to each
+    /// other and far from the monitored hubs, so a replica published by the
+    /// first consumer of a cluster is the closest provider for the rest of
+    /// it.
+    pub consumer_peers: Vec<String>,
+    /// Cluster size of `consumer_peers` (cluster of peer `j` is
+    /// `j / peers_per_cluster`).
+    pub peers_per_cluster: usize,
+    /// Expected latency between two consumers of the same cluster (ms).
+    pub intra_cluster_ms: u64,
+    /// Expected latency of every other link (cross-cluster, and consumer ↔
+    /// monitored hub) (ms).
+    pub cross_cluster_ms: u64,
     /// Number of distinct subscription shapes; subscription `i` has shape
     /// `i % shapes`.
     pub shapes: usize,
@@ -546,6 +564,10 @@ impl OverlappingStorm {
     pub fn new(seed: u64, shapes: usize) -> Self {
         OverlappingStorm {
             monitored_peers: vec!["hub.net".into()],
+            consumer_peers: Vec::new(),
+            peers_per_cluster: 1,
+            intra_cluster_ms: 5,
+            cross_cluster_ms: 100,
             shapes: shapes.max(1),
             service: "http://backend.net".into(),
             methods: (0..4).map(|i| format!("Method{i}")).collect(),
@@ -566,6 +588,55 @@ impl OverlappingStorm {
         let mut storm = OverlappingStorm::new(seed, shapes);
         storm.monitored_peers = (0..peers.max(1)).map(|i| format!("hub{i}.net")).collect();
         storm
+    }
+
+    /// The replica-locality storm: consumers live on `clusters` ×
+    /// `peers_per_cluster` distinct manager peers (`c<k>-peer<j>.org`),
+    /// network-close inside a cluster and far from everything else (see
+    /// [`OverlappingStorm::latency_model`]).  Subscription `i` keeps shape
+    /// `i % shapes` but is submitted from `manager_of(i)`, so each shape's
+    /// duplicates spread over every consumer peer — the workload where
+    /// replica re-publication visibly moves fan-out off the origin hub.
+    pub fn clustered(seed: u64, shapes: usize, clusters: usize, peers_per_cluster: usize) -> Self {
+        let mut storm = OverlappingStorm::new(seed, shapes);
+        storm.peers_per_cluster = peers_per_cluster.max(1);
+        storm.consumer_peers = (0..clusters.max(1))
+            .flat_map(|c| (0..peers_per_cluster.max(1)).map(move |p| format!("c{c}-peer{p}.org")))
+            .collect();
+        storm
+    }
+
+    /// The manager peer subscription `i` is submitted at: consumer peers
+    /// rotate once per full round of shapes, so duplicates of one shape land
+    /// on every consumer peer in turn.  Falls back to `"manager.org"` for
+    /// the classic (un-clustered) storm.
+    pub fn manager_of(&self, i: usize) -> &str {
+        if self.consumer_peers.is_empty() {
+            "manager.org"
+        } else {
+            &self.consumer_peers[(i / self.shapes) % self.consumer_peers.len()]
+        }
+    }
+
+    /// The clustered latency model: links between two consumers of the same
+    /// cluster cost [`OverlappingStorm::intra_cluster_ms`], every other link
+    /// (cross-cluster, consumer ↔ hub) costs
+    /// [`OverlappingStorm::cross_cluster_ms`].  This is the proximity
+    /// function replica selection reads through
+    /// `Network::expected_latency`.
+    pub fn latency_model(&self) -> p2pmon_net::LatencyModel {
+        let mut links = std::collections::HashMap::new();
+        for (i, from) in self.consumer_peers.iter().enumerate() {
+            for (j, to) in self.consumer_peers.iter().enumerate() {
+                if i != j && i / self.peers_per_cluster == j / self.peers_per_cluster {
+                    links.insert((from.clone(), to.clone()), self.intra_cluster_ms);
+                }
+            }
+        }
+        p2pmon_net::LatencyModel::PerLink {
+            links,
+            default: self.cross_cluster_ms,
+        }
     }
 
     /// The P2PML text of subscription `i`.  Subscriptions with the same
@@ -770,6 +841,30 @@ mod tests {
         let calls = OverlappingStorm::new(9, 4).calls(100);
         assert_eq!(OverlappingStorm::new(9, 4).calls(100), calls);
         assert!(calls.iter().all(|c| c.callee == "http://backend.net"));
+    }
+
+    #[test]
+    fn clustered_storm_spreads_consumers_and_shapes_latency() {
+        let storm = OverlappingStorm::clustered(3, 4, 2, 3);
+        assert_eq!(storm.consumer_peers.len(), 6);
+        // One full round of shapes per consumer peer, then rotate.
+        assert_eq!(storm.manager_of(0), "c0-peer0.org");
+        assert_eq!(storm.manager_of(3), "c0-peer0.org");
+        assert_eq!(storm.manager_of(4), "c0-peer1.org");
+        assert_eq!(storm.manager_of(4 * 6), "c0-peer0.org", "full cycle");
+        assert_eq!(storm.manager_of(4 * 3), "c1-peer0.org", "second cluster");
+        // Subscriptions still compile.
+        for text in storm.subscriptions(8) {
+            p2pmon_p2pml::compile_subscription(&text).expect("clustered texts compile");
+        }
+        // Intra-cluster links are close, everything else far.
+        let model = storm.latency_model();
+        let sampler = p2pmon_net::latency::LatencySampler::new(model);
+        assert_eq!(sampler.expected("c0-peer0.org", "c0-peer2.org"), 5);
+        assert_eq!(sampler.expected("c0-peer0.org", "c1-peer0.org"), 100);
+        assert_eq!(sampler.expected("c0-peer0.org", "hub.net"), 100);
+        // The classic storm keeps the single-manager behaviour.
+        assert_eq!(OverlappingStorm::new(1, 2).manager_of(7), "manager.org");
     }
 
     #[test]

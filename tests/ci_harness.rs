@@ -1,0 +1,43 @@
+//! The committed CI gate harness (`ci/check_bench.py`) is part of the
+//! build: `cargo test` runs its fixture self-test — every gate passes on a
+//! good trajectory and fails on a regressed one — and validates that the
+//! committed `BENCH_*.json` trajectories still carry every field the gates
+//! read, so a bench or field rename cannot silently skip a gate in CI.
+
+use std::process::Command;
+
+fn run_harness(args: &[&str]) -> Option<std::process::Output> {
+    let script = concat!(env!("CARGO_MANIFEST_DIR"), "/ci/check_bench.py");
+    match Command::new("python3").arg(script).args(args).output() {
+        Ok(output) => Some(output),
+        Err(e) => {
+            // No python3 on this host: the harness still runs in CI, which
+            // installs one; skip rather than fail the tier-1 suite.
+            eprintln!("skipping gate-harness test: python3 unavailable ({e})");
+            None
+        }
+    }
+}
+
+fn assert_success(output: std::process::Output, what: &str) {
+    assert!(
+        output.status.success(),
+        "{what} failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn gate_harness_self_test_passes() {
+    if let Some(output) = run_harness(&["--self-test"]) {
+        assert_success(output, "ci/check_bench.py --self-test");
+    }
+}
+
+#[test]
+fn committed_trajectories_satisfy_the_gate_schema() {
+    if let Some(output) = run_harness(&["schema"]) {
+        assert_success(output, "ci/check_bench.py schema");
+    }
+}

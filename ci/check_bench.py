@@ -10,6 +10,8 @@ the workspace root:
                                           # carries the fields the gates read
     python3 ci/check_bench.py dispatch    # engine >= 3x naive at 256 subs;
                                           # parallel scaling where cores allow
+    python3 ci/check_bench.py filter      # adaptive engine never slower than
+                                          # naive; >= 5.5x at 10000 subs
     python3 ci/check_bench.py reuse       # reuse hit rate >= 50% and no
                                           # added traffic at 256 subs
     python3 ci/check_bench.py replica     # replicas serve >= 50% of remote
@@ -45,7 +47,16 @@ REQUIRED = {
     },
     "filter": {
         "": ["results"],
-        "results": ["subscriptions", "two_stage_ns_per_doc", "naive_ns_per_doc", "speedup"],
+        "results": [
+            "subscriptions",
+            "engine_ns_per_doc",
+            "naive_ns_per_doc",
+            "speedup",
+            "staged_ns_per_doc",
+            "mode",
+            "promotions",
+            "demotions",
+        ],
     },
     "reuse": {
         "": ["results", "replica"],
@@ -101,6 +112,43 @@ def gate_dispatch(data):
             raise GateError("no 4-worker parallel row at 256 subscriptions")
         if four["speedup_vs_sequential"] < 2.0:
             raise GateError(f"parallel dispatch stopped scaling on a {cores}-core host: {four}")
+
+
+FILTER_CEILING_SUBSCRIPTIONS = 10_000
+FILTER_CEILING_SPEEDUP = 5.5
+
+
+def gate_filter(data):
+    """The cost-adaptive filter engine must never be slower than the naive
+    scan at ANY measured subscription count (the small-N regression gate),
+    and must keep its large-N ceiling: >= 5.5x over naive at 10000
+    subscriptions, where the cost model should have promoted to staged."""
+    rows = data.get("results", [])
+    if not rows:
+        raise GateError("BENCH_filter.json has no 'results' rows — regenerate the trajectory")
+    for row in rows:
+        print(
+            f"filter at {row['subscriptions']} subscriptions: {row['speedup']:.2f}x vs naive "
+            f"({row['mode']} mode, {row['promotions']} promotions, {row['demotions']} demotions)"
+        )
+        if row["speedup"] < 1.0:
+            raise GateError(
+                f"adaptive filter engine is SLOWER than naive at "
+                f"{row['subscriptions']} subscriptions — the small-N regression is back: {row}"
+            )
+    ceiling = next(
+        (r for r in rows if r["subscriptions"] == FILTER_CEILING_SUBSCRIPTIONS), None
+    )
+    if ceiling is None:
+        raise GateError(
+            f"BENCH_filter.json has no row at {FILTER_CEILING_SUBSCRIPTIONS} subscriptions "
+            f"— the large-N ceiling gate would silently skip; regenerate the trajectory"
+        )
+    if ceiling["speedup"] < FILTER_CEILING_SPEEDUP:
+        raise GateError(
+            f"filter speedup at {FILTER_CEILING_SUBSCRIPTIONS} subscriptions regressed "
+            f"below {FILTER_CEILING_SPEEDUP}x: {ceiling}"
+        )
 
 
 def gate_reuse(data):
@@ -240,18 +288,32 @@ FIXTURE_FILTER = {
     "bench": "filter",
     "results": [
         {
+            "subscriptions": 100,
+            "engine_ns_per_doc": 400,
+            "naive_ns_per_doc": 520,
+            "speedup": 1.3,
+            "staged_ns_per_doc": 900,
+            "mode": "naive",
+            "promotions": 0,
+            "demotions": 0,
+        },
+        {
             "subscriptions": 10000,
-            "two_stage_ns_per_doc": 100,
-            "naive_ns_per_doc": 500,
-            "speedup": 5.0,
-        }
+            "engine_ns_per_doc": 100,
+            "naive_ns_per_doc": 800,
+            "speedup": 8.0,
+            "staged_ns_per_doc": 95,
+            "mode": "staged",
+            "promotions": 1,
+            "demotions": 0,
+        },
     ],
 }
 
 
-def mutated(fixture, axis, field, value):
+def mutated(fixture, axis, field, value, row=0):
     copy = json.loads(json.dumps(fixture))
-    copy[axis][0][field] = value
+    copy[axis][row][field] = value
     return copy
 
 
@@ -276,6 +338,22 @@ def self_test():
         "dispatch parallel scaling",
         gate_dispatch,
         mutated(FIXTURE_DISPATCH, "parallel", "speedup_vs_sequential", 1.2),
+    )
+    expect_pass("filter", gate_filter, FIXTURE_FILTER)
+    expect_fail(
+        "filter small-N regression",
+        gate_filter,
+        mutated(FIXTURE_FILTER, "results", "speedup", 0.9),
+    )
+    expect_fail(
+        "filter large-N ceiling",
+        gate_filter,
+        mutated(FIXTURE_FILTER, "results", "speedup", 4.0, row=1),
+    )
+    expect_fail(
+        "filter missing ceiling row",
+        gate_filter,
+        mutated(FIXTURE_FILTER, "results", "subscriptions", 5000, row=1),
     )
     expect_pass("reuse", gate_reuse, FIXTURE_REUSE)
     expect_fail("reuse hit rate", gate_reuse, mutated(FIXTURE_REUSE, "results", "hit_rate", 0.3))
@@ -307,9 +385,14 @@ def self_test():
     print("self-test: OK")
 
 
-GATES = {"dispatch": gate_dispatch, "reuse": gate_reuse, "replica": gate_replica}
+GATES = {
+    "dispatch": gate_dispatch,
+    "filter": gate_filter,
+    "reuse": gate_reuse,
+    "replica": gate_replica,
+}
 # Which trajectory file each gate reads.
-GATE_SOURCE = {"dispatch": "dispatch", "reuse": "reuse", "replica": "reuse"}
+GATE_SOURCE = {"dispatch": "dispatch", "filter": "filter", "reuse": "reuse", "replica": "reuse"}
 
 
 def main(argv):
@@ -317,7 +400,7 @@ def main(argv):
     parser.add_argument(
         "command",
         nargs="?",
-        choices=["schema", "dispatch", "reuse", "replica", "all"],
+        choices=["schema", "dispatch", "filter", "reuse", "replica", "all"],
         help="the gate to run",
     )
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)

@@ -58,6 +58,13 @@ pub struct MonitorConfig {
     /// linearly).  The pre-decomposition behaviour, kept as an equivalence
     /// oracle for tests and benches.
     pub naive_dispatch: bool,
+    /// Give each peer a *cost-adaptive* filter engine: it starts as a
+    /// memoized linear scan (cheapest at the low fan-in most peers see) and
+    /// promotes itself to the staged prefilter → AES → YFilterσ pipeline
+    /// when its measured scan cost crosses the model's break-even threshold,
+    /// demoting again when unsubscriptions shrink it below hysteresis.  Off,
+    /// every peer runs the always-staged engine regardless of size.
+    pub adaptive_filter: bool,
     /// Size of the persistent work-stealing pool driving the per-peer
     /// dispatch phases (spun up on the first parallel phase and parked on a
     /// condvar between rounds).  Defaults to the host's available
@@ -79,6 +86,7 @@ impl Default for MonitorConfig {
             dht_nodes: 32,
             seed: 7,
             naive_dispatch: false,
+            adaptive_filter: true,
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
@@ -239,9 +247,10 @@ impl Monitor {
     pub fn add_peer(&mut self, peer: impl Into<String>) {
         let peer = normalize_peer(&peer.into());
         self.network.add_peer(peer.clone());
+        let adaptive = self.config.adaptive_filter;
         self.hosts
             .entry(peer.clone())
-            .or_insert_with(|| PeerHost::new(peer.clone()));
+            .or_insert_with(|| PeerHost::new(peer.clone(), adaptive));
         self.peers.insert(peer);
     }
 
@@ -260,9 +269,10 @@ impl Monitor {
     pub(crate) fn host_mut(&mut self, peer: &str) -> &mut PeerHost {
         self.network.add_peer(peer.to_string());
         self.peers.insert(peer.to_string());
+        let adaptive = self.config.adaptive_filter;
         self.hosts
             .entry(peer.to_string())
-            .or_insert_with(|| PeerHost::new(peer.to_string()))
+            .or_insert_with(|| PeerHost::new(peer.to_string(), adaptive))
     }
 
     /// The current logical time (ms).
@@ -855,6 +865,14 @@ impl Monitor {
         self.hosts
             .get(&normalize_peer(peer))
             .map(PeerHost::filter_stats)
+    }
+
+    /// The strategy one peer's shared engine is currently using (adaptive
+    /// engines report their live naive/building/staged state).
+    pub fn peer_filter_mode(&self, peer: &str) -> Option<p2pmon_filter::EngineMode> {
+        self.hosts
+            .get(&normalize_peer(peer))
+            .map(PeerHost::filter_mode)
     }
 
     /// Aggregate filter-engine statistics across every peer.

@@ -24,7 +24,7 @@ use std::collections::{HashMap, VecDeque};
 use p2pmon_alerters::{
     Alerter, AxmlAlerter, CallDirection, MembershipAlerter, RssAlerter, WebPageAlerter, WsAlerter,
 };
-use p2pmon_filter::{FilterEngine, FilterStats, FilterSubscription, SubscriptionId};
+use p2pmon_filter::{EngineMode, FilterEngine, FilterStats, FilterSubscription, SubscriptionId};
 use p2pmon_streams::StreamItem;
 use p2pmon_xmlkit::Element;
 
@@ -159,11 +159,18 @@ pub struct PeerHost {
 }
 
 impl PeerHost {
-    /// Creates an empty host for `name`.
-    pub(crate) fn new(name: impl Into<String>) -> Self {
+    /// Creates an empty host for `name`.  `adaptive` selects the
+    /// cost-adaptive engine (naive start, promotion past break-even) over the
+    /// always-staged one; most peers host few subscriptions, so the adaptive
+    /// engine is the [`MonitorConfig`](crate::MonitorConfig) default.
+    pub(crate) fn new(name: impl Into<String>, adaptive: bool) -> Self {
         PeerHost {
             name: name.into(),
-            engine: FilterEngine::new(),
+            engine: if adaptive {
+                FilterEngine::adaptive()
+            } else {
+                FilterEngine::new()
+            },
             gates: HashMap::new(),
             operators: HashMap::new(),
             pending_alerts: Vec::new(),
@@ -201,6 +208,12 @@ impl PeerHost {
     /// The shared engine's statistics.
     pub fn filter_stats(&self) -> FilterStats {
         self.engine.stats
+    }
+
+    /// The strategy the shared engine is currently using (always `Staged`
+    /// for a non-adaptive engine).
+    pub fn filter_mode(&self) -> EngineMode {
+        self.engine.mode()
     }
 
     /// Installs the operator instance of a task deployed here.
@@ -309,7 +322,7 @@ mod tests {
 
     #[test]
     fn select_registration_gates_through_the_shared_engine() {
-        let mut host = PeerHost::new("hub.net");
+        let mut host = PeerHost::new("hub.net", true);
         let filter = FilterSubscription::new(7).with_simple(vec![AttrCondition::new(
             "callMethod",
             CompareOp::Eq,

@@ -97,6 +97,56 @@ impl AesFilter {
         self.registered += 1;
     }
 
+    /// Removes a previously inserted subscription path, pruning hash-tree
+    /// nodes that become empty so that [`AesFilter::node_count`] shrinks
+    /// symmetrically with [`AesFilter::insert`].  Returns whether the
+    /// marking was found.
+    pub fn remove(
+        &mut self,
+        conditions: &[ConditionId],
+        id: SubscriptionId,
+        is_simple: bool,
+    ) -> bool {
+        fn rec(
+            node: &mut HashTreeNode,
+            conditions: &[ConditionId],
+            id: SubscriptionId,
+            is_simple: bool,
+        ) -> bool {
+            let Some((&first, rest)) = conditions.split_first() else {
+                let list = if is_simple {
+                    &mut node.matched_simple
+                } else {
+                    &mut node.activated_complex
+                };
+                return match list.iter().position(|&s| s == id) {
+                    Some(pos) => {
+                        list.remove(pos);
+                        true
+                    }
+                    None => false,
+                };
+            };
+            let Some(child) = node.children.get_mut(&first) else {
+                return false;
+            };
+            let removed = rec(child, rest, id, is_simple);
+            if removed
+                && child.children.is_empty()
+                && child.matched_simple.is_empty()
+                && child.activated_complex.is_empty()
+            {
+                node.children.remove(&first);
+            }
+            removed
+        }
+        let removed = rec(&mut self.root, conditions, id, is_simple);
+        if removed {
+            self.registered -= 1;
+        }
+        removed
+    }
+
     /// Total number of hash-tree nodes (root included), a measure of the
     /// sharing achieved between subscriptions.
     pub fn node_count(&self) -> usize {
@@ -106,8 +156,12 @@ impl AesFilter {
         count(&self.root)
     }
 
-    /// Feeds the ordered list of satisfied conditions through the tree.
+    /// Feeds the **sorted** list of satisfied conditions through the tree.
     pub fn matches(&mut self, satisfied: &[ConditionId]) -> AesMatch {
+        debug_assert!(
+            satisfied.windows(2).all(|w| w[0] < w[1]),
+            "satisfied conditions must be sorted and deduplicated"
+        );
         let mut result = AesMatch::default();
         let mut visited = 0u64;
         Self::walk(&self.root, satisfied, &mut result, &mut visited);
@@ -141,10 +195,26 @@ impl AesFilter {
         }
         // Subscription prefixes are ordered, so from this node we may follow
         // any satisfied condition that has an entry, continuing with the
-        // *strictly later* satisfied conditions only.
-        for (i, &cid) in satisfied.iter().enumerate() {
-            if let Some(child) = node.children.get(&cid) {
+        // *strictly later* satisfied conditions only.  Probe from whichever
+        // side is smaller: a node deep in the tree usually has far fewer
+        // children than the document has satisfied conditions.
+        if node.children.len() < satisfied.len() {
+            let mut candidates: Vec<(usize, &HashTreeNode)> = node
+                .children
+                .iter()
+                .filter_map(|(cid, child)| satisfied.binary_search(cid).ok().map(|i| (i, child)))
+                .collect();
+            // Sort by position in the satisfied list so traversal order (and
+            // thus result order) is identical to the satisfied-side loop.
+            candidates.sort_unstable_by_key(|&(i, _)| i);
+            for (i, child) in candidates {
                 Self::walk(child, &satisfied[i + 1..], result, visited);
+            }
+        } else {
+            for (i, &cid) in satisfied.iter().enumerate() {
+                if let Some(child) = node.children.get(&cid) {
+                    Self::walk(child, &satisfied[i + 1..], result, visited);
+                }
             }
         }
     }
@@ -254,6 +324,47 @@ mod tests {
         for satisfied in [vec![], vec![0], vec![0, 1], vec![0, 1, 2, 3], vec![2, 3]] {
             assert_eq!(aes.matches_readonly(&satisfied), aes.matches(&satisfied));
         }
+    }
+
+    #[test]
+    fn remove_prunes_nodes_and_unmarks() {
+        let mut aes = paper_tree();
+        assert_eq!(aes.node_count(), 6);
+        // Removing Q6 ([0,1,3]) prunes the 0-1-3 leaf but keeps 0-1 (still
+        // marked by Q1/Q2).
+        assert!(aes.remove(&[0, 1, 3], sid(6), false));
+        assert_eq!(aes.node_count(), 5);
+        assert_eq!(aes.len(), 5);
+        // Removing a marking that is not there is a no-op.
+        assert!(!aes.remove(&[0, 1, 3], sid(6), false));
+        assert!(!aes.remove(&[0, 1], sid(1), true), "wrong kind");
+        assert_eq!(aes.node_count(), 5);
+        // Remove everything; the tree collapses back to the root.
+        assert!(aes.remove(&[0, 1], sid(1), false));
+        assert!(aes.remove(&[0, 1], sid(2), false));
+        assert!(aes.remove(&[2], sid(3), false));
+        assert!(aes.remove(&[0, 2], sid(4), false));
+        assert!(aes.remove(&[0], sid(5), true));
+        assert_eq!(aes.node_count(), 1);
+        assert!(aes.is_empty());
+        let m = aes.matches(&[0, 1, 2, 3]);
+        assert!(m.matched_simple.is_empty() && m.active_complex.is_empty());
+    }
+
+    #[test]
+    fn walk_direction_heuristic_gives_identical_results() {
+        // A wide root (many children) forces the satisfied-side loop at the
+        // root while deep nodes take the children-side loop; results must be
+        // identical to the reference evaluation either way.
+        let mut aes = AesFilter::new();
+        for i in 0..40usize {
+            aes.insert(&[i, 40, 41, 42], sid(i as u64), true);
+        }
+        let satisfied: Vec<usize> = (0..43).collect();
+        let m = aes.matches(&satisfied);
+        let mut ids = m.matched_simple;
+        ids.sort();
+        assert_eq!(ids, (0..40).map(sid).collect::<Vec<_>>());
     }
 
     #[test]

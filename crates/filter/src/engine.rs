@@ -2,16 +2,38 @@
 //!
 //! Figure 5 of the paper: plain arrows are the per-document data flow through
 //! the three modules; dotted arrows are the *offline adjustment* performed
-//! when the subscription database changes — here, [`FilterEngine::add`] and
-//! [`FilterEngine::remove`] rebuild the hash-tree and the automaton.
+//! when the subscription database changes.
+//!
+//! # Cost-adaptive dispatch
+//!
+//! The staged pipeline has a fixed per-document overhead (prefilter alphabet
+//! scan, hash-tree walk, automaton set expansion) that only pays for itself
+//! past a break-even number of subscriptions; below it, a memoized linear
+//! scan is faster.  An engine created with [`FilterEngine::adaptive`] starts
+//! in **naive** mode and tracks an online cost model: an EWMA of the measured
+//! naive-scan cost (in deterministic work units, not wall-clock, so behaviour
+//! is reproducible) against an estimate of what the staged pipeline would
+//! cost given the current number of live conditions and patterns.  Past the
+//! break-even margin it **promotes** itself: the staged structures are built
+//! incrementally, a bounded chunk of subscriptions per processed document
+//! (never a stall), while matching continues naively; when the build drains
+//! the engine switches to **staged** mode and drops the scan tables.  When
+//! `remove` shrinks the database below a hysteresis fraction of its size at
+//! promotion time, the engine **demotes** back to naive mode.  Both paths
+//! produce identical match sets — the naive scan is the equivalence oracle
+//! for the staged pipeline (see `tests/prop_engine_vs_naive.rs`).
+//!
+//! Engines created with [`FilterEngine::new`] are non-adaptive and always
+//! staged, preserving the original behaviour.
 
 use std::collections::HashMap;
 
 use p2pmon_activexml::sc::{materialize, ServiceCall};
-use p2pmon_xmlkit::Element;
+use p2pmon_streams::AttrCondition;
+use p2pmon_xmlkit::{Element, PathPattern, Value};
 
 use crate::aes::AesFilter;
-use crate::prefilter::PreFilter;
+use crate::prefilter::{ConditionId, PreFilter};
 use crate::subscription::{FilterSubscription, SubscriptionId};
 use crate::yfilter::{QueryIdx, YFilter};
 
@@ -20,6 +42,102 @@ use crate::yfilter::{QueryIdx, YFilter};
 /// automaton — the "virtually pruned" YFilterσ of the paper degenerates to a
 /// handful of direct checks, which is cheaper than touching the big NFA.
 const DIRECT_EVALUATION_THRESHOLD: usize = 4;
+
+/// Which matching strategy an engine is currently using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Memoized linear scan over the compiled subscriptions.
+    Naive,
+    /// Still matching naively while the staged structures are being built
+    /// incrementally (a bounded chunk per processed document).
+    Building,
+    /// The full prefilter → AES → YFilterσ pipeline.
+    Staged,
+}
+
+impl EngineMode {
+    /// Short lowercase label, used by the bench trajectory.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineMode::Naive => "naive",
+            EngineMode::Building => "building",
+            EngineMode::Staged => "staged",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tunable constants of the adaptive cost model.  All costs are in abstract
+/// *work units* (one simple-condition evaluation = 1.0), never wall-clock, so
+/// promotion decisions are deterministic and testable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModelConfig {
+    /// EWMA smoothing factor for the measured naive cost per document.
+    pub ewma_alpha: f64,
+    /// Documents observed in naive mode before promotion is considered.
+    pub min_observations: u64,
+    /// Subscriptions required before promotion is considered at all.
+    pub min_subscriptions: usize,
+    /// Promote when `naive_ewma > staged_estimate × promote_margin`.
+    pub promote_margin: f64,
+    /// Demote when `remove` shrinks the database below this fraction of its
+    /// size at promotion time.
+    pub demote_fraction: f64,
+    /// Fixed per-document overhead of the staged pipeline, in work units.
+    pub staged_base: f64,
+    /// Estimated staged cost per live distinct simple condition.
+    pub condition_unit: f64,
+    /// Estimated staged cost per live distinct tree pattern.
+    pub pattern_unit: f64,
+    /// Subscriptions indexed per processed document while building.
+    pub build_chunk: usize,
+}
+
+impl Default for CostModelConfig {
+    fn default() -> Self {
+        CostModelConfig {
+            ewma_alpha: 0.2,
+            min_observations: 8,
+            min_subscriptions: 16,
+            promote_margin: 1.25,
+            demote_fraction: 0.5,
+            staged_base: 32.0,
+            condition_unit: 0.5,
+            pattern_unit: 0.5,
+            build_chunk: 512,
+        }
+    }
+}
+
+impl CostModelConfig {
+    /// An eager configuration for tests: promotes after a single observed
+    /// document with no margin and demotes as soon as any removal happens.
+    pub fn aggressive() -> Self {
+        CostModelConfig {
+            ewma_alpha: 1.0,
+            min_observations: 1,
+            min_subscriptions: 1,
+            promote_margin: 0.0,
+            demote_fraction: 1.0,
+            staged_base: 0.0,
+            condition_unit: 0.0,
+            pattern_unit: 0.0,
+            build_chunk: 4,
+        }
+    }
+}
+
+/// Work-unit prices of the naive scan (see [`CostModelConfig`]): a memo hit
+/// is an order of magnitude cheaper than re-evaluating a condition, and a
+/// tree-pattern evaluation an order of magnitude dearer.
+const COND_EVAL_COST: f64 = 1.0;
+const MEMO_HIT_COST: f64 = 0.125;
+const PATTERN_EVAL_COST: f64 = 8.0;
 
 /// Aggregate statistics maintained by the engine (experiments E2–E5 read
 /// these).
@@ -39,6 +157,12 @@ pub struct FilterStats {
     /// Service calls avoided because no active subscription needed the
     /// payload.
     pub service_calls_avoided: u64,
+    /// Documents processed by the naive scan (naive or building mode).
+    pub naive_documents: u64,
+    /// Completed naive → staged promotions.
+    pub promotions: u64,
+    /// Staged → naive demotions (hysteresis on `remove`).
+    pub demotions: u64,
 }
 
 impl FilterStats {
@@ -51,6 +175,9 @@ impl FilterStats {
         self.complex_stage_entered += other.complex_stage_entered;
         self.service_calls_made += other.service_calls_made;
         self.service_calls_avoided += other.service_calls_avoided;
+        self.naive_documents += other.naive_documents;
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
     }
 }
 
@@ -89,8 +216,267 @@ impl BatchOutcome {
     }
 }
 
-/// The two-stage, many-subscription Filter.
+/// A subscription compiled for the naive scan: its conditions and patterns
+/// are interned into shared tables so evaluations memoize across the many
+/// subscriptions that reuse the same condition or pattern.
+#[derive(Debug, Clone)]
+struct CompiledSub {
+    id: SubscriptionId,
+    cond_ids: Vec<u32>,
+    pattern_ids: Vec<u32>,
+}
+
+/// The memoized linear-scan tables of naive mode.  Conditions and patterns
+/// are deduplicated by their canonical text; per-document memo slots are
+/// stamped so clearing between documents is O(1).
 #[derive(Debug, Clone, Default)]
+struct NaiveTables {
+    conds: Vec<AttrCondition>,
+    /// The typed constant of each condition, parsed once at intern time
+    /// (`AttrCondition::eval` would re-parse it per evaluation).
+    cond_consts: Vec<Value>,
+    cond_index: HashMap<String, u32>,
+    cond_refs: Vec<u32>,
+    cond_memo: Vec<(u64, bool)>,
+    patterns: Vec<PathPattern>,
+    pattern_index: HashMap<String, u32>,
+    pattern_refs: Vec<u32>,
+    pattern_memo: Vec<(u64, bool)>,
+    subs: Vec<CompiledSub>,
+    pos: HashMap<SubscriptionId, usize>,
+    stamp: u64,
+    /// Distinct conditions with at least one referencing subscription.
+    live_conds: usize,
+    /// Distinct patterns with at least one referencing subscription.
+    live_patterns: usize,
+}
+
+/// Result of one naive pass over a document.
+#[derive(Debug, Default)]
+struct NaiveScan {
+    matched: Vec<SubscriptionId>,
+    active_complex: Vec<SubscriptionId>,
+    work: f64,
+}
+
+impl NaiveTables {
+    fn intern_cond(&mut self, cond: &AttrCondition) -> u32 {
+        let key = cond.key();
+        if let Some(&i) = self.cond_index.get(&key) {
+            if self.cond_refs[i as usize] == 0 {
+                self.live_conds += 1;
+            }
+            self.cond_refs[i as usize] += 1;
+            return i;
+        }
+        let i = u32::try_from(self.conds.len()).expect("condition table overflow");
+        self.cond_consts.push(Value::from_literal(&cond.constant));
+        self.conds.push(cond.clone());
+        self.cond_refs.push(1);
+        self.cond_memo.push((0, false));
+        self.cond_index.insert(key, i);
+        self.live_conds += 1;
+        i
+    }
+
+    fn intern_pattern(&mut self, pattern: &PathPattern) -> u32 {
+        let key = pattern.to_string();
+        if let Some(&i) = self.pattern_index.get(&key) {
+            if self.pattern_refs[i as usize] == 0 {
+                self.live_patterns += 1;
+            }
+            self.pattern_refs[i as usize] += 1;
+            return i;
+        }
+        let i = u32::try_from(self.patterns.len()).expect("pattern table overflow");
+        self.patterns.push(pattern.clone());
+        self.pattern_refs.push(1);
+        self.pattern_memo.push((0, false));
+        self.pattern_index.insert(key, i);
+        self.live_patterns += 1;
+        i
+    }
+
+    fn compile(&mut self, sub: &FilterSubscription) {
+        let cond_ids = sub.simple.iter().map(|c| self.intern_cond(c)).collect();
+        let pattern_ids = sub.complex.iter().map(|p| self.intern_pattern(p)).collect();
+        self.pos.insert(sub.id, self.subs.len());
+        self.subs.push(CompiledSub {
+            id: sub.id,
+            cond_ids,
+            pattern_ids,
+        });
+    }
+
+    /// Drops a compiled subscription in O(|sub|); dead table entries keep
+    /// their slot (the memo stamps make them free) and are resurrected if the
+    /// same condition or pattern is registered again.
+    fn drop_sub(&mut self, id: SubscriptionId) -> bool {
+        let Some(pos) = self.pos.remove(&id) else {
+            return false;
+        };
+        let cs = self.subs.swap_remove(pos);
+        if pos < self.subs.len() {
+            self.pos.insert(self.subs[pos].id, pos);
+        }
+        for &i in &cs.cond_ids {
+            self.cond_refs[i as usize] -= 1;
+            if self.cond_refs[i as usize] == 0 {
+                self.live_conds -= 1;
+            }
+        }
+        for &i in &cs.pattern_ids {
+            self.pattern_refs[i as usize] -= 1;
+            if self.pattern_refs[i as usize] == 0 {
+                self.live_patterns -= 1;
+            }
+        }
+        true
+    }
+
+    /// Typed root attributes, parsed once per document: every condition
+    /// evaluation against the same document reuses them instead of re-finding
+    /// and re-parsing the attribute (`AttrCondition::eval` does both per
+    /// call — that repetition is most of the plain naive filter's cost).
+    fn typed_root_attrs(document: &Element) -> Vec<(&str, Value)> {
+        document
+            .attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), Value::from_literal(v)))
+            .collect()
+    }
+
+    fn eval_cond(&mut self, i: u32, root_attrs: &[(&str, Value)], work: &mut f64) -> bool {
+        let i = i as usize;
+        let (stamp, value) = self.cond_memo[i];
+        if stamp == self.stamp {
+            *work += MEMO_HIT_COST;
+            return value;
+        }
+        let cond = &self.conds[i];
+        let value = root_attrs
+            .iter()
+            .find(|(k, _)| *k == cond.attr)
+            .map(|(_, v)| cond.op.apply(v, &self.cond_consts[i]))
+            .unwrap_or(false);
+        self.cond_memo[i] = (self.stamp, value);
+        *work += COND_EVAL_COST;
+        value
+    }
+
+    fn eval_pattern(&mut self, i: u32, document: &Element, work: &mut f64) -> bool {
+        let i = i as usize;
+        let (stamp, value) = self.pattern_memo[i];
+        if stamp == self.stamp {
+            *work += MEMO_HIT_COST;
+            return value;
+        }
+        let value = self.patterns[i].matches(document);
+        self.pattern_memo[i] = (self.stamp, value);
+        *work += PATTERN_EVAL_COST;
+        value
+    }
+
+    /// Whether all simple conditions of compiled sub `si` hold.
+    fn simple_holds(&mut self, si: usize, root_attrs: &[(&str, Value)], work: &mut f64) -> bool {
+        for k in 0..self.subs[si].cond_ids.len() {
+            let cid = self.subs[si].cond_ids[k];
+            if !self.eval_cond(cid, root_attrs, work) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether all tree patterns of compiled sub `si` match.
+    fn patterns_hold(&mut self, si: usize, document: &Element, work: &mut f64) -> bool {
+        for k in 0..self.subs[si].pattern_ids.len() {
+            let pid = self.subs[si].pattern_ids[k];
+            if !self.eval_pattern(pid, document, work) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One full pass: simple conditions then tree patterns, memoized.
+    fn scan(&mut self, document: &Element) -> NaiveScan {
+        self.stamp += 1;
+        let root_attrs = Self::typed_root_attrs(document);
+        let mut out = NaiveScan::default();
+        for si in 0..self.subs.len() {
+            if !self.simple_holds(si, &root_attrs, &mut out.work) {
+                continue;
+            }
+            let id = self.subs[si].id;
+            if self.subs[si].pattern_ids.is_empty() {
+                out.matched.push(id);
+                continue;
+            }
+            out.active_complex.push(id);
+            if self.patterns_hold(si, document, &mut out.work) {
+                out.matched.push(id);
+            }
+        }
+        out
+    }
+
+    /// Simple-conditions-only pass (for intensional documents: patterns must
+    /// not run before materialisation).  Active complex subs are returned for
+    /// a later [`NaiveTables::confirm_patterns`] call.
+    fn scan_simple(&mut self, document: &Element) -> NaiveScan {
+        self.stamp += 1;
+        let root_attrs = Self::typed_root_attrs(document);
+        let mut out = NaiveScan::default();
+        for si in 0..self.subs.len() {
+            if !self.simple_holds(si, &root_attrs, &mut out.work) {
+                continue;
+            }
+            let id = self.subs[si].id;
+            if self.subs[si].pattern_ids.is_empty() {
+                out.matched.push(id);
+            } else {
+                out.active_complex.push(id);
+            }
+        }
+        out
+    }
+
+    /// Evaluates the patterns of the given (previously active) subs against a
+    /// materialised document.
+    fn confirm_patterns(
+        &mut self,
+        active: &[SubscriptionId],
+        document: &Element,
+        work: &mut f64,
+    ) -> Vec<SubscriptionId> {
+        self.stamp += 1; // the materialised document differs from the raw one
+        let mut confirmed = Vec::new();
+        for &id in active {
+            let Some(&si) = self.pos.get(&id) else {
+                continue;
+            };
+            if self.patterns_hold(si, document, work) {
+                confirmed.push(id);
+            }
+        }
+        confirmed
+    }
+}
+
+/// Per-subscription bookkeeping of the staged structures, enabling O(|sub|)
+/// removal from the AES hash-tree and allowed-list construction without
+/// scanning the whole query table.
+#[derive(Debug, Clone, Default)]
+struct StagedSub {
+    /// Sorted, deduplicated condition ids as inserted into the AES tree.
+    condition_ids: Vec<ConditionId>,
+    /// YFilter query indices owned by this subscription.
+    queries: Vec<QueryIdx>,
+}
+
+/// The two-stage, many-subscription Filter.
+#[derive(Debug, Clone)]
 pub struct FilterEngine {
     subscriptions: HashMap<SubscriptionId, FilterSubscription>,
     prefilter: PreFilter,
@@ -103,21 +489,89 @@ pub struct FilterEngine {
     complex_counts: HashMap<SubscriptionId, usize>,
     /// Subscriptions with no simple conditions: always active.
     always_active: Vec<SubscriptionId>,
+    /// Staged bookkeeping per subscription (only while staged/building).
+    staged_subs: HashMap<SubscriptionId, StagedSub>,
+    /// Distinct prefilter conditions still referenced by some subscription
+    /// (the alphabet itself is append-only; this is the live count).
+    live_condition_refs: HashMap<ConditionId, u32>,
+    /// Adaptive state.
+    adaptive: bool,
+    mode: EngineMode,
+    cost: CostModelConfig,
+    naive: NaiveTables,
+    naive_ewma: f64,
+    observations: u64,
+    /// Subscriptions not yet indexed into the staged structures (building).
+    pending_build: Vec<SubscriptionId>,
+    /// Database size when promotion began (hysteresis reference).
+    promoted_at_len: usize,
     /// Engine statistics.
     pub stats: FilterStats,
 }
 
+impl Default for FilterEngine {
+    fn default() -> Self {
+        FilterEngine::new()
+    }
+}
+
 impl FilterEngine {
-    /// Creates an empty engine.
+    /// Creates an empty, non-adaptive engine: always staged, the original
+    /// behaviour.
     pub fn new() -> Self {
-        FilterEngine::default()
+        FilterEngine {
+            subscriptions: HashMap::new(),
+            prefilter: PreFilter::new(),
+            aes: AesFilter::new(),
+            yfilter: YFilter::new(),
+            query_owner: Vec::new(),
+            complex_counts: HashMap::new(),
+            always_active: Vec::new(),
+            staged_subs: HashMap::new(),
+            live_condition_refs: HashMap::new(),
+            adaptive: false,
+            mode: EngineMode::Staged,
+            cost: CostModelConfig::default(),
+            naive: NaiveTables::default(),
+            naive_ewma: 0.0,
+            observations: 0,
+            pending_build: Vec::new(),
+            promoted_at_len: 0,
+            stats: FilterStats::default(),
+        }
     }
 
-    /// Builds an engine from a set of subscriptions.
+    /// Creates an empty cost-adaptive engine: starts in naive mode and
+    /// promotes/demotes itself based on the online cost model.
+    pub fn adaptive() -> Self {
+        FilterEngine::adaptive_with(CostModelConfig::default())
+    }
+
+    /// Creates an adaptive engine with explicit cost-model constants.
+    pub fn adaptive_with(cost: CostModelConfig) -> Self {
+        FilterEngine {
+            adaptive: true,
+            mode: EngineMode::Naive,
+            cost,
+            ..FilterEngine::new()
+        }
+    }
+
+    /// Builds a (non-adaptive) engine from a set of subscriptions.
     pub fn from_subscriptions(subscriptions: impl IntoIterator<Item = FilterSubscription>) -> Self {
         let mut engine = FilterEngine::new();
         engine.add_all(subscriptions);
         engine
+    }
+
+    /// The strategy the engine is currently using.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Whether the engine adapts its strategy to measured cost.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
     }
 
     /// Number of registered subscriptions.
@@ -137,21 +591,29 @@ impl FilterEngine {
 
     /// Registers a subscription (offline adjustment).
     ///
-    /// The adjustment is *incremental*: the new conditions are appended to
-    /// the preFilter alphabet, the subscription is inserted into the AES
-    /// hash-tree and its patterns are added to the shared automaton — nothing
-    /// already indexed is rebuilt.  This is what makes deployment of the
-    /// N-th subscription O(|subscription|) instead of O(N), so a peer can
-    /// absorb hundreds of hosted subscriptions cheaply.  Re-adding an id
-    /// replaces the old subscription (that path falls back to a rebuild).
+    /// The adjustment is *incremental* in every mode: naive mode compiles the
+    /// subscription into the scan tables, staged mode appends its conditions
+    /// to the preFilter alphabet, inserts it into the AES hash-tree and adds
+    /// its patterns to the shared automaton — nothing already indexed is
+    /// rebuilt.  This is what makes deployment of the N-th subscription
+    /// O(|subscription|) instead of O(N), so a peer can absorb hundreds of
+    /// hosted subscriptions cheaply.  Re-adding an id replaces the old
+    /// subscription (that path falls back to a rebuild).
     pub fn add(&mut self, subscription: FilterSubscription) {
         let id = subscription.id;
         if self.subscriptions.insert(id, subscription).is_some() {
             // Replacement: the old conditions/patterns must disappear.
-            self.rebuild();
+            self.rebuild_for_mode();
             return;
         }
-        self.index(id);
+        match self.mode {
+            EngineMode::Naive => self.naive.compile(&self.subscriptions[&id]),
+            EngineMode::Building => {
+                self.naive.compile(&self.subscriptions[&id]);
+                self.pending_build.push(id);
+            }
+            EngineMode::Staged => self.index(id),
+        }
     }
 
     /// Registers many subscriptions, rebuilding the structures once.
@@ -159,48 +621,128 @@ impl FilterEngine {
         for s in subscriptions {
             self.subscriptions.insert(s.id, s);
         }
-        self.rebuild();
+        self.rebuild_for_mode();
     }
 
     /// Removes a subscription; returns `true` when it existed.
+    ///
+    /// The staged structures shrink symmetrically: the AES path is pruned in
+    /// O(|sub|) and, when the subscription owned patterns, the automaton is
+    /// rebuilt from the survivors — so `aes_node_count` and
+    /// `yfilter_state_count` never report stale structure (the adaptive cost
+    /// model reads them).  An adaptive engine demotes to naive mode when the
+    /// database falls below the hysteresis fraction of its promotion size.
     pub fn remove(&mut self, id: SubscriptionId) -> bool {
-        let existed = self.subscriptions.remove(&id).is_some();
-        if existed {
-            self.rebuild();
+        let Some(sub) = self.subscriptions.remove(&id) else {
+            return false;
+        };
+        match self.mode {
+            EngineMode::Naive => {
+                self.naive.drop_sub(id);
+            }
+            EngineMode::Building => {
+                // Removal mid-build: abort back to naive (the partial staged
+                // structures may already index the removed subscription).
+                self.abort_build();
+                self.naive.drop_sub(id);
+            }
+            EngineMode::Staged => {
+                self.unindex(id, &sub);
+                if self.adaptive
+                    && self.len()
+                        < (self.promoted_at_len as f64 * self.cost.demote_fraction) as usize
+                {
+                    self.demote();
+                }
+            }
         }
-        existed
+        true
     }
 
-    /// Size of the AES hash-tree (number of nodes), exposed for E3.
+    /// Size of the AES hash-tree (number of nodes), exposed for E3.  Zero in
+    /// naive mode — no staged structure exists, and the cost model must not
+    /// see a stale size.
     pub fn aes_node_count(&self) -> usize {
-        self.aes.node_count()
+        match self.mode {
+            EngineMode::Naive => 0,
+            _ => self.aes.node_count(),
+        }
     }
 
-    /// Number of YFilter NFA states, exposed for E4.
+    /// Number of YFilter NFA states, exposed for E4.  Zero in naive mode.
     pub fn yfilter_state_count(&self) -> usize {
-        self.yfilter.state_count()
+        match self.mode {
+            EngineMode::Naive => 0,
+            _ => self.yfilter.state_count(),
+        }
+    }
+
+    /// The staged-pipeline cost estimate of the adaptive model, in work
+    /// units, given the current live condition/pattern population.
+    pub fn staged_estimate(&self) -> f64 {
+        let (conds, patterns) = match self.mode {
+            EngineMode::Staged => {
+                let patterns: usize = self.complex_counts.values().sum();
+                (self.live_condition_refs.len(), patterns)
+            }
+            _ => (self.naive.live_conds, self.naive.live_patterns),
+        };
+        self.cost.staged_base
+            + self.cost.condition_unit * conds as f64
+            + self.cost.pattern_unit * patterns as f64
+    }
+
+    /// The measured naive-scan cost EWMA, in work units per document.
+    pub fn naive_cost_ewma(&self) -> f64 {
+        self.naive_ewma
+    }
+
+    /// Rebuilds the current mode's structures from the subscription
+    /// database.  Building mode aborts to naive (the cost model will promote
+    /// again if still warranted).
+    fn rebuild_for_mode(&mut self) {
+        match self.mode {
+            EngineMode::Naive => self.rebuild_naive(),
+            EngineMode::Building => {
+                self.abort_build();
+                self.rebuild_naive();
+            }
+            EngineMode::Staged => self.rebuild_staged(),
+        }
+    }
+
+    fn sorted_ids(&self) -> Vec<SubscriptionId> {
+        // Deterministic iteration order keeps benches reproducible.
+        let mut ids: Vec<SubscriptionId> = self.subscriptions.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn rebuild_naive(&mut self) {
+        self.naive = NaiveTables::default();
+        for id in self.sorted_ids() {
+            self.naive.compile(&self.subscriptions[&id]);
+        }
     }
 
     /// Rebuilds the pre-filter alphabet, the AES hash-tree and the YFilter
     /// automaton from the current subscription database.
-    fn rebuild(&mut self) {
+    fn rebuild_staged(&mut self) {
         self.prefilter = PreFilter::new();
         self.aes = AesFilter::new();
         self.yfilter = YFilter::new();
         self.query_owner.clear();
         self.complex_counts.clear();
         self.always_active.clear();
-
-        // Deterministic iteration order keeps benches reproducible.
-        let mut ids: Vec<SubscriptionId> = self.subscriptions.keys().copied().collect();
-        ids.sort();
-        for id in ids {
+        self.staged_subs.clear();
+        self.live_condition_refs.clear();
+        for id in self.sorted_ids() {
             self.index(id);
         }
     }
 
     /// Indexes one registered subscription into the three stages (the shared
-    /// step of [`FilterEngine::add`] and [`FilterEngine::rebuild`]).
+    /// step of [`FilterEngine::add`], the incremental build and the rebuild).
     fn index(&mut self, id: SubscriptionId) {
         let sub = &self.subscriptions[&id];
         let simple = sub.simple.clone();
@@ -210,6 +752,9 @@ impl FilterEngine {
             simple.iter().map(|c| self.prefilter.register(c)).collect();
         condition_ids.sort_unstable();
         condition_ids.dedup();
+        for &cid in &condition_ids {
+            *self.live_condition_refs.entry(cid).or_insert(0) += 1;
+        }
         if condition_ids.is_empty() {
             self.always_active.push(id);
             // Simple subscriptions with no conditions at all match
@@ -217,27 +762,198 @@ impl FilterEngine {
         } else {
             self.aes.insert(&condition_ids, id, is_simple);
         }
+        let mut queries = Vec::with_capacity(complex.len());
         if !complex.is_empty() {
             self.complex_counts.insert(id, complex.len());
             for (pattern_idx, pattern) in complex.into_iter().enumerate() {
                 let q = self.yfilter.add(pattern);
                 debug_assert_eq!(q, self.query_owner.len());
                 self.query_owner.push((id, pattern_idx));
+                queries.push(q);
             }
+        }
+        self.staged_subs.insert(
+            id,
+            StagedSub {
+                condition_ids,
+                queries,
+            },
+        );
+    }
+
+    /// Removes one subscription from the staged structures: AES prune in
+    /// O(|sub|), automaton rebuild only when the subscription owned patterns.
+    fn unindex(&mut self, id: SubscriptionId, sub: &FilterSubscription) {
+        let staged = self.staged_subs.remove(&id).unwrap_or_default();
+        if staged.condition_ids.is_empty() {
+            self.always_active.retain(|&a| a != id);
+        } else {
+            self.aes.remove(&staged.condition_ids, id, sub.is_simple());
+        }
+        for cid in &staged.condition_ids {
+            if let Some(refs) = self.live_condition_refs.get_mut(cid) {
+                *refs -= 1;
+                if *refs == 0 {
+                    self.live_condition_refs.remove(cid);
+                }
+            }
+        }
+        self.complex_counts.remove(&id);
+        if !staged.queries.is_empty() {
+            self.rebuild_yfilter();
+        }
+        // The prefilter alphabet is append-only; when dead conditions
+        // dominate it the per-document satisfied() scan pays for structure
+        // nobody references, so rebuild everything.
+        if self.prefilter.alphabet_size() > 64
+            && self.prefilter.alphabet_size() > 2 * self.live_condition_refs.len()
+        {
+            self.rebuild_staged();
+        }
+    }
+
+    /// Rebuilds only the automaton (and the query ownership tables) from the
+    /// surviving subscriptions — the AES tree and prefilter are untouched.
+    fn rebuild_yfilter(&mut self) {
+        self.yfilter = YFilter::new();
+        self.query_owner.clear();
+        for id in self.sorted_ids() {
+            let sub = &self.subscriptions[&id];
+            if sub.complex.is_empty() {
+                continue;
+            }
+            let mut queries = Vec::with_capacity(sub.complex.len());
+            for (pattern_idx, pattern) in sub.complex.iter().enumerate() {
+                let q = self.yfilter.add(pattern.clone());
+                debug_assert_eq!(q, self.query_owner.len());
+                self.query_owner.push((id, pattern_idx));
+                queries.push(q);
+            }
+            if let Some(staged) = self.staged_subs.get_mut(&id) {
+                staged.queries = queries;
+            }
+        }
+    }
+
+    /// Starts the incremental naive → staged promotion.
+    fn begin_promotion(&mut self) {
+        self.mode = EngineMode::Building;
+        self.promoted_at_len = self.len();
+        self.pending_build = self.sorted_ids();
+        self.pending_build.reverse(); // pop() builds in ascending id order
+        self.prefilter = PreFilter::new();
+        self.aes = AesFilter::new();
+        self.yfilter = YFilter::new();
+        self.query_owner.clear();
+        self.complex_counts.clear();
+        self.always_active.clear();
+        self.staged_subs.clear();
+        self.live_condition_refs.clear();
+    }
+
+    /// Indexes up to `build_chunk` pending subscriptions; finishes the
+    /// promotion when the queue drains.
+    fn build_step(&mut self) {
+        for _ in 0..self.cost.build_chunk {
+            let Some(id) = self.pending_build.pop() else {
+                break;
+            };
+            self.index(id);
+        }
+        if self.pending_build.is_empty() {
+            self.mode = EngineMode::Staged;
+            self.stats.promotions += 1;
+            self.naive = NaiveTables::default();
+        }
+    }
+
+    /// Abandons a partial build (removal mid-build): clears the partial
+    /// staged structures and returns to naive matching.
+    fn abort_build(&mut self) {
+        self.mode = EngineMode::Naive;
+        self.pending_build.clear();
+        self.prefilter = PreFilter::new();
+        self.aes = AesFilter::new();
+        self.yfilter = YFilter::new();
+        self.query_owner.clear();
+        self.complex_counts.clear();
+        self.always_active.clear();
+        self.staged_subs.clear();
+        self.live_condition_refs.clear();
+        self.observations = 0;
+        self.naive_ewma = 0.0;
+    }
+
+    /// Staged → naive demotion: drops the staged structures and recompiles
+    /// the (now small) database into the scan tables.
+    fn demote(&mut self) {
+        self.abort_build();
+        self.rebuild_naive();
+        self.stats.demotions += 1;
+    }
+
+    /// Feeds one measured naive-scan cost into the EWMA and promotes when the
+    /// model says the staged pipeline would be cheaper by the margin.
+    fn observe_naive_cost(&mut self, work: f64) {
+        self.naive_ewma = if self.observations == 0 {
+            work
+        } else {
+            self.cost.ewma_alpha * work + (1.0 - self.cost.ewma_alpha) * self.naive_ewma
+        };
+        self.observations += 1;
+        if self.mode == EngineMode::Naive
+            && self.observations >= self.cost.min_observations
+            && self.len() >= self.cost.min_subscriptions
+            && self.naive_ewma > self.staged_estimate() * self.cost.promote_margin
+        {
+            self.begin_promotion();
         }
     }
 
     /// Filters one (fully materialised) document.
     pub fn process(&mut self, document: &Element) -> FilterOutcome {
         self.stats.documents += 1;
+        if self.mode == EngineMode::Building {
+            self.build_step();
+        }
+        if self.mode == EngineMode::Staged {
+            return self.process_staged(document);
+        }
+        self.process_naive(document)
+    }
 
+    fn process_naive(&mut self, document: &Element) -> FilterOutcome {
+        self.stats.naive_documents += 1;
+        let mut scan = self.naive.scan(document);
+        if !scan.active_complex.is_empty() {
+            self.stats.complex_stage_entered += 1;
+            self.stats.complex_evaluations += scan.active_complex.len() as u64;
+        }
+        scan.matched.sort_unstable();
+        scan.matched.dedup();
+        scan.active_complex.sort_unstable();
+        scan.active_complex.dedup();
+        if !scan.matched.is_empty() {
+            self.stats.documents_matched += 1;
+        }
+        let outcome = FilterOutcome {
+            matched: scan.matched,
+            active_complex: scan.active_complex,
+        };
+        if self.adaptive && self.mode == EngineMode::Naive {
+            self.observe_naive_cost(scan.work);
+        }
+        outcome
+    }
+
+    fn process_staged(&mut self, document: &Element) -> FilterOutcome {
         // Stage 1: simple conditions on the root attributes.
         let satisfied = self.prefilter.satisfied(document);
 
         // Stage 2: AES hash-tree.
         let aes_match = self.aes.matches(&satisfied);
-        let mut matched: Vec<SubscriptionId> = aes_match.matched_simple.clone();
-        let mut active: Vec<SubscriptionId> = aes_match.active_complex.clone();
+        let mut matched: Vec<SubscriptionId> = aes_match.matched_simple;
+        let mut active: Vec<SubscriptionId> = aes_match.active_complex;
 
         // Subscriptions with no simple conditions are always active (or
         // always matched when they have no complex part either).
@@ -289,14 +1005,15 @@ impl FilterEngine {
             return confirmed;
         }
         // Restrict the automaton's accepts to the queries owned by active
-        // subscriptions.
-        let allowed: Vec<QueryIdx> = self
-            .query_owner
+        // subscriptions.  Each subscription knows its own query indices, so
+        // this is O(active · patterns-per-sub), not a scan of every
+        // registered query.
+        let mut allowed: Vec<QueryIdx> = active
             .iter()
-            .enumerate()
-            .filter(|(_, (owner, _))| active.contains(owner))
-            .map(|(q, _)| q)
+            .filter_map(|id| self.staged_subs.get(id))
+            .flat_map(|s| s.queries.iter().copied())
             .collect();
+        allowed.sort_unstable();
         let matched_queries = self
             .yfilter
             .matching_queries_filtered(document, Some(&allowed));
@@ -314,22 +1031,21 @@ impl FilterEngine {
     }
 
     /// Filters a batch of documents, running the three stages once per
-    /// *distinct* document: identical documents (by serialized form) share a
-    /// single pass, which is what amortizes per-tick batched alert dispatch —
-    /// a peer whose inbox holds the same alert for many subscriptions pays
-    /// for one engine evaluation.  Duplicates share their outcome by index
-    /// instead of cloning it; read per-input results through
-    /// [`BatchOutcome::outcome`].
+    /// *distinct* document: identical documents share a single pass, which is
+    /// what amortizes per-tick batched alert dispatch — a peer whose inbox
+    /// holds the same alert for many subscriptions pays for one engine
+    /// evaluation.  Duplicates are detected by hashing the trees directly
+    /// (no serialization) and share their outcome by index instead of cloning
+    /// it; read per-input results through [`BatchOutcome::outcome`].
     pub fn match_batch(&mut self, docs: &[&Element]) -> BatchOutcome {
         let mut outcomes: Vec<FilterOutcome> = Vec::new();
         let mut index: Vec<usize> = Vec::with_capacity(docs.len());
-        let mut first_seen: HashMap<String, usize> = HashMap::new();
+        let mut first_seen: HashMap<&Element, usize> = HashMap::new();
         for doc in docs {
-            let key = doc.to_xml();
-            match first_seen.get(&key).copied() {
+            match first_seen.get(doc).copied() {
                 Some(i) => index.push(i),
                 None => {
-                    first_seen.insert(key, outcomes.len());
+                    first_seen.insert(doc, outcomes.len());
                     index.push(outcomes.len());
                     outcomes.push(self.process(doc));
                 }
@@ -345,6 +1061,7 @@ impl FilterEngine {
     /// the root attributes *before* any service call; if no complex
     /// subscription remains active, the (possibly expensive) call is avoided
     /// entirely.  Returns the outcome together with the number of calls made.
+    /// The avoidance works in every engine mode.
     pub fn process_intensional(
         &mut self,
         document: &Element,
@@ -354,23 +1071,34 @@ impl FilterEngine {
         if !has_calls {
             return (self.process(document), 0);
         }
-
-        // Run the cheap stages on the document as-is.
-        let satisfied = self.prefilter.satisfied(document);
-        let aes_match = self.aes.matches(&satisfied);
-        let mut matched = aes_match.matched_simple.clone();
-        let mut active = aes_match.active_complex.clone();
-        for &id in &self.always_active {
-            let sub = &self.subscriptions[&id];
-            if sub.is_simple() {
-                matched.push(id);
-            } else {
-                active.push(id);
-            }
+        self.stats.documents += 1;
+        if self.mode == EngineMode::Building {
+            self.build_step();
         }
+
+        // Run the cheap simple-condition stage on the document as-is.
+        let naive_mode = self.mode != EngineMode::Staged;
+        let (mut matched, mut active, mut work) = if naive_mode {
+            self.stats.naive_documents += 1;
+            let scan = self.naive.scan_simple(document);
+            (scan.matched, scan.active_complex, scan.work)
+        } else {
+            let satisfied = self.prefilter.satisfied(document);
+            let aes_match = self.aes.matches(&satisfied);
+            let mut matched = aes_match.matched_simple;
+            let mut active = aes_match.active_complex;
+            for &id in &self.always_active {
+                let sub = &self.subscriptions[&id];
+                if sub.is_simple() {
+                    matched.push(id);
+                } else {
+                    active.push(id);
+                }
+            }
+            (matched, active, 0.0)
+        };
         active.sort_unstable();
         active.dedup();
-        self.stats.documents += 1;
 
         if active.is_empty() {
             // No complex subscription cares: the service call is avoided.
@@ -380,6 +1108,9 @@ impl FilterEngine {
             matched.dedup();
             if !matched.is_empty() {
                 self.stats.documents_matched += 1;
+            }
+            if self.adaptive && self.mode == EngineMode::Naive {
+                self.observe_naive_cost(work);
             }
             return (
                 FilterOutcome {
@@ -396,12 +1127,20 @@ impl FilterEngine {
         self.stats.service_calls_made += calls as u64;
         self.stats.complex_stage_entered += 1;
         self.stats.complex_evaluations += active.len() as u64;
-        let confirmed = self.evaluate_complex(&materialised, &active);
+        let confirmed = if naive_mode {
+            self.naive
+                .confirm_patterns(&active, &materialised, &mut work)
+        } else {
+            self.evaluate_complex(&materialised, &active)
+        };
         matched.extend(confirmed);
         matched.sort_unstable();
         matched.dedup();
         if !matched.is_empty() {
             self.stats.documents_matched += 1;
+        }
+        if self.adaptive && self.mode == EngineMode::Naive {
+            self.observe_naive_cost(work);
         }
         (
             FilterOutcome {
@@ -479,6 +1218,43 @@ mod tests {
     }
 
     #[test]
+    fn remove_shrinks_staged_structures() {
+        // Regression: the cost model reads aes_node_count/yfilter_state_count,
+        // so unsubscribing must shrink them, not leave stale structure.
+        let mut engine = FilterEngine::new();
+        for i in 0..10 {
+            engine.add(sub_complex(
+                i,
+                "k",
+                &format!("v{i}"),
+                &format!("//a{i}/b{i}"),
+            ));
+        }
+        let aes_before = engine.aes_node_count();
+        let yf_before = engine.yfilter_state_count();
+        for i in 5..10 {
+            assert!(engine.remove(SubscriptionId(i)));
+        }
+        assert!(
+            engine.aes_node_count() < aes_before,
+            "AES tree must shrink: {} !< {}",
+            engine.aes_node_count(),
+            aes_before
+        );
+        assert!(
+            engine.yfilter_state_count() < yf_before,
+            "automaton must shrink: {} !< {}",
+            engine.yfilter_state_count(),
+            yf_before
+        );
+        // And matching still works for the survivors.
+        let doc = parse(r#"<alert k="v2"><a2><b2/></a2></alert>"#).unwrap();
+        assert_eq!(engine.process(&doc).matched, vec![SubscriptionId(2)]);
+        let gone = parse(r#"<alert k="v7"><a7><b7/></a7></alert>"#).unwrap();
+        assert!(engine.process(&gone).matched.is_empty());
+    }
+
+    #[test]
     fn subscription_with_multiple_patterns_needs_all_of_them() {
         let mut engine = FilterEngine::new();
         engine.add(
@@ -521,6 +1297,8 @@ mod tests {
             )]),
         ];
         let mut engine = FilterEngine::from_subscriptions(subs.clone());
+        let mut adaptive = FilterEngine::adaptive_with(CostModelConfig::aggressive());
+        adaptive.add_all(subs.clone());
         let mut naive = NaiveFilter::from_subscriptions(subs);
         let docs = [
             r#"<alert m="GetTemperature" callee="meteo.com" dur="15"><soap><body><city>Orsay</city></body></soap></alert>"#,
@@ -532,10 +1310,124 @@ mod tests {
             let doc = parse(d).unwrap();
             let mut a = engine.process(&doc).matched;
             let mut b = naive.matching(&doc);
+            let mut c = adaptive.process(&doc).matched;
             a.sort();
             b.sort();
-            assert_eq!(a, b, "disagreement on {d}");
+            c.sort();
+            assert_eq!(a, b, "staged disagreement on {d}");
+            assert_eq!(c, b, "adaptive disagreement on {d}");
         }
+    }
+
+    #[test]
+    fn adaptive_engine_promotes_past_break_even() {
+        let mut engine = FilterEngine::adaptive_with(CostModelConfig {
+            min_observations: 2,
+            min_subscriptions: 4,
+            promote_margin: 1.0,
+            staged_base: 0.0,
+            condition_unit: 0.01,
+            pattern_unit: 0.01,
+            build_chunk: 3,
+            ..CostModelConfig::default()
+        });
+        for i in 0..8 {
+            engine.add(sub_simple(i, "k", &format!("v{}", i % 3)));
+        }
+        assert_eq!(engine.mode(), EngineMode::Naive);
+        assert_eq!(engine.aes_node_count(), 0, "no staged structure yet");
+        let doc = parse(r#"<r k="v1"/>"#).unwrap();
+        // Two observations trip the model; the build takes ceil(8/3) = 3
+        // chunked steps, during which matching continues (naively).
+        let mut modes = Vec::new();
+        for _ in 0..6 {
+            let outcome = engine.process(&doc);
+            assert!(!outcome.matched.is_empty());
+            modes.push(engine.mode());
+        }
+        assert_eq!(engine.mode(), EngineMode::Staged);
+        assert_eq!(engine.stats.promotions, 1);
+        assert!(
+            modes.contains(&EngineMode::Building),
+            "promotion must be incremental, saw {modes:?}"
+        );
+        assert!(engine.aes_node_count() > 0);
+        assert!(engine.stats.naive_documents >= 3);
+    }
+
+    #[test]
+    fn adaptive_engine_demotes_on_remove_hysteresis() {
+        let mut engine = FilterEngine::adaptive_with(CostModelConfig {
+            min_observations: 1,
+            min_subscriptions: 1,
+            promote_margin: 0.0,
+            staged_base: 0.0,
+            condition_unit: 0.0,
+            pattern_unit: 0.0,
+            demote_fraction: 0.5,
+            build_chunk: 100,
+            ..CostModelConfig::default()
+        });
+        for i in 0..10 {
+            engine.add(sub_simple(i, "k", &format!("v{i}")));
+        }
+        let doc = parse(r#"<r k="v0"/>"#).unwrap();
+        engine.process(&doc); // promote
+        engine.process(&doc); // finish build
+        assert_eq!(engine.mode(), EngineMode::Staged);
+        // Dropping to 5 subscriptions (not < 10·0.5) keeps the engine staged;
+        // one more removal crosses the hysteresis.
+        for i in 0..5 {
+            engine.remove(SubscriptionId(i));
+        }
+        assert_eq!(engine.mode(), EngineMode::Staged);
+        engine.remove(SubscriptionId(5));
+        assert_eq!(engine.mode(), EngineMode::Naive);
+        assert_eq!(engine.stats.demotions, 1);
+        assert_eq!(engine.aes_node_count(), 0);
+        // The demoted engine still matches correctly.
+        let doc = parse(r#"<r k="v7"/>"#).unwrap();
+        assert_eq!(engine.process(&doc).matched, vec![SubscriptionId(7)]);
+    }
+
+    #[test]
+    fn removal_mid_build_aborts_cleanly() {
+        let mut engine = FilterEngine::adaptive_with(CostModelConfig {
+            min_observations: 1,
+            min_subscriptions: 1,
+            promote_margin: 0.0,
+            staged_base: 0.0,
+            condition_unit: 0.0,
+            pattern_unit: 0.0,
+            build_chunk: 2,
+            ..CostModelConfig::default()
+        });
+        for i in 0..10 {
+            engine.add(sub_simple(i, "k", &format!("v{i}")));
+        }
+        let doc = parse(r#"<r k="v3"/>"#).unwrap();
+        engine.process(&doc); // promote: mode is now Building
+        engine.process(&doc); // one chunk built
+        assert_eq!(engine.mode(), EngineMode::Building);
+        engine.remove(SubscriptionId(0));
+        assert_eq!(engine.mode(), EngineMode::Naive);
+        assert_eq!(engine.stats.promotions, 0, "aborted build is no promotion");
+        assert_eq!(engine.process(&doc).matched, vec![SubscriptionId(3)]);
+    }
+
+    #[test]
+    fn non_adaptive_engine_never_changes_mode() {
+        let mut engine = FilterEngine::new();
+        for i in 0..100 {
+            engine.add(sub_simple(i, "k", &format!("v{i}")));
+        }
+        let doc = parse(r#"<r k="v1"/>"#).unwrap();
+        for _ in 0..20 {
+            engine.process(&doc);
+        }
+        assert_eq!(engine.mode(), EngineMode::Staged);
+        assert_eq!(engine.stats.promotions, 0);
+        assert_eq!(engine.stats.naive_documents, 0);
     }
 
     #[test]
@@ -563,6 +1455,34 @@ mod tests {
         assert_eq!(made, 0, "attr2 failed, the storage call must be avoided");
         assert_eq!(calls, 0);
         assert_eq!(engine.stats.service_calls_avoided, 1);
+    }
+
+    #[test]
+    fn intensional_avoidance_works_in_naive_mode_too() {
+        let mut engine = FilterEngine::adaptive();
+        engine.add(
+            FilterSubscription::new(1)
+                .with_simple(vec![AttrCondition::new("attr1", CompareOp::Eq, "x")])
+                .with_complex(vec![PathPattern::parse("//c/d").unwrap()]),
+        );
+        assert_eq!(engine.mode(), EngineMode::Naive);
+        let miss = parse(
+            r#"<root attr1="no"><sc service="storage" address="site"><parameters/></sc></root>"#,
+        )
+        .unwrap();
+        let (outcome, made) =
+            engine.process_intensional(&miss, &mut |_| panic!("resolver must not be called"));
+        assert!(outcome.matched.is_empty());
+        assert_eq!(made, 0);
+        assert_eq!(engine.stats.service_calls_avoided, 1);
+        let hit = parse(
+            r#"<root attr1="x"><sc service="storage" address="site"><parameters/></sc></root>"#,
+        )
+        .unwrap();
+        let (outcome, made) =
+            engine.process_intensional(&hit, &mut |_| Ok(vec![parse("<c><d/></c>").unwrap()]));
+        assert_eq!(outcome.matched, vec![SubscriptionId(1)]);
+        assert_eq!(made, 1);
     }
 
     #[test]
@@ -661,12 +1581,18 @@ mod tests {
             complex_stage_entered: 1,
             service_calls_made: 1,
             service_calls_avoided: 4,
+            naive_documents: 2,
+            promotions: 1,
+            demotions: 1,
         };
         let mut b = a;
         b.absorb(&a);
         assert_eq!(b.documents, 6);
         assert_eq!(b.complex_evaluations, 10);
         assert_eq!(b.service_calls_avoided, 8);
+        assert_eq!(b.naive_documents, 4);
+        assert_eq!(b.promotions, 2);
+        assert_eq!(b.demotions, 2);
     }
 
     #[test]

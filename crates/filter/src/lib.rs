@@ -43,7 +43,9 @@ pub mod subscription;
 pub mod yfilter;
 
 pub use aes::AesFilter;
-pub use engine::{BatchOutcome, FilterEngine, FilterOutcome, FilterStats};
+pub use engine::{
+    BatchOutcome, CostModelConfig, EngineMode, FilterEngine, FilterOutcome, FilterStats,
+};
 pub use naive::NaiveFilter;
 pub use prefilter::PreFilter;
 pub use subscription::{FilterSubscription, SubscriptionId};

@@ -35,6 +35,17 @@ impl NaiveFilter {
         self.subscriptions.push(subscription);
     }
 
+    /// Removes a subscription by id; returns `true` when it existed.
+    pub fn remove(&mut self, id: SubscriptionId) -> bool {
+        match self.subscriptions.iter().position(|s| s.id == id) {
+            Some(pos) => {
+                self.subscriptions.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of registered subscriptions.
     pub fn len(&self) -> usize {
         self.subscriptions.len()

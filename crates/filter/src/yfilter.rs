@@ -19,15 +19,50 @@
 //!   this keeps matching exact at a small cost in sharing;
 //! * `//` is implemented with explicit self-loop states reached by an
 //!   ε-closure, the standard NFA encoding.
+//!
+//! Hot-path engineering: transition tables are keyed by interned QName
+//! [`Symbol`]s (hashed once per *element*, not once per active state), with a
+//! Fibonacci-multiply hasher — the per-state lookup is integer arithmetic,
+//! never a string comparison.  The per-document accept pruning takes a
+//! *sorted* allowed list and binary-searches it, so pruned matching costs
+//! `O(accepts · log |active|)` instead of the former linear scan.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
+use p2pmon_xmlkit::intern::{intern, Symbol};
 use p2pmon_xmlkit::path::{Axis, NameTest};
 use p2pmon_xmlkit::pattern::{PathPattern, ValuePredicate};
 use p2pmon_xmlkit::Element;
 
 /// Index of a registered query.
 pub type QueryIdx = usize;
+
+/// A Fibonacci-multiply hasher for interned symbols: symbol ids are small and
+/// dense, so multiplying by the 64-bit golden-ratio constant spreads them
+/// over the table bits far more cheaply than SipHash.
+#[derive(Default)]
+pub struct SymbolHasher(u64);
+
+impl Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only used via write_u32 on symbol ids; fold arbitrary bytes anyway
+        // so the hasher stays correct for any key type.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = u64::from(n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SymbolMap<V> = HashMap<Symbol, V, BuildHasherDefault<SymbolHasher>>;
 
 /// A transition of the NFA.
 #[derive(Debug, Clone)]
@@ -39,8 +74,8 @@ struct Transition {
 /// One NFA state.
 #[derive(Debug, Clone, Default)]
 struct State {
-    /// Transitions indexed by concrete element name.
-    by_name: HashMap<String, Vec<Transition>>,
+    /// Transitions indexed by the interned symbol of the element name.
+    by_name: SymbolMap<Vec<Transition>>,
     /// Wildcard (`*`) transitions.
     wildcard: Vec<Transition>,
     /// ε-successor implementing the descendant axis: a state with
@@ -134,7 +169,8 @@ impl YFilter {
     }
 
     /// Finds or creates the transition for (name test, predicate) out of
-    /// `from`, returning the target state.
+    /// `from`, returning the target state.  Name tests are interned here, so
+    /// every document name that could ever match is in the interner table.
     fn transition_target(
         &mut self,
         from: usize,
@@ -143,11 +179,14 @@ impl YFilter {
     ) -> usize {
         // Look for an existing, shareable transition.
         let existing = match name {
-            NameTest::Name(n) => self.states[from]
-                .by_name
-                .get(n)
-                .and_then(|ts| ts.iter().find(|t| &t.predicate == predicate))
-                .map(|t| t.target),
+            NameTest::Name(n) => {
+                let sym = intern(n);
+                self.states[from]
+                    .by_name
+                    .get(&sym)
+                    .and_then(|ts| ts.iter().find(|t| &t.predicate == predicate))
+                    .map(|t| t.target)
+            }
             NameTest::Wildcard => self.states[from]
                 .wildcard
                 .iter()
@@ -165,7 +204,7 @@ impl YFilter {
         match name {
             NameTest::Name(n) => self.states[from]
                 .by_name
-                .entry(n.clone())
+                .entry(intern(n))
                 .or_default()
                 .push(transition),
             NameTest::Wildcard => self.states[from].wildcard.push(transition),
@@ -192,12 +231,17 @@ impl YFilter {
     }
 
     /// Matches a document, reporting only queries present in `allowed` (the
-    /// per-document pruning of YFilterσ).  `None` means "all".
+    /// per-document pruning of YFilterσ).  `None` means "all".  The allowed
+    /// list must be **sorted ascending** — it is binary-searched per accept.
     pub fn matching_queries_filtered(
         &mut self,
         document: &Element,
         allowed: Option<&[QueryIdx]>,
     ) -> Vec<QueryIdx> {
+        debug_assert!(
+            allowed.is_none_or(|list| list.windows(2).all(|w| w[0] < w[1])),
+            "allowed query list must be sorted and deduplicated"
+        );
         let mut initial = Vec::new();
         self.close_into(0, &mut initial);
         let mut matches = Vec::new();
@@ -214,8 +258,12 @@ impl YFilter {
         allowed: Option<&[QueryIdx]>,
         matches: &mut Vec<QueryIdx>,
     ) {
-        // Compute the successor state set for this element.
+        // Compute the successor state set for this element.  The element's
+        // name is resolved to a symbol ONCE; a lookup miss proves no name
+        // test anywhere mentions this name (pattern compilation interns every
+        // name test), so only wildcard transitions can apply.
         self.expansions += 1;
+        let name_sym = element.name_symbol();
         let mut next: Vec<usize> = Vec::new();
         for &s in active {
             let state = &self.states[s];
@@ -237,7 +285,7 @@ impl YFilter {
                     }
                 }
             };
-            if let Some(ts) = state.by_name.get(&element.name) {
+            if let Some(ts) = name_sym.and_then(|sym| state.by_name.get(&sym)) {
                 follow(ts, &mut next);
             }
             follow(&state.wildcard, &mut next);
@@ -250,7 +298,7 @@ impl YFilter {
         for &s in &closed {
             for &q in &self.states[s].accepts {
                 let keep = match allowed {
-                    Some(list) => list.contains(&q),
+                    Some(list) => list.binary_search(&q).is_ok(),
                     None => true,
                 };
                 if keep {
@@ -338,6 +386,19 @@ mod tests {
         assert_eq!(yf.matching_queries(&doc), vec![0, 1, 2]);
         assert_eq!(yf.matching_queries_filtered(&doc, Some(&[1])), vec![1]);
         assert!(yf.matching_queries_filtered(&doc, Some(&[])).is_empty());
+    }
+
+    #[test]
+    fn unparsed_documents_with_uninterned_names_still_match_wildcards() {
+        // Build a document programmatically (never through the tokenizer)
+        // with a name no pattern mentions: name tests must not match it, but
+        // wildcards must.
+        let mut yf = build(&["/*/inner", "//inner"]);
+        let mut root = Element::new("completely-uninterned-root-name");
+        root.push_element(Element::new("inner"));
+        assert_eq!(yf.matching_queries(&root), vec![0, 1]);
+        let mut named = build(&["/completely-absent-name/x"]);
+        assert!(named.matching_queries(&root).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use p2pmon_filter::{FilterEngine, FilterSubscription, NaiveFilter, YFilter};
+use p2pmon_filter::{CostModelConfig, FilterEngine, FilterSubscription, NaiveFilter, YFilter};
 use p2pmon_streams::AttrCondition;
 use p2pmon_xmlkit::path::CompareOp;
 use p2pmon_xmlkit::{Element, PathPattern};
@@ -132,6 +132,68 @@ proptest! {
                 .map(|(i, _)| i)
                 .collect();
             prop_assert_eq!(nfa, naive, "document: {}", doc.to_xml());
+        }
+    }
+
+    /// The tentpole equivalence: a cost-adaptive engine (which promotes and
+    /// demotes itself mid-stream), an always-staged engine and the naive
+    /// reference must produce identical match sets on every document of an
+    /// interleaved add / process / remove schedule — mode transitions change
+    /// nothing observable.
+    #[test]
+    fn adaptive_agrees_with_staged_and_naive_under_churn(
+        subs in subscriptions_strategy(),
+        docs in proptest::collection::vec(document_strategy(), 2..10),
+        removals in proptest::collection::vec(proptest::num::u8::ANY, 0..6),
+        aggressive in proptest::bool::ANY,
+    ) {
+        // Aggressive constants force promotion almost immediately; default
+        // constants usually keep these tiny databases naive.  Either way the
+        // outcomes must agree.
+        let mut adaptive = if aggressive {
+            FilterEngine::adaptive_with(CostModelConfig {
+                build_chunk: 2,
+                ..CostModelConfig::aggressive()
+            })
+        } else {
+            FilterEngine::adaptive()
+        };
+        let mut staged = FilterEngine::new();
+        let mut naive = NaiveFilter::new();
+
+        // Interleave: add a few subscriptions, process a document, remove an
+        // arbitrary registered subscription, process again …
+        let mut pending = subs.into_iter();
+        for (step, doc) in docs.iter().enumerate() {
+            for sub in pending.by_ref().take(3) {
+                adaptive.add(sub.clone());
+                staged.add(sub.clone());
+                naive.add(sub);
+            }
+            if let Some(&seed) = removals.get(step) {
+                let victim = p2pmon_filter::SubscriptionId(u64::from(seed) % 20);
+                let a = adaptive.remove(victim);
+                let s = staged.remove(victim);
+                let n = naive.remove(victim);
+                prop_assert_eq!(a, s);
+                prop_assert_eq!(a, n);
+            }
+            let mut from_adaptive = adaptive.process(doc).matched;
+            let mut from_staged = staged.process(doc).matched;
+            let mut reference = naive.matching(doc);
+            from_adaptive.sort();
+            from_staged.sort();
+            reference.sort();
+            prop_assert_eq!(
+                &from_adaptive, &reference,
+                "adaptive ({} mode) diverged on step {}: {}",
+                adaptive.mode(), step, doc.to_xml()
+            );
+            prop_assert_eq!(
+                &from_staged, &reference,
+                "staged diverged on step {}: {}",
+                step, doc.to_xml()
+            );
         }
     }
 

@@ -1,0 +1,131 @@
+//! A process-wide QName interner.
+//!
+//! The monitoring hot path compares element and attribute names constantly:
+//! every YFilter NFA transition, every pattern step and every prefilter
+//! lookup starts from a tag name.  The vocabulary of QNames in a monitoring
+//! deployment is tiny (SOAP envelopes, RSS items, alerter schemas), so the
+//! names are interned once into stable [`Symbol`]s and the hot paths compare
+//! 32-bit integers instead of hashing strings over and over.
+//!
+//! The tokenizer ([`crate::parser`]) interns every element and attribute
+//! name it reads, and pattern compilation interns every name test, so by the
+//! time a document reaches a filter its names are already in the table.  A
+//! [`lookup`] miss is therefore *informative*: a name nobody ever registered
+//! a pattern for cannot match any name test (only wildcards apply).
+//!
+//! Interned names are leaked intentionally — the table is append-only and
+//! the QName vocabulary is bounded by the monitored schemas, not by traffic
+//! volume.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned QName: a dense, process-wide stable 32-bit id.
+///
+/// Equality of symbols is equality of the underlying names; symbols are
+/// `Copy`, hash as a single integer and order by interning time (not
+/// alphabetically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The interned name this symbol stands for.
+    pub fn as_str(self) -> &'static str {
+        resolve(self)
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[derive(Default)]
+struct Interner {
+    by_name: HashMap<&'static str, Symbol>,
+    names: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// Interns a name, returning its stable symbol.  Idempotent and thread-safe;
+/// the common case (name already interned) takes only a read lock.
+pub fn intern(name: &str) -> Symbol {
+    if let Some(sym) = lookup(name) {
+        return sym;
+    }
+    let mut t = table().write().expect("interner poisoned");
+    if let Some(&sym) = t.by_name.get(name) {
+        return sym;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let sym = Symbol(u32::try_from(t.names.len()).expect("interner overflow"));
+    t.names.push(leaked);
+    t.by_name.insert(leaked, sym);
+    sym
+}
+
+/// Looks a name up without interning it.  `None` means the name was never
+/// seen by any tokenizer or pattern — so no registered name test can match
+/// it.
+pub fn lookup(name: &str) -> Option<Symbol> {
+    table()
+        .read()
+        .expect("interner poisoned")
+        .by_name
+        .get(name)
+        .copied()
+}
+
+/// The name behind a symbol.
+///
+/// # Panics
+///
+/// Panics when the symbol did not come from [`intern`].
+pub fn resolve(sym: Symbol) -> &'static str {
+    table().read().expect("interner poisoned").names[sym.0 as usize]
+}
+
+/// Number of names interned so far (monotone; a coarse vocabulary measure).
+pub fn interned_count() -> usize {
+    table().read().expect("interner poisoned").names.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_stable() {
+        let a = intern("soap:Envelope");
+        let b = intern("soap:Envelope");
+        let c = intern("soap:Body");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(resolve(a), "soap:Envelope");
+        assert_eq!(a.as_str(), "soap:Envelope");
+        assert_eq!(a.to_string(), "soap:Envelope");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let before = interned_count();
+        assert_eq!(lookup("never-seen-name-7f3a"), None);
+        assert_eq!(interned_count(), before);
+        let sym = intern("never-seen-name-7f3a");
+        assert_eq!(lookup("never-seen-name-7f3a"), Some(sym));
+    }
+
+    #[test]
+    fn symbols_are_ordered_by_interning_time() {
+        // Fresh names (not used by any other test) intern in call order, not
+        // alphabetical order.
+        let a = intern("zzz-order-probe-first");
+        let b = intern("aaa-order-probe-second");
+        assert!(a.0 < b.0);
+    }
+}

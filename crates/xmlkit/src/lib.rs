@@ -24,6 +24,7 @@
 pub mod builder;
 pub mod diff;
 pub mod escape;
+pub mod intern;
 pub mod node;
 pub mod parser;
 pub mod path;
@@ -33,6 +34,7 @@ pub mod writer;
 
 pub use builder::ElementBuilder;
 pub use diff::{diff_elements, DiffOp};
+pub use intern::Symbol;
 pub use node::{Element, Node};
 pub use parser::{parse, parse_fragment, ParseError};
 pub use path::{PathError, XPath};

@@ -17,6 +17,11 @@ the workspace root:
     python3 ci/check_bench.py replica     # replicas serve >= 50% of remote
                                           # consumers and never add
                                           # origin-peer messages at 256 subs
+    python3 ci/check_bench.py scale       # per-alert cost at 10k subs stays
+                                          # under 3x the 1k tier (sublinear
+                                          # growth over the MassiveStorm)
+    python3 ci/check_bench.py dht         # definition lookups stay within the
+                                          # Chord log2(nodes) hop bound
     python3 ci/check_bench.py all         # schema + every gate
     python3 ci/check_bench.py --self-test # run the built-in fixtures
 
@@ -28,6 +33,7 @@ fixture trajectories through every gate (passing and failing variants), so
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -75,6 +81,18 @@ REQUIRED = {
             "replica_off_origin_messages",
         ],
     },
+    "scale": {
+        "": ["results"],
+        "results": [
+            "subscriptions",
+            "peers",
+            "dht_nodes",
+            "ns_per_alert",
+            "results_delivered",
+            "dht_avg_hops",
+            "dht_operations",
+        ],
+    },
 }
 
 GATED_SUBSCRIPTIONS = 256
@@ -92,9 +110,12 @@ def row_at(data, axis, subscriptions, bench):
 
 
 def gate_dispatch(data):
-    """Engine-gated dispatch must stay >= 3x over naive at 256 subscriptions;
-    where the hardware has >= 4 cores, 4 workers must clearly beat the
-    sequential oracle (quick-mode runs are noisy, so the hard floor is 2x)."""
+    """Engine-gated dispatch must stay >= 3x over naive at 256 subscriptions.
+    Parallel rows are gated by what the hardware allows: on a single-core
+    host extra workers are clamped to the inline sequential path, so any
+    worker count must stay within noise of 1x (floor 0.9x); on a >= 4 core
+    host every multi-worker row must actually help (floor 1.3x) and 4
+    workers must clearly beat the sequential oracle (floor 2x)."""
     row = row_at(data, "results", GATED_SUBSCRIPTIONS, "dispatch")
     print(f"engine vs naive at {GATED_SUBSCRIPTIONS} subscriptions: {row['speedup']:.2f}x")
     if row["speedup"] < 3.0:
@@ -106,7 +127,21 @@ def gate_dispatch(data):
             f"{r['workers']} workers: {r['speedup_vs_sequential']:.2f}x vs sequential "
             f"(host parallelism {cores})"
         )
+    multi = [r for r in parallel if r["workers"] > 1]
+    if cores == 1:
+        for r in multi:
+            if r["speedup_vs_sequential"] < 0.9:
+                raise GateError(
+                    f"workers are clamped to 1 core yet the parallel path lost to "
+                    f"sequential — the clamp or commit phase regressed: {r}"
+                )
     if cores >= 4:
+        for r in multi:
+            if r["speedup_vs_sequential"] < 1.3:
+                raise GateError(
+                    f"a multi-worker row fell below the 1.3x floor on a "
+                    f"{cores}-core host: {r}"
+                )
         four = next((r for r in parallel if r["workers"] == 4), None)
         if four is None:
             raise GateError("no 4-worker parallel row at 256 subscriptions")
@@ -190,6 +225,66 @@ def gate_replica(data):
         raise GateError(
             f"replica-on sent MORE origin-peer messages than replica-off: {row}"
         )
+
+
+SCALE_BASE_SUBS = 1_000
+SCALE_TOP_SUBS = 10_000
+SCALE_MAX_GROWTH = 3.0
+
+
+def gate_scale(data):
+    """Per-alert dispatch cost must grow sublinearly over the MassiveStorm
+    trajectory: the 10000-subscription tier (10x the subscriptions, 10x the
+    peers) must stay under 3x the 1000-subscription tier's ns-per-alert."""
+    for row in data.get("results", []):
+        print(
+            f"scale at {row['subscriptions']} subscriptions over {row['peers']} peers: "
+            f"{row['ns_per_alert']:.0f} ns/alert, {row['results_delivered']} results"
+        )
+    base = row_at(data, "results", SCALE_BASE_SUBS, "scale")
+    top = row_at(data, "results", SCALE_TOP_SUBS, "scale")
+    if base["ns_per_alert"] <= 0:
+        raise GateError(f"degenerate base tier (ns_per_alert <= 0): {base}")
+    growth = top["ns_per_alert"] / base["ns_per_alert"]
+    print(
+        f"per-alert growth {SCALE_BASE_SUBS} -> {SCALE_TOP_SUBS} subscriptions: "
+        f"{growth:.2f}x (bound {SCALE_MAX_GROWTH}x)"
+    )
+    if growth >= SCALE_MAX_GROWTH:
+        raise GateError(
+            f"per-alert cost at {SCALE_TOP_SUBS} subscriptions grew {growth:.2f}x "
+            f"over the {SCALE_BASE_SUBS} tier (bound {SCALE_MAX_GROWTH}x) — "
+            f"dispatch stopped scaling sublinearly: {top}"
+        )
+    if top["results_delivered"] == 0:
+        raise GateError(f"the {SCALE_TOP_SUBS}-subscription tier delivered nothing: {top}")
+
+
+def gate_dht(data):
+    """Definition publishes and lookups ride the Chord overlay: every tier's
+    average hop count must stay within the log2(nodes) bound, and the index
+    must actually be exercised (a bypassed DHT would pass trivially)."""
+    rows = data.get("results", [])
+    if not rows:
+        raise GateError("BENCH_scale.json has no 'results' rows — regenerate the trajectory")
+    for row in rows:
+        bound = math.log2(row["dht_nodes"]) if row["dht_nodes"] > 1 else 1.0
+        print(
+            f"dht at {row['subscriptions']} subscriptions: {row['dht_operations']} ops, "
+            f"{row['dht_avg_hops']:.2f} avg hops over {row['dht_nodes']} nodes "
+            f"(log2 bound {bound:.2f})"
+        )
+        if row["dht_operations"] == 0:
+            raise GateError(
+                f"no definition-index operations went through the DHT at "
+                f"{row['subscriptions']} subscriptions — lookups are bypassing Chord: {row}"
+            )
+        if row["dht_avg_hops"] > bound:
+            raise GateError(
+                f"Chord routing exceeded the log2(nodes) hop bound at "
+                f"{row['subscriptions']} subscriptions ({row['dht_avg_hops']:.2f} > "
+                f"{bound:.2f}): {row}"
+            )
 
 
 def validate_trajectory(bench, data):
@@ -311,6 +406,38 @@ FIXTURE_FILTER = {
 }
 
 
+FIXTURE_DISPATCH_1CORE = {
+    "bench": "dispatch",
+    "host_parallelism": 1,
+    "results": [{"subscriptions": 256, "speedup": 4.1}],
+    "parallel": [{"subscriptions": 256, "workers": 4, "speedup_vs_sequential": 0.97}],
+}
+
+FIXTURE_SCALE = {
+    "bench": "scale",
+    "results": [
+        {
+            "subscriptions": 1000,
+            "peers": 18,
+            "dht_nodes": 18,
+            "ns_per_alert": 12000,
+            "results_delivered": 5000,
+            "dht_avg_hops": 2.7,
+            "dht_operations": 3700,
+        },
+        {
+            "subscriptions": 10000,
+            "peers": 180,
+            "dht_nodes": 180,
+            "ns_per_alert": 21000,
+            "results_delivered": 6000,
+            "dht_avg_hops": 4.7,
+            "dht_operations": 37000,
+        },
+    ],
+}
+
+
 def mutated(fixture, axis, field, value, row=0):
     copy = json.loads(json.dumps(fixture))
     copy[axis][row][field] = value
@@ -338,6 +465,12 @@ def self_test():
         "dispatch parallel scaling",
         gate_dispatch,
         mutated(FIXTURE_DISPATCH, "parallel", "speedup_vs_sequential", 1.2),
+    )
+    expect_pass("dispatch on one core", gate_dispatch, FIXTURE_DISPATCH_1CORE)
+    expect_fail(
+        "dispatch clamp regression",
+        gate_dispatch,
+        mutated(FIXTURE_DISPATCH_1CORE, "parallel", "speedup_vs_sequential", 0.7),
     )
     expect_pass("filter", gate_filter, FIXTURE_FILTER)
     expect_fail(
@@ -369,9 +502,36 @@ def self_test():
         gate_replica,
         mutated(FIXTURE_REUSE, "replica", "replica_on_origin_messages", 2000),
     )
+    expect_pass("scale", gate_scale, FIXTURE_SCALE)
+    expect_fail(
+        "scale sublinear growth",
+        gate_scale,
+        mutated(FIXTURE_SCALE, "results", "ns_per_alert", 40000, row=1),
+    )
+    expect_fail(
+        "scale missing base tier",
+        gate_scale,
+        mutated(FIXTURE_SCALE, "results", "subscriptions", 500),
+    )
+    expect_pass("dht", gate_dht, FIXTURE_SCALE)
+    expect_fail(
+        "dht hop bound",
+        gate_dht,
+        mutated(FIXTURE_SCALE, "results", "dht_avg_hops", 9.5, row=1),
+    )
+    expect_fail(
+        "dht bypass",
+        gate_dht,
+        mutated(FIXTURE_SCALE, "results", "dht_operations", 0),
+    )
     # Schema validation: the good fixtures are complete; a dropped field (as a
     # bench rename or refactor would cause) is reported.
-    for bench, fixture in [("dispatch", FIXTURE_DISPATCH), ("reuse", FIXTURE_REUSE), ("filter", FIXTURE_FILTER)]:
+    for bench, fixture in [
+        ("dispatch", FIXTURE_DISPATCH),
+        ("reuse", FIXTURE_REUSE),
+        ("filter", FIXTURE_FILTER),
+        ("scale", FIXTURE_SCALE),
+    ]:
         problems = validate_trajectory(bench, fixture)
         if problems:
             raise GateError(f"self-test: good {bench} fixture flagged: {problems}")
@@ -390,9 +550,18 @@ GATES = {
     "filter": gate_filter,
     "reuse": gate_reuse,
     "replica": gate_replica,
+    "scale": gate_scale,
+    "dht": gate_dht,
 }
 # Which trajectory file each gate reads.
-GATE_SOURCE = {"dispatch": "dispatch", "filter": "filter", "reuse": "reuse", "replica": "reuse"}
+GATE_SOURCE = {
+    "dispatch": "dispatch",
+    "filter": "filter",
+    "reuse": "reuse",
+    "replica": "reuse",
+    "scale": "scale",
+    "dht": "scale",
+}
 
 
 def main(argv):
@@ -400,7 +569,7 @@ def main(argv):
     parser.add_argument(
         "command",
         nargs="?",
-        choices=["schema", "dispatch", "filter", "reuse", "replica", "all"],
+        choices=["schema", "dispatch", "filter", "reuse", "replica", "scale", "dht", "all"],
         help="the gate to run",
     )
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)

@@ -167,7 +167,7 @@ fn replica_run(enable_replicas: bool, n_subs: usize, calls_n: usize) -> ReplicaR
     let stats = monitor.network_stats();
     let origin_messages = stats
         .per_peer()
-        .get("hub.net")
+        .get(&"hub.net".into())
         .map(|t| t.messages_out)
         .unwrap_or(0);
     let total_messages = stats.total_messages;

@@ -1,0 +1,49 @@
+//! Drives the MassiveStorm scale trajectory and prints what each tier costs:
+//! per-alert dispatch time, bytes deep-copied at the sink boundary (the
+//! zero-copy path's single remaining copy point), total simulated network
+//! bytes, and the Chord hop count of the definition lookups against the
+//! `log2(nodes)` bound.
+//!
+//!     cargo run --release -p p2pmon-bench --example scale_probe
+//!
+//! Pass subscription counts as arguments to probe other tiers
+//! (`scale_probe 1000 4000 10000` is the default trajectory).
+
+#[path = "../benches/common/scale.rs"]
+mod scale;
+
+fn main() {
+    let tiers: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1_000, 4_000, 10_000]
+        } else {
+            args
+        }
+    };
+    let calls = 1_000;
+    println!("MassiveStorm scale probe ({calls} alerts per tier)");
+    for n in tiers {
+        let row = scale::run_scale(1, n, calls);
+        println!(
+            "{:>6} subs | {:>3} peers | deploy {:>8.0} ms | {:>9.0} ns/alert \
+             over {} alerts | {:>6} results | sink clones {:>8} B | net {:>9} B | \
+             {} ops over chord, {:.2} avg hops (bound {:.2}) | {} operators",
+            row.subscriptions,
+            row.peers,
+            row.deploy_ms,
+            row.ns_per_alert,
+            row.alerts,
+            row.results_delivered,
+            row.sink_clone_bytes,
+            row.network_bytes,
+            row.dht_operations,
+            row.dht_avg_hops,
+            row.hops_bound(),
+            row.operators,
+        );
+    }
+}

@@ -59,7 +59,7 @@ pub(crate) fn task_ref_key(kind: &TaskKind) -> Option<(String, String)> {
             ..
         } => Some((monitored_peer.clone(), format!("src-{function}"))),
         TaskKind::ChannelSource { channel, .. } => {
-            Some((channel.peer.clone(), channel.stream.clone()))
+            Some((channel.peer.into(), channel.stream.into()))
         }
         _ => None,
     }
@@ -275,7 +275,7 @@ impl Monitor {
                 TaskKind::ChannelSource { channel, .. } => {
                     self.routing
                         .channel_consumers
-                        .entry(channel.clone())
+                        .entry(*channel)
                         .or_default()
                         .push((sub_idx, task.id, 0));
                     // Replica accounting for remote consumers of a live
@@ -301,10 +301,10 @@ impl Monitor {
                             port,
                         }
                     } else {
-                        let channel = channels[task.id].clone();
+                        let channel = channels[task.id];
                         self.routing
                             .channel_consumers
-                            .entry(channel.clone())
+                            .entry(channel)
                             .or_default()
                             .push((sub_idx, consumer, port));
                         Route::Channel { channel }
@@ -352,15 +352,12 @@ impl Monitor {
         // canonical channel so they start receiving.
         let published_channel = match &placed.by {
             ByClause::Channel(name) => {
-                let channel = channels[placed.root].clone();
+                let channel = channels[placed.root];
                 let declared = ChannelId::new(manager.clone(), name.clone());
                 if declared != channel {
                     self.repoint_channel_consumers(&declared, &channel);
                 }
-                self.routing
-                    .published_channels
-                    .entry(channel.clone())
-                    .or_default();
+                self.routing.published_channels.entry(channel).or_default();
                 Some(channel)
             }
             _ => None,
@@ -390,8 +387,8 @@ impl Monitor {
     ///
     /// [`StreamDefinitionDatabase::canonical_identity`]: p2pmon_dht::StreamDefinitionDatabase::canonical_identity
     fn repoint_channel_consumers(&mut self, declared: &ChannelId, canonical: &ChannelId) {
-        let declared_key = (declared.peer.clone(), declared.stream.clone());
-        let canonical_key = (canonical.peer.clone(), canonical.stream.clone());
+        let declared_key = (declared.peer.into(), declared.stream.into());
+        let canonical_key: (String, String) = (canonical.peer.into(), canonical.stream.into());
         let moved = self.move_channel_consumers(declared, canonical, None);
         for _ in &moved {
             if let Some(entry) = self.def_refs.get_mut(&declared_key) {
@@ -515,7 +512,7 @@ impl Monitor {
                         _ => unreachable!("sources handled above"),
                     };
                     let channel = &channels[task.id];
-                    let key = (channel.peer.clone(), channel.stream.clone());
+                    let key: (String, String) = (channel.peer.into(), channel.stream.into());
                     // Ownership follows publication: when another live
                     // deployment already published this key (two `by channel
                     // "X"` roots placed on the same peer), this one must not

@@ -54,20 +54,11 @@ use crate::placement::TaskKind;
 /// alert batch fans out to the same consumers, so the list is built once.
 type SharedTargets = Arc<Vec<(usize, usize, usize)>>;
 
-/// A delivery target `(subscription, task, port)` together with its resolved
-/// engine gate, if any: `(effective select task, engine registration)`.
-type ResolvedTarget = (
-    usize,
-    usize,
-    usize,
-    Option<(usize, p2pmon_filter::SubscriptionId)>,
-);
-
 /// How a task's output is routed.  Independently of the route, every task
 /// output is also multicast on the task's canonical output channel whenever
 /// that channel has live subscribers (stream reuse attaching downstream of a
 /// running operator) — see [`DispatchSnapshot::tap`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum Route {
     /// Same-peer edge: enqueue directly for the consumer task.
     Local { task: usize, port: usize },
@@ -93,7 +84,7 @@ pub(crate) struct RoutingTable {
     /// channel → consumer (subscription, task, port).
     pub channel_consumers: HashMap<ChannelId, Vec<(usize, usize, usize)>>,
     /// Items published on externally visible channels (BY channel clauses).
-    pub published_channels: HashMap<ChannelId, Vec<Element>>,
+    pub published_channels: HashMap<ChannelId, Vec<Arc<Element>>>,
 }
 
 /// Counters for the engine-gated dispatch path.
@@ -118,6 +109,10 @@ pub struct DispatchStats {
     /// rejected are included — the counter measures deliveries the peer
     /// never got to attempt, not results lost.
     pub dropped_by_failure: u64,
+    /// Bytes deep-copied out of the shared `Arc` plane at sink delivery —
+    /// the single remaining copy point of the zero-copy hot path (results
+    /// are detached so `Monitor::results` can hand out owned trees).
+    pub sink_clone_bytes: u64,
 }
 
 impl DispatchStats {
@@ -129,6 +124,7 @@ impl DispatchStats {
         self.gate_rejections += other.gate_rejections;
         self.plain_deliveries += other.plain_deliveries;
         self.dropped_by_failure += other.dropped_by_failure;
+        self.sink_clone_bytes += other.sink_clone_bytes;
     }
 }
 
@@ -154,15 +150,25 @@ pub(crate) struct DispatchSnapshot<'a> {
 /// batch by [`Monitor::multicast_plan`].
 pub(crate) struct MulticastPlan {
     channel: ChannelId,
-    by_peer: Vec<(String, SharedTargets)>,
+    by_peer: Vec<(p2pmon_net::PeerId, SharedTargets)>,
 }
 
 /// A side effect a peer's local processing defers to the commit phase.
 pub(crate) enum Effect {
     /// Multicast a task output on its channel.
-    Channel { channel: ChannelId, output: Element },
+    Channel {
+        /// The emitting channel.
+        channel: ChannelId,
+        /// The shared output tree.
+        output: Arc<Element>,
+    },
     /// Deliver a plan-root output to the subscription's publisher.
-    Result { sub: usize, output: Element },
+    Result {
+        /// The subscription index.
+        sub: usize,
+        /// The shared output tree.
+        output: Arc<Element>,
+    },
 }
 
 /// Everything one peer's phase produced: buffered cross-peer effects plus
@@ -200,9 +206,9 @@ impl DispatchSnapshot<'_> {
         sub: usize,
         task: usize,
         port: usize,
-        doc: &Element,
+        tuple: bool,
     ) -> Option<(usize, p2pmon_filter::SubscriptionId)> {
-        if self.naive_dispatch || port != 0 || doc.name == TUPLE_TAG {
+        if self.naive_dispatch || port != 0 || tuple {
             return None;
         }
         let placed = &self.subs[sub].placed;
@@ -254,21 +260,41 @@ fn drain_alert_batch(host: &mut PeerHost, snapshot: &DispatchSnapshot<'_>, out: 
         return;
     }
     let batch = std::mem::take(&mut host.pending_alerts);
-    let resolved: Vec<Vec<ResolvedTarget>> = batch
+    // Gate resolution depends only on the target list and on whether the
+    // document is a tuple — never on the document's content — and a whole
+    // feed fans out through one shared targets `Arc`, so each distinct
+    // (targets, tuple-ness) pair resolves once per batch instead of once per
+    // alert.  (All the `Arc`s are alive for the duration of the batch, so
+    // pointer identity is a sound cache key.)
+    // The resolved form is split by gating so the per-alert loop below never
+    // walks rejected targets: ungated targets deliver unconditionally, and
+    // gated targets are looked up *from the engine's matched ids* — per
+    // alert that is O(matched) instead of O(targets).
+    struct ResolvedTargets {
+        /// Targets delivered without an engine gate: (sub, task, port).
+        ungated: Vec<(usize, usize, usize)>,
+        /// Gated targets, sorted by filter id: (id, sub, select_task).
+        gated: Vec<(p2pmon_filter::SubscriptionId, usize, usize)>,
+    }
+    let mut resolution: HashMap<(usize, bool), ResolvedTargets> = HashMap::new();
+    let keys: Vec<(usize, bool)> = batch
         .iter()
         .map(|alert| {
-            alert
-                .targets
-                .iter()
-                .map(|&(sub, task, port)| {
-                    (
-                        sub,
-                        task,
-                        port,
-                        snapshot.resolve_gate(host, sub, task, port, &alert.doc),
-                    )
-                })
-                .collect()
+            let tuple = alert.doc.name == TUPLE_TAG;
+            let key = (Arc::as_ptr(&alert.targets) as usize, tuple);
+            resolution.entry(key).or_insert_with(|| {
+                let mut ungated = Vec::new();
+                let mut gated = Vec::new();
+                for &(sub, task, port) in alert.targets.iter() {
+                    match snapshot.resolve_gate(host, sub, task, port, tuple) {
+                        Some((select_task, id)) => gated.push((id, sub, select_task)),
+                        None => ungated.push((sub, task, port)),
+                    }
+                }
+                gated.sort_unstable_by_key(|&(id, _, _)| id);
+                ResolvedTargets { ungated, gated }
+            });
+            key
         })
         .collect();
 
@@ -277,49 +303,54 @@ fn drain_alert_batch(host: &mut PeerHost, snapshot: &DispatchSnapshot<'_>, out: 
     // its position in the engine's input (and thus its outcome index).
     let mut gated_pos: Vec<Option<usize>> = vec![None; batch.len()];
     let mut docs: Vec<&Element> = Vec::new();
-    for (i, targets) in resolved.iter().enumerate() {
-        if targets.iter().any(|(_, _, _, gate)| gate.is_some()) {
+    for (i, key) in keys.iter().enumerate() {
+        if !resolution[key].gated.is_empty() {
             gated_pos[i] = Some(docs.len());
-            docs.push(&batch[i].doc);
+            docs.push(batch[i].doc.as_ref());
         }
     }
     let batch_outcome = host.engine.match_batch(&docs);
     out.stats.engine_documents += batch_outcome.passes() as u64;
     out.stats.batch_dedup_hits += (docs.len() - batch_outcome.passes()) as u64;
 
-    for (i, (alert, targets)) in batch.iter().zip(&resolved).enumerate() {
-        let outcome = gated_pos[i].map(|pos| batch_outcome.outcome(pos));
-        for &(sub, task, port, gate) in targets {
-            match gate {
-                None => {
-                    out.stats.plain_deliveries += 1;
-                    let item = host.make_item(snapshot.now, alert.doc.clone());
-                    host.enqueue(Work {
-                        sub,
-                        task,
-                        port,
-                        item,
-                        prefiltered: false,
-                    });
-                }
-                Some((select_task, id)) => {
-                    let passed = outcome.is_some_and(|o| o.matched.binary_search(&id).is_ok());
-                    if passed {
-                        out.stats.gate_passes += 1;
-                        let item = host.make_item(snapshot.now, alert.doc.clone());
-                        host.enqueue(Work {
-                            sub,
-                            task: select_task,
-                            port: 0,
-                            item,
-                            prefiltered: true,
-                        });
-                    } else {
-                        out.stats.gate_rejections += 1;
-                    }
-                }
+    for (i, (alert, key)) in batch.iter().zip(&keys).enumerate() {
+        let resolved = &resolution[key];
+        for &(sub, task, port) in &resolved.ungated {
+            out.stats.plain_deliveries += 1;
+            let item = host.make_item(snapshot.now, alert.doc.clone());
+            host.enqueue(Work {
+                sub,
+                task,
+                port,
+                item,
+                prefiltered: false,
+            });
+        }
+        let Some(pos) = gated_pos[i] else { continue };
+        // Deliver only to the gated targets the engine matched: the engine's
+        // matched set covers the whole host, so each matched id is looked up
+        // in this alert's (sorted) gated targets — ids without a target here
+        // belong to other feeds and are skipped.
+        let outcome = batch_outcome.outcome(pos);
+        let mut hits = 0u64;
+        for &id in &outcome.matched {
+            let mut at = resolved.gated.partition_point(|&(gid, _, _)| gid < id);
+            while at < resolved.gated.len() && resolved.gated[at].0 == id {
+                let (_, sub, select_task) = resolved.gated[at];
+                hits += 1;
+                let item = host.make_item(snapshot.now, alert.doc.clone());
+                host.enqueue(Work {
+                    sub,
+                    task: select_task,
+                    port: 0,
+                    item,
+                    prefiltered: true,
+                });
+                at += 1;
             }
         }
+        out.stats.gate_passes += hits;
+        out.stats.gate_rejections += resolved.gated.len() as u64 - hits;
     }
 }
 
@@ -353,7 +384,7 @@ fn execute(
     if outputs.is_empty() {
         return;
     }
-    let route = snapshot.subs[sub].routes[task].clone();
+    let route = snapshot.subs[sub].routes[task];
     // Live stream reuse: whatever the plan-internal route, subscribers of
     // the task's canonical output channel receive every output — a covered
     // subtree attaches here, to the producing operator, with no manager hop
@@ -364,27 +395,24 @@ fn execute(
         _ => snapshot.tap(sub, task),
     };
     for output in outputs {
-        if let Some(channel) = tap {
+        if let Some(&channel) = tap {
             out.effects.push(Effect::Channel {
-                channel: channel.clone(),
-                output: output.clone(),
+                channel,
+                output: Arc::clone(&output),
             });
         }
-        match &route {
+        match route {
             Route::Local { task, port } => {
                 let item = host.make_item(snapshot.now, output);
                 host.enqueue(Work {
                     sub,
-                    task: *task,
-                    port: *port,
+                    task,
+                    port,
                     item,
                     prefiltered: false,
                 });
             }
-            Route::Channel { channel } => out.effects.push(Effect::Channel {
-                channel: channel.clone(),
-                output,
-            }),
+            Route::Channel { channel } => out.effects.push(Effect::Channel { channel, output }),
             Route::Publisher => out.effects.push(Effect::Result { sub, output }),
             Route::Dropped => {}
         }
@@ -394,7 +422,13 @@ fn execute(
 impl Monitor {
     /// Enqueues a payload for a task on whichever peer hosts it (item
     /// creation happens on that host).
-    pub(crate) fn enqueue_data(&mut self, sub: usize, task: usize, port: usize, data: Element) {
+    pub(crate) fn enqueue_data(
+        &mut self,
+        sub: usize,
+        task: usize,
+        port: usize,
+        data: impl Into<Arc<Element>>,
+    ) {
         let now = self.network.now();
         let peer = &self.subscriptions[sub].placed.tasks[task].peer;
         let host = self
@@ -417,15 +451,16 @@ impl Monitor {
         &mut self,
         origin: &str,
         consumers: &[(usize, usize)],
-        alert: Element,
+        alert: &Arc<Element>,
     ) {
         for &(sub, task) in consumers {
             let task_peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
             if task_peer != origin {
                 // Account the transfer of the raw alert to the dynamic source.
-                self.network.send(origin, &task_peer, None, alert.clone());
+                self.network
+                    .send(origin, &task_peer, None, Arc::clone(alert));
             }
-            self.enqueue_data(sub, task, 0, alert.clone());
+            self.enqueue_data(sub, task, 0, Arc::clone(alert));
         }
     }
 
@@ -434,12 +469,14 @@ impl Monitor {
     /// dispatch phase).
     pub(crate) fn drain_alerters(&mut self) {
         let mut feeds: Vec<(String, String, Vec<Element>)> = Vec::new();
-        let peers: Vec<String> = self.hosts.keys().cloned().collect();
-        for peer in peers {
-            if self.network.is_down(&peer) {
+        // Iterated in place: ticking a storm of idle peers must not allocate
+        // per peer (`network` and `hosts` are disjoint fields, so the downed
+        // check borrows alongside the mutable walk).
+        let network = &self.network;
+        for (peer, host) in self.hosts.iter_mut() {
+            if network.is_down(peer) {
                 continue;
             }
-            let host = self.hosts.get_mut(&peer).expect("host just listed");
             for (function, alerts) in host.alerters.drain_all() {
                 feeds.push((function.to_string(), peer.clone(), alerts));
             }
@@ -473,13 +510,15 @@ impl Monitor {
             let source_channel = ChannelId::new(peer.clone(), format!("src-{function}"));
             let source_plan = self.multicast_plan(&source_channel);
             for alert in alerts {
+                // Wrap once; every consumer below shares the same tree.
+                let alert = Arc::new(alert);
                 if !targets.is_empty() {
                     self.hosts
                         .get_mut(&peer)
                         .expect("alerting peer is hosted")
                         .pending_alerts
                         .push(PendingAlert {
-                            doc: alert.clone(),
+                            doc: Arc::clone(&alert),
                             targets: Arc::clone(&targets),
                         });
                 }
@@ -490,7 +529,7 @@ impl Monitor {
                 // itself (port 1), so only non-membership functions are
                 // fanned out here.
                 if function != "areRegistered" {
-                    self.feed_dynamic(&peer.clone(), &dynamic, alert);
+                    self.feed_dynamic(&peer.clone(), &dynamic, &alert);
                 }
             }
         }
@@ -500,26 +539,36 @@ impl Monitor {
     /// Work queued on a downed peer is discarded (the peer's processors are
     /// gone with it).
     pub(crate) fn process_pending(&mut self) {
+        // Workers beyond the host's actual parallelism cannot help — on a
+        // single-core host they only add hand-off overhead — so the phase
+        // runs with at most one worker per available core (`workers <= 1`
+        // takes the inline sequential path).
+        let workers = self.effective_workers();
+        // Channel-consumer registrations and placements are immutable while
+        // dispatch runs, so one multicast plan per channel serves every
+        // commit of this call instead of being regrouped per emitted item.
+        let mut plan_cache: HashMap<ChannelId, Option<std::rc::Rc<MulticastPlan>>> = HashMap::new();
         loop {
-            // Downed peers lose their batched alerts and queued work.
-            let downed: Vec<String> = self
-                .hosts
-                .keys()
-                .filter(|peer| self.network.is_down(peer))
-                .cloned()
-                .collect();
-            for peer in &downed {
-                let host = self.hosts.get_mut(peer).expect("host just listed");
-                let dropped = host.queue.len() as u64
-                    + host
-                        .pending_alerts
-                        .iter()
-                        .map(|alert| alert.targets.len() as u64)
-                        .sum::<u64>();
-                if dropped > 0 {
-                    host.queue.clear();
-                    host.pending_alerts.clear();
-                    self.dispatch_stats.dropped_by_failure += dropped;
+            // Downed peers lose their batched alerts and queued work.  The
+            // sweep only runs while a failure is active — the healthy path
+            // (every round of a large storm) skips the whole-map walk.
+            if self.network.any_down() {
+                let network = &self.network;
+                for (peer, host) in self.hosts.iter_mut() {
+                    if !network.is_down(peer) {
+                        continue;
+                    }
+                    let dropped = host.queue.len() as u64
+                        + host
+                            .pending_alerts
+                            .iter()
+                            .map(|alert| alert.targets.len() as u64)
+                            .sum::<u64>();
+                    if dropped > 0 {
+                        host.queue.clear();
+                        host.pending_alerts.clear();
+                        self.dispatch_stats.dropped_by_failure += dropped;
+                    }
                 }
             }
 
@@ -541,7 +590,7 @@ impl Monitor {
                 if jobs.is_empty() {
                     break;
                 }
-                self.scheduler.run(jobs, self.config.workers, &snapshot)
+                self.scheduler.run(jobs, workers, &snapshot)
             };
 
             // Commit phase: apply the buffered effects in deterministic peer
@@ -552,26 +601,20 @@ impl Monitor {
                 for effect in result.effects {
                     match effect {
                         Effect::Channel { channel, output } => {
-                            self.multicast_stream(&channel, &output);
+                            let plan = plan_cache
+                                .entry(channel)
+                                .or_insert_with(|| {
+                                    self.multicast_plan(&channel).map(std::rc::Rc::new)
+                                })
+                                .clone();
+                            if let Some(plan) = plan {
+                                self.run_multicast(&plan, &output);
+                            }
                         }
                         Effect::Result { sub, output } => self.deliver_result(sub, output),
                     }
                 }
             }
-        }
-    }
-
-    /// True channel multicast from the producing peer: the subscribers are
-    /// grouped by their host peer, and one physical message per distinct
-    /// destination serves every subscriber behind it (the next
-    /// [`Monitor::deliver_network`] fans it out to all of that peer's
-    /// registered consumers).  Subscribers hosted *on* the producing peer
-    /// attach locally — no network hop at all.  Messages avoided relative to
-    /// one-unicast-per-subscriber are recorded as
-    /// `NetworkStats::multicast_saved_messages` (the E7 traffic saving).
-    pub(crate) fn multicast_stream(&mut self, channel: &ChannelId, output: &Element) {
-        if let Some(plan) = self.multicast_plan(channel) {
-            self.run_multicast(&plan, output);
         }
     }
 
@@ -583,13 +626,13 @@ impl Monitor {
         if consumers.is_empty() {
             return None;
         }
-        let mut by_peer: BTreeMap<String, Vec<(usize, usize, usize)>> = BTreeMap::new();
+        let mut by_peer: BTreeMap<p2pmon_net::PeerId, Vec<(usize, usize, usize)>> = BTreeMap::new();
         for &(sub, task, port) in consumers {
-            let peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
+            let peer = p2pmon_net::PeerId::from(&self.subscriptions[sub].placed.tasks[task].peer);
             by_peer.entry(peer).or_default().push((sub, task, port));
         }
         Some(MulticastPlan {
-            channel: channel.clone(),
+            channel: *channel,
             by_peer: by_peer
                 .into_iter()
                 .map(|(peer, targets)| (peer, Arc::new(targets)))
@@ -598,27 +641,27 @@ impl Monitor {
     }
 
     /// Emits one item according to a multicast plan.
-    pub(crate) fn run_multicast(&mut self, plan: &MulticastPlan, output: &Element) {
-        let producer = &plan.channel.peer;
+    pub(crate) fn run_multicast(&mut self, plan: &MulticastPlan, output: &Arc<Element>) {
+        let producer = plan.channel.peer;
         let mut saved = 0u64;
         let mut sent = 0u64;
-        for (peer, targets) in &plan.by_peer {
+        for &(peer, ref targets) in &plan.by_peer {
             if peer == producer {
                 // Local attachment: straight into the peer's alert batch.
-                if !self.network.is_down(peer) {
+                if !self.network.is_down(&peer) {
                     saved += targets.len() as u64;
                     self.hosts
-                        .get_mut(peer)
+                        .get_mut(peer.as_str())
                         .expect("consumer peer is hosted")
                         .pending_alerts
                         .push(PendingAlert {
-                            doc: output.clone(),
+                            doc: Arc::clone(output),
                             targets: Arc::clone(targets),
                         });
                 }
             } else if self
                 .network
-                .send(producer, peer, Some(plan.channel.clone()), output.clone())
+                .send(producer, peer, Some(plan.channel), Arc::clone(output))
                 .is_some()
             {
                 // Only messages that actually went out count as shared; a
@@ -640,7 +683,7 @@ impl Monitor {
     /// subscribers — the BY-channel audience and any reuse attachments — are
     /// served by the root task's canonical-channel multicast, straight from
     /// the producing peer.)
-    fn deliver_result(&mut self, sub_idx: usize, output: Element) {
+    fn deliver_result(&mut self, sub_idx: usize, output: Arc<Element>) {
         if self.subscriptions[sub_idx].retired {
             return;
         }
@@ -653,10 +696,13 @@ impl Monitor {
         let manager_peer = self.subscriptions[sub_idx].manager.clone();
         if root_peer != manager_peer {
             self.network
-                .send(&root_peer, &manager_peer, None, output.clone());
+                .send(&root_peer, &manager_peer, None, Arc::clone(&output));
         }
-        self.subscriptions[sub_idx].sink.deliver(output.clone());
-        if let Some(channel) = self.subscriptions[sub_idx].published_channel.clone() {
+        // The sink is the one place a result tree is deep-copied: delivered
+        // results are owned history, detached from the shared pipeline.
+        self.dispatch_stats.sink_clone_bytes += output.byte_size() as u64;
+        self.subscriptions[sub_idx].sink.deliver((*output).clone());
+        if let Some(channel) = self.subscriptions[sub_idx].published_channel {
             self.routing
                 .published_channels
                 .entry(channel)
@@ -679,11 +725,11 @@ impl Monitor {
             // compute once and share the list across the batch.
             let mut channel_targets: HashMap<ChannelId, SharedTargets> = HashMap::new();
             for message in self.network.take_inbox(&peer) {
-                let Some(channel) = message.channel.clone() else {
+                let Some(channel) = message.channel else {
                     continue;
                 };
                 let targets = channel_targets
-                    .entry(channel.clone())
+                    .entry(channel)
                     .or_insert_with(|| {
                         Arc::new(
                             self.routing

@@ -58,6 +58,12 @@ pub struct MonitorConfig {
     /// linearly).  The pre-decomposition behaviour, kept as an equivalence
     /// oracle for tests and benches.
     pub naive_dispatch: bool,
+    /// Deep-copy every stream item at creation instead of sharing one
+    /// `Arc<Element>` across consumers.  The zero-copy equivalence oracle:
+    /// sink output must be byte-identical either way (a divergence means an
+    /// operator mutated a tree it shares with other consumers).  Tests only
+    /// — it undoes the zero-copy hot path's whole point.
+    pub deep_clone_items: bool,
     /// Give each peer a *cost-adaptive* filter engine: it starts as a
     /// memoized linear scan (cheapest at the low fan-in most peers see) and
     /// promotes itself to the staged prefilter → AES → YFilterσ pipeline
@@ -86,6 +92,7 @@ impl Default for MonitorConfig {
             dht_nodes: 32,
             seed: 7,
             naive_dispatch: false,
+            deep_clone_items: false,
             adaptive_filter: true,
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -217,6 +224,11 @@ pub struct Monitor {
     pub operator_invocations: u64,
     /// The persistent worker pool driving parallel dispatch phases.
     pub(crate) scheduler: crate::scheduler::SchedulerPool,
+    /// The host machine's available parallelism, probed once at construction:
+    /// dispatch phases never run with more workers than cores (extra workers
+    /// only add hand-off overhead; on a single-core host they would turn the
+    /// scheduler into pure overhead).
+    host_parallelism: usize,
 }
 
 impl Monitor {
@@ -239,8 +251,19 @@ impl Monitor {
             next_filter_id: 0,
             operator_invocations: 0,
             scheduler: crate::scheduler::SchedulerPool::new(),
+            host_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             config,
         }
+    }
+
+    /// The worker count dispatch phases actually run with:
+    /// [`MonitorConfig::workers`] clamped to the host's available
+    /// parallelism.  `1` (or a single-core host) takes the inline sequential
+    /// path — the equivalence oracle.
+    pub fn effective_workers(&self) -> usize {
+        self.config.workers.clamp(1, self.host_parallelism)
     }
 
     /// Registers a peer in both the monitored and the monitoring network.
@@ -248,9 +271,12 @@ impl Monitor {
         let peer = normalize_peer(&peer.into());
         self.network.add_peer(peer.clone());
         let adaptive = self.config.adaptive_filter;
-        self.hosts
-            .entry(peer.clone())
-            .or_insert_with(|| PeerHost::new(peer.clone(), adaptive));
+        let deep_clone = self.config.deep_clone_items;
+        self.hosts.entry(peer.clone()).or_insert_with(|| {
+            let mut host = PeerHost::new(peer.clone(), adaptive);
+            host.deep_clone_items = deep_clone;
+            host
+        });
         self.peers.insert(peer);
     }
 
@@ -270,9 +296,12 @@ impl Monitor {
         self.network.add_peer(peer.to_string());
         self.peers.insert(peer.to_string());
         let adaptive = self.config.adaptive_filter;
-        self.hosts
-            .entry(peer.to_string())
-            .or_insert_with(|| PeerHost::new(peer.to_string(), adaptive))
+        let deep_clone = self.config.deep_clone_items;
+        self.hosts.entry(peer.to_string()).or_insert_with(|| {
+            let mut host = PeerHost::new(peer.to_string(), adaptive);
+            host.deep_clone_items = deep_clone;
+            host
+        })
     }
 
     /// The current logical time (ms).
@@ -294,6 +323,14 @@ impl Monitor {
     /// to drive DHT churn experiments).
     pub fn stream_db_mut(&mut self) -> &mut StreamDefinitionDatabase {
         &mut self.stream_db
+    }
+
+    /// DHT routing statistics of the Stream Definition Database: every
+    /// definition publish and lookup routes through the Chord overlay, and
+    /// these counters (operations, total hops, messages) are how the scale
+    /// trajectory checks that lookups stay logarithmic in the peer count.
+    pub fn dht_stats(&self) -> p2pmon_dht::IndexStats {
+        self.stream_db.index_stats()
     }
 
     /// Number of deployed subscriptions.
@@ -338,7 +375,7 @@ impl Monitor {
         self.replica_channels
             .get(channel)
             .cloned()
-            .unwrap_or_else(|| (channel.peer.clone(), channel.stream.clone()))
+            .unwrap_or_else(|| (channel.peer.into(), channel.stream.into()))
     }
 
     /// Notes one deployed `ChannelSource` consumer for replica bookkeeping:
@@ -384,17 +421,16 @@ impl Monitor {
             ReplicaEntry {
                 subscribers: BTreeSet::from([(sub, task)]),
                 forwarder: (sub, task),
-                replica_stream: own_channel.stream.clone(),
+                replica_stream: own_channel.stream.into(),
             },
         );
-        self.replica_channels
-            .insert(own_channel.clone(), origin.clone());
+        self.replica_channels.insert(*own_channel, origin.clone());
         self.stream_db
             .publish_replica(p2pmon_dht::ReplicaDeclaration {
                 peer_id: origin.0,
                 stream_id: origin.1,
                 replica_peer: peer.to_string(),
-                replica_stream: own_channel.stream.clone(),
+                replica_stream: own_channel.stream.into(),
             });
         self.replica_totals.replicas_created += 1;
     }
@@ -461,21 +497,20 @@ impl Monitor {
         let Some((s, t)) = candidate else {
             return;
         };
-        let new_channel = self.subscriptions[s].channels[t].clone();
+        let new_channel = self.subscriptions[s].channels[t];
         let entry = self.replica_refs.get_mut(key).expect("caller holds entry");
         let old_channel = ChannelId::new(peer.clone(), entry.replica_stream.clone());
         entry.forwarder = (s, t);
-        entry.replica_stream = new_channel.stream.clone();
+        entry.replica_stream = new_channel.stream.into();
         self.stream_db
             .publish_replica(p2pmon_dht::ReplicaDeclaration {
                 peer_id: origin.0.clone(),
                 stream_id: origin.1.clone(),
                 replica_peer: peer.clone(),
-                replica_stream: new_channel.stream.clone(),
+                replica_stream: new_channel.stream.into(),
             });
         self.replica_channels.remove(&old_channel);
-        self.replica_channels
-            .insert(new_channel.clone(), origin.clone());
+        self.replica_channels.insert(new_channel, origin.clone());
         let origin_channel = ChannelId::new(origin.0.clone(), origin.1.clone());
         self.move_channel_consumers(&old_channel, &new_channel, Some(((s, t), origin_channel)));
     }
@@ -497,13 +532,13 @@ impl Monitor {
         };
         for &(sub, task, port) in &consumers {
             let target = match &divert {
-                Some((diverted, channel)) if *diverted == (sub, task) => channel.clone(),
-                _ => to.clone(),
+                Some((diverted, channel)) if *diverted == (sub, task) => *channel,
+                _ => *to,
             };
             if let TaskKind::ChannelSource { channel, .. } =
                 &mut self.subscriptions[sub].placed.tasks[task].kind
             {
-                *channel = target.clone();
+                *channel = target;
             }
             self.routing
                 .channel_consumers
@@ -748,11 +783,11 @@ impl Monitor {
             .unwrap_or_default();
         if !dynamic_in.is_empty() {
             let alert = WsAlerter::alert_for(call, p2pmon_alerters::CallDirection::Incoming);
-            self.feed_dynamic(&callee, &dynamic_in, alert);
+            self.feed_dynamic(&callee, &dynamic_in, &std::sync::Arc::new(alert));
         }
         if !dynamic_out.is_empty() {
             let alert = WsAlerter::alert_for(call, p2pmon_alerters::CallDirection::Outgoing);
-            self.feed_dynamic(&caller, &dynamic_out, alert);
+            self.feed_dynamic(&caller, &dynamic_out, &std::sync::Arc::new(alert));
         }
     }
 
@@ -832,9 +867,12 @@ impl Monitor {
     /// subscribers usually know the channel by the name their subscription
     /// declared, wherever placement put the producer.
     pub fn published_channel(&self, peer: &str, name: &str) -> Vec<Element> {
+        let detach = |items: &Vec<std::sync::Arc<Element>>| {
+            items.iter().map(|item| (**item).clone()).collect()
+        };
         let exact = ChannelId::new(normalize_peer(peer), name);
         if let Some(items) = self.routing.published_channels.get(&exact) {
-            return items.clone();
+            return detach(items);
         }
         let mut by_name = self
             .routing
@@ -842,9 +880,17 @@ impl Monitor {
             .iter()
             .filter(|(channel, _)| channel.stream == name);
         match (by_name.next(), by_name.next()) {
-            (Some((_, items)), None) => items.clone(),
+            (Some((_, items)), None) => detach(items),
             _ => Vec::new(),
         }
+    }
+
+    /// Total live operator instances across every peer.  With stream reuse
+    /// on, duplicates of one subscription shape share the shape's pipeline,
+    /// so this stays near the number of *shapes*, not subscriptions — the
+    /// quantity the scale trajectory tracks.
+    pub fn operator_count(&self) -> usize {
+        self.hosts.values().map(PeerHost::hosted_tasks).sum()
     }
 
     /// Total bytes of operator state held by a subscription's stateful

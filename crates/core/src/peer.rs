@@ -54,8 +54,8 @@ pub(crate) struct Work {
 /// alert of a drain fans out to the same consumers.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingAlert {
-    /// The alert document.
-    pub doc: Element,
+    /// The alert document (shared with every other consumer of the alert).
+    pub doc: std::sync::Arc<Element>,
     /// Delivery targets on this peer.
     pub targets: std::sync::Arc<Vec<(usize, usize, usize)>>,
 }
@@ -156,6 +156,11 @@ pub struct PeerHost {
     /// keep item creation contention-free under the parallel scheduler while
     /// staying monotonic (and therefore deterministic) per peer.
     next_seq: u64,
+    /// Deep-copy every item at creation instead of sharing its `Arc` — the
+    /// zero-copy equivalence oracle: with fully isolated trees no operator
+    /// can observe another consumer's rewrite, so any divergence from the
+    /// shared-`Arc` default is an aliasing bug.
+    pub(crate) deep_clone_items: bool,
 }
 
 impl PeerHost {
@@ -177,6 +182,7 @@ impl PeerHost {
             queue: VecDeque::new(),
             alerters: AlerterSet::default(),
             next_seq: 0,
+            deep_clone_items: false,
         }
     }
 
@@ -259,7 +265,17 @@ impl PeerHost {
 
     /// Wraps a payload as a stream item with this peer's next sequence
     /// number.
-    pub(crate) fn make_item(&mut self, now: u64, data: Element) -> StreamItem {
+    pub(crate) fn make_item(
+        &mut self,
+        now: u64,
+        data: impl Into<std::sync::Arc<Element>>,
+    ) -> StreamItem {
+        let data = data.into();
+        let data = if self.deep_clone_items {
+            std::sync::Arc::new((*data).clone())
+        } else {
+            data
+        };
         let item = StreamItem::new(self.next_seq, now, data);
         self.next_seq += 1;
         item

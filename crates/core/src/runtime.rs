@@ -8,6 +8,7 @@
 //! template.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use p2pmon_p2pml::ValueExpr;
 use p2pmon_streams::ops::{Dedup, DedupKey, Join, JoinSpec, Union, Window};
@@ -19,8 +20,9 @@ use crate::placement::TaskKind;
 /// Output of delivering one item to a runtime operator.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuntimeOutput {
-    /// Items produced.
-    pub items: Vec<Element>,
+    /// Items produced (shared trees; pass-through operators forward their
+    /// input for a reference-count bump).
+    pub items: Vec<Arc<Element>>,
 }
 
 impl RuntimeOutput {
@@ -28,7 +30,7 @@ impl RuntimeOutput {
         RuntimeOutput::default()
     }
 
-    fn many(items: Vec<Element>) -> Self {
+    fn many(items: Vec<Arc<Element>>) -> Self {
         RuntimeOutput { items }
     }
 }
@@ -204,13 +206,13 @@ impl RuntimeOperator {
                 derived,
                 default_var,
             } => {
-                let mut bindings = Bindings::from_element(&item.data, default_var);
+                let mut bindings = Bindings::from_item(&item.data, default_var);
                 for (name, expr) in derived.iter() {
                     if let Some(value) = expr.eval(&bindings) {
                         bindings.bind_value(name.clone(), value);
                     }
                 }
-                RuntimeOutput::many(vec![template.instantiate(&bindings)])
+                RuntimeOutput::many(vec![Arc::new(template.instantiate(&bindings))])
             }
         }
     }
@@ -253,16 +255,13 @@ fn eval_select(
     prefiltered: bool,
 ) -> RuntimeOutput {
     *examined += 1;
-    let mut bindings = Bindings::from_element(&item.data, var);
+    let mut bindings = Bindings::from_item(&item.data, var);
     if !prefiltered {
-        let tree = bindings
-            .tree(var)
-            .cloned()
-            .unwrap_or_else(|| item.data.clone());
-        if !simple.iter().all(|c| c.eval(&tree)) {
+        let tree: &Element = bindings.tree(var).unwrap_or(&item.data);
+        if !simple.iter().all(|c| c.eval(tree)) {
             return RuntimeOutput::none();
         }
-        if !patterns.iter().all(|p| p.matches(&tree)) {
+        if !patterns.iter().all(|p| p.matches(tree)) {
             return RuntimeOutput::none();
         }
     }

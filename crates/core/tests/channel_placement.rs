@@ -126,8 +126,8 @@ fn co_placement_cuts_the_manager_hop_per_alert() {
     );
     assert_eq!(stats.link("hub.net", "backend.net").messages, CALLS as u64);
     let per_peer = stats.per_peer();
-    let manager = per_peer["manager.org"];
-    let backend = per_peer["backend.net"];
+    let manager = per_peer[&"manager.org".into()];
+    let backend = per_peer[&"backend.net".into()];
     assert_eq!(
         manager.messages_in,
         2 * CALLS as u64,

@@ -288,7 +288,7 @@ proptest! {
             monitor
                 .network_stats()
                 .per_peer()
-                .get("hub.net")
+                .get(&"hub.net".into())
                 .map(|t| t.messages_out)
                 .unwrap_or(0)
         };

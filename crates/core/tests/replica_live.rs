@@ -60,7 +60,7 @@ fn origin_messages_out(monitor: &Monitor) -> u64 {
     monitor
         .network_stats()
         .per_peer()
-        .get(ORIGIN)
+        .get(&ORIGIN.into())
         .map(|t| t.messages_out)
         .unwrap_or(0)
 }

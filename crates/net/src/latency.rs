@@ -75,7 +75,7 @@ impl LatencySampler {
                 }
             }
             LatencyModel::PerLink { links, default } => links
-                .get(&(from.to_string(), to.to_string()))
+                .get(&(PeerId::from(from), PeerId::from(to)))
                 .copied()
                 .unwrap_or(*default),
         }
@@ -88,7 +88,7 @@ impl LatencySampler {
             LatencyModel::Constant(ms) => *ms,
             LatencyModel::Uniform { min, max, .. } => (min + max) / 2,
             LatencyModel::PerLink { links, default } => links
-                .get(&(from.to_string(), to.to_string()))
+                .get(&(PeerId::from(from), PeerId::from(to)))
                 .copied()
                 .unwrap_or(*default),
         }
@@ -128,8 +128,8 @@ mod tests {
     #[test]
     fn per_link_model() {
         let mut links = HashMap::new();
-        links.insert(("a".to_string(), "b".to_string()), 5);
-        links.insert(("a".to_string(), "far".to_string()), 200);
+        links.insert(("a".into(), "b".into()), 5);
+        links.insert(("a".into(), "far".into()), 200);
         let mut s = LatencySampler::new(LatencyModel::PerLink { links, default: 50 });
         assert_eq!(s.sample("a", "b"), 5);
         assert_eq!(s.sample("a", "far"), 200);

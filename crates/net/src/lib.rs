@@ -35,8 +35,11 @@ pub use network::{Network, NetworkConfig};
 pub use stats::{LinkStats, NetworkStats, PeerTraffic};
 
 /// Peers are identified by their DNS-like name, as in the paper
-/// (`a.com`, `meteo.com`, …).
-pub type PeerId = String;
+/// (`a.com`, `meteo.com`, …).  The name is interned ([`p2pmon_xmlkit::Name`]):
+/// a `PeerId` is `Copy`, compares and hashes as a single integer, and still
+/// collates alphabetically — so per-peer maps iterate deterministically and
+/// the delivery hot path never allocates peer-name strings.
+pub type PeerId = p2pmon_xmlkit::Name;
 
 #[cfg(test)]
 mod lib_tests {

@@ -1,5 +1,7 @@
 //! Message envelopes.
 
+use std::sync::Arc;
+
 use p2pmon_streams::ChannelId;
 use p2pmon_xmlkit::Element;
 
@@ -18,8 +20,10 @@ pub struct Message {
     /// The channel this message belongs to, when it is a channel publication
     /// (`None` for control traffic such as DHT lookups or plan deployment).
     pub channel: Option<ChannelId>,
-    /// The XML payload.
-    pub payload: Element,
+    /// The XML payload.  Shared: a multicast of one tree to *n* destinations
+    /// enqueues *n* envelopes around one reference-counted payload — `bytes`
+    /// still charges the full serialized size to every delivery.
+    pub payload: Arc<Element>,
     /// Payload size in bytes (computed once at send time).
     pub bytes: usize,
     /// Logical time at which the message was sent.
@@ -52,7 +56,7 @@ mod tests {
             from: "a".into(),
             to: "b".into(),
             channel: Some(ChannelId::new("a", "X")),
-            payload: Element::new("x"),
+            payload: Element::new("x").into(),
             bytes: 10,
             sent_at: 100,
             deliver_at: 130,

@@ -1,6 +1,7 @@
 //! The discrete-event network simulator.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,35 +73,42 @@ impl Network {
     /// Registers a peer.  Registering an existing peer is a no-op.
     pub fn add_peer(&mut self, peer: impl Into<PeerId>) {
         let peer = peer.into();
-        self.inboxes.entry(peer.clone()).or_default();
+        self.inboxes.entry(peer).or_default();
         self.peers.insert(peer);
     }
 
     /// All registered peers, sorted.
     pub fn peers(&self) -> Vec<&str> {
-        self.peers.iter().map(String::as_str).collect()
+        self.peers.iter().map(|p| p.as_str()).collect()
     }
 
     /// True when the peer is registered.
     pub fn has_peer(&self, peer: &str) -> bool {
-        self.peers.contains(peer)
+        self.peers.contains(&PeerId::from(peer))
     }
 
     /// Marks a peer as failed: messages to it are dropped until it recovers.
     pub fn fail_peer(&mut self, peer: &str) {
-        if self.peers.contains(peer) {
-            self.down.insert(peer.to_string());
+        let peer = PeerId::from(peer);
+        if self.peers.contains(&peer) {
+            self.down.insert(peer);
         }
     }
 
     /// Recovers a failed peer.
     pub fn recover_peer(&mut self, peer: &str) {
-        self.down.remove(peer);
+        self.down.remove(&PeerId::from(peer));
     }
 
     /// True when the peer is currently failed.
     pub fn is_down(&self, peer: &str) -> bool {
-        self.down.contains(peer)
+        !self.down.is_empty() && self.down.contains(&PeerId::from(peer))
+    }
+
+    /// True when any peer is currently failed (lets dispatch skip its
+    /// per-round downed-peer sweep on the healthy fast path).
+    pub fn any_down(&self) -> bool {
+        !self.down.is_empty()
     }
 
     /// The logical clock (ms).
@@ -149,18 +157,24 @@ impl Network {
     /// Sends an XML payload from `from` to `to`.  Returns the message id, or
     /// `None` when the message was dropped (failure injection, unknown or
     /// failed destination).
+    ///
+    /// The payload may be owned (wrapped once) or already shared — a channel
+    /// multicast passes the same `Arc` to every destination, so enqueuing is
+    /// a reference-count bump, not a tree copy.
     pub fn send(
         &mut self,
-        from: &str,
-        to: &str,
+        from: impl Into<PeerId>,
+        to: impl Into<PeerId>,
         channel: Option<ChannelId>,
-        payload: Element,
+        payload: impl Into<Arc<Element>>,
     ) -> Option<u64> {
-        if !self.peers.contains(from) || !self.peers.contains(to) {
+        let from = from.into();
+        let to = to.into();
+        if !self.peers.contains(&from) || !self.peers.contains(&to) {
             self.stats.record_drop();
             return None;
         }
-        if self.down.contains(from) || self.down.contains(to) {
+        if !self.down.is_empty() && (self.down.contains(&from) || self.down.contains(&to)) {
             self.stats.record_drop();
             return None;
         }
@@ -168,18 +182,19 @@ impl Network {
             self.stats.record_drop();
             return None;
         }
+        let payload = payload.into();
         let bytes = payload.byte_size();
         let latency = if from == to {
             0
         } else {
-            self.latency.sample(from, to)
+            self.latency.sample(&from, &to)
         };
         let id = self.next_message_id;
         self.next_message_id += 1;
         let message = Message {
             id,
-            from: from.to_string(),
-            to: to.to_string(),
+            from,
+            to,
             channel,
             payload,
             bytes,
@@ -191,19 +206,20 @@ impl Network {
     }
 
     /// Multicasts a payload to several peers (one message per subscriber, as
-    /// a channel publication does).  Returns the number of messages actually
-    /// sent.
+    /// a channel publication does; all messages share the same payload tree).
+    /// Returns the number of messages actually sent.
     pub fn multicast(
         &mut self,
         from: &str,
         to: &[PeerId],
         channel: Option<ChannelId>,
-        payload: &Element,
+        payload: &Arc<Element>,
     ) -> usize {
+        let from = PeerId::from(from);
         let mut sent = 0;
-        for peer in to {
+        for &peer in to {
             if self
-                .send(from, peer, channel.clone(), payload.clone())
+                .send(from, peer, channel, Arc::clone(payload))
                 .is_some()
             {
                 sent += 1;
@@ -219,21 +235,18 @@ impl Network {
         let (&key, _) = self.in_flight.iter().next()?;
         let message = self.in_flight.remove(&key).expect("key just observed");
         self.clock = self.clock.max(message.deliver_at);
-        if self.down.contains(&message.to) {
+        if !self.down.is_empty() && self.down.contains(&message.to) {
             self.stats.record_drop();
             return Some(message.to);
         }
         self.stats.record_delivery(
-            &message.from,
-            &message.to,
+            message.from,
+            message.to,
             message.bytes,
             message.is_channel_traffic(),
         );
-        let to = message.to.clone();
-        self.inboxes
-            .entry(to.clone())
-            .or_default()
-            .push_back(message);
+        let to = message.to;
+        self.inboxes.entry(to).or_default().push_back(message);
         Some(to)
     }
 
@@ -269,7 +282,7 @@ impl Network {
     /// Drains and returns the inbox of a peer.
     pub fn take_inbox(&mut self, peer: &str) -> Vec<Message> {
         self.inboxes
-            .get_mut(peer)
+            .get_mut(&PeerId::from(peer))
             .map(|q| q.drain(..).collect())
             .unwrap_or_default()
     }
@@ -277,7 +290,10 @@ impl Network {
     /// Number of undelivered-to-application messages waiting in a peer's
     /// inbox.
     pub fn inbox_len(&self, peer: &str) -> usize {
-        self.inboxes.get(peer).map(VecDeque::len).unwrap_or(0)
+        self.inboxes
+            .get(&PeerId::from(peer))
+            .map(VecDeque::len)
+            .unwrap_or(0)
     }
 }
 
@@ -298,8 +314,8 @@ mod tests {
         let mut n = Network::new(NetworkConfig {
             latency: LatencyModel::PerLink {
                 links: [
-                    (("a.com".to_string(), "p".to_string()), 100),
-                    (("b.com".to_string(), "p".to_string()), 10),
+                    (("a.com".into(), "p".into()), 100),
+                    (("b.com".into(), "p".into()), 10),
                 ]
                 .into_iter()
                 .collect(),
@@ -369,14 +385,35 @@ mod tests {
         let ch = ChannelId::new("a.com", "X");
         let sent = n.multicast(
             "a.com",
-            &["b.com".to_string(), "meteo.com".to_string()],
+            &["b.com".into(), "meteo.com".into()],
             Some(ch),
-            &Element::new("item"),
+            &Arc::new(Element::new("item")),
         );
         assert_eq!(sent, 2);
         n.run_until_idle();
         assert_eq!(n.stats().channel_messages, 2);
         assert_eq!(n.stats().control_messages, 0);
+    }
+
+    #[test]
+    fn multicast_of_one_shared_tree_charges_the_serialized_size_per_delivery() {
+        // Zero-copy regression guard: the zero-copy send path shares ONE
+        // `Arc<Element>` across every recipient, but the traffic model is
+        // about what would cross real links — each delivered message must
+        // still be charged the payload's full serialized size, not the Arc
+        // clone's (zero) cost and not the tree's size only once.
+        let mut n = net();
+        let payload = Arc::new(Element::text_element("alert", "meteo.com says rain"));
+        let per_message = payload.byte_size() as u64;
+        let recipients: Vec<PeerId> = vec!["b.com".into(), "meteo.com".into(), "p".into()];
+        let sent = n.multicast("a.com", &recipients, None, &payload);
+        assert_eq!(sent, 3);
+        n.run_until_idle();
+        assert_eq!(
+            n.stats().total_bytes,
+            3 * per_message,
+            "every delivery of a shared tree must be charged its serialized size"
+        );
     }
 
     #[test]

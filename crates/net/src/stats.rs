@@ -63,7 +63,18 @@ pub struct NetworkStats {
 
 impl NetworkStats {
     /// Records the delivery of one message.
-    pub fn record_delivery(&mut self, from: &str, to: &str, bytes: usize, is_channel: bool) {
+    ///
+    /// `bytes` is the serialized payload size captured at *send* time: when
+    /// several deliveries share one `Arc`-ed payload (channel multicast),
+    /// each delivery still charges the full serialized size — the simulated
+    /// wire does not share reference counts.
+    pub fn record_delivery(
+        &mut self,
+        from: impl Into<PeerId>,
+        to: impl Into<PeerId>,
+        bytes: usize,
+        is_channel: bool,
+    ) {
         self.total_messages += 1;
         self.total_bytes += bytes as u64;
         if is_channel {
@@ -71,10 +82,7 @@ impl NetworkStats {
         } else {
             self.control_messages += 1;
         }
-        let link = self
-            .per_link
-            .entry((from.to_string(), to.to_string()))
-            .or_default();
+        let link = self.per_link.entry((from.into(), to.into())).or_default();
         link.messages += 1;
         link.bytes += bytes as u64;
     }
@@ -100,7 +108,7 @@ impl NetworkStats {
     /// Counters for one directed link.
     pub fn link(&self, from: &str, to: &str) -> LinkStats {
         self.per_link
-            .get(&(from.to_string(), to.to_string()))
+            .get(&(PeerId::from(from), PeerId::from(to)))
             .copied()
             .unwrap_or_default()
     }
@@ -109,7 +117,7 @@ impl NetworkStats {
     pub fn bytes_into(&self, peer: &str) -> u64 {
         self.per_link
             .iter()
-            .filter(|((_, to), _)| to == peer)
+            .filter(|((_, to), _)| *to == peer)
             .map(|(_, s)| s.bytes)
             .sum()
     }
@@ -118,7 +126,7 @@ impl NetworkStats {
     pub fn bytes_out_of(&self, peer: &str) -> u64 {
         self.per_link
             .iter()
-            .filter(|((from, _), _)| from == peer)
+            .filter(|((from, _), _)| *from == peer)
             .map(|(_, s)| s.bytes)
             .sum()
     }
@@ -128,11 +136,11 @@ impl NetworkStats {
     /// busiest hosts of a deployment).
     pub fn per_peer(&self) -> BTreeMap<PeerId, PeerTraffic> {
         let mut out: BTreeMap<PeerId, PeerTraffic> = BTreeMap::new();
-        for ((from, to), link) in &self.per_link {
-            let sender = out.entry(from.clone()).or_default();
+        for (&(from, to), link) in &self.per_link {
+            let sender = out.entry(from).or_default();
             sender.messages_out += link.messages;
             sender.bytes_out += link.bytes;
-            let receiver = out.entry(to.clone()).or_default();
+            let receiver = out.entry(to).or_default();
             receiver.messages_in += link.messages;
             receiver.bytes_in += link.bytes;
         }
@@ -191,11 +199,12 @@ mod tests {
         s.record_delivery("b", "a", 30, true);
         s.record_delivery("b", "c", 10, false);
         let rollup = s.per_peer();
-        assert_eq!(rollup["a"].bytes_out, 100);
-        assert_eq!(rollup["a"].bytes_in, 30);
-        assert_eq!(rollup["b"].messages_out, 2);
-        assert_eq!(rollup["b"].messages_in, 1);
-        assert_eq!(rollup["c"].messages_in, 1);
-        assert_eq!(rollup["c"].messages_out, 0);
+        let peer = |p: &str| rollup[&PeerId::from(p)];
+        assert_eq!(peer("a").bytes_out, 100);
+        assert_eq!(peer("a").bytes_in, 30);
+        assert_eq!(peer("b").messages_out, 2);
+        assert_eq!(peer("b").messages_in, 1);
+        assert_eq!(peer("c").messages_in, 1);
+        assert_eq!(peer("c").messages_out, 0);
     }
 }

@@ -12,6 +12,8 @@
 //! (non-tuple) stream item is interpreted as a single binding for whichever
 //! variable the consuming operator expects.
 
+use std::sync::Arc;
+
 use p2pmon_xmlkit::{Element, Value};
 
 /// The root element name used when serializing a tuple of bindings.
@@ -22,7 +24,7 @@ pub const BINDING_TAG: &str = "binding";
 /// A tuple of named trees and named derived values.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Bindings {
-    trees: Vec<(String, Element)>,
+    trees: Vec<(String, Arc<Element>)>,
     values: Vec<(String, Value)>,
 }
 
@@ -33,15 +35,17 @@ impl Bindings {
     }
 
     /// A tuple with a single tree binding.
-    pub fn single(var: impl Into<String>, tree: Element) -> Self {
+    pub fn single(var: impl Into<String>, tree: impl Into<Arc<Element>>) -> Self {
         let mut b = Bindings::new();
         b.bind_tree(var, tree);
         b
     }
 
-    /// Binds (or rebinds) a tree variable.
-    pub fn bind_tree(&mut self, var: impl Into<String>, tree: Element) {
+    /// Binds (or rebinds) a tree variable.  Trees are reference-counted:
+    /// binding an already-shared tree is a pointer bump, not a copy.
+    pub fn bind_tree(&mut self, var: impl Into<String>, tree: impl Into<Arc<Element>>) {
         let var = var.into();
+        let tree = tree.into();
         if let Some(slot) = self.trees.iter_mut().find(|(v, _)| *v == var) {
             slot.1 = tree;
         } else {
@@ -61,7 +65,10 @@ impl Bindings {
 
     /// Looks up a tree binding.
     pub fn tree(&self, var: &str) -> Option<&Element> {
-        self.trees.iter().find(|(v, _)| v == var).map(|(_, t)| t)
+        self.trees
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, t)| t.as_ref())
     }
 
     /// Looks up a derived value.
@@ -94,7 +101,7 @@ impl Bindings {
     /// variable collision.
     pub fn merge(&mut self, other: &Bindings) {
         for (v, t) in &other.trees {
-            self.bind_tree(v.clone(), t.clone());
+            self.bind_tree(v.clone(), Arc::clone(t));
         }
         for (v, val) in &other.values {
             self.bind_value(v.clone(), val.clone());
@@ -107,7 +114,7 @@ impl Bindings {
         for (var, tree) in &self.trees {
             let mut wrapper = Element::new(BINDING_TAG);
             wrapper.set_attr("var", var.clone());
-            wrapper.push_element(tree.clone());
+            wrapper.push_element((**tree).clone());
             tuple.push_element(wrapper);
         }
         for (var, value) in &self.values {
@@ -127,6 +134,20 @@ impl Bindings {
         if element.name != TUPLE_TAG {
             return Bindings::single(default_var, element.clone());
         }
+        Bindings::decode_tuple(element)
+    }
+
+    /// Zero-copy variant of [`Bindings::from_element`] for items already
+    /// behind an `Arc` (the stream hot path): a bare item binds by bumping
+    /// the reference count instead of deep-cloning the tree.
+    pub fn from_item(data: &Arc<Element>, default_var: &str) -> Bindings {
+        if data.name != TUPLE_TAG {
+            return Bindings::single(default_var, Arc::clone(data));
+        }
+        Bindings::decode_tuple(data)
+    }
+
+    fn decode_tuple(element: &Element) -> Bindings {
         let mut b = Bindings::new();
         for wrapper in element.children_named(BINDING_TAG) {
             let var = wrapper.attr("var").unwrap_or("_").to_string();

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use p2pmon_xmlkit::{Element, ElementBuilder};
+use p2pmon_xmlkit::{Element, ElementBuilder, Name};
 
 /// Strips the URL scheme and trailing slash from a peer reference so that
 /// `http://a.com` and `a.com` denote the same peer throughout the system
@@ -22,17 +22,21 @@ pub fn normalize_peer(raw: &str) -> String {
 }
 
 /// Identifies a stream system-wide: the pair `(PeerId, StreamId)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Both halves are interned [`Name`]s, so a `ChannelId` is `Copy`, hashes as
+/// two integers (the routing tables and per-round target caches key on it
+/// constantly) and still collates alphabetically in `BTreeMap`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChannelId {
     /// The peer that published (or produces) the stream.
-    pub peer: String,
+    pub peer: Name,
     /// The stream identifier, unique at that peer.
-    pub stream: String,
+    pub stream: Name,
 }
 
 impl ChannelId {
-    /// Creates a channel identifier.
-    pub fn new(peer: impl Into<String>, stream: impl Into<String>) -> Self {
+    /// Creates a channel identifier (interning both halves).
+    pub fn new(peer: impl Into<Name>, stream: impl Into<Name>) -> Self {
         ChannelId {
             peer: peer.into(),
             stream: stream.into(),
@@ -99,8 +103,8 @@ impl ChannelSpec {
     /// local id `replica_stream`.
     pub fn replica_declaration(&self, replica_peer: &str, replica_stream: &str) -> Element {
         ElementBuilder::new("InChannel")
-            .attr("PeerId", self.id.peer.clone())
-            .attr("StreamId", self.id.stream.clone())
+            .attr("PeerId", self.id.peer)
+            .attr("StreamId", self.id.stream)
             .attr("ReplicaPeerId", replica_peer)
             .attr("ReplicaStreamId", replica_stream)
             .build()

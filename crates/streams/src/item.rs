@@ -1,8 +1,16 @@
 //! Stream items and events.
 
+use std::sync::Arc;
+
 use p2pmon_xmlkit::Element;
 
 /// One element of a stream: an XML tree plus bookkeeping.
+///
+/// The tree is shared (`Arc`): routing an item through the plan — fan-out to
+/// several consumers, channel multicast, pass-through operators — bumps a
+/// reference count instead of deep-cloning the whole tree at every hop.
+/// Operators that actually rewrite the tree take their own copy
+/// (copy-on-write via [`Arc::make_mut`] or an explicit clone of the root).
 ///
 /// The `timestamp` is a logical clock in milliseconds maintained by the
 /// network simulator (the paper's alerters attach wall-clock timestamps to
@@ -14,17 +22,18 @@ pub struct StreamItem {
     pub seq: u64,
     /// Logical time (milliseconds) at which the item was produced.
     pub timestamp: u64,
-    /// The XML tree carried by the item.
-    pub data: Element,
+    /// The XML tree carried by the item (shared, copy-on-write).
+    pub data: Arc<Element>,
 }
 
 impl StreamItem {
-    /// Creates an item.
-    pub fn new(seq: u64, timestamp: u64, data: Element) -> Self {
+    /// Creates an item.  Accepts an owned tree (wrapped once) or an already
+    /// shared one (no copy at all).
+    pub fn new(seq: u64, timestamp: u64, data: impl Into<Arc<Element>>) -> Self {
         StreamItem {
             seq,
             timestamp,
-            data,
+            data: data.into(),
         }
     }
 

@@ -8,14 +8,21 @@
 //! memory footprint through [`Operator::state_size`], which feeds the paper's
 //! "garbage collection for stateful processors" future-work experiment (E9).
 
+use std::sync::Arc;
+
 use crate::item::StreamItem;
 use p2pmon_xmlkit::Element;
 
 /// The result of delivering one item (or an end-of-stream) to an operator.
+///
+/// Output trees are shared (`Arc`): a pass-through operator forwards its
+/// input's tree for the price of a reference-count bump, and the runtime fans
+/// one output out to taps, routes and network sends without ever deep-cloning
+/// it.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OperatorOutput {
     /// Output trees produced in response (possibly empty).
-    pub items: Vec<Element>,
+    pub items: Vec<Arc<Element>>,
     /// True when the operator's own output stream is now finished.
     pub eos: bool,
 }
@@ -26,21 +33,21 @@ impl OperatorOutput {
         OperatorOutput::default()
     }
 
-    /// A single output tree.
-    pub fn one(item: Element) -> Self {
+    /// A single output tree (owned or already shared).
+    pub fn one(item: impl Into<Arc<Element>>) -> Self {
         OperatorOutput {
-            items: vec![item],
+            items: vec![item.into()],
             eos: false,
         }
     }
 
     /// Several output trees.
-    pub fn many(items: Vec<Element>) -> Self {
+    pub fn many(items: Vec<Arc<Element>>) -> Self {
         OperatorOutput { items, eos: false }
     }
 
     /// End of the output stream (optionally with final items).
-    pub fn finished(items: Vec<Element>) -> Self {
+    pub fn finished(items: Vec<Arc<Element>>) -> Self {
         OperatorOutput { items, eos: true }
     }
 }

@@ -7,6 +7,7 @@
 //! and emit a summary tree per group when the window closes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use p2pmon_xmlkit::{Element, ElementBuilder, Value, XPath};
 
@@ -189,7 +190,12 @@ impl Operator for Group {
         self.groups.entry(key).or_default().add(measure);
         self.items_in_window += 1;
         if self.items_in_window >= self.spec.window_items {
-            OperatorOutput::many(self.summarize(item.timestamp))
+            OperatorOutput::many(
+                self.summarize(item.timestamp)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect(),
+            )
         } else {
             OperatorOutput::none()
         }
@@ -202,7 +208,7 @@ impl Operator for Group {
         } else {
             self.summarize(0)
         };
-        OperatorOutput::finished(items)
+        OperatorOutput::finished(items.into_iter().map(Arc::new).collect())
     }
 
     fn state_size(&self) -> usize {

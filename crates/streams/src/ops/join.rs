@@ -13,6 +13,7 @@
 //! as future work: expired trees are dropped eagerly on every insertion.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use p2pmon_xmlkit::{Element, XPath};
 
@@ -125,15 +126,15 @@ impl Default for Window {
 /// One side's history: items indexed by join key.
 #[derive(Debug, Clone, Default)]
 struct History {
-    /// key → (seq, timestamp, element)
-    index: HashMap<String, Vec<(u64, u64, Element)>>,
+    /// key → (seq, timestamp, shared element)
+    index: HashMap<String, Vec<(u64, u64, Arc<Element>)>>,
     /// Insertion order for count-based eviction: (key, seq).
     order: Vec<(String, u64)>,
     bytes: usize,
 }
 
 impl History {
-    fn insert(&mut self, key: String, seq: u64, timestamp: u64, element: Element) {
+    fn insert(&mut self, key: String, seq: u64, timestamp: u64, element: Arc<Element>) {
         self.bytes += element.byte_size();
         self.index
             .entry(key.clone())
@@ -204,7 +205,7 @@ impl History {
             .sum();
     }
 
-    fn probe(&self, key: &str) -> &[(u64, u64, Element)] {
+    fn probe(&self, key: &str) -> &[(u64, u64, Arc<Element>)] {
         self.index.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 }
@@ -292,17 +293,14 @@ impl Operator for Join {
         } else {
             &self.spec.right_var
         };
-        let own_bindings = Bindings::from_element(&item.data, own_var);
-        let own_tree = match own_bindings.tree(own_var) {
-            Some(t) => t.clone(),
-            None => item.data.clone(),
-        };
+        let own_bindings = Bindings::from_item(&item.data, own_var);
+        let own_tree: &Element = own_bindings.tree(own_var).unwrap_or(&item.data);
         let extractor = if port == 0 {
             &self.spec.left_key
         } else {
             &self.spec.right_key
         };
-        let key = match extractor.extract(&own_tree) {
+        let key = match extractor.extract(own_tree) {
             Some(k) => k,
             None => return OperatorOutput::none(),
         };
@@ -318,7 +316,7 @@ impl Operator for Join {
                     self.make_pair(candidate, &item.data)
                 };
                 if let Some(p) = pair {
-                    outputs.push(p);
+                    outputs.push(Arc::new(p));
                 }
             }
         }

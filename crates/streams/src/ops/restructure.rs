@@ -56,7 +56,7 @@ impl Operator for Restructure {
     }
 
     fn on_item(&mut self, _port: usize, item: &StreamItem) -> OperatorOutput {
-        let bindings = Bindings::from_element(&item.data, &self.default_var);
+        let bindings = Bindings::from_item(&item.data, &self.default_var);
         self.produced += 1;
         OperatorOutput::one(self.template.instantiate(&bindings))
     }

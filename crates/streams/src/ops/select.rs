@@ -154,7 +154,7 @@ impl Select {
         if self.conditions.is_empty() {
             return true;
         }
-        let mut bindings = Bindings::from_element(&item.data, &self.var);
+        let mut bindings = Bindings::from_item(&item.data, &self.var);
         for d in &self.derived {
             if let Some(v) = d.eval(&bindings) {
                 bindings.bind_value(d.var.clone(), v);

@@ -26,6 +26,12 @@
 //!   *shapes* (duplicates differ only in their sink), plus matching traffic;
 //!   the stream-reuse workload (E7), where reuse-on deployments collapse
 //!   onto the shapes' shared live streams.
+//! * [`MassiveStorm`] — the scale tier: thousands of subscriptions with
+//!   zipf-skewed shape popularity over a clustered hub topology that *grows
+//!   with the subscription count*, the P2P scaling story of the paper —
+//!   adding subscriptions adds monitored peers, so per-peer (and therefore
+//!   per-alert) load stays bounded while definition lookups route through
+//!   the real Chord overlay.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -629,7 +635,7 @@ impl OverlappingStorm {
         for (i, from) in self.consumer_peers.iter().enumerate() {
             for (j, to) in self.consumer_peers.iter().enumerate() {
                 if i != j && i / self.peers_per_cluster == j / self.peers_per_cluster {
-                    links.insert((from.clone(), to.clone()), self.intra_cluster_ms);
+                    links.insert((from.into(), to.into()), self.intra_cluster_ms);
                 }
             }
         }
@@ -705,6 +711,251 @@ impl OverlappingStorm {
     }
 }
 
+/// The **scale tier**: `n` subscriptions at 1k/4k/10k over a clustered hub
+/// topology sized from `n` itself, with **zipf-skewed shape popularity**.
+///
+/// The paper's scaling argument is peer-to-peer: a bigger monitored system
+/// brings more peers, and the monitoring load spreads with it.  This
+/// workload reproduces that trajectory — the hub count grows linearly with
+/// the subscription count (`n / subs_per_hub` hubs in clusters of
+/// [`MassiveStorm::hubs_per_cluster`]), each hub carries a bounded set of
+/// shapes, and subscription popularity over the shapes follows a zipf law
+/// (a few shapes have very many duplicates, most have few).  Duplicates of
+/// one shape differ only in their sink, so stream reuse collapses them onto
+/// shared live channels; the popular head of the zipf distribution is
+/// exactly where reuse pays.  Each cluster has one manager peer
+/// ([`MassiveStorm::manager_of`]) submitting its hubs' subscriptions, and
+/// the monitor's Stream Definition Database routes every definition publish
+/// and lookup through a Chord overlay sized to the peer count
+/// ([`MassiveStorm::dht_nodes`]).
+#[derive(Debug, Clone)]
+pub struct MassiveStorm {
+    /// Monitored hub peers, cluster-major: `c<k>-hub<j>.net`.
+    pub monitored_peers: Vec<String>,
+    /// Hubs per cluster (cluster of hub `h` is `h / hubs_per_cluster`).
+    pub hubs_per_cluster: usize,
+    /// Distinct subscription shapes; shape `k` watches hub `k % hubs`.
+    pub shapes: usize,
+    /// Zipf exponent of the shape-popularity distribution.
+    pub zipf_exponent: f64,
+    /// The callee every subscription's filter pins.
+    pub service: String,
+    /// Method vocabulary; shape `k` singles out `methods[k % len]`.
+    pub methods: Vec<String>,
+    /// Every `pattern_every`-th shape adds the `$c//detail` tree pattern.
+    pub pattern_every: usize,
+    /// Every `residual_every`-th shape adds a LET-derived duration residual.
+    pub residual_every: usize,
+    /// Latency threshold for the residual shapes (ms).
+    pub slow_threshold_ms: u64,
+    /// Fraction of generated calls slower than the threshold.
+    pub slow_fraction: f64,
+    /// Fraction of generated calls carrying a `<detail>` body element.
+    pub detail_fraction: f64,
+    /// Expected latency between peers of the same cluster (ms).
+    pub intra_cluster_ms: u64,
+    /// Expected latency of every other link (ms).
+    pub cross_cluster_ms: u64,
+    /// Cumulative zipf distribution over the shapes (precomputed).
+    zipf_cdf: Vec<f64>,
+    seed: u64,
+    rng: StdRng,
+    next_id: u64,
+    clock: u64,
+}
+
+impl MassiveStorm {
+    /// Subscriptions hosted per hub on average — the constant that makes
+    /// per-peer load independent of the total subscription count.
+    pub const SUBS_PER_HUB: usize = 64;
+    /// Distinct shapes per hub.
+    pub const SHAPES_PER_HUB: usize = 8;
+
+    /// A storm sized for `n_subs` subscriptions: `max(1, n/64)` hubs in
+    /// clusters of 8, `8` shapes per hub, zipf exponent 1.0.
+    pub fn sized(seed: u64, n_subs: usize) -> Self {
+        let hubs = (n_subs / Self::SUBS_PER_HUB).max(1);
+        let hubs_per_cluster = 8usize.min(hubs);
+        // Round up to whole clusters.
+        let clusters = hubs.div_ceil(hubs_per_cluster);
+        let hubs = clusters * hubs_per_cluster;
+        let shapes = hubs * Self::SHAPES_PER_HUB;
+        let zipf_exponent = 1.0;
+        let mut weights: Vec<f64> = (1..=shapes)
+            .map(|k| 1.0 / (k as f64).powf(zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        MassiveStorm {
+            monitored_peers: (0..clusters)
+                .flat_map(|c| (0..hubs_per_cluster).map(move |h| format!("c{c}-hub{h}.net")))
+                .collect(),
+            hubs_per_cluster,
+            shapes,
+            zipf_exponent,
+            service: "http://backend.net".into(),
+            methods: (0..Self::SHAPES_PER_HUB)
+                .map(|i| format!("Method{i}"))
+                .collect(),
+            pattern_every: 3,
+            residual_every: 4,
+            slow_threshold_ms: 10,
+            slow_fraction: 0.3,
+            detail_fraction: 0.5,
+            intra_cluster_ms: 5,
+            cross_cluster_ms: 100,
+            zipf_cdf: weights,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.monitored_peers.len() / self.hubs_per_cluster
+    }
+
+    /// The manager peers, one per cluster: `c<k>-mgr.org`.
+    pub fn manager_peers(&self) -> Vec<String> {
+        (0..self.clusters())
+            .map(|c| format!("c{c}-mgr.org"))
+            .collect()
+    }
+
+    /// A Chord overlay sized to the physical peer count (hubs + managers):
+    /// the monitor's definition lookups route through it, so lookup hops
+    /// must stay logarithmic in this number.
+    pub fn dht_nodes(&self) -> usize {
+        self.monitored_peers.len() + self.clusters()
+    }
+
+    /// The shape of subscription `i`: a zipf draw, derived deterministically
+    /// from the storm seed and `i` alone (the workload is a pure function of
+    /// its seed).
+    pub fn shape_of(&self, i: usize) -> usize {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+        );
+        let u: f64 = rng.gen();
+        self.zipf_cdf
+            .partition_point(|&c| c < u)
+            .min(self.shapes - 1)
+    }
+
+    /// The hub shape `k` watches.
+    pub fn hub_of_shape(&self, shape: usize) -> &str {
+        &self.monitored_peers[shape % self.monitored_peers.len()]
+    }
+
+    /// The manager peer subscription `i` is submitted at: the manager of the
+    /// cluster its watched hub lives in — submissions are cluster-local.
+    pub fn manager_of(&self, i: usize) -> String {
+        let hub = self.shape_of(i) % self.monitored_peers.len();
+        format!("c{}-mgr.org", hub / self.hubs_per_cluster)
+    }
+
+    /// The clustered latency model (same-cluster links are close, every
+    /// other link is far).
+    pub fn latency_model(&self) -> p2pmon_net::LatencyModel {
+        let mut links = std::collections::HashMap::new();
+        let mut cluster_peers: Vec<Vec<String>> = vec![Vec::new(); self.clusters()];
+        for (h, hub) in self.monitored_peers.iter().enumerate() {
+            cluster_peers[h / self.hubs_per_cluster].push(hub.clone());
+        }
+        for (c, members) in cluster_peers.iter_mut().enumerate() {
+            members.push(format!("c{c}-mgr.org"));
+        }
+        for members in &cluster_peers {
+            for (i, from) in members.iter().enumerate() {
+                for (j, to) in members.iter().enumerate() {
+                    if i != j {
+                        links.insert((from.into(), to.into()), self.intra_cluster_ms);
+                    }
+                }
+            }
+        }
+        p2pmon_net::LatencyModel::PerLink {
+            links,
+            default: self.cross_cluster_ms,
+        }
+    }
+
+    /// The P2PML text of subscription `i`.  Subscriptions with the same
+    /// shape differ only in their sink address, so stream reuse collapses
+    /// the zipf head onto shared live streams.
+    pub fn subscription(&self, i: usize) -> String {
+        let shape = self.shape_of(i);
+        let peer = self.hub_of_shape(shape);
+        let method = &self.methods[shape % self.methods.len()];
+        let with_pattern = self.pattern_every > 0 && shape.is_multiple_of(self.pattern_every);
+        let with_residual = self.residual_every > 0 && shape.is_multiple_of(self.residual_every);
+        let mut text = format!("for $c in outCOM(<p>{peer}</p>)\n");
+        if with_residual {
+            text.push_str("let $d := $c.responseTimestamp - $c.callTimestamp\n");
+        }
+        text.push_str(&format!(
+            "where $c.callee = \"{}\" and $c.callMethod = \"{method}\"",
+            self.service
+        ));
+        if with_pattern {
+            text.push_str(" and $c//detail");
+        }
+        if with_residual {
+            text.push_str(&format!(" and $d > {}", self.slow_threshold_ms));
+        }
+        text.push_str(&format!(
+            "\nreturn <hit shape=\"g{shape}\" method=\"{{$c.callMethod}}\"/>\nby email \"watch{i}@example.org\";"
+        ));
+        text
+    }
+
+    /// The texts of subscriptions `0..n`.
+    pub fn subscriptions(&self, n: usize) -> Vec<String> {
+        (0..n).map(|i| self.subscription(i)).collect()
+    }
+
+    /// The next SOAP call of the matching traffic: a uniformly chosen hub
+    /// calls the backend with a uniformly chosen method — load is spread
+    /// over the whole (growing) hub population, which is what keeps the
+    /// average per-alert cost flat as the system scales.
+    pub fn next_call(&mut self) -> SoapCall {
+        let method = self.methods[self.rng.gen_range(0..self.methods.len())].clone();
+        let peer = self.monitored_peers[self.rng.gen_range(0..self.monitored_peers.len())].clone();
+        self.clock += self.rng.gen_range(1..=20u64);
+        let slow = self.rng.gen::<f64>() < self.slow_fraction;
+        let latency = if slow {
+            self.slow_threshold_ms + self.rng.gen_range(1..=30u64)
+        } else {
+            self.rng.gen_range(1..=self.slow_threshold_ms.max(2) - 1)
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut call = SoapCall::new(
+            id,
+            format!("http://{peer}"),
+            self.service.clone(),
+            method,
+            self.clock,
+            self.clock + latency,
+        );
+        if self.rng.gen::<f64>() < self.detail_fraction {
+            call = call.with_body(Element::text_element("detail", "payload"));
+        }
+        call
+    }
+
+    /// A batch of calls.
+    pub fn calls(&mut self, n: usize) -> Vec<SoapCall> {
+        (0..n).map(|_| self.next_call()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +977,101 @@ mod tests {
         );
         assert!(calls_a.iter().all(|c| a.clients.contains(&c.caller)));
         assert!(calls_a.windows(2).all(|w| w[0].call_id < w[1].call_id));
+    }
+
+    #[test]
+    fn massive_storm_topology_grows_with_the_subscription_count() {
+        let small = MassiveStorm::sized(1, 1_000);
+        // 1000/64 = 15 hubs, rounded up to 2 clusters of 8.
+        assert_eq!(small.monitored_peers.len(), 16);
+        assert_eq!(small.clusters(), 2);
+        assert_eq!(small.shapes, 16 * MassiveStorm::SHAPES_PER_HUB);
+        assert_eq!(small.dht_nodes(), 16 + 2);
+
+        let large = MassiveStorm::sized(1, 10_000);
+        // 10000/64 = 156 hubs, rounded up to 20 clusters of 8.
+        assert_eq!(large.monitored_peers.len(), 160);
+        assert_eq!(large.clusters(), 20);
+        assert_eq!(large.dht_nodes(), 160 + 20);
+
+        // Degenerate sizes still produce a whole topology.
+        let tiny = MassiveStorm::sized(1, 1);
+        assert_eq!(tiny.monitored_peers.len(), 1);
+        assert_eq!(tiny.clusters(), 1);
+        assert_eq!(tiny.manager_peers(), vec!["c0-mgr.org".to_string()]);
+    }
+
+    #[test]
+    fn massive_storm_shapes_are_deterministic_and_zipf_skewed() {
+        let storm = MassiveStorm::sized(7, 4_000);
+        let again = MassiveStorm::sized(7, 4_000);
+        let shapes: Vec<usize> = (0..4_000).map(|i| storm.shape_of(i)).collect();
+        assert_eq!(
+            shapes,
+            (0..4_000).map(|i| again.shape_of(i)).collect::<Vec<_>>(),
+            "shape assignment is a pure function of the seed"
+        );
+        // Zipf head: the most popular shape draws far more subscriptions
+        // than a uniform split (4000 / 512 shapes ≈ 8) would.
+        let mut counts = vec![0usize; storm.shapes];
+        for &s in &shapes {
+            counts[s] += 1;
+        }
+        let head = *counts.iter().max().unwrap();
+        assert!(head > 50, "zipf head should dominate, got {head}");
+        assert!(counts[0] > counts[storm.shapes / 2]);
+    }
+
+    #[test]
+    fn massive_storm_subscriptions_share_shape_text_and_stay_cluster_local() {
+        let storm = MassiveStorm::sized(3, 1_000);
+        // Two subscriptions of the same shape are identical modulo the sink,
+        // so stream reuse collapses them onto one physical stream.
+        let (i, j) = {
+            let mut found = None;
+            'outer: for a in 0..200 {
+                for b in (a + 1)..200 {
+                    if storm.shape_of(a) == storm.shape_of(b) {
+                        found = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("zipf skew guarantees a shared shape in 200 draws")
+        };
+        let body = |i: usize| storm.subscription(i).replace(&format!("watch{i}"), "watch");
+        assert_eq!(body(i), body(j), "same shape, same text modulo sink");
+        // The submitting manager is in the same cluster as the watched hub.
+        let hub = storm.hub_of_shape(storm.shape_of(i));
+        let cluster: String = storm.manager_of(i);
+        let hub_cluster = hub
+            .strip_prefix('c')
+            .and_then(|rest| rest.split('-').next())
+            .expect("hub names are c<k>-hub<j>.net");
+        assert_eq!(cluster, format!("c{hub_cluster}-mgr.org"));
+        // Subscription text watches that hub.
+        assert!(storm.subscription(i).contains(hub));
+    }
+
+    #[test]
+    fn massive_storm_calls_target_monitored_hubs() {
+        let mut storm = MassiveStorm::sized(5, 1_000);
+        let calls = storm.calls(300);
+        assert!(calls.iter().all(|c| {
+            c.caller
+                .strip_prefix("http://")
+                .is_some_and(|peer| storm.monitored_peers.iter().any(|hub| hub == peer))
+        }));
+        let slow = calls
+            .iter()
+            .filter(|c| c.duration() > storm.slow_threshold_ms)
+            .count();
+        assert!(
+            slow > 40 && slow < 160,
+            "slow fraction ≈ 30%, got {slow}/300"
+        );
+        let mut replay = MassiveStorm::sized(5, 1_000);
+        assert_eq!(calls, replay.calls(300), "same seed, same traffic");
     }
 
     #[test]

@@ -95,6 +95,161 @@ pub fn interned_count() -> usize {
     table().read().expect("interner poisoned").names.len()
 }
 
+/// An interned *identity* string: a peer name, a stream/channel id, a
+/// function name.  `Name` wraps a [`Symbol`] so equality and hashing are
+/// single-integer operations — the currency of the routing tables, the
+/// network inboxes and the per-peer maps on the dispatch hot path — while
+/// **ordering compares the underlying strings**: every `BTreeMap`/`BTreeSet`
+/// keyed by `Name` iterates in the same deterministic, alphabetical order a
+/// `String`-keyed map would, independent of interning order (which varies
+/// across processes and test schedules).
+///
+/// `Name` derefs to `str`, so read-only call sites (`&name` where `&str` is
+/// expected, `name.starts_with(..)`, `format!("{name}")`) compile unchanged.
+#[derive(Clone, Copy)]
+pub struct Name(Symbol);
+
+impl Name {
+    /// Interns (or looks up) `raw` and returns its identity.
+    pub fn new(raw: &str) -> Self {
+        Name(intern(raw))
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        resolve(self.0)
+    }
+
+    /// The underlying symbol (for dense per-symbol tables).
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        // Equal symbols ⇔ equal strings (the interner is injective), so this
+        // agrees with the string-comparing `Ord` below.
+        self.0 == other.0
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::ops::Deref for Name {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Debug for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl std::fmt::Display for Name {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Name {
+    fn from(raw: &str) -> Self {
+        Name::new(raw)
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(name: &Name) -> Self {
+        *name
+    }
+}
+
+impl From<&String> for Name {
+    fn from(raw: &String) -> Self {
+        Name::new(raw)
+    }
+}
+
+impl From<String> for Name {
+    fn from(raw: String) -> Self {
+        Name::new(&raw)
+    }
+}
+
+impl From<Name> for String {
+    fn from(name: Name) -> Self {
+        name.as_str().to_string()
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for &str {
+    fn eq(&self, other: &Name) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for String {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +282,38 @@ mod tests {
         let a = intern("zzz-order-probe-first");
         let b = intern("aaa-order-probe-second");
         assert!(a.0 < b.0);
+    }
+
+    #[test]
+    fn names_order_alphabetically_regardless_of_interning_time() {
+        // Interned in reverse alphabetical order on purpose.
+        let z = Name::new("zzz-name-probe");
+        let a = Name::new("aaa-name-probe");
+        assert!(a < z, "Name orders by string, not by interning time");
+        assert_eq!(a, Name::new("aaa-name-probe"));
+        assert_ne!(a, z);
+        assert_eq!(a, "aaa-name-probe");
+        assert_eq!("aaa-name-probe", a);
+        assert_eq!(a.to_string(), "aaa-name-probe");
+        // Deref: &Name coerces to &str.
+        fn takes_str(s: &str) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_str(&a), 14);
+    }
+
+    #[test]
+    fn names_collate_like_strings_in_btreemaps() {
+        use std::collections::BTreeSet;
+        let raw = ["hub.net", "a.com", "manager.org", "b.com"];
+        let strings: Vec<String> = {
+            let set: BTreeSet<String> = raw.iter().map(|s| s.to_string()).collect();
+            set.into_iter().collect()
+        };
+        let names: Vec<String> = {
+            let set: BTreeSet<Name> = raw.iter().map(|s| Name::new(s)).collect();
+            set.into_iter().map(String::from).collect()
+        };
+        assert_eq!(strings, names);
     }
 }

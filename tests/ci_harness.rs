@@ -50,3 +50,21 @@ fn committed_filter_trajectory_passes_the_filter_gate() {
         assert_success(output, "ci/check_bench.py filter");
     }
 }
+
+#[test]
+fn committed_scale_trajectory_passes_the_scale_gate() {
+    // The committed BENCH_scale.json must show sublinear per-alert growth
+    // over the MassiveStorm: the 10k tier under 3x the 1k tier.
+    if let Some(output) = run_harness(&["scale"]) {
+        assert_success(output, "ci/check_bench.py scale");
+    }
+}
+
+#[test]
+fn committed_scale_trajectory_passes_the_dht_gate() {
+    // Definition lookups must ride the Chord overlay within the log2(nodes)
+    // hop bound at every tier — and must actually be exercised.
+    if let Some(output) = run_harness(&["dht"]) {
+        assert_success(output, "ci/check_bench.py dht");
+    }
+}

@@ -22,6 +22,10 @@ the workspace root:
                                           # growth over the MassiveStorm)
     python3 ci/check_bench.py dht         # definition lookups stay within the
                                           # Chord log2(nodes) hop bound
+    python3 ci/check_bench.py chaos       # every chaos scenario converges to
+                                          # the fault-free oracle with zero
+                                          # unaccounted or double-delivered
+                                          # alerts and a deterministic replay
     python3 ci/check_bench.py all         # schema + every gate
     python3 ci/check_bench.py --self-test # run the built-in fixtures
 
@@ -91,6 +95,22 @@ REQUIRED = {
             "results_delivered",
             "dht_avg_hops",
             "dht_operations",
+        ],
+    },
+    "chaos": {
+        "": ["results"],
+        "results": [
+            "scenario",
+            "faults",
+            "delivered",
+            "oracle_delivered",
+            "missing",
+            "double_delivered",
+            "dropped_messages",
+            "unaccounted",
+            "converged",
+            "replay_deterministic",
+            "digest",
         ],
     },
 }
@@ -287,6 +307,70 @@ def gate_dht(data):
             )
 
 
+CHAOS_MIN_SCENARIOS = 6
+
+
+def gate_chaos(data):
+    """Every chaos scenario must uphold the conservation invariants: the
+    faulty run converges to the fault-free oracle after heal, never
+    delivers a sink item more often than the oracle, explains every lost
+    item with a recorded network drop (zero unaccounted), and replays
+    bit-identically from its seed.  The suite must keep covering at least
+    the six built-in fault families."""
+    rows = data.get("results", [])
+    if len(rows) < CHAOS_MIN_SCENARIOS:
+        raise GateError(
+            f"BENCH_chaos.json covers only {len(rows)} scenarios "
+            f"(need >= {CHAOS_MIN_SCENARIOS}) — a fault family lost its coverage"
+        )
+    names = [row["scenario"] for row in rows]
+    if len(set(names)) != len(names):
+        raise GateError(f"duplicate scenario rows in BENCH_chaos.json: {names}")
+    for row in rows:
+        print(
+            f"chaos [{row['scenario']}]: {row['faults']} faults, "
+            f"{row['delivered']}/{row['oracle_delivered']} delivered, "
+            f"{row['missing']} missing vs {row['dropped_messages']} dropped, "
+            f"converged {row['converged']}, replay {row['replay_deterministic']}"
+        )
+        if not row["converged"]:
+            raise GateError(
+                f"scenario '{row['scenario']}' did not converge to the "
+                f"fault-free oracle after heal: {row}"
+            )
+        if not row["replay_deterministic"]:
+            raise GateError(
+                f"scenario '{row['scenario']}' did not replay bit-identically "
+                f"from its seed: {row}"
+            )
+        if row["double_delivered"] != 0:
+            raise GateError(
+                f"scenario '{row['scenario']}' double-delivered "
+                f"{row['double_delivered']} sink items: {row}"
+            )
+        if row["unaccounted"] != 0:
+            raise GateError(
+                f"scenario '{row['scenario']}' lost {row['unaccounted']} sink "
+                f"items with no recorded network drop — alerts are leaking: {row}"
+            )
+        if row["missing"] > 0 and row["dropped_messages"] == 0:
+            raise GateError(
+                f"scenario '{row['scenario']}' reports missing items but a "
+                f"clean drop ledger — the accounting identity broke: {row}"
+            )
+        if row["oracle_delivered"] == 0:
+            raise GateError(
+                f"scenario '{row['scenario']}' drove no traffic through the "
+                f"oracle — the invariants passed vacuously: {row}"
+            )
+    faulted = [row for row in rows if row["dropped_messages"] > 0]
+    if not faulted:
+        raise GateError(
+            "no chaos scenario dropped a single message — the fault schedule "
+            "stopped biting, so the conservation invariants are untested"
+        )
+
+
 def validate_trajectory(bench, data):
     """The schema check for one parsed trajectory: every field a gate reads
     must be present (top-level keys, and per-row fields of each axis)."""
@@ -438,6 +522,42 @@ FIXTURE_SCALE = {
 }
 
 
+def _chaos_row(name, **overrides):
+    row = {
+        "scenario": name,
+        "rounds": 12,
+        "faults": 1,
+        "delivered": 120,
+        "oracle_delivered": 140,
+        "missing": 20,
+        "double_delivered": 0,
+        "dropped_messages": 15,
+        "dropped_peer_down": 15,
+        "dropped_partition": 0,
+        "dropped_random": 0,
+        "unaccounted": 0,
+        "converged": True,
+        "replay_deterministic": True,
+        "digest": 1234567890,
+    }
+    row.update(overrides)
+    return row
+
+
+FIXTURE_CHAOS = {
+    "bench": "chaos",
+    "seed": 17,
+    "results": [
+        _chaos_row("crash-recover", faults=2),
+        _chaos_row("partition-heal", dropped_peer_down=0, dropped_partition=15),
+        _chaos_row("forwarder-flap"),
+        _chaos_row("cluster-failure"),
+        _chaos_row("drop-burst", dropped_peer_down=0, dropped_random=15),
+        _chaos_row("subscription-churn", faults=5),
+    ],
+}
+
+
 def mutated(fixture, axis, field, value, row=0):
     copy = json.loads(json.dumps(fixture))
     copy[axis][row][field] = value
@@ -524,6 +644,40 @@ def self_test():
         gate_dht,
         mutated(FIXTURE_SCALE, "results", "dht_operations", 0),
     )
+    expect_pass("chaos", gate_chaos, FIXTURE_CHAOS)
+    expect_fail(
+        "chaos convergence",
+        gate_chaos,
+        mutated(FIXTURE_CHAOS, "results", "converged", False, row=1),
+    )
+    expect_fail(
+        "chaos replay determinism",
+        gate_chaos,
+        mutated(FIXTURE_CHAOS, "results", "replay_deterministic", False, row=2),
+    )
+    expect_fail(
+        "chaos double delivery",
+        gate_chaos,
+        mutated(FIXTURE_CHAOS, "results", "double_delivered", 3, row=3),
+    )
+    expect_fail(
+        "chaos unaccounted loss",
+        gate_chaos,
+        mutated(FIXTURE_CHAOS, "results", "unaccounted", 7, row=4),
+    )
+    expect_fail(
+        "chaos accounting identity",
+        gate_chaos,
+        mutated(FIXTURE_CHAOS, "results", "dropped_messages", 0, row=5),
+    )
+    shrunk = json.loads(json.dumps(FIXTURE_CHAOS))
+    shrunk["results"] = shrunk["results"][:4]
+    expect_fail("chaos scenario coverage", gate_chaos, shrunk)
+    toothless = json.loads(json.dumps(FIXTURE_CHAOS))
+    for row in toothless["results"]:
+        row["dropped_messages"] = 0
+        row["missing"] = 0
+    expect_fail("chaos faults must bite", gate_chaos, toothless)
     # Schema validation: the good fixtures are complete; a dropped field (as a
     # bench rename or refactor would cause) is reported.
     for bench, fixture in [
@@ -531,6 +685,7 @@ def self_test():
         ("reuse", FIXTURE_REUSE),
         ("filter", FIXTURE_FILTER),
         ("scale", FIXTURE_SCALE),
+        ("chaos", FIXTURE_CHAOS),
     ]:
         problems = validate_trajectory(bench, fixture)
         if problems:
@@ -552,6 +707,7 @@ GATES = {
     "replica": gate_replica,
     "scale": gate_scale,
     "dht": gate_dht,
+    "chaos": gate_chaos,
 }
 # Which trajectory file each gate reads.
 GATE_SOURCE = {
@@ -561,6 +717,7 @@ GATE_SOURCE = {
     "replica": "reuse",
     "scale": "scale",
     "dht": "scale",
+    "chaos": "chaos",
 }
 
 
@@ -569,7 +726,7 @@ def main(argv):
     parser.add_argument(
         "command",
         nargs="?",
-        choices=["schema", "dispatch", "filter", "reuse", "replica", "scale", "dht", "all"],
+        choices=["schema", "dispatch", "filter", "reuse", "replica", "scale", "dht", "chaos", "all"],
         help="the gate to run",
     )
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)

@@ -37,7 +37,9 @@ pub(crate) mod scheduler;
 pub mod sink;
 
 pub use dispatch::DispatchStats;
-pub use monitor::{Monitor, MonitorConfig, SubscriptionHandle, SubscriptionReport};
+pub use monitor::{
+    BookkeepingSnapshot, Monitor, MonitorConfig, SubscriptionHandle, SubscriptionReport,
+};
 pub use peer::PeerHost;
 pub use placement::{
     place, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementStrategy, TaskKind,

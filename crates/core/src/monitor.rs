@@ -128,6 +128,26 @@ pub struct SubscriptionReport {
     pub filter_stats: Vec<(String, FilterStats)>,
 }
 
+/// A structural snapshot of the monitor's live bookkeeping, keyed by origin
+/// identities (see [`Monitor::bookkeeping_snapshot`]).  Two monitors that
+/// processed the same subscribe/unsubscribe history must produce equal
+/// snapshots, whatever faults their networks suffered in between.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BookkeepingSnapshot {
+    /// Live (non-retired) subscriptions.
+    pub subscriptions: usize,
+    /// Operator instances installed across all peer hosts.
+    pub operators: usize,
+    /// Published stream definitions and their reference counts, sorted.
+    pub def_refs: Vec<((String, String), usize)>,
+    /// Live replica declarations as `(origin, replica peer)`, sorted.
+    pub replicas: Vec<((String, String), String)>,
+    /// Channel-consumer registrations rolled up to the consumed stream's
+    /// origin identity (a consumer counts the same whether it rides the
+    /// origin or any replica), sorted.
+    pub consumers_by_origin: Vec<((String, String), usize)>,
+}
+
 pub(crate) struct DeployedSubscription {
     pub manager: String,
     pub placed: PlacedPlan,
@@ -358,6 +378,37 @@ impl Monitor {
         self.network.is_down(&normalize_peer(peer))
     }
 
+    /// Splits the network into isolated groups (see
+    /// [`p2pmon_net::Network::partition`]): cross-group messages are dropped
+    /// and attributed to the partition until [`Monitor::heal_partition`].
+    pub fn partition_peers(&mut self, groups: &[Vec<String>]) {
+        let normalized: Vec<Vec<String>> = groups
+            .iter()
+            .map(|g| g.iter().map(|p| normalize_peer(p)).collect())
+            .collect();
+        let borrowed: Vec<Vec<&str>> = normalized
+            .iter()
+            .map(|g| g.iter().map(String::as_str).collect())
+            .collect();
+        self.network.partition(&borrowed);
+    }
+
+    /// Heals an active partition.
+    pub fn heal_partition(&mut self) {
+        self.network.heal();
+    }
+
+    /// True when a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        self.network.is_partitioned()
+    }
+
+    /// Changes the random message-loss probability mid-run (drop-burst
+    /// fault injection); decisions stay on the seeded network generator.
+    pub fn set_drop_probability(&mut self, probability: f64) {
+        self.network.set_drop_probability(probability);
+    }
+
     // ------------------------------------------------------------------
     // Replica re-publication (Section 5's <InChannel> declarations)
     // ------------------------------------------------------------------
@@ -461,13 +512,96 @@ impl Monitor {
             let old_channel = ChannelId::new(peer.to_string(), entry.replica_stream);
             self.stream_db.retract_replica(&origin.0, &origin.1, peer);
             self.replica_channels.remove(&old_channel);
-            // Subscribers that attached to the retracted replica fall back
-            // to the origin's live channel.
-            let origin_channel = ChannelId::new(origin.0.clone(), origin.1.clone());
-            self.move_channel_consumers(&old_channel, &origin_channel, None);
+            // Subscribers that attached to the retracted replica re-attach
+            // to the closest *surviving* provider of the same origin —
+            // another peer's live replica when one is nearer, the origin
+            // otherwise.
+            self.reattach_orphaned_consumers(&old_channel, origin);
             self.replica_totals.replicas_retracted += 1;
         } else if entry.forwarder == removed {
             self.hand_off_replica_forwarder(&key);
+        }
+    }
+
+    /// Re-attaches every consumer of a just-retracted replica channel to the
+    /// closest surviving provider of the same origin, scored from the
+    /// consumer's own peer (`select_provider`; downed peers and the
+    /// consumer's own dangling declaration are unavailable).  A replica is
+    /// only eligible while its forwarder verifiably still pulls toward the
+    /// origin ([`Monitor::replica_chain_reaches_origin`]); an orphan moved
+    /// earlier in this same sweep counts once re-anchored, so re-attachment
+    /// stays cycle-free — the first orphan (deterministic `(sub, task)`
+    /// order) lands on the origin or an independent live replica, and later
+    /// orphans may chain behind it.
+    fn reattach_orphaned_consumers(&mut self, old_channel: &ChannelId, origin: &(String, String)) {
+        let Some(mut consumers) = self.routing.channel_consumers.remove(old_channel) else {
+            return;
+        };
+        consumers.sort_unstable();
+        for (sub, task, port) in consumers {
+            let consumer_peer = self.subscriptions[sub].placed.tasks[task].peer.clone();
+            let target = {
+                let proximity = |p: &str| {
+                    if self.network.is_down(p) {
+                        return u64::MAX;
+                    }
+                    if p != origin.0 && !self.replica_chain_reaches_origin(origin, p) {
+                        return u64::MAX;
+                    }
+                    if p == consumer_peer {
+                        0
+                    } else {
+                        self.network.expected_latency(&consumer_peer, p)
+                    }
+                };
+                let (p, s) = self
+                    .stream_db
+                    .select_provider(&origin.0, &origin.1, proximity);
+                ChannelId::new(p, s)
+            };
+            if let TaskKind::ChannelSource { channel, .. } =
+                &mut self.subscriptions[sub].placed.tasks[task].kind
+            {
+                *channel = target;
+            }
+            self.routing
+                .channel_consumers
+                .entry(target)
+                .or_default()
+                .push((sub, task, port));
+        }
+    }
+
+    /// True when the replica declared at `replica_peer` for `origin` still
+    /// pulls items toward the origin: its forwarder's channel subscription,
+    /// followed transitively through other live replicas of the same origin,
+    /// terminates at the origin channel.  A forwarder still pointed at a
+    /// retracted channel (an orphan not yet re-attached) — or any cycle —
+    /// fails the walk, which is what makes orphan re-attachment safe.
+    fn replica_chain_reaches_origin(&self, origin: &(String, String), replica_peer: &str) -> bool {
+        let origin_channel = ChannelId::new(origin.0.clone(), origin.1.clone());
+        let mut peer = replica_peer.to_string();
+        let mut visited = BTreeSet::new();
+        loop {
+            if !visited.insert(peer.clone()) {
+                return false;
+            }
+            let Some(entry) = self.replica_refs.get(&(origin.clone(), peer.clone())) else {
+                return false;
+            };
+            let (s, t) = entry.forwarder;
+            let TaskKind::ChannelSource { channel, .. } =
+                &self.subscriptions[s].placed.tasks[t].kind
+            else {
+                return false;
+            };
+            if *channel == origin_channel {
+                return true;
+            }
+            match self.replica_channels.get(channel) {
+                Some(o) if o == origin => peer = channel.peer.into(),
+                _ => return false,
+            }
         }
     }
 
@@ -951,6 +1085,64 @@ impl Monitor {
         totals.messages_saved = self.network.stats().multicast_saved_messages;
         totals.replicas = self.replica_stats();
         totals
+    }
+
+    /// The channels each of the subscription's `ChannelSource` tasks is
+    /// *currently* attached to, as `(peer, stream)` pairs in task order.
+    /// Unlike the deploy-time [`ReuseReport::subscribed_channels`] snapshot,
+    /// this reflects later replica retractions, hand-offs and orphan
+    /// re-attachments.
+    pub fn subscribed_providers(&self, handle: &SubscriptionHandle) -> Vec<(String, String)> {
+        self.subscriptions
+            .get(handle.0)
+            .map(|s| {
+                s.placed
+                    .tasks
+                    .iter()
+                    .filter_map(|t| match &t.kind {
+                        TaskKind::ChannelSource { channel, .. } => {
+                            Some((channel.peer.into(), channel.stream.into()))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// A structural snapshot of the monitor's live routing / reuse / replica
+    /// bookkeeping, keyed entirely by *origin* identities so it is invariant
+    /// under which concrete provider (origin or any live replica) serves
+    /// each consumer.  The chaos harness compares a faulted run's snapshot
+    /// against a fault-free oracle's after heal: faults may reshuffle
+    /// providers, but must never leak or lose a reference.
+    pub fn bookkeeping_snapshot(&self) -> BookkeepingSnapshot {
+        let mut def_refs: Vec<((String, String), usize)> = self
+            .def_refs
+            .iter()
+            .map(|(key, entry)| (key.clone(), entry.refs))
+            .collect();
+        def_refs.sort();
+        let mut replicas: Vec<((String, String), String)> = self
+            .replica_refs
+            .keys()
+            .map(|(origin, peer)| (origin.clone(), peer.clone()))
+            .collect();
+        replicas.sort();
+        let mut by_origin: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (channel, consumers) in &self.routing.channel_consumers {
+            if consumers.is_empty() {
+                continue;
+            }
+            *by_origin.entry(self.channel_origin(channel)).or_default() += consumers.len();
+        }
+        BookkeepingSnapshot {
+            subscriptions: self.subscription_count(),
+            operators: self.operator_count(),
+            def_refs,
+            replicas,
+            consumers_by_origin: by_origin.into_iter().collect(),
+        }
     }
 
     /// A deployment / execution report for a subscription.

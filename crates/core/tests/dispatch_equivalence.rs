@@ -299,4 +299,156 @@ proptest! {
             origin_out(&replica_off)
         );
     }
+
+    /// Churn under faults: random interleavings of subscribe, unsubscribe,
+    /// cluster crash/recover, cluster-aligned partition/heal and traffic
+    /// processing preserve the equivalence chain — engine ≡ naive dispatch,
+    /// replica-on ≡ replica-off, and any worker count ≡ sequential.  Faults
+    /// are *cluster-granular* by construction: replica chains never leave a
+    /// cluster (ties go to the origin), so failing or splitting whole
+    /// clusters loses the same items under every variant, and the sinks must
+    /// stay byte-identical after the final heal.
+    #[test]
+    fn churn_under_faults_preserves_the_equivalence_chain(
+        seed in 0u64..10_000,
+        shapes in 1usize..4,
+        clusters in 2usize..4,
+        per_cluster in 1usize..4,
+        n_base in 1usize..10,
+        workers in 2usize..5,
+        ops in proptest::collection::vec((0u8..6, 0usize..16), 1..12),
+    ) {
+        let storm = OverlappingStorm::clustered(seed, shapes, clusters, per_cluster);
+        let cluster_peers = |c: usize| -> Vec<String> {
+            (0..per_cluster).map(|p| format!("c{c}-peer{p}.org")).collect()
+        };
+        let run = |naive_dispatch: bool, enable_replicas: bool, workers: usize|
+            -> (Monitor, Vec<Option<SubscriptionHandle>>) {
+            let mut monitor = Monitor::new(MonitorConfig {
+                naive_dispatch,
+                enable_replicas,
+                workers,
+                network: p2pmon_net::NetworkConfig {
+                    latency: storm.latency_model(),
+                    ..p2pmon_net::NetworkConfig::default()
+                },
+                ..MonitorConfig::default()
+            });
+            monitor.add_peer("backend.net");
+            let mut traffic = storm.clone();
+            let mut handles: Vec<Option<SubscriptionHandle>> = Vec::new();
+            let mut next_sub = 0usize;
+            let subscribe = |monitor: &mut Monitor,
+                                 handles: &mut Vec<Option<SubscriptionHandle>>,
+                                 next_sub: &mut usize| {
+                let i = *next_sub;
+                *next_sub += 1;
+                let handle = monitor
+                    .submit(storm.manager_of(i), &storm.subscription(i))
+                    .expect("churn storm deploys");
+                handles.push(Some(handle));
+            };
+            for _ in 0..n_base {
+                subscribe(&mut monitor, &mut handles, &mut next_sub);
+            }
+            let mut downed: Vec<usize> = Vec::new();
+            for &(op, arg) in &ops {
+                match op {
+                    0 => subscribe(&mut monitor, &mut handles, &mut next_sub),
+                    1 => {
+                        let live: Vec<usize> = handles
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, h)| h.as_ref().map(|_| i))
+                            .collect();
+                        if !live.is_empty() {
+                            let victim = live[arg % live.len()];
+                            let handle = handles[victim].take().expect("victim was live");
+                            monitor.unsubscribe(&handle);
+                        }
+                    }
+                    2 => {
+                        let c = arg % clusters;
+                        if !downed.contains(&c) {
+                            downed.push(c);
+                            for peer in cluster_peers(c) {
+                                monitor.fail_peer(&peer);
+                            }
+                        }
+                    }
+                    3 => {
+                        for c in downed.drain(..) {
+                            for peer in cluster_peers(c) {
+                                monitor.recover_peer(&peer);
+                            }
+                        }
+                    }
+                    4 => {
+                        let groups: Vec<Vec<String>> =
+                            (0..clusters).map(cluster_peers).collect();
+                        monitor.partition_peers(&groups);
+                    }
+                    _ => monitor.heal_partition(),
+                }
+                for call in traffic.calls(3) {
+                    monitor.inject_soap_call(&call);
+                }
+                monitor.run_until_idle();
+            }
+            for c in downed.drain(..) {
+                for peer in cluster_peers(c) {
+                    monitor.recover_peer(&peer);
+                }
+            }
+            monitor.heal_partition();
+            for call in traffic.calls(10) {
+                monitor.inject_soap_call(&call);
+            }
+            monitor.run_until_idle();
+            (monitor, handles)
+        };
+
+        let (engine, engine_h) = run(false, true, workers);
+        let (sequential, sequential_h) = run(false, true, 1);
+        let (no_replica, no_replica_h) = run(false, false, workers);
+        let (naive, naive_h) = run(true, false, workers);
+
+        for (i, handle) in engine_h.iter().enumerate() {
+            let Some(handle) = handle else {
+                prop_assert!(sequential_h[i].is_none());
+                prop_assert!(no_replica_h[i].is_none());
+                prop_assert!(naive_h[i].is_none());
+                continue;
+            };
+            let expected = engine.results(handle);
+            prop_assert_eq!(
+                &expected,
+                &sequential.results(sequential_h[i].as_ref().expect("aligned")),
+                "worker-count divergence at sub {} (seed {}, {} shapes, {}x{}, {} workers)",
+                i, seed, shapes, clusters, per_cluster, workers
+            );
+            prop_assert_eq!(
+                &expected,
+                &no_replica.results(no_replica_h[i].as_ref().expect("aligned")),
+                "replica divergence at sub {} (seed {}, {} shapes, {}x{}, {} workers)",
+                i, seed, shapes, clusters, per_cluster, workers
+            );
+            prop_assert_eq!(
+                &expected,
+                &naive.results(naive_h[i].as_ref().expect("aligned")),
+                "engine-vs-naive divergence at sub {} (seed {}, {} shapes, {}x{}, {} workers)",
+                i, seed, shapes, clusters, per_cluster, workers
+            );
+        }
+        // Fault drops are accounted identically however the engine is
+        // configured: the ledger identity holds in every variant.
+        for monitor in [&engine, &sequential, &no_replica, &naive] {
+            let stats = monitor.network_stats();
+            prop_assert_eq!(
+                stats.dropped_messages,
+                stats.dropped_by_cause.total(),
+                "drop ledger identity (seed {seed})"
+            );
+        }
+    }
 }

@@ -482,3 +482,154 @@ fn never_noted_subscriber_removal_does_not_retract_a_live_replica() {
     assert_eq!(monitor.replica_stats().replicas_retracted, 1);
     let _ = producer;
 }
+
+/// Regression for the ROADMAP-noted orphan gap: when a replica is
+/// retracted and another *surviving* replica of the same origin is closer
+/// than the origin, orphaned subscribers re-attach to that copy instead of
+/// all falling back to the far origin.  Re-attachment is cycle-free: the
+/// first orphan (in deterministic order) re-anchors to the origin — its
+/// own declaration cannot feed itself — and later orphans chain behind the
+/// re-anchored one.
+#[test]
+fn orphans_reattach_to_the_closest_surviving_replica_not_the_origin() {
+    let storm = OverlappingStorm::clustered(11, 1, 1, 4);
+    let mut monitor = clustered_monitor(&storm, true, 1);
+    let producer = monitor
+        .submit("c0-peer0.org", &storm.subscription(0))
+        .expect("producer deploys");
+    // First remote consumer: pulls from the origin, re-publishes at peer1.
+    let x1 = monitor
+        .submit("c0-peer1.org", &storm.subscription(1))
+        .expect("x1 deploys");
+    // Both later consumers ride peer1's replica (5ms beats the 100ms hub)
+    // and re-publish from their own peers.
+    let x2 = monitor
+        .submit("c0-peer2.org", &storm.subscription(2))
+        .expect("x2 deploys");
+    let x3 = monitor
+        .submit("c0-peer3.org", &storm.subscription(3))
+        .expect("x3 deploys");
+    let origin = monitor
+        .report(&x1)
+        .expect("report")
+        .reuse
+        .reused_defs
+        .first()
+        .cloned()
+        .expect("x1 reuses the producer's stream");
+    assert_eq!(origin.0, ORIGIN);
+    for handle in [&x2, &x3] {
+        assert_eq!(
+            monitor.subscribed_providers(handle)[0].0,
+            "c0-peer1.org",
+            "later consumers attach to the first replica"
+        );
+    }
+
+    let mut traffic = storm.clone();
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    let before = monitor.results(&x3).len();
+    assert!(before > 0, "the replica chain feeds the last consumer");
+
+    // peer1's only subscriber leaves: its declaration retracts and both
+    // orphans must be re-homed.
+    assert!(monitor.unsubscribe(&x1));
+    let survivors: Vec<String> = monitor
+        .stream_db_mut()
+        .replicas_of(&origin.0, &origin.1)
+        .iter()
+        .map(|r| r.replica_peer.clone())
+        .collect();
+    assert!(
+        survivors.contains(&"c0-peer2.org".to_string())
+            && !survivors.contains(&"c0-peer1.org".to_string()),
+        "peer1 retracted, peer2/peer3 survive: {survivors:?}"
+    );
+    // x2 re-anchors to the origin (every other replica is an orphan of the
+    // same sweep at that point); x3 then rides x2's surviving replica — the
+    // 5ms intra-cluster copy — NOT the 100ms origin.
+    assert_eq!(monitor.subscribed_providers(&x2)[0], origin);
+    let x3_provider = monitor.subscribed_providers(&x3)[0].clone();
+    assert_eq!(
+        x3_provider.0, "c0-peer2.org",
+        "the orphan must re-attach to the closest surviving replica"
+    );
+    assert!(
+        survivors.contains(&x3_provider.0),
+        "the re-attachment target is a live declaration"
+    );
+
+    // The re-homed chain keeps delivering, byte-identically to the
+    // producer's sink, and the forwarded hop rides the surviving replica.
+    let forwarded_before = monitor
+        .network_stats()
+        .link("c0-peer2.org", "c0-peer3.org")
+        .messages;
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    assert!(
+        monitor.results(&x3).len() > before,
+        "the orphan keeps receiving through the surviving replica"
+    );
+    assert_eq!(monitor.results(&x3), monitor.results(&producer));
+    assert!(
+        monitor
+            .network_stats()
+            .link("c0-peer2.org", "c0-peer3.org")
+            .messages
+            > forwarded_before,
+        "items reach the orphan via the surviving replica's forwarder"
+    );
+}
+
+/// Orphan re-attachment skips surviving replicas whose peers are *down*:
+/// with the nearest copy failed, the orphan goes to the origin even though
+/// a declaration for the closer peer would still win on proximity alone.
+#[test]
+fn orphan_reattachment_skips_downed_replica_peers() {
+    let storm = OverlappingStorm::clustered(13, 1, 1, 4);
+    let mut monitor = clustered_monitor(&storm, true, 1);
+    let producer = monitor
+        .submit("c0-peer0.org", &storm.subscription(0))
+        .expect("producer deploys");
+    let x1 = monitor
+        .submit("c0-peer1.org", &storm.subscription(1))
+        .expect("x1 deploys");
+    let x2 = monitor
+        .submit("c0-peer2.org", &storm.subscription(2))
+        .expect("x2 deploys");
+    let x3 = monitor
+        .submit("c0-peer3.org", &storm.subscription(3))
+        .expect("x3 deploys");
+    let origin = monitor
+        .report(&x1)
+        .expect("report")
+        .reuse
+        .reused_defs
+        .first()
+        .cloned()
+        .expect("x1 reuses the producer's stream");
+
+    // The peer that would become the surviving intra-cluster provider is
+    // down when the retraction happens.
+    monitor.fail_peer("c0-peer2.org");
+    assert!(monitor.unsubscribe(&x1));
+    assert_eq!(
+        monitor.subscribed_providers(&x3)[0],
+        origin,
+        "a downed surviving replica is never selected for re-attachment"
+    );
+    monitor.recover_peer("c0-peer2.org");
+    let mut traffic = storm.clone();
+    for call in traffic.calls(40) {
+        monitor.inject_soap_call(&call);
+    }
+    monitor.run_until_idle();
+    assert_eq!(monitor.results(&x3), monitor.results(&producer));
+    let _ = x2;
+}

@@ -32,7 +32,7 @@ pub mod stats;
 pub use latency::LatencyModel;
 pub use message::Message;
 pub use network::{Network, NetworkConfig};
-pub use stats::{LinkStats, NetworkStats, PeerTraffic};
+pub use stats::{DropBreakdown, DropCause, LinkStats, NetworkStats, PeerTraffic};
 
 /// Peers are identified by their DNS-like name, as in the paper
 /// (`a.com`, `meteo.com`, …).  The name is interned ([`p2pmon_xmlkit::Name`]):

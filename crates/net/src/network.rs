@@ -11,7 +11,7 @@ use p2pmon_xmlkit::Element;
 
 use crate::latency::{LatencyModel, LatencySampler};
 use crate::message::Message;
-use crate::stats::NetworkStats;
+use crate::stats::{DropCause, NetworkStats};
 use crate::PeerId;
 
 /// Configuration of a simulated network.
@@ -49,6 +49,11 @@ pub struct Network {
     next_message_id: u64,
     latency: LatencySampler,
     drop_probability: f64,
+    /// Active partition: peer → group index.  Peers in different groups
+    /// cannot exchange messages; peers not named by any group share an
+    /// implicit extra group (they stay connected to each other, and are cut
+    /// off from every explicit group).  Empty = fully connected.
+    partition: BTreeMap<PeerId, usize>,
     rng: StdRng,
     stats: NetworkStats,
 }
@@ -65,6 +70,7 @@ impl Network {
             next_message_id: 0,
             latency: LatencySampler::new(config.latency),
             drop_probability: config.drop_probability.clamp(0.0, 1.0),
+            partition: BTreeMap::new(),
             rng: StdRng::seed_from_u64(config.seed),
             stats: NetworkStats::default(),
         }
@@ -111,6 +117,49 @@ impl Network {
         !self.down.is_empty()
     }
 
+    /// Splits the network into isolated groups: messages between peers of
+    /// different groups are dropped (and counted, with cause
+    /// [`DropCause::Partition`]) at send time and — for messages already in
+    /// flight when the partition lands — at delivery time, exactly like
+    /// traffic toward a peer that fails mid-flight.  Peers not named by any
+    /// group form one implicit extra group of their own.  Partitions compose
+    /// with `fail_peer` and `drop_probability`; calling `partition` again
+    /// replaces the previous grouping, [`Network::heal`] removes it.
+    pub fn partition(&mut self, groups: &[Vec<&str>]) {
+        self.partition.clear();
+        for (index, group) in groups.iter().enumerate() {
+            for peer in group {
+                self.partition.insert(PeerId::from(*peer), index);
+            }
+        }
+    }
+
+    /// Removes the active partition: all groups can reach each other again.
+    /// Messages dropped while it was active stay dropped (there is no
+    /// retransmission in the simulator).
+    pub fn heal(&mut self) {
+        self.partition.clear();
+    }
+
+    /// True when a partition is currently active.
+    pub fn is_partitioned(&self) -> bool {
+        !self.partition.is_empty()
+    }
+
+    /// True when the active partition separates the two peers.  Unlisted
+    /// peers share an implicit group, so two of them are never separated.
+    pub fn is_cross_partition(&self, from: &str, to: &str) -> bool {
+        self.blocked(PeerId::from(from), PeerId::from(to))
+    }
+
+    fn blocked(&self, from: PeerId, to: PeerId) -> bool {
+        if self.partition.is_empty() || from == to {
+            return false;
+        }
+        // Unlisted peers map to the same implicit group (`None`).
+        self.partition.get(&from) != self.partition.get(&to)
+    }
+
     /// The logical clock (ms).
     pub fn now(&self) -> u64 {
         self.clock
@@ -125,6 +174,19 @@ impl Network {
     /// Traffic statistics so far.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Changes the random-loss probability mid-run (drop-burst fault
+    /// injection).  The seeded drop-decision generator is only consulted —
+    /// and only advanced — while the probability is above zero, so a burst
+    /// window's decisions replay bit-identically from the network seed.
+    pub fn set_drop_probability(&mut self, probability: f64) {
+        self.drop_probability = probability.clamp(0.0, 1.0);
+    }
+
+    /// The current random-loss probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
     }
 
     /// Records messages avoided by channel multicast (see
@@ -171,15 +233,19 @@ impl Network {
         let from = from.into();
         let to = to.into();
         if !self.peers.contains(&from) || !self.peers.contains(&to) {
-            self.stats.record_drop();
+            self.stats.record_drop(from, to, DropCause::UnknownPeer);
             return None;
         }
         if !self.down.is_empty() && (self.down.contains(&from) || self.down.contains(&to)) {
-            self.stats.record_drop();
+            self.stats.record_drop(from, to, DropCause::PeerDown);
+            return None;
+        }
+        if self.blocked(from, to) {
+            self.stats.record_drop(from, to, DropCause::Partition);
             return None;
         }
         if self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability {
-            self.stats.record_drop();
+            self.stats.record_drop(from, to, DropCause::Random);
             return None;
         }
         let payload = payload.into();
@@ -236,7 +302,15 @@ impl Network {
         let message = self.in_flight.remove(&key).expect("key just observed");
         self.clock = self.clock.max(message.deliver_at);
         if !self.down.is_empty() && self.down.contains(&message.to) {
-            self.stats.record_drop();
+            self.stats
+                .record_drop(message.from, message.to, DropCause::PeerDown);
+            return Some(message.to);
+        }
+        // A partition that landed while the message was in flight kills it
+        // at the boundary, like a failed destination would.
+        if self.blocked(message.from, message.to) {
+            self.stats
+                .record_drop(message.from, message.to, DropCause::Partition);
             return Some(message.to);
         }
         self.stats.record_delivery(
@@ -444,6 +518,113 @@ mod tests {
         // The clock had already been advanced to 100 by advance_clock, so the
         // deadline cannot move it backwards.
         assert_eq!(n.now(), 100);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_delivery_and_heals() {
+        let mut n = net();
+        n.partition(&[vec!["a.com", "b.com"], vec!["meteo.com", "p"]]);
+        assert!(n.is_partitioned());
+        assert!(n.is_cross_partition("a.com", "p"));
+        assert!(!n.is_cross_partition("a.com", "b.com"));
+        // Intra-group traffic flows, cross-group traffic is dropped and
+        // attributed to the partition.
+        assert!(n.send("a.com", "b.com", None, Element::new("in")).is_some());
+        assert!(n.send("a.com", "p", None, Element::new("out")).is_none());
+        assert!(n.send("meteo.com", "p", None, Element::new("in")).is_some());
+        assert_eq!(n.stats().dropped_messages, 1);
+        assert_eq!(n.stats().dropped_by_cause.partition, 1);
+        n.run_until_idle();
+        assert_eq!(n.inbox_len("b.com"), 1);
+        assert_eq!(n.inbox_len("p"), 1);
+        n.heal();
+        assert!(!n.is_partitioned());
+        assert!(n.send("a.com", "p", None, Element::new("late")).is_some());
+        n.run_until_idle();
+        assert_eq!(n.inbox_len("p"), 2);
+    }
+
+    #[test]
+    fn messages_in_flight_across_a_new_partition_drop_at_delivery() {
+        let mut n = net();
+        n.send("a.com", "p", None, Element::new("doomed"));
+        n.partition(&[vec!["a.com"], vec!["p"]]);
+        n.run_until_idle();
+        assert_eq!(n.inbox_len("p"), 0);
+        assert_eq!(n.stats().dropped_messages, 1);
+        assert_eq!(n.stats().dropped_by_cause.partition, 1);
+        let rollup = n.stats().per_peer();
+        assert_eq!(rollup[&PeerId::from("p")].dropped_in, 1);
+        assert_eq!(rollup[&PeerId::from("a.com")].dropped_out, 1);
+    }
+
+    #[test]
+    fn unlisted_peers_share_the_implicit_group() {
+        let mut n = net();
+        n.partition(&[vec!["a.com"]]);
+        // b.com and p are unlisted: connected to each other, cut from a.com.
+        assert!(n.send("b.com", "p", None, Element::new("ok")).is_some());
+        assert!(n.send("a.com", "b.com", None, Element::new("no")).is_none());
+        assert!(!n.is_cross_partition("b.com", "p"));
+        assert!(n.is_cross_partition("a.com", "p"));
+    }
+
+    #[test]
+    fn partition_composes_with_failed_peers_and_random_loss() {
+        let mut n = Network::new(NetworkConfig {
+            drop_probability: 1.0,
+            ..NetworkConfig::default()
+        });
+        for p in ["a", "b", "c"] {
+            n.add_peer(p);
+        }
+        n.partition(&[vec!["a", "b"], vec!["c"]]);
+        n.fail_peer("b");
+        // Down beats partition beats random loss in attribution order.
+        assert!(n.send("a", "b", None, Element::new("x")).is_none());
+        assert!(n.send("a", "c", None, Element::new("x")).is_none());
+        assert!(n.send("a", "a", None, Element::new("x")).is_none());
+        let causes = n.stats().dropped_by_cause;
+        assert_eq!(causes.peer_down, 1);
+        assert_eq!(causes.partition, 1);
+        assert_eq!(causes.random, 1);
+        assert_eq!(causes.total(), n.stats().dropped_messages);
+        // Recover + heal: only the seeded random loss remains in effect.
+        n.recover_peer("b");
+        n.heal();
+        n.set_drop_probability(0.0);
+        assert!(n.send("a", "b", None, Element::new("x")).is_some());
+    }
+
+    #[test]
+    fn partitioned_replay_is_deterministic() {
+        let run = || {
+            let mut n = Network::new(NetworkConfig {
+                latency: LatencyModel::Uniform {
+                    min: 1,
+                    max: 30,
+                    seed: 11,
+                },
+                drop_probability: 0.2,
+                seed: 11,
+            });
+            for p in ["a", "b", "c", "d"] {
+                n.add_peer(p);
+            }
+            for i in 0..60 {
+                if i == 20 {
+                    n.partition(&[vec!["a", "b"], vec!["c", "d"]]);
+                }
+                if i == 40 {
+                    n.heal();
+                }
+                n.send("a", "c", None, Element::text_element("m", i.to_string()));
+                n.send("a", "b", None, Element::text_element("m", i.to_string()));
+            }
+            n.run_until_idle();
+            (n.stats().clone(), n.now())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -15,6 +15,56 @@ pub struct LinkStats {
     pub messages: u64,
     /// Payload bytes delivered on the link.
     pub bytes: u64,
+    /// Messages dropped on the link (failure injection, downed endpoints,
+    /// partitions).
+    pub dropped: u64,
+}
+
+/// Why a message was dropped.  Every drop the simulator records carries one
+/// of these causes, so fault harnesses can reconcile losses against the
+/// fault that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropCause {
+    /// Sender or destination was never registered.
+    UnknownPeer,
+    /// Sender or destination was failed (`fail_peer`) at send or delivery.
+    PeerDown,
+    /// Sender and destination were in different partition groups at send or
+    /// delivery.
+    Partition,
+    /// Seeded random loss (`drop_probability`).
+    Random,
+}
+
+/// Dropped messages broken down by [`DropCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropBreakdown {
+    /// Drops to or from unregistered peers.
+    pub unknown_peer: u64,
+    /// Drops caused by a failed peer.
+    pub peer_down: u64,
+    /// Drops caused by a network partition.
+    pub partition: u64,
+    /// Seeded random losses.
+    pub random: u64,
+}
+
+impl DropBreakdown {
+    /// All drops in the breakdown.  Always equals the owning
+    /// [`NetworkStats::dropped_messages`] — conservation harnesses assert
+    /// this identity.
+    pub fn total(&self) -> u64 {
+        self.unknown_peer + self.peer_down + self.partition + self.random
+    }
+
+    fn record(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::UnknownPeer => self.unknown_peer += 1,
+            DropCause::PeerDown => self.peer_down += 1,
+            DropCause::Partition => self.partition += 1,
+            DropCause::Random => self.random += 1,
+        }
+    }
 }
 
 /// Per-peer traffic rollup (both directions of every link touching the peer).
@@ -28,6 +78,14 @@ pub struct PeerTraffic {
     pub bytes_in: u64,
     /// Payload bytes sent by the peer.
     pub bytes_out: u64,
+    /// Messages lost on the way to the peer.
+    pub dropped_in: u64,
+    /// Messages the peer sent that were lost.
+    pub dropped_out: u64,
+    /// Of the peer's lost traffic (either direction), how much each fault
+    /// class caused — `attributed_drops.total()` counts each loss once even
+    /// when both endpoints belong to the peer (a local send).
+    pub attributed_drops: DropBreakdown,
 }
 
 /// Aggregate traffic statistics.
@@ -39,6 +97,14 @@ pub struct NetworkStats {
     pub total_bytes: u64,
     /// Messages dropped by failure injection.
     pub dropped_messages: u64,
+    /// The same drops broken down by cause.  `dropped_by_cause.total()` is
+    /// always `dropped_messages` — the accounting identity chaos invariants
+    /// check.
+    pub dropped_by_cause: DropBreakdown,
+    /// Per-peer drop attribution: every loss is charged to both endpoints
+    /// (once when sender and destination coincide), so a fault harness can
+    /// ask "who lost traffic, and to which fault".
+    pub dropped_per_peer: BTreeMap<PeerId, DropBreakdown>,
     /// Channel (data-plane) messages delivered.
     pub channel_messages: u64,
     /// Control-plane messages delivered (DHT lookups, deployment, …).
@@ -87,9 +153,22 @@ impl NetworkStats {
         link.bytes += bytes as u64;
     }
 
-    /// Records a dropped message.
-    pub fn record_drop(&mut self) {
+    /// Records a dropped message, attributing it to the link it would have
+    /// crossed and to the fault class that killed it.
+    pub fn record_drop(
+        &mut self,
+        from: impl Into<PeerId>,
+        to: impl Into<PeerId>,
+        cause: DropCause,
+    ) {
+        let (from, to) = (from.into(), to.into());
         self.dropped_messages += 1;
+        self.dropped_by_cause.record(cause);
+        self.per_link.entry((from, to)).or_default().dropped += 1;
+        self.dropped_per_peer.entry(from).or_default().record(cause);
+        if from != to {
+            self.dropped_per_peer.entry(to).or_default().record(cause);
+        }
     }
 
     /// Records messages avoided by sharing one physical stream between
@@ -140,9 +219,14 @@ impl NetworkStats {
             let sender = out.entry(from).or_default();
             sender.messages_out += link.messages;
             sender.bytes_out += link.bytes;
+            sender.dropped_out += link.dropped;
             let receiver = out.entry(to).or_default();
             receiver.messages_in += link.messages;
             receiver.bytes_in += link.bytes;
+            receiver.dropped_in += link.dropped;
+        }
+        for (&peer, &drops) in &self.dropped_per_peer {
+            out.entry(peer).or_default().attributed_drops = drops;
         }
         out
     }
@@ -158,14 +242,16 @@ mod tests {
         s.record_delivery("a", "b", 100, true);
         s.record_delivery("a", "b", 50, false);
         s.record_delivery("b", "c", 10, true);
-        s.record_drop();
+        s.record_drop("a", "b", DropCause::Random);
         assert_eq!(s.total_messages, 3);
         assert_eq!(s.total_bytes, 160);
         assert_eq!(s.channel_messages, 2);
         assert_eq!(s.control_messages, 1);
         assert_eq!(s.dropped_messages, 1);
+        assert_eq!(s.dropped_by_cause.total(), 1);
         assert_eq!(s.link("a", "b").messages, 2);
         assert_eq!(s.link("a", "b").bytes, 150);
+        assert_eq!(s.link("a", "b").dropped, 1);
         assert_eq!(s.link("c", "a"), LinkStats::default());
         assert_eq!(s.bytes_into("b"), 150);
         assert_eq!(s.bytes_out_of("b"), 10);
@@ -206,5 +292,45 @@ mod tests {
         assert_eq!(peer("b").messages_in, 1);
         assert_eq!(peer("c").messages_in, 1);
         assert_eq!(peer("c").messages_out, 0);
+    }
+
+    #[test]
+    fn drop_attribution_reconciles_causes_links_and_peers() {
+        let mut s = NetworkStats::default();
+        s.record_drop("a", "b", DropCause::PeerDown);
+        s.record_drop("a", "b", DropCause::Partition);
+        s.record_drop("b", "c", DropCause::Random);
+        s.record_drop("x", "a", DropCause::UnknownPeer);
+        s.record_drop("a", "a", DropCause::PeerDown);
+        // The accounting identity: totals, causes and per-link counters all
+        // name the same five losses.
+        assert_eq!(s.dropped_messages, 5);
+        assert_eq!(s.dropped_by_cause.total(), 5);
+        assert_eq!(
+            s.dropped_by_cause,
+            DropBreakdown {
+                unknown_peer: 1,
+                peer_down: 2,
+                partition: 1,
+                random: 1,
+            }
+        );
+        let link_drops: u64 = s.per_link.values().map(|l| l.dropped).sum();
+        assert_eq!(link_drops, 5);
+        // Per-peer attribution charges both endpoints, once on a self-send.
+        let rollup = s.per_peer();
+        let a = rollup[&PeerId::from("a")];
+        assert_eq!(a.dropped_out, 3);
+        assert_eq!(a.dropped_in, 2);
+        assert_eq!(a.attributed_drops.peer_down, 2);
+        assert_eq!(a.attributed_drops.partition, 1);
+        assert_eq!(a.attributed_drops.unknown_peer, 1);
+        assert_eq!(a.attributed_drops.total(), 4);
+        assert_eq!(rollup[&PeerId::from("b")].attributed_drops.random, 1);
+        assert_eq!(rollup[&PeerId::from("c")].attributed_drops.random, 1);
+        // Dropped-only links deliver nothing.
+        assert_eq!(s.total_messages, 0);
+        assert_eq!(s.link("a", "b").messages, 0);
+        assert_eq!(s.link("a", "b").dropped, 2);
     }
 }

@@ -33,6 +33,8 @@
 //!   per-alert) load stays bounded while definition lookups route through
 //!   the real Chord overlay.
 
+pub mod chaos;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -68,3 +68,13 @@ fn committed_scale_trajectory_passes_the_dht_gate() {
         assert_success(output, "ci/check_bench.py dht");
     }
 }
+
+#[test]
+fn committed_chaos_trajectory_passes_the_chaos_gate() {
+    // Every committed chaos scenario must converge to the fault-free
+    // oracle with zero unaccounted or double-delivered alerts, replay
+    // bit-identically, and keep covering all six fault families.
+    if let Some(output) = run_harness(&["chaos"]) {
+        assert_success(output, "ci/check_bench.py chaos");
+    }
+}

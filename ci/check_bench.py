@@ -17,6 +17,11 @@ the workspace root:
     python3 ci/check_bench.py replica     # replicas serve >= 50% of remote
                                           # consumers and never add
                                           # origin-peer messages at 256 subs
+    python3 ci/check_bench.py locality    # rate-aware placement beats
+                                          # count-based on bytes x latency-
+                                          # weighted hops at 256 paired subs,
+                                          # no regression at 10k, sinks
+                                          # byte-identical
     python3 ci/check_bench.py scale       # per-alert cost at 10k subs stays
                                           # under 3x the 1k tier (sublinear
                                           # growth over the MassiveStorm)
@@ -69,7 +74,7 @@ REQUIRED = {
         ],
     },
     "reuse": {
-        "": ["results", "replica"],
+        "": ["results", "replica", "locality"],
         "results": [
             "subscriptions",
             "hit_rate",
@@ -83,6 +88,20 @@ REQUIRED = {
             "served_by_replica",
             "replica_on_origin_messages",
             "replica_off_origin_messages",
+        ],
+        "locality": [
+            "workload",
+            "subscriptions",
+            "rate_aware_bytes_hops",
+            "count_based_bytes_hops",
+            "rate_aware_bytes",
+            "count_based_bytes",
+            "rate_aware_origin_egress",
+            "count_based_origin_egress",
+            "rate_aware_replicas",
+            "count_based_replicas",
+            "results",
+            "sink_bytes_identical",
         ],
     },
     "scale": {
@@ -244,6 +263,68 @@ def gate_replica(data):
     if row["replica_on_origin_messages"] > row["replica_off_origin_messages"]:
         raise GateError(
             f"replica-on sent MORE origin-peer messages than replica-off: {row}"
+        )
+
+
+LOCALITY_MASSIVE_SUBS = 10_000
+
+
+def locality_row_at(data, workload, subscriptions):
+    """The locality row of `workload` at `subscriptions` subscriptions."""
+    for row in data.get("locality", []):
+        if row.get("workload") == workload and row.get("subscriptions") == subscriptions:
+            return row
+    raise GateError(
+        f"BENCH_reuse.json has no 'locality' row for {workload} at {subscriptions} "
+        f"subscriptions — the gate would silently skip; regenerate the trajectory"
+    )
+
+
+def gate_locality(data):
+    """Rate-aware placement must strictly beat count-based placement on the
+    locality score (total bytes x latency-weighted hops) over the paired
+    multi-input storm at 256 subscriptions without adding origin-peer
+    egress, must not regress the single-input MassiveStorm 10k tier, and
+    must keep sink output byte-identical on every row — placement is an
+    optimization, never a semantics change."""
+    rows = data.get("locality", [])
+    if not rows:
+        raise GateError("BENCH_reuse.json has no 'locality' rows — regenerate the trajectory")
+    for row in rows:
+        print(
+            f"locality [{row['workload']}, {row['subscriptions']} subs]: "
+            f"bytes x hops {row['rate_aware_bytes_hops']:.0f} rate-aware vs "
+            f"{row['count_based_bytes_hops']:.0f} count-based, origin egress "
+            f"{row['rate_aware_origin_egress']} vs {row['count_based_origin_egress']}, "
+            f"sinks identical {row['sink_bytes_identical']}"
+        )
+        if not row["sink_bytes_identical"]:
+            raise GateError(
+                f"rate-aware placement changed sink bytes on "
+                f"{row['workload']} at {row['subscriptions']} subscriptions: {row}"
+            )
+        if row["results"] == 0:
+            raise GateError(
+                f"the {row['workload']} locality row at {row['subscriptions']} "
+                f"subscriptions delivered nothing — the score passed vacuously: {row}"
+            )
+    gated = locality_row_at(data, "paired-storm", GATED_SUBSCRIPTIONS)
+    if gated["rate_aware_bytes_hops"] >= gated["count_based_bytes_hops"]:
+        raise GateError(
+            f"rate-aware placement no longer beats count-based on bytes x "
+            f"latency-weighted hops over the paired storm at "
+            f"{GATED_SUBSCRIPTIONS} subscriptions: {gated}"
+        )
+    if gated["rate_aware_origin_egress"] > gated["count_based_origin_egress"]:
+        raise GateError(
+            f"rate-aware placement sent MORE bytes out of the origin hubs than "
+            f"count-based at {GATED_SUBSCRIPTIONS} subscriptions: {gated}"
+        )
+    massive = locality_row_at(data, "massive-storm", LOCALITY_MASSIVE_SUBS)
+    if massive["rate_aware_bytes_hops"] > massive["count_based_bytes_hops"]:
+        raise GateError(
+            f"rate-aware placement regressed the single-input MassiveStorm tier "
+            f"at {LOCALITY_MASSIVE_SUBS} subscriptions — it must change nothing there: {massive}"
         )
 
 
@@ -461,6 +542,36 @@ FIXTURE_REUSE = {
             "replica_off_origin_messages": 1467,
         }
     ],
+    "locality": [
+        {
+            "workload": "paired-storm",
+            "subscriptions": 256,
+            "rate_aware_bytes_hops": 786530.0,
+            "count_based_bytes_hops": 888030.0,
+            "rate_aware_bytes": 14312,
+            "count_based_bytes": 15327,
+            "rate_aware_origin_egress": 6395,
+            "count_based_origin_egress": 8541,
+            "rate_aware_replicas": 64,
+            "count_based_replicas": 64,
+            "results": 937,
+            "sink_bytes_identical": True,
+        },
+        {
+            "workload": "massive-storm",
+            "subscriptions": 10000,
+            "rate_aware_bytes_hops": 91055.0,
+            "count_based_bytes_hops": 91055.0,
+            "rate_aware_bytes": 18211,
+            "count_based_bytes": 18211,
+            "rate_aware_origin_egress": 18211,
+            "count_based_origin_egress": 18211,
+            "rate_aware_replicas": 824,
+            "count_based_replicas": 824,
+            "results": 2116,
+            "sink_bytes_identical": True,
+        },
+    ],
 }
 
 FIXTURE_FILTER = {
@@ -622,6 +733,32 @@ def self_test():
         gate_replica,
         mutated(FIXTURE_REUSE, "replica", "replica_on_origin_messages", 2000),
     )
+    expect_pass("locality", gate_locality, FIXTURE_REUSE)
+    expect_fail(
+        "locality paired-storm win",
+        gate_locality,
+        mutated(FIXTURE_REUSE, "locality", "rate_aware_bytes_hops", 900000.0),
+    )
+    expect_fail(
+        "locality origin egress",
+        gate_locality,
+        mutated(FIXTURE_REUSE, "locality", "rate_aware_origin_egress", 9000),
+    )
+    expect_fail(
+        "locality massive-storm regression",
+        gate_locality,
+        mutated(FIXTURE_REUSE, "locality", "rate_aware_bytes_hops", 99999.0, row=1),
+    )
+    expect_fail(
+        "locality sink equivalence",
+        gate_locality,
+        mutated(FIXTURE_REUSE, "locality", "sink_bytes_identical", False, row=1),
+    )
+    expect_fail(
+        "locality vacuous delivery",
+        gate_locality,
+        mutated(FIXTURE_REUSE, "locality", "results", 0),
+    )
     expect_pass("scale", gate_scale, FIXTURE_SCALE)
     expect_fail(
         "scale sublinear growth",
@@ -705,6 +842,7 @@ GATES = {
     "filter": gate_filter,
     "reuse": gate_reuse,
     "replica": gate_replica,
+    "locality": gate_locality,
     "scale": gate_scale,
     "dht": gate_dht,
     "chaos": gate_chaos,
@@ -715,6 +853,7 @@ GATE_SOURCE = {
     "filter": "filter",
     "reuse": "reuse",
     "replica": "reuse",
+    "locality": "reuse",
     "scale": "scale",
     "dht": "scale",
     "chaos": "chaos",
@@ -726,7 +865,18 @@ def main(argv):
     parser.add_argument(
         "command",
         nargs="?",
-        choices=["schema", "dispatch", "filter", "reuse", "replica", "scale", "dht", "chaos", "all"],
+        choices=[
+            "schema",
+            "dispatch",
+            "filter",
+            "reuse",
+            "replica",
+            "locality",
+            "scale",
+            "dht",
+            "chaos",
+            "all",
+        ],
         help="the gate to run",
     )
     parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)

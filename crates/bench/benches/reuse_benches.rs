@@ -24,6 +24,9 @@ use p2pmon_core::{Monitor, MonitorConfig, SubscriptionHandle};
 use p2pmon_net::NetworkConfig;
 use p2pmon_workloads::OverlappingStorm;
 
+#[path = "common/locality.rs"]
+mod locality;
+
 const SUBSCRIPTION_COUNTS: [usize; 3] = [16, 64, 256];
 const SHAPES: usize = 8;
 /// The clustered replica axis: consumers on CLUSTERS × PEERS_PER_CLUSTER
@@ -276,16 +279,73 @@ fn emit_trajectory(_c: &mut Criterion) {
             on.results,
         ));
     }
+    // The locality axis: rate- and load-aware placement vs the count-based
+    // heuristic on the paired (multi-input) storm, scored by bytes ×
+    // latency-weighted hops, plus the 10k MassiveStorm no-regression tier.
+    // Placement must never change semantics: every row asserts byte-identical
+    // sink output across the two modes.
+    let mut locality_rows = Vec::new();
+    let locality_row =
+        |workload: &str, aware: &locality::LocalityRow, count: &locality::LocalityRow| {
+            assert_eq!(
+                (aware.results, aware.sink_fingerprint),
+                (count.results, count.sink_fingerprint),
+                "placement must not change what the sinks receive ({workload})"
+            );
+            format!(
+                "    {{\"workload\": \"{workload}\", \"subscriptions\": {}, \
+             \"rate_aware_bytes_hops\": {:.0}, \"count_based_bytes_hops\": {:.0}, \
+             \"rate_aware_bytes\": {}, \"count_based_bytes\": {}, \
+             \"rate_aware_origin_egress\": {}, \"count_based_origin_egress\": {}, \
+             \"rate_aware_replicas\": {}, \"count_based_replicas\": {}, \
+             \"results\": {}, \"sink_bytes_identical\": true}}",
+                aware.subscriptions,
+                aware.bytes_hops,
+                count.bytes_hops,
+                aware.total_bytes,
+                count.total_bytes,
+                aware.origin_egress,
+                count.origin_egress,
+                aware.replicas,
+                count.replicas,
+                aware.results,
+            )
+        };
+    for n_subs in SUBSCRIPTION_COUNTS {
+        let aware = locality::run_paired(1, n_subs, calls_n, true);
+        let count = locality::run_paired(1, n_subs, calls_n, false);
+        eprintln!(
+            "locality [paired-storm, {n_subs} subs]: bytes×hops {:.0} rate-aware vs {:.0} \
+             count-based ({:.1}% less), origin egress {} vs {}",
+            aware.bytes_hops,
+            count.bytes_hops,
+            100.0 * (count.bytes_hops - aware.bytes_hops) / count.bytes_hops.max(1.0),
+            aware.origin_egress,
+            count.origin_egress,
+        );
+        locality_rows.push(locality_row("paired-storm", &aware, &count));
+    }
+    {
+        let aware = locality::run_massive(1, 10_000, 400, true);
+        let count = locality::run_massive(1, 10_000, 400, false);
+        eprintln!(
+            "locality [massive-storm, 10000 subs]: bytes×hops {:.0} rate-aware vs {:.0} \
+             count-based (single-input shapes: must not regress)",
+            aware.bytes_hops, count.bytes_hops,
+        );
+        locality_rows.push(locality_row("massive-storm", &aware, &count));
+    }
     let json = format!(
         "{{\n  \"bench\": \"reuse\",\n  \"mode\": \"{}\",\n  \"calls_per_run\": {calls_n},\n  \
-         \"results\": [\n{}\n  ],\n  \"replica\": [\n{}\n  ]\n}}\n",
+         \"results\": [\n{}\n  ],\n  \"replica\": [\n{}\n  ],\n  \"locality\": [\n{}\n  ]\n}}\n",
         if full_run_requested() {
             "full"
         } else {
             "quick"
         },
         rows.join(",\n"),
-        replica_rows.join(",\n")
+        replica_rows.join(",\n"),
+        locality_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reuse.json");
     match std::fs::write(path, &json) {

@@ -1,0 +1,65 @@
+//! Compares count-based and rate-aware placement per workload and prints the
+//! locality axis: network bytes, bytes × latency-weighted hops, origin-hub
+//! egress and replica counts for each mode, plus the sink-output fingerprint
+//! check (placement is an optimization, never a semantics change).
+//!
+//!     cargo run --release -p p2pmon-bench --example placement_probe
+//!
+//! Pass subscription counts as arguments to probe other paired-storm tiers
+//! (`placement_probe 16 64 256` is the default trajectory); the MassiveStorm
+//! no-regression tier always runs last.
+
+#[path = "../benches/common/locality.rs"]
+mod locality;
+
+fn print_pair(workload: &str, aware: &locality::LocalityRow, count: &locality::LocalityRow) {
+    let gain = if count.bytes_hops > 0.0 {
+        100.0 * (count.bytes_hops - aware.bytes_hops) / count.bytes_hops
+    } else {
+        0.0
+    };
+    println!(
+        "{workload:>12} [{:>5} subs] | bytes×hops {:>13.0} vs {:>13.0} ({gain:>5.1}% less) | \
+         bytes {:>9} vs {:>9} | hub egress {:>9} vs {:>9} | replicas {:>3} vs {:>3} | \
+         {} results, sinks {}",
+        aware.subscriptions,
+        aware.bytes_hops,
+        count.bytes_hops,
+        aware.total_bytes,
+        count.total_bytes,
+        aware.origin_egress,
+        count.origin_egress,
+        aware.replicas,
+        count.replicas,
+        aware.results,
+        if aware.sink_fingerprint == count.sink_fingerprint && aware.results == count.results {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+}
+
+fn main() {
+    let tiers: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![16, 64, 256]
+        } else {
+            args
+        }
+    };
+    let calls = 500;
+    println!("placement probe: rate-aware vs count-based ({calls} calls per run)");
+    for n in tiers {
+        let aware = locality::run_paired(1, n, calls, true);
+        let count = locality::run_paired(1, n, calls, false);
+        print_pair("paired-storm", &aware, &count);
+    }
+    let aware = locality::run_massive(1, 10_000, 400, true);
+    let count = locality::run_massive(1, 10_000, 400, false);
+    print_pair("massive-10k", &aware, &count);
+}

@@ -43,10 +43,16 @@ use crate::reuse::ReuseStats;
 
 /// `(peer, stream)` keys of published stream definitions.
 type DefKeys = Vec<(String, String)>;
-use crate::placement::{place, push_selections_below_unions, PlacedPlan, TaskKind};
+use crate::placement::{
+    place_with, push_selections_below_unions, PlacedPlan, PlacementRates, TaskKind,
+};
 use crate::reuse::{apply_reuse, join_parameters, select_parameters, ReuseReport};
 use crate::runtime::RuntimeOperator;
 use crate::sink::{Sink, SinkKind};
+
+/// Maps a canonical `(peer, stream)` identity to the closest live provider
+/// of that stream (the origin or one of its replicas).
+type SelectProviders<'a> = dyn Fn(&str, &str) -> (String, String) + 'a;
 
 /// The `(peer, stream)` definition key a deployed task holds a reference on
 /// while it is installed: the shared `src-<function>` definition for a
@@ -80,7 +86,7 @@ pub(crate) fn task_ref_key(kind: &TaskKind) -> Option<(String, String)> {
 /// unchanged.
 fn canonicalize_channel_refs(
     db: &p2pmon_dht::StreamDefinitionDatabase,
-    proximity: Option<&dyn Fn(&str) -> u64>,
+    proximity: Option<&SelectProviders<'_>>,
     node: p2pmon_p2pml::plan::LogicalNode,
 ) -> p2pmon_p2pml::plan::LogicalNode {
     use p2pmon_p2pml::plan::LogicalNode;
@@ -88,7 +94,7 @@ fn canonicalize_channel_refs(
         LogicalNode::ChannelIn { peer, stream, var } => {
             let (peer, stream) = db.canonical_identity(&normalize_peer(&peer), &stream);
             let (peer, stream) = match proximity {
-                Some(proximity) => db.select_provider(&peer, &stream, |p| proximity(p)),
+                Some(select) => select(&peer, &stream),
                 None => (peer, stream),
             };
             LogicalNode::ChannelIn { peer, stream, var }
@@ -214,19 +220,92 @@ impl Monitor {
         } else {
             (plan.root.clone(), ReuseReport::default())
         };
-        let select_providers = if self.config.enable_replicas {
-            proximity.as_ref().map(|p| p as &dyn Fn(&str) -> u64)
+        // Measured per-provider-peer load (total outbound channel rate,
+        // bytes/sec): with rate-aware placement on, `select_provider` breaks
+        // proximity ties toward the least-loaded provider, spreading
+        // consumers across equally-near replicas.  Rounding to u64 keeps the
+        // ordering deterministic.
+        let now = self.network.now();
+        let provider_loads: Option<std::collections::BTreeMap<String, u64>> =
+            (self.config.enable_replicas && self.config.rate_aware_placement).then(|| {
+                let mut loads = std::collections::BTreeMap::new();
+                for (channel, stats) in self.rate_table.channels() {
+                    *loads.entry(String::from(channel.peer)).or_default() +=
+                        stats.bytes_per_second_at(now).round() as u64;
+                }
+                loads
+            });
+        let select_providers: Option<Box<SelectProviders<'_>>> = if self.config.enable_replicas {
+            proximity.as_ref().map(|prox| {
+                let db = &self.stream_db;
+                match &provider_loads {
+                    Some(loads) => Box::new(move |peer: &str, stream: &str| {
+                        db.select_provider_loaded(
+                            peer,
+                            stream,
+                            |p| prox(p),
+                            |p| loads.get(p).copied().unwrap_or(0),
+                        )
+                    }) as Box<SelectProviders<'_>>,
+                    None => Box::new(move |peer: &str, stream: &str| {
+                        db.select_provider(peer, stream, |p| prox(p))
+                    }),
+                }
+            })
         } else {
             None
         };
         let rewritten = LogicalPlan {
-            root: canonicalize_channel_refs(&self.stream_db, select_providers, root),
+            root: canonicalize_channel_refs(&self.stream_db, select_providers.as_deref(), root),
             by: plan.by.clone(),
             distinct: plan.distinct,
         };
+        drop(select_providers);
 
         // Placement, and the canonical channel identity of every task output.
-        let placed = place(&rewritten, &manager, self.config.placement);
+        // With rate-aware placement on, multi-input operators minimize
+        // `Σ input rate × latency(input peer, host)` using the rates measured
+        // so far — each new subscription is placed with what the monitor has
+        // learned from the traffic of earlier ones.
+        let rate_of = |kind: &TaskKind| -> Option<f64> {
+            let channel = match kind {
+                TaskKind::Source {
+                    function,
+                    monitored_peer,
+                    ..
+                } => ChannelId::new(monitored_peer.clone(), format!("src-{function}")),
+                TaskKind::ChannelSource { channel, .. } => {
+                    if let Some(rate) = self.rate_table.bytes_per_second(channel, now) {
+                        return Some(rate);
+                    }
+                    // A replica channel without its own measurements yet
+                    // carries the origin's stream at the origin's rate.
+                    let origin = self.channel_origin(channel);
+                    ChannelId::new(origin.0, origin.1)
+                }
+                _ => return None,
+            };
+            self.rate_table.bytes_per_second(&channel, now)
+        };
+        let latency = |from: &str, to: &str| {
+            if from == to {
+                0
+            } else if self.network.is_down(from) || self.network.is_down(to) {
+                u64::MAX
+            } else {
+                self.network.expected_latency(from, to)
+            }
+        };
+        let rates = PlacementRates {
+            rate_of: &rate_of,
+            latency: &latency,
+        };
+        let placed = place_with(
+            &rewritten,
+            &manager,
+            self.config.placement,
+            self.config.rate_aware_placement.then_some(&rates),
+        );
         for task in &placed.tasks {
             self.add_peer(task.peer.clone());
             if let TaskKind::Source { monitored_peer, .. } = &task.kind {

@@ -509,9 +509,17 @@ impl Monitor {
             // per-peer grouping is computed once for the whole feed.
             let source_channel = ChannelId::new(peer.clone(), format!("src-{function}"));
             let source_plan = self.multicast_plan(&source_channel);
+            let now = self.network.now();
             for alert in alerts {
                 // Wrap once; every consumer below shares the same tree.
                 let alert = Arc::new(alert);
+                // Source-channel rates are measured exactly once per alert:
+                // here when nobody multicasts the feed, otherwise by the
+                // multicast itself (which sees the same channel id).
+                if source_plan.is_none() {
+                    self.rate_table
+                        .observe(source_channel, now, alert.byte_size());
+                }
                 if !targets.is_empty() {
                     self.hosts
                         .get_mut(&peer)
@@ -643,6 +651,11 @@ impl Monitor {
     /// Emits one item according to a multicast plan.
     pub(crate) fn run_multicast(&mut self, plan: &MulticastPlan, output: &Arc<Element>) {
         let producer = plan.channel.peer;
+        // Every emitted item updates the channel's measured rate; placement
+        // and the replica policy read these through the monitor's rate table.
+        let now = self.network.now();
+        self.rate_table
+            .observe(plan.channel, now, output.byte_size());
         let mut saved = 0u64;
         let mut sent = 0u64;
         for &(peer, ref targets) in &plan.by_peer {
@@ -686,6 +699,24 @@ impl Monitor {
     fn deliver_result(&mut self, sub_idx: usize, output: Arc<Element>) {
         if self.subscriptions[sub_idx].retired {
             return;
+        }
+        // Keep the root channel's rate fresh even when nobody taps it yet:
+        // a later subscription deciding whether to reuse this stream needs a
+        // measured rate, and the multicast path (which also observes) only
+        // runs once consumers exist.
+        let root_channel = {
+            let sub = &self.subscriptions[sub_idx];
+            sub.channels[sub.placed.root]
+        };
+        let tapped = self
+            .routing
+            .channel_consumers
+            .get(&root_channel)
+            .is_some_and(|consumers| !consumers.is_empty());
+        if !tapped {
+            let now = self.network.now();
+            self.rate_table
+                .observe(root_channel, now, output.byte_size());
         }
         // Ship the result from the peer that produced it to the manager's
         // publisher (counted as network traffic when they differ).

@@ -38,11 +38,13 @@ pub mod sink;
 
 pub use dispatch::DispatchStats;
 pub use monitor::{
-    BookkeepingSnapshot, Monitor, MonitorConfig, SubscriptionHandle, SubscriptionReport,
+    BookkeepingSnapshot, Monitor, MonitorConfig, ReplicaPolicy, SubscriptionHandle,
+    SubscriptionReport,
 };
 pub use peer::PeerHost;
 pub use placement::{
-    place, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementStrategy, TaskKind,
+    place, place_with, push_selections_below_unions, PlacedPlan, PlacedTask, PlacementRates,
+    PlacementStrategy, TaskKind,
 };
 pub use reuse::{apply_reuse, logical_to_plan_node, ReplicaStats, ReuseReport, ReuseStats};
 pub use runtime::{RuntimeOperator, RuntimeOutput};

@@ -21,7 +21,7 @@ use p2pmon_filter::FilterStats;
 use p2pmon_net::{Network, NetworkConfig, NetworkStats};
 use p2pmon_p2pml::plan::normalize_peer;
 use p2pmon_streams::ops::Window;
-use p2pmon_streams::ChannelId;
+use p2pmon_streams::{ChannelId, RateTable};
 use p2pmon_xmlkit::Element;
 
 use crate::deployment::task_ref_key;
@@ -79,6 +79,66 @@ pub struct MonitorConfig {
     /// (threads cannot help there).  Results are identical for any value;
     /// only wall-clock time changes.
     pub workers: usize,
+    /// Place multi-input operators (joins/unions) to minimize *expected
+    /// bytes moved × latency-weighted hops* using the measured per-channel
+    /// rates in the monitor's [`RateTable`] plus the network's latency
+    /// model, instead of input-task counts.  Placement is decided per new
+    /// subscription, so later arrivals benefit from rates learned on streams
+    /// deployed earlier; with no measurements yet the choice degrades to the
+    /// count heuristic.  A placement optimization, never a semantics change:
+    /// sink bytes are byte-identical either way.
+    pub rate_aware_placement: bool,
+    /// When replicas re-publish a channel (see
+    /// [`MonitorConfig::enable_replicas`]), this policy decides *which*
+    /// remote consumers actually declare one.
+    pub replica_policy: ReplicaPolicy,
+}
+
+/// When a remote consumer's peer re-publishes a subscribed channel as a
+/// replica.  The default is the permissive pre-policy behaviour (every first
+/// remote consumer per peer forwards); tightening the fields trades fan-out
+/// relief at the origin against replica bookkeeping:
+///
+/// * a replica is declared only once `measured channel rate (bytes/sec) ×
+///   remote-consumer count` reaches [`ReplicaPolicy::min_rate`] — cold or
+///   trickling streams are not worth forwarding;
+/// * at most [`ReplicaPolicy::max_replicas_per_stream`] replicas exist per
+///   origin stream;
+/// * with [`ReplicaPolicy::prefer_cluster_median`], the declaration lands on
+///   the *medoid* of the consuming cluster (the consumer peer with minimal
+///   total latency to the origin's other nearby consumers) instead of on
+///   whichever consumer happened to arrive first;
+/// * a replica whose pressure decays below `min_rate / 2` (hysteresis, so a
+///   borderline stream does not flap) is retracted by
+///   [`Monitor::enforce_replica_policy`], and its consumers re-attach to the
+///   origin or a surviving replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaPolicy {
+    /// Minimum `rate × remote consumers` pressure (bytes/sec) before a
+    /// replica is declared.  `0.0` declares eagerly (the historical rule).
+    pub min_rate: f64,
+    /// Cap on concurrent replica declarations per origin stream.
+    pub max_replicas_per_stream: usize,
+    /// Prefer declaring on the cluster-median consumer peer.
+    pub prefer_cluster_median: bool,
+}
+
+impl Default for ReplicaPolicy {
+    fn default() -> Self {
+        ReplicaPolicy {
+            min_rate: 0.0,
+            max_replicas_per_stream: usize::MAX,
+            prefer_cluster_median: false,
+        }
+    }
+}
+
+impl ReplicaPolicy {
+    /// Retraction threshold: half the creation threshold, so a stream
+    /// hovering at `min_rate` does not create and retract in alternation.
+    pub fn retract_below(&self) -> f64 {
+        self.min_rate * 0.5
+    }
 }
 
 impl Default for MonitorConfig {
@@ -97,6 +157,8 @@ impl Default for MonitorConfig {
             workers: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            rate_aware_placement: true,
+            replica_policy: ReplicaPolicy::default(),
         }
     }
 }
@@ -238,6 +300,10 @@ pub struct Monitor {
     /// Aggregate replica re-publication counters (created/retracted and
     /// consumer routing; `origin_messages_saved` is read off the network).
     pub(crate) replica_totals: crate::reuse::ReplicaStats,
+    /// Measured per-channel rates: every multicast emission, alerter feed
+    /// and sink delivery is observed here.  Rate-aware placement and the
+    /// replica policy read it at deployment time.
+    pub(crate) rate_table: RateTable,
     /// Ids handed to per-peer engine registrations, globally unique.
     pub(crate) next_filter_id: u64,
     /// Total operator invocations (a processing-cost measure for E6/E7).
@@ -268,6 +334,7 @@ impl Monitor {
             replica_channels: HashMap::new(),
             reuse_totals: ReuseStats::default(),
             replica_totals: crate::reuse::ReplicaStats::default(),
+            rate_table: RateTable::new(),
             next_filter_id: 0,
             operator_invocations: 0,
             scheduler: crate::scheduler::SchedulerPool::new(),
@@ -337,6 +404,24 @@ impl Monitor {
     /// Network traffic statistics.
     pub fn network_stats(&self) -> &NetworkStats {
         self.network.stats()
+    }
+
+    /// The measured per-channel rates (see [`p2pmon_streams::RateTable`]):
+    /// what rate-aware placement and the replica policy consult.
+    pub fn rate_table(&self) -> &RateTable {
+        &self.rate_table
+    }
+
+    /// Expected latency (ms) between two registered peers, from the
+    /// network's latency model — the proximity measure placement weighs
+    /// bytes with.
+    pub fn expected_latency(&self, from: &str, to: &str) -> u64 {
+        let (from, to) = (normalize_peer(from), normalize_peer(to));
+        if from == to {
+            0
+        } else {
+            self.network.expected_latency(&from, &to)
+        }
     }
 
     /// The Stream Definition Database (e.g. to inspect published streams or
@@ -431,12 +516,13 @@ impl Monitor {
 
     /// Notes one deployed `ChannelSource` consumer for replica bookkeeping:
     /// a subscriber of a published channel hosted away from the stream's
-    /// origin *re-publishes* the stream from its own peer.  The first such
-    /// subscriber on a peer becomes the **forwarder** — its canonical output
-    /// channel is declared as the replica's local stream, so its output tap
-    /// carries every item on to later subscribers that attach to the
-    /// replica.  Further same-peer subscribers share the declaration
-    /// (duplicate `<InChannel>` entries from one peer never accumulate).
+    /// origin may *re-publish* the stream from its own peer, subject to the
+    /// [`ReplicaPolicy`].  The first such subscriber on a peer becomes the
+    /// **forwarder** — its canonical output channel is declared as the
+    /// replica's local stream, so its output tap carries every item of the
+    /// origin stream on to later subscribers that attach to the replica.
+    /// Further same-peer subscribers share the declaration (duplicate
+    /// `<InChannel>` entries from one peer never accumulate).
     pub(crate) fn note_replica_consumer(
         &mut self,
         sub: usize,
@@ -467,11 +553,56 @@ impl Monitor {
             entry.subscribers.insert((sub, task));
             return;
         }
+        // Policy gate: forward only streams whose measured pressure (rate ×
+        // remote consumers) earns the bookkeeping, and respect the
+        // per-stream cap.  `min_rate == 0` declares eagerly.
+        let policy = self.config.replica_policy.clone();
+        if self.replica_pressure(&origin) < policy.min_rate {
+            return;
+        }
+        let live = self
+            .replica_refs
+            .keys()
+            .filter(|(o, _)| o == &origin)
+            .count();
+        if live >= policy.max_replicas_per_stream {
+            return;
+        }
+        if policy.prefer_cluster_median {
+            let median = self.cluster_median_peer(&origin, peer);
+            if median != peer {
+                // The medoid of the consuming cluster already hosts a
+                // consumer of this stream; declare the replica there (with
+                // that consumer as forwarder) instead of on the first-come
+                // peer.
+                if let Some((s, t)) = self.consumer_task_on(&origin, &median) {
+                    let channel = self.subscriptions[s].channels[t];
+                    self.declare_replica(origin, &median, (s, t), &channel);
+                    return;
+                }
+            }
+        }
+        self.declare_replica(origin, peer, (sub, task), own_channel);
+    }
+
+    /// Declares a replica of `origin` on `peer`, forwarded by the given
+    /// task's canonical output channel.
+    fn declare_replica(
+        &mut self,
+        origin: (String, String),
+        peer: &str,
+        forwarder: (usize, usize),
+        own_channel: &ChannelId,
+    ) {
+        let key = (origin.clone(), peer.to_string());
+        if self.replica_refs.contains_key(&key) {
+            return;
+        }
         self.replica_refs.insert(
             key,
             ReplicaEntry {
-                subscribers: BTreeSet::from([(sub, task)]),
-                forwarder: (sub, task),
+                subscribers: BTreeSet::from([forwarder]),
+                forwarder,
                 replica_stream: own_channel.stream.into(),
             },
         );
@@ -484,6 +615,134 @@ impl Monitor {
                 replica_stream: own_channel.stream.into(),
             });
         self.replica_totals.replicas_created += 1;
+    }
+
+    /// The replica-policy pressure of an origin stream: its measured data
+    /// rate (bytes/sec, EWMA decayed to now) times the number of remote
+    /// consumers currently attached to the origin or any of its replicas.
+    fn replica_pressure(&self, origin: &(String, String)) -> f64 {
+        let now = self.network.now();
+        let rate = self
+            .rate_table
+            .bytes_per_second(&ChannelId::new(origin.0.clone(), origin.1.clone()), now)
+            .unwrap_or(0.0);
+        // Consumers register in routing before the policy is asked, so the
+        // triggering consumer is already counted.
+        rate * self.remote_consumers_of(origin) as f64
+    }
+
+    /// Number of channel consumers of `origin` (through the origin channel
+    /// or any live replica of it) hosted away from the origin peer.
+    fn remote_consumers_of(&self, origin: &(String, String)) -> usize {
+        self.routing
+            .channel_consumers
+            .iter()
+            .filter(|(channel, _)| &self.channel_origin(channel) == origin)
+            .flat_map(|(_, consumers)| consumers)
+            // The subscription being deployed registers its consumers before
+            // it is pushed onto `subscriptions`; those in-flight entries are
+            // exactly the remote consumer whose arrival triggered the policy
+            // question, so they count as remote.
+            .filter(|&&(s, t, _)| {
+                self.subscriptions
+                    .get(s)
+                    .is_none_or(|sub| sub.placed.tasks[t].peer != origin.0)
+            })
+            .count()
+    }
+
+    /// The consumer peers of `origin` that form the candidate's latency
+    /// cluster, and their medoid: among the remote consumer peers at least
+    /// as close to `candidate` as the origin is (plus the candidate itself),
+    /// the peer with minimal total latency to the others.  Deterministic —
+    /// peers are scanned in sorted order and ties keep the lexicographically
+    /// first.
+    fn cluster_median_peer(&self, origin: &(String, String), candidate: &str) -> String {
+        let mut peers: BTreeSet<String> = self
+            .routing
+            .channel_consumers
+            .iter()
+            .filter(|(channel, _)| &self.channel_origin(channel) == origin)
+            .flat_map(|(_, consumers)| consumers)
+            // In-flight consumers (mid-deploy) have no subscription entry
+            // yet; the triggering peer is added as `candidate` below.
+            .filter_map(|&(s, t, _)| Some(self.subscriptions.get(s)?.placed.tasks[t].peer.clone()))
+            .filter(|p| p != &origin.0)
+            .collect();
+        peers.insert(candidate.to_string());
+        let origin_latency = self.expected_latency(candidate, &origin.0);
+        let cluster: Vec<String> = peers
+            .into_iter()
+            .filter(|p| p == candidate || self.expected_latency(candidate, p) < origin_latency)
+            .collect();
+        cluster
+            .iter()
+            .min_by_key(|p| {
+                let total: u64 = cluster
+                    .iter()
+                    .map(|q| self.expected_latency(p, q))
+                    .fold(0u64, u64::saturating_add);
+                (total, (*p).clone())
+            })
+            .cloned()
+            .unwrap_or_else(|| candidate.to_string())
+    }
+
+    /// A deterministic consumer task of `origin` hosted on `peer` (lowest
+    /// `(sub, task)` first), if any.
+    fn consumer_task_on(&self, origin: &(String, String), peer: &str) -> Option<(usize, usize)> {
+        self.routing
+            .channel_consumers
+            .iter()
+            .filter(|(channel, _)| &self.channel_origin(channel) == origin)
+            .flat_map(|(_, consumers)| consumers)
+            .map(|&(s, t, _)| (s, t))
+            // In-flight consumers (mid-deploy, no subscription entry yet)
+            // cannot forward for the medoid.
+            .filter(|&(s, t)| {
+                self.subscriptions
+                    .get(s)
+                    .is_some_and(|sub| sub.placed.tasks[t].peer == peer)
+            })
+            .min()
+    }
+
+    /// Applies the [`ReplicaPolicy`] to the *existing* replicas: any whose
+    /// origin-stream pressure has decayed below the hysteresis threshold
+    /// (`min_rate / 2`) is retracted, and its consumers re-attach to the
+    /// origin or the closest surviving replica — nothing is lost or
+    /// duplicated, because retraction reuses the same orphan re-attachment
+    /// path as teardown.  Returns the number of replicas retracted.  Call it
+    /// between dispatch rounds (it is deliberately not implicit in `tick`,
+    /// so equivalence oracles can hold the topology still).
+    pub fn enforce_replica_policy(&mut self) -> usize {
+        if !self.config.enable_replicas {
+            return 0;
+        }
+        let threshold = self.config.replica_policy.retract_below();
+        if threshold <= 0.0 {
+            return 0;
+        }
+        let mut stale: Vec<((String, String), String)> = self
+            .replica_refs
+            .keys()
+            .filter(|(origin, _)| self.replica_pressure(origin) < threshold)
+            .cloned()
+            .collect();
+        stale.sort();
+        let retracted = stale.len();
+        for (origin, peer) in stale {
+            let entry = self
+                .replica_refs
+                .remove(&(origin.clone(), peer.clone()))
+                .expect("key just listed");
+            let old_channel = ChannelId::new(peer.clone(), entry.replica_stream);
+            self.stream_db.retract_replica(&origin.0, &origin.1, &peer);
+            self.replica_channels.remove(&old_channel);
+            self.reattach_orphaned_consumers(&old_channel, &origin);
+            self.replica_totals.replicas_retracted += 1;
+        }
+        retracted
     }
 
     /// Releases one removed `ChannelSource` consumer's replica reference.

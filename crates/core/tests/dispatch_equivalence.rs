@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy, SubscriptionHandle};
+use p2pmon_core::{Monitor, MonitorConfig, PlacementStrategy, ReplicaPolicy, SubscriptionHandle};
 use p2pmon_workloads::{OverlappingStorm, SubscriptionStorm};
 
 #[allow(clippy::too_many_arguments)]
@@ -298,6 +298,167 @@ proptest! {
             origin_out(&replica_on),
             origin_out(&replica_off)
         );
+    }
+
+    /// Rate-aware placement is an optimization, not a semantics change:
+    /// with per-channel rates measured during a warmup phase (calls drained
+    /// one at a time so the EWMA sees distinct instants), rate-aware-on
+    /// delivers byte-identical sink output to rate-aware-off over paired
+    /// multi-input storms, for any worker count.
+    #[test]
+    fn rate_aware_placement_on_equals_off_for_any_worker_count(
+        seed in 0u64..10_000,
+        clusters in 1usize..3,
+        per_cluster in 1usize..4,
+        n_subs in 1usize..16,
+        warmup_calls in 4usize..14,
+        n_calls in 1usize..20,
+        workers in 1usize..5,
+    ) {
+        let storm = OverlappingStorm::paired(seed, 4, clusters, per_cluster);
+        let run = |rate_aware: bool| -> (Monitor, Vec<SubscriptionHandle>) {
+            let mut monitor = Monitor::new(MonitorConfig {
+                rate_aware_placement: rate_aware,
+                workers,
+                network: p2pmon_net::NetworkConfig {
+                    latency: storm.latency_model(),
+                    ..p2pmon_net::NetworkConfig::default()
+                },
+                ..MonitorConfig::default()
+            });
+            monitor.add_peer("backend.net");
+            let warmup_subs = 2usize.min(n_subs);
+            let mut handles: Vec<SubscriptionHandle> = Vec::with_capacity(n_subs);
+            let mut traffic = storm.clone();
+            for i in 0..warmup_subs {
+                handles.push(
+                    monitor
+                        .submit(storm.manager_of(i), &storm.subscription(i))
+                        .expect("paired storm deploys"),
+                );
+            }
+            for call in traffic.calls(warmup_calls) {
+                monitor.inject_soap_call(&call);
+                monitor.run_until_idle();
+            }
+            for i in warmup_subs..n_subs {
+                handles.push(
+                    monitor
+                        .submit(storm.manager_of(i), &storm.subscription(i))
+                        .expect("paired storm deploys"),
+                );
+            }
+            for call in traffic.calls(n_calls) {
+                monitor.inject_soap_call(&call);
+            }
+            monitor.run_until_idle();
+            (monitor, handles)
+        };
+        let (aware, aware_handles) = run(true);
+        let (count, count_handles) = run(false);
+        for (a, b) in aware_handles.iter().zip(&count_handles) {
+            prop_assert_eq!(
+                aware.results(a),
+                count.results(b),
+                "rate-aware sink divergence (seed {}, {}x{} consumers, {} subs, {}+{} calls, {} workers)",
+                seed, clusters, per_cluster, n_subs, warmup_calls, n_calls, workers
+            );
+        }
+    }
+
+    /// The replica *policy* is a restriction of eager replication: however
+    /// its knobs are set — rate gate, per-stream cap, cluster-median
+    /// steering — policy-on delivers byte-identical sink output to
+    /// replica-off, and the origin hub never sends *more* messages than the
+    /// replica-free baseline.  A mid-run `enforce_replica_policy` sweep
+    /// (which may retract decayed replicas and re-attach their consumers)
+    /// must not lose or duplicate items either.
+    #[test]
+    fn replica_policy_never_increases_origin_egress(
+        seed in 0u64..10_000,
+        shapes in 1usize..4,
+        clusters in 1usize..4,
+        per_cluster in 1usize..4,
+        n_subs in 1usize..20,
+        n_calls in 2usize..16,
+        workers in 1usize..5,
+        min_rate in 0u32..200,
+        max_replicas in 0usize..5,
+        prefer_median in proptest::bool::ANY,
+    ) {
+        let storm = OverlappingStorm::clustered(seed, shapes, clusters, per_cluster);
+        let policy = ReplicaPolicy {
+            min_rate: min_rate as f64,
+            max_replicas_per_stream: max_replicas,
+            prefer_cluster_median: prefer_median,
+        };
+        let run = |enable_replicas: bool, policy: ReplicaPolicy| {
+            let mut monitor = Monitor::new(MonitorConfig {
+                enable_replicas,
+                replica_policy: policy,
+                workers,
+                network: p2pmon_net::NetworkConfig {
+                    latency: storm.latency_model(),
+                    ..p2pmon_net::NetworkConfig::default()
+                },
+                ..MonitorConfig::default()
+            });
+            monitor.add_peer("backend.net");
+            let handles: Vec<SubscriptionHandle> = storm
+                .subscriptions(n_subs)
+                .iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    monitor
+                        .submit(storm.manager_of(i), text)
+                        .expect("clustered storm deploys")
+                })
+                .collect();
+            let mut traffic = storm.clone();
+            // Drained per call so a `min_rate > 0` gate sees live EWMA
+            // rates instead of one collapsed logical instant.
+            for call in traffic.calls(n_calls) {
+                monitor.inject_soap_call(&call);
+                monitor.run_until_idle();
+            }
+            monitor.enforce_replica_policy();
+            for call in traffic.calls(n_calls) {
+                monitor.inject_soap_call(&call);
+            }
+            monitor.run_until_idle();
+            (monitor, handles)
+        };
+        let (policy_on, on_handles) = run(true, policy.clone());
+        let (off, off_handles) = run(false, ReplicaPolicy::default());
+        for (a, b) in on_handles.iter().zip(&off_handles) {
+            prop_assert_eq!(
+                policy_on.results(a),
+                off.results(b),
+                "policy sink divergence (seed {}, {} shapes, {}x{} consumers, {} subs, {} calls, {} workers, {:?})",
+                seed, shapes, clusters, per_cluster, n_subs, n_calls, workers, policy
+            );
+        }
+        let origin_out = |monitor: &Monitor| {
+            monitor
+                .network_stats()
+                .per_peer()
+                .get(&"hub.net".into())
+                .map(|t| t.messages_out)
+                .unwrap_or(0)
+        };
+        prop_assert!(
+            origin_out(&policy_on) <= origin_out(&off),
+            "the replica policy must never add origin-peer load ({} vs {}, {:?})",
+            origin_out(&policy_on),
+            origin_out(&off),
+            policy
+        );
+        if max_replicas == 0 {
+            prop_assert_eq!(
+                policy_on.replica_stats().replicas_created, 0,
+                "a zero cap must suppress every declaration"
+            );
+        }
     }
 
     /// Churn under faults: random interleavings of subscribe, unsubscribe,

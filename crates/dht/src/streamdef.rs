@@ -459,6 +459,38 @@ impl StreamDefinitionDatabase {
         }
         best
     }
+
+    /// Like [`select_provider`](Self::select_provider), but with a second,
+    /// load-based tie-break: among providers at the minimal proximity, the
+    /// one currently serving the fewest measured bytes per second wins.
+    /// Remaining ties keep the original-then-declaration order, so with an
+    /// all-zero `load` this selects exactly what `select_provider` would —
+    /// load shedding only ever redirects between equally-close providers.
+    pub fn select_provider_loaded(
+        &self,
+        peer: &str,
+        stream: &str,
+        proximity: impl Fn(&str) -> u64,
+        load: impl Fn(&str) -> u64,
+    ) -> (String, String) {
+        let mut best = (peer.to_string(), stream.to_string());
+        let mut best_score = proximity(peer);
+        let mut best_load = load(peer);
+        for replica in self.replicas_of(peer, stream) {
+            let score = proximity(&replica.replica_peer);
+            if score == u64::MAX {
+                continue;
+            }
+            let closer = score < best_score;
+            let lighter = score == best_score && load(&replica.replica_peer) < best_load;
+            if closer || lighter {
+                best_score = score;
+                best_load = load(&replica.replica_peer);
+                best = (replica.replica_peer.clone(), replica.replica_stream.clone());
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +634,54 @@ mod tests {
         assert_eq!(
             db.select_provider("origin.com", "s1", proximity),
             ("origin.com".to_string(), "s1".to_string())
+        );
+    }
+
+    #[test]
+    fn loaded_selection_breaks_proximity_ties_by_load() {
+        let mut db = db();
+        db.publish(StreamDefinition::source("origin.com", "s1", "inCOM"));
+        db.publish_replica(ReplicaDeclaration {
+            peer_id: "origin.com".into(),
+            stream_id: "s1".into(),
+            replica_peer: "twin.com".into(),
+            replica_stream: "r1".into(),
+        });
+        // Equal proximity everywhere: with zero load the original wins, just
+        // like `select_provider`; under load the lighter twin takes over.
+        let flat = |_: &str| 10u64;
+        assert_eq!(
+            db.select_provider_loaded("origin.com", "s1", flat, |_| 0),
+            db.select_provider("origin.com", "s1", flat)
+        );
+        assert_eq!(
+            db.select_provider_loaded("origin.com", "s1", flat, |p| {
+                if p == "origin.com" {
+                    5_000
+                } else {
+                    100
+                }
+            }),
+            ("twin.com".to_string(), "r1".to_string())
+        );
+        // Load never overrides proximity: a busier but strictly closer
+        // provider still wins.
+        let near_origin = |p: &str| if p == "origin.com" { 1 } else { 50 };
+        assert_eq!(
+            db.select_provider_loaded("origin.com", "s1", near_origin, |p| {
+                if p == "origin.com" {
+                    9_999
+                } else {
+                    0
+                }
+            }),
+            ("origin.com".to_string(), "s1".to_string())
+        );
+        // An unavailable provider is skipped regardless of load.
+        let origin_down = |p: &str| if p == "origin.com" { u64::MAX } else { 50 };
+        assert_eq!(
+            db.select_provider_loaded("origin.com", "s1", origin_down, |_| 0),
+            ("twin.com".to_string(), "r1".to_string())
         );
     }
 

@@ -27,8 +27,9 @@
 //!   two-stage Filter exploits ([`condition`]),
 //! * [`Template`] — RETURN-clause templates with `{…}` placeholders
 //!   ([`template`]),
-//! * [`StreamStats`] — per-stream statistics kept for the Stream Definition
-//!   Database ([`stats`]).
+//! * [`StreamStats`] / [`RateTable`] — per-stream statistics (lifetime and
+//!   EWMA rates) kept for the Stream Definition Database and the per-monitor
+//!   rate table that drives load-aware placement ([`stats`]).
 
 pub mod binding;
 pub mod channel;
@@ -44,7 +45,7 @@ pub use channel::{normalize_peer, ChannelId, ChannelSpec};
 pub use condition::{AttrCondition, Condition, Operand};
 pub use item::{StreamEvent, StreamItem};
 pub use operator::{Operator, OperatorOutput};
-pub use stats::StreamStats;
+pub use stats::{RateTable, StreamStats};
 pub use template::Template;
 
 #[cfg(test)]

@@ -562,6 +562,15 @@ pub struct OverlappingStorm {
     pub slow_fraction: f64,
     /// Fraction of generated calls carrying a `<detail>` body element.
     pub detail_fraction: f64,
+    /// Paired-hub mode: shape `k` watches *two* hubs (see
+    /// [`OverlappingStorm::hub_pair_of_shape`]), so its plan is a union of
+    /// two per-hub alerter streams — the multi-input workload rate-aware
+    /// placement is measured on.
+    pub paired_hubs: bool,
+    /// Cumulative skewed hub-popularity distribution (empty ⇒ uniform
+    /// traffic): with paired hubs, the two inputs of every union carry
+    /// *different* measured rates, so placement has something to optimize.
+    hub_cdf: Vec<f64>,
     rng: StdRng,
     next_id: u64,
     clock: u64,
@@ -584,6 +593,8 @@ impl OverlappingStorm {
             slow_threshold_ms: 10,
             slow_fraction: 0.3,
             detail_fraction: 0.5,
+            paired_hubs: false,
+            hub_cdf: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
             clock: 1_000,
@@ -612,6 +623,51 @@ impl OverlappingStorm {
             .flat_map(|c| (0..peers_per_cluster.max(1)).map(move |p| format!("c{c}-peer{p}.org")))
             .collect();
         storm
+    }
+
+    /// The locality storm: `hubs` monitored hubs with **skewed** traffic
+    /// (hub `h` carries weight `1/(h+1)`), clustered consumers as in
+    /// [`OverlappingStorm::clustered`], and one shape per hub where shape
+    /// `k` watches the **pair** of hubs `(k, (k + hubs/2) mod hubs)` — a
+    /// union over two alerter streams with measurably different rates.
+    ///
+    /// The pairing makes the count-based placement heuristic provably
+    /// indifferent (each union input anchors exactly one task, so the tie
+    /// falls to whichever hub is listed first) while the rate-aware cost
+    /// `Σ rate × latency` always prefers the hotter hub; for shapes with
+    /// `k >= hubs/2` the hotter hub is listed *second*, so the two
+    /// heuristics place those unions differently and the bytes ×
+    /// latency-weighted-hops gap is the measured quantity.  Shapes
+    /// `0..hubs/2` cover every hub between them — deploying them first and
+    /// driving traffic teaches the monitor every per-hub rate before the
+    /// remaining shapes arrive.
+    pub fn paired(seed: u64, hubs: usize, clusters: usize, peers_per_cluster: usize) -> Self {
+        let hubs = hubs.max(2);
+        let mut storm = OverlappingStorm::clustered(seed, hubs, clusters, peers_per_cluster);
+        storm.monitored_peers = (0..hubs).map(|i| format!("hub{i}.net")).collect();
+        storm.paired_hubs = true;
+        let weights: Vec<f64> = (0..hubs).map(|h| 1.0 / (h as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        storm.hub_cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        storm
+    }
+
+    /// The two hubs shape `k` watches in paired mode, in the order the
+    /// subscription text lists them: `(k mod hubs, (k + hubs/2) mod hubs)`.
+    /// With the harmonic traffic skew the first hub is the hotter one for
+    /// `k < hubs/2` and the colder one after the wrap.
+    pub fn hub_pair_of_shape(&self, shape: usize) -> (&str, &str) {
+        let hubs = self.monitored_peers.len();
+        let a = shape % hubs;
+        let b = (a + (hubs / 2).max(1)) % hubs;
+        (&self.monitored_peers[a], &self.monitored_peers[b])
     }
 
     /// The manager peer subscription `i` is submitted at: consumer peers
@@ -651,11 +707,16 @@ impl OverlappingStorm {
     /// shape (`i % shapes`) differ only in the sink address.
     pub fn subscription(&self, i: usize) -> String {
         let shape = i % self.shapes;
-        let peer = &self.monitored_peers[shape % self.monitored_peers.len()];
         let method = &self.methods[shape % self.methods.len()];
         let with_pattern = self.pattern_every > 0 && shape.is_multiple_of(self.pattern_every);
         let with_residual = self.residual_every > 0 && shape.is_multiple_of(self.residual_every);
-        let mut text = format!("for $c in outCOM(<p>{peer}</p>)\n");
+        let mut text = if self.paired_hubs {
+            let (a, b) = self.hub_pair_of_shape(shape);
+            format!("for $c in outCOM(<p>{a}</p> <p>{b}</p>)\n")
+        } else {
+            let peer = &self.monitored_peers[shape % self.monitored_peers.len()];
+            format!("for $c in outCOM(<p>{peer}</p>)\n")
+        };
         if with_residual {
             text.push_str("let $d := $c.responseTimestamp - $c.callTimestamp\n");
         }
@@ -680,10 +741,22 @@ impl OverlappingStorm {
         (0..n).map(|i| self.subscription(i)).collect()
     }
 
-    /// The next SOAP call of the matching traffic.
+    /// The next SOAP call of the matching traffic.  With the skewed hub
+    /// distribution of [`OverlappingStorm::paired`], low-index hubs produce
+    /// measurably more traffic than high-index ones; otherwise hubs are
+    /// drawn uniformly.
     pub fn next_call(&mut self) -> SoapCall {
         let method = self.methods[self.rng.gen_range(0..self.methods.len())].clone();
-        let peer = self.monitored_peers[self.rng.gen_range(0..self.monitored_peers.len())].clone();
+        let peer = if self.hub_cdf.is_empty() {
+            self.monitored_peers[self.rng.gen_range(0..self.monitored_peers.len())].clone()
+        } else {
+            let u: f64 = self.rng.gen();
+            let idx = self
+                .hub_cdf
+                .partition_point(|&c| c < u)
+                .min(self.monitored_peers.len() - 1);
+            self.monitored_peers[idx].clone()
+        };
         self.clock += self.rng.gen_range(1..=20u64);
         let slow = self.rng.gen::<f64>() < self.slow_fraction;
         let latency = if slow {
@@ -1213,6 +1286,60 @@ mod tests {
         assert_eq!(sampler.expected("c0-peer0.org", "hub.net"), 100);
         // The classic storm keeps the single-manager behaviour.
         assert_eq!(OverlappingStorm::new(1, 2).manager_of(7), "manager.org");
+    }
+
+    #[test]
+    fn paired_storm_unions_two_hubs_and_skews_their_traffic() {
+        let storm = OverlappingStorm::paired(3, 8, 2, 4);
+        assert_eq!(storm.shapes, 8);
+        assert_eq!(storm.monitored_peers.len(), 8);
+        // Shape k watches hubs (k, k+4 mod 8); texts compile to a union of
+        // two per-hub alerters.
+        assert_eq!(storm.hub_pair_of_shape(0), ("hub0.net", "hub4.net"));
+        assert_eq!(storm.hub_pair_of_shape(6), ("hub6.net", "hub2.net"));
+        for i in 0..8 {
+            let text = storm.subscription(i);
+            let (a, b) = storm.hub_pair_of_shape(i);
+            assert!(text.contains(&format!("<p>{a}</p> <p>{b}</p>")));
+            let plan =
+                p2pmon_p2pml::compile_subscription(&text).expect("paired texts must compile");
+            let mut watched = plan.peers();
+            watched.sort();
+            let mut expected = vec![a.to_string(), b.to_string()];
+            expected.sort();
+            assert_eq!(watched, expected);
+        }
+        // The first half of the shapes covers every hub between them, so a
+        // warmup over shapes 0..hubs/2 measures every hub's rate.
+        let covered: std::collections::HashSet<&str> = (0..4)
+            .flat_map(|k| {
+                let (a, b) = storm.hub_pair_of_shape(k);
+                [a, b]
+            })
+            .collect();
+        assert_eq!(covered.len(), 8);
+        // Harmonic skew: hub0 produces several times hub7's traffic.
+        let mut traffic = storm.clone();
+        let calls = traffic.calls(2_000);
+        let count = |hub: &str| {
+            calls
+                .iter()
+                .filter(|c| c.caller == format!("http://{hub}"))
+                .count()
+        };
+        assert!(
+            count("hub0.net") > 3 * count("hub7.net").max(1),
+            "hub0 {} vs hub7 {}",
+            count("hub0.net"),
+            count("hub7.net")
+        );
+        // Deterministic traffic, and every call comes from a monitored hub.
+        assert_eq!(OverlappingStorm::paired(3, 8, 2, 4).calls(2_000), calls);
+        assert!(calls.iter().all(|c| {
+            c.caller
+                .strip_prefix("http://")
+                .is_some_and(|p| storm.monitored_peers.iter().any(|hub| hub == p))
+        }));
     }
 
     #[test]

@@ -70,6 +70,17 @@ fn committed_scale_trajectory_passes_the_dht_gate() {
 }
 
 #[test]
+fn committed_reuse_trajectory_passes_the_locality_gate() {
+    // The committed BENCH_reuse.json must show rate-aware placement strictly
+    // beating count-based on bytes × latency-weighted hops over the paired
+    // storm at 256 subs, no regression at the 10k single-input tier, and
+    // byte-identical sink output on every row.
+    if let Some(output) = run_harness(&["locality"]) {
+        assert_success(output, "ci/check_bench.py locality");
+    }
+}
+
+#[test]
 fn committed_chaos_trajectory_passes_the_chaos_gate() {
     // Every committed chaos scenario must converge to the fault-free
     // oracle with zero unaccounted or double-delivered alerts, replay

@@ -31,6 +31,12 @@ the workspace root:
                                           # the fault-free oracle with zero
                                           # unaccounted or double-delivered
                                           # alerts and a deterministic replay
+    python3 ci/check_bench.py sketch      # sketch-on wire bytes sublinear in
+                                          # the peer count, >= 5x under the
+                                          # ship-items baseline at the 10k
+                                          # tier, answers within the sketches'
+                                          # accuracy bounds of the exact
+                                          # oracle
     python3 ci/check_bench.py all         # schema + every gate
     python3 ci/check_bench.py --self-test # run the built-in fixtures
 
@@ -114,6 +120,20 @@ REQUIRED = {
             "results_delivered",
             "dht_avg_hops",
             "dht_operations",
+        ],
+    },
+    "sketch": {
+        "": ["results"],
+        "results": [
+            "peers",
+            "events",
+            "sketch_bytes",
+            "ship_bytes",
+            "ratio",
+            "answers",
+            "topk_max_rel_err",
+            "entropy_err_bits",
+            "quantile_rel_err",
         ],
     },
     "chaos": {
@@ -452,6 +472,96 @@ def gate_chaos(data):
         )
 
 
+SKETCH_BASE_PEERS = 1_000
+SKETCH_TOP_PEERS = 10_000
+SKETCH_MIN_RATIO = 5.0
+# Sketch bytes may grow at most half as fast as the peer count (sublinear
+# with real margin: the measured trajectory is near-flat).
+SKETCH_MAX_SUBLINEAR_SHARE = 0.5
+SKETCH_TOPK_MAX_REL_ERR = 0.05
+SKETCH_ENTROPY_MAX_ERR_BITS = 0.05
+SKETCH_QUANTILE_MAX_REL_ERR = 0.10
+
+
+def sketch_row_at(data, peers):
+    for row in data.get("results", []):
+        if row.get("peers") == peers:
+            return row
+    raise GateError(
+        f"BENCH_sketch.json has no row at {peers} peers — the gate would "
+        f"silently skip; regenerate the trajectory"
+    )
+
+
+def gate_sketch(data):
+    """The sketch plane must earn its keep on the wire and stay honest in its
+    answers: at the 10k-peer tier the three aggregate subscriptions must move
+    at least 5x fewer bytes than the ship-items baseline, sketch bytes must
+    grow sublinearly while the peer count (and with it the baseline) grows
+    10x, and every tier's answers must sit within the sketches' accuracy
+    bounds of the exact oracle computed over the same event stream."""
+    rows = data.get("results", [])
+    if not rows:
+        raise GateError("BENCH_sketch.json has no 'results' rows — regenerate the trajectory")
+    for row in rows:
+        print(
+            f"sketch at {row['peers']} peers: {row['sketch_bytes']} sketch bytes vs "
+            f"{row['ship_bytes']} ship bytes ({row['ratio']:.1f}x), "
+            f"topk err {row['topk_max_rel_err']:.4f}, "
+            f"entropy err {row['entropy_err_bits']:.4f} bits, "
+            f"quantile err {row['quantile_rel_err']:.4f}, {row['answers']} answers"
+        )
+        if row["events"] == 0 or row["answers"] == 0:
+            raise GateError(
+                f"the {row['peers']}-peer tier drove no events or produced no "
+                f"aggregate answers — the byte comparison passed vacuously: {row}"
+            )
+        if row["topk_max_rel_err"] > SKETCH_TOPK_MAX_REL_ERR:
+            raise GateError(
+                f"topk heavy-hitter counts drifted beyond "
+                f"{SKETCH_TOPK_MAX_REL_ERR:.0%} of exact at {row['peers']} peers: {row}"
+            )
+        if row["entropy_err_bits"] > SKETCH_ENTROPY_MAX_ERR_BITS:
+            raise GateError(
+                f"entropy answer drifted beyond {SKETCH_ENTROPY_MAX_ERR_BITS} bits "
+                f"of exact at {row['peers']} peers: {row}"
+            )
+        if row["quantile_rel_err"] > SKETCH_QUANTILE_MAX_REL_ERR:
+            raise GateError(
+                f"quantile answer drifted beyond {SKETCH_QUANTILE_MAX_REL_ERR:.0%} "
+                f"of exact at {row['peers']} peers: {row}"
+            )
+    base = sketch_row_at(data, SKETCH_BASE_PEERS)
+    top = sketch_row_at(data, SKETCH_TOP_PEERS)
+    if top["ratio"] < SKETCH_MIN_RATIO:
+        raise GateError(
+            f"the sketch plane moves only {top['ratio']:.1f}x fewer bytes than "
+            f"the ship-items baseline at {SKETCH_TOP_PEERS} peers "
+            f"(bound {SKETCH_MIN_RATIO}x) — partials stopped paying for themselves: {top}"
+        )
+    if base["sketch_bytes"] <= 0:
+        raise GateError(f"degenerate base tier (sketch_bytes <= 0): {base}")
+    byte_growth = top["sketch_bytes"] / base["sketch_bytes"]
+    peer_growth = top["peers"] / base["peers"]
+    print(
+        f"sketch bytes growth {SKETCH_BASE_PEERS} -> {SKETCH_TOP_PEERS} peers: "
+        f"{byte_growth:.2f}x against {peer_growth:.0f}x peers "
+        f"(bound {SKETCH_MAX_SUBLINEAR_SHARE * peer_growth:.1f}x)"
+    )
+    if byte_growth > SKETCH_MAX_SUBLINEAR_SHARE * peer_growth:
+        raise GateError(
+            f"sketch wire bytes grew {byte_growth:.2f}x while the peer count grew "
+            f"{peer_growth:.0f}x — the partial flow is no longer sublinear: {top}"
+        )
+    ratios = [r["ratio"] for r in sorted(rows, key=lambda r: r["peers"])]
+    for prev, cur in zip(ratios, ratios[1:]):
+        if cur < prev * 0.9:
+            raise GateError(
+                f"the bytes-saved ratio fell as the population grew ({ratios}) — "
+                f"sketching should pay MORE at scale, not less"
+            )
+
+
 def validate_trajectory(bench, data):
     """The schema check for one parsed trajectory: every field a gate reads
     must be present (top-level keys, and per-row fields of each axis)."""
@@ -633,6 +743,37 @@ FIXTURE_SCALE = {
 }
 
 
+def _sketch_row(peers, **overrides):
+    row = {
+        "peers": peers,
+        "events": peers * 16,
+        "rounds": 2,
+        "sketch_bytes": 700000,
+        "ship_bytes": peers * 700,
+        "ratio": peers * 700 / 700000,
+        "sketch_messages": 1200,
+        "ship_messages": peers * 16,
+        "answers": 6,
+        "topk_max_rel_err": 0.0,
+        "entropy_err_bits": 0.001,
+        "quantile_rel_err": 0.005,
+        "deploy_ms": 100,
+    }
+    row.update(overrides)
+    return row
+
+
+FIXTURE_SKETCH = {
+    "bench": "sketch",
+    "events_per_peer": 16,
+    "results": [
+        _sketch_row(1000),
+        _sketch_row(4000, sketch_bytes=800000, ratio=4000 * 700 / 800000),
+        _sketch_row(10000, sketch_bytes=830000, ratio=10000 * 700 / 830000),
+    ],
+}
+
+
 def _chaos_row(name, **overrides):
     row = {
         "scenario": name,
@@ -807,6 +948,47 @@ def self_test():
         gate_chaos,
         mutated(FIXTURE_CHAOS, "results", "dropped_messages", 0, row=5),
     )
+    expect_pass("sketch", gate_sketch, FIXTURE_SKETCH)
+    expect_fail(
+        "sketch byte ratio",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "ratio", 3.0, row=2),
+    )
+    expect_fail(
+        "sketch sublinearity",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "sketch_bytes", 6000000, row=2),
+    )
+    expect_fail(
+        "sketch topk accuracy",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "topk_max_rel_err", 0.2, row=1),
+    )
+    expect_fail(
+        "sketch entropy accuracy",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "entropy_err_bits", 0.5, row=0),
+    )
+    expect_fail(
+        "sketch quantile accuracy",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "quantile_rel_err", 0.3, row=2),
+    )
+    expect_fail(
+        "sketch vacuous answers",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "answers", 0, row=0),
+    )
+    expect_fail(
+        "sketch ratio monotonicity",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "ratio", 0.5, row=1),
+    )
+    expect_fail(
+        "sketch missing top tier",
+        gate_sketch,
+        mutated(FIXTURE_SKETCH, "results", "peers", 9000, row=2),
+    )
     shrunk = json.loads(json.dumps(FIXTURE_CHAOS))
     shrunk["results"] = shrunk["results"][:4]
     expect_fail("chaos scenario coverage", gate_chaos, shrunk)
@@ -822,6 +1004,7 @@ def self_test():
         ("reuse", FIXTURE_REUSE),
         ("filter", FIXTURE_FILTER),
         ("scale", FIXTURE_SCALE),
+        ("sketch", FIXTURE_SKETCH),
         ("chaos", FIXTURE_CHAOS),
     ]:
         problems = validate_trajectory(bench, fixture)
@@ -846,6 +1029,7 @@ GATES = {
     "scale": gate_scale,
     "dht": gate_dht,
     "chaos": gate_chaos,
+    "sketch": gate_sketch,
 }
 # Which trajectory file each gate reads.
 GATE_SOURCE = {
@@ -857,6 +1041,7 @@ GATE_SOURCE = {
     "scale": "scale",
     "dht": "scale",
     "chaos": "chaos",
+    "sketch": "sketch",
 }
 
 
@@ -875,6 +1060,7 @@ def main(argv):
             "scale",
             "dht",
             "chaos",
+            "sketch",
             "all",
         ],
         help="the gate to run",

@@ -3,7 +3,7 @@
 //! The ActiveXML substrate of the P2P Monitor reproduction.
 //!
 //! The paper builds its monitoring system on top of the ActiveXML framework
-//! ([4], [5] in the paper): documents may embed *service-call elements*
+//! (\[4\], \[5\] in the paper): documents may embed *service-call elements*
 //! (`sc`), streams are sequences of (Active)XML trees, and distributed
 //! evaluation is expressed in an *algebra* whose rewrite rules introduce
 //! `eval`, `send` and `receive` services to ship work between peers.

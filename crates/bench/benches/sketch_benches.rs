@@ -1,0 +1,115 @@
+//! The SketchStorm aggregation trajectory: sketch-on wire bytes vs the
+//! ship-items-off baseline at 1k / 4k / 10k monitored peers (see
+//! `p2pmon_workloads::SketchStorm`).
+//!
+//! The sketch plane's claim is that aggregate answers cost rounds × tree
+//! edges on the wire, not events: as the population (and with it the event
+//! count) grows, sketch-on bytes stay near-flat while the baseline grows
+//! linearly — and the answers stay within the sketches' accuracy bounds of
+//! the exact oracle.  Besides the Criterion group, this bench writes
+//! `BENCH_sketch.json` to the workspace root; CI gates it with
+//! `ci/check_bench.py sketch` (top-tier byte ratio, sublinearity, accuracy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use p2pmon_bench::{full_run_requested, quick_criterion};
+
+#[path = "common/sketch.rs"]
+mod sketch;
+
+/// The gated trajectory: monitored-peer tiers.
+const TIERS: [usize; 3] = [1_000, 4_000, 10_000];
+/// Dispatch-round batches per run.
+const ROUNDS: usize = 2;
+
+fn events_per_peer() -> usize {
+    // The byte trajectory is structural (deterministic per seed), so the
+    // quick run already produces gate-worthy numbers; the full run doubles
+    // the event stream for tighter accuracy estimates.
+    if full_run_requested() {
+        32
+    } else {
+        16
+    }
+}
+
+/// Criterion tracks the smallest tier end to end (deploy + two monitors);
+/// the full trajectory lives in `BENCH_sketch.json`.
+fn sketch_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_storm");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("peers", TIERS[0]), |b| {
+        b.iter(|| sketch::run_sketch(1, black_box(TIERS[0]), 2, ROUNDS).answers)
+    });
+    group.finish();
+}
+
+/// Emits the BENCH_sketch.json trajectory at the workspace root.
+fn emit_trajectory(_c: &mut Criterion) {
+    let epp = events_per_peer();
+    let mut rows = Vec::new();
+    for n_peers in TIERS {
+        // One run per tier: every gated quantity (bytes, messages, answer
+        // accuracy) is a pure function of the seed.
+        let row = sketch::run_sketch(1, n_peers, epp, ROUNDS);
+        eprintln!(
+            "sketch [{} peers, {} events]: {} sketch bytes vs {} ship bytes \
+             ({:.1}x), topk err {:.4}, entropy err {:.4} bits, quantile err \
+             {:.4}, {} answers, deploy {:.0} ms",
+            row.peers,
+            row.events,
+            row.sketch_bytes,
+            row.ship_bytes,
+            row.ratio(),
+            row.topk_max_rel_err,
+            row.entropy_err_bits,
+            row.quantile_rel_err,
+            row.answers,
+            row.deploy_ms,
+        );
+        rows.push(format!(
+            "    {{\"peers\": {}, \"events\": {}, \"rounds\": {}, \
+             \"sketch_bytes\": {}, \"ship_bytes\": {}, \"ratio\": {:.3}, \
+             \"sketch_messages\": {}, \"ship_messages\": {}, \
+             \"answers\": {}, \"topk_max_rel_err\": {:.6}, \
+             \"entropy_err_bits\": {:.6}, \"quantile_rel_err\": {:.6}, \
+             \"deploy_ms\": {:.0}}}",
+            row.peers,
+            row.events,
+            row.rounds,
+            row.sketch_bytes,
+            row.ship_bytes,
+            row.ratio(),
+            row.sketch_messages,
+            row.ship_messages,
+            row.answers,
+            row.topk_max_rel_err,
+            row.entropy_err_bits,
+            row.quantile_rel_err,
+            row.deploy_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sketch\",\n  \"mode\": \"{}\",\n  \
+         \"events_per_peer\": {epp},\n  \"results\": [\n{}\n  ]\n}}\n",
+        if full_run_requested() {
+            "full"
+        } else {
+            "quick"
+        },
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sketch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = emit_trajectory, sketch_storm
+}
+criterion_main!(benches);

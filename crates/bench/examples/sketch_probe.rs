@@ -1,0 +1,56 @@
+//! Drives the SketchStorm aggregation trajectory and prints, per tier, what
+//! the sketch plane costs against the ship-items baseline: wire bytes and
+//! messages of both monitors, the bytes-saved ratio, and how far the sketch
+//! answers (`topk` / `entropy` / `quantile`) land from the exact oracle
+//! computed over the same event stream.  Everything runs offline on the
+//! simulated network.
+//!
+//!     cargo run --release -p p2pmon-bench --example sketch_probe
+//!
+//! Pass peer counts as arguments to probe other tiers
+//! (`sketch_probe 1000 10000` is the default trajectory).
+
+#[path = "../benches/common/sketch.rs"]
+mod sketch;
+
+fn main() {
+    let tiers: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![1_000, 10_000]
+        } else {
+            args
+        }
+    };
+    println!(
+        "SketchStorm probe: topk({}) / entropy / quantile({}) vs ship-items",
+        sketch::TOPK,
+        sketch::QUANTILE
+    );
+    for n in tiers {
+        let row = sketch::run_sketch(1, n, 16, 2);
+        println!(
+            "{:>6} peers | {:>7} events in {} rounds | sketch {:>9} B / {:>5} msgs | \
+             ship {:>10} B / {:>6} msgs | {:>6.1}x fewer bytes | topk err \
+             {:.4} | entropy err {:.4} bits | p{} err {:.4} | {} answers | \
+             deploy {:.0} ms",
+            row.peers,
+            row.events,
+            row.rounds,
+            row.sketch_bytes,
+            row.sketch_messages,
+            row.ship_bytes,
+            row.ship_messages,
+            row.ratio(),
+            row.topk_max_rel_err,
+            row.entropy_err_bits,
+            (sketch::QUANTILE * 100.0) as u32,
+            row.quantile_rel_err,
+            row.answers,
+            row.deploy_ms,
+        );
+    }
+}

@@ -155,6 +155,11 @@ fn canonicalize_channel_refs(
             template,
             derived,
         },
+        LogicalNode::Aggregate { var, input, spec } => LogicalNode::Aggregate {
+            var,
+            input: Box::new(canonicalize_channel_refs(db, proximity, *input)),
+            spec,
+        },
         leaf @ LogicalNode::Alerter { .. } => leaf,
     }
 }
@@ -556,6 +561,15 @@ impl Monitor {
                     identities[task.id] = Some(self.channel_origin(channel));
                 }
                 TaskKind::DynamicSource { .. } => {}
+                // Sketch stages exchange opaque serialized partials, not
+                // reusable streams: a later identical subscription cannot
+                // attach mid-window (it would miss every delta already
+                // folded into the tree), so none of them is published to
+                // the definition database.  Leaving the identity unset also
+                // keeps any downstream stage unpublished.
+                TaskKind::SketchLeaf { .. }
+                | TaskKind::SketchMerge { .. }
+                | TaskKind::SketchRoot { .. } => {}
                 _ => {
                     let operand_ids: Option<Vec<(String, String)>> = children[task.id]
                         .iter()

@@ -7,16 +7,16 @@
 //! Every dispatch round is a two-phase step:
 //!
 //! 1. **Parallel phase** — every peer with local work is handed to the
-//!    work-stealing scheduler ([`crate::scheduler`], sized by
+//!    work-stealing scheduler (`crate::scheduler`, sized by
 //!    [`crate::MonitorConfig::workers`]).  A worker owns the whole
-//!    [`PeerHost`] shard: it drains the peer's [`PendingAlert`] batch —
+//!    [`PeerHost`] shard: it drains the peer's `PendingAlert` batch —
 //!    deduplicating identical documents and running **one** amortized pass
 //!    of the shared [`FilterEngine`] (preFilter → AESFilter → YFilterσ) per
 //!    unique document ([`p2pmon_filter::FilterEngine::match_batch`]) — and
 //!    then runs the work queue until empty.  Only matched subscriptions'
 //!    operators execute; the `Select` operator keeps its LET-derivation /
 //!    general-condition tail as the residual check.  Cross-peer outputs are
-//!    buffered as [`Effect`]s; nothing touches the monitor façade.
+//!    buffered as `Effect`s; nothing touches the monitor façade.
 //! 2. **Commit phase** — the buffered effects are applied in deterministic
 //!    peer order: channel multicasts and publisher deliveries hit the
 //!    network and the sinks exactly as the sequential path would, so results
@@ -25,9 +25,9 @@
 //!
 //! Channels are *shared physical streams*: every task output is also
 //! multicast on the task's canonical output channel whenever reuse
-//! subscribers are attached ([`DispatchSnapshot::tap`]), and a channel
+//! subscribers are attached (`DispatchSnapshot::tap`), and a channel
 //! emission sends **one** message per distinct destination peer — all of a
-//! peer's subscribers ride it ([`Monitor::multicast_stream`]); subscribers
+//! peer's subscribers ride it (`Monitor::multicast_stream`); subscribers
 //! hosted on the producing peer attach with no network hop at all.  Messages
 //! avoided this way are recorded as
 //! `p2pmon_net::NetworkStats::multicast_saved_messages` (E7).
@@ -37,7 +37,6 @@
 //! linearly — the pre-decomposition behaviour, kept as a second oracle.
 //!
 //! [`FilterEngine`]: p2pmon_filter::FilterEngine
-//! [`PendingAlert`]: crate::peer::PendingAlert
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -792,18 +791,95 @@ impl Monitor {
         delivered
     }
 
-    /// One simulation round: drain alerters, process local work, deliver
-    /// network traffic.  Returns `true` when any work was done.
+    /// Round-boundary sketch pass.  Every dirty leaf/merge stage serializes
+    /// the partial it accumulated this round and forwards it along the
+    /// task's normal route — one bounded-size message per stage per round,
+    /// however many raw items the stage absorbed — and every root stage due
+    /// per its `every` cadence materializes an `<aggregate>` answer into
+    /// the subscription's ordinary delivery path.  Returns `true` while any
+    /// stage flushed or still holds unpropagated state, so
+    /// [`Monitor::run_until_idle`] keeps ticking until the merge tree has
+    /// fully drained into root answers.
+    fn flush_sketches(&mut self) -> bool {
+        // Collect first (per-host mutable walk), route after (routing needs
+        // the whole façade).  Partials are sorted into (sub, task) order so
+        // the committed effects are identical for any host-map iteration
+        // order, mirroring the deterministic commit phase of
+        // `process_pending`.
+        let mut flushed: Vec<(usize, usize, Element)> = Vec::new();
+        let mut pending = false;
+        let network = &self.network;
+        for (peer, host) in self.hosts.iter_mut() {
+            if host.sketch_tasks.is_empty() || network.is_down(peer) {
+                continue;
+            }
+            for &(sub, task) in &host.sketch_tasks {
+                let Some(operator) = host.operators.get_mut(&(sub, task)) else {
+                    continue;
+                };
+                let output = operator.sketch_flush().or_else(|| operator.sketch_answer());
+                if let Some(output) = output {
+                    flushed.push((sub, task, output));
+                }
+                pending |= operator.sketch_pending();
+            }
+        }
+        let any = !flushed.is_empty();
+        flushed.sort_by_key(|entry| (entry.0, entry.1));
+        for (sub, task, output) in flushed {
+            if self.subscriptions[sub].retired {
+                continue;
+            }
+            match self.subscriptions[sub].routes[task] {
+                Route::Local { task: next, port } => self.enqueue_data(sub, next, port, output),
+                Route::Channel { channel } => {
+                    // The multicast path counts the partial's bytes on the
+                    // wire and feeds the channel's measured rate — the
+                    // sublinearity the sketch bench gates rides exactly
+                    // this accounting.
+                    if let Some(plan) = self.multicast_plan(&channel) {
+                        self.run_multicast(&plan, &Arc::new(output));
+                    }
+                }
+                Route::Publisher => self.deliver_result(sub, Arc::new(output)),
+                Route::Dropped => {}
+            }
+        }
+        any || pending
+    }
+
+    /// One simulation round: drain alerters, process local work, flush
+    /// sketch stages at the round boundary, deliver network traffic.
+    /// Returns `true` when any work was done.
     pub fn tick(&mut self) -> bool {
         self.drain_alerters();
         let had_local = self.hosts.values().any(PeerHost::has_local_work);
+        // With self-monitoring on, the processing phase is timed and the
+        // duration recorded for the next `monStats` snapshot (bounded ring,
+        // so an unconsumed buffer cannot grow without limit).
+        let round_start = self.config.self_monitor.then(std::time::Instant::now);
         self.process_pending();
+        if let Some(start) = round_start {
+            if self.round_micros.len() >= 4096 {
+                self.round_micros.pop_front();
+            }
+            self.round_micros
+                .push_back(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        let flushed = self.flush_sketches();
         let delivered = self.deliver_network();
-        had_local || delivered > 0
+        had_local || flushed || delivered > 0
     }
 
-    /// Runs rounds until the system is quiescent.
+    /// Runs rounds until the system is quiescent.  With
+    /// [`MonitorConfig::self_monitor`](crate::MonitorConfig::self_monitor)
+    /// on, one self-metrics snapshot is emitted first, so `monStats`
+    /// subscribers observe the state the monitor had accumulated before
+    /// this call.
     pub fn run_until_idle(&mut self) {
+        if self.config.self_monitor {
+            self.emit_self_metrics();
+        }
         while self.tick() {}
     }
 }

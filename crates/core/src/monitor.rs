@@ -32,6 +32,26 @@ use crate::reuse::{ReuseReport, ReuseStats};
 use crate::sink::Sink;
 
 /// Configuration of a Monitor instance.
+///
+/// Every knob has an equivalence guarantee: flipping `enable_reuse`,
+/// `enable_replicas`, `rate_aware_placement`, `naive_dispatch` or
+/// `workers` changes *cost*, never delivered results (property-tested).
+///
+/// # Example
+///
+/// Start from the defaults and override what the deployment needs:
+///
+/// ```
+/// use p2pmon_core::{Monitor, MonitorConfig};
+///
+/// let config = MonitorConfig {
+///     workers: 1,         // sequential dispatch: the equivalence oracle
+///     self_monitor: true, // emit the built-in `monStats` metrics stream
+///     ..MonitorConfig::default()
+/// };
+/// let monitor = Monitor::new(config);
+/// assert_eq!(monitor.network_stats().total_messages, 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct MonitorConfig {
     /// Network simulation parameters.
@@ -92,6 +112,17 @@ pub struct MonitorConfig {
     /// [`MonitorConfig::enable_replicas`]), this policy decides *which*
     /// remote consumers actually declare one.
     pub replica_policy: ReplicaPolicy,
+    /// Expose the monitor's own runtime statistics as a built-in monitored
+    /// stream: a `monStats(<p>self</p>)` alerter source on the synthetic
+    /// peer `self` that, once per [`Monitor::run_until_idle`] call, emits
+    /// one `<metric/>` snapshot per measured channel (delta bytes and
+    /// current rate), per recorded dispatch round (latency in
+    /// microseconds), plus cumulative dispatch/network/reuse/replica
+    /// counters.  Aggregate subscriptions over this stream answer
+    /// questions like "hottest channels by bytes" (`topk($m.channel, 5,
+    /// $m.bytes)`) or "p99 dispatch latency" (`quantile($m.micros,
+    /// 0.99)`) with the same sketch plane that monitors everything else.
+    pub self_monitor: bool,
 }
 
 /// When a remote consumer's peer re-publishes a subscribed channel as a
@@ -159,9 +190,15 @@ impl Default for MonitorConfig {
                 .unwrap_or(1),
             rate_aware_placement: true,
             replica_policy: ReplicaPolicy::default(),
+            self_monitor: false,
         }
     }
 }
+
+/// The synthetic peer hosting the self-monitoring `monStats` alerter (see
+/// [`MonitorConfig::self_monitor`]): subscriptions name it as
+/// `monStats(<p>self</p>)`.
+pub const SELF_PEER: &str = "self";
 
 /// Handle to a submitted subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -271,6 +308,45 @@ pub(crate) struct ReplicaEntry {
 }
 
 /// The P2P Monitor.
+///
+/// The façade over the per-peer runtimes: peers are registered with
+/// [`Monitor::add_peer`], P2PML subscriptions deployed with
+/// [`Monitor::submit`], events injected (e.g.
+/// [`Monitor::inject_soap_call`]), and the data plane driven with
+/// [`Monitor::run_until_idle`]; delivered alerts are read back per
+/// subscription with [`Monitor::results`].
+///
+/// # Example
+///
+/// Monitor a web-service peer for calls to one method and read the alert:
+///
+/// ```
+/// use p2pmon_core::{Monitor, MonitorConfig};
+/// use p2pmon_alerters::SoapCall;
+///
+/// let mut monitor = Monitor::new(MonitorConfig::default());
+/// monitor.add_peer("mon.org");    // the subscribing manager
+/// monitor.add_peer("meteo.com");  // the monitored peer
+///
+/// let handle = monitor
+///     .submit(
+///         "mon.org",
+///         r#"for $c in inCOM(<p>meteo.com</p>)
+///            where $c.callMethod = "GetTemperature"
+///            return <seen method="{$c.callMethod}"/>
+///            by email "ops@mon.org";"#,
+///     )
+///     .expect("subscription compiles and deploys");
+///
+/// monitor.inject_soap_call(&SoapCall::new(
+///     1, "http://client.org", "meteo.com", "GetTemperature", 0, 5,
+/// ));
+/// monitor.run_until_idle();
+///
+/// let alerts = monitor.results(&handle);
+/// assert_eq!(alerts.len(), 1);
+/// assert_eq!(alerts[0].attr("method"), Some("GetTemperature"));
+/// ```
 pub struct Monitor {
     pub(crate) config: MonitorConfig,
     pub(crate) network: Network,
@@ -308,6 +384,16 @@ pub struct Monitor {
     pub(crate) next_filter_id: u64,
     /// Total operator invocations (a processing-cost measure for E6/E7).
     pub operator_invocations: u64,
+    /// Wall-clock duration of recent dispatch rounds in microseconds,
+    /// recorded only with [`MonitorConfig::self_monitor`] on and drained
+    /// into `<metric kind="dispatchRound"/>` items by
+    /// [`Monitor::emit_self_metrics`].  Bounded, so an unconsumed buffer
+    /// cannot grow without limit.
+    pub(crate) round_micros: std::collections::VecDeque<u64>,
+    /// Per-channel byte counts already reported through the self-monitoring
+    /// stream: channel metrics carry *deltas*, so repeated snapshots sum to
+    /// the true totals under the sketch plane's additive merges.
+    pub(crate) reported_channel_bytes: HashMap<ChannelId, u64>,
     /// The persistent worker pool driving parallel dispatch phases.
     pub(crate) scheduler: crate::scheduler::SchedulerPool,
     /// The host machine's available parallelism, probed once at construction:
@@ -337,6 +423,8 @@ impl Monitor {
             rate_table: RateTable::new(),
             next_filter_id: 0,
             operator_invocations: 0,
+            round_micros: std::collections::VecDeque::new(),
+            reported_channel_bytes: HashMap::new(),
             scheduler: crate::scheduler::SchedulerPool::new(),
             host_parallelism: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -1326,6 +1414,107 @@ impl Monitor {
     /// Counters for the engine-gated dispatch path.
     pub fn dispatch_stats(&self) -> DispatchStats {
         self.dispatch_stats
+    }
+
+    /// Emits one self-monitoring snapshot into the `monStats` alerter on the
+    /// synthetic peer `self`, when one is installed (i.e. at least one
+    /// `monStats(<p>self</p>)` subscription is deployed).  Runs
+    /// automatically at the start of every [`Monitor::run_until_idle`] call
+    /// with [`MonitorConfig::self_monitor`] on; callers driving
+    /// [`Monitor::tick`] by hand can invoke it directly.
+    ///
+    /// Snapshot contents, one `<metric/>` item per line:
+    /// * `kind="channel"` — per measured channel: `channel`, `peer`,
+    ///   `bytes` (the delta since the previous snapshot, so repeated
+    ///   snapshots stay additive under sketch merges) and `bps`;
+    /// * `kind="dispatchRound"` — one per recorded dispatch round:
+    ///   `micros` of wall-clock spent in the round's processing phase;
+    /// * `kind="dispatch"` / `kind="network"` / `kind="reuse"` /
+    ///   `kind="replica"` — cumulative counters.
+    pub fn emit_self_metrics(&mut self) {
+        let installed = self
+            .hosts
+            .get(SELF_PEER)
+            .is_some_and(|host| host.alerters.mon_stats.is_some());
+        if !installed {
+            return;
+        }
+        let now = self.network.now();
+        let mut metrics: Vec<Element> = Vec::new();
+        let mut channel_deltas: Vec<(ChannelId, u64, f64)> = Vec::new();
+        for (channel, stats) in self.rate_table.channels() {
+            let reported = self
+                .reported_channel_bytes
+                .get(channel)
+                .copied()
+                .unwrap_or(0);
+            let delta = stats.bytes.saturating_sub(reported);
+            if delta > 0 {
+                channel_deltas.push((*channel, delta, stats.bytes_per_second_at(now)));
+            }
+        }
+        for (channel, delta, bps) in channel_deltas {
+            *self.reported_channel_bytes.entry(channel).or_insert(0) += delta;
+            let mut m = Element::new("metric");
+            m.set_attr("kind", "channel");
+            m.set_attr("channel", channel.to_string());
+            m.set_attr("peer", String::from(channel.peer));
+            m.set_attr("bytes", delta.to_string());
+            m.set_attr("bps", format!("{bps:.0}"));
+            metrics.push(m);
+        }
+        while let Some(micros) = self.round_micros.pop_front() {
+            let mut m = Element::new("metric");
+            m.set_attr("kind", "dispatchRound");
+            m.set_attr("micros", micros.to_string());
+            metrics.push(m);
+        }
+        let d = self.dispatch_stats;
+        let mut m = Element::new("metric");
+        m.set_attr("kind", "dispatch");
+        m.set_attr("engineDocuments", d.engine_documents.to_string());
+        m.set_attr("batchDedupHits", d.batch_dedup_hits.to_string());
+        m.set_attr("gatePasses", d.gate_passes.to_string());
+        m.set_attr("gateRejections", d.gate_rejections.to_string());
+        m.set_attr("plainDeliveries", d.plain_deliveries.to_string());
+        m.set_attr("sinkCloneBytes", d.sink_clone_bytes.to_string());
+        m.set_attr("operatorInvocations", self.operator_invocations.to_string());
+        metrics.push(m);
+        let n = self.network.stats();
+        let mut m = Element::new("metric");
+        m.set_attr("kind", "network");
+        m.set_attr("messages", n.total_messages.to_string());
+        m.set_attr("bytes", n.total_bytes.to_string());
+        m.set_attr("dropped", n.dropped_messages.to_string());
+        m.set_attr("multicastSaved", n.multicast_saved_messages.to_string());
+        metrics.push(m);
+        let r = self.reuse_stats();
+        let mut m = Element::new("metric");
+        m.set_attr("kind", "reuse");
+        m.set_attr("subscriptions", r.subscriptions.to_string());
+        m.set_attr("hits", r.hits.to_string());
+        m.set_attr("coveredNodes", r.covered_nodes.to_string());
+        m.set_attr("operatorsSaved", r.operators_saved.to_string());
+        m.set_attr("messagesSaved", r.messages_saved.to_string());
+        metrics.push(m);
+        let p = r.replicas;
+        let mut m = Element::new("metric");
+        m.set_attr("kind", "replica");
+        m.set_attr("created", p.replicas_created.to_string());
+        m.set_attr("retracted", p.replicas_retracted.to_string());
+        m.set_attr("viaReplica", p.consumers_via_replica.to_string());
+        m.set_attr("viaOrigin", p.consumers_via_origin.to_string());
+        metrics.push(m);
+
+        let host = self
+            .hosts
+            .get_mut(SELF_PEER)
+            .expect("checked installed above");
+        host.alerters
+            .mon_stats
+            .as_mut()
+            .expect("checked installed above")
+            .extend(metrics);
     }
 
     /// Number of live threads in the persistent dispatch worker pool (zero

@@ -5,16 +5,16 @@
 //! through which every alert entering the peer flows once, no matter how many
 //! hosted subscriptions want it.  `PeerHost` reproduces that decomposition:
 //!
-//! * the peer's **alerters** (one per alerter function, [`AlerterSet`]),
+//! * the peer's **alerters** (one per alerter function, `AlerterSet`),
 //! * the peer's **shared [`FilterEngine`]**, holding the simple conditions
 //!   and tree patterns of every `Select` task deployed on this peer,
 //! * the peer's **operator instances** (one [`RuntimeOperator`] per task
 //!   hosted here — the peer's *mutable shard*, touched by no other peer),
-//! * the peer's **alert batch** ([`PendingAlert`]s awaiting the next
-//!   amortized engine pass) and its **work queue** of pending [`Work`] items.
+//! * the peer's **alert batch** (`PendingAlert`s awaiting the next
+//!   amortized engine pass) and its **work queue** of pending `Work` items.
 //!
 //! Because a host owns every piece of mutable state its tasks need, whole
-//! hosts can be handed to scheduler workers ([`crate::scheduler`]) and
+//! hosts can be handed to scheduler workers (`crate::scheduler`) and
 //! processed in parallel without any contention on the [`crate::Monitor`]
 //! façade; the façade only keeps the immutable routing snapshot and commits
 //! the buffered cross-peer effects afterwards ([`crate::dispatch`]).
@@ -70,6 +70,11 @@ pub(crate) struct AlerterSet {
     pub page: Option<WebPageAlerter>,
     pub axml: Option<AxmlAlerter>,
     pub membership: Option<MembershipAlerter>,
+    /// The self-monitoring feed (`monStats`): a plain buffer the monitor
+    /// façade fills with `<metric/>` snapshots of its own runtime counters
+    /// ([`crate::Monitor::emit_self_metrics`]); drained like any other
+    /// alerter, so aggregate subscriptions ride the normal dispatch path.
+    pub mon_stats: Option<Vec<Element>>,
 }
 
 impl AlerterSet {
@@ -97,6 +102,9 @@ impl AlerterSet {
             "areRegistered" => {
                 self.membership
                     .get_or_insert_with(|| MembershipAlerter::new(peer));
+            }
+            "monStats" => {
+                self.mon_stats.get_or_insert_with(Vec::new);
             }
             _ => {}
         }
@@ -129,6 +137,9 @@ impl AlerterSet {
         if let Some(a) = &mut self.membership {
             take("areRegistered", a.drain());
         }
+        if let Some(buffer) = &mut self.mon_stats {
+            take("monStats", std::mem::take(buffer));
+        }
         out
     }
 }
@@ -146,6 +157,10 @@ pub struct PeerHost {
     /// The operator instance of every task hosted here, keyed by
     /// `(subscription, task)` — the peer's mutable shard.
     pub(crate) operators: HashMap<(usize, usize), RuntimeOperator>,
+    /// The hosted tasks that are sketch stages, in deterministic order —
+    /// the round-boundary flush pass walks only these, so peers without
+    /// aggregates pay nothing per round.
+    pub(crate) sketch_tasks: std::collections::BTreeSet<(usize, usize)>,
     /// Alerts awaiting the next batched dispatch pass.
     pub(crate) pending_alerts: Vec<PendingAlert>,
     /// Pending work for tasks hosted on this peer.
@@ -178,6 +193,7 @@ impl PeerHost {
             },
             gates: HashMap::new(),
             operators: HashMap::new(),
+            sketch_tasks: std::collections::BTreeSet::new(),
             pending_alerts: Vec::new(),
             queue: VecDeque::new(),
             alerters: AlerterSet::default(),
@@ -224,12 +240,16 @@ impl PeerHost {
 
     /// Installs the operator instance of a task deployed here.
     pub(crate) fn install_task(&mut self, sub: usize, task: usize, operator: RuntimeOperator) {
+        if operator.is_sketch() {
+            self.sketch_tasks.insert((sub, task));
+        }
         self.operators.insert((sub, task), operator);
     }
 
     /// Removes a task's operator instance (teardown path); returns `true`
     /// when it was hosted here.
     pub(crate) fn remove_task(&mut self, sub: usize, task: usize) -> bool {
+        self.sketch_tasks.remove(&(sub, task));
         self.operators.remove(&(sub, task)).is_some()
     }
 

@@ -13,7 +13,7 @@
 
 use p2pmon_p2pml::plan::{normalize_peer, LogicalNode, LogicalPlan};
 use p2pmon_p2pml::{ByClause, ValueExpr};
-use p2pmon_streams::{AttrCondition, ChannelId, Condition, Template};
+use p2pmon_streams::{AggregateSpec, AttrCondition, ChannelId, Condition, Template};
 use p2pmon_xmlkit::PathPattern;
 
 /// How operators are assigned to peers.
@@ -95,6 +95,24 @@ pub enum TaskKind {
         /// Derived values the template may reference.
         derived: Vec<(String, ValueExpr)>,
     },
+    /// Sketch leaf: absorbs raw items next to a source and forwards a
+    /// serialized *delta* partial on each dispatch-round boundary.
+    SketchLeaf {
+        /// Which sketch to maintain and how to key it.
+        spec: AggregateSpec,
+    },
+    /// Interior sketch merge: folds the partials of up to
+    /// [`SKETCH_MERGE_FANIN`] children and forwards the combined delta.
+    SketchMerge {
+        /// Which sketch to maintain.
+        spec: AggregateSpec,
+    },
+    /// Sketch root: accumulates partials cumulatively and materializes the
+    /// XML answer items that enter the normal channel/multicast path.
+    SketchRoot {
+        /// Which sketch to maintain and how often to emit answers.
+        spec: AggregateSpec,
+    },
 }
 
 impl TaskKind {
@@ -109,9 +127,17 @@ impl TaskKind {
             TaskKind::Join { .. } => "Join",
             TaskKind::Dedup => "DuplicateRemoval",
             TaskKind::Restructure { .. } => "Restructure",
+            TaskKind::SketchLeaf { .. } => "SketchLeaf",
+            TaskKind::SketchMerge { .. } => "SketchMerge",
+            TaskKind::SketchRoot { .. } => "SketchRoot",
         }
     }
 }
+
+/// Maximum fan-in of an interior sketch-merge node.  Keeping it constant
+/// bounds every merge's work per round and yields a tree of depth
+/// `log_16(leaves)` — 3 levels at 10k monitored peers.
+pub const SKETCH_MERGE_FANIN: usize = 16;
 
 /// One placed task.
 #[derive(Debug, Clone, PartialEq)]
@@ -279,6 +305,11 @@ pub fn push_selections_below_unions(node: LogicalNode) -> LogicalNode {
             function,
             var,
             driver: Box::new(push_selections_below_unions(*driver)),
+        },
+        LogicalNode::Aggregate { var, input, spec } => LogicalNode::Aggregate {
+            var,
+            input: Box::new(push_selections_below_unions(*input)),
+            spec,
         },
         leaf @ (LogicalNode::Alerter { .. } | LogicalNode::ChannelIn { .. }) => leaf,
     }
@@ -650,6 +681,60 @@ impl Builder<'_> {
                 );
                 self.connect(input_task, restructure, 0);
                 restructure
+            }
+            LogicalNode::Aggregate {
+                var: _,
+                input,
+                spec,
+            } => {
+                // The single logical aggregate expands into a merge tree: one
+                // sketch leaf per input branch (on the branch's peer, so raw
+                // items never cross the network), interior merges over chunks
+                // of SKETCH_MERGE_FANIN, and the root at the manager.  A
+                // union input contributes one leaf per union branch — the
+                // union node itself would only concentrate all raw items on a
+                // single peer, defeating the point.
+                let branches: Vec<&LogicalNode> = match input.as_ref() {
+                    LogicalNode::Union { inputs, .. } => inputs.iter().collect(),
+                    other => vec![other],
+                };
+                let mut level: Vec<usize> = Vec::with_capacity(branches.len());
+                for branch in branches {
+                    let upstream = self.place_node(branch);
+                    let peer = match self.strategy {
+                        PlacementStrategy::Centralized => self.manager.clone(),
+                        PlacementStrategy::PushToSources => self.tasks[upstream].peer.clone(),
+                    };
+                    let leaf = self.push(peer, TaskKind::SketchLeaf { spec: spec.clone() });
+                    self.connect(upstream, leaf, 0);
+                    level.push(leaf);
+                }
+                while level.len() > SKETCH_MERGE_FANIN {
+                    let mut next = Vec::with_capacity(level.len() / SKETCH_MERGE_FANIN + 1);
+                    for chunk in level.chunks(SKETCH_MERGE_FANIN) {
+                        // The first chunk member's peer: deterministic and
+                        // O(1).  Partials are bounded-size, so unlike joins
+                        // and unions there is no rate asymmetry for the
+                        // rate-aware chooser to exploit, and scoring
+                        // candidates would cost O(tasks²) at 10k leaves.
+                        let peer = match self.strategy {
+                            PlacementStrategy::Centralized => self.manager.clone(),
+                            PlacementStrategy::PushToSources => self.tasks[chunk[0]].peer.clone(),
+                        };
+                        let merge = self.push(peer, TaskKind::SketchMerge { spec: spec.clone() });
+                        for (port, &task) in chunk.iter().enumerate() {
+                            self.connect(task, merge, port);
+                        }
+                        next.push(merge);
+                    }
+                    level = next;
+                }
+                let manager = self.manager.clone();
+                let root = self.push(manager, TaskKind::SketchRoot { spec: spec.clone() });
+                for (port, task) in level.into_iter().enumerate() {
+                    self.connect(task, root, port);
+                }
+                root
             }
         }
     }

@@ -237,6 +237,15 @@ pub fn logical_to_plan_node(node: &LogicalNode) -> PlanNode {
             template.source().to_string(),
             vec![logical_to_plan_node(input)],
         ),
+        // Aggregates are never published as reusable streams (their output
+        // is bounded-size partials, not a subscribable item stream), so the
+        // node can never be covered — but its *input* subtrees still
+        // participate in the cover search.
+        LogicalNode::Aggregate { input, spec, .. } => PlanNode::operator(
+            "Aggregate",
+            format!("{spec:?}"),
+            vec![logical_to_plan_node(input)],
+        ),
     }
 }
 
@@ -352,6 +361,11 @@ fn rewrite(
             input: Box::new(rewrite(input, &format!("{path}.0"), outcome, report)),
             template: template.clone(),
             derived: derived.clone(),
+        },
+        LogicalNode::Aggregate { var, input, spec } => LogicalNode::Aggregate {
+            var: var.clone(),
+            input: Box::new(rewrite(input, &format!("{path}.0"), outcome, report)),
+            spec: spec.clone(),
         },
     }
 }

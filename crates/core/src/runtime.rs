@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use p2pmon_p2pml::ValueExpr;
 use p2pmon_streams::ops::{Dedup, DedupKey, Join, JoinSpec, Union, Window};
-use p2pmon_streams::{AttrCondition, Bindings, Condition, Operator, StreamItem, Template};
+use p2pmon_streams::{
+    AggregateSpec, AnySketch, AttrCondition, Bindings, Condition, Operator, StreamItem, Template,
+};
 use p2pmon_xmlkit::{Element, PathPattern};
 
 use crate::placement::TaskKind;
@@ -83,6 +85,38 @@ pub enum RuntimeOperator {
         /// Fallback variable for bare (non-tuple) inputs.
         default_var: String,
     },
+    /// Sketch leaf: absorbs raw items; emits nothing until the dispatch
+    /// round's flush pass serializes its delta.
+    SketchLeaf {
+        /// Key/weight extraction rules.
+        spec: AggregateSpec,
+        /// The delta accumulated since the last flush.
+        sketch: AnySketch,
+        /// Whether anything arrived since the last flush.
+        dirty: bool,
+    },
+    /// Interior sketch merge: folds serialized child partials, forwards the
+    /// combined delta at the next flush.
+    SketchMerge {
+        /// The delta accumulated since the last flush.
+        sketch: AnySketch,
+        /// Whether anything arrived since the last flush.
+        dirty: bool,
+    },
+    /// Sketch root: accumulates partials *cumulatively* and materializes an
+    /// XML answer every `spec.every` flush opportunities.
+    SketchRoot {
+        /// What to answer and how often.
+        spec: AggregateSpec,
+        /// The cumulative sketch over the subscription's lifetime.
+        sketch: AnySketch,
+        /// Whether new partials arrived since the last emitted answer.
+        dirty: bool,
+        /// Flush opportunities seen since the last emission.
+        flushes_since_emit: usize,
+        /// Answers materialized so far (the answer's sequence attribute).
+        emitted: u64,
+    },
 }
 
 impl RuntimeOperator {
@@ -127,6 +161,22 @@ impl RuntimeOperator {
                 RuntimeOperator::Join(Box::new(Join::new(spec, join_window)))
             }
             TaskKind::Dedup => RuntimeOperator::Dedup(Dedup::new(DedupKey::WholeTree)),
+            TaskKind::SketchLeaf { spec } => RuntimeOperator::SketchLeaf {
+                spec: spec.clone(),
+                sketch: AnySketch::for_spec(spec),
+                dirty: false,
+            },
+            TaskKind::SketchMerge { spec } => RuntimeOperator::SketchMerge {
+                sketch: AnySketch::for_spec(spec),
+                dirty: false,
+            },
+            TaskKind::SketchRoot { spec } => RuntimeOperator::SketchRoot {
+                spec: spec.clone(),
+                sketch: AnySketch::for_spec(spec),
+                dirty: false,
+                flushes_since_emit: 0,
+                emitted: 0,
+            },
             TaskKind::Restructure { template, derived } => {
                 let default_var = template
                     .variables()
@@ -142,12 +192,91 @@ impl RuntimeOperator {
         }
     }
 
-    /// Memory held by stateful operators (joins, dedups), in bytes.
+    /// Memory held by stateful operators (joins, dedups, sketches), in bytes.
     pub fn state_size(&self) -> usize {
         match self {
             RuntimeOperator::Join(j) => j.state_size(),
             RuntimeOperator::Dedup(d) => d.state_size(),
+            RuntimeOperator::SketchLeaf { sketch, .. }
+            | RuntimeOperator::SketchMerge { sketch, .. }
+            | RuntimeOperator::SketchRoot { sketch, .. } => sketch.state_bytes(),
             _ => 0,
+        }
+    }
+
+    /// Whether this operator is a sketch stage (leaf, merge or root) — used
+    /// by [`PeerHost`](crate::peer::PeerHost) to index the tasks the
+    /// round-boundary flush pass must visit.
+    pub fn is_sketch(&self) -> bool {
+        matches!(
+            self,
+            RuntimeOperator::SketchLeaf { .. }
+                | RuntimeOperator::SketchMerge { .. }
+                | RuntimeOperator::SketchRoot { .. }
+        )
+    }
+
+    /// Whether this operator holds sketch state awaiting a round-boundary
+    /// flush (leaf/merge deltas) or a pending root emission.  The dispatcher
+    /// keeps ticking while any operator reports pending sketch work, so
+    /// `run_until_idle` drains the merge tree completely.
+    pub fn sketch_pending(&self) -> bool {
+        match self {
+            RuntimeOperator::SketchLeaf { dirty, .. }
+            | RuntimeOperator::SketchMerge { dirty, .. }
+            | RuntimeOperator::SketchRoot { dirty, .. } => *dirty,
+            _ => false,
+        }
+    }
+
+    /// Round-boundary flush for leaf and merge stages: serializes the delta
+    /// accumulated since the last flush and resets it.  `None` when the stage
+    /// has nothing new (or for non-sketch operators).
+    pub fn sketch_flush(&mut self) -> Option<Element> {
+        match self {
+            RuntimeOperator::SketchLeaf { sketch, dirty, .. }
+            | RuntimeOperator::SketchMerge { sketch, dirty } => {
+                if !*dirty || sketch.is_empty() {
+                    return None;
+                }
+                let partial = sketch.to_element();
+                sketch.reset();
+                *dirty = false;
+                Some(partial)
+            }
+            _ => None,
+        }
+    }
+
+    /// Round-boundary emission for the root stage: counts a flush
+    /// opportunity and, every `spec.every` of them, materializes the XML
+    /// answer from the cumulative sketch.  `None` while the cadence has not
+    /// been reached (the root stays `sketch_pending` so dispatch keeps
+    /// ticking toward the emission).
+    pub fn sketch_answer(&mut self) -> Option<Element> {
+        match self {
+            RuntimeOperator::SketchRoot {
+                spec,
+                sketch,
+                dirty,
+                flushes_since_emit,
+                emitted,
+            } => {
+                if !*dirty {
+                    return None;
+                }
+                *flushes_since_emit += 1;
+                if *flushes_since_emit < spec.every.max(1) {
+                    return None;
+                }
+                *flushes_since_emit = 0;
+                *dirty = false;
+                *emitted += 1;
+                let mut answer = sketch.answer(spec);
+                answer.set_attr("seq", emitted.to_string());
+                Some(answer)
+            }
+            _ => None,
         }
     }
 
@@ -213,6 +342,30 @@ impl RuntimeOperator {
                     }
                 }
                 RuntimeOutput::many(vec![Arc::new(template.instantiate(&bindings))])
+            }
+            RuntimeOperator::SketchLeaf {
+                spec,
+                sketch,
+                dirty,
+            } => {
+                let (key, weight) = spec.observe(&item.data);
+                if !key.is_empty() {
+                    sketch.update(&key, weight);
+                    *dirty = true;
+                }
+                RuntimeOutput::none()
+            }
+            RuntimeOperator::SketchMerge { sketch, dirty } => {
+                if sketch.absorb(&item.data) {
+                    *dirty = true;
+                }
+                RuntimeOutput::none()
+            }
+            RuntimeOperator::SketchRoot { sketch, dirty, .. } => {
+                if sketch.absorb(&item.data) {
+                    *dirty = true;
+                }
+                RuntimeOutput::none()
             }
         }
     }

@@ -1,0 +1,345 @@
+//! End-to-end streaming-sketch aggregation: `topk` / `entropy` / `quantile`
+//! subscriptions compile to a sketch merge tree (leaf stages on the
+//! monitored peers, interior merges, one root at the manager) and answer
+//! through the normal delivery path with bounded-size partials on the wire.
+
+use p2pmon_alerters::SoapCall;
+use p2pmon_core::{Monitor, MonitorConfig};
+use p2pmon_xmlkit::Element;
+
+fn monitor_over(peers: &[&str]) -> Monitor {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.add_peer("hub");
+    for peer in peers {
+        monitor.add_peer(*peer);
+    }
+    monitor
+}
+
+fn call(id: u64, callee: &str, method: &str, duration: u64) -> SoapCall {
+    SoapCall::new(id, "client.org", callee, method, 1_000, 1_000 + duration)
+}
+
+/// The last (cumulative) answer delivered to a subscription's sink.
+fn last_answer(monitor: &Monitor, handle: &p2pmon_core::SubscriptionHandle) -> Element {
+    let results = monitor.results(handle);
+    assert!(!results.is_empty(), "aggregate produced no answers");
+    results.last().unwrap().clone()
+}
+
+#[test]
+fn topk_aggregate_counts_methods_across_peers() {
+    let mut monitor = monitor_over(&["a.com", "b.com", "c.com"]);
+    let handle = monitor
+        .submit(
+            "hub",
+            r#"for $c in inCOM(<p>a.com</p> <p>b.com</p> <p>c.com</p>)
+               return topk($c.callMethod, 2)
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    // 6 Get, 3 Put, 1 Scan spread over the three monitored peers.
+    let peers = ["a.com", "b.com", "c.com"];
+    for i in 0..6u64 {
+        monitor.inject_soap_call(&call(i, peers[i as usize % 3], "Get", 5));
+    }
+    for i in 6..9u64 {
+        monitor.inject_soap_call(&call(i, peers[i as usize % 3], "Put", 5));
+    }
+    monitor.inject_soap_call(&call(9, "a.com", "Scan", 5));
+    monitor.run_until_idle();
+
+    let answer = last_answer(&monitor, &handle);
+    assert_eq!(answer.name, "aggregate");
+    assert_eq!(answer.attr("kind"), Some("topk"));
+    assert_eq!(answer.attr("total"), Some("10"));
+    let entries: Vec<&Element> = answer.children_named("entry").collect();
+    assert_eq!(entries.len(), 2, "topk(…, 2) answers exactly two entries");
+    assert_eq!(entries[0].attr("key"), Some("Get"));
+    assert_eq!(entries[0].attr("count"), Some("6"));
+    assert_eq!(entries[1].attr("key"), Some("Put"));
+    assert_eq!(entries[1].attr("count"), Some("3"));
+}
+
+#[test]
+fn where_clause_filters_before_the_sketch_leaves() {
+    let mut monitor = monitor_over(&["a.com", "b.com"]);
+    let handle = monitor
+        .submit(
+            "hub",
+            r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+               where $c.callMethod = "Get"
+               return topk($c.caller, 3)
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    for i in 0..4u64 {
+        monitor.inject_soap_call(&SoapCall::new(i, "x.org", "a.com", "Get", 10, 12));
+    }
+    for i in 4..9u64 {
+        // Filtered out: wrong method, must never reach the sketch.
+        monitor.inject_soap_call(&SoapCall::new(i, "y.org", "b.com", "Put", 10, 12));
+    }
+    monitor.run_until_idle();
+    let answer = last_answer(&monitor, &handle);
+    assert_eq!(answer.attr("total"), Some("4"));
+    let entries: Vec<&Element> = answer.children_named("entry").collect();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].attr("key"), Some("x.org"));
+}
+
+#[test]
+fn quantile_aggregate_answers_within_relative_accuracy() {
+    let mut monitor = monitor_over(&["a.com", "b.com"]);
+    let handle = monitor
+        .submit(
+            "hub",
+            r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+               return quantile($c.duration, 0.5)
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    // Durations 1..=100 over two peers: the exact median is 50.
+    for i in 1..=100u64 {
+        let callee = if i % 2 == 0 { "a.com" } else { "b.com" };
+        monitor.inject_soap_call(&call(i, callee, "Get", i));
+    }
+    monitor.run_until_idle();
+    let answer = last_answer(&monitor, &handle);
+    assert_eq!(answer.attr("kind"), Some("quantile"));
+    assert_eq!(answer.attr("q"), Some("500"));
+    let value: f64 = answer.attr("value").unwrap().parse().unwrap();
+    assert!(
+        (value - 50.0).abs() / 50.0 < 0.05,
+        "p50 of 1..=100 must be within 5% of 50, got {value}"
+    );
+}
+
+#[test]
+fn entropy_aggregate_measures_key_skew() {
+    let mut monitor = monitor_over(&["a.com", "b.com"]);
+    let uniform = r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+                     return entropy($c.callMethod)
+                     by email "ops@example.org";"#;
+    let handle = monitor.submit("hub", uniform).unwrap();
+    // Four equally likely methods: entropy is exactly 2 bits.
+    for (i, method) in ["Get", "Put", "Scan", "List"]
+        .iter()
+        .cycle()
+        .take(40)
+        .enumerate()
+    {
+        let callee = if i % 2 == 0 { "a.com" } else { "b.com" };
+        monitor.inject_soap_call(&call(i as u64, callee, method, 5));
+    }
+    monitor.run_until_idle();
+    let answer = last_answer(&monitor, &handle);
+    assert_eq!(answer.attr("kind"), Some("entropy"));
+    let bits: f64 = answer.attr("bits").unwrap().parse().unwrap();
+    assert!(
+        (bits - 2.0).abs() < 1e-9,
+        "four uniform keys carry exactly 2 bits, got {bits}"
+    );
+}
+
+#[test]
+fn merge_tree_handles_more_branches_than_the_fanin() {
+    // 40 monitored peers > SKETCH_MERGE_FANIN (16): the planner inserts an
+    // interior merge level, and the answer still counts every event.
+    let peers: Vec<String> = (0..40).map(|i| format!("peer{i}.net")).collect();
+    let mut monitor = monitor_over(&peers.iter().map(String::as_str).collect::<Vec<_>>());
+    let source_list = peers
+        .iter()
+        .map(|p| format!("<p>{p}</p>"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let text = format!(
+        r#"for $c in inCOM({source_list})
+           return topk($c.callMethod, 1)
+           by email "ops@example.org";"#
+    );
+    let handle = monitor.submit("hub", &text).unwrap();
+    let report = monitor.report(&handle).unwrap();
+    assert!(
+        report.tasks > 40 + 1 + 1,
+        "40 sources + 40 leaves + interior merges + root, got {} tasks",
+        report.tasks
+    );
+    for (i, peer) in peers.iter().enumerate() {
+        monitor.inject_soap_call(&call(i as u64, peer, "Get", 5));
+    }
+    monitor.run_until_idle();
+    let answer = last_answer(&monitor, &handle);
+    assert_eq!(answer.attr("total"), Some("40"));
+    let top = answer.children_named("entry").next().unwrap();
+    assert_eq!(top.attr("key"), Some("Get"));
+    assert_eq!(top.attr("count"), Some("40"));
+}
+
+#[test]
+fn partials_on_the_wire_stay_bounded_as_events_grow() {
+    // The sketch plane's point: wire bytes scale with rounds × tree edges,
+    // not with the number of observed events.  Ten times the events in the
+    // same number of rounds must not move ten times the bytes.
+    let bytes_for = |events_per_round: u64| -> u64 {
+        let mut monitor = monitor_over(&["a.com", "b.com"]);
+        monitor
+            .submit(
+                "hub",
+                r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+                   return topk($c.callMethod, 2)
+                   by email "ops@example.org";"#,
+            )
+            .unwrap();
+        for round in 0..3u64 {
+            for i in 0..events_per_round {
+                let callee = if i % 2 == 0 { "a.com" } else { "b.com" };
+                monitor.inject_soap_call(&call(round * 1_000 + i, callee, "Get", 5));
+            }
+            monitor.run_until_idle();
+        }
+        monitor.network_stats().total_bytes
+    };
+    let small = bytes_for(10);
+    let large = bytes_for(100);
+    assert!(
+        large < small * 2,
+        "10x the events must not even double the wire bytes: {small} -> {large}"
+    );
+}
+
+#[test]
+fn every_cadence_batches_emissions_and_stamps_sequence_numbers() {
+    let mut monitor = monitor_over(&["a.com"]);
+    let handle = monitor
+        .submit(
+            "hub",
+            r#"for $c in inCOM(<p>a.com</p>)
+               return topk($c.callMethod, 1) every 3
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    monitor.inject_soap_call(&call(1, "a.com", "Get", 5));
+    monitor.run_until_idle();
+    let results = monitor.results(&handle);
+    assert_eq!(
+        results.len(),
+        1,
+        "run_until_idle ticks through the cadence to exactly one emission"
+    );
+    assert_eq!(results[0].attr("seq"), Some("1"));
+    monitor.inject_soap_call(&call(2, "a.com", "Get", 5));
+    monitor.run_until_idle();
+    let results = monitor.results(&handle);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[1].attr("seq"), Some("2"));
+    assert_eq!(
+        results[1].attr("total"),
+        Some("2"),
+        "the root sketch accumulates across emissions"
+    );
+}
+
+#[test]
+fn self_monitoring_answers_hottest_channels_and_latency_quantiles() {
+    let mut monitor = Monitor::new(MonitorConfig {
+        self_monitor: true,
+        ..MonitorConfig::default()
+    });
+    for peer in ["hub", "a.com", "b.com"] {
+        monitor.add_peer(peer);
+    }
+    // A normal subscription generating monitored traffic.
+    monitor
+        .submit(
+            "hub",
+            r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+               return <seen method="{$c.callMethod}"/>
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    // Aggregates over the monitor's own metrics stream: hottest channels by
+    // (delta) bytes, and the p99 of the per-round dispatch latency.
+    let hottest = monitor
+        .submit(
+            "hub",
+            r#"for $m in monStats(<p>self</p>)
+               where $m.kind = "channel"
+               return topk($m.channel, 3, $m.bytes)
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    let p99 = monitor
+        .submit(
+            "hub",
+            r#"for $m in monStats(<p>self</p>)
+               where $m.kind = "dispatchRound"
+               return quantile($m.micros, 0.99)
+               by email "ops@example.org";"#,
+        )
+        .unwrap();
+    for i in 0..30u64 {
+        let callee = if i % 3 == 0 { "b.com" } else { "a.com" };
+        monitor.inject_soap_call(&call(i, callee, "Get", 5));
+    }
+    monitor.run_until_idle();
+    // The next quiescence pass snapshots the stats the traffic produced.
+    monitor.run_until_idle();
+
+    let hot = last_answer(&monitor, &hottest);
+    assert_eq!(hot.attr("kind"), Some("topk"));
+    let entries: Vec<&Element> = hot.children_named("entry").collect();
+    assert!(
+        !entries.is_empty(),
+        "traffic must surface at least one measured channel"
+    );
+    for entry in &entries {
+        let key = entry.attr("key").unwrap();
+        assert!(
+            key.contains('@'),
+            "channel keys are #stream@peer identities, got {key}"
+        );
+    }
+    // Entries arrive weighted by bytes, heaviest first.
+    let weights: Vec<u64> = entries
+        .iter()
+        .map(|e| e.attr("count").unwrap().parse().unwrap())
+        .collect();
+    assert!(weights.windows(2).all(|w| w[0] >= w[1]));
+
+    let latency = last_answer(&monitor, &p99);
+    assert_eq!(latency.attr("kind"), Some("quantile"));
+    assert_eq!(latency.attr("q"), Some("990"));
+    let value: f64 = latency.attr("value").unwrap().parse().unwrap();
+    assert!(value >= 0.0, "p99 dispatch latency must parse, got {value}");
+}
+
+#[test]
+fn aggregates_survive_concurrent_subscriptions_and_unsubscribe() {
+    let mut monitor = monitor_over(&["a.com", "b.com"]);
+    let text = r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+                  return topk($c.callMethod, 2)
+                  by email "ops@example.org";"#;
+    let first = monitor.submit("hub", text).unwrap();
+    // Events seen only by the first subscription.
+    monitor.inject_soap_call(&call(1, "a.com", "Get", 5));
+    monitor.run_until_idle();
+    // A second, identical aggregate deployed mid-stream starts from zero.
+    let second = monitor.submit("hub", text).unwrap();
+    monitor.inject_soap_call(&call(2, "b.com", "Put", 5));
+    monitor.run_until_idle();
+    let first_answer = last_answer(&monitor, &first);
+    assert_eq!(first_answer.attr("total"), Some("2"));
+    let second_answer = last_answer(&monitor, &second);
+    assert_eq!(
+        second_answer.attr("total"),
+        Some("1"),
+        "a mid-stream subscriber must only count post-deployment events"
+    );
+    // Tearing the first down leaves the second running.
+    assert!(monitor.unsubscribe(&first));
+    monitor.inject_soap_call(&call(3, "a.com", "Put", 5));
+    monitor.run_until_idle();
+    let second_answer = last_answer(&monitor, &second);
+    assert_eq!(second_answer.attr("total"), Some("2"));
+}

@@ -16,7 +16,7 @@
 //! *simple* it is an immediate match, otherwise it becomes *active* and its
 //! tree-pattern part still has to be checked by YFilterσ.
 //!
-//! As shown in [15], the cost of a match is governed by the number of
+//! As shown in \[15\], the cost of a match is governed by the number of
 //! conditions the document satisfies (small) rather than by the number of
 //! registered subscriptions (huge) — experiment E3 reproduces that claim
 //! against a linear-scan baseline.

@@ -476,6 +476,29 @@ struct StagedSub {
 }
 
 /// The two-stage, many-subscription Filter.
+///
+/// # Example
+///
+/// Register a subscription and classify documents against the shared
+/// database (one [`FilterEngine::process`] call serves *every*
+/// registered subscription; [`FilterEngine::match_batch`] amortizes one
+/// pass over a whole batch):
+///
+/// ```
+/// use p2pmon_filter::{FilterEngine, FilterSubscription};
+/// use p2pmon_streams::AttrCondition;
+/// use p2pmon_xmlkit::{parse, path::CompareOp};
+///
+/// let mut engine = FilterEngine::adaptive();
+/// engine.add(FilterSubscription::new(7).with_simple(vec![
+///     AttrCondition::new("callMethod", CompareOp::Eq, "GetTemperature"),
+/// ]));
+///
+/// let hit = parse(r#"<call callMethod="GetTemperature"/>"#).unwrap();
+/// let miss = parse(r#"<call callMethod="Ping"/>"#).unwrap();
+/// assert_eq!(engine.process(&hit).matched.len(), 1);
+/// assert!(engine.process(&miss).matched.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct FilterEngine {
     subscriptions: HashMap<SubscriptionId, FilterSubscription>,

@@ -1,6 +1,6 @@
 //! The abstract syntax of P2PML subscriptions.
 
-use p2pmon_streams::{Condition, Operand, Template};
+use p2pmon_streams::{AggregateSpec, Condition, Operand, Template};
 use p2pmon_xmlkit::Value;
 
 /// A parsed subscription.
@@ -14,8 +14,12 @@ pub struct Subscription {
     pub where_clause: Vec<Condition>,
     /// Whether the RETURN clause asked for duplicate-free results.
     pub distinct: bool,
-    /// RETURN clause: the output template.
+    /// RETURN clause: the output template (a placeholder `<aggregate/>` for
+    /// aggregate subscriptions, whose answers the sketch root materializes).
     pub return_template: Template,
+    /// Aggregate RETURN clause (`return topk($c.method, 5)` …): compiled to a
+    /// sketch merge tree instead of a Restructure.
+    pub aggregate: Option<AggregateSpec>,
     /// BY clause: how the user is notified.
     pub by: ByClause,
 }

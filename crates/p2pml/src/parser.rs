@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use p2pmon_streams::{Condition, Operand, Template};
+use p2pmon_streams::{AggregateKind, AggregateSpec, Condition, Operand, Template};
 use p2pmon_xmlkit::path::CompareOp;
 use p2pmon_xmlkit::{parse_fragment, Value, XPath};
 
@@ -270,20 +270,29 @@ fn parse_flwr(scanner: &mut Scanner<'_>, nested: bool) -> Result<Subscription, P
     scanner.skip_ws();
     let distinct = scanner.eat_keyword("distinct");
     scanner.skip_ws();
-    let template_text = capture_return_body(scanner, nested)?;
-    let return_template = if template_text.trim().starts_with('<') {
-        Template::parse(template_text.trim()).map_err(|e| {
-            ParseErrorP2pml::new(scanner.pos, format!("invalid RETURN template: {e}"))
-        })?
-    } else if let Some(var) = template_text.trim().strip_prefix('$') {
-        // `return $e` — wrap the whole bound tree.
-        Template::parse(&format!("<result>{{${}}}</result>", var.trim()))
+    let aggregate = parse_aggregate(scanner)?;
+    let return_template = if aggregate.is_some() {
+        // Aggregate answers are materialized by the sketch root, not by a
+        // Restructure; the template is a placeholder.
+        Template::parse("<aggregate/>")
             .map_err(|e| ParseErrorP2pml::new(scanner.pos, format!("invalid RETURN: {e}")))?
     } else {
-        return Err(ParseErrorP2pml::new(
-            scanner.pos,
-            "RETURN must be an XML template or a `$variable`",
-        ));
+        let template_text = capture_return_body(scanner, nested)?;
+        if template_text.trim().starts_with('<') {
+            Template::parse(template_text.trim()).map_err(|e| {
+                ParseErrorP2pml::new(scanner.pos, format!("invalid RETURN template: {e}"))
+            })?
+        } else if let Some(var) = template_text.trim().strip_prefix('$') {
+            // `return $e` — wrap the whole bound tree.
+            Template::parse(&format!("<result>{{${}}}</result>", var.trim()))
+                .map_err(|e| ParseErrorP2pml::new(scanner.pos, format!("invalid RETURN: {e}")))?
+        } else {
+            return Err(ParseErrorP2pml::new(
+                scanner.pos,
+                "RETURN must be an XML template, a `$variable`, or an aggregate \
+                 (`topk(...)`, `entropy(...)`, `quantile(...)`)",
+            ));
+        }
     };
 
     scanner.skip_ws();
@@ -306,8 +315,137 @@ fn parse_flwr(scanner: &mut Scanner<'_>, nested: bool) -> Result<Subscription, P
         where_clause,
         distinct,
         return_template,
+        aggregate,
         by,
     })
+}
+
+/// Parses an aggregate RETURN body when one is present:
+/// `topk($c.method, 5 [, $c.bytes])`, `entropy($c.method)` or
+/// `quantile($c.duration, 0.99)`, each optionally followed by `every N`
+/// (the root emission cadence in dispatch rounds).
+fn parse_aggregate(scanner: &mut Scanner<'_>) -> Result<Option<AggregateSpec>, ParseErrorP2pml> {
+    scanner.skip_ws();
+    let kind_name = if scanner.eat_keyword("topk") {
+        "topk"
+    } else if scanner.eat_keyword("entropy") {
+        "entropy"
+    } else if scanner.eat_keyword("quantile") {
+        "quantile"
+    } else {
+        return Ok(None);
+    };
+    scanner.skip_ws();
+    if !scanner.eat("(") {
+        return Err(ParseErrorP2pml::new(
+            scanner.pos,
+            format!("expected `(` after `{kind_name}`"),
+        ));
+    }
+    let (var, key_attr) = parse_key_ref(scanner)?;
+    let kind = match kind_name {
+        "topk" => {
+            expect_comma(scanner)?;
+            let k = parse_integer(scanner)? as usize;
+            if k == 0 {
+                return Err(ParseErrorP2pml::new(scanner.pos, "topk needs k >= 1"));
+            }
+            AggregateKind::TopK { k }
+        }
+        "entropy" => AggregateKind::Entropy,
+        _ => {
+            expect_comma(scanner)?;
+            let q = parse_decimal(scanner)?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(ParseErrorP2pml::new(
+                    scanner.pos,
+                    "quantile needs q in [0, 1]",
+                ));
+            }
+            AggregateKind::Quantile {
+                q_permille: (q * 1000.0).round() as u32,
+            }
+        }
+    };
+    // Optional weight attribute: `topk($c.method, 5, $c.bytes)`.
+    scanner.skip_ws();
+    let weight_attr = if scanner.eat(",") {
+        let (weight_var, attr) = parse_key_ref(scanner)?;
+        if weight_var != var {
+            return Err(ParseErrorP2pml::new(
+                scanner.pos,
+                "aggregate weight must come from the same variable as the key",
+            ));
+        }
+        match attr {
+            Some(a) => Some(a),
+            None => {
+                return Err(ParseErrorP2pml::new(
+                    scanner.pos,
+                    "aggregate weight needs an attribute, e.g. `$c.bytes`",
+                ))
+            }
+        }
+    } else {
+        None
+    };
+    scanner.skip_ws();
+    if !scanner.eat(")") {
+        return Err(ParseErrorP2pml::new(
+            scanner.pos,
+            format!("expected `)` to close `{kind_name}(...)`"),
+        ));
+    }
+    let mut spec = AggregateSpec::new(kind, var, key_attr);
+    spec.weight_attr = weight_attr;
+    scanner.skip_ws();
+    if scanner.eat_keyword("every") {
+        let every = parse_integer(scanner)? as usize;
+        spec.every = every.max(1);
+    }
+    Ok(Some(spec))
+}
+
+/// Parses `$var` or `$var.attr` inside an aggregate call.
+fn parse_key_ref(scanner: &mut Scanner<'_>) -> Result<(String, Option<String>), ParseErrorP2pml> {
+    let var = scanner.parse_variable()?;
+    let attr = if scanner.eat(".") {
+        Some(scanner.parse_identifier()?)
+    } else {
+        None
+    };
+    Ok((var, attr))
+}
+
+fn expect_comma(scanner: &mut Scanner<'_>) -> Result<(), ParseErrorP2pml> {
+    scanner.skip_ws();
+    if scanner.eat(",") {
+        Ok(())
+    } else {
+        Err(ParseErrorP2pml::new(scanner.pos, "expected `,`"))
+    }
+}
+
+fn parse_integer(scanner: &mut Scanner<'_>) -> Result<u64, ParseErrorP2pml> {
+    scanner.skip_ws();
+    let start = scanner.pos;
+    while matches!(scanner.peek(), Some(c) if c.is_ascii_digit()) {
+        scanner.bump();
+    }
+    scanner.src[start..scanner.pos]
+        .parse()
+        .map_err(|_| ParseErrorP2pml::new(start, "expected an integer"))
+}
+
+fn parse_decimal(scanner: &mut Scanner<'_>) -> Result<f64, ParseErrorP2pml> {
+    scanner.skip_ws();
+    let start = scanner.pos;
+    while matches!(scanner.peek(), Some(c) if c.is_ascii_digit() || c == '.') {
+        scanner.bump();
+    }
+    scanner.src[start..scanner.pos]
+        .parse()
+        .map_err(|_| ParseErrorP2pml::new(start, "expected a number"))
 }
 
 fn parse_for_binding(scanner: &mut Scanner<'_>) -> Result<ForBinding, ParseErrorP2pml> {

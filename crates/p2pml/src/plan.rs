@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use p2pmon_streams::{AttrCondition, Condition, Operand, Template};
+use p2pmon_streams::{AggregateSpec, AttrCondition, Condition, Operand, Template};
 use p2pmon_xmlkit::PathPattern;
 
 use crate::ast::{ByClause, SourceExpr, Subscription, ValueExpr};
@@ -127,6 +127,18 @@ pub enum LogicalNode {
         /// Derived (LET) values the template may reference.
         derived: Vec<(String, ValueExpr)>,
     },
+    /// Sketch aggregation (`TopK` / `Entropy` / `Quantile`) over the keyed
+    /// input stream.  The planner expands this single logical node into a
+    /// merge tree: leaf sketches next to the sources, interior merge nodes,
+    /// and one root that materializes the XML answers.
+    Aggregate {
+        /// The FOR variable the key is drawn from.
+        var: String,
+        /// The aggregated input.
+        input: Box<LogicalNode>,
+        /// Which sketch to maintain and how to key it.
+        spec: AggregateSpec,
+    },
 }
 
 impl LogicalNode {
@@ -139,7 +151,8 @@ impl LogicalNode {
             | LogicalNode::Union { var, .. } => vec![var.clone()],
             LogicalNode::Select { input, .. }
             | LogicalNode::Dedup { input }
-            | LogicalNode::Restructure { input, .. } => input.output_vars(),
+            | LogicalNode::Restructure { input, .. }
+            | LogicalNode::Aggregate { input, .. } => input.output_vars(),
             LogicalNode::Join { left, right, .. } => {
                 let mut vars = left.output_vars();
                 vars.extend(right.output_vars());
@@ -170,7 +183,8 @@ impl LogicalNode {
             }
             LogicalNode::Select { input, .. }
             | LogicalNode::Dedup { input }
-            | LogicalNode::Restructure { input, .. } => input.collect_peers(out),
+            | LogicalNode::Restructure { input, .. }
+            | LogicalNode::Aggregate { input, .. } => input.collect_peers(out),
             LogicalNode::Join { left, right, .. } => {
                 left.collect_peers(out);
                 right.collect_peers(out);
@@ -186,7 +200,8 @@ impl LogicalNode {
             LogicalNode::Union { inputs, .. } => inputs.iter().map(LogicalNode::size).sum(),
             LogicalNode::Select { input, .. }
             | LogicalNode::Dedup { input }
-            | LogicalNode::Restructure { input, .. } => input.size(),
+            | LogicalNode::Restructure { input, .. }
+            | LogicalNode::Aggregate { input, .. } => input.size(),
             LogicalNode::Join { left, right, .. } => left.size() + right.size(),
         }
     }
@@ -250,6 +265,9 @@ impl fmt::Display for LogicalNode {
             ),
             LogicalNode::Dedup { input } => write!(f, "dedup({input})"),
             LogicalNode::Restructure { input, .. } => write!(f, "restructure({input})"),
+            LogicalNode::Aggregate { input, spec, .. } => {
+                write!(f, "{}({input})", spec.kind.name())
+            }
         }
     }
 }
@@ -459,6 +477,26 @@ pub fn compile(subscription: &Subscription) -> Result<LogicalPlan, PlanError> {
         })
         .map(|l| (l.var.clone(), l.expr.clone()))
         .collect();
+
+    if let Some(spec) = &subscription.aggregate {
+        // Aggregates replace the Dedup/Restructure top: the sketch root
+        // materializes the answers itself.
+        if !for_vars.contains(&spec.var) {
+            return Err(PlanError::new(format!(
+                "aggregate key variable ${} is not bound by the FOR clause",
+                spec.var
+            )));
+        }
+        return Ok(LogicalPlan {
+            root: LogicalNode::Aggregate {
+                var: spec.var.clone(),
+                input: Box::new(current),
+                spec: spec.clone(),
+            },
+            by: subscription.by.clone(),
+            distinct: false,
+        });
+    }
 
     if subscription.distinct {
         current = LogicalNode::Dedup {
@@ -768,6 +806,88 @@ mod tests {
         let s = plan.root.to_string();
         assert_eq!(s.matches("join[").count(), 2, "{s}");
         assert_eq!(plan.root.size(), 6); // 3 alerters + 2 joins + restructure
+    }
+
+    #[test]
+    fn aggregate_return_compiles_to_an_aggregate_root() {
+        use p2pmon_streams::AggregateKind;
+        let plan = compile(
+            &parse_subscription(
+                r#"for $c in inCOM(<p>a.com</p> <p>b.com</p>)
+                   return topk($c.callMethod, 5) every 2
+                   by publish as channel "hot";"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let LogicalNode::Aggregate { var, input, spec } = &plan.root else {
+            panic!("expected aggregate root, got {}", plan.root)
+        };
+        assert_eq!(var, "c");
+        assert_eq!(spec.kind, AggregateKind::TopK { k: 5 });
+        assert_eq!(spec.key_attr.as_deref(), Some("callMethod"));
+        assert_eq!(spec.every, 2);
+        assert!(matches!(input.as_ref(), LogicalNode::Union { .. }));
+        assert_eq!(plan.root.size(), 4); // 2 alerters + union + aggregate
+    }
+
+    #[test]
+    fn aggregate_selections_still_push_to_sources() {
+        let plan = compile(
+            &parse_subscription(
+                r#"for $c in inCOM(<p>a.com</p>)
+                   where $c.callMethod = "Query"
+                   return quantile($c.duration, 0.99)
+                   by email "ops@example.com";"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let LogicalNode::Aggregate { input, spec, .. } = &plan.root else {
+            panic!("expected aggregate root")
+        };
+        assert!(matches!(input.as_ref(), LogicalNode::Select { .. }));
+        assert_eq!(
+            spec.kind,
+            p2pmon_streams::AggregateKind::Quantile { q_permille: 990 }
+        );
+    }
+
+    #[test]
+    fn weighted_topk_and_entropy_parse() {
+        let sub = parse_subscription(
+            r#"for $c in inCOM(<p>a.com</p>)
+               return topk($c.channel, 3, $c.bytes)
+               by publish as channel "bytes";"#,
+        )
+        .unwrap();
+        let spec = sub.aggregate.expect("aggregate");
+        assert_eq!(spec.weight_attr.as_deref(), Some("bytes"));
+
+        let sub = parse_subscription(
+            r#"for $c in inCOM(<p>a.com</p>)
+               return entropy($c.caller)
+               by publish as channel "spread";"#,
+        )
+        .unwrap();
+        assert_eq!(
+            sub.aggregate.expect("aggregate").kind,
+            p2pmon_streams::AggregateKind::Entropy
+        );
+    }
+
+    #[test]
+    fn aggregate_key_must_be_bound() {
+        let err = compile(
+            &parse_subscription(
+                r#"for $c in inCOM(<p>a.com</p>)
+                   return topk($z.method, 5)
+                   by publish as channel "x";"#,
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not bound"), "{err}");
     }
 
     #[test]

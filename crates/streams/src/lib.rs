@@ -29,7 +29,14 @@
 //!   ([`template`]),
 //! * [`StreamStats`] / [`RateTable`] — per-stream statistics (lifetime and
 //!   EWMA rates) kept for the Stream Definition Database and the per-monitor
-//!   rate table that drives load-aware placement ([`stats`]).
+//!   rate table that drives load-aware placement ([`stats`]),
+//! * [`Sketch`] summaries ([`CountMinSketch`], [`TopKSketch`],
+//!   [`EntropySketch`], [`QuantileSummary`]) — bounded-size mergeable state
+//!   behind the aggregate operators (`TopK`, `Entropy`, `Quantile`), which
+//!   ship serialized partials up a merge tree instead of whole items
+//!   ([`sketch`]).
+
+#![warn(missing_docs)]
 
 pub mod binding;
 pub mod channel;
@@ -37,6 +44,7 @@ pub mod condition;
 pub mod item;
 pub mod operator;
 pub mod ops;
+pub mod sketch;
 pub mod stats;
 pub mod template;
 
@@ -45,6 +53,10 @@ pub use channel::{normalize_peer, ChannelId, ChannelSpec};
 pub use condition::{AttrCondition, Condition, Operand};
 pub use item::{StreamEvent, StreamItem};
 pub use operator::{Operator, OperatorOutput};
+pub use sketch::{
+    AggregateKind, AggregateSpec, AnySketch, CountMinSketch, EntropySketch, QuantileSummary,
+    Sketch, TopKSketch,
+};
 pub use stats::{RateTable, StreamStats};
 pub use template::Template;
 

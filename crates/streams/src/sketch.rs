@@ -1,0 +1,1124 @@
+//! Mergeable streaming sketches backing the aggregate operators.
+//!
+//! The algebra of the ICDE'08 monitoring paper ships whole XML items to
+//! subscribers.  Continuous *aggregate* subscriptions ("top-k hottest
+//! channels", "distribution entropy", "p99 dispatch latency") instead merge
+//! bounded-size partial summaries up the placement tree, so the bytes on the
+//! wire are proportional to the sketch size, not to the event volume.
+//!
+//! Every summary here implements the [`Sketch`] trait: deterministic
+//! [`Sketch::update`], exact-or-bounded [`Sketch::merge`], and an XML
+//! round-trip ([`Sketch::to_element`] / [`Sketch::from_element`]) whose size
+//! is bounded by [`Sketch::max_serialized_entries`] regardless of how many
+//! events were absorbed.
+//!
+//! The concrete summaries:
+//!
+//! * [`CountMinSketch`] — counter matrix with point-query overestimates
+//!   bounded by `total / width` per row; merge is exact (cell-wise add).
+//! * [`TopKSketch`] — count-min plus a bounded candidate set; the classic
+//!   heavy-hitters construction.
+//! * [`EntropySketch`] — bounded key→count map with lossy eviction into a
+//!   residual mass, yielding an empirical-entropy estimate.
+//! * [`QuantileSummary`] — logarithmic buckets with relative-accuracy
+//!   guarantee `alpha` (DDSketch-style); merge is exact (bucket-wise add).
+//!
+//! [`AggregateSpec`] describes one aggregate subscription (which sketch, over
+//! which key attribute, at which cadence) and [`AnySketch`] dispatches over
+//! the three operator-facing summaries at runtime.
+
+use p2pmon_xmlkit::Element;
+use std::collections::BTreeMap;
+
+/// A bounded-size, mergeable stream summary.
+///
+/// Implementations guarantee three properties the planner relies on:
+///
+/// 1. **Determinism** — the same update sequence always produces the same
+///    serialized form (no randomized hashing at runtime).
+/// 2. **Mergeability** — `a.update(xs); b.update(ys); a.merge(&b)` answers
+///    queries within the same error bound as a single sketch that absorbed
+///    `xs ++ ys`.  Counter-based state (count-min cells, quantile buckets)
+///    merges *exactly*.
+/// 3. **Bounded size** — the XML partial never exceeds
+///    [`max_serialized_entries`](Sketch::max_serialized_entries) entries, no
+///    matter how many events were absorbed.
+///
+/// # Examples
+///
+/// ```
+/// use p2pmon_streams::sketch::{Sketch, TopKSketch};
+///
+/// let mut left = TopKSketch::new(8);
+/// let mut right = TopKSketch::new(8);
+/// for _ in 0..9 {
+///     left.update("hot", 1);
+/// }
+/// right.update("cold", 1);
+/// left.merge(&right);
+/// let top = left.top(1);
+/// assert_eq!(top[0].0, "hot");
+/// assert_eq!(top[0].1, 9);
+///
+/// // XML round-trip preserves the summary bit-for-bit.
+/// let wire = left.to_element();
+/// let back = TopKSketch::from_element(&wire).unwrap();
+/// assert_eq!(back.top(1), left.top(1));
+/// ```
+pub trait Sketch: Sized {
+    /// Absorb one observation.  `key` identifies the stream element being
+    /// counted; `weight` is the increment (for [`QuantileSummary`] the key is
+    /// parsed as the numeric observation and the weight is its multiplicity).
+    fn update(&mut self, key: &str, weight: u64);
+
+    /// Fold another sketch of the same shape into this one.
+    fn merge(&mut self, other: &Self);
+
+    /// Serialize into a bounded-size XML partial.
+    fn to_element(&self) -> Element;
+
+    /// Rebuild a sketch from [`to_element`](Sketch::to_element) output.
+    /// Returns `None` when the element is not a partial of this kind.
+    fn from_element(el: &Element) -> Option<Self>;
+
+    /// Upper bound on the number of serialized entries (cells, candidates,
+    /// buckets), independent of how many events were absorbed.
+    fn max_serialized_entries(&self) -> usize;
+
+    /// True when no observation has been absorbed since construction (or the
+    /// last [`reset`](Sketch::reset)).
+    fn is_empty(&self) -> bool;
+
+    /// Clear all absorbed state, keeping the configured shape.  Leaf
+    /// operators reset after flushing so each wire partial is a *delta*.
+    fn reset(&mut self);
+}
+
+/// Deterministic 64-bit FNV-1a, salted per count-min row.
+fn row_hash(row: u64, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ row.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_u64(el: &Element, attr: &str) -> Option<u64> {
+    el.attr(attr)?.parse().ok()
+}
+
+/// Count-min sketch: a `depth × width` counter matrix where each row hashes
+/// the key independently and point queries take the row minimum.
+///
+/// Estimates never undercount; the overestimate per row is bounded by
+/// `total / width`, so the row minimum is within `total / width` of the true
+/// count with deterministic hashing dispersing distinct keys across cells.
+/// Serialization is sparse (only touched cells), so a delta covering `d`
+/// distinct keys costs at most `depth × d` cells on the wire.
+///
+/// # Examples
+///
+/// ```
+/// use p2pmon_streams::sketch::{CountMinSketch, Sketch};
+///
+/// let mut cm = CountMinSketch::new(256, 3);
+/// cm.update("alpha", 4);
+/// cm.update("beta", 1);
+/// assert!(cm.estimate("alpha") >= 4);
+/// assert_eq!(cm.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    /// Sparse cell map `(row, column) -> count`; dense vectors would make
+    /// tiny deltas pay the full matrix on the wire.
+    cells: BTreeMap<(u32, u32), u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Create a sketch with `width` columns and `depth` independent rows.
+    pub fn new(width: usize, depth: usize) -> Self {
+        Self {
+            width: width.max(1),
+            depth: depth.max(1),
+            cells: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Point-query the estimated count for `key` (never an undercount).
+    pub fn estimate(&self, key: &str) -> u64 {
+        (0..self.depth)
+            .map(|r| {
+                let c = (row_hash(r as u64, key) % self.width as u64) as u32;
+                self.cells.get(&(r as u32, c)).copied().unwrap_or(0)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total weight absorbed across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Sketch for CountMinSketch {
+    fn update(&mut self, key: &str, weight: u64) {
+        for r in 0..self.depth {
+            let c = (row_hash(r as u64, key) % self.width as u64) as u32;
+            *self.cells.entry((r as u32, c)).or_insert(0) += weight;
+        }
+        self.total += weight;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        debug_assert_eq!((self.width, self.depth), (other.width, other.depth));
+        for (&cell, &count) in &other.cells {
+            *self.cells.entry(cell).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
+    fn to_element(&self) -> Element {
+        let mut el = Element::new("cm");
+        el.set_attr("w", self.width.to_string());
+        el.set_attr("d", self.depth.to_string());
+        el.set_attr("total", self.total.to_string());
+        for (&(r, c), &count) in &self.cells {
+            let mut cell = Element::new("cell");
+            cell.set_attr("r", r.to_string());
+            cell.set_attr("c", c.to_string());
+            cell.set_attr("n", count.to_string());
+            el.push_element(cell);
+        }
+        el
+    }
+
+    fn from_element(el: &Element) -> Option<Self> {
+        if el.name != "cm" {
+            return None;
+        }
+        let mut cm =
+            CountMinSketch::new(parse_u64(el, "w")? as usize, parse_u64(el, "d")? as usize);
+        cm.total = parse_u64(el, "total")?;
+        for cell in el.children_named("cell") {
+            let r = parse_u64(cell, "r")? as u32;
+            let c = parse_u64(cell, "c")? as u32;
+            cm.cells.insert((r, c), parse_u64(cell, "n")?);
+        }
+        Some(cm)
+    }
+
+    fn max_serialized_entries(&self) -> usize {
+        self.width * self.depth
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    fn reset(&mut self) {
+        self.cells.clear();
+        self.total = 0;
+    }
+}
+
+/// Heavy-hitters sketch: a [`CountMinSketch`] for counting plus a bounded
+/// candidate set holding the keys with the largest estimates.
+///
+/// Any key whose true count exceeds `total / capacity` is retained with
+/// probability-1 under the deterministic hash family used here, and reported
+/// counts overestimate by at most `total / cm_width` (the count-min bound).
+/// Ties break on the key string so answers are reproducible across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKSketch {
+    capacity: usize,
+    cm: CountMinSketch,
+    /// Candidate heavy keys with their count-min estimates.
+    candidates: BTreeMap<String, u64>,
+}
+
+/// Count-min geometry used by [`TopKSketch::new`]: columns per row.
+pub const TOPK_CM_WIDTH: usize = 512;
+/// Count-min geometry used by [`TopKSketch::new`]: independent rows.
+pub const TOPK_CM_DEPTH: usize = 3;
+
+impl TopKSketch {
+    /// Track up to `capacity` candidate heavy hitters.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            cm: CountMinSketch::new(TOPK_CM_WIDTH, TOPK_CM_DEPTH),
+            candidates: BTreeMap::new(),
+        }
+    }
+
+    /// The `k` heaviest keys, heaviest first; count descending then key
+    /// ascending so the answer is deterministic.
+    pub fn top(&self, k: usize) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> = self
+            .candidates
+            .iter()
+            .map(|(key, &count)| (key.clone(), count))
+            .collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Total weight absorbed across all keys.
+    pub fn total(&self) -> u64 {
+        self.cm.total()
+    }
+
+    fn admit(&mut self, key: &str, estimate: u64) {
+        if let Some(entry) = self.candidates.get_mut(key) {
+            *entry = estimate;
+            return;
+        }
+        if self.candidates.len() < self.capacity {
+            self.candidates.insert(key.to_string(), estimate);
+            return;
+        }
+        // Evict the lightest candidate (largest key breaks ties) when the
+        // newcomer's estimate strictly beats it.
+        let (weakest, weak_count) = self
+            .candidates
+            .iter()
+            .min_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(k, &c)| (k.clone(), c))
+            .expect("capacity >= 1");
+        if estimate > weak_count {
+            self.candidates.remove(&weakest);
+            self.candidates.insert(key.to_string(), estimate);
+        }
+    }
+}
+
+impl Sketch for TopKSketch {
+    fn update(&mut self, key: &str, weight: u64) {
+        self.cm.update(key, weight);
+        let estimate = self.cm.estimate(key);
+        self.admit(key, estimate);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.cm.merge(&other.cm);
+        // Re-estimate every candidate from the merged counters, then keep the
+        // strongest `capacity` of the union.
+        let keys: Vec<String> = self
+            .candidates
+            .keys()
+            .chain(other.candidates.keys())
+            .cloned()
+            .collect();
+        self.candidates.clear();
+        let mut scored: Vec<(String, u64)> = keys
+            .into_iter()
+            .map(|k| {
+                let est = self.cm.estimate(&k);
+                (k, est)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.dedup_by(|a, b| a.0 == b.0);
+        scored.truncate(self.capacity);
+        self.candidates = scored.into_iter().collect();
+    }
+
+    fn to_element(&self) -> Element {
+        let mut el = Element::new("sketch");
+        el.set_attr("kind", "topk");
+        el.set_attr("cap", self.capacity.to_string());
+        el.push_element(self.cm.to_element());
+        for key in self.candidates.keys() {
+            let mut cand = Element::new("cand");
+            cand.set_attr("k", key.clone());
+            el.push_element(cand);
+        }
+        el
+    }
+
+    fn from_element(el: &Element) -> Option<Self> {
+        if el.name != "sketch" || el.attr("kind") != Some("topk") {
+            return None;
+        }
+        let cm = CountMinSketch::from_element(el.child("cm")?)?;
+        let mut sketch = TopKSketch::new(parse_u64(el, "cap")? as usize);
+        sketch.cm = cm;
+        for cand in el.children_named("cand") {
+            let key = cand.attr("k")?.to_string();
+            let est = sketch.cm.estimate(&key);
+            sketch.candidates.insert(key, est);
+        }
+        // Respect the capacity bound even on adversarial input.
+        while sketch.candidates.len() > sketch.capacity {
+            let weakest = sketch
+                .candidates
+                .iter()
+                .min_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            sketch.candidates.remove(&weakest);
+        }
+        Some(sketch)
+    }
+
+    fn max_serialized_entries(&self) -> usize {
+        self.cm.max_serialized_entries() + self.capacity
+    }
+
+    fn is_empty(&self) -> bool {
+        self.cm.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.cm.reset();
+        self.candidates.clear();
+    }
+}
+
+/// Empirical-entropy estimator: a bounded key→count map whose overflow is
+/// evicted into a residual `(mass, distinct)` pair treated as uniform.
+///
+/// When the live key population fits the capacity the estimate is *exact*
+/// empirical entropy; under overflow the lightest keys are folded into the
+/// residual, which the distributed entropy-monitoring literature shows biases
+/// the estimate by at most the residual's probability mass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntropySketch {
+    capacity: usize,
+    counts: BTreeMap<String, u64>,
+    residual_mass: u64,
+    residual_keys: u64,
+    total: u64,
+}
+
+impl EntropySketch {
+    /// Track up to `capacity` exact key counts before evicting.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            counts: BTreeMap::new(),
+            residual_mass: 0,
+            residual_keys: 0,
+            total: 0,
+        }
+    }
+
+    /// Estimated Shannon entropy of the key distribution, in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        let mut h = 0.0;
+        for &count in self.counts.values() {
+            if count > 0 {
+                let p = count as f64 / total;
+                h -= p * p.log2();
+            }
+        }
+        if self.residual_mass > 0 && self.residual_keys > 0 {
+            // Residual modeled as `residual_keys` equally likely keys.
+            let per_key = self.residual_mass as f64 / self.residual_keys as f64;
+            let p = per_key / total;
+            h -= self.residual_keys as f64 * p * p.log2();
+        }
+        h
+    }
+
+    /// Total weight absorbed across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.counts.len() > self.capacity {
+            let lightest = self
+                .counts
+                .iter()
+                .min_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(k, _)| k.clone())
+                .expect("over capacity implies non-empty");
+            let mass = self.counts.remove(&lightest).unwrap_or(0);
+            self.residual_mass += mass;
+            self.residual_keys += 1;
+        }
+    }
+}
+
+impl Sketch for EntropySketch {
+    fn update(&mut self, key: &str, weight: u64) {
+        *self.counts.entry(key.to_string()).or_insert(0) += weight;
+        self.total += weight;
+        self.evict_to_capacity();
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (key, &count) in &other.counts {
+            *self.counts.entry(key.clone()).or_insert(0) += count;
+        }
+        self.residual_mass += other.residual_mass;
+        self.residual_keys += other.residual_keys;
+        self.total += other.total;
+        self.evict_to_capacity();
+    }
+
+    fn to_element(&self) -> Element {
+        let mut el = Element::new("sketch");
+        el.set_attr("kind", "entropy");
+        el.set_attr("cap", self.capacity.to_string());
+        el.set_attr("rm", self.residual_mass.to_string());
+        el.set_attr("rk", self.residual_keys.to_string());
+        el.set_attr("total", self.total.to_string());
+        for (key, &count) in &self.counts {
+            let mut kv = Element::new("kv");
+            kv.set_attr("k", key.clone());
+            kv.set_attr("n", count.to_string());
+            el.push_element(kv);
+        }
+        el
+    }
+
+    fn from_element(el: &Element) -> Option<Self> {
+        if el.name != "sketch" || el.attr("kind") != Some("entropy") {
+            return None;
+        }
+        let mut sketch = EntropySketch::new(parse_u64(el, "cap")? as usize);
+        sketch.residual_mass = parse_u64(el, "rm")?;
+        sketch.residual_keys = parse_u64(el, "rk")?;
+        sketch.total = parse_u64(el, "total")?;
+        for kv in el.children_named("kv") {
+            sketch
+                .counts
+                .insert(kv.attr("k")?.to_string(), parse_u64(kv, "n")?);
+        }
+        sketch.evict_to_capacity();
+        Some(sketch)
+    }
+
+    fn max_serialized_entries(&self) -> usize {
+        self.capacity
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    fn reset(&mut self) {
+        self.counts.clear();
+        self.residual_mass = 0;
+        self.residual_keys = 0;
+        self.total = 0;
+    }
+}
+
+/// Mergeable p-quantile summary over non-negative integer observations,
+/// using logarithmic buckets with relative accuracy `alpha` (DDSketch-style).
+///
+/// Bucket `i` covers `(gamma^(i-1), gamma^i]` with `gamma = (1+α)/(1-α)`, so
+/// reporting a bucket midpoint is within relative error `alpha` of the true
+/// value.  Merging adds bucket counts — *exact* — and when the bucket count
+/// exceeds `max_buckets` the lowest buckets collapse together, preserving
+/// accuracy for the high quantiles (p95/p99) the monitor asks about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSummary {
+    /// Relative-accuracy parameter in per-mille (e.g. 10 ⇒ α = 0.01).
+    alpha_permille: u32,
+    max_buckets: usize,
+    zero_count: u64,
+    buckets: BTreeMap<i32, u64>,
+    total: u64,
+}
+
+impl QuantileSummary {
+    /// Create a summary with relative accuracy `alpha_permille / 1000` and at
+    /// most `max_buckets` live buckets.
+    pub fn new(alpha_permille: u32, max_buckets: usize) -> Self {
+        Self {
+            alpha_permille: alpha_permille.clamp(1, 500),
+            max_buckets: max_buckets.max(2),
+            zero_count: 0,
+            buckets: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    fn gamma(&self) -> f64 {
+        let alpha = self.alpha_permille as f64 / 1000.0;
+        (1.0 + alpha) / (1.0 - alpha)
+    }
+
+    /// Absorb one numeric observation with multiplicity `weight`.
+    pub fn observe(&mut self, value: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        if value == 0 {
+            self.zero_count += weight;
+        } else {
+            let idx = (value as f64).ln() / self.gamma().ln();
+            let idx = idx.ceil() as i32;
+            *self.buckets.entry(idx).or_insert(0) += weight;
+            self.collapse();
+        }
+        self.total += weight;
+    }
+
+    /// The value at quantile `q_permille / 1000` (e.g. 990 ⇒ p99), within
+    /// relative error `alpha` of the true order statistic.
+    pub fn quantile(&self, q_permille: u32) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q_permille.min(1000) as u128 * (self.total as u128 - 1)) / 1000) as u64;
+        if rank < self.zero_count {
+            return 0;
+        }
+        let mut seen = self.zero_count;
+        let gamma = self.gamma();
+        for (&idx, &count) in &self.buckets {
+            seen += count;
+            if seen > rank {
+                // Midpoint of (gamma^(idx-1), gamma^idx].
+                let hi = gamma.powi(idx);
+                let lo = gamma.powi(idx - 1);
+                return ((hi + lo) / 2.0).round() as u64;
+            }
+        }
+        // Numerically unreachable; fall back to the highest bucket midpoint.
+        self.buckets
+            .keys()
+            .next_back()
+            .map(|&idx| {
+                let hi = gamma.powi(idx);
+                let lo = gamma.powi(idx - 1);
+                ((hi + lo) / 2.0).round() as u64
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total weight absorbed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn collapse(&mut self) {
+        while self.buckets.len() > self.max_buckets {
+            // Fold the lowest bucket into its neighbor: high quantiles stay
+            // accurate, the far-left tail degrades first.
+            let (&lowest, &mass) = self.buckets.iter().next().expect("over max implies some");
+            self.buckets.remove(&lowest);
+            let (&next, _) = self.buckets.iter().next().expect("max_buckets >= 2");
+            *self.buckets.entry(next).or_insert(0) += mass;
+            let _ = lowest;
+        }
+    }
+}
+
+impl Sketch for QuantileSummary {
+    /// `key` is parsed as the numeric observation; unparsable keys count as 0.
+    fn update(&mut self, key: &str, weight: u64) {
+        let value = key.parse::<u64>().unwrap_or(0);
+        self.observe(value, weight.max(1));
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.zero_count += other.zero_count;
+        for (&idx, &count) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += count;
+        }
+        self.total += other.total;
+        self.collapse();
+    }
+
+    fn to_element(&self) -> Element {
+        let mut el = Element::new("sketch");
+        el.set_attr("kind", "quantile");
+        el.set_attr("alpha", self.alpha_permille.to_string());
+        el.set_attr("maxb", self.max_buckets.to_string());
+        el.set_attr("zero", self.zero_count.to_string());
+        el.set_attr("total", self.total.to_string());
+        for (&idx, &count) in &self.buckets {
+            let mut b = Element::new("b");
+            b.set_attr("i", idx.to_string());
+            b.set_attr("n", count.to_string());
+            el.push_element(b);
+        }
+        el
+    }
+
+    fn from_element(el: &Element) -> Option<Self> {
+        if el.name != "sketch" || el.attr("kind") != Some("quantile") {
+            return None;
+        }
+        let mut summary = QuantileSummary::new(
+            parse_u64(el, "alpha")? as u32,
+            parse_u64(el, "maxb")? as usize,
+        );
+        summary.zero_count = parse_u64(el, "zero")?;
+        summary.total = parse_u64(el, "total")?;
+        for b in el.children_named("b") {
+            let idx = b.attr("i")?.parse::<i32>().ok()?;
+            summary.buckets.insert(idx, parse_u64(b, "n")?);
+        }
+        summary.collapse();
+        Some(summary)
+    }
+
+    fn max_serialized_entries(&self) -> usize {
+        self.max_buckets + 1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    fn reset(&mut self) {
+        self.zero_count = 0;
+        self.buckets.clear();
+        self.total = 0;
+    }
+}
+
+/// Which aggregate a subscription computes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggregateKind {
+    /// The `k` heaviest keys by total weight.
+    TopK {
+        /// How many heavy hitters the answer reports.
+        k: usize,
+    },
+    /// Shannon entropy of the key distribution, in bits.
+    Entropy,
+    /// The `q_permille / 1000` quantile of the numeric key values
+    /// (990 ⇒ p99).
+    Quantile {
+        /// Quantile in per-mille, clamped to `0..=1000`.
+        q_permille: u32,
+    },
+}
+
+impl AggregateKind {
+    /// Stable name used in surface syntax, plan display and answer items.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateKind::TopK { .. } => "topk",
+            AggregateKind::Entropy => "entropy",
+            AggregateKind::Quantile { .. } => "quantile",
+        }
+    }
+}
+
+/// Full description of one aggregate subscription: the sketch kind, the key
+/// it is keyed on, an optional weight attribute, and the root emission
+/// cadence in dispatch rounds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggregateSpec {
+    /// Which summary the merge tree maintains.
+    pub kind: AggregateKind,
+    /// Variable the key is drawn from (`$c` in `topk($c.method, 5)`).
+    pub var: String,
+    /// Attribute on the bound element supplying the key (or the numeric
+    /// observation for quantiles).  `None` uses the element's text content.
+    pub key_attr: Option<String>,
+    /// Attribute supplying the per-item weight; `None` counts each item once.
+    pub weight_attr: Option<String>,
+    /// Root answers materialize every `every` flush opportunities (≥ 1).
+    pub every: usize,
+}
+
+impl AggregateSpec {
+    /// Spec with cadence 1 and unit weights.
+    pub fn new(kind: AggregateKind, var: impl Into<String>, key_attr: Option<String>) -> Self {
+        Self {
+            kind,
+            var: var.into(),
+            key_attr,
+            weight_attr: None,
+            every: 1,
+        }
+    }
+
+    /// Extract `(key, weight)` from a bound element according to this spec.
+    ///
+    /// The key attribute is looked up on the element root first, then on the
+    /// first descendant carrying it (deterministic depth-first order).
+    pub fn observe(&self, el: &Element) -> (String, u64) {
+        let key = match &self.key_attr {
+            Some(attr) => find_attr(el, attr).unwrap_or_default(),
+            None => el.text(),
+        };
+        let weight = self
+            .weight_attr
+            .as_ref()
+            .and_then(|attr| find_attr(el, attr))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1);
+        (key, weight)
+    }
+}
+
+fn find_attr(el: &Element, attr: &str) -> Option<String> {
+    if let Some(v) = el.attr(attr) {
+        return Some(v.to_string());
+    }
+    for child in el.child_elements() {
+        if let Some(v) = find_attr(child, attr) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Candidate-set bound used for operator-level [`TopKSketch`]es.
+pub const DEFAULT_TOPK_CAPACITY: usize = 64;
+/// Key-map bound used for operator-level [`EntropySketch`]es.
+pub const DEFAULT_ENTROPY_CAPACITY: usize = 512;
+/// Relative accuracy (per-mille) for operator-level [`QuantileSummary`]s.
+pub const DEFAULT_QUANTILE_ALPHA_PERMILLE: u32 = 10;
+/// Bucket bound for operator-level [`QuantileSummary`]s.
+pub const DEFAULT_QUANTILE_MAX_BUCKETS: usize = 256;
+
+/// Runtime dispatch over the three operator-facing summaries.
+///
+/// The planner knows only the [`AggregateSpec`]; `AnySketch::for_spec` picks
+/// the summary, and the leaf/merge/root operators drive it through this enum
+/// without caring which concrete sketch is inside.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnySketch {
+    /// Heavy-hitters state.
+    TopK(TopKSketch),
+    /// Entropy-estimator state.
+    Entropy(EntropySketch),
+    /// Quantile-summary state.
+    Quantile(QuantileSummary),
+}
+
+impl AnySketch {
+    /// Fresh, empty sketch of the shape `spec` calls for.
+    pub fn for_spec(spec: &AggregateSpec) -> Self {
+        match spec.kind {
+            AggregateKind::TopK { k } => {
+                AnySketch::TopK(TopKSketch::new(DEFAULT_TOPK_CAPACITY.max(k)))
+            }
+            AggregateKind::Entropy => {
+                AnySketch::Entropy(EntropySketch::new(DEFAULT_ENTROPY_CAPACITY))
+            }
+            AggregateKind::Quantile { .. } => AnySketch::Quantile(QuantileSummary::new(
+                DEFAULT_QUANTILE_ALPHA_PERMILLE,
+                DEFAULT_QUANTILE_MAX_BUCKETS,
+            )),
+        }
+    }
+
+    /// Absorb one raw observation (see [`Sketch::update`]).
+    pub fn update(&mut self, key: &str, weight: u64) {
+        match self {
+            AnySketch::TopK(s) => s.update(key, weight),
+            AnySketch::Entropy(s) => s.update(key, weight),
+            AnySketch::Quantile(s) => s.update(key, weight),
+        }
+    }
+
+    /// Absorb a serialized partial produced by [`AnySketch::to_element`].
+    /// Returns `false` (and changes nothing) when the element is not a
+    /// partial of this sketch's kind.
+    pub fn absorb(&mut self, el: &Element) -> bool {
+        match self {
+            AnySketch::TopK(s) => match TopKSketch::from_element(el) {
+                Some(other) => {
+                    s.merge(&other);
+                    true
+                }
+                None => false,
+            },
+            AnySketch::Entropy(s) => match EntropySketch::from_element(el) {
+                Some(other) => {
+                    s.merge(&other);
+                    true
+                }
+                None => false,
+            },
+            AnySketch::Quantile(s) => match QuantileSummary::from_element(el) {
+                Some(other) => {
+                    s.merge(&other);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Serialize the current state as a bounded-size XML partial.
+    pub fn to_element(&self) -> Element {
+        match self {
+            AnySketch::TopK(s) => s.to_element(),
+            AnySketch::Entropy(s) => s.to_element(),
+            AnySketch::Quantile(s) => s.to_element(),
+        }
+    }
+
+    /// True when nothing has been absorbed since construction or reset.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            AnySketch::TopK(s) => s.is_empty(),
+            AnySketch::Entropy(s) => s.is_empty(),
+            AnySketch::Quantile(s) => s.is_empty(),
+        }
+    }
+
+    /// Clear absorbed state, keeping the configured shape.
+    pub fn reset(&mut self) {
+        match self {
+            AnySketch::TopK(s) => s.reset(),
+            AnySketch::Entropy(s) => s.reset(),
+            AnySketch::Quantile(s) => s.reset(),
+        }
+    }
+
+    /// Approximate in-memory footprint, for operator state accounting.
+    pub fn state_bytes(&self) -> usize {
+        match self {
+            AnySketch::TopK(s) => 32 * (s.cm.cells.len() + s.candidates.len()) + 64,
+            AnySketch::Entropy(s) => 48 * s.counts.len() + 64,
+            AnySketch::Quantile(s) => 16 * s.buckets.len() + 64,
+        }
+    }
+
+    /// Materialize the user-facing XML answer for `spec`, e.g.
+    /// `<aggregate kind="topk"><entry key=".." count=".."/></aggregate>`.
+    pub fn answer(&self, spec: &AggregateSpec) -> Element {
+        let mut el = Element::new("aggregate");
+        el.set_attr("kind", spec.kind.name());
+        match (self, &spec.kind) {
+            (AnySketch::TopK(s), AggregateKind::TopK { k }) => {
+                el.set_attr("total", s.total().to_string());
+                for (rank, (key, count)) in s.top(*k).into_iter().enumerate() {
+                    let mut entry = Element::new("entry");
+                    entry.set_attr("rank", (rank + 1).to_string());
+                    entry.set_attr("key", key);
+                    entry.set_attr("count", count.to_string());
+                    el.push_element(entry);
+                }
+            }
+            (AnySketch::Entropy(s), AggregateKind::Entropy) => {
+                el.set_attr("total", s.total().to_string());
+                el.set_attr("bits", format!("{:.6}", s.entropy_bits()));
+            }
+            (AnySketch::Quantile(s), AggregateKind::Quantile { q_permille }) => {
+                el.set_attr("total", s.total().to_string());
+                el.set_attr("q", q_permille.to_string());
+                el.set_attr("value", s.quantile(*q_permille).to_string());
+            }
+            _ => {
+                el.set_attr("error", "sketch/spec kind mismatch");
+            }
+        }
+        el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(sketch: &mut impl Sketch, pairs: &[(&str, u64)]) {
+        for (k, w) in pairs {
+            sketch.update(k, *w);
+        }
+    }
+
+    #[test]
+    fn count_min_never_undercounts_and_merges_exactly() {
+        let mut a = CountMinSketch::new(64, 3);
+        let mut b = CountMinSketch::new(64, 3);
+        feed(&mut a, &[("x", 5), ("y", 2)]);
+        feed(&mut b, &[("x", 3), ("z", 7)]);
+        a.merge(&b);
+        assert!(a.estimate("x") >= 8);
+        assert!(a.estimate("y") >= 2);
+        assert!(a.estimate("z") >= 7);
+        assert_eq!(a.total(), 17);
+
+        let mut single = CountMinSketch::new(64, 3);
+        feed(&mut single, &[("x", 5), ("y", 2), ("x", 3), ("z", 7)]);
+        assert_eq!(a, single);
+    }
+
+    #[test]
+    fn count_min_xml_round_trip() {
+        let mut cm = CountMinSketch::new(32, 2);
+        feed(&mut cm, &[("alpha", 4), ("beta", 9)]);
+        let el = cm.to_element();
+        let back = CountMinSketch::from_element(&el).expect("round trip");
+        assert_eq!(back, cm);
+    }
+
+    #[test]
+    fn topk_finds_heavy_hitters_and_round_trips() {
+        let mut sketch = TopKSketch::new(8);
+        for i in 0..40 {
+            sketch.update(&format!("light{}", i % 20), 1);
+        }
+        sketch.update("heavy", 30);
+        sketch.update("warm", 12);
+        let top = sketch.top(2);
+        assert_eq!(top[0].0, "heavy");
+        assert_eq!(top[1].0, "warm");
+
+        let back = TopKSketch::from_element(&sketch.to_element()).expect("round trip");
+        assert_eq!(back.top(2), sketch.top(2));
+        assert_eq!(back.total(), sketch.total());
+    }
+
+    #[test]
+    fn topk_serialized_size_is_bounded() {
+        let mut sketch = TopKSketch::new(4);
+        for i in 0..10_000 {
+            sketch.update(&format!("k{i}"), 1);
+        }
+        let el = sketch.to_element();
+        let cand_count = el.children_named("cand").count();
+        assert!(cand_count <= 4);
+        let cells = el.child("cm").expect("cm").children_named("cell").count();
+        assert!(cells <= sketch.max_serialized_entries());
+    }
+
+    #[test]
+    fn entropy_exact_when_under_capacity() {
+        let mut sketch = EntropySketch::new(16);
+        // Uniform over 4 keys => exactly 2 bits.
+        feed(&mut sketch, &[("a", 5), ("b", 5), ("c", 5), ("d", 5)]);
+        assert!((sketch.entropy_bits() - 2.0).abs() < 1e-9);
+        let back = EntropySketch::from_element(&sketch.to_element()).expect("round trip");
+        assert!((back.entropy_bits() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_merge_matches_single_sketch() {
+        let mut a = EntropySketch::new(32);
+        let mut b = EntropySketch::new(32);
+        feed(&mut a, &[("a", 3), ("b", 1)]);
+        feed(&mut b, &[("a", 1), ("c", 5)]);
+        a.merge(&b);
+        let mut single = EntropySketch::new(32);
+        feed(&mut single, &[("a", 4), ("b", 1), ("c", 5)]);
+        assert!((a.entropy_bits() - single.entropy_bits()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_accuracy_and_merge() {
+        let mut a = QuantileSummary::new(10, 256);
+        let mut b = QuantileSummary::new(10, 256);
+        for v in 1..=500u64 {
+            a.observe(v, 1);
+        }
+        for v in 501..=1000u64 {
+            b.observe(v, 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 1000);
+        let p50 = a.quantile(500) as f64;
+        let p99 = a.quantile(990) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.03, "p50 = {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.03, "p99 = {p99}");
+
+        let back = QuantileSummary::from_element(&a.to_element()).expect("round trip");
+        assert_eq!(back.quantile(990), a.quantile(990));
+    }
+
+    #[test]
+    fn quantile_bucket_bound_holds() {
+        let mut q = QuantileSummary::new(10, 32);
+        for v in 1..=100_000u64 {
+            q.observe(v, 1);
+        }
+        assert!(q.buckets.len() <= 32);
+        // High quantiles survive the collapse of the low buckets.
+        let p99 = q.quantile(990) as f64;
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.03, "p99 = {p99}");
+    }
+
+    #[test]
+    fn any_sketch_partials_flow_leaf_to_root() {
+        let spec = AggregateSpec::new(
+            AggregateKind::TopK { k: 2 },
+            "c",
+            Some("method".to_string()),
+        );
+        let mut leaf_a = AnySketch::for_spec(&spec);
+        let mut leaf_b = AnySketch::for_spec(&spec);
+        let mut item = Element::new("call");
+        item.set_attr("method", "get");
+        let (key, weight) = spec.observe(&item);
+        assert_eq!((key.as_str(), weight), ("get", 1));
+        for _ in 0..6 {
+            leaf_a.update("get", 1);
+        }
+        leaf_b.update("put", 1);
+
+        let mut root = AnySketch::for_spec(&spec);
+        assert!(root.absorb(&leaf_a.to_element()));
+        assert!(root.absorb(&leaf_b.to_element()));
+        let answer = root.answer(&spec);
+        assert_eq!(answer.attr("kind"), Some("topk"));
+        let first = answer.children_named("entry").next().expect("entry");
+        assert_eq!(first.attr("key"), Some("get"));
+        assert_eq!(first.attr("count"), Some("6"));
+    }
+
+    #[test]
+    fn absorb_rejects_foreign_partials() {
+        let spec = AggregateSpec::new(AggregateKind::Entropy, "c", None);
+        let mut sketch = AnySketch::for_spec(&spec);
+        let other =
+            AnySketch::for_spec(&AggregateSpec::new(AggregateKind::TopK { k: 1 }, "c", None));
+        assert!(!sketch.absorb(&other.to_element()));
+        assert!(sketch.is_empty());
+    }
+
+    #[test]
+    fn spec_observe_finds_nested_attrs_and_weights() {
+        let mut spec =
+            AggregateSpec::new(AggregateKind::TopK { k: 1 }, "c", Some("chan".to_string()));
+        spec.weight_attr = Some("bytes".to_string());
+        let mut inner = Element::new("stats");
+        inner.set_attr("chan", "news");
+        inner.set_attr("bytes", "4096");
+        let mut outer = Element::new("metric");
+        outer.push_element(inner);
+        let (key, weight) = spec.observe(&outer);
+        assert_eq!(key, "news");
+        assert_eq!(weight, 4096);
+    }
+
+    #[test]
+    fn reset_produces_delta_semantics() {
+        let mut leaf = AnySketch::for_spec(&AggregateSpec::new(AggregateKind::Entropy, "c", None));
+        leaf.update("a", 2);
+        let first_delta = leaf.to_element();
+        leaf.reset();
+        assert!(leaf.is_empty());
+        leaf.update("b", 3);
+        let second_delta = leaf.to_element();
+
+        let mut root = AnySketch::for_spec(&AggregateSpec::new(AggregateKind::Entropy, "c", None));
+        root.absorb(&first_delta);
+        root.absorb(&second_delta);
+        let mut single = EntropySketch::new(DEFAULT_ENTROPY_CAPACITY);
+        single.update("a", 2);
+        single.update("b", 3);
+        match root {
+            AnySketch::Entropy(merged) => {
+                assert!((merged.entropy_bits() - single.entropy_bits()).abs() < 1e-9)
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Property tests for the mergeable sketches: partials merged across
+//! arbitrary partitions (in arbitrary order, through flush/reset delta
+//! cycles, across the XML wire format) must equal one sketch built over the
+//! concatenated stream — and in the under-capacity regime the answers must
+//! match the exact oracle.  These are the invariants the distributed merge
+//! tree leans on: leaves flush deltas whenever their round boundary happens
+//! to fall, interior nodes merge in whatever order the network delivers,
+//! and the root must still answer as if it had seen every event itself.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use p2pmon_streams::sketch::{CountMinSketch, EntropySketch, QuantileSummary, Sketch, TopKSketch};
+
+/// Distinct keys in the generated streams — kept under every sketch's
+/// capacity so the "merged ≡ whole ≡ exact" regime applies.
+const VOCAB: u8 = 12;
+const CAPACITY: usize = 64;
+const CM_WIDTH: usize = 512;
+const CM_DEPTH: usize = 3;
+const ALPHA_PERMILLE: u32 = 20;
+const MAX_BUCKETS: usize = 512;
+
+fn key(i: u8) -> String {
+    format!("k{i}")
+}
+
+/// The numeric value key `i` stands for in quantile streams (spread over
+/// more than two orders of magnitude so relative accuracy is exercised).
+fn value(i: u8) -> u64 {
+    (u64::from(i) + 1) * (u64::from(i) + 1) * 31
+}
+
+/// A stream of `(key, weight, partition)` observations.
+fn events_strategy() -> impl Strategy<Value = Vec<(u8, u64, u8)>> {
+    proptest::collection::vec((0u8..VOCAB, 1u64..9, 0u8..4), 1..200)
+}
+
+fn exact_counts(events: &[(u8, u64, u8)]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for &(k, w, _) in events {
+        *counts.entry(key(k)).or_insert(0) += w;
+    }
+    counts
+}
+
+/// Build one sketch over the whole stream and four partial sketches over
+/// the stream's partitions, then fold the partials in both orders.
+fn split<S: Sketch + Clone>(
+    fresh: impl Fn() -> S,
+    events: &[(u8, u64, u8)],
+    keyer: impl Fn(u8) -> String,
+) -> (S, S, S) {
+    let mut whole = fresh();
+    let mut parts: Vec<S> = (0..4).map(|_| fresh()).collect();
+    for &(k, w, p) in events {
+        whole.update(&keyer(k), w);
+        parts[p as usize].update(&keyer(k), w);
+    }
+    let mut forward = fresh();
+    for part in &parts {
+        forward.merge(part);
+    }
+    let mut backward = fresh();
+    for part in parts.iter().rev() {
+        backward.merge(part);
+    }
+    (whole, forward, backward)
+}
+
+/// Drive a leaf through flush/reset delta cycles — every `flush_every`
+/// events the leaf serializes its delta, the root re-parses and merges it,
+/// and the leaf resets (exactly what the dispatch rounds do, with the churn
+/// of arbitrary flush boundaries and the XML wire format in between).
+fn drive_rounds<S: Sketch>(
+    mut leaf: S,
+    mut root: S,
+    events: &[(u8, u64, u8)],
+    flush_every: usize,
+    keyer: impl Fn(u8) -> String,
+) -> S {
+    for (i, &(k, w, _)) in events.iter().enumerate() {
+        leaf.update(&keyer(k), w);
+        if (i + 1) % flush_every == 0 {
+            let delta = S::from_element(&leaf.to_element()).expect("partials round-trip");
+            root.merge(&delta);
+            leaf.reset();
+        }
+    }
+    if !leaf.is_empty() {
+        let delta = S::from_element(&leaf.to_element()).expect("partials round-trip");
+        root.merge(&delta);
+    }
+    root
+}
+
+proptest! {
+    #[test]
+    fn count_min_merge_is_order_insensitive_and_equals_the_whole(events in events_strategy()) {
+        let (whole, forward, backward) =
+            split(|| CountMinSketch::new(CM_WIDTH, CM_DEPTH), &events, key);
+        // Cell-for-cell equality: merging adds the same increments the
+        // whole-stream sketch absorbed one by one.
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+        // And the estimates never undercount, staying within total/width.
+        for (k, exact) in exact_counts(&events) {
+            let est = whole.estimate(&k);
+            prop_assert!(est >= exact, "count-min undercounted {k}: {est} < {exact}");
+            prop_assert!(
+                est - exact <= whole.total() / CM_WIDTH as u64 + 1,
+                "count-min overshoot beyond the total/width bound for {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_merge_agrees_with_the_whole_stream_and_the_exact_oracle(events in events_strategy()) {
+        let (whole, forward, backward) = split(|| TopKSketch::new(CAPACITY), &events, key);
+        let answer = whole.top(VOCAB as usize);
+        prop_assert_eq!(&forward.top(VOCAB as usize), &answer);
+        prop_assert_eq!(&backward.top(VOCAB as usize), &answer);
+        prop_assert_eq!(forward.total(), whole.total());
+        // Under capacity the heavy-hitter counts are exact.
+        let exact = exact_counts(&events);
+        prop_assert_eq!(answer.len(), exact.len());
+        for (k, count) in answer {
+            prop_assert_eq!(count, exact[&k], "topk count drifted for {}", k);
+        }
+    }
+
+    #[test]
+    fn entropy_merge_agrees_with_the_whole_stream_and_is_exact_under_capacity(
+        events in events_strategy()
+    ) {
+        let (whole, forward, backward) = split(|| EntropySketch::new(CAPACITY), &events, key);
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+        let exact = {
+            let counts = exact_counts(&events);
+            let total: u64 = counts.values().sum();
+            -counts
+                .values()
+                .map(|&c| {
+                    let p = c as f64 / total as f64;
+                    p * p.log2()
+                })
+                .sum::<f64>()
+        };
+        prop_assert!(
+            (whole.entropy_bits() - exact).abs() < 1e-9,
+            "under-capacity entropy must be exact: {} vs {}",
+            whole.entropy_bits(),
+            exact
+        );
+    }
+
+    #[test]
+    fn quantile_merge_agrees_with_the_whole_stream_and_stays_within_alpha(
+        events in events_strategy()
+    ) {
+        let keyer = |k: u8| value(k).to_string();
+        let (whole, forward, backward) =
+            split(|| QuantileSummary::new(ALPHA_PERMILLE, MAX_BUCKETS), &events, keyer);
+        prop_assert_eq!(&forward, &whole);
+        prop_assert_eq!(&backward, &whole);
+        // Exact weighted order statistics from the expanded stream.
+        let mut expanded: Vec<u64> = events
+            .iter()
+            .flat_map(|&(k, w, _)| std::iter::repeat_n(value(k), w as usize))
+            .collect();
+        expanded.sort_unstable();
+        for q in [0u32, 250, 500, 750, 990, 1000] {
+            let rank = (q.min(1000) as u128 * (expanded.len() as u128 - 1) / 1000) as usize;
+            let exact = expanded[rank] as f64;
+            let est = whole.quantile(q) as f64;
+            let alpha = ALPHA_PERMILLE as f64 / 1000.0;
+            prop_assert!(
+                (est - exact).abs() <= exact * (2.0 * alpha) + 1.0,
+                "p{q} drifted beyond the alpha bound: {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_flush_cycles_reconstruct_the_whole_stream_at_the_root(
+        events in events_strategy(),
+        flush_every in 1usize..25
+    ) {
+        // TopK / entropy: the root after arbitrary flush cadences equals a
+        // single sketch fed every event (through XML partials each cycle).
+        let mut whole_topk = TopKSketch::new(CAPACITY);
+        let mut whole_entropy = EntropySketch::new(CAPACITY);
+        let mut whole_quantile = QuantileSummary::new(ALPHA_PERMILLE, MAX_BUCKETS);
+        for &(k, w, _) in &events {
+            whole_topk.update(&key(k), w);
+            whole_entropy.update(&key(k), w);
+            whole_quantile.update(&value(k).to_string(), w);
+        }
+        let root_topk = drive_rounds(
+            TopKSketch::new(CAPACITY),
+            TopKSketch::new(CAPACITY),
+            &events,
+            flush_every,
+            key,
+        );
+        prop_assert_eq!(root_topk.top(VOCAB as usize), whole_topk.top(VOCAB as usize));
+        prop_assert_eq!(root_topk.total(), whole_topk.total());
+        let root_entropy = drive_rounds(
+            EntropySketch::new(CAPACITY),
+            EntropySketch::new(CAPACITY),
+            &events,
+            flush_every,
+            key,
+        );
+        prop_assert_eq!(&root_entropy, &whole_entropy);
+        let root_quantile = drive_rounds(
+            QuantileSummary::new(ALPHA_PERMILLE, MAX_BUCKETS),
+            QuantileSummary::new(ALPHA_PERMILLE, MAX_BUCKETS),
+            &events,
+            flush_every,
+            |k| value(k).to_string(),
+        );
+        prop_assert_eq!(&root_quantile, &whole_quantile);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_answers_and_respects_the_entry_bound(
+        events in events_strategy()
+    ) {
+        let mut topk = TopKSketch::new(CAPACITY);
+        let mut entropy = EntropySketch::new(CAPACITY);
+        let mut quantile = QuantileSummary::new(ALPHA_PERMILLE, MAX_BUCKETS);
+        let mut cm = CountMinSketch::new(CM_WIDTH, CM_DEPTH);
+        for &(k, w, _) in &events {
+            topk.update(&key(k), w);
+            entropy.update(&key(k), w);
+            quantile.update(&value(k).to_string(), w);
+            cm.update(&key(k), w);
+        }
+        let topk_back = TopKSketch::from_element(&topk.to_element()).expect("topk round-trips");
+        prop_assert_eq!(topk_back.top(VOCAB as usize), topk.top(VOCAB as usize));
+        let entropy_back =
+            EntropySketch::from_element(&entropy.to_element()).expect("entropy round-trips");
+        prop_assert_eq!(&entropy_back, &entropy);
+        let quantile_back =
+            QuantileSummary::from_element(&quantile.to_element()).expect("quantile round-trips");
+        prop_assert_eq!(&quantile_back, &quantile);
+        let cm_back = CountMinSketch::from_element(&cm.to_element()).expect("cm round-trips");
+        prop_assert_eq!(&cm_back, &cm);
+        // The wire partial stays within the declared entry bound no matter
+        // how many events were absorbed.
+        for (el, bound) in [
+            (entropy.to_element(), entropy.max_serialized_entries()),
+            (quantile.to_element(), quantile.max_serialized_entries()),
+            (cm.to_element(), cm.max_serialized_entries()),
+        ] {
+            prop_assert!(
+                el.children.len() <= bound,
+                "serialized entries exceed the declared bound: {} > {}",
+                el.children.len(),
+                bound
+            );
+        }
+    }
+}

@@ -25,7 +25,7 @@
 //!   per-cause total and the per-link sum at all times.
 //! * **Post-heal convergence** — once every fault heals, a fresh epoch of
 //!   identical traffic must reach faulty and oracle sinks byte-identically,
-//!   and the origin-keyed [`BookkeepingSnapshot`]s (definition references,
+//!   and the origin-keyed `BookkeepingSnapshot`s (definition references,
 //!   replica declarations, channel-consumer counts) must be equal: the
 //!   routing state converges to the fault-free fixpoint.
 //! * **Clean teardown** — unsubscribing everything leaves no operators,

@@ -1031,6 +1031,171 @@ impl MassiveStorm {
     }
 }
 
+/// The **aggregation tier**: streaming-sketch subscriptions (`topk`,
+/// `entropy`, `quantile`) over `n` monitored peers, against a ship-items
+/// baseline that forwards every matching alert to the manager.
+///
+/// The sketch plane's claim is about *wire bytes*: a leaf sketch absorbs any
+/// number of local events and forwards one bounded partial per dispatch
+/// round, so the aggregate's network cost scales with rounds × tree edges
+/// while the ship-items baseline scales with the event count.  This workload
+/// reproduces the regime where that matters — a large monitored population
+/// (`n` peers at 1k/4k/10k) of which a **fixed active window**
+/// ([`SketchStorm::ACTIVE_PEERS`] peers) produces all the traffic of the
+/// measurement window, with a **zipf-skewed method vocabulary** (the heavy
+/// hitters `topk` must find) and service times drawn from a bounded
+/// geometric grid (so `quantile` sees a realistic long-tailed latency
+/// distribution).  Everything is a pure function of the seed: the same storm
+/// drives the sketch-on monitor and the ship-items-off monitor with
+/// byte-identical traffic, and the generated calls double as the exact
+/// oracle the sketch answers are checked against.
+#[derive(Debug, Clone)]
+pub struct SketchStorm {
+    /// Monitored peers: `s<i>.net`.
+    pub monitored_peers: Vec<String>,
+    /// The first `active_peers` peers receive all generated traffic — the
+    /// "hot sites this window" set, fixed as the population grows (that
+    /// fixedness is what makes the sketch plane's bytes sublinear in `n`).
+    pub active_peers: usize,
+    /// Method vocabulary; draws follow a zipf law over this list.
+    pub methods: Vec<String>,
+    /// Zipf exponent of the method-popularity distribution.
+    pub zipf_exponent: f64,
+    /// The geometric duration grid (ms) service times are drawn from.
+    pub durations_ms: Vec<u64>,
+    /// Cumulative zipf distribution over the methods (precomputed).
+    method_cdf: Vec<f64>,
+    rng: StdRng,
+    next_id: u64,
+    clock: u64,
+}
+
+impl SketchStorm {
+    /// Peers that produce traffic during a measurement window.
+    pub const ACTIVE_PEERS: usize = 200;
+    /// Size of the method vocabulary.
+    pub const METHODS: usize = 8;
+
+    /// A storm over `n_peers` monitored peers with zipf exponent 1.2 over
+    /// [`SketchStorm::METHODS`] methods and a 32-step geometric duration
+    /// grid spanning roughly 2–200 ms.
+    pub fn sized(seed: u64, n_peers: usize) -> Self {
+        let n_peers = n_peers.max(1);
+        let zipf_exponent = 1.2;
+        let mut weights: Vec<f64> = (1..=Self::METHODS)
+            .map(|k| 1.0 / (k as f64).powf(zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        SketchStorm {
+            monitored_peers: (0..n_peers).map(|i| format!("s{i}.net")).collect(),
+            active_peers: Self::ACTIVE_PEERS.min(n_peers),
+            methods: (0..Self::METHODS).map(|i| format!("Method{i}")).collect(),
+            zipf_exponent,
+            durations_ms: (0..32)
+                .map(|i| (2.0 * 1.16f64.powi(i)).round() as u64)
+                .collect(),
+            method_cdf: weights,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            clock: 1_000,
+        }
+    }
+
+    /// The manager peer the subscriptions are submitted at (and where the
+    /// sketch root / the baseline's restructure stage run).
+    pub fn manager(&self) -> &'static str {
+        "mon.org"
+    }
+
+    /// A Chord overlay sized sublinearly to the peer count — the definition
+    /// publishes of `n` aggregate sources route through it.
+    pub fn dht_nodes(&self) -> usize {
+        (self.monitored_peers.len() / 16).clamp(32, 640)
+    }
+
+    fn source_list(&self) -> String {
+        self.monitored_peers
+            .iter()
+            .map(|p| format!("<p>{p}</p>"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The three aggregate subscriptions of the sketch plane: the `k`
+    /// heaviest methods, the method-mix entropy, and the `q`-quantile of the
+    /// call duration — each over **all** monitored peers, so the planner
+    /// builds one merge tree per subscription spanning the population.
+    pub fn aggregate_subscriptions(&self, k: usize, q: f64) -> Vec<String> {
+        let list = self.source_list();
+        vec![
+            format!(
+                "for $c in inCOM({list})\nreturn topk($c.callMethod, {k})\nby email \"agg-topk@mon.org\";"
+            ),
+            format!(
+                "for $c in inCOM({list})\nreturn entropy($c.callMethod)\nby email \"agg-entropy@mon.org\";"
+            ),
+            format!(
+                "for $c in inCOM({list})\nreturn quantile($c.duration, {q})\nby email \"agg-quantile@mon.org\";"
+            ),
+        ]
+    }
+
+    /// The ship-items baseline for active peer `i`: no aggregation, every
+    /// matching alert is restructured at the manager — its select output
+    /// crosses the wire once per event.
+    pub fn ship_subscription(&self, i: usize) -> String {
+        let peer = &self.monitored_peers[i];
+        format!(
+            "for $c in inCOM(<p>{peer}</p>)\nreturn <item method=\"{{$c.callMethod}}\" duration=\"{{$c.duration}}\"/>\nby email \"ship{i}@mon.org\";"
+        )
+    }
+
+    /// Baseline subscriptions covering the whole active window.
+    pub fn ship_subscriptions(&self) -> Vec<String> {
+        (0..self.active_peers)
+            .map(|i| self.ship_subscription(i))
+            .collect()
+    }
+
+    /// The next call: a zipf-drawn method arrives at a uniformly chosen
+    /// *active* peer, with a duration drawn from the geometric grid skewed
+    /// toward the fast end (quadratic skew, so high quantiles land in the
+    /// tail of the grid).
+    pub fn next_call(&mut self) -> SoapCall {
+        let u: f64 = self.rng.gen();
+        let m = self
+            .method_cdf
+            .partition_point(|&c| c < u)
+            .min(self.methods.len() - 1);
+        let peer = self.monitored_peers[self.rng.gen_range(0..self.active_peers)].clone();
+        let v: f64 = self.rng.gen();
+        let d_idx =
+            ((v * v * self.durations_ms.len() as f64) as usize).min(self.durations_ms.len() - 1);
+        let duration = self.durations_ms[d_idx];
+        self.clock += self.rng.gen_range(1..=5u64);
+        let id = self.next_id;
+        self.next_id += 1;
+        SoapCall::new(
+            id,
+            "http://client.org",
+            peer,
+            self.methods[m].clone(),
+            self.clock,
+            self.clock + duration,
+        )
+    }
+
+    /// A batch of calls.
+    pub fn calls(&mut self, n: usize) -> Vec<SoapCall> {
+        (0..n).map(|_| self.next_call()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1340,6 +1505,46 @@ mod tests {
                 .strip_prefix("http://")
                 .is_some_and(|p| storm.monitored_peers.iter().any(|hub| hub == p))
         }));
+    }
+
+    #[test]
+    fn sketch_storm_is_deterministic_and_method_skewed() {
+        let mut a = SketchStorm::sized(5, 1_000);
+        let mut b = SketchStorm::sized(5, 1_000);
+        let calls = a.calls(2_000);
+        assert_eq!(b.calls(2_000), calls, "same seed, same traffic");
+        // Traffic stays inside the fixed active window.
+        let active: std::collections::HashSet<&String> =
+            a.monitored_peers[..a.active_peers].iter().collect();
+        assert!(calls.iter().all(|c| active.contains(&c.callee)));
+        // Zipf skew: the head method dominates a uniform split (2000/8).
+        let head = calls.iter().filter(|c| c.method == a.methods[0]).count();
+        assert!(head > 500, "zipf head must dominate, got {head}/2000");
+        // Durations come off the grid and span the tail.
+        let grid: std::collections::HashSet<u64> = a.durations_ms.iter().copied().collect();
+        assert!(calls.iter().all(|c| grid.contains(&c.duration())));
+        let max = calls.iter().map(|c| c.duration()).max().unwrap();
+        assert!(max > 50, "the long tail must be exercised, got max {max}");
+    }
+
+    #[test]
+    fn sketch_storm_subscriptions_compile_over_the_whole_population() {
+        let storm = SketchStorm::sized(5, 64);
+        for text in storm.aggregate_subscriptions(5, 0.99) {
+            let plan = p2pmon_p2pml::compile_subscription(&text)
+                .unwrap_or_else(|e| panic!("aggregate must compile: {e:?}\n{text}"));
+            assert_eq!(plan.peers().len(), 64, "aggregates span every peer");
+        }
+        for text in storm.ship_subscriptions() {
+            p2pmon_p2pml::compile_subscription(&text).expect("baseline texts compile");
+        }
+        // Small populations shrink the active window with them.
+        assert_eq!(SketchStorm::sized(5, 64).active_peers, 64);
+        assert_eq!(
+            SketchStorm::sized(5, 10_000).active_peers,
+            SketchStorm::ACTIVE_PEERS
+        );
+        assert_eq!(SketchStorm::sized(5, 10_000).dht_nodes(), 625);
     }
 
     #[test]

@@ -81,6 +81,17 @@ fn committed_reuse_trajectory_passes_the_locality_gate() {
 }
 
 #[test]
+fn committed_sketch_trajectory_passes_the_sketch_gate() {
+    // The committed BENCH_sketch.json must show the sketch plane moving
+    // ≥5x fewer wire bytes than the ship-items baseline at the 10k-peer
+    // tier, sublinear sketch-byte growth, and answers within the sketches'
+    // accuracy bounds of the exact oracle.
+    if let Some(output) = run_harness(&["sketch"]) {
+        assert_success(output, "ci/check_bench.py sketch");
+    }
+}
+
+#[test]
 fn committed_chaos_trajectory_passes_the_chaos_gate() {
     // Every committed chaos scenario must converge to the fault-free
     // oracle with zero unaccounted or double-delivered alerts, replay

@@ -38,7 +38,7 @@ pub mod collection {
     use crate::strategy::{BoxedStrategy, Strategy};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait SizeRange {
         fn pick_len(&self, rng: &mut crate::TestRng) -> usize;
     }

@@ -1,0 +1,20 @@
+use p2pmon_alerters::SoapCall;
+use p2pmon_core::{Monitor, MonitorConfig};
+
+#[test]
+fn zero_weight_item_does_not_hang_run_until_idle() {
+    let mut monitor = Monitor::new(MonitorConfig::default());
+    monitor.add_peer("mon.org");
+    monitor.add_peer("a.com");
+    let _h = monitor
+        .submit(
+            "mon.org",
+            r#"for $c in inCOM(<p>a.com</p>)
+               return topk($c.callMethod, 3, $c.duration)
+               by email "x@mon.org";"#,
+        )
+        .expect("compiles");
+    // duration = 0 => weight 0
+    monitor.inject_soap_call(&SoapCall::new(1, "http://c.org", "a.com", "M", 10, 10));
+    monitor.run_until_idle();
+}
